@@ -1,0 +1,678 @@
+(* Benchmark and reproduction harness.
+
+   With no arguments, regenerates every table and figure of the paper's
+   evaluation plus the sweeps implied by its narrative, and validates the
+   plans numerically; individual sections can be selected:
+
+     dune exec bench/main.exe                      # everything except micro
+     dune exec bench/main.exe -- table1 table2
+     dune exec bench/main.exe -- fig1 fig2 sweep-procs sweep-memory
+     dune exec bench/main.exe -- validate ablation
+     dune exec bench/main.exe -- micro             # bechamel micro-benchmarks
+
+   See DESIGN.md section 3 for the experiment index and EXPERIMENTS.md for
+   the recorded paper-vs-model numbers. *)
+
+open Tce
+
+let ccsd_text =
+  {|
+extents a=480, b=480, c=480, d=480, e=64, f=64, i=32, j=32, k=32, l=32
+T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+|}
+
+let ccsd_small_text =
+  {|
+extents a=12, b=12, c=12, d=12, e=8, f=8, i=6, j=6, k=6, l=6
+T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+|}
+
+let load text =
+  let problem = Result.get_ok (Parser.parse text) in
+  let seq = Result.get_ok (Problem.to_sequence problem) in
+  let tree = Tree.fuse_mult_sum (Result.get_ok (Tree.of_sequence seq)) in
+  (problem, seq, tree)
+
+let params = Params.itanium_2003
+
+(* Full methodology fidelity: measure the (simulated) machine, write the
+   characterization file, reload it, and hand the optimizer only the loaded
+   characterization — the paper's exact pipeline. *)
+let measured_rcost grid =
+  let rcost =
+    Rcost.characterize ~side:(Grid.side grid) ~samples:Rcost.default_samples
+      ~measure:(fun ~axis ~words ->
+        Simulate.measure_rotation params grid ~axis ~words)
+  in
+  let path = Filename.temp_file "tce_bench_rcost" ".txt" in
+  Result.get_ok (Rcost.save rcost ~path);
+  let loaded = Result.get_ok (Rcost.load ~path) in
+  Sys.remove path;
+  loaded
+
+let config procs =
+  let grid = Grid.create_exn ~procs in
+  let rcost = measured_rcost grid in
+  (grid, Search.default_config ~grid ~params ~rcost ())
+
+let section title = Format.printf "@.===== %s =====@.@." title
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1 and 2                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_table procs paper_rows paper_totals label =
+  section label;
+  let problem, _, tree = load ccsd_text in
+  let ext = problem.Problem.extents in
+  let _, cfg = config procs in
+  match Search.optimize cfg ext tree with
+  | Error msg -> Format.printf "optimization failed: %s@." msg
+  | Ok plan ->
+    Format.printf "%a@.%s@.@." Table.pp (Exptables.plan_table plan)
+      (Exptables.totals_line plan);
+    Format.printf "paper vs model, per array:@.%a@.@." Table.pp
+      (Exptables.comparison_table plan paper_rows);
+    Format.printf "paper vs model, totals:@.%a@.@." Table.pp
+      (Exptables.totals_comparison plan paper_totals);
+    let timing = Simulate.run_plan params ext plan in
+    Format.printf
+      "discrete-event replay of the plan: %a@.(model predicted %.1f s \
+       communication; replay deviation %s)@."
+      Simulate.pp_timing timing (Plan.comm_cost plan)
+      (Exptables.pct_dev ~ours:timing.Simulate.comm_seconds
+         ~paper:(Plan.comm_cost plan))
+
+let table1 () =
+  run_table 64 Paperref.table1 Paperref.totals1
+    "Table 1: 64 processors (32 nodes), 4 GB/node"
+
+let table2 () =
+  run_table 16 Paperref.table2 Paperref.totals2
+    "Table 2: 16 processors (8 nodes), 4 GB/node"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "Figure 1: formula sequence and binary tree for S(t)";
+  let text =
+    {|
+extents i=100, j=100, k=100, t=100
+S[t] = sum[i,j,k] A[i,j,t] * B[j,k,t]
+|}
+  in
+  let problem = Result.get_ok (Parser.parse text) in
+  let ext = problem.Problem.extents in
+  let d = List.hd problem.Problem.defs in
+  Format.printf "direct evaluation: %d flops (~2 N_i N_j N_k N_t)@.@."
+    (Opmin.naive_flops ext d);
+  let optimized = Result.get_ok (Opmin.optimize problem) in
+  Format.printf "after operation minimization:@.%a@.@." Problem.pp optimized;
+  let seq = Result.get_ok (Problem.to_sequence optimized) in
+  let tree = Result.get_ok (Tree.of_sequence seq) in
+  Format.printf "binary tree:@.%a@.@." Tree.pp tree;
+  Format.printf
+    "optimized flops: %d (paper: N_i N_j N_t + N_j N_k N_t + 2 N_j N_t)@."
+    (Tree.flops ext tree);
+  let small =
+    Result.get_ok
+      (Parser.parse
+         {|
+extents i=7, j=6, k=5, t=4
+S[t] = sum[i,j,k] A[i,j,t] * B[j,k,t]
+|})
+  in
+  let small_opt = Result.get_ok (Opmin.optimize small) in
+  let sseq = Result.get_ok (Problem.to_sequence small_opt) in
+  let inputs = Sequence.random_inputs small.Problem.extents ~seed:11 sseq in
+  let via_tree = Sequence.eval small.Problem.extents ~inputs sseq in
+  let direct =
+    Einsum.contract2
+      ~out:[ Index.v "t" ]
+      (List.assoc "A" inputs) (List.assoc "B" inputs)
+  in
+  Format.printf "factored result matches direct contraction: %b@."
+    (Dense.equal_approx ~tol:1e-9 via_tree direct)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig2 () =
+  section "Figure 2: loop fusion for memory reduction";
+  let problem, _, tree = load ccsd_text in
+  let ext = problem.Problem.extents in
+  let unfused = Result.get_ok (Loopnest.generate_unfused tree) in
+  Format.printf "(b) direct implementation (unfused):@.%a@." Loopnest.pp
+    unfused;
+  Format.printf "@.unfused temporaries: %.2f GWords (T1 dominates)@.@."
+    (float_of_int (Loopnest.temporary_words ext unfused) /. 1e9);
+  let mm = Memmin.minimize ext tree in
+  let fusions name =
+    Index.set_of_list
+      (Option.value ~default:[] (List.assoc_opt name mm.Memmin.edge_fusions))
+  in
+  let fused = Result.get_ok (Loopnest.generate tree ~fusions) in
+  Format.printf "(c) memory-reduced implementation (fused):@.%a@." Loopnest.pp
+    fused;
+  Format.printf
+    "@.fused temporaries: %d words -- T1 is a scalar and T2 is 2-D, as in \
+     the paper@."
+    (Loopnest.temporary_words ext fused);
+  let sproblem, sseq, stree = load ccsd_small_text in
+  let sext = sproblem.Problem.extents in
+  let smm = Memmin.minimize sext stree in
+  let sfusions name =
+    Index.set_of_list
+      (Option.value ~default:[] (List.assoc_opt name smm.Memmin.edge_fusions))
+  in
+  let sprog = Result.get_ok (Loopnest.generate stree ~fusions:sfusions) in
+  let inputs = Sequence.random_inputs sext ~seed:5 sseq in
+  let reference = Sequence.eval sext ~inputs sseq in
+  let got = Interp.run_exn sext sprog ~inputs in
+  Format.printf "fused program output matches reference: %b@."
+    (Dense.equal_approx ~tol:1e-9 reference got)
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let describe_result = function
+  | Error _ -> ("infeasible", "-", "-")
+  | Ok plan ->
+    ( Format.asprintf "%.1f" (Plan.comm_cost plan),
+      Format.asprintf "%.1f%%" (100.0 *. Plan.comm_fraction plan),
+      Format.asprintf "%.2f" (Plan.mem_per_node_bytes plan /. 1e9) )
+
+let sweep_procs () =
+  section
+    "Sweep A: processor count at fixed 4 GB/node (narrative of section 4)";
+  let problem, _, tree = load ccsd_text in
+  let ext = problem.Problem.extents in
+  let t =
+    Table.create
+      ~headers:
+        [
+          "procs"; "integrated comm"; "comm %"; "GB/node";
+          "fusion-free comm"; "memmin-fusion comm";
+        ]
+  in
+  let t =
+    List.fold_left
+      (fun t procs ->
+        let _, cfg = config procs in
+        let c1, f1, m1 = describe_result (Baselines.integrated cfg ext tree) in
+        let c2, _, _ = describe_result (Baselines.fusion_free cfg ext tree) in
+        let c3, _, _ =
+          describe_result (Baselines.memory_minimal cfg ext tree)
+        in
+        Table.add_row t [ string_of_int procs; c1; f1; m1; c2; c3 ])
+      t
+      [ 16; 36; 64; 100; 144; 256 ]
+  in
+  Format.printf "%a@." Table.pp t;
+  Format.printf
+    "@.The counter-intuitive trend: shrinking the machine below the memory \
+     cliff (16 procs) forces fusion and the communication share jumps; the \
+     fusion-free prior work is infeasible there.@."
+
+let sweep_memory () =
+  section "Sweep B: per-node memory limit at 16 processors";
+  let problem, _, tree = load ccsd_text in
+  let ext = problem.Problem.extents in
+  let grid = Grid.create_exn ~procs:16 in
+  let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+  let t =
+    Table.create
+      ~headers:
+        [ "limit (GB)"; "T1 reduced to"; "comm (s)"; "comm %"; "GB/node" ]
+  in
+  let t =
+    List.fold_left
+      (fun t gb ->
+        let cfg =
+          Search.default_config ~mem_limit_bytes:(gb *. 1e9) ~grid ~params
+            ~rcost ()
+        in
+        match Search.optimize cfg ext tree with
+        | Error _ ->
+          Table.add_row t [ Format.asprintf "%.2f" gb; "infeasible" ]
+        | Ok plan ->
+          let t1 =
+            match Plan.find_row plan "T1" with
+            | Some row ->
+              Format.asprintf "T1[%a]" Index.pp_list row.Plan.reduced_dims
+            | None -> "?"
+          in
+          let c, f, m = describe_result (Ok plan) in
+          Table.add_row t [ Format.asprintf "%.2f" gb; t1; c; f; m ])
+      t
+      [ 0.5; 0.75; 1.0; 1.25; 1.5; 2.0; 3.0; 4.0; 8.0; 16.0; 32.0 ]
+  in
+  Format.printf "%a@." Table.pp t
+
+(* ------------------------------------------------------------------ *)
+(* Ablation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "Ablation: search restrictions (16 processors, 4 GB/node)";
+  let problem, _, tree = load ccsd_text in
+  let ext = problem.Problem.extents in
+  let grid = Grid.create_exn ~procs:16 in
+  let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+  let base = Search.default_config ~grid ~params ~rcost () in
+  let t = Table.create ~headers:[ "configuration"; "comm (s)"; "GB/node" ] in
+  let row t name cfg =
+    match Search.optimize cfg ext tree with
+    | Error msg -> Table.add_row t [ name; "infeasible: " ^ msg ]
+    | Ok plan ->
+      Table.add_row t
+        [
+          name;
+          Format.asprintf "%.1f" (Plan.comm_cost plan);
+          Format.asprintf "%.2f" (Plan.mem_per_node_bytes plan /. 1e9);
+        ]
+  in
+  let t = row t "integrated search (the paper)" base in
+  let t =
+    row t "redistribution forbidden"
+      { base with Search.redist_factor = 1e12 }
+  in
+  let t =
+    row t "redistribution at half cost"
+      { base with Search.redist_factor = 0.5 }
+  in
+  let t =
+    row t "fusion disabled (prior work [16])"
+      { base with Search.fusion_mode = Search.No_fusion }
+  in
+  let t =
+    row t "sequential memmin fusion, verbatim (not Cannon-executable)"
+      {
+        base with
+        Search.fusion_mode =
+          (let mm = Memmin.minimize ext tree in
+           Search.Fixed
+             (List.map
+                (fun (n, idxs) -> (n, Index.set_of_list idxs))
+                mm.Memmin.edge_fusions));
+      }
+  in
+  let t =
+    match Search.optimize_min_memory base ext tree with
+    | Error msg ->
+      Table.add_row t [ "memory-first objective [14,15]"; "infeasible: " ^ msg ]
+    | Ok plan ->
+      Table.add_row t
+        [
+          "memory-first objective [14,15]";
+          Format.asprintf "%.1f" (Plan.comm_cost plan);
+          Format.asprintf "%.2f" (Plan.mem_per_node_bytes plan /. 1e9);
+        ]
+  in
+  let t =
+    row t "distributed fused loops allowed"
+      { base with Search.allow_distributed_fusion = true }
+  in
+  Format.printf "%a@." Table.pp t;
+  (match Search.solution_count base ext tree with
+  | Ok n -> Format.printf "@.undominated solutions at the root: %d@." n
+  | Error msg -> Format.printf "@.solution count failed: %s@." msg);
+  let c = Result.get_ok (Contraction.of_formula
+    (Result.get_ok (Formula.contract
+      (Aref.v "T1" (List.map Index.v ["b";"c";"d";"f"]))
+      (List.map Index.v ["e";"l"])
+      (Aref.v "B" (List.map Index.v ["b";"e";"f";"l"]))
+      (Aref.v "D" (List.map Index.v ["c";"d";"e";"l"]))))) in
+  Format.printf
+    "communication patterns per contraction (3*NI*NJ*NK), first step: %d@."
+    (Contraction.pattern_count c)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-machine study                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The optimizer consumes nothing but the characterization, so pointing it
+   at different machines shows how the fusion/distribution choice adapts:
+   latency-dominated networks punish the many small messages fusion
+   creates, bandwidth-dominated ones barely notice. *)
+let machines () =
+  section "Cross-machine study: the same problem on three clusters (16 procs)";
+  let problem, _, tree = load ccsd_text in
+  let ext = problem.Problem.extents in
+  let grid = Grid.create_exn ~procs:16 in
+  let side = Grid.side grid in
+  let machines =
+    [
+      ("itanium-2003 (paper)", params);
+      ( "fast-network",
+        Params.uniform ~name:"fast-network" ~latency:5e-6 ~bandwidth:1e9
+          ~flop_rate:2e9 ~procs_per_node:2 ~mem_per_node_bytes:4e9 );
+      ( "latency-bound",
+        Params.uniform ~name:"latency-bound" ~latency:5e-3 ~bandwidth:2e8
+          ~flop_rate:2e9 ~procs_per_node:2 ~mem_per_node_bytes:4e9 );
+    ]
+  in
+  let t =
+    Table.create
+      ~headers:
+        [
+          "machine"; "comm (s)"; "comm %"; "messages (MsgFactor sum)";
+          "T1 reduced to";
+        ]
+  in
+  let t =
+    List.fold_left
+      (fun t (name, m) ->
+        let rcost = Rcost.of_params m ~side in
+        let cfg = Search.default_config ~grid ~params:m ~rcost () in
+        match Search.optimize cfg ext tree with
+        | Error msg -> Table.add_row t [ name; "infeasible: " ^ msg ]
+        | Ok plan ->
+          let messages =
+            List.fold_left
+              (fun acc (s : Plan.step) ->
+                List.fold_left
+                  (fun acc (role, _) ->
+                    let fused =
+                      match role with
+                      | Variant.Out -> s.fusion_out
+                      | Variant.Left -> s.fusion_left
+                      | Variant.Right -> s.fusion_right
+                    in
+                    acc
+                    + Eqs.msg_factor ext ~side
+                        ~alpha:(Variant.dist_of s.variant role)
+                        ~fused
+                        ~dims:(Aref.indices (Variant.aref_of s.variant role)))
+                  acc s.rotations)
+              0 plan.Plan.steps
+          in
+          let t1 =
+            match Plan.find_row plan "T1" with
+            | Some row ->
+              Format.asprintf "T1[%a]" Index.pp_list row.Plan.reduced_dims
+            | None -> "?"
+          in
+          Table.add_row t
+            [
+              name;
+              Format.asprintf "%.1f" (Plan.comm_cost plan);
+              Format.asprintf "%.1f%%" (100.0 *. Plan.comm_fraction plan);
+              string_of_int messages;
+              t1;
+            ])
+      t machines
+  in
+  Format.printf "%a@." Table.pp t
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let validate () =
+  section "Validation: optimized plans against the naive reference";
+  let problem, seq, tree = load ccsd_small_text in
+  let ext = problem.Problem.extents in
+  let inputs = Sequence.random_inputs ext ~seed:20260705 seq in
+  let reference = Sequence.eval ext ~inputs seq in
+  List.iter
+    (fun procs ->
+      let grid, cfg = config procs in
+      match Search.optimize cfg ext tree with
+      | Error msg -> Format.printf "P=%d: optimization failed: %s@." procs msg
+      | Ok plan ->
+        let simulated = Numeric.run_plan grid ext plan ~inputs in
+        let ok = Dense.equal_approx ~tol:1e-9 reference simulated in
+        let timing = Simulate.run_plan params ext plan in
+        Format.printf
+          "P=%3d: simulated execution matches reference: %b; replayed comm \
+           %.4f s vs model %.4f s@."
+          procs ok timing.Simulate.comm_seconds (Plan.comm_cost plan))
+    [ 1; 4; 16 ];
+  let grid, cfg = config 4 in
+  (match Search.optimize cfg ext tree with
+  | Error msg -> Format.printf "multicore: optimization failed: %s@." msg
+  | Ok plan ->
+    let parallel = Multicore.run_plan grid ext plan ~inputs in
+    Format.printf "P=  4: real 4-domain execution matches reference: %b@."
+      (Dense.equal_approx ~tol:1e-9 reference parallel));
+  let mm = Memmin.minimize ext tree in
+  let fusions name =
+    Index.set_of_list
+      (Option.value ~default:[] (List.assoc_opt name mm.Memmin.edge_fusions))
+  in
+  let prog = Result.get_ok (Loopnest.generate tree ~fusions) in
+  Format.printf "fused sequential program matches reference: %b@."
+    (Dense.equal_approx ~tol:1e-9 reference (Interp.run_exn ext prog ~inputs));
+  (* Distributed fused execution: run plans with their real fusion
+     structure (sliced rotations, reduced per-processor storage) under a
+     memory staircase. *)
+  let grid4, _ = config 4 in
+  List.iter
+    (fun limit ->
+      let grid = grid4 in
+      let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+      let cfg =
+        Search.default_config ?mem_limit_bytes:limit ~grid ~params ~rcost ()
+      in
+      match Search.optimize cfg ext tree with
+      | Error msg ->
+        Format.printf "fused-exec (limit %s): infeasible (%s)@."
+          (match limit with None -> "none" | Some b -> Format.asprintf "%.0f B" b)
+          msg
+      | Ok plan ->
+        let st = Fusedexec.run_plan grid ext plan ~inputs in
+        Format.printf
+          "fused-exec (limit %s): matches=%b, sliced rotations=%d, peak=%d words/proc@."
+          (match limit with None -> "none" | Some b -> Format.asprintf "%.0f B" b)
+          (Dense.equal_approx ~tol:1e-9 reference st.Fusedexec.result)
+          st.Fusedexec.sliced_rotations st.Fusedexec.peak_words_per_proc)
+    [ None; Some 150_000.0; Some 120_000.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* CSV export                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Machine-readable versions of the main results, for plotting. *)
+let csv () =
+  section "CSV export (results/)";
+  ignore (Sys.command "mkdir -p results");
+  let write name table =
+    let path = Filename.concat "results" name in
+    Out_channel.with_open_text path (fun oc ->
+        output_string oc (Table.csv table);
+        output_char oc '\n');
+    Format.printf "wrote %s@." path
+  in
+  let problem, _, tree = load ccsd_text in
+  let ext = problem.Problem.extents in
+  List.iter
+    (fun (procs, fname) ->
+      let _, cfg = config procs in
+      match Search.optimize cfg ext tree with
+      | Error _ -> ()
+      | Ok plan -> write fname (Exptables.plan_table plan))
+    [ (64, "table1.csv"); (16, "table2.csv") ];
+  let sweep =
+    Table.create ~headers:[ "procs"; "comm_s"; "comm_frac"; "gb_per_node" ]
+  in
+  let sweep =
+    List.fold_left
+      (fun t procs ->
+        let _, cfg = config procs in
+        match Search.optimize cfg ext tree with
+        | Error _ -> Table.add_row t [ string_of_int procs ]
+        | Ok plan ->
+          Table.add_row t
+            [
+              string_of_int procs;
+              Format.asprintf "%.2f" (Plan.comm_cost plan);
+              Format.asprintf "%.4f" (Plan.comm_fraction plan);
+              Format.asprintf "%.3f" (Plan.mem_per_node_bytes plan /. 1e9);
+            ])
+      sweep
+      [ 16; 36; 64; 100; 144; 256 ]
+  in
+  write "sweep_procs.csv" sweep;
+  let memsweep =
+    Table.create ~headers:[ "limit_gb"; "comm_s"; "comm_frac" ]
+  in
+  let grid = Grid.create_exn ~procs:16 in
+  let rcost = measured_rcost grid in
+  let memsweep =
+    List.fold_left
+      (fun t gb ->
+        let cfg =
+          Search.default_config ~mem_limit_bytes:(gb *. 1e9) ~grid ~params
+            ~rcost ()
+        in
+        match Search.optimize cfg ext tree with
+        | Error _ -> Table.add_row t [ Format.asprintf "%.2f" gb ]
+        | Ok plan ->
+          Table.add_row t
+            [
+              Format.asprintf "%.2f" gb;
+              Format.asprintf "%.2f" (Plan.comm_cost plan);
+              Format.asprintf "%.4f" (Plan.comm_fraction plan);
+            ])
+      memsweep
+      [ 0.5; 0.75; 1.0; 1.25; 1.5; 2.0; 3.0; 4.0; 8.0; 16.0; 32.0 ]
+  in
+  write "sweep_memory.csv" memsweep
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Micro-benchmarks (bechamel, OLS ns/run)";
+  let open Bechamel in
+  let problem, _, tree = load ccsd_text in
+  let ext = problem.Problem.extents in
+  let sproblem, sseq, stree = load ccsd_small_text in
+  let sext = sproblem.Problem.extents in
+  let _, cfg16 = config 16 in
+  let _, cfg64 = config 64 in
+  let inputs = Sequence.random_inputs sext ~seed:1 sseq in
+  let plan_small =
+    let _, cfg = config 4 in
+    Result.get_ok (Search.optimize cfg sext stree)
+  in
+  let four_factor =
+    {
+      Problem.lhs =
+        Aref.v "S" (List.map Index.v [ "a"; "b"; "i"; "j" ]);
+      sum = List.map Index.v [ "c"; "d"; "e"; "f"; "k"; "l" ];
+      terms =
+        [
+          Aref.v "A" (List.map Index.v [ "a"; "c"; "i"; "k" ]);
+          Aref.v "B" (List.map Index.v [ "b"; "e"; "f"; "l" ]);
+          Aref.v "C" (List.map Index.v [ "d"; "f"; "j"; "k" ]);
+          Aref.v "D" (List.map Index.v [ "c"; "d"; "e"; "l" ]);
+        ];
+    }
+  in
+  let tests =
+    Test.make_grouped ~name:"tce"
+      [
+        Test.make ~name:"search-table1-64procs"
+          (Staged.stage (fun () -> ignore (Search.optimize cfg64 ext tree)));
+        Test.make ~name:"search-table2-16procs"
+          (Staged.stage (fun () -> ignore (Search.optimize cfg16 ext tree)));
+        Test.make ~name:"memmin-fusion"
+          (Staged.stage (fun () -> ignore (Memmin.minimize ext tree)));
+        Test.make ~name:"opmin-4-factor"
+          (Staged.stage (fun () ->
+               let counter = ref 0 in
+               let fresh () =
+                 incr counter;
+                 Printf.sprintf "T__%d" !counter
+               in
+               ignore (Opmin.optimize_def ext ~fresh four_factor)));
+        Test.make ~name:"simulate-plan-replay"
+          (Staged.stage (fun () ->
+               ignore (Simulate.run_plan params sext plan_small)));
+        Test.make ~name:"einsum-small-contraction"
+          (Staged.stage (fun () ->
+               ignore
+                 (Einsum.contract2
+                    ~out:(List.map Index.v [ "b"; "c"; "d"; "f" ])
+                    (List.assoc "B" inputs) (List.assoc "D" inputs))));
+        Test.make ~name:"rcost-characterize-side8"
+          (Staged.stage (fun () -> ignore (Rcost.of_params params ~side:8)));
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name res acc ->
+        let est =
+          match Analyze.OLS.estimates res with
+          | Some (e :: _) -> e
+          | _ -> nan
+        in
+        (name, est) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) ->
+      if ns >= 1e9 then Format.printf "%-32s %10.3f  s/run@." name (ns /. 1e9)
+      else if ns >= 1e6 then
+        Format.printf "%-32s %10.3f ms/run@." name (ns /. 1e6)
+      else Format.printf "%-32s %10.3f us/run@." name (ns /. 1e3))
+    (List.sort compare rows)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("sweep-procs", sweep_procs);
+    ("sweep-memory", sweep_memory);
+    ("ablation", ablation);
+    ("machines", machines);
+    ("csv", csv);
+    ("validate", validate);
+    ("micro", micro);
+  ]
+
+let default =
+  [
+    "table1"; "table2"; "fig1"; "fig2"; "sweep-procs"; "sweep-memory";
+    "ablation"; "machines"; "validate";
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> default
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+        Format.eprintf "unknown section %S; available: %s@." name
+          (String.concat ", " (List.map fst sections));
+        exit 1)
+    requested

@@ -1,0 +1,312 @@
+(* tce_opt — command-line front end of the tensor-contraction engine.
+
+   Subcommands:
+     optimize      parse a problem, run the memory-constrained search,
+                   print the plan and the paper-style table
+     codegen       print fused pseudo-code (sequential view)
+     opcount       operation-minimization report for multi-factor products
+     characterize  write a communication characterization file
+     tables        reproduce the paper's Tables 1 and 2 *)
+
+open Cmdliner
+open Tce
+
+let load_tree path =
+  let ( let* ) = Result.bind in
+  let* problem = Parser.parse_file path in
+  let* tree = Opmin.optimize_to_tree problem in
+  Ok (problem, tree)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    exit 1
+
+let machine_of ~mem_gb ~flops_mhz ~latency_us ~bandwidth_mbs =
+  match (latency_us, bandwidth_mbs) with
+  | None, None ->
+    let base = Params.itanium_2003 in
+    {
+      base with
+      Params.mem_per_node_bytes =
+        (match mem_gb with
+        | None -> base.Params.mem_per_node_bytes
+        | Some gb -> gb *. 1e9);
+      flop_rate =
+        (match flops_mhz with
+        | None -> base.Params.flop_rate
+        | Some m -> m *. 1e6);
+    }
+  | lat, bw ->
+    Params.uniform ~name:"uniform"
+      ~latency:(Option.value ~default:6.4e-2 (Option.map (fun u -> u *. 1e-6) lat))
+      ~bandwidth:(Option.value ~default:13.6e6 (Option.map (fun m -> m *. 1e6) bw))
+      ~flop_rate:(Option.value ~default:6.15e8 (Option.map (fun m -> m *. 1e6) flops_mhz))
+      ~procs_per_node:2
+      ~mem_per_node_bytes:(Option.value ~default:4e9 (Option.map (fun gb -> gb *. 1e9) mem_gb))
+
+(* ---------------- arguments ---------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Problem description (see the README for the syntax).")
+
+let procs_arg =
+  Arg.(value & opt int 16 & info [ "p"; "procs" ] ~docv:"P"
+         ~doc:"Number of processors (a positive perfect square).")
+
+let mem_gb_arg =
+  Arg.(value & opt (some float) None & info [ "mem-gb" ] ~docv:"GB"
+         ~doc:"Per-node memory limit in GB (default: the machine's 4 GB).")
+
+let flops_arg =
+  Arg.(value & opt (some float) None & info [ "mflops" ] ~docv:"MFLOPS"
+         ~doc:"Per-processor flop rate in Mflop/s.")
+
+let latency_arg =
+  Arg.(value & opt (some float) None & info [ "latency-us" ] ~docv:"US"
+         ~doc:"Use a uniform alpha-beta machine with this per-step latency \
+               (microseconds).")
+
+let bandwidth_arg =
+  Arg.(value & opt (some float) None & info [ "bandwidth-mbs" ] ~docv:"MBS"
+         ~doc:"Uniform machine link bandwidth (MB/s).")
+
+let fusion_arg =
+  let mode_conv =
+    Arg.enum [ ("all", `All); ("none", `None); ("memmin", `Memmin) ]
+  in
+  Arg.(value & opt mode_conv `All & info [ "fusion" ] ~docv:"MODE"
+         ~doc:"Fusion search mode: $(b,all) (integrated search), $(b,none) \
+               (fusion-free baseline), $(b,memmin) (sequential \
+               memory-minimal fusion, then distribute).")
+
+let code_flag =
+  Arg.(value & flag & info [ "code" ]
+         ~doc:"Also print the plan as annotated SPMD pseudo-code (fused \
+               loop bands with per-statement Cannon stanzas).")
+
+let setup grid_procs params =
+  let grid = or_die (Grid.create ~procs:grid_procs) in
+  let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+  (grid, rcost)
+
+(* ---------------- optimize ---------------- *)
+
+let optimize_cmd =
+  let run file procs mem_gb flops_mhz latency_us bandwidth_mbs fusion code =
+    let problem, tree = or_die (load_tree file) in
+    let params = machine_of ~mem_gb ~flops_mhz ~latency_us ~bandwidth_mbs in
+    let grid, rcost = setup procs params in
+    let cfg = Search.default_config ~grid ~params ~rcost () in
+    let ext = problem.Problem.extents in
+    let plan =
+      or_die
+        (match fusion with
+        | `All -> Baselines.integrated cfg ext tree
+        | `None -> Baselines.fusion_free cfg ext tree
+        | `Memmin -> Baselines.memory_minimal cfg ext tree)
+    in
+    Format.printf "%a@.@.%a@.%s@." Plan.pp plan Table.pp
+      (Exptables.plan_table plan)
+      (Exptables.totals_line plan);
+    if code then
+      Format.printf "@.%s@." (or_die (Parcode.emit ext tree plan))
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Memory-constrained communication minimization for a problem file.")
+    Term.(
+      const run $ file_arg $ procs_arg $ mem_gb_arg $ flops_arg $ latency_arg
+      $ bandwidth_arg $ fusion_arg $ code_flag)
+
+(* ---------------- codegen ---------------- *)
+
+let codegen_cmd =
+  let run file fusion =
+    let problem, tree = or_die (load_tree file) in
+    let ext = problem.Problem.extents in
+    let prog =
+      or_die
+        (match fusion with
+        | `None -> Loopnest.generate_unfused tree
+        | `All | `Memmin ->
+          let mm = Memmin.minimize ext tree in
+          let fusions name =
+            Index.set_of_list
+              (Option.value ~default:[]
+                 (List.assoc_opt name mm.Memmin.edge_fusions))
+          in
+          Loopnest.generate tree ~fusions)
+    in
+    Format.printf "%a@." Loopnest.pp prog;
+    Format.printf "@.storage: %d words total, %d words of temporaries@."
+      (Loopnest.storage_words ext prog)
+      (Loopnest.temporary_words ext prog)
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Print (memory-minimally fused, or unfused) pseudo-code.")
+    Term.(const run $ file_arg $ fusion_arg)
+
+(* ---------------- opcount ---------------- *)
+
+let opcount_cmd =
+  let run file =
+    let problem = or_die (Parser.parse_file file) in
+    let ext = problem.Problem.extents in
+    List.iter
+      (fun (d : Problem.def) ->
+        let naive = Opmin.naive_flops ext d in
+        let counter = ref 0 in
+        let fresh () =
+          incr counter;
+          Printf.sprintf "%s__%d" (Aref.name d.Problem.lhs) !counter
+        in
+        let plan = or_die (Opmin.optimize_def ext ~fresh d) in
+        Format.printf "%a:@.  naive %d flops, optimized %d flops (%.1fx)@."
+          Aref.pp d.Problem.lhs naive plan.Opmin.flops
+          (float_of_int naive /. float_of_int plan.Opmin.flops);
+        List.iter
+          (fun (bd : Problem.def) ->
+            Format.printf "    %s = sum[%a] %s@."
+              (Format.asprintf "%a" Aref.pp bd.Problem.lhs)
+              Index.pp_list bd.Problem.sum
+              (String.concat " * "
+                 (List.map (Format.asprintf "%a" Aref.pp) bd.Problem.terms)))
+          plan.Opmin.defs)
+      problem.Problem.defs
+  in
+  Cmd.v
+    (Cmd.info "opcount" ~doc:"Operation-minimization report per definition.")
+    Term.(const run $ file_arg)
+
+(* ---------------- characterize ---------------- *)
+
+let characterize_cmd =
+  let out_arg =
+    Arg.(value & opt string "rcost.txt" & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Output characterization file.")
+  in
+  let run procs out =
+    let params = Params.itanium_2003 in
+    let grid = or_die (Grid.create ~procs) in
+    (* Measure the simulated machine, as the paper measured its cluster. *)
+    let rcost =
+      Rcost.characterize ~side:(Grid.side grid) ~samples:Rcost.default_samples
+        ~measure:(fun ~axis ~words ->
+          Simulate.measure_rotation params grid ~axis ~words)
+    in
+    or_die (Rcost.save rcost ~path:out);
+    Format.printf "wrote %s (%a)@." out Rcost.pp rcost
+  in
+  Cmd.v
+    (Cmd.info "characterize"
+       ~doc:"Measure the simulated cluster and write an RCost \
+             characterization file.")
+    Term.(const run $ procs_arg $ out_arg)
+
+(* ---------------- validate ---------------- *)
+
+let validate_cmd =
+  let div_arg =
+    Arg.(value & opt int 40 & info [ "scale-div" ] ~docv:"N"
+           ~doc:"Divide every extent by $(docv) (clamped to the grid side) \
+                 before the numeric run, so paper-scale problems validate \
+                 in seconds.")
+  in
+  let run file procs div =
+    let problem, tree = or_die (load_tree file) in
+    let params = Params.itanium_2003 in
+    let grid, rcost = setup procs params in
+    let side = Grid.side grid in
+    let ext =
+      Extents.scale problem.Problem.extents ~factor_num:1 ~factor_den:div
+        ~min_extent:(max 2 side)
+    in
+    Format.printf "validation extents: %a@." Extents.pp ext;
+    let cfg = Search.default_config ~grid ~params ~rcost () in
+    let plan = or_die (Search.optimize cfg ext tree) in
+    let seq = or_die (Tree.to_sequence tree) in
+    let inputs = Sequence.random_inputs ext ~seed:20260705 seq in
+    let reference = Sequence.eval ext ~inputs seq in
+    let unfused = Numeric.run_plan grid ext plan ~inputs in
+    Format.printf "simulated cluster execution matches reference: %b@."
+      (Dense.equal_approx ~tol:1e-9 reference unfused);
+    let fused = Fusedexec.run_plan grid ext plan ~inputs in
+    Format.printf
+      "fused distributed execution matches reference:    %b (%d sliced \
+       rotations, peak %d words/proc)@."
+      (Dense.equal_approx ~tol:1e-9 reference fused.Fusedexec.result)
+      fused.Fusedexec.sliced_rotations fused.Fusedexec.peak_words_per_proc;
+    if procs <= 16 then begin
+      let domains = Multicore.run_plan grid ext plan ~inputs in
+      Format.printf "multicore (%d domains) matches reference:        %b@."
+        procs
+        (Dense.equal_approx ~tol:1e-9 reference domains)
+    end;
+    let timing = Simulate.run_plan params ext plan in
+    Format.printf "replayed communication %.4f s vs model %.4f s@."
+      timing.Simulate.comm_seconds (Plan.comm_cost plan)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Numerically validate the optimized plan for a problem at \
+             scaled-down extents (simulator, fused executor, domains).")
+    Term.(const run $ file_arg $ procs_arg $ div_arg)
+
+(* ---------------- tables ---------------- *)
+
+let ccsd_text =
+  {|# the paper's section-4 example (a CCSD-like four-tensor term)
+extents a=480, b=480, c=480, d=480, e=64, f=64, i=32, j=32, k=32, l=32
+T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+|}
+
+let tables_cmd =
+  let run () =
+    let problem = or_die (Parser.parse ccsd_text) in
+    let tree =
+      or_die
+        (Result.bind (Problem.to_sequence problem) (fun seq ->
+             Result.map Tree.fuse_mult_sum (Tree.of_sequence seq)))
+    in
+    let params = Params.itanium_2003 in
+    List.iter
+      (fun (procs, paper_rows, paper_totals, label) ->
+        let grid, rcost = setup procs params in
+        let cfg = Search.default_config ~grid ~params ~rcost () in
+        let plan =
+          or_die (Search.optimize cfg problem.Problem.extents tree)
+        in
+        Format.printf "=== %s (%d processors) ===@.%a@.%s@.@.%a@.@.%a@.@."
+          label procs Table.pp (Exptables.plan_table plan)
+          (Exptables.totals_line plan) Table.pp
+          (Exptables.comparison_table plan paper_rows)
+          Table.pp
+          (Exptables.totals_comparison plan paper_totals))
+      [
+        (64, Paperref.table1, Paperref.totals1, "Table 1");
+        (16, Paperref.table2, Paperref.totals2, "Table 2");
+      ]
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Reproduce the paper's Tables 1 and 2.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "tce_opt" ~version:"1.0.0"
+      ~doc:"Global communication optimization for tensor contraction \
+            expressions under memory constraints."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            optimize_cmd; codegen_cmd; opcount_cmd; characterize_cmd;
+            validate_cmd; tables_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/ccsd_term.ml: Baselines Exptables Format Grid List Paperref Params Parser Plan Problem Rcost Result Search Simulate Table Tce Tree

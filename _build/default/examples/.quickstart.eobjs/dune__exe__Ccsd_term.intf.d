@@ -1,0 +1,1 @@
+examples/ccsd_term.mli:

@@ -1,0 +1,1 @@
+examples/chain_term.ml: Dense Exptables Extents Format Fusedexec Grid List Opmin Params Parser Problem Rcost Result Search Sequence Table Tce Tree

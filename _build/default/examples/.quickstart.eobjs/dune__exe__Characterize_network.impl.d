@@ -1,0 +1,1 @@
+examples/characterize_network.ml: Filename Float Format Grid List Params Rcost Result Simulate Sys Table Tce

@@ -1,0 +1,1 @@
+examples/fused_execution.ml: Dense Format Fusedexec Grid Index List Option Params Parser Plan Problem Rcost Result Search Sequence Table Tce Tree

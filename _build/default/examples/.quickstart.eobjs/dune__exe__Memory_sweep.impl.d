@@ -1,0 +1,1 @@
+examples/memory_sweep.ml: Format Grid Index List Params Parser Plan Problem Rcost Result Search Table Tce Tree

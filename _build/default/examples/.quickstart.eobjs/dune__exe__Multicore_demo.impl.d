@@ -1,0 +1,1 @@
+examples/multicore_demo.ml: Dense Format Grid Index Interp List Loopnest Memmin Multicore Numeric Option Params Parser Plan Problem Rcost Result Search Sequence Tce Tree

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Exptables Format Grid Index List Loopnest Memmin Opmin Option Params Parser Plan Problem Rcost Result Search Table Tce Tree

@@ -1,0 +1,67 @@
+(* The characterization pipeline (paper section 3.3):
+
+   "We empirically measure RCost for each distribution and each position
+    of the index i, and for several different local sizes on the target
+    parallel computer. [...] once a characterization file is completed, it
+    can be used to predict, by interpolation or extrapolation, the
+    communication times for arbitrary array distributions and sizes."
+
+   Here the target computer is the simulated cluster: we time full Cannon
+   rotations at a ladder of block sizes, write the characterization file,
+   reload it, and answer RCost queries from it — exactly what the
+   optimizer consumes.
+
+     dune exec examples/characterize_network.exe *)
+
+open Tce
+
+let () =
+  let params = Params.itanium_2003 in
+  let grid = Grid.create_exn ~procs:16 in
+  let side = Grid.side grid in
+
+  (* Measure the machine. *)
+  let rcost =
+    Rcost.characterize ~side ~samples:Rcost.default_samples
+      ~measure:(fun ~axis ~words ->
+        Simulate.measure_rotation params grid ~axis ~words)
+  in
+  Format.printf "measured: %a@." Rcost.pp rcost;
+
+  (* Round-trip through the on-disk format. *)
+  let path = Filename.temp_file "tce_rcost" ".txt" in
+  Result.get_ok (Rcost.save rcost ~path);
+  let loaded = Result.get_ok (Rcost.load ~path) in
+  Format.printf "reloaded from %s: %a@.@." path Rcost.pp loaded;
+
+  (* Query at sizes never measured: interpolation and extrapolation. *)
+  let t = Table.create ~headers:[ "block (words)"; "RCost (s)"; "source" ] in
+  let t =
+    List.fold_left
+      (fun t words ->
+        let cost = Rcost.query loaded ~axis:1 ~words in
+        let sampled = List.mem words Rcost.default_samples in
+        Table.add_row t
+          [
+            string_of_int words;
+            Format.asprintf "%.4f" cost;
+            (if sampled then "sample point" else "interpolated");
+          ])
+      t
+      [ 1_000; 30_720; 100_000; 1_000_000; 6_912_000; 50_000_000 ]
+  in
+  Format.printf "%a@.@." Table.pp t;
+
+  (* The queries must agree with fresh measurements (the model is
+     deterministic), including between sample points. *)
+  let worst = ref 0.0 in
+  List.iter
+    (fun words ->
+      let q = Rcost.query loaded ~axis:1 ~words in
+      let m = Simulate.measure_rotation params grid ~axis:1 ~words in
+      worst := Float.max !worst (Float.abs (q -. m) /. m))
+    [ 1_500; 40_000; 123_456; 2_000_000; 10_000_000 ];
+  Format.printf
+    "worst interpolation error against fresh measurements: %.3f%%@."
+    (100.0 *. !worst);
+  Sys.remove path

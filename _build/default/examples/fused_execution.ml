@@ -1,0 +1,83 @@
+(* The memory/communication trade-off, executed for real.
+
+   The optimizer's whole point is that under a memory limit it trades
+   communication for storage by fusing loops. This example does not just
+   model that — it runs the optimized plans with their actual fusion
+   structure on the simulated cluster (reduced per-processor blocks,
+   one sliced Cannon rotation per fused iteration) and reports what was
+   *measured*: the values match the naive reference, the peak footprint
+   falls as the limit tightens, and the number of sliced rotations (the
+   quantity the cost model charges as MsgFactor) rises.
+
+     dune exec examples/fused_execution.exe *)
+
+open Tce
+
+let text =
+  {|
+extents a=12, b=12, c=12, d=12, e=8, f=8, i=6, j=6, k=6, l=6
+T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+|}
+
+let () =
+  let problem = Result.get_ok (Parser.parse text) in
+  let ext = problem.Problem.extents in
+  let seq = Result.get_ok (Problem.to_sequence problem) in
+  let tree = Tree.fuse_mult_sum (Result.get_ok (Tree.of_sequence seq)) in
+  let params = Params.itanium_2003 in
+  let grid = Grid.create_exn ~procs:4 in
+  let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+  let inputs = Sequence.random_inputs ext ~seed:4242 seq in
+  let reference = Sequence.eval ext ~inputs seq in
+
+  let t =
+    Table.create
+      ~headers:
+        [
+          "mem limit (words/node)"; "T1 reduced to"; "model comm (s)";
+          "sliced rotations"; "measured peak (words/proc)"; "values ok";
+        ]
+  in
+  let t =
+    List.fold_left
+      (fun t limit ->
+        let cfg =
+          Search.default_config
+            ?mem_limit_bytes:(Option.map (fun b -> b) limit)
+            ~grid ~params ~rcost ()
+        in
+        let label =
+          match limit with
+          | None -> "unlimited"
+          | Some b -> Format.asprintf "%.0f" (b /. 8.0 *. 1.0)
+        in
+        match Search.optimize cfg ext tree with
+        | Error _ -> Table.add_row t [ label; "infeasible" ]
+        | Ok plan ->
+          let t1 =
+            match Plan.find_row plan "T1" with
+            | Some row ->
+              Format.asprintf "T1[%a]" Index.pp_list row.Plan.reduced_dims
+            | None -> "?"
+          in
+          let st = Fusedexec.run_plan grid ext plan ~inputs in
+          Table.add_row t
+            [
+              label;
+              t1;
+              Format.asprintf "%.3f" (Plan.comm_cost plan);
+              string_of_int st.Fusedexec.sliced_rotations;
+              string_of_int st.Fusedexec.peak_words_per_proc;
+              string_of_bool
+                (Dense.equal_approx ~tol:1e-9 reference st.Fusedexec.result);
+            ])
+      t
+      [ None; Some 200_000.0; Some 150_000.0; Some 130_000.0; Some 120_000.0 ]
+  in
+  Format.printf "%a@.@." Table.pp t;
+  Format.printf
+    "Tightening the limit forces more fusion: the measured footprint \
+     shrinks while the same values keep coming out — bought with more, \
+     smaller messages, exactly the trade the paper quantifies.@."

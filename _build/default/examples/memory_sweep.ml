@@ -1,0 +1,103 @@
+(* The two sweeps implied by the paper's narrative:
+
+   Sweep A — fix the per-node memory at 4 GB and vary the processor count:
+   as the machine shrinks, fusion becomes necessary and the communication
+   share of the runtime rises (the paper's "counter-intuitive trend").
+
+   Sweep B — fix 16 processors and vary the per-node memory limit: the
+   optimizer trades fusion (and hence communication) for memory in a
+   staircase.
+
+     dune exec examples/memory_sweep.exe *)
+
+open Tce
+
+let text =
+  {|
+extents a=480, b=480, c=480, d=480, e=64, f=64, i=32, j=32, k=32, l=32
+T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+|}
+
+let () =
+  let problem = Result.get_ok (Parser.parse text) in
+  let ext = problem.Problem.extents in
+  let seq = Result.get_ok (Problem.to_sequence problem) in
+  let tree = Tree.fuse_mult_sum (Result.get_ok (Tree.of_sequence seq)) in
+  let params = Params.itanium_2003 in
+
+  Format.printf "Sweep A: processors at fixed 4 GB/node@.";
+  let t =
+    Table.create
+      ~headers:
+        [ "procs"; "fused?"; "comm (s)"; "compute (s)"; "comm %"; "mem/node" ]
+  in
+  let t =
+    List.fold_left
+      (fun t procs ->
+        let grid = Grid.create_exn ~procs in
+        let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+        let cfg = Search.default_config ~grid ~params ~rcost () in
+        match Search.optimize cfg ext tree with
+        | Error _ -> Table.add_row t [ string_of_int procs; "infeasible" ]
+        | Ok plan ->
+          let fused =
+            List.exists
+              (fun (s : Plan.step) ->
+                not
+                  (Index.Set.is_empty s.fusion_out
+                  && Index.Set.is_empty s.fusion_left
+                  && Index.Set.is_empty s.fusion_right))
+              plan.Plan.steps
+          in
+          Table.add_row t
+            [
+              string_of_int procs;
+              (if fused then "yes" else "no");
+              Format.asprintf "%.1f" (Plan.comm_cost plan);
+              Format.asprintf "%.1f" (Plan.compute_seconds plan);
+              Format.asprintf "%.1f%%" (100.0 *. Plan.comm_fraction plan);
+              Format.asprintf "%.2f GB" (Plan.mem_per_node_bytes plan /. 1e9);
+            ])
+      t
+      [ 16; 36; 64; 100; 144; 256 ]
+  in
+  Format.printf "%a@.@." Table.pp t;
+
+  Format.printf "Sweep B: per-node memory limit at 16 processors@.";
+  let t =
+    Table.create
+      ~headers:[ "mem limit"; "T1 reduced to"; "comm (s)"; "comm %"; "mem/node" ]
+  in
+  let grid = Grid.create_exn ~procs:16 in
+  let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+  let t =
+    List.fold_left
+      (fun t gb ->
+        let cfg =
+          Search.default_config ~mem_limit_bytes:(gb *. 1e9) ~grid ~params
+            ~rcost ()
+        in
+        match Search.optimize cfg ext tree with
+        | Error _ ->
+          Table.add_row t [ Format.asprintf "%.2f GB" gb; "infeasible" ]
+        | Ok plan ->
+          let t1 =
+            match Plan.find_row plan "T1" with
+            | Some row ->
+              Format.asprintf "T1[%a]" Index.pp_list row.Plan.reduced_dims
+            | None -> "?"
+          in
+          Table.add_row t
+            [
+              Format.asprintf "%.2f GB" gb;
+              t1;
+              Format.asprintf "%.1f" (Plan.comm_cost plan);
+              Format.asprintf "%.1f%%" (100.0 *. Plan.comm_fraction plan);
+              Format.asprintf "%.2f GB" (Plan.mem_per_node_bytes plan /. 1e9);
+            ])
+      t
+      [ 0.5; 0.75; 1.0; 1.5; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0 ]
+  in
+  Format.printf "%a@." Table.pp t

@@ -1,0 +1,49 @@
+(* Quickstart: from a tensor-contraction expression to an optimized
+   parallel plan in a few lines.
+
+     dune exec examples/quickstart.exe
+
+   The expression below is a small two-contraction pipeline. We parse it,
+   let the operation minimizer binarize the four-tensor product, run the
+   memory-constrained communication minimization on a 4x4 grid, and print
+   the resulting plan, its paper-style table, and the fused pseudo-code of
+   the memory-minimal sequential schedule. *)
+
+open Tce
+
+let text =
+  {|
+# extents: two large spaces (m, n) and two small ones (p, q)
+extents m1=96, m2=96, m3=96, n1=48, n2=48, p=16, q=16
+# a single four-tensor product; the engine finds the best binary order
+R[m1,n1,p] = sum[m2,m3,n2,q] W[m1,m2,q] * X[m2,m3,n2] * Y[m3,n1,q] * Z[n2,p]
+|}
+
+let () =
+  let problem = Result.get_ok (Parser.parse text) in
+  (* Operation minimization: rewrite the multi-factor product into an
+     optimal sequence of binary contractions. *)
+  let tree = Result.get_ok (Opmin.optimize_to_tree problem) in
+  Format.printf "operator tree after operation minimization:@.%a@.@." Tree.pp
+    tree;
+
+  (* Machine: the built-in Itanium-2003 cluster model, 16 processors. *)
+  let params = Params.itanium_2003 in
+  let grid = Grid.create_exn ~procs:16 in
+  let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+  let cfg = Search.default_config ~grid ~params ~rcost () in
+
+  match Search.optimize cfg problem.Problem.extents tree with
+  | Error msg -> Format.printf "optimization failed: %s@." msg
+  | Ok plan ->
+    Format.printf "%a@.@.%a@.%s@.@." Plan.pp plan Table.pp
+      (Exptables.plan_table plan)
+      (Exptables.totals_line plan);
+    (* The sequential memory-minimal fusion, as generated code. *)
+    let mm = Memmin.minimize problem.Problem.extents tree in
+    let fusions name =
+      Index.set_of_list
+        (Option.value ~default:[] (List.assoc_opt name mm.Memmin.edge_fusions))
+    in
+    let prog = Result.get_ok (Loopnest.generate tree ~fusions) in
+    Format.printf "memory-minimal fused code:@.%a@." Loopnest.pp prog

@@ -1,0 +1,1 @@
+lib/cannon/contraction.ml: Aref Extents Format Formula Import Index List Tree

@@ -1,0 +1,1 @@
+lib/cannon/contraction.mli: Aref Extents Format Formula Import Index Tree

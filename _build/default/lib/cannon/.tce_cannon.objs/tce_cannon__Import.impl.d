@@ -1,0 +1,1 @@
+lib/cannon/import.ml: Tce_expr Tce_grid Tce_index Tce_memmodel Tce_netmodel Tce_util

@@ -1,0 +1,1 @@
+lib/cannon/schedule.ml: Array Import Variant

@@ -1,0 +1,1 @@
+lib/cannon/schedule.mli: Import Variant

@@ -1,0 +1,1 @@
+lib/cannon/variant.ml: Aref Contraction Dist Format Import Index List Listx Printf

@@ -1,0 +1,1 @@
+lib/cannon/variant.mli: Aref Contraction Dist Format Import Index

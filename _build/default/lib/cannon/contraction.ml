@@ -1,0 +1,75 @@
+open! Import
+
+type t = {
+  out : Aref.t;
+  left : Aref.t;
+  right : Aref.t;
+  i_set : Index.t list;
+  j_set : Index.t list;
+  k_set : Index.t list;
+}
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let make ~out ~left ~right ~sum =
+  let il = Aref.index_set left
+  and ir = Aref.index_set right
+  and io = Aref.index_set out
+  and ks = Index.set_of_list sum in
+  let shared_out = Index.Set.inter (Index.Set.inter il ir) io in
+  if not (Index.Set.is_empty shared_out) then
+    err
+      "%a = %a * %a: index %s appears in both operands and the output \
+       (Hadamard-style); outside the generalized Cannon template"
+      Aref.pp out Aref.pp left Aref.pp right
+      (Index.name (Index.Set.choose shared_out))
+  else if not (Index.Set.subset ks (Index.Set.inter il ir)) then
+    err "%a: a summation index is missing from an operand" Aref.pp out
+  else if
+    not (Index.Set.equal io (Index.Set.diff (Index.Set.union il ir) ks))
+  then err "%a: output indices must be the non-summed operand indices" Aref.pp out
+  else begin
+    let i_set = List.filter (fun i -> Index.Set.mem i il) (Aref.indices out) in
+    let j_set = List.filter (fun i -> Index.Set.mem i ir) (Aref.indices out) in
+    if i_set = [] then
+      err "%a: empty I set (the left operand contributes no output index)"
+        Aref.pp out
+    else if j_set = [] then
+      err "%a: empty J set (the right operand contributes no output index)"
+        Aref.pp out
+    else if sum = [] then err "%a: empty summation set" Aref.pp out
+    else Ok { out; left; right; i_set; j_set; k_set = sum }
+  end
+
+let of_formula f =
+  match Formula.rhs f with
+  | Formula.Contract (k, x, y) ->
+    make ~out:(Formula.lhs f) ~left:x ~right:y ~sum:k
+  | Formula.Mult _ ->
+    err "%a: multiplication without summation is not a Cannon contraction"
+      Aref.pp (Formula.lhs f)
+  | Formula.Sum _ ->
+    err "%a: unary summation is not a Cannon contraction" Aref.pp
+      (Formula.lhs f)
+
+let of_tree_node node =
+  match node with
+  | Tree.Contract (a, k, l, r) ->
+    make ~out:a ~left:(Tree.aref l) ~right:(Tree.aref r) ~sum:k
+  | Tree.Leaf a -> err "%a: a leaf is not a contraction" Aref.pp a
+  | Tree.Mult (a, _, _) ->
+    err "%a: multiplication without summation is not a Cannon contraction"
+      Aref.pp a
+  | Tree.Sum (a, _, _) ->
+    err "%a: unary summation is not a Cannon contraction" Aref.pp a
+
+let flops ext t =
+  2 * Extents.size_of ext (t.i_set @ t.j_set @ t.k_set)
+
+let pattern_count t =
+  3 * List.length t.i_set * List.length t.j_set * List.length t.k_set
+
+let pp ppf t =
+  Format.fprintf ppf "%a = sum[%a] %a * %a  (I={%a} J={%a} K={%a})" Aref.pp
+    t.out Index.pp_list t.k_set Aref.pp t.left Aref.pp t.right Index.pp_list
+    t.i_set Index.pp_list t.j_set Index.pp_list t.k_set

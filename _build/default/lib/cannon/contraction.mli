@@ -1,0 +1,41 @@
+(** Contractions as generalized matrix multiplications (paper §3.1).
+
+    A tensor contraction [C = Σ_K A·B] is characterized by three disjoint
+    index collections: I (in [A] and [C]), J (in [B] and [C]) and K (the
+    summation indices, in [A] and [B]). This is the "special property of
+    tensor contractions": every output index appears in exactly one
+    operand, every summation index in both. *)
+
+open! Import
+
+type t = private {
+  out : Aref.t;
+  left : Aref.t;  (** the A operand *)
+  right : Aref.t;  (** the B operand *)
+  i_set : Index.t list;  (** in [left] and [out], in [out] order *)
+  j_set : Index.t list;  (** in [right] and [out], in [out] order *)
+  k_set : Index.t list;  (** summation indices *)
+}
+
+val make :
+  out:Aref.t -> left:Aref.t -> right:Aref.t -> sum:Index.t list
+  -> (t, string) result
+(** Classifies the indices, rejecting shapes outside the Cannon template:
+    an output index occurring in both operands (Hadamard), a summation
+    index missing from an operand, or an empty I, J or K set. *)
+
+val of_formula : Formula.t -> (t, string) result
+(** From a [Contract] formula; [Mult] and [Sum] formulas are rejected with
+    an explanatory message. *)
+
+val of_tree_node : Tree.t -> (t, string) result
+(** From a [Tree.Contract] node. *)
+
+val flops : Extents.t -> t -> int
+(** [2·|I||J||K|] multiply-adds. *)
+
+val pattern_count : t -> int
+(** The number of distinct communication patterns for this contraction:
+    [3 · NI · NJ · NK] (paper §3.1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+(* Aliases for lower-layer libraries; opened by every module in this
+   library. *)
+module Ints = Tce_util.Ints
+module Listx = Tce_util.Listx
+module Index = Tce_index.Index
+module Extents = Tce_index.Extents
+module Aref = Tce_expr.Aref
+module Formula = Tce_expr.Formula
+module Tree = Tce_expr.Tree
+module Grid = Tce_grid.Grid
+module Dist = Tce_grid.Dist
+module Eqs = Tce_memmodel.Eqs
+module Rcost = Tce_netmodel.Rcost

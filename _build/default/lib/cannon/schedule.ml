@@ -1,0 +1,63 @@
+open! Import
+
+type t = { variant : Variant.t; side : int }
+
+let make variant ~side =
+  if side <= 0 then invalid_arg "Schedule.make: side must be positive";
+  { variant; side }
+
+let steps t = t.side
+
+let block_at t role ~step ~z1 ~z2 =
+  let s = t.side in
+  if step < 0 || step >= s then invalid_arg "Schedule.block_at: bad step";
+  if z1 < 0 || z1 >= s || z2 < 0 || z2 >= s then
+    invalid_arg "Schedule.block_at: processor out of range";
+  let q = (z1 + z2 + step) mod s in
+  match (t.variant.Variant.rot, role) with
+  | Variant.Rot_k, Variant.Out -> (z1, z2)
+  | Variant.Rot_k, Variant.Left -> (z1, q)
+  | Variant.Rot_k, Variant.Right -> (q, z2)
+  | Variant.Rot_i, Variant.Right -> (z1, z2)
+  | Variant.Rot_i, Variant.Left -> (z1, q)
+  | Variant.Rot_i, Variant.Out -> (q, z2)
+  | Variant.Rot_j, Variant.Left -> (z1, z2)
+  | Variant.Rot_j, Variant.Right -> (q, z2)
+  | Variant.Rot_j, Variant.Out -> (z1, q)
+
+let holder_of t role ~step ~b1 ~b2 =
+  let s = t.side in
+  if b1 < 0 || b1 >= s || b2 < 0 || b2 >= s then
+    invalid_arg "Schedule.holder_of: block out of range";
+  let wrap v = ((v mod s) + s) mod s in
+  (* Invert the affine maps of [block_at]. *)
+  match (t.variant.Variant.rot, role) with
+  | Variant.Rot_k, Variant.Out
+  | Variant.Rot_i, Variant.Right
+  | Variant.Rot_j, Variant.Left -> (b1, b2)
+  | Variant.Rot_k, Variant.Left | Variant.Rot_i, Variant.Left ->
+    (* (z1, z1+z2+t) = (b1, b2)  =>  z2 = b2 - b1 - t *)
+    (b1, wrap (b2 - b1 - step))
+  | Variant.Rot_k, Variant.Right | Variant.Rot_i, Variant.Out ->
+    (* (z1+z2+t, z2) = (b1, b2)  =>  z1 = b1 - b2 - t *)
+    (wrap (b1 - b2 - step), b2)
+  | Variant.Rot_j, Variant.Right -> (wrap (b1 - b2 - step), b2)
+  | Variant.Rot_j, Variant.Out -> (b1, wrap (b2 - b1 - step))
+
+let send_axis t role = Variant.axis_of t.variant role
+
+let comm_rounds t role =
+  match send_axis t role with None -> 0 | Some _ -> t.side
+
+let is_permutation t role ~step =
+  let s = t.side in
+  let seen = Array.make_matrix s s false in
+  let ok = ref true in
+  for z1 = 0 to s - 1 do
+    for z2 = 0 to s - 1 do
+      let b1, b2 = block_at t role ~step ~z1 ~z2 in
+      if seen.(b1).(b2) then ok := false;
+      seen.(b1).(b2) <- true
+    done
+  done;
+  !ok

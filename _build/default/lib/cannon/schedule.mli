@@ -1,0 +1,43 @@
+(** Executable block placement for a Cannon variant.
+
+    A schedule describes, for every multiply-step [t ∈ 0..side-1] and every
+    processor [(z1, z2)], which block of each array the processor holds.
+    Placements are affine torus maps: step 0 is a skew of the home
+    distribution (one communication round), and each later step shifts the
+    rotated arrays by −1 along their rotation axes (one round each). Hence
+    a rotated array costs exactly [side] communication rounds per full
+    rotation, matching the cost model; the fixed array never moves.
+
+    Block [(b1, b2)] of a role means: the slab owning chunk [b1] of the
+    index at position 1 of the role's distribution and chunk [b2] of the
+    index at position 2 (chunks per {!Grid.myrange}); all other dimensions
+    are whole. Home placement is block [(b1, b2)] on processor
+    [(b1, b2)]. *)
+
+open! Import
+
+type t = private { variant : Variant.t; side : int }
+
+val make : Variant.t -> side:int -> t
+(** [side] must be positive. *)
+
+val steps : t -> int
+(** Number of multiply-steps ( = [side]). *)
+
+val block_at : t -> Variant.role -> step:int -> z1:int -> z2:int -> int * int
+(** Block coordinates held by processor [(z1, z2)] at the given step. *)
+
+val holder_of : t -> Variant.role -> step:int -> b1:int -> b2:int -> int * int
+(** Inverse of {!block_at}: the processor holding a block at a step. *)
+
+val send_axis : t -> Variant.role -> int option
+(** Axis along which the role's blocks move between steps ([None] for the
+    fixed array). Movement is one hop toward the lower coordinate. *)
+
+val comm_rounds : t -> Variant.role -> int
+(** Communication rounds the role costs over the whole schedule: [side]
+    when rotated, 0 when fixed. *)
+
+val is_permutation : t -> Variant.role -> step:int -> bool
+(** Sanity check used by tests: the placement at a step is a bijection
+    between processors and blocks. *)

@@ -1,0 +1,81 @@
+open! Import
+
+type role = Out | Left | Right
+
+let pp_role ppf = function
+  | Out -> Format.pp_print_string ppf "out"
+  | Left -> Format.pp_print_string ppf "left"
+  | Right -> Format.pp_print_string ppf "right"
+
+let role_equal (a : role) b = a = b
+
+type rot = Rot_i | Rot_j | Rot_k
+
+type t = {
+  contraction : Contraction.t;
+  i : Index.t;
+  j : Index.t;
+  k : Index.t;
+  rot : rot;
+}
+
+let make c ~i ~j ~k ~rot =
+  let mem x xs = List.exists (Index.equal x) xs in
+  if not (mem i c.Contraction.i_set) then
+    Error (Printf.sprintf "variant: %s is not in I" (Index.name i))
+  else if not (mem j c.Contraction.j_set) then
+    Error (Printf.sprintf "variant: %s is not in J" (Index.name j))
+  else if not (mem k c.Contraction.k_set) then
+    Error (Printf.sprintf "variant: %s is not in K" (Index.name k))
+  else Ok { contraction = c; i; j; k; rot }
+
+let all c =
+  List.concat_map
+    (fun ((i, j, k) : Index.t * Index.t * Index.t) ->
+      List.map
+        (fun rot -> { contraction = c; i; j; k; rot })
+        [ Rot_i; Rot_j; Rot_k ])
+    (Listx.cartesian3 c.Contraction.i_set c.Contraction.j_set
+       c.Contraction.k_set)
+
+let rot_index t =
+  match t.rot with Rot_i -> t.i | Rot_j -> t.j | Rot_k -> t.k
+
+let fixed_role t =
+  match t.rot with Rot_i -> Right | Rot_j -> Left | Rot_k -> Out
+
+let rotated t =
+  match t.rot with
+  | Rot_k -> [ (Left, 2); (Right, 1) ]
+  | Rot_i -> [ (Left, 2); (Out, 1) ]
+  | Rot_j -> [ (Right, 1); (Out, 2) ]
+
+let rotates t role = List.exists (fun (r, _) -> role_equal r role) (rotated t)
+
+let axis_of t role =
+  List.assoc_opt role
+    (List.map (fun (r, a) -> (r, a)) (rotated t))
+
+let dist_of t role =
+  match (t.rot, role) with
+  | Rot_k, Out -> Dist.pair t.i t.j
+  | Rot_k, Left -> Dist.pair t.i t.k
+  | Rot_k, Right -> Dist.pair t.k t.j
+  | Rot_i, Out -> Dist.pair t.i t.j
+  | Rot_i, Left -> Dist.pair t.k t.i
+  | Rot_i, Right -> Dist.pair t.k t.j
+  | Rot_j, Out -> Dist.pair t.i t.j
+  | Rot_j, Left -> Dist.pair t.i t.k
+  | Rot_j, Right -> Dist.pair t.j t.k
+
+let aref_of t = function
+  | Out -> t.contraction.Contraction.out
+  | Left -> t.contraction.Contraction.left
+  | Right -> t.contraction.Contraction.right
+
+let array_dims t role = Aref.indices (aref_of t role)
+
+let pp ppf t =
+  Format.fprintf ppf "triple (%a,%a,%a) rotate %a: out %a, left %a, right %a"
+    Index.pp t.i Index.pp t.j Index.pp t.k Index.pp (rot_index t) Dist.pp
+    (dist_of t Out) Dist.pp (dist_of t Left) Dist.pp (dist_of t Right)

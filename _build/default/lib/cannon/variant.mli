@@ -1,0 +1,62 @@
+(** Communication variants of the generalized Cannon algorithm (§3.1).
+
+    A variant picks one index from each of I, J, K — the triple that is
+    actually block-distributed on the two grid dimensions — and a rotation
+    index [r ∈ {i, j, k}]. The two arrays containing [r] rotate; the third
+    stays fixed, its two distributed indices pinning the grid. That gives
+    the paper's [3·NI·NJ·NK] distinct communication patterns.
+
+    The concrete pair positions below are the unique (up to global grid
+    transposition) assignments for which alignment and rotation are pure
+    torus shifts:
+
+    - rotate by [k] (fixed output):   C ⟨i,j⟩,  A ⟨i,k⟩ axis 2,  B ⟨k,j⟩ axis 1
+    - rotate by [i] (fixed right):    B ⟨k,j⟩,  A ⟨k,i⟩ axis 2,  C ⟨i,j⟩ axis 1
+    - rotate by [j] (fixed left):     A ⟨i,k⟩,  B ⟨j,k⟩ axis 1,  C ⟨i,j⟩ axis 2 *)
+
+open! Import
+
+type role = Out | Left | Right
+
+val pp_role : Format.formatter -> role -> unit
+val role_equal : role -> role -> bool
+
+type rot = Rot_i | Rot_j | Rot_k
+
+type t = private {
+  contraction : Contraction.t;
+  i : Index.t;
+  j : Index.t;
+  k : Index.t;
+  rot : rot;
+}
+
+val make :
+  Contraction.t -> i:Index.t -> j:Index.t -> k:Index.t -> rot:rot
+  -> (t, string) result
+(** The indices must come from the respective sets of the contraction. *)
+
+val all : Contraction.t -> t list
+(** Every variant; length is [Contraction.pattern_count]. *)
+
+val rot_index : t -> Index.t
+
+val fixed_role : t -> role
+
+val rotated : t -> (role * int) list
+(** The two rotated arrays with the processor axis each rotates along. *)
+
+val rotates : t -> role -> bool
+
+val axis_of : t -> role -> int option
+(** Rotation axis of a role, [None] for the fixed one. *)
+
+val dist_of : t -> role -> Dist.t
+(** The (ordered) distribution the variant requires of each array. *)
+
+val aref_of : t -> role -> Aref.t
+
+val array_dims : t -> role -> Index.t list
+(** Dimension indices of the array in that role. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/codegen/import.ml: Tce_expr Tce_fusion Tce_index Tce_tensor Tce_util

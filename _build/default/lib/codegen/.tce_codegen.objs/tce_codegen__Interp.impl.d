@@ -1,0 +1,1 @@
+lib/codegen/interp.ml: Dense Extents Format Hashtbl Import Index List Loopnest Printf Result

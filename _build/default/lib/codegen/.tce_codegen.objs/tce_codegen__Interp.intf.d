@@ -1,0 +1,1 @@
+lib/codegen/interp.mli: Dense Extents Import Loopnest

@@ -1,0 +1,1 @@
+lib/codegen/loopnest.ml: Aref Extents Format Fusionset Hashtbl Import Index Ints List Result String Tree

@@ -1,0 +1,1 @@
+lib/codegen/loopnest.mli: Extents Format Import Index Tree

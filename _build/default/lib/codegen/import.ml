@@ -1,0 +1,11 @@
+(* Aliases for lower-layer libraries; opened by every module in this
+   library. *)
+module Ints = Tce_util.Ints
+module Listx = Tce_util.Listx
+module Units = Tce_util.Units
+module Index = Tce_index.Index
+module Extents = Tce_index.Extents
+module Dense = Tce_tensor.Dense
+module Aref = Tce_expr.Aref
+module Tree = Tce_expr.Tree
+module Fusionset = Tce_fusion.Fusionset

@@ -1,0 +1,90 @@
+open! Import
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let run ext (p : Loopnest.program) ~inputs =
+  let ( let* ) = Result.bind in
+  let store : (string, Dense.t) Hashtbl.t = Hashtbl.create 16 in
+  let* output_name =
+    List.fold_left
+      (fun acc ((term : Loopnest.term), kind) ->
+        let* out = acc in
+        match kind with
+        | Loopnest.Input -> begin
+          match List.assoc_opt term.array inputs with
+          | None -> err "missing input %s" term.array
+          | Some d ->
+            let want = List.sort Index.compare term.indices in
+            let got = List.sort Index.compare (Dense.labels d) in
+            if not (List.equal Index.equal want got) then
+              err "input %s has labels {%a}, expected {%a}" term.array
+                Index.pp_list got Index.pp_list want
+            else if
+              List.exists
+                (fun i -> Dense.extent_of d i <> Extents.extent ext i)
+                want
+            then err "input %s has extents inconsistent with the environment"
+                   term.array
+            else begin
+              Hashtbl.replace store term.array d;
+              Ok out
+            end
+        end
+        | Loopnest.Temporary | Loopnest.Output ->
+          let dims =
+            List.map (fun i -> (i, Extents.extent ext i)) term.indices
+          in
+          Hashtbl.replace store term.array (Dense.create dims);
+          Ok (if kind = Loopnest.Output then Some term.array else out))
+      (Ok None) p.decls
+  in
+  let* output_name =
+    match output_name with
+    | Some n -> Ok n
+    | None -> Error "program declares no output"
+  in
+  let lookup name =
+    match Hashtbl.find_opt store name with
+    | Some d -> d
+    | None -> invalid_arg ("Interp: undeclared array " ^ name)
+  in
+  let coord_of env (term : Loopnest.term) =
+    List.fold_left
+      (fun m i ->
+        match Index.Map.find_opt i env with
+        | Some v -> Index.Map.add i v m
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Interp: loop %s not open at access to %s"
+               (Index.name i) term.array))
+      Index.Map.empty term.indices
+  in
+  let rec exec env stmt =
+    match stmt with
+    | Loopnest.Loop (i, body) ->
+      let n = Extents.extent ext i in
+      for v = 0 to n - 1 do
+        let env' = Index.Map.add i v env in
+        List.iter (exec env') body
+      done
+    | Loopnest.Zero term ->
+      (* Zero only the currently addressed slice: with reduced storage the
+         whole (small) array is the slice. *)
+      Dense.fill (lookup term.array) 0.0
+    | Loopnest.Update { lhs; factors } ->
+      let value =
+        List.fold_left
+          (fun acc (f : Loopnest.term) ->
+            acc *. Dense.get (lookup f.array) (coord_of env f))
+          1.0 factors
+      in
+      Dense.add_at (lookup lhs.array) (coord_of env lhs) value
+  in
+  match List.iter (exec Index.Map.empty) p.body with
+  | () -> Ok (lookup output_name)
+  | exception Invalid_argument msg -> Error msg
+
+let run_exn ext p ~inputs =
+  match run ext p ~inputs with
+  | Ok d -> d
+  | Error msg -> invalid_arg ("Interp.run_exn: " ^ msg)

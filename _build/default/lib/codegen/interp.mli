@@ -1,0 +1,18 @@
+(** Reference interpreter for generated loop nests.
+
+    Executes a [Loopnest.program] elementwise with the {e reduced} storage
+    it declares — temporaries really are allocated at their fused sizes, so
+    running the fused program and matching the unfused reference is direct
+    evidence that the fusion transformation preserves values while shrinking
+    memory. Slow by design; use validation-scale extents. *)
+
+open! Import
+
+val run :
+  Extents.t -> Loopnest.program -> inputs:(string * Dense.t) list
+  -> (Dense.t, string) result
+(** Execute the program and return the output array. Inputs are matched
+    against the declared input shapes (label sets and extents). *)
+
+val run_exn :
+  Extents.t -> Loopnest.program -> inputs:(string * Dense.t) list -> Dense.t

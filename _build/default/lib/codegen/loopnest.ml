@@ -1,0 +1,257 @@
+open! Import
+
+type term = { array : string; indices : Index.t list }
+
+type stmt =
+  | Loop of Index.t * stmt list
+  | Zero of term
+  | Update of { lhs : term; factors : term list }
+
+type decl_kind = Input | Temporary | Output
+
+type program = { decls : (term * decl_kind) list; body : stmt list }
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let term_of_node node ~fused =
+  let aref = Tree.aref node in
+  { array = Aref.name aref; indices = Fusionset.reduced_dims aref ~fused }
+
+(* One placement unit: a statement (with its private inner loops already
+   wrapped) to be placed at band depth [depth]. [zero_depth] is set on the
+   producing Update segments and carries the fusion of the produced array,
+   so the initialization can be inserted afterwards. *)
+type segment = {
+  depth : Index.Set.t;
+  stmt : stmt;
+  zero : (Index.Set.t * term) option;
+}
+
+let wrap_loops indices stmt =
+  List.fold_right (fun i body -> Loop (i, [ body ])) indices stmt
+
+let rec segments fusions ~is_root node =
+  let ( let* ) = Result.bind in
+  match node with
+  | Tree.Leaf _ -> Ok []
+  | _ ->
+    let f_u = if is_root then Index.Set.empty else fusions (Tree.name node) in
+    let kids = Tree.children node in
+    let kid_fusions =
+      List.map
+        (fun c ->
+          match c with Tree.Leaf _ -> Index.Set.empty | _ -> fusions (Tree.name c))
+        kids
+    in
+    let* () =
+      if Fusionset.chain (f_u :: kid_fusions) then Ok ()
+      else
+        err "fusions incident to %s do not form a chain" (Tree.name node)
+    in
+    let* () =
+      List.fold_left2
+        (fun acc c fc ->
+          let* () = acc in
+          if Index.Set.subset fc (Fusionset.fusible ~child:c ~parent:node)
+          then Ok ()
+          else
+            err "fusion on edge %s -> %s is not fusible" (Tree.name c)
+              (Tree.name node))
+        (Ok ()) kids kid_fusions
+    in
+    let depth_stmt =
+      List.fold_left Index.Set.union f_u kid_fusions
+    in
+    let lhs = term_of_node node ~fused:f_u in
+    let factors =
+      List.map2
+        (fun c fc ->
+          match c with
+          | Tree.Leaf a -> { array = Aref.name a; indices = Aref.indices a }
+          | _ -> term_of_node c ~fused:fc)
+        kids kid_fusions
+    in
+    let inner =
+      List.filter
+        (fun i -> not (Index.Set.mem i depth_stmt))
+        (Index.Set.elements (Tree.loop_indices node))
+    in
+    let update = wrap_loops inner (Update { lhs; factors }) in
+    (* A fused producer must be evaluated together with its consumer loop
+       band; emitting shallower-fused children first keeps every band
+       contiguous (independent children, so reordering is safe). *)
+    let ordered_kids =
+      List.stable_sort
+        (fun (_, f1) (_, f2) ->
+          compare (Index.Set.cardinal f1) (Index.Set.cardinal f2))
+        (List.combine kids kid_fusions)
+    in
+    let* kid_segments =
+      List.fold_left
+        (fun acc (c, _) ->
+          let* segs = acc in
+          let* s = segments fusions ~is_root:false c in
+          Ok (segs @ s))
+        (Ok []) ordered_kids
+    in
+    Ok
+      (kid_segments
+      @ [ { depth = depth_stmt; stmt = update; zero = Some (f_u, lhs) } ])
+
+(* Insert each array's initialization at its fusion depth: immediately
+   before the producing segment, bubbled left past contiguous segments of
+   deeper-or-equal depth so that producer-consumer pairs stay in one loop
+   band (cf. Fig. 2(c), where S = 0 floats to the top while T1f = 0 sits
+   just inside the d,f loops). *)
+let insert_zeros segs =
+  let insert done_rev (seg : segment) =
+    match seg.zero with
+    | None -> seg :: done_rev
+    | Some (f_v, term) ->
+      let zseg = { depth = f_v; stmt = Zero term; zero = None } in
+      let rec bubble skipped = function
+        | s :: rest when Index.Set.subset f_v s.depth ->
+          bubble (s :: skipped) rest
+        | rest -> List.rev_append skipped (zseg :: rest)
+      in
+      seg :: bubble [] done_rev
+  in
+  List.rev (List.fold_left insert [] segs)
+
+(* Assemble floating segments into one imperfect nest: keep the longest
+   open-loop prefix contained in a segment's depth, close the rest, open
+   what is missing. *)
+let assemble segs =
+  (* context: innermost-first stack of (loop index, reversed statements). *)
+  let ctx : (Index.t * stmt list ref) list ref = ref [] in
+  let top : stmt list ref = ref [] in
+  let place stmt =
+    match !ctx with
+    | [] -> top := stmt :: !top
+    | (_, stmts) :: _ -> stmts := stmt :: !stmts
+  in
+  let close_one () =
+    match !ctx with
+    | [] -> assert false
+    | (i, stmts) :: rest ->
+      let loop = Loop (i, List.rev !stmts) in
+      ctx := rest;
+      place loop
+  in
+  let open_one i = ctx := (i, ref []) :: !ctx in
+  List.iter
+    (fun seg ->
+      (* How much of the open stack (outermost-first) lies in seg.depth? *)
+      let open_outer = List.rev_map fst !ctx in
+      let rec keep_len acc = function
+        | i :: rest when Index.Set.mem i seg.depth -> keep_len (acc + 1) rest
+        | _ -> acc
+      in
+      let keep = keep_len 0 open_outer in
+      while List.length !ctx > keep do
+        close_one ()
+      done;
+      let still_open = Index.set_of_list (List.map fst !ctx) in
+      let to_open =
+        List.filter
+          (fun i -> not (Index.Set.mem i still_open))
+          (Index.Set.elements seg.depth)
+      in
+      List.iter open_one to_open;
+      place seg.stmt)
+    segs;
+  while !ctx <> [] do
+    close_one ()
+  done;
+  List.rev !top
+
+let decls_of fusions tree =
+  let seen = Hashtbl.create 16 in
+  let push acc entry =
+    let name = (fst entry).array in
+    if Hashtbl.mem seen name then acc
+    else begin
+      Hashtbl.add seen name ();
+      entry :: acc
+    end
+  in
+  let inputs =
+    List.fold_left
+      (fun acc a ->
+        push acc ({ array = Aref.name a; indices = Aref.indices a }, Input))
+      []
+      (Tree.leaves tree)
+  in
+  let internals =
+    List.fold_left
+      (fun acc node ->
+        let is_root = Tree.name node = Tree.name tree in
+        let fused =
+          if is_root then Index.Set.empty else fusions (Tree.name node)
+        in
+        push acc
+          (term_of_node node ~fused, if is_root then Output else Temporary))
+      [] (Tree.internal_nodes tree)
+  in
+  List.rev inputs @ List.rev internals
+
+let generate tree ~fusions =
+  Result.map
+    (fun segs ->
+      { decls = decls_of fusions tree; body = assemble (insert_zeros segs) })
+    (segments fusions ~is_root:true tree)
+
+let generate_unfused tree =
+  generate tree ~fusions:(fun _ -> Index.Set.empty)
+
+let words_of ext term = Extents.size_of ext term.indices
+
+let storage_words ext p =
+  Ints.sum (List.map (fun (t, _) -> words_of ext t) p.decls)
+
+let temporary_words ext p =
+  Ints.sum
+    (List.filter_map
+       (fun (t, kind) ->
+         match kind with Temporary -> Some (words_of ext t) | _ -> None)
+       p.decls)
+
+let pp_term ppf t =
+  if t.indices = [] then Format.pp_print_string ppf t.array
+  else Format.fprintf ppf "%s[%a]" t.array Index.pp_list t.indices
+
+let pp ppf p =
+  let pad depth = String.make (2 * depth) ' ' in
+  let rec go depth stmt =
+    match stmt with
+    | Loop (i, body) -> begin
+      (* Collapse directly nested single-statement loops for display:
+         [for b { for c { x } }] prints as [for b,c]. *)
+      let rec collect acc s =
+        match s with
+        | Loop (j, [ (Loop _ as inner) ]) -> collect (j :: acc) inner
+        | Loop (j, body) -> (List.rev (j :: acc), body)
+        | s -> (List.rev acc, [ s ])
+      in
+      let band, innermost = collect [] (Loop (i, body)) in
+      Format.fprintf ppf "%sfor %a@," (pad depth) Index.pp_list band;
+      List.iter (go (depth + 1)) innermost
+    end
+    | Zero t -> Format.fprintf ppf "%s%a = 0@," (pad depth) pp_term t
+    | Update { lhs; factors } ->
+      Format.fprintf ppf "%s%a += %a@," (pad depth) pp_term lhs
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf " * ")
+           pp_term)
+        factors
+  in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (t, kind) ->
+      match kind with
+      | Temporary ->
+        Format.fprintf ppf "# temporary %a@," pp_term t
+      | Input | Output -> ())
+    p.decls;
+  List.iter (go 0) p.body;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,57 @@
+(** Fused imperfectly-nested loop code (paper Fig. 2(b)/(c)).
+
+    Given an operator tree and a fusion set per edge (chain-legal at every
+    node), this module produces the fused loop structure: one band of
+    common outer loops per fusion chain, array initializations at their
+    fusion depth, and each node's statement under its remaining loops.
+    Intermediates are declared with their fusion-reduced dimensions — the
+    whole point of the transformation. With all fusions empty it produces
+    the direct unfused code of Fig. 2(b); with the memory-minimal fusions
+    it reproduces Fig. 2(c) (T1 reduced to a scalar, T2 to two
+    dimensions). *)
+
+open! Import
+
+(** An array access/storage shape: the stored (fusion-reduced) dimensions
+    in order. *)
+type term = { array : string; indices : Index.t list }
+
+type stmt =
+  | Loop of Index.t * stmt list
+  | Zero of term  (** reset the (reduced) array *)
+  | Update of { lhs : term; factors : term list }
+      (** [lhs(...) += Π factors(...)] — one factor for a summation node,
+          two for multiplication/contraction nodes *)
+
+type decl_kind = Input | Temporary | Output
+
+type program = {
+  decls : (term * decl_kind) list;  (** in first-use order *)
+  body : stmt list;
+}
+
+val generate :
+  Tree.t -> fusions:(string -> Index.Set.t) -> (program, string) result
+(** [fusions name] gives the fused indices on the edge from array [name] to
+    its consumer (the root is forced to [∅]). Fails when the sets are not
+    chain-legal or not fusible on their edge. *)
+
+val generate_unfused : Tree.t -> (program, string) result
+(** All-empty fusions: the direct implementation. *)
+
+val storage_words : Extents.t -> program -> int
+(** Total words of every declared array (inputs at full size, temporaries
+    reduced). *)
+
+val temporary_words : Extents.t -> program -> int
+(** Words of the temporaries only. *)
+
+val pp : Format.formatter -> program -> unit
+(** Pseudo-code rendering in the paper's style, e.g.
+    {v
+    S = 0
+    for b, c
+      T2f = 0
+      for d, f
+        ...
+    v} *)

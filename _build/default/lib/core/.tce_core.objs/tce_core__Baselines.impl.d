@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Import Search Tce_fusion

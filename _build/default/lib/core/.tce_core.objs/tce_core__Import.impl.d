@@ -1,0 +1,1 @@
+lib/core/import.ml: Tce_cannon Tce_expr Tce_fusion Tce_grid Tce_index Tce_memmodel Tce_netmodel Tce_util

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Aref Contraction Dist Eqs Format Fusionset Grid Hashtbl Import Index List Memacct Params Printf String Units Variant

@@ -1,0 +1,1 @@
+lib/core/plan.mli: Aref Contraction Dist Extents Format Grid Import Index Memacct Params Variant

@@ -1,0 +1,1 @@
+lib/core/search.ml: Aref Contraction Dist Eqs Extents Float Format Fun Fusionset Grid Hashtbl Import Index List Listx Memacct Option Params Plan Printf Rcost Result String Tree Units Variant

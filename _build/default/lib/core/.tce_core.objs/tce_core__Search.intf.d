@@ -1,0 +1,1 @@
+lib/core/search.mli: Extents Grid Import Index Params Plan Rcost Tree

@@ -1,0 +1,13 @@
+open! Import
+module Memmin = Tce_fusion.Memmin
+
+let fusion_free cfg ext tree =
+  Search.optimize { cfg with Search.fusion_mode = Search.No_fusion } ext tree
+
+let memory_minimal cfg ext tree =
+  Search.optimize_min_memory
+    { cfg with Search.fusion_mode = Search.Enumerate }
+    ext tree
+
+let integrated cfg ext tree =
+  Search.optimize { cfg with Search.fusion_mode = Search.Enumerate } ext tree

@@ -1,0 +1,27 @@
+(** The two prior-work baselines the paper positions itself against.
+
+    - {!fusion_free}: communication-minimal distribution with no loop
+      fusion (the paper's earlier work, ref. [16]). Fails outright when the
+      unfused intermediates exceed the memory limit — the situation that
+      motivates this paper.
+    - {!memory_minimal}: minimize memory first and communication only
+      second (the discipline of refs. [14, 15], transplanted into the
+      parallel legality space — the verbatim sequential fusion is usually
+      not even Cannon-executable). Always fits if anything does, but
+      over-fuses and pays for it in communication.
+
+    The integrated search ([Search.optimize] with [Enumerate]) dominates
+    both; the benchmark sweeps quantify by how much. *)
+
+open! Import
+
+val fusion_free :
+  Search.config -> Extents.t -> Tree.t -> (Plan.t, string) result
+
+val memory_minimal :
+  Search.config -> Extents.t -> Tree.t -> (Plan.t, string) result
+
+val integrated :
+  Search.config -> Extents.t -> Tree.t -> (Plan.t, string) result
+(** [Search.optimize] with full fusion enumeration regardless of the
+    config's [fusion_mode]; for symmetric comparison tables. *)

@@ -1,0 +1,243 @@
+open! Import
+
+type presum = {
+  out : Aref.t;
+  sum : Index.t list;
+  source : Aref.t;
+  dist : Dist.t;
+  fused : Index.Set.t;
+  flops : int;
+}
+
+type redist = {
+  role : Variant.role;
+  from_dist : Dist.t;
+  to_dist : Dist.t;
+  cost : float;
+}
+
+type step = {
+  contraction : Contraction.t;
+  variant : Variant.t;
+  fusion_out : Index.Set.t;
+  fusion_left : Index.Set.t;
+  fusion_right : Index.Set.t;
+  rotations : (Variant.role * float) list;
+  redists : redist list;
+  flops : int;
+}
+
+type array_row = {
+  aref : Aref.t;
+  reduced_dims : Index.t list;
+  initial_dist : Dist.t option;
+  final_dist : Dist.t option;
+  stored_words : int;
+  comm_initial : float;
+  comm_final : float;
+}
+
+type t = {
+  grid : Grid.t;
+  params : Params.t;
+  presums : presum list;
+  steps : step list;
+  rows : array_row list;
+  comm_cost : float;
+  flops : int;
+  mem : Memacct.t;
+}
+
+let comm_cost t = t.comm_cost
+
+let compute_seconds t =
+  Params.compute_time t.params
+    ~flops:(float_of_int t.flops /. float_of_int (Grid.procs t.grid))
+
+let total_seconds t = compute_seconds t +. comm_cost t
+
+let comm_fraction t =
+  let total = total_seconds t in
+  if total <= 0.0 then 0.0 else comm_cost t /. total
+
+let mem_per_node_bytes t = Memacct.node_bytes t.params t.mem
+let fits_memory t = Memacct.fits t.params t.mem
+
+let find_row t name =
+  List.find_opt (fun r -> String.equal (Aref.name r.aref) name) t.rows
+
+let rotation_of step role =
+  match List.find_opt (fun (r, _) -> Variant.role_equal r role) step.rotations with
+  | Some (_, c) -> c
+  | None -> 0.0
+
+let redist_cost_of step role =
+  List.fold_left
+    (fun acc rd -> if Variant.role_equal rd.role role then acc +. rd.cost else acc)
+    0.0 step.redists
+
+let assemble ~ext ~grid ~params ~flops ~mem ?(presums = []) steps =
+  let side = Grid.side grid in
+  let produced = Hashtbl.create 8 in
+  List.iter
+    (fun s -> Hashtbl.replace produced (Aref.name s.contraction.Contraction.out) ())
+    steps;
+  (* Rows for input leaves, in first-consumption order. *)
+  let inputs : array_row list ref = ref [] in
+  let outs : array_row list ref = ref [] in
+  let find_out name =
+    List.find_opt (fun r -> String.equal (Aref.name r.aref) name) !outs
+  in
+  let consume step role fused =
+    let aref = Variant.aref_of step.variant role in
+    let name = Aref.name aref in
+    let dist = Variant.dist_of step.variant role in
+    let cost = rotation_of step role +. redist_cost_of step role in
+    if Hashtbl.mem produced name then begin
+      match find_out name with
+      | Some row ->
+        let row' =
+          { row with final_dist = Some dist; comm_final = row.comm_final +. cost }
+        in
+        outs := List.map (fun r -> if r == row then row' else r) !outs
+      | None ->
+        (* Consumed before produced would violate post-order. *)
+        invalid_arg
+          (Printf.sprintf "Plan.assemble: %s consumed before production" name)
+    end
+    else begin
+      ignore fused;
+      let stored =
+        Eqs.dist_size ext ~side ~alpha:dist ~fused:Index.Set.empty
+          ~dims:(Aref.indices aref)
+      in
+      match
+        List.find_opt (fun r -> String.equal (Aref.name r.aref) name) !inputs
+      with
+      | Some row ->
+        (* The same input consumed by a second contraction. *)
+        let row' =
+          { row with final_dist = Some dist; comm_final = row.comm_final +. cost }
+        in
+        inputs := List.map (fun r -> if r == row then row' else r) !inputs
+      | None ->
+        inputs :=
+          !inputs
+          @ [
+              {
+                aref;
+                reduced_dims = Aref.indices aref;
+                initial_dist = None;
+                final_dist = Some dist;
+                stored_words = stored;
+                comm_initial = 0.0;
+                comm_final = cost;
+              };
+            ]
+    end
+  in
+  let produce step =
+    let aref = step.contraction.Contraction.out in
+    let dist = Variant.dist_of step.variant Variant.Out in
+    let stored =
+      Eqs.dist_size ext ~side ~alpha:dist ~fused:step.fusion_out
+        ~dims:(Aref.indices aref)
+    in
+    outs :=
+      !outs
+      @ [
+          {
+            aref;
+            reduced_dims = Fusionset.reduced_dims aref ~fused:step.fusion_out;
+            initial_dist = Some dist;
+            final_dist = None;
+            stored_words = stored;
+            comm_initial = rotation_of step Variant.Out;
+            comm_final = 0.0;
+          };
+        ]
+  in
+  (* Pre-summations first: their sources are inputs, their outputs are
+     produced before any contraction consumes them. *)
+  List.iter
+    (fun ps ->
+      Hashtbl.replace produced (Aref.name ps.out) ();
+      inputs :=
+        !inputs
+        @ [
+            {
+              aref = ps.source;
+              reduced_dims = Aref.indices ps.source;
+              initial_dist = None;
+              final_dist = Some ps.dist;
+              stored_words =
+                Eqs.dist_size ext ~side ~alpha:ps.dist ~fused:Index.Set.empty
+                  ~dims:(Aref.indices ps.source);
+              comm_initial = 0.0;
+              comm_final = 0.0;
+            };
+          ];
+      outs :=
+        !outs
+        @ [
+            {
+              aref = ps.out;
+              reduced_dims = Fusionset.reduced_dims ps.out ~fused:ps.fused;
+              initial_dist = Some ps.dist;
+              final_dist = None;
+              stored_words =
+                Eqs.dist_size ext ~side ~alpha:ps.dist ~fused:ps.fused
+                  ~dims:(Aref.indices ps.out);
+              comm_initial = 0.0;
+              comm_final = 0.0;
+            };
+          ])
+    presums;
+  List.iter
+    (fun step ->
+      consume step Variant.Left step.fusion_left;
+      consume step Variant.Right step.fusion_right;
+      produce step)
+    steps;
+  let comm_cost =
+    List.fold_left
+      (fun acc s ->
+        List.fold_left (fun a (_, c) -> a +. c) acc s.rotations
+        +. List.fold_left (fun a rd -> a +. rd.cost) 0.0 s.redists)
+      0.0 steps
+  in
+  { grid; params; presums; steps; rows = !inputs @ !outs; comm_cost; flops; mem }
+
+let pp_step ppf s =
+  Format.fprintf ppf "@[<v 2>%a@,variant: %a@,fusions: out %a, left %a, right %a@,"
+    Contraction.pp s.contraction Variant.pp s.variant Fusionset.pp s.fusion_out
+    Fusionset.pp s.fusion_left Fusionset.pp s.fusion_right;
+  List.iter
+    (fun (role, c) ->
+      Format.fprintf ppf "rotate %a (%a): %.1f s@," Variant.pp_role role
+        Aref.pp (Variant.aref_of s.variant role) c)
+    s.rotations;
+  List.iter
+    (fun rd ->
+      Format.fprintf ppf "redistribute %a: %a -> %a: %.1f s@," Variant.pp_role
+        rd.role Dist.pp rd.from_dist Dist.pp rd.to_dist rd.cost)
+    s.redists;
+  Format.fprintf ppf "flops: %d@]" s.flops
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>plan on %a (%a)@," Grid.pp t.grid Params.pp t.params;
+  List.iter
+    (fun ps ->
+      Format.fprintf ppf "presum: %a = sum[%a] %a  (local, %a)@," Aref.pp
+        ps.out Index.pp_list ps.sum Aref.pp ps.source Dist.pp ps.dist)
+    t.presums;
+  List.iteri
+    (fun i s -> Format.fprintf ppf "step %d: %a@," (i + 1) pp_step s)
+    t.steps;
+  Format.fprintf ppf
+    "communication %.1f s, computation %.1f s, total %.1f s (%.1f%% comm)@,\
+     memory/node %a (limit %a)@]"
+    t.comm_cost (compute_seconds t) (total_seconds t)
+    (100.0 *. comm_fraction t)
+    Units.pp_bytes_si (mem_per_node_bytes t) Units.pp_bytes_si
+    t.params.Params.mem_per_node_bytes

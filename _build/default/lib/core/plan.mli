@@ -1,0 +1,91 @@
+(** Optimized parallel execution plans.
+
+    A plan fixes, for every contraction of the operator tree (in evaluation
+    order): the Cannon variant (distribution triple and rotation choice),
+    the fusion sets on the incident edges, any redistribution of consumed
+    intermediates, and the resulting communication costs; plus the global
+    memory account. Plans are what the optimizer returns, what the tables
+    of the paper summarize, and what the simulator and the multicore
+    runtime execute. *)
+
+open! Import
+
+(** A local pre-summation: a unary summation of an input array, executed
+    processor-locally before the contractions (the summed dimensions are
+    never distributed, so no communication is involved). These are what
+    operation minimization's summation push-down (paper Fig. 1) turns
+    into. *)
+type presum = {
+  out : Aref.t;  (** the reduced array *)
+  sum : Index.t list;
+  source : Aref.t;  (** the input it reduces *)
+  dist : Dist.t;  (** distribution of the reduced array (and its source) *)
+  fused : Index.Set.t;  (** fusion with the consuming contraction *)
+  flops : int;
+}
+
+type redist = {
+  role : Variant.role;
+  from_dist : Dist.t;
+  to_dist : Dist.t;
+  cost : float;
+}
+
+type step = {
+  contraction : Contraction.t;
+  variant : Variant.t;
+  fusion_out : Index.Set.t;  (** fusion of the produced array with its consumer *)
+  fusion_left : Index.Set.t;  (** fusion on the left operand's edge *)
+  fusion_right : Index.Set.t;
+  rotations : (Variant.role * float) list;  (** cost per rotated array *)
+  redists : redist list;
+  flops : int;
+}
+
+(** Per-array summary, one row of the paper's Tables 1–2. *)
+type array_row = {
+  aref : Aref.t;
+  reduced_dims : Index.t list;  (** dimensions left after fusion *)
+  initial_dist : Dist.t option;  (** production distribution; [None] for inputs *)
+  final_dist : Dist.t option;  (** consumption distribution; [None] for the output *)
+  stored_words : int;  (** per-processor resident words *)
+  comm_initial : float;  (** rotation cost while being produced *)
+  comm_final : float;  (** rotation + redistribution cost while consumed *)
+}
+
+type t = {
+  grid : Grid.t;
+  params : Params.t;
+  presums : presum list;  (** local input reductions, before any step *)
+  steps : step list;  (** post-order: every step's operands precede it *)
+  rows : array_row list;  (** leaf inputs first, then produced arrays *)
+  comm_cost : float;  (** seconds; the objective the optimizer minimized *)
+  flops : int;  (** total arithmetic operations across processors *)
+  mem : Memacct.t;
+}
+
+val comm_cost : t -> float
+
+val compute_seconds : t -> float
+(** Elapsed computation time: [flops / (P · flop_rate)]. *)
+
+val total_seconds : t -> float
+(** Computation plus communication. *)
+
+val comm_fraction : t -> float
+(** Fraction of {!total_seconds} spent communicating. *)
+
+val mem_per_node_bytes : t -> float
+
+val fits_memory : t -> bool
+
+val find_row : t -> string -> array_row option
+
+val assemble :
+  ext:Extents.t -> grid:Grid.t -> params:Params.t -> flops:int
+  -> mem:Memacct.t -> ?presums:presum list -> step list -> t
+(** Build a plan from optimizer decisions; computes [rows] and the cost
+    totals from the steps. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable plan description. *)

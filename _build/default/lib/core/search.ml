@@ -1,0 +1,489 @@
+open! Import
+
+type fusion_mode =
+  | Enumerate
+  | No_fusion
+  | Fixed of (string * Index.Set.t) list
+
+type config = {
+  grid : Grid.t;
+  params : Params.t;
+  rcost : Rcost.t;
+  mem_limit_bytes : float option;
+  redist_factor : float;
+  fusion_mode : fusion_mode;
+  allow_distributed_fusion : bool;
+}
+
+let default_config ?mem_limit_bytes ?(redist_factor = 2.0)
+    ?(fusion_mode = Enumerate) ?(allow_distributed_fusion = false) ~grid
+    ~params ~rcost () =
+  {
+    grid;
+    params;
+    rcost;
+    mem_limit_bytes;
+    redist_factor;
+    fusion_mode;
+    allow_distributed_fusion;
+  }
+
+let mem_limit cfg =
+  Option.value cfg.mem_limit_bytes
+    ~default:cfg.params.Params.mem_per_node_bytes
+
+let fits cfg mem = Memacct.node_bytes cfg.params mem <= mem_limit cfg
+
+(* Unordered distribution content, for matching producer against consumer
+   (the pair order is an orientation artifact; see DESIGN.md). *)
+let content_key dist =
+  String.concat "," (List.sort compare (List.map Index.name (Dist.indices dist)))
+
+let same_content a b = String.equal (content_key a) (content_key b)
+
+type solution = {
+  prod_dist : Dist.t;
+  fused : Index.Set.t;
+  cost : float;
+  mem : Memacct.t;
+  steps : Plan.step list;
+  presums : Plan.presum list;
+}
+
+type child_case =
+  | Cleaf of Aref.t
+  | Cpresum of { out : Aref.t; sum : Index.t list; source : Aref.t }
+      (** a unary summation of an input, evaluated processor-locally *)
+  | Csol of solution
+
+let child_cost = function Cleaf _ | Cpresum _ -> 0.0 | Csol s -> s.cost
+
+let child_mem = function
+  | Cleaf _ | Cpresum _ -> Memacct.empty
+  | Csol s -> s.mem
+
+let child_steps = function Cleaf _ | Cpresum _ -> [] | Csol s -> s.steps
+
+let child_presums = function
+  | Cleaf _ | Cpresum _ -> []
+  | Csol s -> s.presums
+
+let fusion_candidates cfg ~child ~parent =
+  let fusible = Fusionset.fusible ~child ~parent in
+  match (cfg.fusion_mode, child) with
+  | Enumerate, _ -> Fusionset.candidates ~child ~parent
+  | No_fusion, _ -> [ Index.Set.empty ]
+  | Fixed _, Tree.Leaf _ ->
+    (* Fixed assignments pin intermediate storage; a leaf edge's fusion
+       only slices its communication and stays free. *)
+    Fusionset.candidates ~child ~parent
+  | Fixed assignment, _ ->
+    let wanted =
+      Option.value ~default:Index.Set.empty
+        (List.assoc_opt (Tree.name child) assignment)
+    in
+    [ Index.Set.inter wanted fusible ]
+
+(* Fusion set governing a role's communication at this node. *)
+let fused_of_role ~f_out ~f_left ~f_right = function
+  | Variant.Out -> f_out
+  | Variant.Left -> f_left
+  | Variant.Right -> f_right
+
+(* Loops that force the node's whole computation inside them: the fusion
+   with the node's own parent (the produced array exists slice-wise), and
+   the fusion on any internal child edge (the consumed intermediate is
+   stored reduced, so its slices are transient). A leaf's edge fusion does
+   NOT force nesting — inputs stay fully stored and fusing their edge only
+   streams their communication in slices.
+
+   Every rotated array must then be communicated inside the forcing loops:
+   the loop index must be a dimension of the array (else it would need a
+   full re-rotation per iteration, which the MsgFactor equations cannot
+   express) and be fused on that array's edge so the cost is charged. *)
+let forcing_set ~f_out ~f_left ~f_right ~left_internal ~right_internal =
+  let add cond set acc = if cond then Index.Set.union set acc else acc in
+  Index.Set.empty |> Index.Set.union f_out
+  |> add left_internal f_left
+  |> add right_internal f_right
+
+let rotated_context_ok variant ~forcing ~f_out ~f_left ~f_right =
+  Index.Set.for_all
+    (fun t ->
+      List.for_all
+        (fun ((role : Variant.role), _axis) ->
+          let dims = Aref.index_set (Variant.aref_of variant role) in
+          Index.Set.mem t dims
+          && Index.Set.mem t (fused_of_role ~f_out ~f_left ~f_right role))
+        (Variant.rotated variant))
+    forcing
+  (* A fused loop whose index is distributed along a rotated array's own
+     rotation axis would exchange slices between processors iterating
+     different chunk values of that loop — not executable. *)
+  && List.for_all
+       (fun ((role : Variant.role), axis) ->
+         Index.Set.for_all
+           (fun t ->
+             Dist.position_of (Variant.dist_of variant role) t <> Some axis)
+           (fused_of_role ~f_out ~f_left ~f_right role))
+       (Variant.rotated variant)
+
+(* Consumption of a child in distribution [cons] when it was produced in
+   [prod]: free when the contents agree; otherwise a redistribution, whose
+   legality under fusion is the paper's constraint (iii) (the fused loop
+   ranges must agree at both ends), costed per fused iteration. *)
+let redistribution cfg ext ~variant ~role ~fused ~prod =
+  let cons = Variant.dist_of variant role in
+  if same_content prod cons then Ok None
+  else if not (Fusionset.dist_compatible ~fused ~prod ~cons) then
+    Error `Illegal
+  else begin
+    let side = Grid.side cfg.grid in
+    let dims = Aref.indices (Variant.aref_of variant role) in
+    let words = Eqs.dist_size ext ~side ~alpha:cons ~fused ~dims in
+    let factor = Eqs.msg_factor ext ~side ~alpha:cons ~fused ~dims in
+    let cost =
+      cfg.redist_factor *. float_of_int factor
+      *. Rcost.query cfg.rcost ~axis:1 ~words
+    in
+    Ok (Some { Plan.role; from_dist = prod; to_dist = cons; cost })
+  end
+
+(* Equal-cost plans are common (the paper notes "any 2 arrays can be
+   rotated for the same cost"); prefer rotating inputs over outputs — a
+   rotated output ends displaced, so keeping it fixed is the tidier plan
+   and matches the paper's choices. *)
+let out_rotations steps =
+  List.fold_left
+    (fun acc (s : Plan.step) ->
+      acc
+      + List.length
+          (List.filter
+             (fun (r, _) -> Variant.role_equal r Variant.Out)
+             s.rotations))
+    0 steps
+
+let better a b =
+  match Float.compare a.cost b.cost with
+  | 0 -> compare (out_rotations a.steps) (out_rotations b.steps)
+  | c -> c
+
+(* Pareto pruning within (production distribution content, fusion) groups:
+   the paper's "inferior solution" rule. *)
+let prune_solutions cfg sols =
+  let key s =
+    ( content_key s.prod_dist,
+      String.concat "," (List.map Index.name (Index.Set.elements s.fused)) )
+  in
+  let groups = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      let k = key s in
+      Hashtbl.replace groups k (s :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
+    sols;
+  Hashtbl.fold
+    (fun _ group acc ->
+      let dominated s =
+        List.exists
+          (fun s' ->
+            s' != s
+            && s'.cost <= s.cost
+            && Memacct.node_bytes cfg.params s'.mem
+               <= Memacct.node_bytes cfg.params s.mem
+            && (s'.cost < s.cost
+               || Memacct.node_bytes cfg.params s'.mem
+                  < Memacct.node_bytes cfg.params s.mem
+               || out_rotations s'.steps < out_rotations s.steps
+               || (out_rotations s'.steps = out_rotations s.steps && s' < s)
+                  (* tie-break duplicates deterministically *)))
+          group
+      in
+      List.filter (fun s -> not (dominated s)) group @ acc)
+    groups []
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+(* Solutions of the subtree rooted at [node]; [parent] provides the fusion
+   candidates for the edge above (None at the root: fusion is empty). *)
+let rec solve cfg ext ~prune ~parent node =
+  let ( let* ) = Result.bind in
+  match node with
+  | Tree.Leaf a ->
+    err "leaf %s cannot be the whole computation" (Aref.name a)
+  | Tree.Mult (a, _, _) ->
+    err
+      "node %s is a multiplication without summation (Hadamard); outside \
+       the generalized Cannon template — restructure the expression"
+      (Aref.name a)
+  | Tree.Sum (a, _, Tree.Leaf _) ->
+    err
+      "summation node %s cannot be the whole computation (nothing to \
+       distribute)"
+      (Aref.name a)
+  | Tree.Sum (a, _, _) ->
+    err
+      "node %s is a unary summation of an intermediate; the parallel \
+       optimizer handles contraction trees with input pre-summations \
+       (restructure the expression)"
+      (Aref.name a)
+  | Tree.Contract (_, _, l, r) ->
+    let* contraction = Contraction.of_tree_node node in
+    let* left_cases = child_cases cfg ext ~prune node l in
+    let* right_cases = child_cases cfg ext ~prune node r in
+    let f_out_candidates =
+      match parent with
+      | None -> [ Index.Set.empty ]
+      | Some p -> fusion_candidates cfg ~child:node ~parent:p
+    in
+    let side = Grid.side cfg.grid in
+    let flops = Contraction.flops ext contraction in
+    let out_aref = contraction.Contraction.out in
+    let solutions = ref [] in
+    List.iter
+      (fun variant ->
+        let alpha_out = Variant.dist_of variant Variant.Out in
+        List.iter
+          (fun (left_case, f_left) ->
+            List.iter
+              (fun (right_case, f_right) ->
+                List.iter
+                  (fun f_out ->
+                    (* Presummed children store their reduced array under
+                       the edge fusion, so like internal children their
+                       fused loops force the node's nesting. *)
+                    let internal = function
+                      | Csol _ | Cpresum _ -> true
+                      | Cleaf _ -> false
+                    in
+                    let forcing =
+                      forcing_set ~f_out ~f_left ~f_right
+                        ~left_internal:(internal left_case)
+                        ~right_internal:(internal right_case)
+                    in
+                    if
+                      Fusionset.chain [ f_left; f_right; f_out ]
+                      && rotated_context_ok variant ~forcing ~f_out ~f_left
+                           ~f_right
+                      && (cfg.allow_distributed_fusion
+                         || List.for_all
+                              (fun role ->
+                                Index.Set.for_all
+                                  (fun t ->
+                                    not
+                                      (Dist.distributes
+                                         (Variant.dist_of variant role) t))
+                                  (fused_of_role ~f_out ~f_left ~f_right role))
+                              [ Variant.Out; Variant.Left; Variant.Right ])
+                    then begin
+                      match
+                        combine cfg ext ~side ~variant ~contraction ~flops
+                          ~alpha_out ~f_out ~f_left ~f_right ~left_case
+                          ~right_case ~out_aref
+                      with
+                      | None -> ()
+                      | Some sol -> solutions := sol :: !solutions
+                    end)
+                  f_out_candidates)
+              right_cases)
+          left_cases)
+      (Variant.all contraction);
+    let sols = !solutions in
+    let sols = if prune then prune_solutions cfg sols else sols in
+    if sols = [] then
+      err "no feasible solution at node %s under the %a memory limit"
+        (Aref.name out_aref) Units.pp_bytes_si (mem_limit cfg)
+    else Ok sols
+
+(* The consumption options for one child: for an internal child each of its
+   solutions (which fix the edge fusion); for a leaf, every fusion
+   candidate (inputs may start in any distribution at no cost). *)
+and child_cases cfg ext ~prune parent_node child =
+  let ( let* ) = Result.bind in
+  match child with
+  | Tree.Leaf a ->
+    Ok
+      (List.map
+         (fun f -> (Cleaf a, f))
+         (fusion_candidates cfg ~child ~parent:parent_node))
+  | Tree.Sum (a, k, Tree.Leaf src) ->
+    (* A pre-summation of an input: evaluated locally on each processor's
+       block (the summed dimensions are never in the distribution pair, by
+       construction), so it only contributes storage and local flops. *)
+    Ok
+      (List.map
+         (fun f -> (Cpresum { out = a; sum = k; source = src }, f))
+         (fusion_candidates cfg ~child ~parent:parent_node))
+  | _ ->
+    let* sols = solve cfg ext ~prune ~parent:(Some parent_node) child in
+    Ok (List.map (fun s -> (Csol s, s.fused)) sols)
+
+(* Assemble one candidate solution at a contraction node; [None] when the
+   combination is illegal or over the memory limit. *)
+and combine cfg ext ~side ~variant ~contraction ~flops ~alpha_out ~f_out
+    ~f_left ~f_right ~left_case ~right_case ~out_aref =
+  let consume role case fused =
+    match case with
+    | Cleaf a ->
+      (* Inputs materialize in the required distribution for free. *)
+      let alpha = Variant.dist_of variant role in
+      let resident =
+        Eqs.dist_size ext ~side ~alpha ~fused:Index.Set.empty
+          ~dims:(Aref.indices a)
+      in
+      Ok ((resident, []), None)
+    | Cpresum { out; sum; source } ->
+      (* The source input stays fully resident; the reduced array is
+         stored under the edge fusion; the reduction itself is local. *)
+      let alpha = Variant.dist_of variant role in
+      let resident =
+        Eqs.dist_size ext ~side ~alpha ~fused:Index.Set.empty
+          ~dims:(Aref.indices source)
+        + Eqs.dist_size ext ~side ~alpha ~fused ~dims:(Aref.indices out)
+      in
+      let ps =
+        {
+          Plan.out;
+          sum;
+          source;
+          dist = alpha;
+          fused;
+          flops = Extents.size_of ext (Aref.indices source);
+        }
+      in
+      Ok ((resident, [ ps ]), None)
+    | Csol s -> begin
+      match
+        redistribution cfg ext ~variant ~role ~fused ~prod:s.prod_dist
+      with
+      | Error `Illegal -> Error `Illegal
+      | Ok rd -> Ok ((0, []), rd)
+    end
+  in
+  match
+    ( consume Variant.Left left_case f_left,
+      consume Variant.Right right_case f_right )
+  with
+  | Error `Illegal, _ | _, Error `Illegal -> None
+  | Ok ((res_l, ps_l), rd_l), Ok ((res_r, ps_r), rd_r) ->
+    let rotations =
+      List.map
+        (fun (role, axis) ->
+          let alpha = Variant.dist_of variant role in
+          let fused = fused_of_role ~f_out ~f_left ~f_right role in
+          let dims = Aref.indices (Variant.aref_of variant role) in
+          ( role,
+            Eqs.rotate_cost ~rcost:cfg.rcost ext ~alpha ~fused ~dims ~axis ))
+        (Variant.rotated variant)
+    in
+    let redists = List.filter_map Fun.id [ rd_l; rd_r ] in
+    let cost =
+      child_cost left_case +. child_cost right_case
+      +. List.fold_left (fun a (_, c) -> a +. c) 0.0 rotations
+      +. List.fold_left (fun a rd -> a +. rd.Plan.cost) 0.0 redists
+    in
+    let mem =
+      let m =
+        Memacct.merge (child_mem left_case) (child_mem right_case)
+      in
+      let m = Memacct.add_resident m (res_l + res_r) in
+      let m =
+        Memacct.add_resident m
+          (Eqs.dist_size ext ~side ~alpha:alpha_out ~fused:f_out
+             ~dims:(Aref.indices out_aref))
+      in
+      let m =
+        List.fold_left
+          (fun m (role, _) ->
+            let alpha = Variant.dist_of variant role in
+            let fused = fused_of_role ~f_out ~f_left ~f_right role in
+            let dims = Aref.indices (Variant.aref_of variant role) in
+            Memacct.add_message m (Eqs.dist_size ext ~side ~alpha ~fused ~dims))
+          m (Variant.rotated variant)
+      in
+      List.fold_left
+        (fun m rd ->
+          let dims = Aref.indices (Variant.aref_of variant rd.Plan.role) in
+          let fused = fused_of_role ~f_out ~f_left ~f_right rd.Plan.role in
+          Memacct.add_message m
+            (Eqs.dist_size ext ~side ~alpha:rd.Plan.to_dist ~fused ~dims))
+        m redists
+    in
+    if not (fits cfg mem) then None
+    else
+      let step =
+        {
+          Plan.contraction;
+          variant;
+          fusion_out = f_out;
+          fusion_left = f_left;
+          fusion_right = f_right;
+          rotations;
+          redists;
+          flops;
+        }
+      in
+      Some
+        {
+          prod_dist = alpha_out;
+          fused = f_out;
+          cost;
+          mem;
+          steps = child_steps left_case @ child_steps right_case @ [ step ];
+          presums =
+            child_presums left_case @ child_presums right_case @ ps_l @ ps_r;
+        }
+
+let check_grid cfg =
+  if Rcost.side cfg.rcost <> Grid.side cfg.grid then
+    Error
+      (Printf.sprintf
+         "characterization was measured for a %dx%d grid but the target is \
+          %dx%d"
+         (Rcost.side cfg.rcost) (Rcost.side cfg.rcost) (Grid.side cfg.grid)
+         (Grid.side cfg.grid))
+  else Ok ()
+
+let run ?(select = better) cfg ext tree ~prune =
+  let ( let* ) = Result.bind in
+  let* () = check_grid cfg in
+  let tree = Tree.fuse_mult_sum tree in
+  let* () = Tree.validate tree in
+  let* sols = solve cfg ext ~prune ~parent:None tree in
+  match Listx.minimum_by select sols with
+  | None -> Error "no feasible solution"
+  | Some best ->
+    let flops =
+      List.fold_left (fun acc (s : Plan.step) -> acc + s.flops) 0 best.steps
+    in
+    let flops =
+      flops
+      + List.fold_left (fun acc (p : Plan.presum) -> acc + p.flops) 0 best.presums
+    in
+    Ok
+      (Plan.assemble ~ext ~grid:cfg.grid ~params:cfg.params ~flops
+         ~mem:best.mem ~presums:best.presums best.steps)
+
+let optimize cfg ext tree = run cfg ext tree ~prune:true
+let brute_force cfg ext tree = run cfg ext tree ~prune:false
+
+let optimize_min_memory cfg ext tree =
+  (* Lexicographic (memory, communication): the "fuse as much as legally
+     possible first, then distribute" discipline of the sequential
+     prior work, transplanted into the parallel legality space. *)
+  let select a b =
+    match
+      Float.compare
+        (Memacct.node_bytes cfg.params a.mem)
+        (Memacct.node_bytes cfg.params b.mem)
+    with
+    | 0 -> better a b
+    | c -> c
+  in
+  run ~select cfg ext tree ~prune:true
+
+let solution_count cfg ext tree =
+  let ( let* ) = Result.bind in
+  let* () = check_grid cfg in
+  let tree = Tree.fuse_mult_sum tree in
+  let* sols = solve cfg ext ~prune:true ~parent:None tree in
+  Ok (List.length sols)

@@ -1,0 +1,81 @@
+(** The memory-constrained communication minimization algorithm (paper
+    §3.3) — the system's primary contribution.
+
+    Bottom-up dynamic programming over the operator tree. At every
+    contraction node it enumerates the generalized-Cannon variants
+    (distribution triple × rotation choice), the fusion set on the edge to
+    the parent, and the children's solution sets, subject to:
+
+    - the chain legality of the fusion sets incident to the node;
+    - the fused-communication rule: a loop fused around the node forces
+      every {e rotated} array to be communicated inside it, so the loop
+      index must be a dimension of that array and fused on its edge;
+    - the paper's constraint (iii): a fused index must be distributed at
+      both the producer and the consumer of the fused edge, or at neither;
+    - redistribution of a consumed intermediate is possible only on an
+      unfused edge (the whole array must exist to be reshuffled);
+    - the per-node memory limit, accounting every array's resident block
+      plus the largest message buffer.
+
+    Partial solutions are kept per (production distribution, fusion) key
+    and pruned by Pareto dominance on (cost, memory) — the paper's
+    "inferior solution" rule — and by the memory limit (memory only grows
+    upward, so an oversized partial solution can never recover). The
+    search is exhaustive over the remaining space: on small trees it
+    provably returns the same optimum as brute-force enumeration (see the
+    test suite). *)
+
+open! Import
+
+type fusion_mode =
+  | Enumerate  (** search all fusions (the paper's algorithm) *)
+  | No_fusion  (** fusion-free: prior-work communication minimization [16] *)
+  | Fixed of (string * Index.Set.t) list
+      (** fusion fixed per array name (e.g. from the sequential
+          memory-minimal baseline); unlisted edges get [∅] *)
+
+type config = {
+  grid : Grid.t;
+  params : Params.t;
+  rcost : Rcost.t;
+  mem_limit_bytes : float option;
+      (** [None]: use the machine's per-node memory *)
+  redist_factor : float;
+      (** redistribution ≈ [redist_factor ×] one full rotation of the
+          block (default 2.0: an all-to-all is roughly two passes) *)
+  fusion_mode : fusion_mode;
+  allow_distributed_fusion : bool;
+      (** allow fusing a loop whose index is distributed (the cost model's
+          [N/√P] LoopRange branch). Off by default: such plans need
+          partial-activity execution that the executors do not implement,
+          the paper's solutions never use them, and enabling the branch
+          changes no result in the reproduced experiments. *)
+}
+
+val default_config :
+  ?mem_limit_bytes:float -> ?redist_factor:float -> ?fusion_mode:fusion_mode
+  -> ?allow_distributed_fusion:bool -> grid:Grid.t -> params:Params.t
+  -> rcost:Rcost.t -> unit -> config
+
+val optimize : config -> Extents.t -> Tree.t -> (Plan.t, string) result
+(** The optimal plan, or an error when the tree is outside the Cannon
+    template (Hadamard/unary nodes), the grid side does not match the
+    characterization, or no solution fits in memory. *)
+
+val optimize_min_memory : config -> Extents.t -> Tree.t -> (Plan.t, string) result
+(** Lexicographic objective (memory first, then communication): the
+    parallel transplant of the sequential memory-minimal-fusion
+    discipline, used as the prior-work baseline. Note that fixing the
+    {e sequential} memory-minimal fusion verbatim is usually not even
+    executable under the Cannon template (a fully collapsed intermediate
+    leaves no rotated array containing the fused loops), which is itself
+    part of the paper's argument for an integrated search. *)
+
+val solution_count : config -> Extents.t -> Tree.t -> (int, string) result
+(** Number of undominated solutions at the root (diagnostic: shows how
+    effective pruning is). *)
+
+val brute_force : config -> Extents.t -> Tree.t -> (Plan.t, string) result
+(** Exhaustive enumeration of every (variant, fusion) assignment of the
+    whole tree with no dominance pruning — exponential; the test oracle
+    for {!optimize}. *)

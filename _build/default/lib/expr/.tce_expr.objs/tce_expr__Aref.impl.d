@@ -1,0 +1,1 @@
+lib/expr/aref.ml: Extents Format Import Index List Printf String

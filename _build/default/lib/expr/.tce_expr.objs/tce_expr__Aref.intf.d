@@ -1,0 +1,1 @@
+lib/expr/aref.mli: Extents Format Import Index

@@ -1,0 +1,1 @@
+lib/expr/formula.ml: Aref Extents Format Import Index Result

@@ -1,0 +1,1 @@
+lib/expr/formula.mli: Aref Extents Format Import Index

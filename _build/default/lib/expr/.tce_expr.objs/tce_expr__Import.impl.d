@@ -1,0 +1,1 @@
+lib/expr/import.ml: Tce_index Tce_tensor Tce_util

@@ -1,0 +1,1 @@
+lib/expr/parser.ml: Aref Extents Format Import In_channel Index List Printf Problem String

@@ -1,0 +1,1 @@
+lib/expr/problem.ml: Aref Extents Format Formula Hashtbl Import Index List Printf Result Sequence

@@ -1,0 +1,1 @@
+lib/expr/problem.mli: Aref Extents Format Import Index Sequence

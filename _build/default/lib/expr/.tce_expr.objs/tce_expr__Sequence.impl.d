@@ -1,0 +1,1 @@
+lib/expr/sequence.ml: Aref Dense Einsum Extents Format Formula Hashtbl Import Index Ints List Prng Result String

@@ -1,0 +1,1 @@
+lib/expr/sequence.mli: Aref Dense Extents Format Formula Import Index

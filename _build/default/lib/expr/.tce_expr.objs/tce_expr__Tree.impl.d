@@ -1,0 +1,1 @@
+lib/expr/tree.ml: Aref Dense Einsum Format Formula Hashtbl Import Index Ints List Listx Option Printf Result Sequence String

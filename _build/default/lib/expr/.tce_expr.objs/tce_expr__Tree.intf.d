@@ -1,0 +1,1 @@
+lib/expr/tree.mli: Aref Dense Extents Format Import Index Sequence

@@ -1,0 +1,38 @@
+open! Import
+
+type t = { name : string; indices : Index.t list }
+
+let valid_array_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let v name indices =
+  if not (valid_array_name name) then
+    invalid_arg (Printf.sprintf "Aref.v: invalid array name %S" name);
+  if not (Index.distinct indices) then
+    invalid_arg
+      (Printf.sprintf "Aref.v: repeated index in %s[%s]" name
+         (String.concat "," (List.map Index.name indices)));
+  { name; indices }
+
+let name t = t.name
+let indices t = t.indices
+let index_set t = Index.set_of_list t.indices
+let rank t = List.length t.indices
+let size ext t = Extents.size_of ext t.indices
+let mentions t i = List.exists (Index.equal i) t.indices
+
+let equal a b =
+  String.equal a.name b.name && List.equal Index.equal a.indices b.indices
+
+let compare a b =
+  match String.compare a.name b.name with
+  | 0 -> List.compare Index.compare a.indices b.indices
+  | c -> c
+
+let rename t name = v name t.indices
+
+let pp ppf t = Format.fprintf ppf "%s[%a]" t.name Index.pp_list t.indices

@@ -1,0 +1,32 @@
+(** Array references: a named tensor with an ordered list of index
+    variables, e.g. [B(b,e,f,l)]. These appear on both sides of formulas and
+    at the nodes of operator trees. *)
+
+open! Import
+
+type t = private { name : string; indices : Index.t list }
+
+val v : string -> Index.t list -> t
+(** [v name indices] builds a reference. The name must be a valid identifier
+    and the indices distinct; raises [Invalid_argument] otherwise. *)
+
+val name : t -> string
+val indices : t -> Index.t list
+val index_set : t -> Index.Set.t
+val rank : t -> int
+
+val size : Extents.t -> t -> int
+(** Number of elements of the full (unfused, undistributed) array. *)
+
+val mentions : t -> Index.t -> bool
+
+val equal : t -> t -> bool
+(** Structural equality (name and index order). *)
+
+val compare : t -> t -> int
+
+val rename : t -> string -> t
+(** Same indices, different array name. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [B\[b,e,f,l\]]. *)

@@ -1,0 +1,102 @@
+open! Import
+
+type rhs =
+  | Mult of Aref.t * Aref.t
+  | Sum of Index.t list * Aref.t
+  | Contract of Index.t list * Aref.t * Aref.t
+
+type t = { lhs : Aref.t; rhs : rhs }
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let check_mult tr x y =
+  let open Index.Set in
+  let itr = Aref.index_set tr
+  and ix = Aref.index_set x
+  and iy = Aref.index_set y in
+  if not (equal (union ix iy) itr) then
+    err "%a = %a * %a: output indices must be exactly the operand indices"
+      Aref.pp tr Aref.pp x Aref.pp y
+  else Ok ()
+
+let check_sum tr k x =
+  let open Index.Set in
+  let itr = Aref.index_set tr
+  and ix = Aref.index_set x
+  and ks = Index.set_of_list k in
+  if k = [] then err "%a: summation needs at least one index" Aref.pp tr
+  else if not (Index.distinct k) then
+    err "%a: repeated summation index" Aref.pp tr
+  else if not (subset ks ix) then
+    err "%a = sum %a: summation indices must occur in the operand" Aref.pp tr
+      Aref.pp x
+  else if not (equal (diff ix ks) itr) then
+    err "%a = sum[%a] %a: output must be operand indices minus summation"
+      Aref.pp tr Index.pp_list k Aref.pp x
+  else Ok ()
+
+let check_contract tr k x y =
+  let open Index.Set in
+  let itr = Aref.index_set tr
+  and ix = Aref.index_set x
+  and iy = Aref.index_set y
+  and ks = Index.set_of_list k in
+  if k = [] then
+    err "%a: contraction needs summation indices (use mult otherwise)" Aref.pp
+      tr
+  else if not (Index.distinct k) then
+    err "%a: repeated summation index" Aref.pp tr
+  else if not (subset ks (inter ix iy)) then
+    err "%a = sum[%a] %a * %a: summation indices must occur in both operands"
+      Aref.pp tr Index.pp_list k Aref.pp x Aref.pp y
+  else if not (equal (diff (union ix iy) ks) itr) then
+    err "%a = sum[%a] %a * %a: output must be operand indices minus summation"
+      Aref.pp tr Index.pp_list k Aref.pp x Aref.pp y
+  else Ok ()
+
+let well_formed { lhs; rhs } =
+  match rhs with
+  | Mult (x, y) -> check_mult lhs x y
+  | Sum (k, x) -> check_sum lhs k x
+  | Contract (k, x, y) -> check_contract lhs k x y
+
+let build lhs rhs =
+  let f = { lhs; rhs } in
+  Result.map (fun () -> f) (well_formed f)
+
+let mult tr x y = build tr (Mult (x, y))
+let sum tr k x = build tr (Sum (k, x))
+let contract tr k x y = build tr (Contract (k, x, y))
+let lhs t = t.lhs
+let rhs t = t.rhs
+
+let operands t =
+  match t.rhs with
+  | Mult (x, y) | Contract (_, x, y) -> [ x; y ]
+  | Sum (_, x) -> [ x ]
+
+let sum_indices t =
+  match t.rhs with Mult _ -> [] | Sum (k, _) | Contract (k, _, _) -> k
+
+let flops ext t =
+  match t.rhs with
+  | Mult (_, _) ->
+    (* One multiply per output element. *)
+    Extents.size_of ext (Aref.indices t.lhs)
+  | Sum (k, x) ->
+    (* One add per operand element read; |K| summands collapse per output. *)
+    ignore k;
+    Extents.size_of ext (Aref.indices x)
+  | Contract (k, _, _) ->
+    2 * Extents.size_of ext (Aref.indices t.lhs @ k)
+
+let pp ppf t =
+  match t.rhs with
+  | Mult (x, y) ->
+    Format.fprintf ppf "%a = %a * %a" Aref.pp t.lhs Aref.pp x Aref.pp y
+  | Sum (k, x) ->
+    Format.fprintf ppf "%a = sum[%a] %a" Aref.pp t.lhs Index.pp_list k Aref.pp
+      x
+  | Contract (k, x, y) ->
+    Format.fprintf ppf "%a = sum[%a] %a * %a" Aref.pp t.lhs Index.pp_list k
+      Aref.pp x Aref.pp y

@@ -1,0 +1,57 @@
+(** Formulas, in the paper's §2 sense.
+
+    A computation is specified as a sequence of formulas, each producing an
+    intermediate (or the final) array from input arrays and previously
+    produced intermediates. A formula is either a multiplication
+    [Tr(...) = X(...) × Y(...)] or a summation [Tr(...) = Σ_i X(...)]; we
+    additionally allow the combined contraction form
+    [Tr(...) = Σ_K X(...) × Y(...)], which is how quantum-chemistry terms
+    are naturally written and which maps directly onto the generalized
+    Cannon template. *)
+
+open! Import
+
+type rhs =
+  | Mult of Aref.t * Aref.t  (** [Tr = X × Y] (no summation) *)
+  | Sum of Index.t list * Aref.t  (** [Tr = Σ_K X], [K] non-empty *)
+  | Contract of Index.t list * Aref.t * Aref.t
+      (** [Tr = Σ_K X × Y], [K] non-empty *)
+
+type t = { lhs : Aref.t; rhs : rhs }
+
+val mult : Aref.t -> Aref.t -> Aref.t -> (t, string) result
+(** [mult tr x y] is the well-formed multiplication [tr = x × y]:
+    [I_X ∪ I_Y = I_Tr], and indices shared by [x] and [y] must also appear
+    in [tr]. *)
+
+val sum : Aref.t -> Index.t list -> Aref.t -> (t, string) result
+(** [sum tr k x] is the well-formed summation [tr = Σ_k x]:
+    [I_X − K = I_Tr], [K ⊆ I_X] non-empty. *)
+
+val contract : Aref.t -> Index.t list -> Aref.t -> Aref.t -> (t, string) result
+(** [contract tr k x y] is the well-formed contraction [tr = Σ_k x × y]:
+    [K] are exactly the indices shared between nothing-but-operands
+    ([K = (I_X ∪ I_Y) − I_Tr]), each appearing in both [x] and [y];
+    [I_Tr = (I_X ∪ I_Y) − K] with each output index in exactly one
+    operand. This is the "special property of tensor contractions" of
+    §3.1. *)
+
+val well_formed : t -> (unit, string) result
+(** Re-checks the constructor invariants (useful after parsing). *)
+
+val lhs : t -> Aref.t
+val rhs : t -> rhs
+
+val operands : t -> Aref.t list
+(** The one or two arrays consumed. *)
+
+val sum_indices : t -> Index.t list
+(** [K] for [Sum]/[Contract], [\[\]] for [Mult]. *)
+
+val flops : Extents.t -> t -> int
+(** Arithmetic operations to evaluate the formula directly: [2·|I∪J∪K|]
+    multiply-adds for multiplication/contraction, [|I_X|] additions for a
+    summation. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [T1\[b,c,d,f\] = sum\[e,l\] B\[b,e,f,l\] * D\[c,d,e,l\]]. *)

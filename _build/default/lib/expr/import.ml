@@ -1,0 +1,9 @@
+(* Aliases for lower-layer libraries; opened by every module in this
+   library. *)
+module Ints = Tce_util.Ints
+module Listx = Tce_util.Listx
+module Prng = Tce_util.Prng
+module Index = Tce_index.Index
+module Extents = Tce_index.Extents
+module Dense = Tce_tensor.Dense
+module Einsum = Tce_tensor.Einsum

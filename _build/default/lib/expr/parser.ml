@@ -1,0 +1,197 @@
+open! Import
+
+type token =
+  | Ident of string
+  | Int of int
+  | Equals
+  | Star
+  | Lbracket
+  | Rbracket
+  | Comma
+
+let pp_token ppf = function
+  | Ident s -> Format.fprintf ppf "identifier %S" s
+  | Int n -> Format.fprintf ppf "integer %d" n
+  | Equals -> Format.pp_print_string ppf "'='"
+  | Star -> Format.pp_print_string ppf "'*'"
+  | Lbracket -> Format.pp_print_string ppf "'['"
+  | Rbracket -> Format.pp_print_string ppf "']'"
+  | Comma -> Format.pp_print_string ppf "','"
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize line =
+  let n = String.length line in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      match line.[i] with
+      | ' ' | '\t' | '\r' -> go (i + 1) acc
+      | '#' -> List.rev acc
+      | '=' -> go (i + 1) (Equals :: acc)
+      | '*' -> go (i + 1) (Star :: acc)
+      | '[' | '(' -> go (i + 1) (Lbracket :: acc)
+      | ']' | ')' -> go (i + 1) (Rbracket :: acc)
+      | ',' -> go (i + 1) (Comma :: acc)
+      | '0' .. '9' ->
+        let j = ref i in
+        while !j < n && match line.[!j] with '0' .. '9' -> true | _ -> false do
+          incr j
+        done;
+        go !j (Int (int_of_string (String.sub line i (!j - i))) :: acc)
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
+        let j = ref i in
+        while
+          !j < n
+          && match line.[!j] with
+             | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+             | _ -> false
+        do
+          incr j
+        done;
+        go !j (Ident (String.sub line i (!j - i)) :: acc)
+      | c -> fail "unexpected character %C" c
+  in
+  go 0 []
+
+(* Recursive-descent over a token list threaded through each rule. *)
+
+let expect tok = function
+  | t :: rest when t = tok -> rest
+  | t :: _ -> fail "expected %a, found %a" pp_token tok pp_token t
+  | [] -> fail "expected %a, found end of line" pp_token tok
+
+let ident = function
+  | Ident s :: rest -> (s, rest)
+  | t :: _ -> fail "expected identifier, found %a" pp_token t
+  | [] -> fail "expected identifier, found end of line"
+
+let rec ident_list toks =
+  let name, toks = ident toks in
+  match toks with
+  | Comma :: rest ->
+    let more, toks = ident_list rest in
+    (name :: more, toks)
+  | _ -> ([ name ], toks)
+
+let index_list toks =
+  let names, toks = ident_list toks in
+  (List.map Index.v names, toks)
+
+let aref toks =
+  let name, toks = ident toks in
+  match toks with
+  | Lbracket :: Rbracket :: rest -> (Aref.v name [], rest)
+  | Lbracket :: rest ->
+    let idxs, toks = index_list rest in
+    (Aref.v name idxs, expect Rbracket toks)
+  | _ -> (Aref.v name [], toks)
+
+let rec aref_list toks =
+  let a, toks = aref toks in
+  match toks with
+  | Comma :: rest ->
+    let more, toks = aref_list rest in
+    (a :: more, toks)
+  | _ -> ([ a ], toks)
+
+let rec factors toks =
+  let a, toks = aref toks in
+  match toks with
+  | Star :: rest ->
+    let more, toks = factors rest in
+    (a :: more, toks)
+  | _ -> ([ a ], toks)
+
+let finish (v, toks) =
+  match toks with
+  | [] -> v
+  | t :: _ -> fail "trailing %a" pp_token t
+
+type stmt =
+  | Sextents of (Index.t * int) list
+  | Sinput of Aref.t list
+  | Sdef of Problem.def
+
+let binding toks =
+  let name, toks = ident toks in
+  let toks = expect Equals toks in
+  match toks with
+  | Int n :: rest -> ((Index.v name, n), rest)
+  | t :: _ -> fail "expected integer extent, found %a" pp_token t
+  | [] -> fail "expected integer extent, found end of line"
+
+let rec binding_list toks =
+  let b, toks = binding toks in
+  match toks with
+  | Comma :: rest ->
+    let more, toks = binding_list rest in
+    (b :: more, toks)
+  | _ -> ([ b ], toks)
+
+let statement toks =
+  match toks with
+  | Ident "extents" :: rest ->
+    let bs, toks = binding_list rest in
+    finish (Sextents bs, toks)
+  | Ident "input" :: rest ->
+    let arefs, toks = aref_list rest in
+    finish (Sinput arefs, toks)
+  | _ ->
+    let lhs, toks = aref toks in
+    let toks = expect Equals toks in
+    let sum, toks =
+      match toks with
+      | Ident "sum" :: Lbracket :: rest ->
+        let idxs, toks = index_list rest in
+        (idxs, expect Rbracket toks)
+      | _ -> ([], toks)
+    in
+    let terms, toks = factors toks in
+    finish (Sdef { Problem.lhs; sum; terms }, toks)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let exception Fail of string in
+  try
+    let stmts =
+      List.concat
+        (List.mapi
+           (fun lineno line ->
+             match tokenize line with
+             | [] -> []
+             | toks -> begin
+               try [ statement toks ] with
+               | Parse_error msg | Invalid_argument msg ->
+                 raise (Fail (Printf.sprintf "line %d: %s" (lineno + 1) msg))
+             end
+             | exception (Parse_error msg | Invalid_argument msg) ->
+               raise (Fail (Printf.sprintf "line %d: %s" (lineno + 1) msg)))
+           lines)
+    in
+    let extent_bindings =
+      List.concat_map (function Sextents bs -> bs | _ -> []) stmts
+    in
+    let declared_inputs =
+      List.concat_map (function Sinput arefs -> arefs | _ -> []) stmts
+    in
+    let defs = List.filter_map (function Sdef d -> Some d | _ -> None) stmts in
+    match Extents.of_list extent_bindings with
+    | Error msg -> Error msg
+    | Ok extents ->
+      Problem.create ~extents
+        ?inputs:(match declared_inputs with [] -> None | is -> Some is)
+        defs
+  with Fail msg -> Error msg
+
+let parse_exn text =
+  match parse text with
+  | Ok p -> p
+  | Error msg -> invalid_arg ("Parser.parse_exn: " ^ msg)
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg

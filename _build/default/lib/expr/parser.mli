@@ -1,0 +1,28 @@
+(** Text format for tensor-contraction problems.
+
+    Example — the paper's application example (§4):
+
+    {v
+    # CCSD-like four-tensor term
+    extents a=480, b=480, c=480, d=480, e=64, f=64, i=32, j=32, k=32, l=32
+    input A[a,c,i,k], B[b,e,f,l], C[d,f,j,k], D[c,d,e,l]
+    T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+    T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+    S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+    v}
+
+    One statement per line; [#] starts a comment; blank lines are skipped;
+    the [input] line is optional (inputs are inferred when absent);
+    parentheses may be used instead of brackets. Multi-factor products such
+    as [S[a,b,i,j] = sum[c,d,e,f,k,l] A[...] * B[...] * C[...] * D[...]]
+    are accepted and left for operation minimization to binarize. *)
+
+open! Import
+
+val parse : string -> (Problem.t, string) result
+(** Parse a whole problem text. Errors carry a line number. *)
+
+val parse_exn : string -> Problem.t
+
+val parse_file : string -> (Problem.t, string) result
+(** Read and parse a file. *)

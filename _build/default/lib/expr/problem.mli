@@ -1,0 +1,47 @@
+(** A complete problem instance: extents plus a computation.
+
+    Definitions may have more than two factors (e.g. the paper's
+    [S_abij = Σ_cdefkl A·B·C·D]); such multi-term products are not yet a
+    formula sequence — the operation-minimization search ([Tce_opmin])
+    chooses the binary evaluation order. Definitions with one or two
+    factors convert directly. *)
+
+open! Import
+
+type def = {
+  lhs : Aref.t;
+  sum : Index.t list;  (** summation indices, possibly empty *)
+  terms : Aref.t list;  (** one or more factors *)
+}
+
+type t = {
+  extents : Extents.t;
+  inputs : Aref.t list;  (** declared or inferred input arrays *)
+  defs : def list;
+}
+
+val create :
+  extents:Extents.t -> ?inputs:Aref.t list -> def list -> (t, string) result
+(** Validates: every term is an input or an earlier lhs; indices of every
+    array have extents; summation indices occur in the terms; no duplicate
+    definitions. When [inputs] is omitted, input arrays are inferred as the
+    referenced-but-never-defined arrays in first-use order. *)
+
+val create_exn :
+  extents:Extents.t -> ?inputs:Aref.t list -> def list -> t
+
+val to_sequence : t -> (Sequence.t, string) result
+(** Direct conversion; fails if some definition has three or more factors
+    (run operation minimization first). Two-factor definitions become
+    [Contract] (or [Mult] when there is no summation); single-factor
+    definitions become [Sum]. *)
+
+val binarize_left_deep : t -> t
+(** Rewrite every multi-term definition into a chain of binary contractions
+    in the given factor order, summing each index at the earliest position
+    where all its uses are consumed. A baseline for [Tce_opmin]; introduces
+    intermediates named [<lhs>__1], [<lhs>__2], ... *)
+
+val output : t -> Aref.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,214 @@
+open! Import
+
+type t =
+  | Leaf of Aref.t
+  | Mult of Aref.t * t * t
+  | Sum of Aref.t * Index.t list * t
+  | Contract of Aref.t * Index.t list * t * t
+
+let aref = function
+  | Leaf a | Mult (a, _, _) | Sum (a, _, _) | Contract (a, _, _, _) -> a
+
+let name t = Aref.name (aref t)
+let indices t = Aref.indices (aref t)
+
+let sum_indices_of = function
+  | Leaf _ | Mult _ -> []
+  | Sum (_, k, _) | Contract (_, k, _, _) -> k
+
+let loop_indices t =
+  Index.Set.union (Aref.index_set (aref t)) (Index.set_of_list (sum_indices_of t))
+
+let children = function
+  | Leaf _ -> []
+  | Sum (_, _, c) -> [ c ]
+  | Mult (_, l, r) | Contract (_, _, l, r) -> [ l; r ]
+
+let rec fold f acc t = f (List.fold_left (fold f) acc (children t)) t
+
+let internal_nodes t =
+  List.rev
+    (fold (fun acc n -> match n with Leaf _ -> acc | _ -> n :: acc) [] t)
+
+let leaves t =
+  List.rev
+    (fold (fun acc n -> match n with Leaf a -> a :: acc | _ -> acc) [] t)
+
+let node_count t = fold (fun acc _ -> acc + 1) 0 t
+
+let find t nm =
+  fold (fun acc n -> if acc <> None then acc
+         else if String.equal (name n) nm then Some n else None)
+    None t
+
+let formula_of = function
+  | Leaf _ -> None
+  | Mult (a, l, r) -> Some { Formula.lhs = a; rhs = Formula.Mult (aref l, aref r) }
+  | Sum (a, k, c) -> Some { Formula.lhs = a; rhs = Formula.Sum (k, aref c) }
+  | Contract (a, k, l, r) ->
+    Some { Formula.lhs = a; rhs = Formula.Contract (k, aref l, aref r) }
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () =
+    List.fold_left
+      (fun acc n ->
+        let* () = acc in
+        match formula_of n with
+        | None -> Ok ()
+        | Some f -> Formula.well_formed f)
+      (Ok ()) (internal_nodes t)
+  in
+  let produced = List.map name (internal_nodes t) in
+  if List.length (List.sort_uniq String.compare produced) <> List.length produced
+  then Error "tree produces the same array name at two nodes"
+  else Ok ()
+
+let of_sequence seq =
+  (* Count how many times each intermediate is consumed. *)
+  let uses = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun op ->
+          let n = Aref.name op in
+          Hashtbl.replace uses n (1 + Option.value ~default:0 (Hashtbl.find_opt uses n)))
+        (Formula.operands f))
+    (Sequence.formulas seq);
+  let input_names = List.map Aref.name (Sequence.inputs seq) in
+  let is_input n = List.mem n input_names in
+  let offenders_multi =
+    List.filter
+      (fun a ->
+        (not (is_input (Aref.name a)))
+        && Option.value ~default:0 (Hashtbl.find_opt uses (Aref.name a)) > 1)
+      (List.map Formula.lhs (Sequence.formulas seq))
+  in
+  let offenders_unused =
+    List.filter
+      (fun a -> not (Hashtbl.mem uses (Aref.name a)))
+      (Sequence.intermediates seq)
+  in
+  if offenders_multi <> [] then
+    Error
+      (Printf.sprintf "intermediate %s is consumed more than once: a DAG, not a tree"
+         (Aref.name (List.hd offenders_multi)))
+  else if offenders_unused <> [] then
+    Error
+      (Printf.sprintf "intermediate %s is never consumed"
+         (Aref.name (List.hd offenders_unused)))
+  else begin
+    let rec build aref_ref =
+      let nm = Aref.name aref_ref in
+      match Sequence.find_def seq nm with
+      | None -> Leaf aref_ref
+      | Some f -> begin
+        let lhs = Formula.lhs f in
+        match Formula.rhs f with
+        | Formula.Mult (x, y) -> Mult (lhs, build x, build y)
+        | Formula.Sum (k, x) -> Sum (lhs, k, build x)
+        | Formula.Contract (k, x, y) -> Contract (lhs, k, build x, build y)
+      end
+    in
+    Ok (build (Sequence.output seq))
+  end
+
+let to_sequence t =
+  let formulas = List.filter_map formula_of (internal_nodes t) in
+  let leaf_inputs =
+    Listx.dedup ~compare:Aref.compare (leaves t)
+  in
+  match formulas with
+  | [] -> Error "a single leaf has no formula sequence"
+  | _ -> Sequence.create ~inputs:leaf_inputs formulas
+
+let rec fuse_mult_sum t =
+  match t with
+  | Leaf _ -> t
+  | Mult (a, l, r) -> Mult (a, fuse_mult_sum l, fuse_mult_sum r)
+  | Contract (a, k, l, r) -> Contract (a, k, fuse_mult_sum l, fuse_mult_sum r)
+  | Sum (a, k, c) -> begin
+    match fuse_mult_sum c with
+    | Mult (_, l, r) as c' ->
+      let shared = Index.Set.inter (Aref.index_set (aref l)) (Aref.index_set (aref r)) in
+      if List.for_all (fun i -> Index.Set.mem i shared) k then
+        Contract (a, k, l, r)
+      else Sum (a, k, c')
+    | c' -> Sum (a, k, c')
+  end
+
+let flops ext t =
+  Ints.sum
+    (List.filter_map
+       (fun n -> Option.map (Formula.flops ext) (formula_of n))
+       (internal_nodes t))
+
+let eval ext ~inputs t =
+  let lookup nm =
+    match List.assoc_opt nm inputs with
+    | Some d -> d
+    | None -> invalid_arg ("Tree.eval: missing input tensor " ^ nm)
+  in
+  let rec go t =
+    match t with
+    | Leaf a -> lookup (Aref.name a)
+    | Mult (a, l, r) -> Einsum.contract2 ~out:(Aref.indices a) (go l) (go r)
+    | Contract (a, _, l, r) ->
+      Einsum.contract2 ~out:(Aref.indices a) (go l) (go r)
+    | Sum (a, k, c) ->
+      let s = Einsum.sum_over (go c) k in
+      let out = Aref.indices a in
+      if Dense.labels s = out then s else Dense.transpose s out
+  in
+  ignore ext;
+  go t
+
+let rec equal a b =
+  match (a, b) with
+  | Leaf x, Leaf y -> Aref.equal x y
+  | Mult (x, l1, r1), Mult (y, l2, r2) ->
+    Aref.equal x y && equal l1 l2 && equal r1 r2
+  | Sum (x, k1, c1), Sum (y, k2, c2) ->
+    Aref.equal x y && List.equal Index.equal k1 k2 && equal c1 c2
+  | Contract (x, k1, l1, r1), Contract (y, k2, l2, r2) ->
+    Aref.equal x y && List.equal Index.equal k1 k2 && equal l1 l2 && equal r1 r2
+  | (Leaf _ | Mult _ | Sum _ | Contract _), _ -> false
+
+let pp ppf t =
+  let rec go prefix is_last ppf t =
+    let connector = if is_last then "`-- " else "|-- " in
+    let label =
+      match t with
+      | Leaf a -> Format.asprintf "%a" Aref.pp a
+      | Mult (a, _, _) -> Format.asprintf "%a  (mult)" Aref.pp a
+      | Sum (a, k, _) -> Format.asprintf "%a  (sum %a)" Aref.pp a Index.pp_list k
+      | Contract (a, k, _, _) ->
+        Format.asprintf "%a  (contract sum %a)" Aref.pp a Index.pp_list k
+    in
+    Format.fprintf ppf "%s%s%s" prefix connector label;
+    let kids = children t in
+    let child_prefix = prefix ^ if is_last then "    " else "|   " in
+    List.iteri
+      (fun i c ->
+        Format.pp_print_newline ppf ();
+        go child_prefix (i = List.length kids - 1) ppf c)
+      kids
+  in
+  match t with
+  | Leaf a -> Aref.pp ppf a
+  | _ ->
+    let label =
+      match t with
+      | Mult (a, _, _) -> Format.asprintf "%a  (mult)" Aref.pp a
+      | Sum (a, k, _) -> Format.asprintf "%a  (sum %a)" Aref.pp a Index.pp_list k
+      | Contract (a, k, _, _) ->
+        Format.asprintf "%a  (contract sum %a)" Aref.pp a Index.pp_list k
+      | Leaf _ -> assert false
+    in
+    Format.pp_print_string ppf label;
+    let kids = children t in
+    List.iteri
+      (fun i c ->
+        Format.pp_print_newline ppf ();
+        go "" (i = List.length kids - 1) ppf c)
+      kids

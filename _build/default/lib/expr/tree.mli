@@ -1,0 +1,74 @@
+(** Operator trees (paper §2, Fig. 1(b)).
+
+    A binary-tree view of a formula sequence: leaves are input arrays,
+    internal nodes produce intermediates. We carry three node kinds — the
+    paper's multiplication and summation nodes, plus the combined
+    contraction node [Σ_K X × Y] that the parallel algorithm of §3 operates
+    on (a multiplication node immediately followed by a summation node is
+    normalized into one contraction node by {!fuse_mult_sum}). *)
+
+open! Import
+
+type t =
+  | Leaf of Aref.t
+  | Mult of Aref.t * t * t  (** produced array, children (no summation) *)
+  | Sum of Aref.t * Index.t list * t  (** produced array, Σ indices, child *)
+  | Contract of Aref.t * Index.t list * t * t
+      (** produced array, Σ indices, children *)
+
+val aref : t -> Aref.t
+(** The array produced at (or residing at, for leaves) the node. *)
+
+val name : t -> string
+val indices : t -> Index.t list
+
+val sum_indices_of : t -> Index.t list
+(** [v.sumindex] — the summation indices of the node itself ([\[\]] for
+    leaves and multiplication nodes). *)
+
+val loop_indices : t -> Index.Set.t
+(** [v.indices] in the paper's §3.2 notation: the array's dimension indices
+    plus the node's own summation indices — every loop surrounding the
+    node's statement. *)
+
+val children : t -> t list
+
+val validate : t -> (unit, string) result
+(** Checks the per-node well-formedness rules of {!Formula} at every
+    internal node, and that all node names are distinct. *)
+
+val of_sequence : Sequence.t -> (t, string) result
+(** Builds the tree of the sequence's output. Fails if some intermediate is
+    consumed more than once (the computation is then a DAG, not a tree) or
+    never consumed. Inputs may be referenced multiple times; each reference
+    becomes its own leaf. *)
+
+val to_sequence : t -> (Sequence.t, string) result
+(** Flattens back to a post-order formula sequence. *)
+
+val fuse_mult_sum : t -> t
+(** Normalize: a [Sum] node directly above a [Mult] node whose summation
+    indices all occur in both operands becomes a single [Contract] node
+    (keeping the [Sum] node's name and output indices). Idempotent. *)
+
+val internal_nodes : t -> t list
+(** All internal nodes, post-order (children before parents). *)
+
+val leaves : t -> Aref.t list
+(** Left-to-right. *)
+
+val node_count : t -> int
+
+val find : t -> string -> t option
+(** Node producing/holding the named array. *)
+
+val flops : Extents.t -> t -> int
+(** Total arithmetic operations: sum of per-node formula costs. *)
+
+val eval : Extents.t -> inputs:(string * Dense.t) list -> t -> Dense.t
+(** Reference evaluation; inputs are looked up by leaf name. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line ASCII rendering of the tree structure. *)

@@ -1,0 +1,1 @@
+lib/fusion/fusionset.ml: Aref Dist Format Import Index List Listx Tree

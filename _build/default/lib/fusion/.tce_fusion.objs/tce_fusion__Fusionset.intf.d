@@ -1,0 +1,1 @@
+lib/fusion/fusionset.mli: Aref Dist Format Import Index Tree

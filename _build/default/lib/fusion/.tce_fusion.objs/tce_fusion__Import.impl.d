@@ -1,0 +1,1 @@
+lib/fusion/import.ml: Tce_expr Tce_grid Tce_index Tce_util

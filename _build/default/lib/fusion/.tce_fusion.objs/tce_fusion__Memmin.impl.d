@@ -1,0 +1,1 @@
+lib/fusion/memmin.ml: Aref Extents Fusionset Import Index Ints List Listx Option Printf Result Tree

@@ -1,0 +1,1 @@
+lib/fusion/memmin.mli: Extents Import Index Tree

@@ -1,0 +1,29 @@
+open! Import
+
+let fusible ~child ~parent =
+  let child_dims = Aref.index_set (Tree.aref child) in
+  Index.Set.inter child_dims (Tree.loop_indices parent)
+
+let candidates ~child ~parent =
+  let sets =
+    List.map Index.set_of_list
+      (Listx.subsets (Index.Set.elements (fusible ~child ~parent)))
+  in
+  List.sort (fun a b -> compare (Index.Set.cardinal a) (Index.Set.cardinal b)) sets
+
+let chain sets =
+  let le a b = Index.Set.subset a b in
+  List.for_all
+    (fun (a, b) -> le a b || le b a)
+    (Listx.pairs sets)
+
+let dist_compatible ~fused ~prod ~cons =
+  Index.Set.for_all
+    (fun t -> Dist.distributes prod t = Dist.distributes cons t)
+    fused
+
+let reduced_dims aref ~fused =
+  List.filter (fun i -> not (Index.Set.mem i fused)) (Aref.indices aref)
+
+let pp ppf set =
+  Format.fprintf ppf "{%a}" Index.pp_list (Index.Set.elements set)

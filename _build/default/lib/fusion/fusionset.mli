@@ -1,0 +1,35 @@
+(** Loop-fusion sets and their legality (paper §3.2).
+
+    The fusion between an array node [v] and its parent [u] is a set of
+    loop indices shared by both nodes whose loops are merged; each fused
+    index disappears from [v]'s stored intermediate (inputs keep their full
+    storage but are then communicated slice-wise). Fused loops must be the
+    outermost loops at [u], so the fusion sets on the edges incident to a
+    node must form a chain under inclusion (the nested common prefix of the
+    imperfectly nested loop structure, cf. Fig. 2(c)). *)
+
+open! Import
+
+val fusible : child:Tree.t -> parent:Tree.t -> Index.Set.t
+(** Candidate fused indices for the edge: dimension indices of the child
+    array that are also loop indices of the parent node. *)
+
+val candidates : child:Tree.t -> parent:Tree.t -> Index.Set.t list
+(** Every subset of {!fusible}, smallest first ([∅] always included). *)
+
+val chain : Index.Set.t list -> bool
+(** True iff the sets are pairwise comparable under inclusion — i.e. they
+    can all be prefixes of one loop nesting. *)
+
+val dist_compatible :
+  fused:Index.Set.t -> prod:Dist.t -> cons:Dist.t -> bool
+(** The paper's constraint (iii): a fused loop's range must agree at the
+    producer and the consumer, so each fused index must be distributed at
+    both ends or at neither. ([prod]: the distribution the child is
+    produced in; [cons]: the distribution it is consumed in.) *)
+
+val reduced_dims : Aref.t -> fused:Index.Set.t -> Index.t list
+(** The array's dimensions after fusion eliminates the fused ones. *)
+
+val pp : Format.formatter -> Index.Set.t -> unit
+(** Prints [{f}] or [{}] for the empty fusion. *)

@@ -1,0 +1,113 @@
+open! Import
+
+type solution = {
+  total_words : int;
+  edge_fusions : (string * Index.t list) list;
+}
+
+let stored_words ext node ~fused =
+  match node with
+  | Tree.Leaf a ->
+    (* Inputs stay fully stored; fusion only affects how they are consumed. *)
+    ignore fused;
+    Extents.size_of ext (Aref.indices a)
+  | _ -> Extents.size_of ext (Fusionset.reduced_dims (Tree.aref node) ~fused)
+
+(* Minimal subtree memory given the fusion on the edge to the parent.
+   Returns (words, edge fusions of the subtree excluding the node's own). *)
+let rec solve ext parent node ~fused =
+  let own = stored_words ext node ~fused in
+  match Tree.children node with
+  | [] -> (own, [])
+  | [ child ] ->
+    (* Unary summation node: one child edge; chain with the parent edge. *)
+    let best =
+      Listx.minimum_by
+        (fun (w1, _) (w2, _) -> compare w1 w2)
+        (List.filter_map
+           (fun fc ->
+             if Fusionset.chain [ fused; fc ] then
+               let w, fs = solve ext node child ~fused:fc in
+               Some (w, (Tree.name child, Index.Set.elements fc) :: fs)
+             else None)
+           (Fusionset.candidates ~child ~parent:node))
+    in
+    let w, fs = Option.get best in
+    ignore parent;
+    (own + w, fs)
+  | [ l; r ] ->
+    let best =
+      Listx.minimum_by
+        (fun (w1, _) (w2, _) -> compare w1 w2)
+        (List.concat_map
+           (fun fl ->
+             List.filter_map
+               (fun fr ->
+                 if Fusionset.chain [ fused; fl; fr ] then begin
+                   let wl, fsl = solve ext node l ~fused:fl in
+                   let wr, fsr = solve ext node r ~fused:fr in
+                   Some
+                     ( wl + wr,
+                       ((Tree.name l, Index.Set.elements fl)
+                       :: (Tree.name r, Index.Set.elements fr) :: fsl)
+                       @ fsr )
+                 end
+                 else None)
+               (Fusionset.candidates ~child:r ~parent:node))
+           (Fusionset.candidates ~child:l ~parent:node))
+    in
+    let w, fs = Option.get best in
+    (own + w, fs)
+  | _ -> assert false (* trees are at most binary *)
+
+let minimize ext tree =
+  let words, fusions = solve ext tree tree ~fused:Index.Set.empty in
+  { total_words = words; edge_fusions = fusions }
+
+let unfused_words ext tree =
+  let rec go node =
+    stored_words ext node ~fused:Index.Set.empty
+    + Ints.sum (List.map go (Tree.children node))
+  in
+  go tree
+
+let footprint ext tree ~fusions =
+  let lookup node =
+    match List.assoc_opt (Tree.name node) fusions with
+    | Some idxs -> Ok (Index.set_of_list idxs)
+    | None -> Ok Index.Set.empty
+  in
+  let ( let* ) = Result.bind in
+  let rec go parent node ~fused =
+    let* () =
+      if Index.Set.subset fused (Fusionset.fusible ~child:node ~parent) then
+        Ok ()
+      else
+        Error
+          (Printf.sprintf "fusion at %s contains a non-fusible index"
+             (Tree.name node))
+    in
+    let own = stored_words ext node ~fused in
+    let* child_fusions =
+      List.fold_left
+        (fun acc child ->
+          let* fs = acc in
+          let* fc = lookup child in
+          Ok (fs @ [ (child, fc) ]))
+        (Ok []) (Tree.children node)
+    in
+    let* () =
+      if Fusionset.chain (fused :: List.map snd child_fusions) then Ok ()
+      else
+        Error
+          (Printf.sprintf "fusions incident to %s do not form a chain"
+             (Tree.name node))
+    in
+    List.fold_left
+      (fun acc (child, fc) ->
+        let* total = acc in
+        let* w = go node child ~fused:fc in
+        Ok (total + w))
+      (Ok own) child_fusions
+  in
+  go tree tree ~fused:Index.Set.empty

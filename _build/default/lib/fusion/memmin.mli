@@ -1,0 +1,32 @@
+(** Memory-minimal loop fusion for sequential evaluation — the prior-work
+    baseline (refs. [14, 15] of the paper).
+
+    Chooses a fusion set for every edge of an operator tree to minimize the
+    total memory footprint: intermediates are stored in their
+    fusion-reduced form, while input leaves and the final output stay
+    fully stored. Distribution is not considered; this is the
+    single-processor variant the paper builds on, and one of the two
+    baselines the benchmarks compare the integrated algorithm against. *)
+
+open! Import
+
+type solution = {
+  total_words : int;
+      (** inputs + output at full size, intermediates reduced *)
+  edge_fusions : (string * Index.t list) list;
+      (** for every non-root node (by array name), the fused indices on the
+          edge to its parent; leaves included (their fusion affects no
+          memory here, so it is reported as [∅]) *)
+}
+
+val minimize : Extents.t -> Tree.t -> solution
+(** Optimal fusion under the chain legality of [Fusionset]. *)
+
+val unfused_words : Extents.t -> Tree.t -> int
+(** Footprint with no fusion at all (every array full). *)
+
+val footprint : Extents.t -> Tree.t -> fusions:(string * Index.t list) list
+  -> (int, string) result
+(** Footprint of a given fusion assignment (validating chain legality);
+    the test oracle checks [minimize] against exhaustive enumeration built
+    on this. *)

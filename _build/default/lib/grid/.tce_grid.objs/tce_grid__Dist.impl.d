@@ -1,0 +1,1 @@
+lib/grid/dist.ml: Aref Extents Format Fun Grid Import Index List Option Printf

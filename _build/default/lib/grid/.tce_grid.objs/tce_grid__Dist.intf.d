@@ -1,0 +1,1 @@
+lib/grid/dist.mli: Aref Extents Format Grid Import Index

@@ -1,0 +1,1 @@
+lib/grid/import.ml: Tce_expr Tce_index Tce_util

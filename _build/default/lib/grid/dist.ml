@@ -1,0 +1,91 @@
+open! Import
+
+type t = { p1 : Index.t option; p2 : Index.t option }
+
+let make p1 p2 =
+  (match (p1, p2) with
+  | Some i, Some j when Index.equal i j ->
+    invalid_arg "Dist.make: the two positions must name distinct indices"
+  | _ -> ());
+  { p1; p2 }
+
+let pair i j = make (Some i) (Some j)
+let none = { p1 = None; p2 = None }
+let p1 t = t.p1
+let p2 t = t.p2
+
+let at t = function
+  | 1 -> t.p1
+  | 2 -> t.p2
+  | d -> invalid_arg (Printf.sprintf "Dist.at: position %d (must be 1 or 2)" d)
+
+let position_of t i =
+  match (t.p1, t.p2) with
+  | Some x, _ when Index.equal x i -> Some 1
+  | _, Some y when Index.equal y i -> Some 2
+  | _ -> None
+
+let distributes t i = position_of t i <> None
+let indices t = List.filter_map Fun.id [ t.p1; t.p2 ]
+
+let restrict t ~keep =
+  let f = function
+    | Some i when not (Index.Set.mem i keep) -> None
+    | p -> p
+  in
+  { p1 = f t.p1; p2 = f t.p2 }
+
+let equal a b =
+  Option.equal Index.equal a.p1 b.p1 && Option.equal Index.equal a.p2 b.p2
+
+let compare a b =
+  match Option.compare Index.compare a.p1 b.p1 with
+  | 0 -> Option.compare Index.compare a.p2 b.p2
+  | c -> c
+
+let enumerate dims ?(allow_partial = true) () =
+  let slots = None :: List.map (fun i -> Some i) dims in
+  let full =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j -> if Index.equal i j then None else Some (pair i j))
+          dims)
+      dims
+  in
+  if not allow_partial then full
+  else
+    List.filter
+      (fun d ->
+        match (d.p1, d.p2) with Some _, Some _ -> false | _ -> true)
+      (List.concat_map
+         (fun a -> List.filter_map (fun b ->
+              match (a, b) with
+              | Some x, Some y when Index.equal x y -> None
+              | _ -> Some { p1 = a; p2 = b }) slots)
+         slots)
+    @ full
+
+let local_dims grid ext t ~coord:(z1, z2) aref =
+  List.iter
+    (fun i ->
+      if not (Aref.mentions aref i) then
+        invalid_arg
+          (Printf.sprintf "Dist.local_dims: %s does not have index %s"
+             (Aref.name aref) (Index.name i)))
+    (indices t);
+  List.map
+    (fun i ->
+      let extent = Extents.extent ext i in
+      match position_of t i with
+      | Some 1 -> (i, Grid.myrange grid ~extent ~coord:z1)
+      | Some 2 -> (i, Grid.myrange grid ~extent ~coord:z2)
+      | _ -> (i, (0, extent)))
+    (Aref.indices aref)
+
+let pp ppf t =
+  let pos ppf = function
+    | None -> Format.pp_print_char ppf '-'
+    | Some i -> Index.pp ppf i
+  in
+  Format.fprintf ppf "<%a,%a>" pos t.p1 pos t.p2

@@ -1,0 +1,58 @@
+(** Array distributions on the 2-D processor grid (paper §3.1).
+
+    A distribution is a pair [⟨i, j⟩]: position [d] names the array index
+    whose dimension is block-partitioned along processor dimension [d].
+    A position may be empty ([None]), meaning no array dimension is split
+    along that processor dimension — the data is then replicated across it.
+    The paper's search only uses full pairs drawn from a contraction's
+    {i, j, k} triple; empty positions appear for low-rank arrays and for
+    the replicated operands of unary summation nodes. *)
+
+open! Import
+
+type t = private { p1 : Index.t option; p2 : Index.t option }
+
+val make : Index.t option -> Index.t option -> t
+(** Raises [Invalid_argument] if both positions name the same index. *)
+
+val pair : Index.t -> Index.t -> t
+(** [pair i j] is [⟨i, j⟩]. *)
+
+val none : t
+(** Fully replicated: [⟨-, -⟩]. *)
+
+val p1 : t -> Index.t option
+val p2 : t -> Index.t option
+
+val at : t -> int -> Index.t option
+(** [at t d] is position [d] (1 or 2): the paper's [α\[d\]]. *)
+
+val position_of : t -> Index.t -> int option
+(** [Some d] if the index is distributed along processor dimension [d]. *)
+
+val distributes : t -> Index.t -> bool
+
+val indices : t -> Index.t list
+
+val restrict : t -> keep:Index.Set.t -> t
+(** Drop positions whose index is not in [keep] (used when summation
+    collapses a distributed dimension). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val enumerate : Index.t list -> ?allow_partial:bool -> unit -> t list
+(** All distributions of an array with the given dimension indices: ordered
+    pairs of distinct indices, and — when [allow_partial] is true (default)
+    — pairs with one or both positions empty. *)
+
+val local_dims :
+  Grid.t -> Extents.t -> t -> coord:int * int -> Aref.t
+  -> (Index.t * (int * int)) list
+(** Per array dimension, the (offset, length) range of the block owned by
+    the processor at [coord] under this distribution. Dimensions not named
+    by the distribution span their full extent. Raises [Invalid_argument]
+    if the distribution names an index the array lacks. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [⟨d,b⟩], with [-] for an empty position. *)

@@ -1,0 +1,54 @@
+open! Import
+
+type t = { procs : int; side : int }
+
+let create ~procs =
+  if procs <= 0 then Error "grid: processor count must be positive"
+  else if not (Ints.is_perfect_square procs) then
+    Error
+      (Printf.sprintf
+         "grid: processor count %d is not a perfect square (the logical view \
+          is a sqrt(P) x sqrt(P) grid)"
+         procs)
+  else Ok { procs; side = Ints.isqrt procs }
+
+let create_exn ~procs =
+  match create ~procs with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Grid.create_exn: " ^ msg)
+
+let procs t = t.procs
+let side t = t.side
+
+let coords t =
+  List.concat
+    (List.init t.side (fun z1 -> List.init t.side (fun z2 -> (z1, z2))))
+
+let rank_of t (z1, z2) =
+  if z1 < 0 || z1 >= t.side || z2 < 0 || z2 >= t.side then
+    invalid_arg "Grid.rank_of: coordinate out of range";
+  (z1 * t.side) + z2
+
+let coord_of t rank =
+  if rank < 0 || rank >= t.procs then
+    invalid_arg "Grid.coord_of: rank out of range";
+  (rank / t.side, rank mod t.side)
+
+let shift t (z1, z2) ~axis ~by =
+  let wrap v = ((v mod t.side) + t.side) mod t.side in
+  match axis with
+  | 1 -> (wrap (z1 + by), z2)
+  | 2 -> (z1, wrap (z2 + by))
+  | _ -> invalid_arg "Grid.shift: axis must be 1 or 2"
+
+let myrange t ~extent ~coord =
+  if coord < 0 || coord >= t.side then
+    invalid_arg "Grid.myrange: coordinate out of range";
+  if extent <= 0 then invalid_arg "Grid.myrange: extent must be positive";
+  let lo = coord * extent / t.side in
+  let hi = (coord + 1) * extent / t.side in
+  (lo, hi - lo)
+
+let block_len t ~extent = Ints.ceil_div extent t.side
+
+let pp ppf t = Format.fprintf ppf "%dx%d grid (%d procs)" t.side t.side t.procs

@@ -1,0 +1,48 @@
+(** The logical √P × √P processor grid (paper §3.1).
+
+    Cannon's algorithm views the P processors as a two-dimensional torus;
+    arrays are partitioned along the two processor dimensions. The logical
+    view is independent of the physical interconnect — costs come from the
+    (empirically characterized) communication model, not from grid
+    geometry. *)
+
+open! Import
+
+type t
+
+val create : procs:int -> (t, string) result
+(** [create ~procs] requires [procs] to be a positive perfect square. *)
+
+val create_exn : procs:int -> t
+
+val procs : t -> int
+
+val side : t -> int
+(** √P: processors per grid dimension, also the number of shift steps of a
+    full Cannon rotation. *)
+
+val coords : t -> (int * int) list
+(** All processor coordinates [(z1, z2)], 0-based, row-major. *)
+
+val rank_of : t -> int * int -> int
+(** Row-major linearization of a coordinate. *)
+
+val coord_of : t -> int -> int * int
+(** Inverse of {!rank_of}. *)
+
+val shift : t -> int * int -> axis:int -> by:int -> int * int
+(** Torus neighbour: move [by] steps along processor dimension [axis]
+    (1 or 2), wrapping. *)
+
+val myrange : t -> extent:int -> coord:int -> int * int
+(** [(offset, length)] of the block owned by grid position [coord]
+    (0-based) along one processor dimension, for an array dimension of the
+    given extent: the paper's [myrange(z, N, √P)]. Blocks are balanced
+    ([⌊zN/s⌋ .. ⌊(z+1)N/s⌋)) and exactly tile the extent; when [side]
+    divides [extent] this is the paper's equal division. *)
+
+val block_len : t -> extent:int -> int
+(** Largest block length along one processor dimension ([⌈extent/side⌉]);
+    the per-processor range used in size formulas. *)
+
+val pp : Format.formatter -> t -> unit

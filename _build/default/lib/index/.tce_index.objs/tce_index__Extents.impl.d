@@ -1,0 +1,1 @@
+lib/index/extents.ml: Format Index List Printf

@@ -1,0 +1,1 @@
+lib/index/extents.mli: Format Index

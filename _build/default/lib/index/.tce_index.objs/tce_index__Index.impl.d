@@ -1,0 +1,1 @@
+lib/index/index.ml: Format Hashtbl List Map Printf Set String

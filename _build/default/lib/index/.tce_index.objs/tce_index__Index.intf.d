@@ -1,0 +1,1 @@
+lib/index/index.mli: Format Map Set

@@ -1,0 +1,52 @@
+type t = int Index.Map.t
+
+let empty = Index.Map.empty
+
+let add t idx n =
+  if n <= 0 then
+    Error
+      (Printf.sprintf "extent of %s must be positive, got %d" (Index.name idx)
+         n)
+  else
+    match Index.Map.find_opt idx t with
+    | Some existing when existing <> n ->
+      Error
+        (Printf.sprintf "index %s bound to conflicting extents %d and %d"
+           (Index.name idx) existing n)
+    | _ -> Ok (Index.Map.add idx n t)
+
+let of_list bindings =
+  List.fold_left
+    (fun acc (idx, n) ->
+      match acc with Error _ as e -> e | Ok t -> add t idx n)
+    (Ok empty) bindings
+
+let of_list_exn bindings =
+  match of_list bindings with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Extents.of_list_exn: " ^ msg)
+
+let extent t idx = Index.Map.find idx t
+let extent_opt t idx = Index.Map.find_opt idx t
+let mem t idx = Index.Map.mem idx t
+let bindings t = Index.Map.bindings t
+let indices t = Index.Map.fold (fun k _ acc -> Index.Set.add k acc) t Index.Set.empty
+
+let size_of t idxs =
+  List.fold_left (fun acc i -> acc * extent t i) 1 idxs
+
+let covers t set = Index.Set.for_all (fun i -> mem t i) set
+
+let scale t ~factor_num ~factor_den ~min_extent =
+  if factor_num <= 0 || factor_den <= 0 then
+    invalid_arg "Extents.scale: factors must be positive";
+  Index.Map.map
+    (fun n -> max min_extent (n * factor_num / factor_den))
+    t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (i, n) -> Format.fprintf ppf "N_%a=%d" Index.pp i n))
+    (bindings t)

@@ -1,0 +1,46 @@
+(** Extent environments: the range N_i of every index variable.
+
+    A problem instance fixes an extent for each index (e.g. N_a = 480,
+    N_e = 64, N_j = 32 in the paper's application example); all size, flop
+    and cost computations read extents from one environment. *)
+
+type t
+(** An immutable finite map from index variables to positive extents. *)
+
+val empty : t
+
+val of_list : (Index.t * int) list -> (t, string) result
+(** Builds an environment; rejects non-positive extents and conflicting
+    duplicate bindings (re-binding an index to the same extent is allowed). *)
+
+val of_list_exn : (Index.t * int) list -> t
+(** Like {!of_list} but raises [Invalid_argument]. *)
+
+val add : t -> Index.t -> int -> (t, string) result
+(** Adds one binding under the same rules as {!of_list}. *)
+
+val extent : t -> Index.t -> int
+(** The extent of a bound index. Raises [Not_found] if unbound. *)
+
+val extent_opt : t -> Index.t -> int option
+
+val mem : t -> Index.t -> bool
+
+val bindings : t -> (Index.t * int) list
+(** In increasing index order. *)
+
+val indices : t -> Index.Set.t
+
+val size_of : t -> Index.t list -> int
+(** Product of extents of the given indices (1 on the empty list). All
+    indices must be bound. *)
+
+val covers : t -> Index.Set.t -> bool
+(** True iff every index of the set is bound. *)
+
+val scale : t -> factor_num:int -> factor_den:int -> min_extent:int -> t
+(** Scale every extent by [factor_num/factor_den], rounding down but never
+    below [min_extent]. Used to shrink paper-scale problems to executable
+    validation sizes while preserving extent ratios. *)
+
+val pp : Format.formatter -> t -> unit

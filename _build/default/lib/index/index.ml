@@ -1,0 +1,30 @@
+type t = string
+
+let valid_name s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let v s =
+  if valid_name s then s
+  else invalid_arg (Printf.sprintf "Index.v: invalid index name %S" s)
+
+let name t = t
+let compare = String.compare
+let equal = String.equal
+let hash = Hashtbl.hash
+let pp ppf t = Format.pp_print_string ppf t
+
+let pp_list ppf ts =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+    pp ppf ts
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+let set_of_list = Set.of_list
+
+let distinct xs = List.length xs = Set.cardinal (Set.of_list xs)

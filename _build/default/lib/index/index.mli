@@ -1,0 +1,38 @@
+(** Loop-index variables.
+
+    Every tensor dimension, loop and summation in a contraction expression is
+    named by an index variable ([a], [b], ..., [k1], ...). Index variables
+    are interned strings with value semantics; the engine never compares
+    indices by physical identity. *)
+
+type t
+(** An index variable. *)
+
+val v : string -> t
+(** [v name] is the index named [name]. The name must be a non-empty string
+    of letters, digits and underscores starting with a letter; raises
+    [Invalid_argument] otherwise. *)
+
+val name : t -> string
+(** The variable's name. *)
+
+val compare : t -> t -> int
+(** Total order by name. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints the bare name. *)
+
+val pp_list : Format.formatter -> t list -> unit
+(** Prints [a,b,c] (comma-separated, no brackets). *)
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t
+
+val distinct : t list -> bool
+(** [distinct xs] is true iff no index occurs twice in [xs]. *)

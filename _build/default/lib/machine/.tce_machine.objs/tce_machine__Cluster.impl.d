@@ -1,0 +1,1 @@
+lib/machine/cluster.ml: Array Float Grid Import List Params

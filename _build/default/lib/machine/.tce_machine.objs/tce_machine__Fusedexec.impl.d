@@ -1,0 +1,1 @@
+lib/machine/fusedexec.ml: Aref Array Contraction Dense Dist Einsum Extents Grid Hashtbl Import Index Int Ints List Plan Printf Schedule Variant

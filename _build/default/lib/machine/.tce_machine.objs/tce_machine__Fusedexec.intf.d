@@ -1,0 +1,1 @@
+lib/machine/fusedexec.mli: Dense Extents Grid Import Plan

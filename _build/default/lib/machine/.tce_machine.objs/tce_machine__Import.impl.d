@@ -1,0 +1,1 @@
+lib/machine/import.ml: Tce_cannon Tce_core Tce_expr Tce_grid Tce_index Tce_memmodel Tce_netmodel Tce_tensor Tce_util

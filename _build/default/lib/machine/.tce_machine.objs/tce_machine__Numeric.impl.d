@@ -1,0 +1,1 @@
+lib/machine/numeric.ml: Aref Array Contraction Dense Dist Einsum Extents Grid Hashtbl Import Index List Plan Printf Schedule Variant

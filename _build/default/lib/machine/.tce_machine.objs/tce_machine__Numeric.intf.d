@@ -1,0 +1,1 @@
+lib/machine/numeric.mli: Dense Extents Grid Import Plan Variant

@@ -1,0 +1,1 @@
+lib/machine/simulate.ml: Aref Cluster Dist Eqs Extents Format Grid Import Index List Plan Printf Schedule Units Variant

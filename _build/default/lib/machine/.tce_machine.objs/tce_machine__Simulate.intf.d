@@ -1,0 +1,1 @@
+lib/machine/simulate.mli: Extents Format Grid Import Params Plan

@@ -1,0 +1,78 @@
+open! Import
+
+type t = {
+  params : Params.t;
+  grid : Grid.t;
+  clocks : float array;  (* indexed by Grid.rank_of *)
+  mutable comm : float;  (* critical-path communication time *)
+  mutable work : float;  (* critical-path computation time *)
+}
+
+let create params grid =
+  {
+    params;
+    grid;
+    clocks = Array.make (Grid.procs grid) 0.0;
+    comm = 0.0;
+    work = 0.0;
+  }
+
+let params t = t.params
+let grid t = t.grid
+let clock t = Array.fold_left Float.max 0.0 t.clocks
+let comm_seconds t = t.comm
+let compute_seconds t = t.work
+
+let compute t ~flops =
+  let before = clock t in
+  List.iter
+    (fun coord ->
+      let r = Grid.rank_of t.grid coord in
+      t.clocks.(r) <-
+        t.clocks.(r) +. Params.compute_time t.params ~flops:(flops coord))
+    (Grid.coords t.grid);
+  t.work <- t.work +. (clock t -. before)
+
+let compute_uniform t ~flops_per_proc = compute t ~flops:(fun _ -> flops_per_proc)
+
+let shift_round t ~axis ~bytes =
+  let before = clock t in
+  let next = Array.copy t.clocks in
+  List.iter
+    (fun coord ->
+      let r = Grid.rank_of t.grid coord in
+      let peer_to = Grid.shift t.grid coord ~axis ~by:(-1) in
+      let peer_from = Grid.shift t.grid coord ~axis ~by:1 in
+      (* A processor's round completes when its send to -1 and its receive
+         from +1 are both done; each transfer starts when both ends are
+         ready. *)
+      let send_done =
+        Float.max t.clocks.(r) t.clocks.(Grid.rank_of t.grid peer_to)
+        +. Params.step_time t.params ~bytes:(bytes coord)
+      in
+      let recv_done =
+        Float.max t.clocks.(r) t.clocks.(Grid.rank_of t.grid peer_from)
+        +. Params.step_time t.params ~bytes:(bytes peer_from)
+      in
+      next.(r) <- Float.max send_done recv_done)
+    (Grid.coords t.grid);
+  Array.blit next 0 t.clocks 0 (Array.length next);
+  t.comm <- t.comm +. (clock t -. before)
+
+let shift_round_uniform t ~axis ~bytes = shift_round t ~axis ~bytes:(fun _ -> bytes)
+
+let advance_comm_uniform t ~seconds =
+  if seconds < 0.0 then invalid_arg "Cluster.advance_comm_uniform: negative";
+  for r = 0 to Array.length t.clocks - 1 do
+    t.clocks.(r) <- t.clocks.(r) +. seconds
+  done;
+  t.comm <- t.comm +. seconds
+
+let barrier t =
+  let m = clock t in
+  Array.fill t.clocks 0 (Array.length t.clocks) m
+
+let reset t =
+  Array.fill t.clocks 0 (Array.length t.clocks) 0.0;
+  t.comm <- 0.0;
+  t.work <- 0.0

@@ -1,0 +1,21 @@
+(* Aliases for lower-layer libraries; opened by every module in this
+   library. *)
+module Ints = Tce_util.Ints
+module Listx = Tce_util.Listx
+module Units = Tce_util.Units
+module Prng = Tce_util.Prng
+module Index = Tce_index.Index
+module Extents = Tce_index.Extents
+module Dense = Tce_tensor.Dense
+module Einsum = Tce_tensor.Einsum
+module Aref = Tce_expr.Aref
+module Tree = Tce_expr.Tree
+module Grid = Tce_grid.Grid
+module Dist = Tce_grid.Dist
+module Params = Tce_netmodel.Params
+module Rcost = Tce_netmodel.Rcost
+module Eqs = Tce_memmodel.Eqs
+module Contraction = Tce_cannon.Contraction
+module Variant = Tce_cannon.Variant
+module Schedule = Tce_cannon.Schedule
+module Plan = Tce_core.Plan

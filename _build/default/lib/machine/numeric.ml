@@ -1,0 +1,158 @@
+open! Import
+
+(* Index ranges of block (b1, b2) of an array under a distribution. *)
+let block_ranges grid ext ~alpha ~dims ~b1 ~b2 =
+  List.map
+    (fun i ->
+      let extent = Extents.extent ext i in
+      match Dist.position_of alpha i with
+      | Some 1 -> (i, Grid.myrange grid ~extent ~coord:b1)
+      | Some 2 -> (i, Grid.myrange grid ~extent ~coord:b2)
+      | _ -> (i, (0, extent)))
+    dims
+
+let check_extents grid ext ~alpha =
+  List.iter
+    (fun i ->
+      if Extents.extent ext i < Grid.side grid then
+        invalid_arg
+          (Printf.sprintf
+             "Numeric: extent of distributed index %s (%d) is below the grid \
+              side %d"
+             (Index.name i) (Extents.extent ext i) (Grid.side grid)))
+    (Dist.indices alpha)
+
+let extract_block grid ext full ~alpha ~b1 ~b2 =
+  let ranges =
+    block_ranges grid ext ~alpha ~dims:(Dense.labels full) ~b1 ~b2
+  in
+  Dense.block full (List.map (fun (i, r) -> (i, r)) ranges)
+
+let run_contraction grid ext variant ~left ~right =
+  let side = Grid.side grid in
+  let sched = Schedule.make variant ~side in
+  List.iter
+    (fun role -> check_extents grid ext ~alpha:(Variant.dist_of variant role))
+    [ Variant.Out; Variant.Left; Variant.Right ];
+  let out_aref = Variant.aref_of variant Variant.Out in
+  let full_of = function
+    | Variant.Left -> left
+    | Variant.Right -> right
+    | Variant.Out -> invalid_arg "full_of: out has no source"
+  in
+  (* state.(rank) holds the current (block coords, tensor) per role. *)
+  let state role =
+    Array.init (Grid.procs grid) (fun rank ->
+        let z1, z2 = Grid.coord_of grid rank in
+        let b1, b2 = Schedule.block_at sched role ~step:0 ~z1 ~z2 in
+        let alpha = Variant.dist_of variant role in
+        let tensor =
+          match role with
+          | Variant.Out ->
+            let ranges =
+              block_ranges grid ext ~alpha ~dims:(Aref.indices out_aref) ~b1
+                ~b2
+            in
+            Dense.create (List.map (fun (i, (_, len)) -> (i, len)) ranges)
+          | Variant.Left | Variant.Right ->
+            extract_block grid ext (full_of role) ~alpha ~b1 ~b2
+        in
+        ((b1, b2), tensor))
+  in
+  let lefts = state Variant.Left in
+  let rights = state Variant.Right in
+  let outs = state Variant.Out in
+  let arrays_of = function
+    | Variant.Left -> lefts
+    | Variant.Right -> rights
+    | Variant.Out -> outs
+  in
+  let shift_role role ~axis ~step =
+    let arr = arrays_of role in
+    let moved =
+      Array.init (Grid.procs grid) (fun rank ->
+          (* The block a processor holds at this step came from its +1
+             neighbour along the rotation axis. *)
+          let coord = Grid.coord_of grid rank in
+          let from = Grid.shift grid coord ~axis ~by:1 in
+          arr.(Grid.rank_of grid from))
+    in
+    Array.iteri
+      (fun rank ((b1, b2), tensor) ->
+        let z1, z2 = Grid.coord_of grid rank in
+        let e1, e2 = Schedule.block_at sched role ~step ~z1 ~z2 in
+        assert (b1 = e1 && b2 = e2);
+        arr.(rank) <- ((b1, b2), tensor))
+      moved
+  in
+  let multiply () =
+    Array.iteri
+      (fun rank (_, out_blk) ->
+        let _, l_blk = lefts.(rank) in
+        let _, r_blk = rights.(rank) in
+        let delta =
+          Einsum.contract2 ~out:(Dense.labels out_blk) l_blk r_blk
+        in
+        outs.(rank) <- (fst outs.(rank), Einsum.add out_blk delta))
+      outs
+  in
+  multiply ();
+  for step = 1 to side - 1 do
+    List.iter
+      (fun (role, axis) -> shift_role role ~axis ~step)
+      (Variant.rotated variant);
+    multiply ()
+  done;
+  (* Gather the (possibly still displaced) output blocks. *)
+  let alpha_out = Variant.dist_of variant Variant.Out in
+  let full_dims =
+    List.map (fun i -> (i, Extents.extent ext i)) (Aref.indices out_aref)
+  in
+  let result = Dense.create full_dims in
+  Array.iter
+    (fun ((b1, b2), blk) ->
+      let offsets =
+        List.filter_map
+          (fun (i, (off, _len)) -> if off = 0 then None else Some (i, off))
+          (block_ranges grid ext ~alpha:alpha_out
+             ~dims:(Aref.indices out_aref) ~b1 ~b2)
+      in
+      Dense.set_block result offsets blk)
+    outs;
+  result
+
+let run_plan grid ext (plan : Plan.t) ~inputs =
+  let env = Hashtbl.create 16 in
+  List.iter (fun (name, t) -> Hashtbl.replace env name t) inputs;
+  (* Local pre-summations of inputs happen before any contraction. *)
+  List.iter
+    (fun (ps : Plan.presum) ->
+      match Hashtbl.find_opt env (Aref.name ps.source) with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Numeric.run_plan: missing tensor %s"
+             (Aref.name ps.source))
+      | Some src ->
+        Hashtbl.replace env (Aref.name ps.out) (Einsum.sum_over src ps.sum))
+    plan.presums;
+  let lookup aref =
+    match Hashtbl.find_opt env (Aref.name aref) with
+    | Some t -> t
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Numeric.run_plan: missing tensor %s" (Aref.name aref))
+  in
+  let last = ref None in
+  List.iter
+    (fun (step : Plan.step) ->
+      let left = lookup step.contraction.Contraction.left in
+      let right = lookup step.contraction.Contraction.right in
+      let out = run_contraction grid ext step.variant ~left ~right in
+      Hashtbl.replace env
+        (Aref.name step.contraction.Contraction.out)
+        out;
+      last := Some out)
+    plan.steps;
+  match !last with
+  | Some out -> out
+  | None -> invalid_arg "Numeric.run_plan: plan has no steps"

@@ -1,0 +1,29 @@
+(** Numeric execution of plans on the simulated cluster.
+
+    Runs the generalized Cannon schedules with real tensor blocks: scatter
+    the operands according to the variant's distributions, perform the
+    skew and the shift rounds by actually moving blocks between virtual
+    processors, multiply-accumulate locally at every step, and gather the
+    result. The test suite checks the gathered output against the naive
+    einsum reference — this is the end-to-end evidence that the plans the
+    optimizer produces compute the right answer.
+
+    Fusion affects storage and message slicing, not values, so numeric
+    execution materializes intermediates in full; run it at reduced
+    validation extents (every distributed extent must be at least the grid
+    side). *)
+
+open! Import
+
+val run_contraction :
+  Grid.t -> Extents.t -> Variant.t -> left:Dense.t -> right:Dense.t
+  -> Dense.t
+(** Execute one contraction under the given variant. The operand tensors
+    are full (undistributed); the result is the gathered full output.
+    Verifies at every step that the shifted blocks land where the schedule
+    says (assertion failure otherwise — a schedule bug, not user error). *)
+
+val run_plan :
+  Grid.t -> Extents.t -> Plan.t -> inputs:(string * Dense.t) list -> Dense.t
+(** Execute every step of the plan in order, feeding intermediate results
+    forward, and return the final output. *)

@@ -1,0 +1,97 @@
+open! Import
+
+type timing = {
+  comm_seconds : float;
+  compute_seconds : float;
+  total_seconds : float;
+}
+
+let max_rounds = 10_000_000
+
+(* Per-block slice size (words) of a rotated array: lengths of the two
+   distributed dimensions at this block coordinate, full extents elsewhere,
+   fused dimensions reduced to single slices. *)
+let slice_words ext grid ~alpha ~fused ~dims ~b1 ~b2 =
+  List.fold_left
+    (fun acc i ->
+      let extent = Extents.extent ext i in
+      let len =
+        if Index.Set.mem i fused then 1
+        else
+          match Dist.position_of alpha i with
+          | Some 1 -> snd (Grid.myrange grid ~extent ~coord:b1)
+          | Some 2 -> snd (Grid.myrange grid ~extent ~coord:b2)
+          | _ -> extent
+      in
+      acc * len)
+    1 dims
+
+let simulate_step cluster ext (step : Plan.step) =
+  let grid = Cluster.grid cluster in
+  let side = Grid.side grid in
+  let procs = Grid.procs grid in
+  let sched = Schedule.make step.variant ~side in
+  (* Rotations, serialized per role as in the cost model. *)
+  List.iter
+    (fun ((role : Variant.role), axis) ->
+      let alpha = Variant.dist_of step.variant role in
+      let fused =
+        match role with
+        | Variant.Out -> step.fusion_out
+        | Variant.Left -> step.fusion_left
+        | Variant.Right -> step.fusion_right
+      in
+      let dims = Aref.indices (Variant.aref_of step.variant role) in
+      let m = Eqs.msg_factor ext ~side ~alpha ~fused ~dims in
+      if m * side > max_rounds then
+        invalid_arg
+          (Printf.sprintf
+             "Simulate: step at %s implies %d communication rounds"
+             (Aref.name (Variant.aref_of step.variant role))
+             (m * side));
+      for _iter = 1 to m do
+        for round = 0 to side - 1 do
+          Cluster.shift_round cluster ~axis ~bytes:(fun (z1, z2) ->
+              let b1, b2 =
+                Schedule.block_at sched role ~step:round ~z1 ~z2
+              in
+              Units.bytes_of_words
+                (slice_words ext grid ~alpha ~fused ~dims ~b1 ~b2))
+        done
+      done)
+    (Variant.rotated step.variant);
+  List.iter
+    (fun (rd : Plan.redist) ->
+      Cluster.barrier cluster;
+      Cluster.advance_comm_uniform cluster ~seconds:rd.cost)
+    step.redists;
+  Cluster.compute_uniform cluster
+    ~flops_per_proc:(float_of_int step.flops /. float_of_int procs);
+  Cluster.barrier cluster
+
+let run_plan params ext (plan : Plan.t) =
+  let cluster = Cluster.create params plan.grid in
+  let procs = Grid.procs plan.grid in
+  List.iter
+    (fun (ps : Plan.presum) ->
+      Cluster.compute_uniform cluster
+        ~flops_per_proc:(float_of_int ps.flops /. float_of_int procs))
+    plan.presums;
+  List.iter (simulate_step cluster ext) plan.steps;
+  {
+    comm_seconds = Cluster.comm_seconds cluster;
+    compute_seconds = Cluster.compute_seconds cluster;
+    total_seconds = Cluster.clock cluster;
+  }
+
+let measure_rotation params grid ~axis ~words =
+  let cluster = Cluster.create params grid in
+  for _round = 1 to Grid.side grid do
+    Cluster.shift_round_uniform cluster ~axis
+      ~bytes:(Units.bytes_of_words words)
+  done;
+  Cluster.clock cluster
+
+let pp_timing ppf t =
+  Format.fprintf ppf "comm %.1f s + compute %.1f s = %.1f s" t.comm_seconds
+    t.compute_seconds t.total_seconds

@@ -1,0 +1,28 @@
+(** Executing optimized plans on the simulated cluster (timing).
+
+    Walks a plan step by step, issuing every fused-loop iteration of every
+    rotation as [side] synchronized shift rounds with the actual per-slice
+    message sizes, plus the local computation. This is the "measured"
+    column of the experiment reports: the optimizer predicts with the
+    analytic equations, the simulator replays the schedule event by event,
+    and the two must agree (exactly, for extents the grid divides). *)
+
+open! Import
+
+type timing = {
+  comm_seconds : float;
+  compute_seconds : float;
+  total_seconds : float;
+}
+
+val run_plan : Params.t -> Extents.t -> Plan.t -> timing
+(** Simulate the whole plan. Raises [Invalid_argument] if a fused loop nest
+    implies more than [10^7] communication rounds (a runaway plan no real
+    run would attempt either). *)
+
+val measure_rotation : Params.t -> Grid.t -> axis:int -> words:int -> float
+(** Time one full Cannon rotation of blocks of the given size on the
+    simulated machine: the measurement primitive behind the
+    characterization pipeline ([Rcost.characterize]). *)
+
+val pp_timing : Format.formatter -> timing -> unit

@@ -1,0 +1,1 @@
+lib/memmodel/eqs.ml: Dist Extents Import Index Ints List Rcost

@@ -1,0 +1,1 @@
+lib/memmodel/eqs.mli: Dist Extents Import Index Rcost

@@ -1,0 +1,1 @@
+lib/memmodel/import.ml: Tce_expr Tce_grid Tce_index Tce_netmodel Tce_util

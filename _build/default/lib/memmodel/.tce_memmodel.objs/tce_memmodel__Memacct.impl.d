@@ -1,0 +1,1 @@
+lib/memmodel/memacct.ml: Format Import Params Units

@@ -1,0 +1,1 @@
+lib/memmodel/memacct.mli: Format Import Params

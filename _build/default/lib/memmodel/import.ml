@@ -1,0 +1,12 @@
+(* Aliases for lower-layer libraries; opened by every module in this
+   library. *)
+module Ints = Tce_util.Ints
+module Listx = Tce_util.Listx
+module Units = Tce_util.Units
+module Index = Tce_index.Index
+module Extents = Tce_index.Extents
+module Aref = Tce_expr.Aref
+module Grid = Tce_grid.Grid
+module Dist = Tce_grid.Dist
+module Params = Tce_netmodel.Params
+module Rcost = Tce_netmodel.Rcost

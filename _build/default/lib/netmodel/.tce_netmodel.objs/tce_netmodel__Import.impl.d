@@ -1,0 +1,1 @@
+lib/netmodel/import.ml: Tce_grid Tce_index Tce_util

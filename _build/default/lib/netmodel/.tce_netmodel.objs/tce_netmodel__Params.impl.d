@@ -1,0 +1,1 @@
+lib/netmodel/params.ml: Format Import Interp Units

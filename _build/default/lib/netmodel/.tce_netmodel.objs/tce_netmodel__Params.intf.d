@@ -1,0 +1,1 @@
+lib/netmodel/params.mli: Format Import Interp

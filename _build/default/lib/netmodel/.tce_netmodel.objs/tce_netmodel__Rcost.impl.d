@@ -1,0 +1,1 @@
+lib/netmodel/rcost.ml: Float Format Import In_channel Interp Ints List Out_channel Params Printf Result String Units

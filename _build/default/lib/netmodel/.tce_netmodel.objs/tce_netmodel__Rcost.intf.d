@@ -1,0 +1,1 @@
+lib/netmodel/rcost.mli: Format Import Params

@@ -1,0 +1,67 @@
+open! Import
+
+type t = {
+  name : string;
+  step_time : Interp.t;
+  flop_rate : float;
+  procs_per_node : int;
+  mem_per_node_bytes : float;
+}
+
+(* Knots back-derived from the paper's Tables 1-2 (see DESIGN.md section 4):
+   each published per-array communication cost, divided by the number of
+   shift steps it implies (sqrt(P) times the fused-loop message factor),
+   gives the per-step time at that array's local block size. *)
+let itanium_step_knots =
+  [
+    (0.0, 0.0620);            (* latency floor *)
+    (245_760.0, 0.08125);     (* C slices, 16 procs *)
+    (491_520.0, 0.10039);     (* B slices, 16 procs *)
+    (3_932_160.0, 0.35);      (* C blocks, 64 procs *)
+    (7_864_320.0, 0.6125);    (* B blocks, 64 procs *)
+    (29_491_200.0, 2.2688);   (* A / T2 blocks, 64 procs *)
+    (55_296_000.0, 3.465);    (* fused T1 blocks, 16 procs *)
+    (58_982_400.0, 4.4625);   (* D blocks, 64 procs *)
+    (117_964_800.0, 8.85);    (* A / T2 blocks, 16 procs *)
+  ]
+
+let itanium_2003 =
+  {
+    name = "itanium-cluster-2003";
+    step_time = Interp.of_points_exn itanium_step_knots;
+    flop_rate = 6.15e8;
+    procs_per_node = 2;
+    mem_per_node_bytes = 4.0e9;
+  }
+
+let uniform ~name ~latency ~bandwidth ~flop_rate ~procs_per_node
+    ~mem_per_node_bytes =
+  if latency < 0.0 || bandwidth <= 0.0 || flop_rate <= 0.0 then
+    invalid_arg "Params.uniform: non-positive machine parameter";
+  (* Two knots suffice: Interp extrapolates the segment linearly, so the
+     alpha-beta law holds for every size. *)
+  let step_time =
+    Interp.of_points_exn
+      [ (0.0, latency); (1.0e9, latency +. (1.0e9 /. bandwidth)) ]
+  in
+  { name; step_time; flop_rate; procs_per_node; mem_per_node_bytes }
+
+let step_time t ~bytes =
+  if bytes < 0.0 then invalid_arg "Params.step_time: negative size";
+  Interp.eval t.step_time bytes
+
+let rotation_time t ~side ~bytes = float_of_int side *. step_time t ~bytes
+
+let compute_time t ~flops =
+  if flops < 0.0 then invalid_arg "Params.compute_time: negative flops";
+  flops /. t.flop_rate
+
+let mem_per_proc_bytes t =
+  t.mem_per_node_bytes /. float_of_int t.procs_per_node
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d procs/node, %a/node, %.0f Mflop/s/proc, step(1MB)=%.3fs" t.name
+    t.procs_per_node Units.pp_bytes_si t.mem_per_node_bytes
+    (t.flop_rate /. 1e6)
+    (step_time t ~bytes:1e6)

@@ -1,0 +1,48 @@
+(** Machine parameters of the (simulated) target cluster.
+
+    The paper evaluates on an Intel Itanium cluster with 2 processors and
+    4 GB of memory per node. We stand a simulated cluster in for it; its
+    timing is fitted to the paper's published Tables 1–2, which are
+    internally consistent with a per-shift-step cost that is a
+    piecewise-linear function of message size (see DESIGN.md §4). All
+    communication timing flows from [step_time]; all computation timing
+    from [flop_rate]. *)
+
+open! Import
+
+type t = {
+  name : string;
+  step_time : Interp.t;
+      (** seconds for one Cannon shift step, as a function of the local
+          block size in {b bytes} *)
+  flop_rate : float;  (** sustained flops/second per processor *)
+  procs_per_node : int;
+  mem_per_node_bytes : float;
+}
+
+val itanium_2003 : t
+(** The paper's cluster: 2 procs/node, 4 GB/node, ≈615 Mflop/s per
+    processor, and a step-time table back-derived from the published
+    communication costs. *)
+
+val uniform :
+  name:string ->
+  latency:float ->
+  bandwidth:float ->
+  flop_rate:float ->
+  procs_per_node:int ->
+  mem_per_node_bytes:float ->
+  t
+(** A pure α–β machine: [step_time bytes = latency + bytes/bandwidth]. *)
+
+val step_time : t -> bytes:float -> float
+(** One shift step of a block of the given size. *)
+
+val rotation_time : t -> side:int -> bytes:float -> float
+(** A full Cannon rotation: [side] shift steps. *)
+
+val compute_time : t -> flops:float -> float
+
+val mem_per_proc_bytes : t -> float
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,131 @@
+open! Import
+
+type t = { side : int; axis1 : Interp.t; axis2 : Interp.t }
+
+let side t = t.side
+
+let characterize ~side ~samples ~measure =
+  if side <= 0 then invalid_arg "Rcost.characterize: side must be positive";
+  let samples = List.sort_uniq compare samples in
+  if samples = [] then invalid_arg "Rcost.characterize: no sample sizes";
+  if List.exists (fun s -> s <= 0) samples then
+    invalid_arg "Rcost.characterize: sample sizes must be positive";
+  let table axis =
+    Interp.of_points_exn
+      (List.map
+         (fun words -> (float_of_int words, measure ~axis ~words))
+         samples)
+  in
+  { side; axis1 = table 1; axis2 = table 2 }
+
+let default_samples =
+  let ladder =
+    List.init 15 (fun k -> 1024 * Ints.pow 2 k) (* 1 Kword .. 16 Mwords *)
+  in
+  let knots =
+    [
+      30_720; 61_440; 491_520; 983_040; 3_686_400; 6_912_000; 7_372_800;
+      14_745_600;
+    ]
+  in
+  List.sort_uniq compare (ladder @ knots)
+
+let analytic_measure params ~side ~axis ~words =
+  if axis <> 1 && axis <> 2 then
+    invalid_arg "Rcost.analytic_measure: axis must be 1 or 2";
+  Params.rotation_time params ~side ~bytes:(Units.bytes_of_words words)
+
+let of_params params ~side =
+  characterize ~side ~samples:default_samples
+    ~measure:(analytic_measure params ~side)
+
+let query t ~axis ~words =
+  if words < 0 then invalid_arg "Rcost.query: negative size";
+  if words = 0 then 0.0
+  else
+    let table =
+      match axis with
+      | 1 -> t.axis1
+      | 2 -> t.axis2
+      | _ -> invalid_arg "Rcost.query: axis must be 1 or 2"
+    in
+    Float.max 0.0 (Interp.eval table (float_of_int words))
+
+(* On-disk format:
+     rcost-characterization v1
+     side <n>
+     axis 1
+     <words> <seconds>
+     ...
+     axis 2
+     ... *)
+
+let save t ~path =
+  try
+    Out_channel.with_open_text path (fun oc ->
+        let pr fmt = Printf.fprintf oc fmt in
+        pr "rcost-characterization v1\n";
+        pr "side %d\n" t.side;
+        List.iter
+          (fun (axis, table) ->
+            pr "axis %d\n" axis;
+            List.iter
+              (fun (w, s) -> pr "%d %.9g\n" (int_of_float w) s)
+              (Interp.points table))
+          [ (1, t.axis1); (2, t.axis2) ]);
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let load ~path =
+  let ( let* ) = Result.bind in
+  let parse lines =
+    let* () =
+      match lines with
+      | "rcost-characterization v1" :: _ -> Ok ()
+      | _ -> Error "rcost file: bad header"
+    in
+    let* side =
+      match lines with
+      | _ :: side_line :: _ -> begin
+        match String.split_on_char ' ' side_line with
+        | [ "side"; n ] -> (
+          match int_of_string_opt n with
+          | Some n when n > 0 -> Ok n
+          | _ -> Error "rcost file: bad side")
+        | _ -> Error "rcost file: missing side line"
+      end
+      | _ -> Error "rcost file: truncated"
+    in
+    let rest = List.filteri (fun i _ -> i >= 2) lines in
+    let rec split_axes current acc1 acc2 = function
+      | [] -> Ok (List.rev acc1, List.rev acc2)
+      | "axis 1" :: rest -> split_axes 1 acc1 acc2 rest
+      | "axis 2" :: rest -> split_axes 2 acc1 acc2 rest
+      | "" :: rest -> split_axes current acc1 acc2 rest
+      | line :: rest -> begin
+        match String.split_on_char ' ' line with
+        | [ w; s ] -> begin
+          match (int_of_string_opt w, float_of_string_opt s) with
+          | Some w, Some s when current = 1 ->
+            split_axes current ((float_of_int w, s) :: acc1) acc2 rest
+          | Some w, Some s when current = 2 ->
+            split_axes current acc1 ((float_of_int w, s) :: acc2) rest
+          | _ -> Error ("rcost file: bad sample line: " ^ line)
+        end
+        | _ -> Error ("rcost file: bad line: " ^ line)
+      end
+    in
+    let* pts1, pts2 = split_axes 0 [] [] rest in
+    let* axis1 = Interp.of_points pts1 in
+    let* axis2 = Interp.of_points pts2 in
+    Ok { side; axis1; axis2 }
+  in
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse (String.split_on_char '\n' text)
+  | exception Sys_error msg -> Error msg
+
+let pp ppf t =
+  Format.fprintf ppf
+    "rcost characterization: side=%d, %d+%d samples, rot(1Mword)=%.3fs"
+    t.side (Interp.size t.axis1) (Interp.size t.axis2)
+    (query t ~axis:1 ~words:1_048_576)

@@ -1,0 +1,47 @@
+(** The RCost communication-cost service (paper §3.3).
+
+    [RCost(localsize, α, i)] is the cost of fully rotating the blocks of an
+    α-distributed array, with [localsize] words per processor, along
+    rotation axis [i]. The paper measures it empirically on the target
+    machine for a grid of sizes and distribution shapes, stores the results
+    in a characterization file, and answers queries by interpolation /
+    extrapolation. We follow the same pipeline: a measurement function
+    (either the analytic model or the discrete-event machine simulator) is
+    sampled once per grid side, written to disk, and queried thereafter —
+    the optimizer never sees the underlying machine. *)
+
+open! Import
+
+type t
+(** A characterization: per rotation axis, rotation cost as a function of
+    local block size in words, for one grid side. *)
+
+val side : t -> int
+
+val characterize :
+  side:int -> samples:int list -> measure:(axis:int -> words:int -> float)
+  -> t
+(** Run the measurement at every sample size (in words, must be positive
+    and non-empty) for both rotation axes. *)
+
+val default_samples : int list
+(** A geometric ladder of block sizes (1 Kword … 16 Mwords) augmented with
+    the knot sizes of the fitted Itanium table, so that characterizing the
+    analytic model reproduces it exactly. *)
+
+val analytic_measure : Params.t -> side:int -> axis:int -> words:int -> float
+(** The analytic model: [side · step_time(8·words)] (both axes equal). *)
+
+val of_params : Params.t -> side:int -> t
+(** [characterize] over {!default_samples} with {!analytic_measure}. *)
+
+val query : t -> axis:int -> words:int -> float
+(** Interpolated rotation cost. [axis] must be 1 or 2; [words >= 0]. *)
+
+val save : t -> path:string -> (unit, string) result
+(** Write the characterization file (a self-describing text format). *)
+
+val load : path:string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit
+(** Summary: side, sample counts, a few sample values. *)

@@ -1,0 +1,1 @@
+lib/opmin/import.ml: Tce_expr Tce_index Tce_util

@@ -1,0 +1,1 @@
+lib/opmin/opmin.ml: Aref Array Extents Import Index Ints List Listx Option Printf Problem Result Tree

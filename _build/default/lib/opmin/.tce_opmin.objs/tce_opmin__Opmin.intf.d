@@ -1,0 +1,1 @@
+lib/opmin/opmin.mli: Extents Import Problem Tree

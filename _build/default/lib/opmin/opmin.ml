@@ -1,0 +1,280 @@
+open! Import
+
+type plan = { defs : Problem.def list; flops : int }
+
+(* Sizes here multiply ten large extents together; saturate rather than
+   overflow (a saturated cost still compares correctly as "huge"). *)
+let size_sat ext idxs =
+  List.fold_left (fun acc i -> Ints.mul_sat acc (Extents.extent ext i)) 1 idxs
+
+let sum_sat xs =
+  List.fold_left
+    (fun acc x -> if acc > max_int - x then max_int else acc + x)
+    0 xs
+
+(* Cost convention (matches [Formula.flops]): a contraction with non-empty
+   summation costs 2 ops per point of its full (out ∪ sum) iteration space;
+   a pure multiplication costs 1 op per output point; a unary summation
+   costs 1 op per operand point. *)
+
+let def_flops ext (d : Problem.def) =
+  match (d.terms, d.sum) with
+  | [ x ], _ -> size_sat ext (Aref.indices x)
+  | [ _; _ ], [] -> size_sat ext (Aref.indices d.lhs)
+  | [ _; _ ], k -> Ints.mul_sat 2 (size_sat ext (Aref.indices d.lhs @ k))
+  | _ -> invalid_arg "Opmin.def_flops: definition is not unary/binary"
+
+let plan_flops ext defs = sum_sat (List.map (def_flops ext) defs)
+
+let naive_flops ext (d : Problem.def) =
+  let all =
+    List.fold_left
+      (fun acc a -> Index.Set.union acc (Aref.index_set a))
+      Index.Set.empty d.terms
+  in
+  Ints.mul_sat (List.length d.terms) (size_sat ext (Index.Set.elements all))
+
+(* ------------------------------------------------------------------ *)
+(* Exact DP over factor subsets.                                       *)
+(* ------------------------------------------------------------------ *)
+
+type choice =
+  | Single of Index.t list  (* pre-summed indices (possibly []) *)
+  | Split of int * int  (* sub-masks *)
+
+type cell = { cost : int; result : Index.Set.t; choice : choice }
+
+let bit i = 1 lsl i
+
+let subset_indices factors mask =
+  let acc = ref Index.Set.empty in
+  Array.iteri
+    (fun i a -> if mask land bit i <> 0 then acc := Index.Set.union !acc (Aref.index_set a))
+    factors;
+  !acc
+
+(* Enumerate proper sub-masks s of [mask] with s containing the lowest set
+   bit (to visit each unordered split once). *)
+let splits_of_mask mask =
+  let low = mask land -mask in
+  let rec go s acc =
+    (* Standard subset-enumeration trick: s ranges over submasks. *)
+    let acc =
+      if s <> 0 && s <> mask && s land low <> 0 then (s, mask lxor s) :: acc
+      else acc
+    in
+    if s = mask then acc else go ((s - mask) land mask) acc
+  in
+  go 0 []
+
+let optimize_def ext ~fresh (d : Problem.def) =
+  match d.terms with
+  | [] -> Error "definition with no factors"
+  | [ _ ] -> Ok { defs = [ d ]; flops = def_flops ext d }
+  | _ ->
+    let factors = Array.of_list d.terms in
+    let n = Array.length factors in
+    let full = bit n - 1 in
+    let lhs_set = Aref.index_set d.lhs in
+    let outside mask =
+      (* Indices live after contracting [mask]: the output plus whatever a
+         factor outside the subset still needs. *)
+      Index.Set.union lhs_set (subset_indices factors (full lxor mask))
+    in
+    let memo = Array.make (full + 1) None in
+    let rec solve mask =
+      match memo.(mask) with
+      | Some c -> c
+      | None ->
+        let cell =
+          if mask land (mask - 1) = 0 then begin
+            (* Single factor: pre-sum indices used nowhere else. *)
+            let idxs = subset_indices factors mask in
+            let keep = Index.Set.inter idxs (outside mask) in
+            let presum = Index.Set.elements (Index.Set.diff idxs keep) in
+            let cost =
+              if presum = [] then 0 else size_sat ext (Index.Set.elements idxs)
+            in
+            { cost; result = keep; choice = Single presum }
+          end
+          else begin
+            let out_here = outside mask in
+            let best = ref None in
+            List.iter
+              (fun (m1, m2) ->
+                let c1 = solve m1 and c2 = solve m2 in
+                let avail = Index.Set.union c1.result c2.result in
+                let out = Index.Set.inter avail out_here in
+                let has_sum = not (Index.Set.equal avail out) in
+                let node_cost =
+                  if has_sum then
+                    Ints.mul_sat 2 (size_sat ext (Index.Set.elements avail))
+                  else size_sat ext (Index.Set.elements out)
+                in
+                let cost = sum_sat [ c1.cost; c2.cost; node_cost ] in
+                match !best with
+                | Some b when b.cost <= cost -> ()
+                | _ -> best := Some { cost; result = out; choice = Split (m1, m2) })
+              (splits_of_mask mask);
+            Option.get !best
+          end
+        in
+        memo.(mask) <- Some cell;
+        cell
+    in
+    let root = solve full in
+    (* Reconstruct the definition list from the memoized choices. *)
+    let defs = ref [] in
+    let rec emit mask ~as_lhs =
+      let cell = Option.get memo.(mask) in
+      match cell.choice with
+      | Single presum ->
+        let i = Ints.log2_ceil (mask + 1) - 1 in
+        let factor = factors.(i) in
+        if presum = [] then begin
+          match as_lhs with
+          | None -> factor
+          | Some lhs ->
+            (* The whole product was a single factor — cannot happen for
+               n >= 3, kept for totality. *)
+            defs := { Problem.lhs; sum = presum; terms = [ factor ] } :: !defs;
+            lhs
+        end
+        else begin
+          let lhs =
+            match as_lhs with
+            | Some lhs -> lhs
+            | None -> Aref.v (fresh ()) (Index.Set.elements cell.result)
+          in
+          defs := { Problem.lhs; sum = presum; terms = [ factor ] } :: !defs;
+          lhs
+        end
+      | Split (m1, m2) ->
+        let a1 = emit m1 ~as_lhs:None in
+        let a2 = emit m2 ~as_lhs:None in
+        let avail = Index.Set.union (Aref.index_set a1) (Aref.index_set a2) in
+        let sum_here = Index.Set.elements (Index.Set.diff avail cell.result) in
+        let lhs =
+          match as_lhs with
+          | Some lhs -> lhs
+          | None -> Aref.v (fresh ()) (Index.Set.elements cell.result)
+        in
+        defs := { Problem.lhs; sum = sum_here; terms = [ a1; a2 ] } :: !defs;
+        lhs
+    in
+    let (_ : Aref.t) = emit full ~as_lhs:(Some d.lhs) in
+    Ok { defs = List.rev !defs; flops = root.cost }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-problem rewriting.                                            *)
+(* ------------------------------------------------------------------ *)
+
+let optimize (p : Problem.t) =
+  let ( let* ) = Result.bind in
+  let* defs =
+    List.fold_left
+      (fun acc d ->
+        let* done_defs = acc in
+        let counter = ref 0 in
+        let fresh () =
+          incr counter;
+          Printf.sprintf "%s__%d" (Aref.name d.Problem.lhs) !counter
+        in
+        let* plan = optimize_def p.Problem.extents ~fresh d in
+        Ok (done_defs @ plan.defs))
+      (Ok []) p.Problem.defs
+  in
+  Problem.create ~extents:p.Problem.extents ~inputs:p.Problem.inputs defs
+
+let optimize_to_tree p =
+  let ( let* ) = Result.bind in
+  let* p' = optimize p in
+  let* seq = Problem.to_sequence p' in
+  let* tree = Tree.of_sequence seq in
+  Ok (Tree.fuse_mult_sum tree)
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force oracle.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let brute_force_def ext ~fresh (d : Problem.def) =
+  match d.terms with
+  | [] -> Error "definition with no factors"
+  | [ _ ] -> Ok { defs = [ d ]; flops = def_flops ext d }
+  | terms ->
+    let all_factors = terms in
+    let lhs_set = Aref.index_set d.lhs in
+    let outside chosen =
+      (* [chosen] is the multiset of factors in the current subtree. *)
+      let rest =
+        List.filter (fun a -> not (List.memq a chosen)) all_factors
+      in
+      List.fold_left
+        (fun acc a -> Index.Set.union acc (Aref.index_set a))
+        lhs_set rest
+    in
+    (* Enumerate every binary tree over the factor list; at each node sum
+       away whatever is dead. Returns (cost, result set, builder). *)
+    let rec plans chosen =
+      match chosen with
+      | [] -> assert false
+      | [ a ] ->
+        let idxs = Aref.index_set a in
+        let keep = Index.Set.inter idxs (outside chosen) in
+        let presum = Index.Set.elements (Index.Set.diff idxs keep) in
+        let cost =
+          if presum = [] then 0 else size_sat ext (Index.Set.elements idxs)
+        in
+        let build ~as_lhs acc =
+          if presum = [] then (a, acc)
+          else
+            let lhs =
+              match as_lhs with
+              | Some lhs -> lhs
+              | None -> Aref.v (fresh ()) (Index.Set.elements keep)
+            in
+            (lhs, { Problem.lhs; sum = presum; terms = [ a ] } :: acc)
+        in
+        [ (cost, keep, build) ]
+      | _ ->
+        List.concat_map
+          (fun (left, right) ->
+            List.concat_map
+              (fun (c1, r1, b1) ->
+                List.map
+                  (fun (c2, r2, b2) ->
+                    let avail = Index.Set.union r1 r2 in
+                    let out = Index.Set.inter avail (outside chosen) in
+                    let has_sum = not (Index.Set.equal avail out) in
+                    let node_cost =
+                      if has_sum then
+                        Ints.mul_sat 2 (size_sat ext (Index.Set.elements avail))
+                      else size_sat ext (Index.Set.elements out)
+                    in
+                    let build ~as_lhs acc =
+                      let a1, acc = b1 ~as_lhs:None acc in
+                      let a2, acc = b2 ~as_lhs:None acc in
+                      let sum_here =
+                        Index.Set.elements (Index.Set.diff avail out)
+                      in
+                      let lhs =
+                        match as_lhs with
+                        | Some lhs -> lhs
+                        | None -> Aref.v (fresh ()) (Index.Set.elements out)
+                      in
+                      (lhs, { Problem.lhs; sum = sum_here; terms = [ a1; a2 ] } :: acc)
+                    in
+                    (sum_sat [ c1; c2; node_cost ], out, build))
+                  (plans right))
+              (plans left))
+          (Listx.splits2 chosen)
+    in
+    let candidates = plans all_factors in
+    let best =
+      Listx.minimum_by (fun (c1, _, _) (c2, _, _) -> compare c1 c2) candidates
+    in
+    (match best with
+     | None -> Error "no evaluation order found"
+     | Some (cost, _, build) ->
+       let _, defs_rev = build ~as_lhs:(Some d.lhs) [] in
+       Ok { defs = List.rev defs_rev; flops = cost })

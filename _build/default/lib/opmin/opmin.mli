@@ -1,0 +1,56 @@
+(** Operation minimization (the Lam–Sadayappan–Wenger substrate, ref. [13]
+    of the paper).
+
+    A multi-dimensional sum of an n-factor product can be evaluated in many
+    algebraically equivalent binary orders whose flop counts differ by large
+    polynomial factors (the paper's 4-tensor example drops from 4·N^10
+    direct to 6·N^6). Finding the optimal order is NP-complete in general;
+    for the factor counts arising in practice (n ≤ ~10) an exact dynamic
+    program over factor subsets is fast, and that is what we implement:
+    subsets are contracted optimally, summation indices are pushed down to
+    the earliest point where all their uses are consumed (including
+    single-factor pre-summations, as in the paper's Fig. 1).
+
+    The result feeds the memory-constrained communication optimizer: its
+    operator trees are exactly the trees this module produces. *)
+
+open! Import
+
+type plan = {
+  defs : Problem.def list;
+      (** binary (or unary-summation) definitions, in evaluation order; the
+          last one produces the original left-hand side *)
+  flops : int;  (** arithmetic cost of the plan *)
+}
+
+val optimize_def :
+  Extents.t -> fresh:(unit -> string) -> Problem.def -> (plan, string) result
+(** Optimal evaluation plan for one definition. [fresh] supplies names for
+    the introduced intermediates. Definitions that are already unary or
+    binary are returned unchanged (with their own cost). *)
+
+val optimize : Problem.t -> (Problem.t, string) result
+(** Rewrites every definition of the problem into an operation-minimal
+    chain of unary/binary definitions. Intermediate names are
+    [<lhs>__1], [<lhs>__2], ... and are guaranteed fresh. *)
+
+val optimize_to_tree : Problem.t -> (Tree.t, string) result
+(** [optimize] followed by sequence/tree conversion and
+    [Tree.fuse_mult_sum]: the operator tree the communication optimizer
+    consumes. *)
+
+val naive_flops : Extents.t -> Problem.def -> int
+(** Cost of the direct nested-loop evaluation with no reordering:
+    [n_factors · Π extents] over every index in the definition (the paper's
+    4·N^10 for the four-tensor example). *)
+
+val plan_flops : Extents.t -> Problem.def list -> int
+(** Total cost of a list of unary/binary definitions, using the same cost
+    convention as the optimizer (2 ops per multiply-add of a contraction,
+    1 per multiply, 1 per add of a summation). *)
+
+val brute_force_def :
+  Extents.t -> fresh:(unit -> string) -> Problem.def -> (plan, string) result
+(** Exhaustive search over all binary evaluation orders (no memoization,
+    exponential): the test oracle for {!optimize_def}. Only call with few
+    factors. *)

@@ -1,0 +1,1 @@
+lib/report/exptables.ml: Aref Dist Float Format Import Index List Paperref Params Plan Table Units

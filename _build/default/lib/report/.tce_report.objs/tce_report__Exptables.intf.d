@@ -1,0 +1,1 @@
+lib/report/exptables.mli: Import Paperref Plan Table

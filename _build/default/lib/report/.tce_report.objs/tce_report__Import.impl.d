@@ -1,0 +1,1 @@
+lib/report/import.ml: Tce_cannon Tce_codegen Tce_core Tce_expr Tce_fusion Tce_grid Tce_index Tce_memmodel Tce_netmodel Tce_util

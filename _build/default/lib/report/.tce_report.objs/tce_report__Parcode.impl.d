@@ -1,0 +1,1 @@
+lib/report/parcode.ml: Aref Buffer Contraction Dist Eqs Format Grid Import Index List Loopnest Plan String Units Variant

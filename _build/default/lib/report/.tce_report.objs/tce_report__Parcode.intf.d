@@ -1,0 +1,1 @@
+lib/report/parcode.mli: Extents Import Plan Tree

@@ -1,0 +1,105 @@
+open! Import
+
+let dist_str = function
+  | None -> "N/A"
+  | Some d -> Format.asprintf "%a" Dist.pp d
+
+let mem_node_words (plan : Plan.t) (row : Plan.array_row) =
+  row.stored_words * plan.params.Params.procs_per_node
+
+let plan_table (plan : Plan.t) =
+  let t =
+    Table.create
+      ~headers:
+        [
+          "Full array"; "Reduced array"; "Initial dist."; "Final dist.";
+          "Mem./node"; "Comm. (init.)"; "Comm. (final)";
+        ]
+  in
+  Table.add_rows t
+    (List.map
+       (fun (row : Plan.array_row) ->
+         let full = Format.asprintf "%a" Aref.pp row.aref in
+         let reduced =
+           Format.asprintf "%s[%a]" (Aref.name row.aref) Index.pp_list
+             row.reduced_dims
+         in
+         [
+           full;
+           reduced;
+           dist_str row.initial_dist;
+           dist_str row.final_dist;
+           Format.asprintf "%a" Units.pp_paper_size (mem_node_words plan row);
+           (match row.initial_dist with
+           | None -> "N/A"
+           | Some _ -> Format.asprintf "%.1f sec." row.comm_initial);
+           (match row.final_dist with
+           | None -> "N/A"
+           | Some _ -> Format.asprintf "%.1f sec." row.comm_final);
+         ])
+       plan.rows)
+
+let totals_line plan =
+  Format.asprintf
+    "total communication %.1f sec. = %.1f%% of %.1f sec. total running time"
+    (Plan.comm_cost plan)
+    (100.0 *. Plan.comm_fraction plan)
+    (Plan.total_seconds plan)
+
+let pct_dev ~ours ~paper =
+  if Float.abs paper < 1e-9 then "-"
+  else Format.asprintf "%+.1f%%" (100.0 *. ((ours -. paper) /. paper))
+
+let comparison_table (plan : Plan.t) (paper_rows : Paperref.row list) =
+  let t =
+    Table.create
+      ~headers:
+        [
+          "Array"; "Mem/node paper"; "Mem/node model"; "dev";
+          "Comm paper"; "Comm model"; "dev";
+        ]
+  in
+  Table.add_rows t
+    (List.map
+       (fun (p : Paperref.row) ->
+         match Plan.find_row plan p.array with
+         | None -> [ p.array; Format.asprintf "%.1fMB" p.mem_per_node_mb; "-" ]
+         | Some row ->
+           let mem_ours =
+             Units.paper_mb_of_words (mem_node_words plan row)
+           in
+           let comm_ours = row.comm_initial +. row.comm_final in
+           let comm_paper = Paperref.comm_of_row p in
+           [
+             p.array;
+             Format.asprintf "%.1fMB" p.mem_per_node_mb;
+             Format.asprintf "%.1fMB" mem_ours;
+             pct_dev ~ours:mem_ours ~paper:p.mem_per_node_mb;
+             Format.asprintf "%.1f s" comm_paper;
+             Format.asprintf "%.1f s" comm_ours;
+             pct_dev ~ours:comm_ours ~paper:comm_paper;
+           ])
+       paper_rows)
+
+let totals_comparison (plan : Plan.t) (paper : Paperref.totals) =
+  let t = Table.create ~headers:[ "Metric"; "Paper"; "Model"; "dev" ] in
+  let rows =
+    [
+      ( "communication (s)",
+        Format.asprintf "%.1f" paper.Paperref.comm_seconds,
+        Format.asprintf "%.1f" (Plan.comm_cost plan),
+        pct_dev ~ours:(Plan.comm_cost plan) ~paper:paper.Paperref.comm_seconds
+      );
+      ( "total time (s)",
+        Format.asprintf "%.1f" paper.Paperref.total_seconds,
+        Format.asprintf "%.1f" (Plan.total_seconds plan),
+        pct_dev ~ours:(Plan.total_seconds plan)
+          ~paper:paper.Paperref.total_seconds );
+      ( "comm fraction",
+        Format.asprintf "%.1f%%" (100.0 *. paper.Paperref.comm_fraction),
+        Format.asprintf "%.1f%%" (100.0 *. Plan.comm_fraction plan),
+        pct_dev ~ours:(Plan.comm_fraction plan)
+          ~paper:paper.Paperref.comm_fraction );
+    ]
+  in
+  Table.add_rows t (List.map (fun (a, b, c, d) -> [ a; b; c; d ]) rows)

@@ -1,0 +1,25 @@
+(** Rendering optimized plans in the paper's table format, and comparing
+    them against the published numbers. *)
+
+open! Import
+
+val plan_table : Plan.t -> Table.t
+(** The paper's columns: full array, reduced array, initial and final
+    distributions, Mem/node (the paper's MB unit), Comm.(init.),
+    Comm.(final). *)
+
+val totals_line : Plan.t -> string
+(** "total communication 98.0 sec. = 7.1% of 1386.8 sec." *)
+
+val comparison_table : Plan.t -> Paperref.row list -> Table.t
+(** Per-array paper-vs-model rows: Mem/node and total communication from
+    the paper next to this plan's, with relative deviations. Arrays are
+    matched by name; a missing counterpart shows "-". *)
+
+val totals_comparison : Plan.t -> Paperref.totals -> Table.t
+(** Communication seconds, total seconds and communication fraction, paper
+    vs. model, with deviations. *)
+
+val pct_dev : ours:float -> paper:float -> string
+(** Signed relative deviation, e.g. "-0.9%"; "-" when the reference is
+    zero. *)

@@ -1,0 +1,76 @@
+type row = {
+  array : string;
+  reduced : string;
+  initial_dist : string option;
+  final_dist : string option;
+  mem_per_node_mb : float;
+  comm_initial : float option;
+  comm_final : float option;
+}
+
+type totals = {
+  procs : int;
+  comm_seconds : float;
+  total_seconds : float;
+  comm_fraction : float;
+}
+
+let r array reduced initial_dist final_dist mem_per_node_mb comm_initial
+    comm_final =
+  {
+    array;
+    reduced;
+    initial_dist;
+    final_dist;
+    mem_per_node_mb;
+    comm_initial;
+    comm_final;
+  }
+
+(* Table 1 of the paper: 64 processors (32 nodes) of the Itanium cluster. *)
+let table1 =
+  [
+    r "D" "D(c,d,e,l)" None (Some "<d,e>") 115.2 None (Some 35.7);
+    r "B" "B(b,e,f,l)" None (Some "<e,b>") 15.4 None (Some 4.9);
+    r "C" "C(d,f,j,k)" None (Some "<k,d>") 7.7 None (Some 2.8);
+    r "A" "A(a,c,i,k)" None (Some "<a,k>") 57.6 None (Some 18.3);
+    r "T1" "T1(b,c,d,f)" (Some "<d,b>") (Some "<d,b>") 1728.0 (Some 0.0)
+      (Some 0.0);
+    r "T2" "T2(b,c,j,k)" (Some "<k,b>") (Some "<k,b>") 57.6 (Some 17.8)
+      (Some 18.5);
+    r "S" "S(a,b,i,j)" (Some "<a,b>") None 57.6 (Some 0.0) None;
+  ]
+
+let totals1 =
+  {
+    procs = 64;
+    comm_seconds = 98.0;
+    total_seconds = 1403.4;
+    comm_fraction = 0.070;
+  }
+
+(* Table 2 of the paper: 16 processors (8 nodes). *)
+let table2 =
+  [
+    r "D" "D(c,d,e,l)" None (Some "<d,e>") 460.8 None (Some 0.0);
+    r "B" "B(b,e,f,l)" None (Some "<e,b>") 61.6 None (Some 25.7);
+    r "C" "C(d,f,j,k)" None (Some "<k,d>") 30.8 None (Some 20.8);
+    r "A" "A(a,c,i,k)" None (Some "<a,k>") 230.4 None (Some 34.6);
+    r "T1" "T1(b,c,d)" (Some "<d,b>") (Some "<d,b>") 108.0 (Some 902.0)
+      (Some 888.5);
+    r "T2" "T2(b,c,j,k)" (Some "<k,b>") (Some "<k,b>") 230.4 (Some 0.0)
+      (Some 36.2);
+    r "S" "S(a,b,i,j)" (Some "<a,b>") None 230.4 (Some 0.0) None;
+  ]
+
+let totals2 =
+  {
+    procs = 16;
+    comm_seconds = 1907.8;
+    total_seconds = 6983.8;
+    comm_fraction = 0.273;
+  }
+
+let comm_of_row row =
+  Option.value ~default:0.0 row.comm_initial
+  +. Option.value ~default:0.0 row.comm_final

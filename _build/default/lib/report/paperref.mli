@@ -1,0 +1,36 @@
+(** The published numbers of the paper's Tables 1 and 2, transcribed
+    verbatim for paper-vs-reproduction comparisons (EXPERIMENTS.md).
+
+    Units follow the paper: "MB" is 1.024e6 bytes ([Units.paper_mb]),
+    communication costs are seconds. [None] marks the table's "N/A"
+    entries. *)
+
+type row = {
+  array : string;
+  reduced : string;  (** the reduced (fused) shape, e.g. "T1(b,c,d)" *)
+  initial_dist : string option;
+  final_dist : string option;
+  mem_per_node_mb : float;
+  comm_initial : float option;
+  comm_final : float option;
+}
+
+type totals = {
+  procs : int;
+  comm_seconds : float;
+  total_seconds : float;
+  comm_fraction : float;  (** e.g. 0.070 for 7.0% *)
+}
+
+val table1 : row list
+(** 64 processors (32 nodes): no fusion needed. *)
+
+val totals1 : totals
+
+val table2 : row list
+(** 16 processors (8 nodes): the f loop is fused, T1 reduced to (b,c,d). *)
+
+val totals2 : totals
+
+val comm_of_row : row -> float
+(** Initial + final communication of the row (absent entries count 0). *)

@@ -1,0 +1,20 @@
+(** SPMD pseudo-code for optimized plans.
+
+    The paper's context is a program-synthesis system: the optimizer's
+    output is ultimately code. This module renders a plan as the fused
+    imperfectly-nested loop program each processor executes, with every
+    contraction statement annotated by its generalized-Cannon stage — the
+    distribution triple, the rotated arrays with their axes, message sizes
+    and counts, and any redistribution. The loop-band structure is the same
+    one [Loopnest] builds (and validates numerically); the annotations come
+    from the plan.
+
+    For the paper's Table-2 solution this produces the parallel analogue of
+    Fig. 2(c): the `f` band wrapping both fused contractions, with B and C
+    communicated in slices and T1 rotated once per iteration. *)
+
+open! Import
+
+val emit : Extents.t -> Tree.t -> Plan.t -> (string, string) result
+(** Render the plan as annotated SPMD pseudo-code. The tree must be the one
+    the plan was optimized from (arrays are matched by name). *)

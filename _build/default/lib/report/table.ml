@@ -1,0 +1,51 @@
+type t = { headers : string list; rows : string list list (* reversed *) }
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t row =
+  let n = List.length t.headers in
+  let k = List.length row in
+  if k > n then invalid_arg "Table.add_row: more cells than headers";
+  let padded = row @ List.init (n - k) (fun _ -> "") in
+  { t with rows = padded :: t.rows }
+
+let add_rows t rows = List.fold_left add_row t rows
+
+let widths t =
+  let update acc row =
+    List.map2 (fun w cell -> max w (String.length cell)) acc row
+  in
+  List.fold_left update
+    (List.map String.length t.headers)
+    (List.rev t.rows)
+
+let render_row ws row =
+  "| "
+  ^ String.concat " | "
+      (List.map2
+         (fun w cell -> cell ^ String.make (w - String.length cell) ' ')
+         ws row)
+  ^ " |"
+
+let to_string t =
+  let ws = widths t in
+  let rule =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') ws)
+    ^ "|"
+  in
+  String.concat "\n"
+    (render_row ws t.headers :: rule
+    :: List.map (render_row ws) (List.rev t.rows))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let quote cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let csv t =
+  String.concat "\n"
+    (List.map
+       (fun row -> String.concat "," (List.map quote row))
+       (t.headers :: List.rev t.rows))

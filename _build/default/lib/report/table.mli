@@ -1,0 +1,19 @@
+(** Minimal ASCII table rendering for experiment reports. *)
+
+type t
+
+val create : headers:string list -> t
+
+val add_row : t -> string list -> t
+(** Rows shorter than the header are right-padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val add_rows : t -> string list list -> t
+
+val to_string : t -> string
+(** Column-aligned, pipe-separated, with a header rule. *)
+
+val pp : Format.formatter -> t -> unit
+
+val csv : t -> string
+(** Comma-separated (cells containing commas or quotes are quoted). *)

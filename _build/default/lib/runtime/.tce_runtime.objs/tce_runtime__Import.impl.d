@@ -1,0 +1,1 @@
+lib/runtime/import.ml: Tce_cannon Tce_core Tce_expr Tce_grid Tce_index Tce_tensor Tce_util

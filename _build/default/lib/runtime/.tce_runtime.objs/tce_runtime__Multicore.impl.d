@@ -1,0 +1,1 @@
+lib/runtime/multicore.ml: Aref Contraction Dense Dist Einsum Extents Grid Hashtbl Import Index List Mutex Plan Printf Schedule Spmd Variant

@@ -1,0 +1,1 @@
+lib/runtime/multicore.mli: Dense Extents Grid Import Plan Variant

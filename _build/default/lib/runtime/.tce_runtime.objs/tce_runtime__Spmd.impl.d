@@ -1,0 +1,1 @@
+lib/runtime/spmd.ml: Array Condition Domain List Mutex Queue

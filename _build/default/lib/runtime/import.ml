@@ -1,0 +1,15 @@
+(* Aliases for lower-layer libraries; opened by every module in this
+   library. *)
+module Ints = Tce_util.Ints
+module Listx = Tce_util.Listx
+module Index = Tce_index.Index
+module Extents = Tce_index.Extents
+module Dense = Tce_tensor.Dense
+module Einsum = Tce_tensor.Einsum
+module Aref = Tce_expr.Aref
+module Grid = Tce_grid.Grid
+module Dist = Tce_grid.Dist
+module Contraction = Tce_cannon.Contraction
+module Variant = Tce_cannon.Variant
+module Schedule = Tce_cannon.Schedule
+module Plan = Tce_core.Plan

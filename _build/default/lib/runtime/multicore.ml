@@ -1,0 +1,133 @@
+open! Import
+
+let block_ranges grid ext ~alpha ~dims ~b1 ~b2 =
+  List.map
+    (fun i ->
+      let extent = Extents.extent ext i in
+      match Dist.position_of alpha i with
+      | Some 1 -> (i, Grid.myrange grid ~extent ~coord:b1)
+      | Some 2 -> (i, Grid.myrange grid ~extent ~coord:b2)
+      | _ -> (i, (0, extent)))
+    dims
+
+let check_extents grid ext variant =
+  List.iter
+    (fun role ->
+      List.iter
+        (fun i ->
+          if Extents.extent ext i < Grid.side grid then
+            invalid_arg
+              (Printf.sprintf
+                 "Multicore: extent of distributed index %s (%d) is below \
+                  the grid side %d"
+                 (Index.name i) (Extents.extent ext i) (Grid.side grid)))
+        (Dist.indices (Variant.dist_of variant role)))
+    [ Variant.Out; Variant.Left; Variant.Right ]
+
+let run_contraction grid ext variant ~left ~right =
+  check_extents grid ext variant;
+  let side = Grid.side grid in
+  let sched = Schedule.make variant ~side in
+  let out_aref = Variant.aref_of variant Variant.Out in
+  let result =
+    Dense.create
+      (List.map (fun i -> (i, Extents.extent ext i)) (Aref.indices out_aref))
+  in
+  let gather_lock = Mutex.create () in
+  let worker ctx =
+    let my = Spmd.rank ctx in
+    let z1, z2 = Grid.coord_of grid my in
+    let block_of role full ~step =
+      let b1, b2 = Schedule.block_at sched role ~step ~z1 ~z2 in
+      let alpha = Variant.dist_of variant role in
+      Dense.block full
+        (block_ranges grid ext ~alpha ~dims:(Dense.labels full) ~b1 ~b2)
+    in
+    let my_left = ref (block_of Variant.Left left ~step:0) in
+    let my_right = ref (block_of Variant.Right right ~step:0) in
+    let my_out =
+      let b1, b2 = Schedule.block_at sched Variant.Out ~step:0 ~z1 ~z2 in
+      let ranges =
+        block_ranges grid ext
+          ~alpha:(Variant.dist_of variant Variant.Out)
+          ~dims:(Aref.indices out_aref) ~b1 ~b2
+      in
+      ref (Dense.create (List.map (fun (i, (_, len)) -> (i, len)) ranges))
+    in
+    let cell_of role =
+      match role with
+      | Variant.Left -> my_left
+      | Variant.Right -> my_right
+      | Variant.Out -> my_out
+    in
+    let multiply () =
+      let delta =
+        Einsum.contract2 ~out:(Dense.labels !my_out) !my_left !my_right
+      in
+      my_out := Einsum.add !my_out delta
+    in
+    multiply ();
+    for _step = 1 to side - 1 do
+      List.iter
+        (fun (role, axis) ->
+          (* Blocks move one hop toward the lower coordinate. *)
+          let dst = Grid.rank_of grid (Grid.shift grid (z1, z2) ~axis ~by:(-1)) in
+          let src = Grid.rank_of grid (Grid.shift grid (z1, z2) ~axis ~by:1) in
+          let cell = cell_of role in
+          cell := Spmd.sendrecv ctx ~dst !cell ~src)
+        (Variant.rotated variant);
+      multiply ()
+    done;
+    (* Gather: each domain writes its (possibly displaced) output block. *)
+    let b1, b2 = Schedule.block_at sched Variant.Out ~step:(side - 1) ~z1 ~z2 in
+    let offsets =
+      List.filter_map
+        (fun (i, (off, _)) -> if off = 0 then None else Some (i, off))
+        (block_ranges grid ext
+           ~alpha:(Variant.dist_of variant Variant.Out)
+           ~dims:(Aref.indices out_aref) ~b1 ~b2)
+    in
+    Mutex.lock gather_lock;
+    Dense.set_block result offsets !my_out;
+    Mutex.unlock gather_lock;
+    Spmd.barrier ctx
+  in
+  let (_ : unit array) = Spmd.run ~procs:(Grid.procs grid) worker in
+  result
+
+let run_plan grid ext (plan : Plan.t) ~inputs =
+  let env = Hashtbl.create 16 in
+  List.iter (fun (name, t) -> Hashtbl.replace env name t) inputs;
+  (* Local pre-summations (no communication) before any contraction. *)
+  List.iter
+    (fun (ps : Plan.presum) ->
+      match Hashtbl.find_opt env (Aref.name ps.source) with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Multicore.run_plan: missing tensor %s"
+             (Aref.name ps.source))
+      | Some src ->
+        Hashtbl.replace env (Aref.name ps.out) (Einsum.sum_over src ps.sum))
+    plan.presums;
+  let lookup aref =
+    match Hashtbl.find_opt env (Aref.name aref) with
+    | Some t -> t
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Multicore.run_plan: missing tensor %s"
+           (Aref.name aref))
+  in
+  let last = ref None in
+  List.iter
+    (fun (step : Plan.step) ->
+      let out =
+        run_contraction grid ext step.variant
+          ~left:(lookup step.contraction.Contraction.left)
+          ~right:(lookup step.contraction.Contraction.right)
+      in
+      Hashtbl.replace env (Aref.name step.contraction.Contraction.out) out;
+      last := Some out)
+    plan.steps;
+  match !last with
+  | Some out -> out
+  | None -> invalid_arg "Multicore.run_plan: plan has no steps"

@@ -1,0 +1,23 @@
+(** Multicore execution of plans: real parallel Cannon on OCaml 5 domains.
+
+    Each grid processor is a domain; blocks move between domains through
+    the {!Spmd} mailboxes exactly along the schedule's shift pattern. This
+    demonstrates that the optimizer's plans are not just costed but
+    executable SPMD programs, and provides a second, genuinely concurrent
+    validation path next to the sequential simulator.
+
+    Like [Tce_machine.Numeric], values are insensitive to fusion, so plans
+    are executed with full intermediates at validation extents (every
+    distributed extent at least the grid side). Use modest grids
+    (4–16 domains). *)
+
+open! Import
+
+val run_contraction :
+  Grid.t -> Extents.t -> Variant.t -> left:Dense.t -> right:Dense.t
+  -> Dense.t
+(** One contraction, one domain per processor. *)
+
+val run_plan :
+  Grid.t -> Extents.t -> Plan.t -> inputs:(string * Dense.t) list -> Dense.t
+(** Execute every step of the plan with a fresh SPMD team per step. *)

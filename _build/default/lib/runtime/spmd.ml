@@ -1,0 +1,110 @@
+type 'msg mailbox = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  pending : (int * 'msg) Queue.t;  (* (sender, payload), FIFO *)
+}
+
+type 'msg shared = {
+  nprocs : int;
+  boxes : 'msg mailbox array;  (* indexed by receiver *)
+  bar_lock : Mutex.t;
+  bar_cond : Condition.t;
+  mutable bar_count : int;
+  mutable bar_sense : bool;
+}
+
+type 'msg ctx = { shared : 'msg shared; my_rank : int }
+
+let rank t = t.my_rank
+let procs t = t.shared.nprocs
+
+let barrier t =
+  let s = t.shared in
+  Mutex.lock s.bar_lock;
+  let sense = s.bar_sense in
+  s.bar_count <- s.bar_count + 1;
+  if s.bar_count = s.nprocs then begin
+    s.bar_count <- 0;
+    s.bar_sense <- not sense;
+    Condition.broadcast s.bar_cond
+  end
+  else
+    while s.bar_sense = sense do
+      Condition.wait s.bar_cond s.bar_lock
+    done;
+  Mutex.unlock s.bar_lock
+
+let send t ~dst msg =
+  if dst < 0 || dst >= t.shared.nprocs then invalid_arg "Spmd.send: bad rank";
+  let box = t.shared.boxes.(dst) in
+  Mutex.lock box.lock;
+  Queue.push (t.my_rank, msg) box.pending;
+  Condition.broadcast box.nonempty;
+  Mutex.unlock box.lock
+
+let recv t ~src =
+  if src < 0 || src >= t.shared.nprocs then invalid_arg "Spmd.recv: bad rank";
+  let box = t.shared.boxes.(t.my_rank) in
+  Mutex.lock box.lock;
+  let rec take () =
+    (* FIFO per sender: scan for the first message from [src]. *)
+    let found = ref None in
+    let rest = Queue.create () in
+    Queue.iter
+      (fun (sender, payload) ->
+        if !found = None && sender = src then found := Some payload
+        else Queue.push (sender, payload) rest)
+      box.pending;
+    match !found with
+    | Some payload ->
+      Queue.clear box.pending;
+      Queue.transfer rest box.pending;
+      payload
+    | None ->
+      Condition.wait box.nonempty box.lock;
+      take ()
+  in
+  let payload = take () in
+  Mutex.unlock box.lock;
+  payload
+
+let sendrecv t ~dst msg ~src =
+  send t ~dst msg;
+  recv t ~src
+
+let run ~procs f =
+  if procs <= 0 then invalid_arg "Spmd.run: procs must be positive";
+  let shared =
+    {
+      nprocs = procs;
+      boxes =
+        Array.init procs (fun _ ->
+            {
+              lock = Mutex.create ();
+              nonempty = Condition.create ();
+              pending = Queue.create ();
+            });
+      bar_lock = Mutex.create ();
+      bar_cond = Condition.create ();
+      bar_count = 0;
+      bar_sense = false;
+    }
+  in
+  let results = Array.make procs None in
+  let errors = Array.make procs None in
+  let participant r () =
+    match f { shared; my_rank = r } with
+    | v -> results.(r) <- Some v
+    | exception e -> errors.(r) <- Some e
+  in
+  let domains =
+    List.init (procs - 1) (fun k -> Domain.spawn (participant (k + 1)))
+  in
+  participant 0 ();
+  List.iter Domain.join domains;
+  Array.iteri (fun _ e -> match e with Some exn -> raise exn | None -> ()) errors;
+  Array.map
+    (function
+      | Some v -> v
+      | None -> invalid_arg "Spmd.run: participant produced no result")
+    results

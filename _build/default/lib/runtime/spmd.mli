@@ -1,0 +1,34 @@
+(** A small SPMD layer over OCaml 5 domains.
+
+    Models the message-passing cluster in shared memory: [procs] domains
+    run the same function, each with a rank; they synchronize through a
+    sense-reversing barrier and exchange messages through per-receiver
+    mailboxes. This is the substrate the multicore Cannon executor runs
+    on (no [domainslib] dependency — the primitives below are all the
+    engine needs). *)
+
+type 'msg ctx
+(** Execution context handed to each participant; ['msg] is the message
+    payload type. *)
+
+val rank : _ ctx -> int
+val procs : _ ctx -> int
+
+val barrier : _ ctx -> unit
+(** Block until every participant has reached the barrier. *)
+
+val send : 'msg ctx -> dst:int -> 'msg -> unit
+(** Asynchronous send (unbounded mailbox). *)
+
+val recv : 'msg ctx -> src:int -> 'msg
+(** Block until a message from [src] arrives (FIFO per sender). *)
+
+val sendrecv : 'msg ctx -> dst:int -> 'msg -> src:int -> 'msg
+(** Send then receive; safe against the cyclic-shift deadlock because
+    sends never block. *)
+
+val run : procs:int -> ('msg ctx -> 'a) -> 'a array
+(** Run [procs] participants to completion (rank 0 executes on the calling
+    domain) and collect their results by rank. [procs] must be positive;
+    exceptions in any participant are re-raised after all domains are
+    joined. *)

@@ -1,0 +1,79 @@
+(** TCE — a tensor-contraction engine with memory-constrained communication
+    minimization.
+
+    This is the umbrella module: it re-exports every subsystem under one
+    namespace. Applications normally need only this library.
+
+    {2 Expression layer}
+    {!Index}, {!Extents}, {!Aref}, {!Formula}, {!Sequence}, {!Tree},
+    {!Problem}, {!Parser} — the tensor-contraction language and its
+    operator trees; {!Opmin} — operation minimization (optimal
+    binarization of multi-factor products).
+
+    {2 Data and reference execution}
+    {!Dense}, {!Einsum} — labeled dense tensors and the naive contraction
+    engine every other execution path is validated against.
+
+    {2 Parallel model}
+    {!Grid}, {!Dist} — the √P×√P logical processor grid and array
+    distributions; {!Contraction}, {!Variant}, {!Schedule} — the
+    generalized Cannon algorithm; {!Params}, {!Rcost} — the machine model
+    and the empirically-characterized communication cost service;
+    {!Eqs}, {!Memacct} — the paper's size/cost equations and memory
+    accounting.
+
+    {2 Optimization}
+    {!Fusionset}, {!Memmin} — loop fusion and the sequential
+    memory-minimal baseline; {!Search}, {!Plan}, {!Baselines} — the
+    integrated memory-constrained communication minimization algorithm
+    (the paper's contribution) and its prior-work baselines.
+
+    {2 Execution and reporting}
+    {!Loopnest}, {!Interp} — fused-code generation and interpretation;
+    {!Cluster}, {!Simulate}, {!Numeric} — the discrete-event cluster
+    simulator; {!Spmd}, {!Multicore} — real parallel execution on OCaml 5
+    domains; {!Table}, {!Paperref}, {!Exptables} — experiment reports. *)
+
+module Ints = Tce_util.Ints
+module Listx = Tce_util.Listx
+module Interp_table = Tce_util.Interp
+module Prng = Tce_util.Prng
+module Units = Tce_util.Units
+module Index = Tce_index.Index
+module Extents = Tce_index.Extents
+module Coords = Tce_tensor.Coords
+module Dense = Tce_tensor.Dense
+module Einsum = Tce_tensor.Einsum
+module Aref = Tce_expr.Aref
+module Formula = Tce_expr.Formula
+module Sequence = Tce_expr.Sequence
+module Tree = Tce_expr.Tree
+module Problem = Tce_expr.Problem
+module Parser = Tce_expr.Parser
+module Opmin = Tce_opmin.Opmin
+module Grid = Tce_grid.Grid
+module Dist = Tce_grid.Dist
+module Params = Tce_netmodel.Params
+module Rcost = Tce_netmodel.Rcost
+module Eqs = Tce_memmodel.Eqs
+module Memacct = Tce_memmodel.Memacct
+module Contraction = Tce_cannon.Contraction
+module Variant = Tce_cannon.Variant
+module Schedule = Tce_cannon.Schedule
+module Fusionset = Tce_fusion.Fusionset
+module Memmin = Tce_fusion.Memmin
+module Plan = Tce_core.Plan
+module Search = Tce_core.Search
+module Baselines = Tce_core.Baselines
+module Loopnest = Tce_codegen.Loopnest
+module Interp = Tce_codegen.Interp
+module Cluster = Tce_machine.Cluster
+module Simulate = Tce_machine.Simulate
+module Numeric = Tce_machine.Numeric
+module Fusedexec = Tce_machine.Fusedexec
+module Spmd = Tce_runtime.Spmd
+module Multicore = Tce_runtime.Multicore
+module Table = Tce_report.Table
+module Paperref = Tce_report.Paperref
+module Exptables = Tce_report.Exptables
+module Parcode = Tce_report.Parcode

@@ -1,0 +1,1 @@
+lib/tensor/dense.ml: Array Coords Float Format Import Index List Printf Prng

@@ -1,0 +1,1 @@
+lib/tensor/einsum.ml: Array Coords Dense Import Index Ints List Listx Printf

@@ -1,0 +1,1 @@
+lib/tensor/import.ml: Tce_index Tce_util

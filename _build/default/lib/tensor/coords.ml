@@ -1,0 +1,52 @@
+let strides ext =
+  let n = Array.length ext in
+  let s = Array.make n 1 in
+  for d = n - 2 downto 0 do
+    s.(d) <- s.(d + 1) * ext.(d + 1)
+  done;
+  s
+
+let offset ~strides coord =
+  let acc = ref 0 in
+  for d = 0 to Array.length coord - 1 do
+    acc := !acc + (strides.(d) * coord.(d))
+  done;
+  !acc
+
+let total ext = Array.fold_left ( * ) 1 ext
+
+let iter ext f =
+  let n = Array.length ext in
+  if Array.exists (fun e -> e <= 0) ext then ()
+  else begin
+    let coord = Array.make n 0 in
+    let rec bump d =
+      (* Row-major odometer: increment the last dimension, carrying left. *)
+      if d < 0 then false
+      else begin
+        coord.(d) <- coord.(d) + 1;
+        if coord.(d) < ext.(d) then true
+        else begin
+          coord.(d) <- 0;
+          bump (d - 1)
+        end
+      end
+    in
+    let continue = ref true in
+    while !continue do
+      f coord;
+      continue := n > 0 && bump (n - 1)
+    done
+  end
+
+let fold ext ~init ~f =
+  let acc = ref init in
+  iter ext (fun c -> acc := f !acc c);
+  !acc
+
+let valid ~ext coord =
+  Array.length coord = Array.length ext
+  &&
+  let ok = ref true in
+  Array.iteri (fun d c -> if c < 0 || c >= ext.(d) then ok := false) coord;
+  !ok

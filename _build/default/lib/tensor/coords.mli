@@ -1,0 +1,27 @@
+(** Row-major multi-index iteration.
+
+    A coordinate vector addresses one element of a dense tensor; these
+    helpers enumerate coordinate spaces and convert between coordinates and
+    flat row-major offsets. *)
+
+val strides : int array -> int array
+(** [strides ext] are the row-major strides of a shape: the last dimension is
+    contiguous ([stride = 1]). The empty shape has empty strides. *)
+
+val offset : strides:int array -> int array -> int
+(** Flat offset of a coordinate vector. *)
+
+val total : int array -> int
+(** Number of points of the shape (1 for the empty shape). *)
+
+val iter : int array -> (int array -> unit) -> unit
+(** [iter ext f] calls [f] on every coordinate of the shape in row-major
+    order. The coordinate array is reused between calls; callers must not
+    retain it. *)
+
+val fold : int array -> init:'a -> f:('a -> int array -> 'a) -> 'a
+(** Folding version of {!iter}, same reuse caveat. *)
+
+val valid : ext:int array -> int array -> bool
+(** True iff the coordinate is within bounds of the shape and has the right
+    rank. *)

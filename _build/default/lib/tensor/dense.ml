@@ -1,0 +1,252 @@
+open! Import
+
+type t = {
+  labels : Index.t array;
+  ext : int array;
+  strides : int array;
+  data : float array;
+}
+
+let check_dims dims =
+  let labels = List.map fst dims in
+  if not (Index.distinct labels) then
+    invalid_arg "Dense: dimension labels must be distinct";
+  List.iter
+    (fun (i, n) ->
+      if n <= 0 then
+        invalid_arg
+          (Printf.sprintf "Dense: extent of %s must be positive, got %d"
+             (Index.name i) n))
+    dims
+
+let create dims =
+  check_dims dims;
+  let labels = Array.of_list (List.map fst dims) in
+  let ext = Array.of_list (List.map snd dims) in
+  {
+    labels;
+    ext;
+    strides = Coords.strides ext;
+    data = Array.make (Coords.total ext) 0.0;
+  }
+
+let scalar v =
+  let t = create [] in
+  t.data.(0) <- v;
+  t
+
+let dims t =
+  Array.to_list (Array.map2 (fun l e -> (l, e)) t.labels t.ext)
+
+let labels t = Array.to_list t.labels
+let rank t = Array.length t.labels
+let size t = Array.length t.data
+
+let pos_of_label t i =
+  let rec go d =
+    if d >= Array.length t.labels then raise Not_found
+    else if Index.equal t.labels.(d) i then d
+    else go (d + 1)
+  in
+  go 0
+
+let extent_of t i = t.ext.(pos_of_label t i)
+let has_label t i = Array.exists (Index.equal i) t.labels
+
+let coord_of_map t m =
+  let n = Array.length t.labels in
+  if Index.Map.cardinal m <> n then
+    invalid_arg "Dense: coordinate must bind exactly the tensor's labels";
+  let coord = Array.make n 0 in
+  for d = 0 to n - 1 do
+    match Index.Map.find_opt t.labels.(d) m with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Dense: coordinate missing label %s"
+           (Index.name t.labels.(d)))
+    | Some c ->
+      if c < 0 || c >= t.ext.(d) then
+        invalid_arg
+          (Printf.sprintf "Dense: position %d out of range for %s (extent %d)"
+             c
+             (Index.name t.labels.(d))
+             t.ext.(d));
+      coord.(d) <- c
+  done;
+  coord
+
+let get t m = t.data.(Coords.offset ~strides:t.strides (coord_of_map t m))
+
+let set t m v =
+  t.data.(Coords.offset ~strides:t.strides (coord_of_map t m)) <- v
+
+let add_at t m v =
+  let o = Coords.offset ~strides:t.strides (coord_of_map t m) in
+  t.data.(o) <- t.data.(o) +. v
+
+let get_value t =
+  if rank t <> 0 then invalid_arg "Dense.get_value: tensor is not a scalar";
+  t.data.(0)
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+let copy t = { t with data = Array.copy t.data }
+
+let fill_random t rng =
+  for i = 0 to Array.length t.data - 1 do
+    t.data.(i) <- Prng.float_range rng ~lo:(-1.0) ~hi:1.0
+  done
+
+let map_of_coord t coord =
+  let m = ref Index.Map.empty in
+  Array.iteri (fun d l -> m := Index.Map.add l coord.(d) !m) t.labels;
+  !m
+
+let iteri t ~f =
+  Coords.iter t.ext (fun coord ->
+      f (map_of_coord t coord)
+        t.data.(Coords.offset ~strides:t.strides coord))
+
+let init dims ~f =
+  let t = create dims in
+  Coords.iter t.ext (fun coord ->
+      t.data.(Coords.offset ~strides:t.strides coord)
+      <- f (map_of_coord t coord));
+  t
+
+let same_shape a b = a.labels = b.labels && a.ext = b.ext
+
+let map2 a b ~f =
+  if not (same_shape a b) then
+    invalid_arg "Dense.map2: shapes differ (labels or storage order)";
+  { a with data = Array.map2 f a.data b.data }
+
+let frobenius t =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.data)
+
+let transpose t order =
+  if
+    List.length order <> rank t
+    || not (List.for_all (has_label t) order)
+    || not (Index.distinct order)
+  then invalid_arg "Dense.transpose: order must be a permutation of labels";
+  let out = create (List.map (fun i -> (i, extent_of t i)) order) in
+  (* perm.(d) is the position in [t] of the d-th output dimension. *)
+  let perm = Array.map (pos_of_label t) out.labels in
+  let src = Array.make (rank t) 0 in
+  Coords.iter out.ext (fun coord ->
+      Array.iteri (fun d p -> src.(p) <- coord.(d)) perm;
+      out.data.(Coords.offset ~strides:out.strides coord)
+      <- t.data.(Coords.offset ~strides:t.strides src));
+  out
+
+let slice t i pos =
+  let d = pos_of_label t i in
+  if pos < 0 || pos >= t.ext.(d) then
+    invalid_arg "Dense.slice: position out of range";
+  let keep = List.filter (fun (l, _) -> not (Index.equal l i)) (dims t) in
+  let out = create keep in
+  let src = Array.make (rank t) 0 in
+  Coords.iter out.ext (fun coord ->
+      let k = ref 0 in
+      for sd = 0 to rank t - 1 do
+        if sd = d then src.(sd) <- pos
+        else begin
+          src.(sd) <- coord.(!k);
+          incr k
+        end
+      done;
+      out.data.(Coords.offset ~strides:out.strides coord)
+      <- t.data.(Coords.offset ~strides:t.strides src));
+  out
+
+let resolve_ranges t ranges =
+  (* Per storage dimension, an (offset, length) window. *)
+  List.iter
+    (fun (l, _) ->
+      if not (has_label t l) then
+        invalid_arg
+          (Printf.sprintf "Dense.block: foreign label %s" (Index.name l)))
+    ranges;
+  Array.mapi
+    (fun d label ->
+      match List.find_opt (fun (l, _) -> Index.equal l label) ranges with
+      | None -> (0, t.ext.(d))
+      | Some (_, (off, len)) ->
+        if off < 0 || len <= 0 || off + len > t.ext.(d) then
+          invalid_arg
+            (Printf.sprintf "Dense.block: bad range (%d,%d) for %s (extent %d)"
+               off len (Index.name label) t.ext.(d));
+        (off, len))
+    t.labels
+
+let block t ranges =
+  let windows = resolve_ranges t ranges in
+  let out =
+    create
+      (Array.to_list
+         (Array.map2 (fun l (_, len) -> (l, len)) t.labels windows))
+  in
+  let src = Array.make (rank t) 0 in
+  Coords.iter out.ext (fun coord ->
+      Array.iteri (fun d (off, _) -> src.(d) <- off + coord.(d)) windows;
+      out.data.(Coords.offset ~strides:out.strides coord)
+      <- t.data.(Coords.offset ~strides:t.strides src));
+  out
+
+let write_block ~combine t offsets blk =
+  if blk.labels <> t.labels then
+    invalid_arg
+      "Dense.set_block: block labels must match target labels and order";
+  let off =
+    Array.mapi
+      (fun d label ->
+        let o =
+          match List.find_opt (fun (l, _) -> Index.equal l label) offsets with
+          | None -> 0
+          | Some (_, o) -> o
+        in
+        if o < 0 || o + blk.ext.(d) > t.ext.(d) then
+          invalid_arg
+            (Printf.sprintf "Dense.set_block: block does not fit along %s"
+               (Index.name label));
+        o)
+      t.labels
+  in
+  let dst = Array.make (rank t) 0 in
+  Coords.iter blk.ext (fun coord ->
+      Array.iteri (fun d o -> dst.(d) <- o + coord.(d)) off;
+      let doff = Coords.offset ~strides:t.strides dst in
+      t.data.(doff)
+      <- combine t.data.(doff)
+           blk.data.(Coords.offset ~strides:blk.strides coord))
+
+let set_block t offsets blk = write_block ~combine:(fun _ v -> v) t offsets blk
+let add_block t offsets blk = write_block ~combine:( +. ) t offsets blk
+
+let equal_approx ?(tol = 1e-9) a b =
+  let la = List.sort Index.compare (labels a)
+  and lb = List.sort Index.compare (labels b) in
+  List.equal Index.equal la lb
+  && List.for_all (fun i -> extent_of a i = extent_of b i) la
+  &&
+  let b' = if a.labels = b.labels then b else transpose b (labels a) in
+  let ok = ref true in
+  Array.iteri
+    (fun k va ->
+      let vb = b'.data.(k) in
+      let scale = 1.0 +. Float.max (Float.abs va) (Float.abs vb) in
+      if Float.abs (va -. vb) > tol *. scale then ok := false)
+    a.data;
+  !ok
+
+let to_list t =
+  let acc = ref [] in
+  iteri t ~f:(fun m v -> acc := (m, v) :: !acc);
+  List.rev !acc
+
+let pp ppf t =
+  Format.fprintf ppf "T[%a] |.|=%g"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       (fun ppf (l, e) -> Format.fprintf ppf "%a:%d" Index.pp l e))
+    (dims t) (frobenius t)

@@ -1,0 +1,100 @@
+(** Dense tensors with named dimensions.
+
+    A tensor's dimensions are labeled by distinct index variables; all
+    element access and all algebra (contraction, summation, blocking) is by
+    label, never by position, which makes the correspondence with the
+    contraction expressions direct and rules out axis-order bugs. Data is
+    stored row-major in the label order given at creation. *)
+
+open! Import
+
+type t
+
+val create : (Index.t * int) list -> t
+(** [create dims] is a zero tensor with the given labeled extents. Labels
+    must be distinct and extents positive; raises [Invalid_argument]
+    otherwise. A rank-0 tensor ([dims = \[\]]) is a scalar. *)
+
+val init : (Index.t * int) list -> f:(int Index.Map.t -> float) -> t
+(** Like {!create} but each element is initialized from its coordinate,
+    presented as a map from dimension label to position. *)
+
+val scalar : float -> t
+(** Rank-0 tensor holding one value. *)
+
+val dims : t -> (Index.t * int) list
+(** Labeled extents in storage order. *)
+
+val labels : t -> Index.t list
+
+val rank : t -> int
+
+val size : t -> int
+(** Total element count. *)
+
+val extent_of : t -> Index.t -> int
+(** Extent of a dimension by label; raises [Not_found] for foreign labels. *)
+
+val has_label : t -> Index.t -> bool
+
+val get : t -> int Index.Map.t -> float
+(** Element at a coordinate given by label. The map must bind exactly the
+    tensor's labels to in-range positions. *)
+
+val set : t -> int Index.Map.t -> float -> unit
+
+val add_at : t -> int Index.Map.t -> float -> unit
+(** Accumulate into an element. *)
+
+val get_value : t -> float
+(** The value of a scalar (rank-0) tensor; raises [Invalid_argument]
+    otherwise. *)
+
+val fill : t -> float -> unit
+
+val copy : t -> t
+
+val fill_random : t -> Prng.t -> unit
+(** Uniform values in [\[-1, 1)]. *)
+
+val iteri : t -> f:(int Index.Map.t -> float -> unit) -> unit
+(** Visit every element with its labeled coordinate, row-major. *)
+
+val map2 : t -> t -> f:(float -> float -> float) -> t
+(** Pointwise combination; the tensors must have identical labeled shapes
+    ({i including} storage order). *)
+
+val frobenius : t -> float
+(** Square root of the sum of squared elements. *)
+
+val equal_approx : ?tol:float -> t -> t -> bool
+(** True iff both tensors have the same labels/extents (any storage order)
+    and elements agree within absolute-plus-relative tolerance [tol]
+    (default [1e-9]). *)
+
+val transpose : t -> Index.t list -> t
+(** [transpose t order] rearranges storage to the given complete label
+    permutation. *)
+
+val slice : t -> Index.t -> int -> t
+(** [slice t i pos] fixes label [i] at position [pos] and drops that
+    dimension. *)
+
+val block : t -> (Index.t * (int * int)) list -> t
+(** [block t ranges] extracts the rectangular sub-block
+    [(offset, length)] per listed label; unlisted labels keep their full
+    range. The result has the same label order and the block's extents. *)
+
+val set_block : t -> (Index.t * int) list -> t -> unit
+(** [set_block t offsets blk] writes block [blk] into [t] at the given
+    per-label offsets (0 for unlisted labels). Shapes must fit. *)
+
+val add_block : t -> (Index.t * int) list -> t -> unit
+(** Like {!set_block} but accumulates instead of overwriting. *)
+
+val to_list : t -> (int Index.Map.t * float) list
+(** All elements with coordinates, row-major; for tests on small tensors. *)
+
+val pp : Format.formatter -> t -> unit
+(** Shape-and-norm summary, e.g. [T\[b:4,c:4\] |.|=3.2]; does not print
+    elements. *)

@@ -1,0 +1,141 @@
+open! Import
+
+(* For each dimension of the full (out @ sum) iteration space, the stride it
+   contributes to a given operand's flat offset (0 when the operand lacks
+   that label). *)
+let stride_contribs full_labels operand =
+  let op_labels = Array.of_list (Dense.labels operand) in
+  let op_strides =
+    Coords.strides (Array.of_list (List.map snd (Dense.dims operand)))
+  in
+  Array.of_list
+    (List.map
+       (fun l ->
+         let rec go d =
+           if d >= Array.length op_labels then 0
+           else if Index.equal op_labels.(d) l then op_strides.(d)
+           else go (d + 1)
+         in
+         go 0)
+       full_labels)
+
+let extent_in operands l =
+  let rec go = function
+    | [] ->
+      invalid_arg
+        (Printf.sprintf "Einsum: label %s not found in any operand"
+           (Index.name l))
+    | t :: rest -> if Dense.has_label t l then Dense.extent_of t l else go rest
+  in
+  go operands
+
+let check_shared_extents a b =
+  List.iter
+    (fun l ->
+      if Dense.has_label b l && Dense.extent_of a l <> Dense.extent_of b l then
+        invalid_arg
+          (Printf.sprintf "Einsum: extent mismatch on shared label %s"
+             (Index.name l)))
+    (Dense.labels a)
+
+let dot contribs coord =
+  let acc = ref 0 in
+  for d = 0 to Array.length coord - 1 do
+    acc := !acc + (contribs.(d) * coord.(d))
+  done;
+  !acc
+
+(* Raw access into a dense tensor by flat offset: we rebuild the data array
+   view through [to_list]-free means. Dense does not expose its buffer, so we
+   keep a tiny adapter here based on row-major iteration order. *)
+let buffer_of t =
+  (* Dense stores row-major in label order; reconstruct a flat snapshot. *)
+  let n = Dense.size t in
+  let buf = Array.make n 0.0 in
+  let k = ref 0 in
+  Dense.iteri t ~f:(fun _ v ->
+      buf.(!k) <- v;
+      incr k);
+  buf
+
+let contract2 ~out a b =
+  if not (Index.distinct out) then
+    invalid_arg "Einsum.contract2: duplicate output labels";
+  check_shared_extents a b;
+  List.iter
+    (fun l ->
+      if not (Dense.has_label a l || Dense.has_label b l) then
+        invalid_arg
+          (Printf.sprintf "Einsum.contract2: output label %s absent from both operands"
+             (Index.name l)))
+    out;
+  let in_out l = List.exists (Index.equal l) out in
+  let sum_labels =
+    List.filter
+      (fun l -> not (in_out l))
+      (Listx.dedup ~compare:Index.compare
+         (Dense.labels a @ Dense.labels b))
+  in
+  let full = out @ sum_labels in
+  let operands = [ a; b ] in
+  let full_ext = Array.of_list (List.map (extent_in operands) full) in
+  let result = Dense.create (List.map (fun l -> (l, extent_in operands l)) out) in
+  let ca = stride_contribs full a
+  and cb = stride_contribs full b
+  and cr = stride_contribs full result in
+  let ba = buffer_of a and bb = buffer_of b in
+  let br = Array.make (Dense.size result) 0.0 in
+  Coords.iter full_ext (fun coord ->
+      let o = dot cr coord in
+      br.(o) <- br.(o) +. (ba.(dot ca coord) *. bb.(dot cb coord)));
+  (* Write the accumulated buffer back through the labeled interface. *)
+  let k = ref (-1) in
+  Dense.iteri result ~f:(fun m _ ->
+      incr k;
+      Dense.set result m br.(!k));
+  result
+
+let sum_over t idxs =
+  List.iter
+    (fun l ->
+      if not (Dense.has_label t l) then
+        invalid_arg
+          (Printf.sprintf "Einsum.sum_over: foreign label %s" (Index.name l)))
+    idxs;
+  let keep =
+    List.filter
+      (fun (l, _) -> not (List.exists (Index.equal l) idxs))
+      (Dense.dims t)
+  in
+  let result = Dense.create keep in
+  Dense.iteri t ~f:(fun m v ->
+      let m' =
+        Index.Map.filter
+          (fun l _ -> not (List.exists (Index.equal l) idxs))
+          m
+      in
+      Dense.add_at result m' v);
+  result
+
+let scale k t =
+  let out = Dense.copy t in
+  Dense.iteri t ~f:(fun m v -> Dense.set out m (k *. v));
+  out
+
+let add a b =
+  let b' =
+    if Dense.labels a = Dense.labels b then b
+    else Dense.transpose b (Dense.labels a)
+  in
+  Dense.map2 a b' ~f:( +. )
+
+let flops_contract2 ~out a b =
+  let in_out l = List.exists (Index.equal l) out in
+  let sum_labels =
+    List.filter
+      (fun l -> not (in_out l))
+      (Listx.dedup ~compare:Index.compare
+         (Dense.labels a @ Dense.labels b))
+  in
+  let operands = [ a; b ] in
+  2 * Ints.prod (List.map (extent_in operands) (out @ sum_labels))

@@ -1,0 +1,29 @@
+(** Reference contraction engine (naive einsum).
+
+    This is the ground truth for every other execution path in the engine:
+    generated fused code, the simulated distributed machine and the multicore
+    runtime are all checked against it in the test suite. It favours
+    obviousness over speed. *)
+
+open! Import
+
+val contract2 : out:Index.t list -> Dense.t -> Dense.t -> Dense.t
+(** [contract2 ~out a b] is the generalized contraction
+    [C(out) = Σ_sum A · B] where the summation indices are every label of
+    [a] or [b] not listed in [out]. Labels shared by [a] and [b] must have
+    equal extents; every [out] label must occur in [a] or [b]. The result's
+    storage order is [out]. *)
+
+val sum_over : Dense.t -> Index.t list -> Dense.t
+(** [sum_over t idxs] sums away the given labels of [t], keeping the
+    remaining labels in their storage order. *)
+
+val scale : float -> Dense.t -> Dense.t
+
+val add : Dense.t -> Dense.t -> Dense.t
+(** Pointwise sum; shapes must match up to storage order (the second operand
+    is transposed to the first's order if needed). *)
+
+val flops_contract2 : out:Index.t list -> Dense.t -> Dense.t -> int
+(** Number of floating-point operations (multiply-add counted as 2) the
+    reference engine performs for {!contract2} with these arguments. *)

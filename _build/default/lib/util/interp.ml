@@ -1,0 +1,57 @@
+type t = { xs : float array; ys : float array }
+
+let of_points pts =
+  match pts with
+  | [] -> Error "Interp.of_points: empty sample list"
+  | _ ->
+    let sorted =
+      List.sort (fun (x1, _) (x2, _) -> Float.compare x1 x2) pts
+    in
+    let rec strictly_increasing = function
+      | [] | [ _ ] -> true
+      | (x1, _) :: ((x2, _) :: _ as rest) ->
+        x1 < x2 && strictly_increasing rest
+    in
+    if not (strictly_increasing sorted) then
+      Error "Interp.of_points: duplicate abscissae"
+    else
+      let xs = Array.of_list (List.map fst sorted) in
+      let ys = Array.of_list (List.map snd sorted) in
+      Ok { xs; ys }
+
+let of_points_exn pts =
+  match of_points pts with
+  | Ok t -> t
+  | Error msg -> invalid_arg msg
+
+(* Index of the rightmost sample with abscissa <= x, clamped to keep a valid
+   segment [i, i+1] for interpolation/extrapolation. *)
+let segment_index t x =
+  let n = Array.length t.xs in
+  if n = 1 then 0
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    (* Invariant: xs.(lo) <= x < xs.(hi), modulo boundary clamping below. *)
+    if x <= t.xs.(0) then 0
+    else if x >= t.xs.(n - 1) then n - 2
+    else begin
+      while !hi - !lo > 1 do
+        let mid = (!lo + !hi) / 2 in
+        if t.xs.(mid) <= x then lo := mid else hi := mid
+      done;
+      !lo
+    end
+  end
+
+let eval t x =
+  let n = Array.length t.xs in
+  if n = 1 then t.ys.(0)
+  else begin
+    let i = segment_index t x in
+    let x0 = t.xs.(i) and x1 = t.xs.(i + 1) in
+    let y0 = t.ys.(i) and y1 = t.ys.(i + 1) in
+    y0 +. ((x -. x0) /. (x1 -. x0) *. (y1 -. y0))
+  end
+
+let points t = Array.to_list (Array.map2 (fun x y -> (x, y)) t.xs t.ys)
+let size t = Array.length t.xs

@@ -1,0 +1,29 @@
+(** Piecewise-linear interpolation tables.
+
+    The communication cost service ([Netmodel.Rcost]) answers queries for
+    arbitrary message sizes from a finite characterization, by interpolation
+    between sample points and linear extrapolation beyond them — exactly the
+    methodology the paper describes for its empirically measured
+    characterization files. *)
+
+type t
+(** A one-dimensional piecewise-linear function defined by sample points. *)
+
+val of_points : (float * float) list -> (t, string) result
+(** [of_points pts] builds a table from [(x, y)] samples. Requires at least
+    one point and strictly increasing [x] after sorting; duplicate abscissae
+    are an error. *)
+
+val of_points_exn : (float * float) list -> t
+(** Like {!of_points} but raises [Invalid_argument]. *)
+
+val eval : t -> float -> float
+(** [eval t x] interpolates linearly between the two bracketing samples.
+    Outside the sampled range the nearest segment is extended (linear
+    extrapolation); a single-point table is constant. *)
+
+val points : t -> (float * float) list
+(** The sample points in increasing abscissa order. *)
+
+val size : t -> int
+(** Number of sample points. *)

@@ -1,0 +1,64 @@
+let isqrt n =
+  if n < 0 then invalid_arg "Ints.isqrt: negative argument";
+  if n < 2 then n
+  else begin
+    (* Newton iteration on integers converges from above to floor(sqrt n). *)
+    let x = ref n in
+    let y = ref ((n + 1) / 2) in
+    while !y < !x do
+      x := !y;
+      y := (!x + (n / !x)) / 2
+    done;
+    !x
+  end
+
+let is_perfect_square n =
+  n >= 0
+  &&
+  let s = isqrt n in
+  s * s = n
+
+let ceil_div a b =
+  if a < 0 then invalid_arg "Ints.ceil_div: negative dividend";
+  if b <= 0 then invalid_arg "Ints.ceil_div: non-positive divisor";
+  (a + b - 1) / b
+
+let mul_sat a b =
+  if a < 0 || b < 0 then invalid_arg "Ints.mul_sat: negative operand";
+  if a = 0 || b = 0 then 0
+  else if a > max_int / b then max_int
+  else a * b
+
+let pow b e =
+  if e < 0 then invalid_arg "Ints.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * b) (b * b) (e asr 1)
+    else go acc (b * b) (e asr 1)
+  in
+  go 1 b e
+
+let log2_ceil n =
+  if n < 1 then invalid_arg "Ints.log2_ceil: argument must be >= 1";
+  let rec go k p = if p >= n then k else go (k + 1) (p * 2) in
+  go 0 1
+
+let divisors n =
+  if n < 1 then invalid_arg "Ints.divisors: argument must be >= 1";
+  let rec small d acc = if d * d > n then List.rev acc
+    else small (d + 1) (if n mod d = 0 then d :: acc else acc)
+  in
+  let lows = small 1 [] in
+  let highs =
+    List.filter_map
+      (fun d -> if d * d = n then None else Some (n / d))
+      (List.rev lows)
+  in
+  lows @ highs
+
+let clamp ~lo ~hi x =
+  if lo > hi then invalid_arg "Ints.clamp: lo > hi";
+  if x < lo then lo else if x > hi then hi else x
+
+let sum = List.fold_left ( + ) 0
+let prod = List.fold_left ( * ) 1

@@ -1,0 +1,39 @@
+(** Integer arithmetic helpers used throughout the engine.
+
+    All functions are total on the documented domains and raise
+    [Invalid_argument] outside of them. *)
+
+val isqrt : int -> int
+(** [isqrt n] is the largest [s] with [s * s <= n]. Raises on negative [n]. *)
+
+val is_perfect_square : int -> bool
+(** [is_perfect_square n] is [true] iff [n >= 0] and [isqrt n * isqrt n = n]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is the smallest [q] with [q * b >= a], for [a >= 0],
+    [b > 0]. *)
+
+val mul_sat : int -> int -> int
+(** [mul_sat a b] is [a * b] for non-negative operands, saturating at
+    [max_int] instead of overflowing. Raises on negative operands. *)
+
+val pow : int -> int -> int
+(** [pow b e] is [b] raised to [e], for [e >= 0]. Overflow is the caller's
+    responsibility. *)
+
+val log2_ceil : int -> int
+(** [log2_ceil n] is the smallest [k] with [pow 2 k >= n], for [n >= 1]. *)
+
+val divisors : int -> int list
+(** [divisors n] lists the positive divisors of [n >= 1] in increasing
+    order. *)
+
+val clamp : lo:int -> hi:int -> int -> int
+(** [clamp ~lo ~hi x] limits [x] to the inclusive range [\[lo, hi\]].
+    Requires [lo <= hi]. *)
+
+val sum : int list -> int
+(** Sum of a list, [0] on empty. *)
+
+val prod : int list -> int
+(** Product of a list, [1] on empty. *)

@@ -1,0 +1,103 @@
+let subsets xs =
+  let rec go = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let without = go rest in
+      without @ List.map (fun s -> x :: s) without
+  in
+  (* [go] puts subsets containing the head after those that do not, which
+     yields empty-first / full-last order after the final reversal trick is
+     unnecessary: the recursion already preserves element order inside each
+     subset. *)
+  go xs
+
+let subsets_upto k xs =
+  let rec go k = function
+    | [] -> [ [] ]
+    | _ when k = 0 -> [ [] ]
+    | x :: rest ->
+      let without = go k rest in
+      let with_x = List.map (fun s -> x :: s) (go (k - 1) rest) in
+      without @ with_x
+  in
+  if k < 0 then invalid_arg "Listx.subsets_upto: negative cardinality";
+  go k xs
+
+let cartesian xs ys =
+  List.concat_map (fun x -> List.map (fun y -> (x, y)) ys) xs
+
+let cartesian3 xs ys zs =
+  List.concat_map
+    (fun x -> List.concat_map (fun y -> List.map (fun z -> (x, y, z)) zs) ys)
+    xs
+
+let product lists =
+  let rec go = function
+    | [] -> [ [] ]
+    | xs :: rest ->
+      let tails = go rest in
+      List.concat_map (fun x -> List.map (fun t -> x :: t) tails) xs
+  in
+  go lists
+
+let pairs xs =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+  in
+  go xs
+
+let splits2 = function
+  | [] | [ _ ] -> []
+  | x :: rest ->
+    (* Assign each remaining position to the left (with [x]) or right part;
+       reject the assignment that leaves the right part empty. Working on
+       positions rather than values keeps duplicate elements distinct. *)
+    let indexed = List.mapi (fun i y -> (i, y)) rest in
+    let assignments = subsets (List.map fst indexed) in
+    List.filter_map
+      (fun left_idx ->
+        let left_tail =
+          List.filter_map
+            (fun (i, y) -> if List.mem i left_idx then Some y else None)
+            indexed
+        and right =
+          List.filter_map
+            (fun (i, y) -> if List.mem i left_idx then None else Some y)
+            indexed
+        in
+        if right = [] then None else Some (x :: left_tail, right))
+      assignments
+
+let minimum_by cmp = function
+  | [] -> None
+  | x :: rest ->
+    Some (List.fold_left (fun best y -> if cmp y best < 0 then y else best) x rest)
+
+let take n xs =
+  let rec go n acc = function
+    | [] -> List.rev acc
+    | _ when n = 0 -> List.rev acc
+    | x :: rest -> go (n - 1) (x :: acc) rest
+  in
+  go (max 0 n) [] xs
+
+let index_of pred xs =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if pred x then Some i else go (i + 1) rest
+  in
+  go 0 xs
+
+let dedup ~compare xs =
+  let sorted = List.sort compare xs in
+  let rec go = function
+    | [] -> []
+    | [ x ] -> [ x ]
+    | x :: (y :: _ as rest) ->
+      if compare x y = 0 then go rest else x :: go rest
+  in
+  go sorted
+
+let is_subset ~equal xs ys =
+  List.for_all (fun x -> List.exists (equal x) ys) xs

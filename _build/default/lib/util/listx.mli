@@ -1,0 +1,48 @@
+(** List combinatorics used by the search procedures.
+
+    The optimizer enumerates distributions, fusions and contraction orders;
+    these helpers keep that enumeration code short and obviously correct. *)
+
+val subsets : 'a list -> 'a list list
+(** All 2^n subsets, each preserving the input order. The empty subset comes
+    first and the full set last when the input is non-empty. *)
+
+val subsets_upto : int -> 'a list -> 'a list list
+(** [subsets_upto k xs] is all subsets of [xs] of cardinality [<= k],
+    preserving input order within each subset. *)
+
+val cartesian : 'a list -> 'b list -> ('a * 'b) list
+(** Cartesian product, left-major order. *)
+
+val cartesian3 : 'a list -> 'b list -> 'c list -> ('a * 'b * 'c) list
+(** Ternary cartesian product, left-major order. *)
+
+val product : 'a list list -> 'a list list
+(** [product \[xs1; xs2; ...\]] is all ways of picking one element per list;
+    the product of an empty list of lists is [\[\[\]\]]. *)
+
+val pairs : 'a list -> ('a * 'a) list
+(** All unordered pairs of distinct positions, as ordered tuples in input
+    order: [pairs \[1;2;3\] = \[(1,2); (1,3); (2,3)\]]. *)
+
+val splits2 : 'a list -> ('a list * 'a list) list
+(** All ways to split a list into two complementary, order-preserving,
+    non-empty sublists where the first sublist contains the head element
+    (i.e. unordered 2-partitions of a non-empty list). The empty and
+    singleton lists have no splits. *)
+
+val minimum_by : ('a -> 'a -> int) -> 'a list -> 'a option
+(** Leftmost minimum under the given comparison; [None] on empty. *)
+
+val take : int -> 'a list -> 'a list
+(** First [n] elements (all of them if fewer). *)
+
+val index_of : ('a -> bool) -> 'a list -> int option
+(** Position of the first element satisfying the predicate. *)
+
+val dedup : compare:('a -> 'a -> int) -> 'a list -> 'a list
+(** Sort by [compare] and drop equal duplicates. *)
+
+val is_subset : equal:('a -> 'a -> bool) -> 'a list -> 'a list -> bool
+(** [is_subset ~equal xs ys] is true iff every element of [xs] appears in
+    [ys]. *)

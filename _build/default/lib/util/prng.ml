@@ -1,0 +1,58 @@
+(* SplitMix64 (Steele, Lea, Flood 2014). Small state, good statistical
+   quality, and a principled split operation. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let create ~seed = { state = mix64 (Int64.of_int seed) }
+let split t = { state = next_int64 t }
+let copy t = { state = t.state }
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* 62 random bits: the largest non-negative range that fits OCaml's
+     native 63-bit int. *)
+  let mask = Int64.shift_right_logical Int64.minus_one 2 in
+  (* Rejection sampling over the non-negative range avoids modulo bias for
+     bounds that do not divide 2^62. *)
+  let rec draw () =
+    let v = Int64.to_int (Int64.logand (next_int64 t) mask) in
+    let r = v mod bound in
+    if v - r > max_int - bound + 1 then draw () else r
+  in
+  draw ()
+
+let float t =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let float_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.float_range: lo > hi";
+  lo +. (float t *. (hi -. lo))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int t ~bound:(List.length xs))
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

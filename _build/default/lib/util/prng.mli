@@ -1,0 +1,36 @@
+(** Deterministic splittable pseudo-random numbers (SplitMix64).
+
+    Workload generators and the discrete-event machine need reproducible
+    randomness that is independent of evaluation order; the global [Random]
+    state is unsuitable for that, especially with domains. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** A generator determined entirely by [seed]. *)
+
+val split : t -> t
+(** A statistically independent child generator; advances the parent. *)
+
+val copy : t -> t
+(** Snapshot of the current state (does not advance the parent). *)
+
+val int : t -> bound:int -> int
+(** Uniform integer in [\[0, bound)], [bound > 0]. *)
+
+val float : t -> float
+(** Uniform float in [\[0, 1)]. *)
+
+val float_range : t -> lo:float -> hi:float -> float
+(** Uniform float in [\[lo, hi)]. Requires [lo <= hi]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. Raises [Invalid_argument] on
+    empty. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates permutation. *)

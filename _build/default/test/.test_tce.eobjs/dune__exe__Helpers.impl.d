@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Aref Extents Float Grid Index List Params Parser Printf Problem QCheck2 QCheck_alcotest Rcost Result Search Tce Tree

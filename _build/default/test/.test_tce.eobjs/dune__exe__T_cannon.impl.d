@@ -1,0 +1,1 @@
+test/t_cannon.ml: Alcotest Aref Contraction Dist Formula Hashtbl Helpers Index List QCheck2 Schedule Tce Tree Variant

@@ -1,0 +1,1 @@
+test/t_codegen.ml: Alcotest Dense Format Fusionset Helpers Index Interp List Loopnest Memmin Opmin Option Parser Problem Sequence Tce Tree

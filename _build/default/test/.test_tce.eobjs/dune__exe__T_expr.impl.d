@@ -1,0 +1,1 @@
+test/t_expr.ml: Alcotest Aref Astring_contains Dense Einsum Format Formula Helpers Index List Parser Problem Sequence Tce Tree

@@ -1,0 +1,1 @@
+test/t_fusedexec.ml: Alcotest Aref Dense Eqs Fusedexec Grid Helpers Index List Memacct Plan Problem Search Sequence Tce Variant

@@ -1,0 +1,1 @@
+test/t_fusion.ml: Alcotest Aref Dist Fusionset Helpers Index Ints List Memmin Option Problem Result Sequence Tce Tree

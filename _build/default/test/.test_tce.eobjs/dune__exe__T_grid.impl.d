@@ -1,0 +1,1 @@
+test/t_grid.ml: Alcotest Array Dist Format Fun Grid Helpers Index Ints List Listx Option Printf QCheck2 Tce

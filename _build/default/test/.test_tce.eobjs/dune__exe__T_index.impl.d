@@ -1,0 +1,1 @@
+test/t_index.ml: Alcotest Extents Format Helpers Index List Tce

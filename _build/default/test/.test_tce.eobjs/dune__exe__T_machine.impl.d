@@ -1,0 +1,1 @@
+test/t_machine.ml: Alcotest Cluster Contraction Dense Einsum Format Grid Helpers List Numeric Params Plan Printf Prng Problem Search Sequence Simulate Tce Units Variant

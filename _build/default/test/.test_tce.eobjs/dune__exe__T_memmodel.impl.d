@@ -1,0 +1,1 @@
+test/t_memmodel.ml: Alcotest Dist Eqs Extents Helpers Index Ints List Memacct Rcost Tce Units

@@ -1,0 +1,1 @@
+test/t_netmodel.ml: Alcotest Filename Helpers List Out_channel Params Printf Rcost Sys Tce Units

@@ -1,0 +1,1 @@
+test/t_opmin.ml: Alcotest Aref Dense Formula Helpers Index Ints List Opmin Parser Printf Prng Problem QCheck2 Sequence Tce Tree

@@ -1,0 +1,1 @@
+test/t_report.ml: Alcotest Astring_contains Exptables Helpers List Paperref Parcode Problem Search String Table Tce

@@ -1,0 +1,1 @@
+test/t_runtime.ml: Alcotest Array Contraction Dense Einsum Format Grid Helpers List Multicore Numeric Prng Problem Search Sequence Spmd Tce Variant

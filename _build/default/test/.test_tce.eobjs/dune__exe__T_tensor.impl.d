@@ -1,0 +1,1 @@
+test/t_tensor.ml: Alcotest Array Coords Dense Einsum Float Helpers Index List Prng QCheck2 Tce

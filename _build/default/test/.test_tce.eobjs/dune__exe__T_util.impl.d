@@ -1,0 +1,1 @@
+test/t_util.ml: Alcotest Float Format Helpers Int Interp_table Ints List Listx Printf Prng QCheck2 Tce Units

@@ -1,0 +1,1 @@
+test/test_tce.ml: Alcotest List T_cannon T_codegen T_expr T_fusedexec T_fusion T_grid T_index T_integration T_machine T_memmodel T_netmodel T_opmin T_report T_runtime T_search T_tensor T_util

@@ -1,0 +1,14 @@
+(* Tiny substring check used by error-message tests (we avoid a dependency
+   on astring for one function). *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let rec go k =
+      if k + n > h then false
+      else if String.sub haystack k n = needle then true
+      else go (k + 1)
+    in
+    go 0
+  end

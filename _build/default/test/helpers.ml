@@ -1,0 +1,65 @@
+(* Shared fixtures and small conveniences for the test suites. *)
+
+open Tce
+
+let i = Index.v
+
+let idx_list names = List.map Index.v names
+
+let aref name names = Aref.v name (idx_list names)
+
+let extents bindings =
+  Extents.of_list_exn (List.map (fun (n, e) -> (Index.v n, e)) bindings)
+
+(* The paper's CCSD-like four-tensor term at several scales. *)
+let ccsd_text ~scale =
+  let a, ef, ijkl =
+    match scale with
+    | `Paper -> (480, 64, 32)
+    | `Small -> (12, 8, 6)
+    | `Tiny -> (6, 4, 4)
+  in
+  Printf.sprintf
+    {|
+extents a=%d, b=%d, c=%d, d=%d, e=%d, f=%d, i=%d, j=%d, k=%d, l=%d
+T1[b,c,d,f] = sum[e,l] B[b,e,f,l] * D[c,d,e,l]
+T2[b,c,j,k] = sum[d,f] T1[b,c,d,f] * C[d,f,j,k]
+S[a,b,i,j]  = sum[c,k] T2[b,c,j,k] * A[a,c,i,k]
+|}
+    a a a a ef ef ijkl ijkl ijkl ijkl
+
+let ccsd ~scale =
+  let problem = Result.get_ok (Parser.parse (ccsd_text ~scale)) in
+  let seq = Result.get_ok (Problem.to_sequence problem) in
+  let tree = Tree.fuse_mult_sum (Result.get_ok (Tree.of_sequence seq)) in
+  (problem, seq, tree)
+
+let params = Params.itanium_2003
+
+let search_config ?mem_limit_bytes ?fusion_mode procs =
+  let grid = Grid.create_exn ~procs in
+  let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+  ( grid,
+    Search.default_config ?mem_limit_bytes ?fusion_mode ~grid ~params ~rcost
+      () )
+
+let get_ok ~ctx = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "%s: unexpected error: %s" ctx msg
+
+let get_error ~ctx = function
+  | Ok _ -> Alcotest.failf "%s: expected an error" ctx
+  | Error msg -> msg
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let check_close ~ctx ?(rel = 1e-6) expected actual =
+  let scale = Float.max 1.0 (Float.abs expected) in
+  if Float.abs (expected -. actual) > rel *. scale then
+    Alcotest.failf "%s: expected %g, got %g" ctx expected actual
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest ~speed_level:`Quick
+    (QCheck2.Test.make ~count ~name gen prop)
+
+let case name f = Alcotest.test_case name `Quick f

@@ -1,0 +1,294 @@
+(* Tests for the generalized Cannon algorithm: contraction classification,
+   variant enumeration, and the executable schedules. *)
+
+open Tce
+open Helpers
+module G = QCheck2.Gen
+
+let t1_contraction () =
+  get_ok ~ctx:"contraction"
+    (Contraction.make
+       ~out:(aref "T1" [ "b"; "c"; "d"; "f" ])
+       ~left:(aref "B" [ "b"; "e"; "f"; "l" ])
+       ~right:(aref "D" [ "c"; "d"; "e"; "l" ])
+       ~sum:(idx_list [ "e"; "l" ]))
+
+let test_classification () =
+  let c = t1_contraction () in
+  Alcotest.(check (list string)) "I" [ "b"; "f" ]
+    (List.map Index.name c.Contraction.i_set);
+  Alcotest.(check (list string)) "J" [ "c"; "d" ]
+    (List.map Index.name c.Contraction.j_set);
+  Alcotest.(check (list string)) "K" [ "e"; "l" ]
+    (List.map Index.name c.Contraction.k_set);
+  Alcotest.(check int) "patterns 3*2*2*2" 24 (Contraction.pattern_count c)
+
+let test_flops () =
+  let e = extents [ ("b", 4); ("c", 5); ("d", 6); ("f", 7); ("e", 2); ("l", 3) ] in
+  Alcotest.(check int) "2*|I||J||K|" (2 * 4 * 7 * 5 * 6 * 2 * 3)
+    (Contraction.flops e (t1_contraction ()))
+
+let test_rejects_hadamard () =
+  ignore
+    (get_error ~ctx:"hadamard"
+       (Contraction.make
+          ~out:(aref "S" [ "t" ])
+          ~left:(aref "X" [ "j"; "t" ])
+          ~right:(aref "Y" [ "j"; "t" ])
+          ~sum:[ i "j" ]))
+
+let test_rejects_empty_sets () =
+  (* Empty J: both output indices come from the left operand. *)
+  ignore
+    (get_error ~ctx:"empty J"
+       (Contraction.make
+          ~out:(aref "S" [ "a"; "b" ])
+          ~left:(aref "X" [ "a"; "b"; "k" ])
+          ~right:(aref "Y" [ "k" ])
+          ~sum:[ i "k" ]))
+
+let test_of_formula_rejections () =
+  let mult =
+    get_ok ~ctx:"mult"
+      (Formula.mult (aref "T" [ "a"; "b" ]) (aref "X" [ "a" ]) (aref "Y" [ "b" ]))
+  in
+  ignore (get_error ~ctx:"mult formula" (Contraction.of_formula mult));
+  let summ =
+    get_ok ~ctx:"sum"
+      (Formula.sum (aref "T" [ "a" ]) [ i "k" ] (aref "X" [ "a"; "k" ]))
+  in
+  ignore (get_error ~ctx:"sum formula" (Contraction.of_formula summ));
+  let ok =
+    get_ok ~ctx:"contract"
+      (Formula.contract (aref "T" [ "a"; "b" ]) [ i "k" ]
+         (aref "X" [ "a"; "k" ]) (aref "Y" [ "k"; "b" ]))
+  in
+  ignore (get_ok ~ctx:"accepted" (Contraction.of_formula ok))
+
+let test_of_tree_node () =
+  let _, _, tree = ccsd ~scale:`Tiny in
+  match tree with
+  | Tree.Contract _ ->
+    let c = get_ok ~ctx:"of_tree_node" (Contraction.of_tree_node tree) in
+    Alcotest.(check string) "out" "S" (Aref.name c.Contraction.out)
+  | _ -> Alcotest.fail "expected contract node"
+
+(* ---------------- Variant ---------------- *)
+
+let test_variant_enumeration () =
+  let c = t1_contraction () in
+  let vs = Variant.all c in
+  Alcotest.(check int) "count = pattern_count" (Contraction.pattern_count c)
+    (List.length vs);
+  (* Every variant names a fixed role and two rotated roles with axes. *)
+  List.iter
+    (fun v ->
+      let rot = Variant.rotated v in
+      Alcotest.(check int) "two rotated" 2 (List.length rot);
+      Alcotest.(check bool) "fixed not rotated" false
+        (Variant.rotates v (Variant.fixed_role v));
+      List.iter
+        (fun (role, axis) ->
+          Alcotest.(check bool) "axis valid" true (axis = 1 || axis = 2);
+          (* The rotation index must be a dimension of every rotated
+             array. *)
+          Alcotest.(check bool) "rot index present" true
+            (List.exists
+               (Index.equal (Variant.rot_index v))
+               (Variant.array_dims v role)))
+        rot)
+    vs
+
+let test_variant_dists_consistent () =
+  let c = t1_contraction () in
+  List.iter
+    (fun v ->
+      (* Out is distributed on (i, j); left on {i, k}; right on {k, j}. *)
+      let contents role =
+        List.sort compare (List.map Index.name (Dist.indices (Variant.dist_of v role)))
+      in
+      Alcotest.(check (list string)) "out"
+        (List.sort compare [ Index.name v.Variant.i; Index.name v.Variant.j ])
+        (contents Variant.Out);
+      Alcotest.(check (list string)) "left"
+        (List.sort compare [ Index.name v.Variant.i; Index.name v.Variant.k ])
+        (contents Variant.Left);
+      Alcotest.(check (list string)) "right"
+        (List.sort compare [ Index.name v.Variant.k; Index.name v.Variant.j ])
+        (contents Variant.Right))
+    (Variant.all c)
+
+let test_variant_make_validation () =
+  let c = t1_contraction () in
+  ignore
+    (get_error ~ctx:"bad i"
+       (Variant.make c ~i:(i "c") ~j:(i "c") ~k:(i "e") ~rot:Variant.Rot_k))
+
+(* ---------------- Schedule ---------------- *)
+
+let all_variants () = Variant.all (t1_contraction ())
+
+let test_schedule_permutation () =
+  List.iter
+    (fun side ->
+      List.iter
+        (fun v ->
+          let s = Schedule.make v ~side in
+          List.iter
+            (fun role ->
+              for step = 0 to side - 1 do
+                if not (Schedule.is_permutation s role ~step) then
+                  Alcotest.failf "not a permutation: side=%d step=%d" side step
+              done)
+            [ Variant.Out; Variant.Left; Variant.Right ])
+        (all_variants ()))
+    [ 1; 2; 3; 4 ]
+
+let test_schedule_holder_inverse () =
+  List.iter
+    (fun v ->
+      let side = 4 in
+      let s = Schedule.make v ~side in
+      List.iter
+        (fun role ->
+          for step = 0 to side - 1 do
+            for z1 = 0 to side - 1 do
+              for z2 = 0 to side - 1 do
+                let b1, b2 = Schedule.block_at s role ~step ~z1 ~z2 in
+                let h1, h2 = Schedule.holder_of s role ~step ~b1 ~b2 in
+                if (h1, h2) <> (z1, z2) then
+                  Alcotest.failf "holder_of not inverse at step %d" step
+              done
+            done
+          done)
+        [ Variant.Out; Variant.Left; Variant.Right ])
+    (all_variants ())
+
+(* The local multiply at every processor and step must be coherent: the
+   three arrays' blocks agree on the chunk of each distributed index. *)
+let test_schedule_coherence () =
+  let chunk_of v role idx (b1, b2) =
+    let d = Variant.dist_of v role in
+    match Dist.position_of d idx with
+    | Some 1 -> Some b1
+    | Some 2 -> Some b2
+    | _ -> None
+  in
+  List.iter
+    (fun v ->
+      let side = 3 in
+      let s = Schedule.make v ~side in
+      for step = 0 to side - 1 do
+        for z1 = 0 to side - 1 do
+          for z2 = 0 to side - 1 do
+            let blocks role = Schedule.block_at s role ~step ~z1 ~z2 in
+            let out = blocks Variant.Out
+            and left = blocks Variant.Left
+            and right = blocks Variant.Right in
+            (* i agrees between out and left; j between out and right;
+               k between left and right. *)
+            let check a b name =
+              match (a, b) with
+              | Some x, Some y when x <> y ->
+                Alcotest.failf "%s chunk mismatch at (%d,%d) step %d" name z1
+                  z2 step
+              | _ -> ()
+            in
+            check
+              (chunk_of v Variant.Out v.Variant.i out)
+              (chunk_of v Variant.Left v.Variant.i left)
+              "i";
+            check
+              (chunk_of v Variant.Out v.Variant.j out)
+              (chunk_of v Variant.Right v.Variant.j right)
+              "j";
+            check
+              (chunk_of v Variant.Left v.Variant.k left)
+              (chunk_of v Variant.Right v.Variant.k right)
+              "k"
+          done
+        done
+      done)
+    (all_variants ())
+
+(* Over a full rotation every (i-block, j-block, k-block) combination must
+   be multiplied exactly once. *)
+let test_schedule_covers_all_block_products () =
+  List.iter
+    (fun v ->
+      let side = 3 in
+      let s = Schedule.make v ~side in
+      let seen = Hashtbl.create 27 in
+      for step = 0 to side - 1 do
+        for z1 = 0 to side - 1 do
+          for z2 = 0 to side - 1 do
+            let pos v role idx =
+              let b1, b2 = Schedule.block_at s role ~step ~z1 ~z2 in
+              match Dist.position_of (Variant.dist_of v role) idx with
+              | Some 1 -> b1
+              | Some 2 -> b2
+              | _ -> Alcotest.fail "index not distributed where expected"
+            in
+            let bi = pos v Variant.Left v.Variant.i in
+            let bj = pos v Variant.Right v.Variant.j in
+            let bk = pos v Variant.Left v.Variant.k in
+            let key = (bi, bj, bk) in
+            if Hashtbl.mem seen key then
+              Alcotest.failf "block product repeated: (%d,%d,%d)" bi bj bk;
+            Hashtbl.add seen key ()
+          done
+        done
+      done;
+      Alcotest.(check int) "all combinations" 27 (Hashtbl.length seen))
+    (all_variants ())
+
+let test_comm_rounds () =
+  let v = List.hd (all_variants ()) in
+  let s = Schedule.make v ~side:5 in
+  let fixed = Variant.fixed_role v in
+  Alcotest.(check int) "fixed free" 0 (Schedule.comm_rounds s fixed);
+  List.iter
+    (fun (role, _) ->
+      Alcotest.(check int) "side rounds" 5 (Schedule.comm_rounds s role))
+    (Variant.rotated v)
+
+let qcheck_schedule_permutation =
+  qtest ~count:60 "block placements are permutations"
+    G.(tup3 (int_range 1 5) (int_range 0 23) (int_range 0 4))
+    (fun (side, vidx, step) ->
+      let vs = all_variants () in
+      let v = List.nth vs (vidx mod List.length vs) in
+      let s = Schedule.make v ~side in
+      let step = step mod side in
+      List.for_all
+        (fun role -> Schedule.is_permutation s role ~step)
+        [ Variant.Out; Variant.Left; Variant.Right ])
+
+let suite =
+  [
+    ( "cannon.contraction",
+      [
+        case "index classification" test_classification;
+        case "flops" test_flops;
+        case "Hadamard shapes rejected" test_rejects_hadamard;
+        case "empty I/J rejected" test_rejects_empty_sets;
+        case "formula classification" test_of_formula_rejections;
+        case "from tree nodes" test_of_tree_node;
+      ] );
+    ( "cannon.variant",
+      [
+        case "enumeration = 3*NI*NJ*NK" test_variant_enumeration;
+        case "distribution contents per role" test_variant_dists_consistent;
+        case "construction validation" test_variant_make_validation;
+      ] );
+    ( "cannon.schedule",
+      [
+        case "placements are permutations" test_schedule_permutation;
+        case "holder_of inverts block_at" test_schedule_holder_inverse;
+        case "local multiplies are coherent" test_schedule_coherence;
+        case "covers every block product once"
+          test_schedule_covers_all_block_products;
+        case "communication rounds" test_comm_rounds;
+        qcheck_schedule_permutation;
+      ] );
+  ]

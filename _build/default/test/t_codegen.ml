@@ -1,0 +1,204 @@
+(* Tests for fused-code generation and its interpreter. *)
+
+open Tce
+open Helpers
+
+let fusions_of_memmin ext tree =
+  let mm = Memmin.minimize ext tree in
+  fun name ->
+    Index.set_of_list
+      (Option.value ~default:[] (List.assoc_opt name mm.Memmin.edge_fusions))
+
+(* The generated fused code for the paper's example must be exactly the
+   structure of Fig. 2(c). *)
+let test_fig2c_structure () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let ext = problem.Problem.extents in
+  let prog =
+    get_ok ~ctx:"generate"
+      (Loopnest.generate tree ~fusions:(fusions_of_memmin ext tree))
+  in
+  let rendered = Format.asprintf "%a" Loopnest.pp prog in
+  let expected =
+    "# temporary T1\n\
+     # temporary T2[j,k]\n\
+     S[a,b,i,j] = 0\n\
+     for b,c\n\
+    \  T2[j,k] = 0\n\
+    \  for d,f\n\
+    \    T1 = 0\n\
+    \    for e,l\n\
+    \      T1 += B[b,e,f,l] * D[c,d,e,l]\n\
+    \    for j,k\n\
+    \      T2[j,k] += T1 * C[d,f,j,k]\n\
+    \  for a,i,j,k\n\
+    \    S[a,b,i,j] += T2[j,k] * A[a,c,i,k]\n"
+  in
+  Alcotest.(check string) "Fig 2(c)" expected rendered
+
+let test_unfused_structure () =
+  let _, _, tree = ccsd ~scale:`Paper in
+  let prog = get_ok ~ctx:"unfused" (Loopnest.generate_unfused tree) in
+  (* Three separate perfect nests plus three zeros (Fig. 2(b)). *)
+  let zeros =
+    List.length
+      (List.filter (function Loopnest.Zero _ -> true | _ -> false) prog.Loopnest.body)
+  in
+  Alcotest.(check int) "three zeroed arrays at top" 3 zeros;
+  let loops =
+    List.length
+      (List.filter (function Loopnest.Loop _ -> true | _ -> false) prog.Loopnest.body)
+  in
+  Alcotest.(check int) "three top-level nests" 3 loops
+
+let test_storage_words () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let ext = problem.Problem.extents in
+  let fused =
+    get_ok ~ctx:"fused"
+      (Loopnest.generate tree ~fusions:(fusions_of_memmin ext tree))
+  in
+  (* T1 is a scalar, T2 is 32x32. *)
+  Alcotest.(check int) "temporaries" (1 + (32 * 32))
+    (Loopnest.temporary_words ext fused);
+  let unfused = get_ok ~ctx:"unfused" (Loopnest.generate_unfused tree) in
+  Alcotest.(check int) "unfused T1 + T2"
+    ((480 * 480 * 480 * 64) + (480 * 480 * 32 * 32))
+    (Loopnest.temporary_words ext unfused)
+
+let test_non_chain_rejected () =
+  let _, _, tree = ccsd ~scale:`Tiny in
+  let fusions name =
+    match name with
+    | "T1" -> Index.set_of_list [ i "d" ]
+    | "T2" -> Index.set_of_list [ i "b" ]
+    | _ -> Index.Set.empty
+  in
+  ignore (get_error ~ctx:"chain" (Loopnest.generate tree ~fusions))
+
+let test_non_fusible_rejected () =
+  let _, _, tree = ccsd ~scale:`Tiny in
+  let fusions name =
+    if name = "T1" then Index.set_of_list [ i "a" ] else Index.Set.empty
+  in
+  ignore (get_error ~ctx:"fusible" (Loopnest.generate tree ~fusions))
+
+(* Interpreter correctness on every fusion choice of the tiny CCSD term:
+   enumerate all chain-legal assignments and compare each against the
+   reference. This is the strongest statement that fusion is semantics-
+   preserving under reduced storage. *)
+let test_all_fusions_preserve_values () =
+  let problem, seq, tree = ccsd ~scale:`Tiny in
+  let ext = problem.Problem.extents in
+  let inputs = Sequence.random_inputs ext ~seed:13 seq in
+  let reference = Sequence.eval ext ~inputs seq in
+  let t2_node = Option.get (Tree.find tree "T2") in
+  let t1_node = Option.get (Tree.find tree "T1") in
+  let t1_cands = Fusionset.candidates ~child:t1_node ~parent:t2_node in
+  let t2_cands = Fusionset.candidates ~child:t2_node ~parent:tree in
+  let tried = ref 0 in
+  List.iter
+    (fun f1 ->
+      List.iter
+        (fun f2 ->
+          let fusions = function
+            | "T1" -> f1
+            | "T2" -> f2
+            | _ -> Index.Set.empty
+          in
+          match Loopnest.generate tree ~fusions with
+          | Error _ -> () (* non-chain combination *)
+          | Ok prog ->
+            incr tried;
+            let got = Interp.run_exn ext prog ~inputs in
+            if not (Dense.equal_approx ~tol:1e-9 reference got) then
+              Alcotest.failf "wrong values for T1=%s T2=%s"
+                (Format.asprintf "%a" Fusionset.pp f1)
+                (Format.asprintf "%a" Fusionset.pp f2))
+        t2_cands)
+    t1_cands;
+  Alcotest.(check bool) "several legal programs" true (!tried > 20)
+
+(* Regression: shallower-fused child under a deeper parent-edge fusion
+   (the quickstart shape that once generated wrong zero placement). *)
+let test_shallow_child_deep_parent () =
+  let text =
+    {|
+extents m1=6, m2=5, m3=4, n1=3, n2=4, p=3, q=3
+R[m1,n1,p] = sum[m2,m3,n2,q] W[m1,m2,q] * X[m2,m3,n2] * Y[m3,n1,q] * Z[n2,p]
+|}
+  in
+  let problem = get_ok ~ctx:"parse" (Parser.parse text) in
+  let ext = problem.Problem.extents in
+  let tree = get_ok ~ctx:"tree" (Opmin.optimize_to_tree problem) in
+  let prog =
+    get_ok ~ctx:"generate"
+      (Loopnest.generate tree ~fusions:(fusions_of_memmin ext tree))
+  in
+  let seq = get_ok ~ctx:"seq" (Tree.to_sequence tree) in
+  let inputs = Sequence.random_inputs ext ~seed:21 seq in
+  let reference = Sequence.eval ext ~inputs seq in
+  let got = Interp.run_exn ext prog ~inputs in
+  Alcotest.(check bool) "fused values correct" true
+    (Dense.equal_approx ~tol:1e-9 reference got)
+
+(* Fig. 1's tree (with unary summation nodes) also generates and runs. *)
+let test_fig1_codegen () =
+  let text =
+    {|
+extents i=5, j=4, k=3, t=4
+T1[j,t] = sum[i] A[i,j,t]
+T2[j,t] = sum[k] B[j,k,t]
+T3[j,t] = T1[j,t] * T2[j,t]
+S[t]    = sum[j] T3[j,t]
+|}
+  in
+  let problem = get_ok ~ctx:"parse" (Parser.parse text) in
+  let ext = problem.Problem.extents in
+  let seq = get_ok ~ctx:"seq" (Problem.to_sequence problem) in
+  let tree = get_ok ~ctx:"tree" (Tree.of_sequence seq) in
+  let mmf = fusions_of_memmin ext tree in
+  let prog = get_ok ~ctx:"generate" (Loopnest.generate tree ~fusions:mmf) in
+  let inputs = Sequence.random_inputs ext ~seed:31 seq in
+  let reference = Sequence.eval ext ~inputs seq in
+  let got = Interp.run_exn ext prog ~inputs in
+  Alcotest.(check bool) "values" true (Dense.equal_approx reference got)
+
+let test_interp_missing_input () =
+  let _, _, tree = ccsd ~scale:`Tiny in
+  let problem, seq, _ = ccsd ~scale:`Tiny in
+  let ext = problem.Problem.extents in
+  let prog = get_ok ~ctx:"prog" (Loopnest.generate_unfused tree) in
+  let inputs = List.tl (Sequence.random_inputs ext ~seed:1 seq) in
+  ignore (get_error ~ctx:"missing" (Interp.run ext prog ~inputs))
+
+let test_interp_wrong_shape () =
+  let problem, _, tree = ccsd ~scale:`Tiny in
+  let ext = problem.Problem.extents in
+  let prog = get_ok ~ctx:"prog" (Loopnest.generate_unfused tree) in
+  let bad = Dense.create [ (i "b", 2); (i "e", 2); (i "f", 2); (i "l", 2) ] in
+  ignore
+    (get_error ~ctx:"shape"
+       (Interp.run ext prog ~inputs:[ ("B", bad); ("D", bad); ("C", bad); ("A", bad) ]))
+
+let suite =
+  [
+    ( "codegen.loopnest",
+      [
+        case "Fig 2(c) structure, verbatim" test_fig2c_structure;
+        case "Fig 2(b) unfused structure" test_unfused_structure;
+        case "storage accounting" test_storage_words;
+        case "non-chain fusions rejected" test_non_chain_rejected;
+        case "non-fusible index rejected" test_non_fusible_rejected;
+      ] );
+    ( "codegen.interp",
+      [
+        case "every legal fusion preserves values"
+          test_all_fusions_preserve_values;
+        case "shallow child under deep parent (regression)"
+          test_shallow_child_deep_parent;
+        case "Fig 1 with unary summations" test_fig1_codegen;
+        case "missing input reported" test_interp_missing_input;
+        case "wrong input shape reported" test_interp_wrong_shape;
+      ] );
+  ]

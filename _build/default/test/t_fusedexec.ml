@@ -1,0 +1,105 @@
+(* Tests for the distributed fused executor: plans run with their actual
+   fusion structure — reduced per-processor storage and sliced rotations —
+   and still compute the reference values. *)
+
+open Tce
+open Helpers
+
+let small_plan ?mem_limit_bytes () =
+  let problem, seq, tree = ccsd ~scale:`Small in
+  let ext = problem.Problem.extents in
+  let grid, cfg = search_config ?mem_limit_bytes 4 in
+  let plan = get_ok ~ctx:"plan" (Search.optimize cfg ext tree) in
+  (grid, ext, seq, plan)
+
+let test_unfused_plan () =
+  let grid, ext, seq, plan = small_plan () in
+  let inputs = Sequence.random_inputs ext ~seed:41 seq in
+  let reference = Sequence.eval ext ~inputs seq in
+  let st = Fusedexec.run_plan grid ext plan ~inputs in
+  Alcotest.(check bool) "values" true
+    (Dense.equal_approx ~tol:1e-9 reference st.Fusedexec.result);
+  (* Unfused: each of the three steps rotates two arrays exactly once. *)
+  Alcotest.(check int) "rotations" 6 st.Fusedexec.sliced_rotations
+
+let test_fused_plan_reduces_memory () =
+  let grid, ext, seq, unfused = small_plan () in
+  let _, _, _, fused = small_plan ~mem_limit_bytes:130_000.0 () in
+  Alcotest.(check bool) "plan really fuses" true
+    (List.exists
+       (fun (s : Plan.step) -> not (Index.Set.is_empty s.fusion_out))
+       fused.Plan.steps);
+  let inputs = Sequence.random_inputs ext ~seed:42 seq in
+  let reference = Sequence.eval ext ~inputs seq in
+  let st_unfused = Fusedexec.run_plan grid ext unfused ~inputs in
+  let st_fused = Fusedexec.run_plan grid ext fused ~inputs in
+  Alcotest.(check bool) "fused values" true
+    (Dense.equal_approx ~tol:1e-9 reference st_fused.Fusedexec.result);
+  Alcotest.(check bool) "measured memory shrinks" true
+    (st_fused.Fusedexec.peak_words_per_proc
+    < st_unfused.Fusedexec.peak_words_per_proc);
+  Alcotest.(check bool) "more, smaller rotations" true
+    (st_fused.Fusedexec.sliced_rotations > st_unfused.Fusedexec.sliced_rotations)
+
+let test_rotation_count_matches_msg_factors () =
+  let grid, ext, _, plan = small_plan ~mem_limit_bytes:130_000.0 () in
+  (* The executor's sliced rotations must equal the sum of the model's
+     message factors over rotated roles — the very quantity RotateCost
+     charges. *)
+  let side = Grid.side grid in
+  let expected =
+    List.fold_left
+      (fun acc (s : Plan.step) ->
+        List.fold_left
+          (fun acc (role, _) ->
+            let fused =
+              match role with
+              | Variant.Out -> s.fusion_out
+              | Variant.Left -> s.fusion_left
+              | Variant.Right -> s.fusion_right
+            in
+            let alpha = Variant.dist_of s.variant role in
+            let dims = Aref.indices (Variant.aref_of s.variant role) in
+            acc + Eqs.msg_factor ext ~side ~alpha ~fused ~dims)
+          acc s.rotations)
+      0 plan.Plan.steps
+  in
+  let problem, seq, _ = ccsd ~scale:`Small in
+  ignore problem;
+  let inputs = Sequence.random_inputs ext ~seed:43 seq in
+  let st = Fusedexec.run_plan grid ext plan ~inputs in
+  Alcotest.(check int) "rotations = sum of MsgFactors" expected
+    st.Fusedexec.sliced_rotations
+
+let test_peak_within_plan_accounting () =
+  let grid, ext, seq, plan = small_plan ~mem_limit_bytes:130_000.0 () in
+  ignore grid;
+  let inputs = Sequence.random_inputs ext ~seed:44 seq in
+  let st = Fusedexec.run_plan grid ext plan ~inputs in
+  (* The optimizer keeps every array resident; the executor frees consumed
+     slices, so its measured peak must not exceed the plan's account. *)
+  let budget = plan.Plan.mem.Memacct.resident_words + plan.Plan.mem.Memacct.buffer_words in
+  Alcotest.(check bool) "peak within accounting" true
+    (st.Fusedexec.peak_words_per_proc <= budget)
+
+let test_missing_input () =
+  let grid, ext, seq, plan = small_plan () in
+  let inputs = List.tl (Sequence.random_inputs ext ~seed:45 seq) in
+  match Fusedexec.run_plan grid ext plan ~inputs with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing input accepted"
+
+let suite =
+  [
+    ( "machine.fusedexec",
+      [
+        case "unfused plan matches reference" test_unfused_plan;
+        case "fused plan: correct values, less memory"
+          test_fused_plan_reduces_memory;
+        case "sliced rotations = sum of MsgFactors"
+          test_rotation_count_matches_msg_factors;
+        case "measured peak within the plan's accounting"
+          test_peak_within_plan_accounting;
+        case "missing input reported" test_missing_input;
+      ] );
+  ]

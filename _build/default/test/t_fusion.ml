@@ -1,0 +1,172 @@
+(* Tests for fusion sets, their legality, and the memory-minimal fusion
+   baseline (checked against the paper's Fig. 2(c) and an exhaustive
+   oracle). *)
+
+open Tce
+open Helpers
+
+let ccsd_tree scale =
+  let _, _, tree = ccsd ~scale in
+  tree
+
+let find_node tree name =
+  match Tree.find tree name with
+  | Some n -> n
+  | None -> Alcotest.failf "node %s not found" name
+
+let test_fusible_sets () =
+  let tree = ccsd_tree `Tiny in
+  let t2 = find_node tree "T2" in
+  let t1 = find_node tree "T1" in
+  (* Edge T1 -> T2-node: dims(T1) ∩ loops(T2 node). *)
+  Alcotest.(check (list string)) "T1 edge" [ "b"; "c"; "d"; "f" ]
+    (List.map Index.name
+       (Index.Set.elements (Fusionset.fusible ~child:t1 ~parent:t2)));
+  (* Edge T2 -> S-node: loops of S are a,b,i,j,c,k. *)
+  Alcotest.(check (list string)) "T2 edge" [ "b"; "c"; "j"; "k" ]
+    (List.map Index.name
+       (Index.Set.elements (Fusionset.fusible ~child:t2 ~parent:tree)))
+
+let test_candidates_count () =
+  let tree = ccsd_tree `Tiny in
+  let t1 = find_node tree "T1" in
+  let t2 = find_node tree "T2" in
+  let cands = Fusionset.candidates ~child:t1 ~parent:t2 in
+  Alcotest.(check int) "2^4 subsets" 16 (List.length cands);
+  (* Sorted by cardinality, empty first. *)
+  Alcotest.(check int) "first empty" 0
+    (Index.Set.cardinal (List.hd cands))
+
+let set names = Index.set_of_list (idx_list names)
+
+let test_chain () =
+  Alcotest.(check bool) "nested" true
+    (Fusionset.chain [ set []; set [ "b" ]; set [ "b"; "c" ] ]);
+  Alcotest.(check bool) "equal sets" true
+    (Fusionset.chain [ set [ "b" ]; set [ "b" ] ]);
+  Alcotest.(check bool) "incomparable" false
+    (Fusionset.chain [ set [ "b" ]; set [ "c" ] ]);
+  Alcotest.(check bool) "empty list" true (Fusionset.chain [])
+
+let test_dist_compatible () =
+  let prod = Dist.pair (i "d") (i "b") in
+  let cons = Dist.pair (i "e") (i "b") in
+  (* f undistributed at both ends: compatible. *)
+  Alcotest.(check bool) "undistributed both" true
+    (Fusionset.dist_compatible ~fused:(set [ "f" ]) ~prod ~cons);
+  (* d distributed at producer only: incompatible. *)
+  Alcotest.(check bool) "one-sided" false
+    (Fusionset.dist_compatible ~fused:(set [ "d" ]) ~prod ~cons);
+  (* b distributed at both: compatible. *)
+  Alcotest.(check bool) "distributed both" true
+    (Fusionset.dist_compatible ~fused:(set [ "b" ]) ~prod ~cons)
+
+let test_reduced_dims () =
+  let a = aref "T1" [ "b"; "c"; "d"; "f" ] in
+  Alcotest.(check (list string)) "drop f" [ "b"; "c"; "d" ]
+    (List.map Index.name (Fusionset.reduced_dims a ~fused:(set [ "f" ])));
+  Alcotest.(check (list string)) "scalar" []
+    (List.map Index.name
+       (Fusionset.reduced_dims a ~fused:(set [ "b"; "c"; "d"; "f" ])))
+
+(* ---------------- Memmin ---------------- *)
+
+(* Fig. 2(c): T1 collapses to a scalar and T2 to (j,k). *)
+let test_memmin_fig2c () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let ext = problem.Problem.extents in
+  let mm = Memmin.minimize ext tree in
+  let fusion name =
+    List.sort compare
+      (List.map Index.name
+         (Option.value ~default:[] (List.assoc_opt name mm.Memmin.edge_fusions)))
+  in
+  Alcotest.(check (list string)) "T1 scalar" [ "b"; "c"; "d"; "f" ] (fusion "T1");
+  Alcotest.(check (list string)) "T2 -> (j,k)" [ "b"; "c" ] (fusion "T2");
+  (* Total = inputs + S (full) + T1 (1 word) + T2 (j,k). *)
+  let input_words =
+    Ints.sum
+      (List.map (fun a -> Aref.size ext a) (Sequence.inputs (Result.get_ok (Tree.to_sequence tree))))
+  in
+  let s_words = 480 * 480 * 32 * 32 in
+  Alcotest.(check int) "total words"
+    (input_words + s_words + 1 + (32 * 32))
+    mm.Memmin.total_words
+
+let test_memmin_beats_unfused () =
+  let problem, _, tree = ccsd ~scale:`Small in
+  let ext = problem.Problem.extents in
+  let mm = Memmin.minimize ext tree in
+  Alcotest.(check bool) "reduces memory" true
+    (mm.Memmin.total_words < Memmin.unfused_words ext tree)
+
+(* Exhaustive oracle: enumerate all chain-legal fusion assignments via
+   [footprint] and confirm [minimize] is optimal. *)
+let test_memmin_optimal () =
+  let problem, _, tree = ccsd ~scale:`Tiny in
+  let ext = problem.Problem.extents in
+  let mm = Memmin.minimize ext tree in
+  (* Internal edges: T1 (to T2 node) and T2 (to S node). Leaf fusions do
+     not affect memory. *)
+  let t2_node = Option.get (Tree.find tree "T2") in
+  let t1_node = Option.get (Tree.find tree "T1") in
+  let t1_cands = Fusionset.candidates ~child:t1_node ~parent:t2_node in
+  let t2_cands = Fusionset.candidates ~child:t2_node ~parent:tree in
+  let best = ref max_int in
+  List.iter
+    (fun f1 ->
+      List.iter
+        (fun f2 ->
+          let fusions =
+            [
+              ("T1", Index.Set.elements f1); ("T2", Index.Set.elements f2);
+            ]
+          in
+          match Memmin.footprint ext tree ~fusions with
+          | Ok w -> if w < !best then best := w
+          | Error _ -> ())
+        t2_cands)
+    t1_cands;
+  Alcotest.(check int) "optimal" !best mm.Memmin.total_words
+
+let test_footprint_validation () =
+  let problem, _, tree = ccsd ~scale:`Tiny in
+  let ext = problem.Problem.extents in
+  (* Non-chain assignment rejected: T1 fused {d} but T2 fused {b}. *)
+  (match Memmin.footprint ext tree ~fusions:[ ("T1", [ i "d" ]); ("T2", [ i "b" ]) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-chain accepted");
+  (* Non-fusible index rejected. *)
+  match Memmin.footprint ext tree ~fusions:[ ("T1", [ i "a" ]) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-fusible index accepted"
+
+let test_memmin_agrees_with_footprint () =
+  let problem, _, tree = ccsd ~scale:`Small in
+  let ext = problem.Problem.extents in
+  let mm = Memmin.minimize ext tree in
+  let w =
+    get_ok ~ctx:"footprint"
+      (Memmin.footprint ext tree ~fusions:mm.Memmin.edge_fusions)
+  in
+  Alcotest.(check int) "self-consistent" mm.Memmin.total_words w
+
+let suite =
+  [
+    ( "fusion.sets",
+      [
+        case "fusible candidates per edge" test_fusible_sets;
+        case "candidate counts" test_candidates_count;
+        case "chain condition" test_chain;
+        case "distribution compatibility (constraint iii)" test_dist_compatible;
+        case "reduced dimensions" test_reduced_dims;
+      ] );
+    ( "fusion.memmin",
+      [
+        case "reproduces Fig 2(c)" test_memmin_fig2c;
+        case "beats unfused" test_memmin_beats_unfused;
+        case "optimal against exhaustive oracle" test_memmin_optimal;
+        case "footprint validation" test_footprint_validation;
+        case "self-consistency" test_memmin_agrees_with_footprint;
+      ] );
+  ]

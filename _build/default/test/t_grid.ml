@@ -1,0 +1,162 @@
+(* Tests for the logical processor grid and distributions. *)
+
+open Tce
+open Helpers
+module G = QCheck2.Gen
+
+let test_grid_create () =
+  List.iter
+    (fun p ->
+      let g = get_ok ~ctx:"create" (Grid.create ~procs:p) in
+      Alcotest.(check int) "side^2" p (Grid.side g * Grid.side g))
+    [ 1; 4; 16; 64; 256 ];
+  List.iter
+    (fun p -> ignore (get_error ~ctx:"create" (Grid.create ~procs:p)))
+    [ 0; -4; 2; 8; 15 ]
+
+let test_grid_rank_coord () =
+  let g = Grid.create_exn ~procs:16 in
+  List.iter
+    (fun rank ->
+      Alcotest.(check int) "roundtrip" rank
+        (Grid.rank_of g (Grid.coord_of g rank)))
+    (List.init 16 Fun.id);
+  Alcotest.(check int) "coords count" 16 (List.length (Grid.coords g))
+
+let test_grid_shift () =
+  let g = Grid.create_exn ~procs:16 in
+  Alcotest.(check (pair int int)) "wrap down" (3, 2)
+    (Grid.shift g (0, 2) ~axis:1 ~by:(-1));
+  Alcotest.(check (pair int int)) "wrap up" (0, 2)
+    (Grid.shift g (3, 2) ~axis:1 ~by:1);
+  Alcotest.(check (pair int int)) "axis 2" (1, 0)
+    (Grid.shift g (1, 3) ~axis:2 ~by:1);
+  Alcotest.(check (pair int int)) "big offset" (1, 3)
+    (Grid.shift g (1, 3) ~axis:2 ~by:8)
+
+let test_myrange_tiles () =
+  let g = Grid.create_exn ~procs:16 in
+  (* Ranges for every coordinate exactly tile the extent, divisible or not. *)
+  List.iter
+    (fun extent ->
+      let ranges =
+        List.init (Grid.side g) (fun c -> Grid.myrange g ~extent ~coord:c)
+      in
+      let total = Ints.sum (List.map snd ranges) in
+      Alcotest.(check int) (Printf.sprintf "total %d" extent) extent total;
+      let rec contiguous pos = function
+        | [] -> Alcotest.(check int) "ends at extent" extent pos
+        | (off, len) :: rest ->
+          Alcotest.(check int) "contiguous" pos off;
+          contiguous (pos + len) rest
+      in
+      contiguous 0 ranges)
+    [ 4; 5; 7; 32; 33; 480 ]
+
+let test_myrange_divisible_equal () =
+  let g = Grid.create_exn ~procs:16 in
+  List.iter
+    (fun c ->
+      Alcotest.(check (pair int int)) "equal blocks" (c * 120, 120)
+        (Grid.myrange g ~extent:480 ~coord:c))
+    [ 0; 1; 2; 3 ]
+
+let test_block_len () =
+  let g = Grid.create_exn ~procs:16 in
+  Alcotest.(check int) "divisible" 120 (Grid.block_len g ~extent:480);
+  Alcotest.(check int) "ragged" 9 (Grid.block_len g ~extent:33)
+
+(* ---------------- Dist ---------------- *)
+
+let test_dist_basic () =
+  let d = Dist.pair (i "b") (i "f") in
+  Alcotest.(check (option int)) "pos b" (Some 1) (Dist.position_of d (i "b"));
+  Alcotest.(check (option int)) "pos f" (Some 2) (Dist.position_of d (i "f"));
+  Alcotest.(check (option int)) "pos other" None (Dist.position_of d (i "z"));
+  Alcotest.(check bool) "distributes" true (Dist.distributes d (i "b"));
+  Alcotest.(check string) "pp" "<b,f>" (Format.asprintf "%a" Dist.pp d);
+  Alcotest.(check string) "pp none" "<-,->" (Format.asprintf "%a" Dist.pp Dist.none)
+
+let test_dist_same_index_rejected () =
+  match Dist.pair (i "b") (i "b") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate index accepted"
+
+let test_dist_at () =
+  let d = Dist.pair (i "x") (i "y") in
+  Alcotest.(check (option string)) "alpha[1]" (Some "x")
+    (Option.map Index.name (Dist.at d 1));
+  Alcotest.(check (option string)) "alpha[2]" (Some "y")
+    (Option.map Index.name (Dist.at d 2));
+  match Dist.at d 3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "position 3 accepted"
+
+let test_dist_restrict () =
+  let d = Dist.pair (i "x") (i "y") in
+  let r = Dist.restrict d ~keep:(Index.set_of_list [ i "x" ]) in
+  Alcotest.(check bool) "x kept" true (Dist.distributes r (i "x"));
+  Alcotest.(check bool) "y dropped" false (Dist.distributes r (i "y"))
+
+let test_dist_enumerate () =
+  let dims = idx_list [ "a"; "b"; "c" ] in
+  let full = Dist.enumerate dims ~allow_partial:false () in
+  Alcotest.(check int) "ordered pairs" 6 (List.length full);
+  let all = Dist.enumerate dims () in
+  (* 6 full pairs + 1 empty + 3 first-only + 3 second-only. *)
+  Alcotest.(check int) "with partial" 13 (List.length all);
+  Alcotest.(check int) "distinct" 13
+    (List.length (Listx.dedup ~compare:Dist.compare all))
+
+let test_local_dims () =
+  let g = Grid.create_exn ~procs:16 in
+  let e = extents [ ("b", 480); ("e", 64); ("f", 64); ("l", 32) ] in
+  let b = aref "B" [ "b"; "e"; "f"; "l" ] in
+  let d = Dist.pair (i "e") (i "b") in
+  let dims = Dist.local_dims g e d ~coord:(1, 2) b in
+  Alcotest.(check (list (pair string (pair int int))))
+    "local ranges"
+    [ ("b", (240, 120)); ("e", (16, 16)); ("f", (0, 64)); ("l", (0, 32)) ]
+    (List.map (fun (ix, r) -> (Index.name ix, r)) dims);
+  (* Foreign index rejected. *)
+  match Dist.local_dims g e (Dist.pair (i "z") (i "b")) ~coord:(0, 0) b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "foreign index accepted"
+
+let qcheck_myrange_partition =
+  qtest "myrange partitions any extent"
+    G.(tup2 (int_range 1 6) (int_range 1 200))
+    (fun (side, extent) ->
+      let g = Grid.create_exn ~procs:(side * side) in
+      let covered = Array.make extent 0 in
+      for c = 0 to side - 1 do
+        let off, len = Grid.myrange g ~extent ~coord:c in
+        for k = off to off + len - 1 do
+          covered.(k) <- covered.(k) + 1
+        done
+      done;
+      Array.for_all (fun n -> n = 1) covered)
+
+let suite =
+  [
+    ( "grid",
+      [
+        case "create and perfect squares" test_grid_create;
+        case "rank/coord roundtrip" test_grid_rank_coord;
+        case "torus shifts" test_grid_shift;
+        case "myrange tiles extents" test_myrange_tiles;
+        case "myrange equals paper division when divisible"
+          test_myrange_divisible_equal;
+        case "block_len" test_block_len;
+        qcheck_myrange_partition;
+      ] );
+    ( "dist",
+      [
+        case "positions and printing" test_dist_basic;
+        case "duplicate index rejected" test_dist_same_index_rejected;
+        case "alpha[d] accessor" test_dist_at;
+        case "restrict" test_dist_restrict;
+        case "enumeration counts" test_dist_enumerate;
+        case "local block ranges" test_local_dims;
+      ] );
+  ]

@@ -1,0 +1,75 @@
+(* Tests for index variables and extent environments. *)
+
+open Tce
+open Helpers
+
+let test_index_names () =
+  Alcotest.(check string) "name" "ab1" (Index.name (Index.v "ab1"));
+  Alcotest.check_raises "empty" (Invalid_argument "Index.v: invalid index name \"\"")
+    (fun () -> ignore (Index.v ""));
+  List.iter
+    (fun bad ->
+      match Index.v bad with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted %S" bad)
+    [ "1a"; "a b"; "a-b"; "_x" ]
+
+let test_index_order () =
+  Alcotest.(check bool) "equal" true (Index.equal (i "a") (i "a"));
+  Alcotest.(check bool) "distinct" true (Index.compare (i "a") (i "b") < 0);
+  Alcotest.(check bool) "distinct list" true (Index.distinct (idx_list [ "a"; "b" ]));
+  Alcotest.(check bool) "repeated" false (Index.distinct (idx_list [ "a"; "a" ]))
+
+let test_index_pp () =
+  Alcotest.(check string) "pp_list" "a,b,c"
+    (Format.asprintf "%a" Index.pp_list (idx_list [ "a"; "b"; "c" ]))
+
+let test_extents_basic () =
+  let e = extents [ ("a", 4); ("b", 6) ] in
+  Alcotest.(check int) "a" 4 (Extents.extent e (i "a"));
+  Alcotest.(check (option int)) "missing" None (Extents.extent_opt e (i "z"));
+  Alcotest.(check int) "size_of" 24 (Extents.size_of e (idx_list [ "a"; "b" ]));
+  Alcotest.(check int) "size_of empty" 1 (Extents.size_of e []);
+  Alcotest.(check bool) "covers" true
+    (Extents.covers e (Index.set_of_list (idx_list [ "a" ])));
+  Alcotest.(check bool) "covers not" false
+    (Extents.covers e (Index.set_of_list (idx_list [ "a"; "z" ])))
+
+let test_extents_conflicts () =
+  (match Extents.of_list [ (i "a", 4); (i "a", 4) ] with
+  | Ok e -> Alcotest.(check int) "same rebinding ok" 4 (Extents.extent e (i "a"))
+  | Error msg -> Alcotest.failf "rejected consistent rebinding: %s" msg);
+  (match Extents.of_list [ (i "a", 4); (i "a", 5) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "conflicting rebinding accepted");
+  match Extents.of_list [ (i "a", 0) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero extent accepted"
+
+let test_extents_scale () =
+  let e = extents [ ("a", 480); ("j", 32) ] in
+  let s = Extents.scale e ~factor_num:1 ~factor_den:40 ~min_extent:4 in
+  Alcotest.(check int) "scaled a" 12 (Extents.extent s (i "a"));
+  Alcotest.(check int) "clamped j" 4 (Extents.extent s (i "j"))
+
+let test_extents_bindings_sorted () =
+  let e = extents [ ("c", 3); ("a", 1); ("b", 2) ] in
+  Alcotest.(check (list int)) "sorted order" [ 1; 2; 3 ]
+    (List.map snd (Extents.bindings e))
+
+let suite =
+  [
+    ( "index",
+      [
+        case "name validation" test_index_names;
+        case "ordering and distinctness" test_index_order;
+        case "printing" test_index_pp;
+      ] );
+    ( "extents",
+      [
+        case "basic lookups and sizes" test_extents_basic;
+        case "conflicting bindings" test_extents_conflicts;
+        case "scaling for validation runs" test_extents_scale;
+        case "bindings are sorted" test_extents_bindings_sorted;
+      ] );
+  ]

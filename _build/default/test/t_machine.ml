@@ -1,0 +1,160 @@
+(* Tests for the simulated cluster: clock accounting, plan replay against
+   the analytic model, and numeric execution against the reference. *)
+
+open Tce
+open Helpers
+
+let uniform =
+  Params.uniform ~name:"test" ~latency:0.01 ~bandwidth:1e8 ~flop_rate:1e9
+    ~procs_per_node:2 ~mem_per_node_bytes:64e9
+
+let test_cluster_shift_round () =
+  let grid = Grid.create_exn ~procs:4 in
+  let c = Cluster.create uniform grid in
+  Cluster.shift_round_uniform c ~axis:1 ~bytes:1e6;
+  (* One round of 1 MB at 100 MB/s + 10 ms latency. *)
+  check_close ~ctx:"clock" 0.02 (Cluster.clock c);
+  check_close ~ctx:"comm" 0.02 (Cluster.comm_seconds c);
+  check_close ~ctx:"compute" 0.0 (Cluster.compute_seconds c)
+
+let test_cluster_compute_and_barrier () =
+  let grid = Grid.create_exn ~procs:4 in
+  let c = Cluster.create uniform grid in
+  (* Uneven compute: clocks diverge, barrier equalizes at the max. *)
+  Cluster.compute c ~flops:(fun (z1, _) -> float_of_int (1 + z1) *. 1e9);
+  check_close ~ctx:"critical path" 2.0 (Cluster.clock c);
+  Cluster.barrier c;
+  Cluster.compute_uniform c ~flops_per_proc:1e9;
+  check_close ~ctx:"after barrier" 3.0 (Cluster.clock c)
+
+let test_cluster_ragged_round () =
+  let grid = Grid.create_exn ~procs:4 in
+  let c = Cluster.create uniform grid in
+  (* One processor sends a 10x larger block: the round's critical path is
+     its transfer. *)
+  Cluster.shift_round c ~axis:2 ~bytes:(fun (z1, z2) ->
+      if (z1, z2) = (0, 0) then 1e7 else 1e6);
+  check_close ~ctx:"critical path" 0.11 (Cluster.clock c)
+
+let test_cluster_reset () =
+  let grid = Grid.create_exn ~procs:4 in
+  let c = Cluster.create uniform grid in
+  Cluster.shift_round_uniform c ~axis:1 ~bytes:1e6;
+  Cluster.reset c;
+  check_close ~ctx:"reset" 0.0 (Cluster.clock c)
+
+let test_measure_rotation () =
+  let grid = Grid.create_exn ~procs:16 in
+  check_close ~ctx:"4 rounds"
+    (Params.rotation_time uniform ~side:4 ~bytes:(Units.bytes_of_words 1000))
+    (Simulate.measure_rotation uniform grid ~axis:1 ~words:1000)
+
+(* The discrete-event replay of a plan must agree exactly with the
+   analytic objective when the grid divides every extent. *)
+let test_replay_matches_model_divisible () =
+  let problem, _, tree = ccsd ~scale:`Small (* 12/8/6 divisible by 2 *) in
+  let ext = problem.Problem.extents in
+  let grid, cfg = search_config 4 in
+  ignore grid;
+  let plan = get_ok ~ctx:"plan" (Search.optimize cfg ext tree) in
+  let t = Simulate.run_plan params ext plan in
+  check_close ~ctx:"comm equal" ~rel:1e-9 (Plan.comm_cost plan)
+    t.Simulate.comm_seconds;
+  check_close ~ctx:"compute equal" ~rel:1e-9 (Plan.compute_seconds plan)
+    t.Simulate.compute_seconds
+
+let test_replay_paper_scale () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let ext = problem.Problem.extents in
+  let _, cfg = search_config 16 in
+  let plan = get_ok ~ctx:"plan" (Search.optimize cfg ext tree) in
+  let t = Simulate.run_plan params ext plan in
+  check_close ~ctx:"Table 2 replay" ~rel:1e-6 (Plan.comm_cost plan)
+    t.Simulate.comm_seconds
+
+(* Numeric execution of single contractions under every variant. *)
+let test_numeric_all_variants () =
+  let e = extents [ ("x", 4); ("y", 6); ("u", 4); ("v", 6); ("w", 4) ] in
+  let grid = Grid.create_exn ~procs:4 in
+  let rng = Prng.create ~seed:99 in
+  let left = Dense.create [ (i "x", 4); (i "u", 4); (i "w", 4) ] in
+  let right = Dense.create [ (i "u", 4); (i "w", 4); (i "y", 6); (i "v", 6) ] in
+  Dense.fill_random left rng;
+  Dense.fill_random right rng;
+  let c =
+    get_ok ~ctx:"contraction"
+      (Contraction.make
+         ~out:(aref "O" [ "x"; "y"; "v" ])
+         ~left:(aref "L" [ "x"; "u"; "w" ])
+         ~right:(aref "R" [ "u"; "w"; "y"; "v" ])
+         ~sum:(idx_list [ "u"; "w" ]))
+  in
+  let reference =
+    Einsum.contract2 ~out:(idx_list [ "x"; "y"; "v" ]) left right
+  in
+  let variants = Variant.all c in
+  Alcotest.(check int) "variant count" (3 * 1 * 2 * 2) (List.length variants);
+  List.iter
+    (fun v ->
+      let got = Numeric.run_contraction grid e v ~left ~right in
+      if not (Dense.equal_approx ~tol:1e-9 reference got) then
+        Alcotest.failf "variant %s wrong"
+          (Format.asprintf "%a" Variant.pp v))
+    variants
+
+let test_numeric_rejects_small_extents () =
+  let e = extents [ ("x", 2); ("y", 8); ("k", 8) ] in
+  let grid = Grid.create_exn ~procs:16 (* side 4 > extent of x *) in
+  let left = Dense.create [ (i "x", 2); (i "k", 8) ] in
+  let right = Dense.create [ (i "k", 8); (i "y", 8) ] in
+  let c =
+    get_ok ~ctx:"c"
+      (Contraction.make ~out:(aref "O" [ "x"; "y" ])
+         ~left:(aref "L" [ "x"; "k" ])
+         ~right:(aref "R" [ "k"; "y" ])
+         ~sum:[ i "k" ])
+  in
+  let v = List.hd (Variant.all c) in
+  match Numeric.run_contraction grid e v ~left ~right with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undersized extent accepted"
+
+let test_numeric_plan_matches_reference () =
+  let problem, seq, tree = ccsd ~scale:`Small in
+  let ext = problem.Problem.extents in
+  List.iter
+    (fun procs ->
+      let grid, cfg = search_config procs in
+      let plan = get_ok ~ctx:"plan" (Search.optimize cfg ext tree) in
+      let inputs = Sequence.random_inputs ext ~seed:(procs * 7) seq in
+      let reference = Sequence.eval ext ~inputs seq in
+      let got = Numeric.run_plan grid ext plan ~inputs in
+      Alcotest.(check bool)
+        (Printf.sprintf "P=%d" procs)
+        true
+        (Dense.equal_approx ~tol:1e-9 reference got))
+    [ 1; 4 ]
+
+let suite =
+  [
+    ( "machine.cluster",
+      [
+        case "shift round accounting" test_cluster_shift_round;
+        case "compute and barrier" test_cluster_compute_and_barrier;
+        case "ragged rounds take the critical path" test_cluster_ragged_round;
+        case "reset" test_cluster_reset;
+      ] );
+    ( "machine.simulate",
+      [
+        case "measure_rotation = analytic" test_measure_rotation;
+        case "replay = model (divisible extents)"
+          test_replay_matches_model_divisible;
+        case "replay = model (paper scale)" test_replay_paper_scale;
+      ] );
+    ( "machine.numeric",
+      [
+        case "all Cannon variants compute correctly" test_numeric_all_variants;
+        case "undersized extents rejected" test_numeric_rejects_small_extents;
+        case "whole plans match the reference" test_numeric_plan_matches_reference;
+      ] );
+  ]

@@ -1,0 +1,230 @@
+(* Tests for operation minimization: the paper's 4N^10 -> 6N^6 rewriting
+   and optimality of the subset DP against the brute-force oracle. *)
+
+open Tce
+open Helpers
+module G = QCheck2.Gen
+
+let fresh_counter () =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "T__%d" !n
+
+(* The paper's section-2 example: with every extent equal to N, direct
+   evaluation is 4 N^10 and the optimal order is 6 N^6. *)
+let test_paper_4n10_to_6n6 () =
+  let n = 4 in
+  let e =
+    extents
+      (List.map (fun x -> (x, n)) [ "a"; "b"; "c"; "d"; "e"; "f"; "i"; "j"; "k"; "l" ])
+  in
+  let d =
+    {
+      Problem.lhs = aref "S" [ "a"; "b"; "i"; "j" ];
+      sum = idx_list [ "c"; "d"; "e"; "f"; "k"; "l" ];
+      terms =
+        [
+          aref "A" [ "a"; "c"; "i"; "k" ];
+          aref "B" [ "b"; "e"; "f"; "l" ];
+          aref "C" [ "d"; "f"; "j"; "k" ];
+          aref "D" [ "c"; "d"; "e"; "l" ];
+        ];
+    }
+  in
+  Alcotest.(check int) "naive 4 N^10" (4 * Ints.pow n 10) (Opmin.naive_flops e d);
+  let plan = get_ok ~ctx:"optimize" (Opmin.optimize_def e ~fresh:(fresh_counter ()) d) in
+  Alcotest.(check int) "optimal 6 N^6" (6 * Ints.pow n 6) plan.Opmin.flops;
+  Alcotest.(check int) "three binary contractions" 3
+    (List.length plan.Opmin.defs);
+  Alcotest.(check int) "plan_flops agrees" plan.Opmin.flops
+    (Opmin.plan_flops e plan.Opmin.defs)
+
+(* With the paper's asymmetric extents the optimizer must reproduce the
+   exact T1/T2 association of Fig. 2(a). *)
+let test_paper_asymmetric_order () =
+  let e =
+    extents
+      [ ("a", 480); ("b", 480); ("c", 480); ("d", 480); ("e", 64); ("f", 64);
+        ("i", 32); ("j", 32); ("k", 32); ("l", 32) ]
+  in
+  let d =
+    {
+      Problem.lhs = aref "S" [ "a"; "b"; "i"; "j" ];
+      sum = idx_list [ "c"; "d"; "e"; "f"; "k"; "l" ];
+      terms =
+        [
+          aref "A" [ "a"; "c"; "i"; "k" ];
+          aref "B" [ "b"; "e"; "f"; "l" ];
+          aref "C" [ "d"; "f"; "j"; "k" ];
+          aref "D" [ "c"; "d"; "e"; "l" ];
+        ];
+    }
+  in
+  let plan = get_ok ~ctx:"optimize" (Opmin.optimize_def e ~fresh:(fresh_counter ()) d) in
+  (* Expected: (B*D) -> [b,c,d,f]; (.*C) -> [b,c,j,k]; (.*A) -> S. *)
+  let shapes =
+    List.map
+      (fun (bd : Problem.def) ->
+        ( List.sort compare (List.map Aref.name bd.Problem.terms),
+          List.sort compare (List.map Index.name (Aref.indices bd.Problem.lhs)) ))
+      plan.Opmin.defs
+  in
+  Alcotest.(check (list (pair (list string) (list string))))
+    "paper's association"
+    [
+      ([ "B"; "D" ], [ "b"; "c"; "d"; "f" ]);
+      ([ "C"; "T__1" ], [ "b"; "c"; "j"; "k" ]);
+      ([ "A"; "T__2" ], [ "a"; "b"; "i"; "j" ]);
+    ]
+    shapes
+
+(* Fig. 1: push-down of single-factor summations. *)
+let test_fig1_presum () =
+  let e = extents [ ("i", 10); ("j", 10); ("k", 10); ("t", 10) ] in
+  let d =
+    {
+      Problem.lhs = aref "S" [ "t" ];
+      sum = idx_list [ "i"; "j"; "k" ];
+      terms = [ aref "A" [ "i"; "j"; "t" ]; aref "B" [ "j"; "k"; "t" ] ];
+    }
+  in
+  let plan = get_ok ~ctx:"optimize" (Opmin.optimize_def e ~fresh:(fresh_counter ()) d) in
+  (* N_i N_j N_t + N_j N_k N_t + 2 N_j N_t *)
+  Alcotest.(check int) "cost" ((10 * 10 * 10) + (10 * 10 * 10) + (2 * 10 * 10))
+    plan.Opmin.flops;
+  Alcotest.(check int) "three defs (two presums + product)" 3
+    (List.length plan.Opmin.defs)
+
+let test_unary_unchanged () =
+  let e = extents [ ("a", 3); ("k", 4) ] in
+  let d =
+    { Problem.lhs = aref "T" [ "a" ]; sum = [ i "k" ]; terms = [ aref "X" [ "a"; "k" ] ] }
+  in
+  let plan = get_ok ~ctx:"optimize" (Opmin.optimize_def e ~fresh:(fresh_counter ()) d) in
+  Alcotest.(check int) "one def" 1 (List.length plan.Opmin.defs);
+  Alcotest.(check int) "cost" 12 plan.Opmin.flops
+
+(* Random multi-factor definitions: DP = brute force, and the rewritten
+   problem evaluates to the same values as a left-deep binarization. *)
+
+let random_def rng ~factors ~indices =
+  (* Build factors over a pool of indices; output keeps indices that appear
+     at least once and are marked "kept". *)
+  let pool = List.init indices (fun k -> i (Printf.sprintf "x%d" k)) in
+  let pick_subset () =
+    List.filter (fun _ -> Prng.bool rng) pool
+  in
+  let terms =
+    List.init factors (fun k ->
+        let idxs =
+          match pick_subset () with
+          | [] -> [ List.nth pool (Prng.int rng ~bound:(List.length pool)) ]
+          | s -> s
+        in
+        Aref.v (Printf.sprintf "F%d" k) idxs)
+  in
+  let used =
+    List.fold_left
+      (fun acc a -> Index.Set.union acc (Aref.index_set a))
+      Index.Set.empty terms
+  in
+  let kept, summed =
+    List.partition (fun _ -> Prng.bool rng) (Index.Set.elements used)
+  in
+  { Problem.lhs = Aref.v "OUT" kept; sum = summed; terms }
+
+let test_dp_equals_brute_force () =
+  let rng = Prng.create ~seed:20260705 in
+  for trial = 1 to 40 do
+    let factors = 2 + Prng.int rng ~bound:3 in
+    let d = random_def rng ~factors ~indices:5 in
+    let e =
+      extents (List.init 5 (fun k -> (Printf.sprintf "x%d" k, 2 + Prng.int rng ~bound:5)))
+    in
+    let dp = get_ok ~ctx:"dp" (Opmin.optimize_def e ~fresh:(fresh_counter ()) d) in
+    let bf = get_ok ~ctx:"bf" (Opmin.brute_force_def e ~fresh:(fresh_counter ()) d) in
+    if dp.Opmin.flops <> bf.Opmin.flops then
+      Alcotest.failf "trial %d: dp %d vs brute force %d" trial dp.Opmin.flops
+        bf.Opmin.flops;
+    (* The reconstructed plan's own cost must equal the DP's claim. *)
+    Alcotest.(check int) "plan_flops" dp.Opmin.flops
+      (Opmin.plan_flops e dp.Opmin.defs)
+  done
+
+let test_optimize_preserves_semantics () =
+  let text =
+    {|
+extents a=3, b=3, c=4, d=3, e=2
+S[a,e] = sum[b,c,d] W[a,b] * X[b,c] * Y[c,d] * Z[d,e]
+|}
+  in
+  let p = get_ok ~ctx:"parse" (Parser.parse text) in
+  let ext = p.Problem.extents in
+  let optimized = get_ok ~ctx:"optimize" (Opmin.optimize p) in
+  let oseq = get_ok ~ctx:"oseq" (Problem.to_sequence optimized) in
+  let bseq =
+    get_ok ~ctx:"bseq" (Problem.to_sequence (Problem.binarize_left_deep p))
+  in
+  let inputs = Sequence.random_inputs ext ~seed:77 oseq in
+  (* Feed the same inputs to both evaluation orders. *)
+  let binputs =
+    List.map (fun a -> (Aref.name a, List.assoc (Aref.name a) inputs))
+      (Sequence.inputs bseq)
+  in
+  let via_opt = Sequence.eval ext ~inputs oseq in
+  let via_bin = Sequence.eval ext ~inputs:binputs bseq in
+  Alcotest.(check bool) "same values" true
+    (Dense.equal_approx ~tol:1e-9 via_opt via_bin);
+  (* And the optimized order must not cost more. *)
+  let opt_cost =
+    Ints.sum (List.map (fun f -> Formula.flops ext f) (Sequence.formulas oseq))
+  in
+  let bin_cost =
+    Ints.sum (List.map (fun f -> Formula.flops ext f) (Sequence.formulas bseq))
+  in
+  Alcotest.(check bool) "not worse than left-deep" true (opt_cost <= bin_cost)
+
+let test_optimize_to_tree () =
+  let problem, _, _ = ccsd ~scale:`Tiny in
+  let tree = get_ok ~ctx:"tree" (Opmin.optimize_to_tree problem) in
+  Alcotest.(check int) "nodes" 7 (Tree.node_count tree)
+
+(* Gigantic extents must saturate, not overflow: the optimizer still picks
+   the cheapest association and never reports a negative cost. *)
+let test_saturating_costs () =
+  let e =
+    extents
+      (List.map (fun x -> (x, 100_000)) [ "a"; "b"; "c"; "d"; "e"; "f"; "i"; "j"; "k"; "l" ])
+  in
+  let d =
+    {
+      Problem.lhs = aref "S" [ "a"; "b"; "i"; "j" ];
+      sum = idx_list [ "c"; "d"; "e"; "f"; "k"; "l" ];
+      terms =
+        [
+          aref "A" [ "a"; "c"; "i"; "k" ]; aref "B" [ "b"; "e"; "f"; "l" ];
+          aref "C" [ "d"; "f"; "j"; "k" ]; aref "D" [ "c"; "d"; "e"; "l" ];
+        ];
+    }
+  in
+  Alcotest.(check int) "naive saturates" max_int (Opmin.naive_flops e d);
+  let plan = get_ok ~ctx:"optimize" (Opmin.optimize_def e ~fresh:(fresh_counter ()) d) in
+  Alcotest.(check bool) "non-negative" true (plan.Opmin.flops > 0);
+  (* The B*D-first association still wins at symmetric-but-huge extents. *)
+  Alcotest.(check int) "three defs" 3 (List.length plan.Opmin.defs)
+
+let suite =
+  [
+    ( "opmin",
+      [
+        case "paper example: 4N^10 -> 6N^6" test_paper_4n10_to_6n6;
+        case "paper example: exact association" test_paper_asymmetric_order;
+        case "Fig 1: summation push-down" test_fig1_presum;
+        case "unary definitions unchanged" test_unary_unchanged;
+        case "DP = brute force on random products" test_dp_equals_brute_force;
+        case "optimization preserves semantics" test_optimize_preserves_semantics;
+        case "optimize_to_tree" test_optimize_to_tree;
+        case "saturating costs on huge extents" test_saturating_costs;
+      ] );
+  ]

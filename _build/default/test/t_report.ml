@@ -1,0 +1,108 @@
+(* Tests for table rendering and the paper-reference comparisons. *)
+
+open Tce
+open Helpers
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "a"; "long header" ] in
+  let t = Table.add_rows t [ [ "1"; "x" ]; [ "22" ] ] in
+  let s = Table.to_string t in
+  Alcotest.(check bool) "has rule" true (Astring_contains.contains s "|---");
+  Alcotest.(check bool) "pads cells" true
+    (Astring_contains.contains s "| 1  | x           |")
+
+let test_table_validation () =
+  let t = Table.create ~headers:[ "a" ] in
+  match Table.add_row t [ "1"; "2" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "too many cells accepted"
+
+let test_table_csv () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  let t = Table.add_row t [ "x,y"; "q\"z" ] in
+  Alcotest.(check string) "csv quoting" "a,b\n\"x,y\",\"q\"\"z\""
+    (Table.csv t)
+
+let test_paperref_totals () =
+  Alcotest.(check int) "procs" 64 Paperref.totals1.Paperref.procs;
+  check_float "t1 comm" 98.0 Paperref.totals1.Paperref.comm_seconds;
+  check_float "t2 comm" 1907.8 Paperref.totals2.Paperref.comm_seconds;
+  (* Per-row comms sum close to the stated totals. *)
+  let sum rows =
+    List.fold_left (fun acc r -> acc +. Paperref.comm_of_row r) 0.0 rows
+  in
+  check_close ~ctx:"table1 rows sum" ~rel:0.01 98.0 (sum Paperref.table1);
+  check_close ~ctx:"table2 rows sum" ~rel:0.01 1907.8 (sum Paperref.table2)
+
+let test_pct_dev () =
+  Alcotest.(check string) "plus" "+10.0%" (Exptables.pct_dev ~ours:110.0 ~paper:100.0);
+  Alcotest.(check string) "minus" "-0.9%"
+    (Exptables.pct_dev ~ours:1891.4 ~paper:1907.8);
+  Alcotest.(check string) "zero ref" "-" (Exptables.pct_dev ~ours:1.0 ~paper:0.0)
+
+let test_plan_table_rows () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let _, cfg = search_config 64 in
+  let plan = get_ok ~ctx:"plan" (Search.optimize cfg problem.Problem.extents tree) in
+  let rendered = Table.to_string (Exptables.plan_table plan) in
+  (* Seven arrays -> 7 data rows + header + rule = 9 lines. *)
+  Alcotest.(check int) "lines" 9
+    (List.length (String.split_on_char '\n' rendered));
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) name true (Astring_contains.contains rendered name))
+    [ "T1[b,c,d,f]"; "1.728GB"; "115.2MB"; "N/A" ];
+  let totals = Exptables.totals_line plan in
+  Alcotest.(check bool) "totals mentions %" true
+    (Astring_contains.contains totals "% of")
+
+let test_comparison_tables () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let _, cfg = search_config 16 in
+  let plan = get_ok ~ctx:"plan" (Search.optimize cfg problem.Problem.extents tree) in
+  let cmp = Table.to_string (Exptables.comparison_table plan Paperref.table2) in
+  Alcotest.(check bool) "T1 present" true (Astring_contains.contains cmp "T1");
+  Alcotest.(check bool) "108.0MB present" true
+    (Astring_contains.contains cmp "108.0MB");
+  let tot = Table.to_string (Exptables.totals_comparison plan Paperref.totals2) in
+  Alcotest.(check bool) "fraction row" true
+    (Astring_contains.contains tot "comm fraction")
+
+let test_parcode () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let _, cfg = search_config 16 in
+  let plan =
+    get_ok ~ctx:"plan" (Search.optimize cfg problem.Problem.extents tree)
+  in
+  let code =
+    get_ok ~ctx:"emit" (Parcode.emit problem.Problem.extents tree plan)
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (Astring_contains.contains code needle))
+    [
+      "for f";                         (* the fused band *)
+      "T1[b,c,d] = 0";                 (* the reduced temporary *)
+      "# cannon: triple";
+      "rotate";
+      "fixed:";
+      "T2[b,c,j,k] += T1[b,c,d] * C[d,f,j,k]";
+      "64 x 4 steps";                  (* sliced rotations per f *)
+    ]
+
+let parcode_suite = [ case "SPMD code emission" test_parcode ]
+
+let suite =
+  [
+    ( "report",
+      [
+        case "table rendering" test_table_render;
+        case "table validation" test_table_validation;
+        case "csv quoting" test_table_csv;
+        case "paper reference data" test_paperref_totals;
+        case "percentage deviations" test_pct_dev;
+        case "plan tables" test_plan_table_rows;
+        case "comparison tables" test_comparison_tables;
+      ]
+      @ parcode_suite );
+  ]

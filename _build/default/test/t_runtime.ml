@@ -1,0 +1,152 @@
+(* Tests for the SPMD layer and the multicore Cannon executor. *)
+
+open Tce
+open Helpers
+
+let test_spmd_barrier_counts () =
+  (* Each participant bumps a local phase; barriers keep phases aligned. *)
+  let phases = Array.make 4 0 in
+  let (_ : unit array) =
+    Spmd.run ~procs:4 (fun ctx ->
+        let r = Spmd.rank ctx in
+        for _ = 1 to 3 do
+          phases.(r) <- phases.(r) + 1;
+          Spmd.barrier ctx;
+          (* After a barrier everyone has completed the same phase. *)
+          Array.iter
+            (fun p ->
+              if abs (p - phases.(r)) > 1 then
+                Alcotest.failf "phase skew: %d vs %d" p phases.(r))
+            phases;
+          Spmd.barrier ctx
+        done)
+  in
+  Alcotest.(check (array int)) "all finished" [| 3; 3; 3; 3 |] phases
+
+let test_spmd_ring () =
+  (* Pass each rank's value around a ring; after P hops it returns home. *)
+  let procs = 4 in
+  let results =
+    Spmd.run ~procs (fun ctx ->
+        let r = Spmd.rank ctx in
+        let v = ref r in
+        for _ = 1 to procs do
+          v :=
+            Spmd.sendrecv ctx
+              ~dst:((r + 1) mod procs)
+              !v
+              ~src:((r + procs - 1) mod procs)
+        done;
+        !v)
+  in
+  Alcotest.(check (array int)) "values home" [| 0; 1; 2; 3 |] results
+
+let test_spmd_rank_and_procs () =
+  let results =
+    Spmd.run ~procs:3 (fun ctx -> (Spmd.rank ctx, Spmd.procs ctx))
+  in
+  Alcotest.(check (array (pair int int))) "ranks"
+    [| (0, 3); (1, 3); (2, 3) |]
+    results
+
+let test_spmd_fifo_per_sender () =
+  let results =
+    Spmd.run ~procs:2 (fun ctx ->
+        match Spmd.rank ctx with
+        | 0 ->
+          Spmd.send ctx ~dst:1 10;
+          Spmd.send ctx ~dst:1 20;
+          Spmd.send ctx ~dst:1 30;
+          []
+        | _ ->
+          let a = Spmd.recv ctx ~src:0 in
+          let b = Spmd.recv ctx ~src:0 in
+          let c = Spmd.recv ctx ~src:0 in
+          [ a; b; c ])
+  in
+  Alcotest.(check (list int)) "in order" [ 10; 20; 30 ] results.(1)
+
+let test_spmd_validation () =
+  (match Spmd.run ~procs:0 (fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero procs accepted");
+  let (_ : unit array) =
+    Spmd.run ~procs:1 (fun ctx ->
+        match Spmd.send ctx ~dst:5 () with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "bad rank accepted")
+  in
+  ()
+
+let test_spmd_exception_propagates () =
+  match
+    Spmd.run ~procs:1 (fun _ -> failwith "boom")
+  with
+  | exception Failure msg -> Alcotest.(check string) "msg" "boom" msg
+  | _ -> Alcotest.fail "exception swallowed"
+
+(* ---------------- Multicore Cannon ---------------- *)
+
+let test_multicore_contraction () =
+  let e = extents [ ("x", 4); ("y", 4); ("k", 6) ] in
+  let grid = Grid.create_exn ~procs:4 in
+  let rng = Prng.create ~seed:17 in
+  let left = Dense.create [ (i "x", 4); (i "k", 6) ] in
+  let right = Dense.create [ (i "k", 6); (i "y", 4) ] in
+  Dense.fill_random left rng;
+  Dense.fill_random right rng;
+  let c =
+    get_ok ~ctx:"c"
+      (Contraction.make ~out:(aref "O" [ "x"; "y" ])
+         ~left:(aref "L" [ "x"; "k" ])
+         ~right:(aref "R" [ "k"; "y" ])
+         ~sum:[ i "k" ])
+  in
+  let reference = Einsum.contract2 ~out:(idx_list [ "x"; "y" ]) left right in
+  List.iter
+    (fun v ->
+      let got = Multicore.run_contraction grid e v ~left ~right in
+      if not (Dense.equal_approx ~tol:1e-9 reference got) then
+        Alcotest.failf "variant %s wrong" (Format.asprintf "%a" Variant.pp v))
+    (Variant.all c)
+
+let test_multicore_plan () =
+  let problem, seq, tree = ccsd ~scale:`Small in
+  let ext = problem.Problem.extents in
+  let grid, cfg = search_config 4 in
+  let plan = get_ok ~ctx:"plan" (Search.optimize cfg ext tree) in
+  let inputs = Sequence.random_inputs ext ~seed:23 seq in
+  let reference = Sequence.eval ext ~inputs seq in
+  let got = Multicore.run_plan grid ext plan ~inputs in
+  Alcotest.(check bool) "matches" true
+    (Dense.equal_approx ~tol:1e-9 reference got)
+
+let test_multicore_agrees_with_simulator () =
+  let problem, seq, tree = ccsd ~scale:`Small in
+  let ext = problem.Problem.extents in
+  let grid, cfg = search_config 4 in
+  let plan = get_ok ~ctx:"plan" (Search.optimize cfg ext tree) in
+  let inputs = Sequence.random_inputs ext ~seed:29 seq in
+  let a = Multicore.run_plan grid ext plan ~inputs in
+  let b = Numeric.run_plan grid ext plan ~inputs in
+  Alcotest.(check bool) "domains = simulated" true
+    (Dense.equal_approx ~tol:1e-12 a b)
+
+let suite =
+  [
+    ( "runtime.spmd",
+      [
+        case "barrier alignment" test_spmd_barrier_counts;
+        case "ring exchange" test_spmd_ring;
+        case "ranks and sizes" test_spmd_rank_and_procs;
+        case "FIFO per sender" test_spmd_fifo_per_sender;
+        case "validation" test_spmd_validation;
+        case "exceptions propagate" test_spmd_exception_propagates;
+      ] );
+    ( "runtime.multicore",
+      [
+        case "contraction under every variant" test_multicore_contraction;
+        case "whole plan matches reference" test_multicore_plan;
+        case "domains agree with the simulator" test_multicore_agrees_with_simulator;
+      ] );
+  ]

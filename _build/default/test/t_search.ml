@@ -1,0 +1,307 @@
+(* Tests for the integrated memory-constrained communication minimization
+   algorithm — the paper's contribution. *)
+
+open Tce
+open Helpers
+
+let paper_plan procs =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let _, cfg = search_config procs in
+  (problem, get_ok ~ctx:"optimize" (Search.optimize cfg problem.Problem.extents tree))
+
+(* Table 1: on 64 processors nothing is fused and total communication is
+   ~98 s (7% of ~1400 s). *)
+let test_table1_shape () =
+  let _, plan = paper_plan 64 in
+  check_close ~ctx:"comm" ~rel:0.02 98.0 (Plan.comm_cost plan);
+  check_close ~ctx:"total" ~rel:0.02 1403.4 (Plan.total_seconds plan);
+  Alcotest.(check bool) "comm fraction ~7%" true
+    (Float.abs (Plan.comm_fraction plan -. 0.070) < 0.005);
+  List.iter
+    (fun (s : Plan.step) ->
+      Alcotest.(check bool) "no fusion" true
+        (Index.Set.is_empty s.fusion_out
+        && Index.Set.is_empty s.fusion_left
+        && Index.Set.is_empty s.fusion_right))
+    plan.Plan.steps;
+  Alcotest.(check bool) "fits" true (Plan.fits_memory plan)
+
+(* Table 2: on 16 processors the f loop is fused, T1 reduces to (b,c,d),
+   and communication jumps to ~1900 s (~27%). *)
+let test_table2_shape () =
+  let _, plan = paper_plan 16 in
+  check_close ~ctx:"comm" ~rel:0.02 1907.8 (Plan.comm_cost plan);
+  check_close ~ctx:"total" ~rel:0.02 6983.8 (Plan.total_seconds plan);
+  Alcotest.(check bool) "comm fraction ~27%" true
+    (Float.abs (Plan.comm_fraction plan -. 0.273) < 0.02);
+  let row = Option.get (Plan.find_row plan "T1") in
+  Alcotest.(check (list string)) "T1 reduced to (b,c,d)" [ "b"; "c"; "d" ]
+    (List.map Index.name row.Plan.reduced_dims);
+  (* T1 is rotated once per f iteration in both of its contractions:
+     ~900 s each way. *)
+  check_close ~ctx:"T1 init" ~rel:0.05 900.0 row.Plan.comm_initial;
+  check_close ~ctx:"T1 final" ~rel:0.05 900.0 row.Plan.comm_final;
+  Alcotest.(check bool) "fits" true (Plan.fits_memory plan)
+
+let test_table2_memory_rows () =
+  let _, plan = paper_plan 16 in
+  List.iter
+    (fun (name, mb) ->
+      let row = Option.get (Plan.find_row plan name) in
+      check_close ~ctx:name ~rel:0.01 mb
+        (Units.paper_mb_of_words
+           (row.Plan.stored_words * params.Params.procs_per_node)))
+    [ ("D", 460.8); ("T1", 108.0); ("T2", 230.4); ("S", 230.4); ("A", 230.4) ]
+
+(* The optimum under a loose memory limit is the unfused plan and it
+   dominates the constrained one. *)
+let test_memory_monotone () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let ext = problem.Problem.extents in
+  let costs =
+    List.map
+      (fun gb ->
+        let _, cfg = search_config ~mem_limit_bytes:(gb *. 1e9) 16 in
+        match Search.optimize cfg ext tree with
+        | Ok plan -> Plan.comm_cost plan
+        | Error _ -> Float.infinity)
+      [ 1.5; 2.0; 16.0 ]
+  in
+  match costs with
+  | [ tight; medium; loose ] ->
+    Alcotest.(check bool) "tighter memory, more communication" true
+      (tight >= medium && medium >= loose);
+    Alcotest.(check bool) "all finite" true (tight < Float.infinity)
+  | _ -> assert false
+
+let test_infeasible_reports_error () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let _, cfg = search_config ~mem_limit_bytes:1e8 16 in
+  ignore (get_error ~ctx:"tiny memory" (Search.optimize cfg problem.Problem.extents tree))
+
+let test_fusion_free_infeasible_at_16 () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let ext = problem.Problem.extents in
+  let _, cfg = search_config 16 in
+  ignore (get_error ~ctx:"fusion-free" (Baselines.fusion_free cfg ext tree));
+  (* ... but feasible at 64 processors, where it matches the integrated
+     search (no fusion is needed there). *)
+  let _, cfg64 = search_config 64 in
+  let free = get_ok ~ctx:"free@64" (Baselines.fusion_free cfg64 ext tree) in
+  let integrated = get_ok ~ctx:"int@64" (Baselines.integrated cfg64 ext tree) in
+  check_close ~ctx:"same optimum" (Plan.comm_cost integrated) (Plan.comm_cost free)
+
+let test_memmin_baseline_worse () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let ext = problem.Problem.extents in
+  let _, cfg = search_config 16 in
+  let memfirst = get_ok ~ctx:"memmin" (Baselines.memory_minimal cfg ext tree) in
+  let integrated = get_ok ~ctx:"integrated" (Baselines.integrated cfg ext tree) in
+  Alcotest.(check bool) "integrated communicates no more" true
+    (Plan.comm_cost integrated <= Plan.comm_cost memfirst +. 1e-9);
+  Alcotest.(check bool) "and strictly less here" true
+    (Plan.comm_cost integrated < Plan.comm_cost memfirst);
+  Alcotest.(check bool) "baseline uses no more memory" true
+    (Plan.mem_per_node_bytes memfirst
+    <= Plan.mem_per_node_bytes integrated +. 1.0)
+
+(* Optimal against brute force on small problems (pruning-soundness). *)
+let test_optimize_equals_brute_force () =
+  let texts =
+    [
+      {|
+extents a=8, b=8, c=8, k=8, m=8
+T[a,c] = sum[k] X[a,k] * Y[k,c]
+S[a,m] = sum[c] T[a,c] * Z[c,m]
+|};
+      {|
+extents a=6, b=6, c=4, d=4, k=4
+T[a,b,c] = sum[k] X[a,k,c] * Y[k,b]
+S[a,d]   = sum[b,c] T[a,b,c] * Z[b,c,d]
+|};
+    ]
+  in
+  List.iter
+    (fun text ->
+      let problem = get_ok ~ctx:"parse" (Parser.parse text) in
+      let seq = get_ok ~ctx:"seq" (Problem.to_sequence problem) in
+      let tree = get_ok ~ctx:"tree" (Tree.of_sequence seq) in
+      let ext = problem.Problem.extents in
+      let _, cfg = search_config 4 in
+      let opt = get_ok ~ctx:"opt" (Search.optimize cfg ext tree) in
+      let brute = get_ok ~ctx:"brute" (Search.brute_force cfg ext tree) in
+      check_close ~ctx:"same optimum" (Plan.comm_cost brute)
+        (Plan.comm_cost opt))
+    texts
+
+let test_grid_mismatch_error () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let grid = Grid.create_exn ~procs:16 in
+  let rcost = Rcost.of_params params ~side:8 (* wrong side *) in
+  let cfg = Search.default_config ~grid ~params ~rcost () in
+  ignore (get_error ~ctx:"mismatch" (Search.optimize cfg problem.Problem.extents tree))
+
+let test_rejects_hadamard_tree () =
+  let p =
+    get_ok ~ctx:"parse"
+      (Parser.parse
+         {|
+extents j=4, t=4, j2=4, k=4
+T1[j,t] = sum[j2] A[j2,j,t]
+T2[j,t] = sum[k] B[j,k,t]
+T3[j,t] = T1[j,t] * T2[j,t]
+S[j,t]  = T3[j,t] * C[j,t]
+|})
+  in
+  let seq = get_ok ~ctx:"seq" (Problem.to_sequence p) in
+  let tree = get_ok ~ctx:"tree" (Tree.of_sequence seq) in
+  let _, cfg = search_config 4 in
+  ignore (get_error ~ctx:"hadamard" (Search.optimize cfg p.Problem.extents tree))
+
+let test_solution_count_small () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let _, cfg = search_config 16 in
+  let n = get_ok ~ctx:"count" (Search.solution_count cfg problem.Problem.extents tree) in
+  Alcotest.(check bool) "pruning keeps the set small" true (n > 0 && n < 2000)
+
+(* The redistribution path: force a producer/consumer distribution clash
+   and check a redistribution is planned and costed. *)
+let test_redistribution_used () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let ext = problem.Problem.extents in
+  let _, cfg = search_config 64 in
+  (* With free redistribution the optimizer cannot do worse. *)
+  let free = { cfg with Search.redist_factor = 0.0 } in
+  let p_free = get_ok ~ctx:"free" (Search.optimize free ext tree) in
+  let p_base = get_ok ~ctx:"base" (Search.optimize cfg ext tree) in
+  Alcotest.(check bool) "free redistribution never hurts" true
+    (Plan.comm_cost p_free <= Plan.comm_cost p_base +. 1e-9)
+
+let test_fixed_fusion_mode () =
+  let problem, _, tree = ccsd ~scale:`Paper in
+  let ext = problem.Problem.extents in
+  let _, cfg =
+    search_config
+      ~fusion_mode:(Search.Fixed [ ("T1", Index.set_of_list [ i "f" ]) ])
+      16
+  in
+  let plan = get_ok ~ctx:"fixed" (Search.optimize cfg ext tree) in
+  let row = Option.get (Plan.find_row plan "T1") in
+  Alcotest.(check (list string)) "T1 fused exactly {f}" [ "b"; "c"; "d" ]
+    (List.map Index.name row.Plan.reduced_dims)
+
+(* Pre-summations: trees where operation minimization pushed a summation
+   down onto an input (paper Fig. 1 style) are planned with local
+   reductions and no extra communication. *)
+let test_presummed_inputs () =
+  let text =
+    {|
+extents a=16, b=16, k=12, x=8
+S[a,b] = sum[k,x] X[a,k,x] * Y[k,b]
+|}
+  in
+  let problem = get_ok ~ctx:"parse" (Parser.parse text) in
+  let ext = problem.Problem.extents in
+  (* Opmin pre-sums x out of X before the contraction. *)
+  let tree = get_ok ~ctx:"opmin" (Opmin.optimize_to_tree problem) in
+  let has_presum =
+    match tree with
+    | Tree.Contract (_, _, Tree.Sum (_, _, Tree.Leaf _), _)
+    | Tree.Contract (_, _, _, Tree.Sum (_, _, Tree.Leaf _)) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "tree has a leaf pre-summation" true has_presum;
+  let grid, cfg = search_config 4 in
+  let plan = get_ok ~ctx:"plan" (Search.optimize cfg ext tree) in
+  Alcotest.(check int) "one presum" 1 (List.length plan.Plan.presums);
+  Alcotest.(check int) "one contraction" 1 (List.length plan.Plan.steps);
+  (* Numeric agreement across all three executors. *)
+  let seq = get_ok ~ctx:"seq" (Tree.to_sequence tree) in
+  let inputs = Sequence.random_inputs ext ~seed:71 seq in
+  let reference = Sequence.eval ext ~inputs seq in
+  let a = Numeric.run_plan grid ext plan ~inputs in
+  Alcotest.(check bool) "simulated" true (Dense.equal_approx reference a);
+  let b = (Fusedexec.run_plan grid ext plan ~inputs).Fusedexec.result in
+  Alcotest.(check bool) "fused executor" true (Dense.equal_approx reference b);
+  let c = Multicore.run_plan grid ext plan ~inputs in
+  Alcotest.(check bool) "multicore" true (Dense.equal_approx reference c);
+  (* The presummed array's production is communication-free (it may still
+     be rotated later, as a contraction operand). *)
+  let row = Option.get (Plan.find_row plan "S__1") in
+  check_close ~ctx:"local production" 0.0 row.Plan.comm_initial;
+  (* The replay includes the presum's local flops. *)
+  let t = Simulate.run_plan params ext plan in
+  check_close ~ctx:"replay comm" ~rel:1e-9 (Plan.comm_cost plan)
+    t.Simulate.comm_seconds
+
+(* Property: on randomly sized instances, with random memory limits, the
+   pruned DP returns exactly the brute-force optimum (or both are
+   infeasible). This is the soundness certificate for the paper's
+   "inferior solution" pruning. *)
+let test_random_instances_match_brute_force () =
+  let rng = Prng.create ~seed:987654 in
+  for _trial = 1 to 25 do
+    let e name lo hi = (name, lo + Prng.int rng ~bound:(hi - lo + 1)) in
+    let bindings =
+      [ e "a" 4 10; e "b" 4 10; e "c" 2 8; e "d" 2 8; e "k" 2 8 ]
+    in
+    let text =
+      Printf.sprintf
+        {|
+extents %s
+T[a,b,c] = sum[k] X[a,k,c] * Y[k,b]
+S[a,d]   = sum[b,c] T[a,b,c] * Z[b,c,d]
+|}
+        (String.concat ", "
+           (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) bindings))
+    in
+    let problem = get_ok ~ctx:"parse" (Parser.parse text) in
+    let ext = problem.Problem.extents in
+    let seq = get_ok ~ctx:"seq" (Problem.to_sequence problem) in
+    let tree = get_ok ~ctx:"tree" (Tree.of_sequence seq) in
+    let limit =
+      (* Between severely constrained and unconstrained. *)
+      Prng.float_range rng ~lo:20_000.0 ~hi:400_000.0
+    in
+    let _, cfg = search_config ~mem_limit_bytes:limit 4 in
+    match (Search.optimize cfg ext tree, Search.brute_force cfg ext tree) with
+    | Error _, Error _ -> ()
+    | Ok opt, Ok brute ->
+      if Float.abs (Plan.comm_cost opt -. Plan.comm_cost brute) > 1e-9 then
+        Alcotest.failf "limit %.0f: pruned %.6f vs brute %.6f" limit
+          (Plan.comm_cost opt) (Plan.comm_cost brute)
+    | Ok _, Error msg -> Alcotest.failf "brute infeasible but DP not: %s" msg
+    | Error msg, Ok _ -> Alcotest.failf "DP infeasible but brute not: %s" msg
+  done
+
+let presum_suite =
+  [
+    case "pre-summed inputs plan and execute" test_presummed_inputs;
+    case "random instances match brute force"
+      test_random_instances_match_brute_force;
+  ]
+
+let suite =
+  [
+    ( "search.paper",
+      [
+        case "Table 1 shape (64 procs)" test_table1_shape;
+        case "Table 2 shape (16 procs)" test_table2_shape;
+        case "Table 2 memory rows" test_table2_memory_rows;
+      ] );
+    ( "search.behaviour",
+      [
+        case "communication monotone in memory pressure" test_memory_monotone;
+        case "infeasible memory reported" test_infeasible_reports_error;
+        case "fusion-free baseline infeasible at 16 procs"
+          test_fusion_free_infeasible_at_16;
+        case "memmin-fusion baseline is worse" test_memmin_baseline_worse;
+        case "optimal against brute force" test_optimize_equals_brute_force;
+        case "grid/characterization mismatch" test_grid_mismatch_error;
+        case "Hadamard trees rejected" test_rejects_hadamard_tree;
+        case "solution-set pruning effective" test_solution_count_small;
+        case "redistribution costing sane" test_redistribution_used;
+        case "fixed fusion mode" test_fixed_fusion_mode;
+      ]
+      @ presum_suite );
+  ]

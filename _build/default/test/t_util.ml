@@ -1,0 +1,309 @@
+(* Tests for Tce_util: integer math, list combinatorics, interpolation,
+   and the deterministic PRNG. *)
+
+open Tce
+open Helpers
+module G = QCheck2.Gen
+
+(* ---------------- Ints ---------------- *)
+
+let test_isqrt_small () =
+  List.iter
+    (fun (n, want) ->
+      Alcotest.(check int) (Printf.sprintf "isqrt %d" n) want (Ints.isqrt n))
+    [ (0, 0); (1, 1); (2, 1); (3, 1); (4, 2); (15, 3); (16, 4); (17, 4);
+      (99, 9); (100, 10); (1 lsl 40, 1 lsl 20) ]
+
+let test_isqrt_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Ints.isqrt: negative argument")
+    (fun () -> ignore (Ints.isqrt (-1)))
+
+let qcheck_isqrt =
+  qtest "isqrt bounds" G.(int_bound 1_000_000) (fun n ->
+      let s = Ints.isqrt n in
+      s * s <= n && (s + 1) * (s + 1) > n)
+
+let test_perfect_square () =
+  Alcotest.(check bool) "16" true (Ints.is_perfect_square 16);
+  Alcotest.(check bool) "17" false (Ints.is_perfect_square 17);
+  Alcotest.(check bool) "0" true (Ints.is_perfect_square 0);
+  Alcotest.(check bool) "-4" false (Ints.is_perfect_square (-4))
+
+let test_ceil_div () =
+  Alcotest.(check int) "7/2" 4 (Ints.ceil_div 7 2);
+  Alcotest.(check int) "8/2" 4 (Ints.ceil_div 8 2);
+  Alcotest.(check int) "0/5" 0 (Ints.ceil_div 0 5);
+  Alcotest.check_raises "div by zero"
+    (Invalid_argument "Ints.ceil_div: non-positive divisor") (fun () ->
+      ignore (Ints.ceil_div 1 0))
+
+let test_pow () =
+  Alcotest.(check int) "2^10" 1024 (Ints.pow 2 10);
+  Alcotest.(check int) "7^0" 1 (Ints.pow 7 0);
+  Alcotest.(check int) "0^0" 1 (Ints.pow 0 0);
+  Alcotest.(check int) "3^4" 81 (Ints.pow 3 4)
+
+let test_log2_ceil () =
+  Alcotest.(check int) "1" 0 (Ints.log2_ceil 1);
+  Alcotest.(check int) "2" 1 (Ints.log2_ceil 2);
+  Alcotest.(check int) "3" 2 (Ints.log2_ceil 3);
+  Alcotest.(check int) "1024" 10 (Ints.log2_ceil 1024);
+  Alcotest.(check int) "1025" 11 (Ints.log2_ceil 1025)
+
+let test_divisors () =
+  Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (Ints.divisors 12);
+  Alcotest.(check (list int)) "1" [ 1 ] (Ints.divisors 1);
+  Alcotest.(check (list int)) "49" [ 1; 7; 49 ] (Ints.divisors 49)
+
+let test_clamp () =
+  Alcotest.(check int) "below" 2 (Ints.clamp ~lo:2 ~hi:5 0);
+  Alcotest.(check int) "above" 5 (Ints.clamp ~lo:2 ~hi:5 9);
+  Alcotest.(check int) "inside" 3 (Ints.clamp ~lo:2 ~hi:5 3)
+
+let test_mul_sat () =
+  Alcotest.(check int) "small" 42 (Ints.mul_sat 6 7);
+  Alcotest.(check int) "zero" 0 (Ints.mul_sat 0 max_int);
+  Alcotest.(check int) "saturates" max_int (Ints.mul_sat (max_int / 2) 3);
+  Alcotest.(check int) "exact max" max_int (Ints.mul_sat max_int 1);
+  Alcotest.check_raises "negative" (Invalid_argument "Ints.mul_sat: negative operand")
+    (fun () -> ignore (Ints.mul_sat (-1) 2))
+
+let test_sum_prod () =
+  Alcotest.(check int) "sum" 10 (Ints.sum [ 1; 2; 3; 4 ]);
+  Alcotest.(check int) "sum empty" 0 (Ints.sum []);
+  Alcotest.(check int) "prod" 24 (Ints.prod [ 1; 2; 3; 4 ]);
+  Alcotest.(check int) "prod empty" 1 (Ints.prod [])
+
+(* ---------------- Listx ---------------- *)
+
+let test_subsets () =
+  Alcotest.(check int) "count" 16 (List.length (Listx.subsets [ 1; 2; 3; 4 ]));
+  Alcotest.(check (list (list int))) "order-preserving elements"
+    [ []; [ 2 ]; [ 1 ]; [ 1; 2 ] ]
+    (Listx.subsets [ 1; 2 ]);
+  Alcotest.(check (list (list int))) "empty" [ [] ] (Listx.subsets [])
+
+let test_subsets_upto () =
+  let s = Listx.subsets_upto 2 [ 1; 2; 3 ] in
+  Alcotest.(check int) "count <=2 of 3" 7 (List.length s);
+  Alcotest.(check bool) "no big subsets" true
+    (List.for_all (fun x -> List.length x <= 2) s)
+
+let test_cartesian () =
+  Alcotest.(check int) "2x3" 6 (List.length (Listx.cartesian [ 1; 2 ] [ 3; 4; 5 ]));
+  Alcotest.(check int) "3-way" 8
+    (List.length (Listx.cartesian3 [ 1; 2 ] [ 3; 4 ] [ 5; 6 ]))
+
+let test_product () =
+  Alcotest.(check (list (list int))) "empty product" [ [] ] (Listx.product []);
+  Alcotest.(check int) "2*3*2" 12
+    (List.length (Listx.product [ [ 1; 2 ]; [ 3; 4; 5 ]; [ 6; 7 ] ]))
+
+let test_pairs () =
+  Alcotest.(check (list (pair int int))) "pairs"
+    [ (1, 2); (1, 3); (2, 3) ]
+    (Listx.pairs [ 1; 2; 3 ]);
+  Alcotest.(check (list (pair int int))) "empty" [] (Listx.pairs [ 1 ])
+
+let test_splits2 () =
+  let s = Listx.splits2 [ 1; 2; 3 ] in
+  Alcotest.(check int) "count" 3 (List.length s);
+  List.iter
+    (fun (l, r) ->
+      Alcotest.(check bool) "head in left" true (List.mem 1 l);
+      Alcotest.(check int) "partition" 3 (List.length l + List.length r))
+    s;
+  (* Duplicate elements must stay distinguishable by position. *)
+  Alcotest.(check int) "duplicates" 3 (List.length (Listx.splits2 [ 0; 1; 1 ]));
+  Alcotest.(check (list (pair (list int) (list int)))) "none for singleton" []
+    (Listx.splits2 [ 42 ])
+
+let test_minimum_by () =
+  Alcotest.(check (option int)) "min" (Some 1)
+    (Listx.minimum_by compare [ 3; 1; 2 ]);
+  Alcotest.(check (option int)) "empty" None (Listx.minimum_by compare [])
+
+let test_take_index_dedup () =
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Listx.take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take more" [ 1 ] (Listx.take 5 [ 1 ]);
+  Alcotest.(check (option int)) "index_of" (Some 1)
+    (Listx.index_of (fun x -> x = 5) [ 4; 5; 6 ]);
+  Alcotest.(check (list int)) "dedup" [ 1; 2; 3 ]
+    (Listx.dedup ~compare [ 3; 1; 2; 1; 3 ]);
+  Alcotest.(check bool) "is_subset" true
+    (Listx.is_subset ~equal:Int.equal [ 1; 1; 2 ] [ 2; 1 ]);
+  Alcotest.(check bool) "not subset" false
+    (Listx.is_subset ~equal:Int.equal [ 1; 4 ] [ 2; 1 ])
+
+let qcheck_splits2_partition =
+  qtest "splits2 partitions" G.(list_size (int_range 2 7) (int_bound 10))
+    (fun xs ->
+      List.for_all
+        (fun (l, r) ->
+          List.length l + List.length r = List.length xs
+          && List.sort compare (l @ r) = List.sort compare xs)
+        (Listx.splits2 xs))
+
+let qcheck_splits2_count =
+  qtest "splits2 count is 2^(n-1)-1" G.(int_range 2 8) (fun n ->
+      let xs = List.init n (fun k -> k) in
+      List.length (Listx.splits2 xs) = Ints.pow 2 (n - 1) - 1)
+
+(* ---------------- Interp ---------------- *)
+
+let test_interp_exact () =
+  let t = Interp_table.of_points_exn [ (0.0, 1.0); (10.0, 21.0); (20.0, 11.0) ] in
+  check_float "at 0" 1.0 (Interp_table.eval t 0.0);
+  check_float "at 10" 21.0 (Interp_table.eval t 10.0);
+  check_float "at 20" 11.0 (Interp_table.eval t 20.0)
+
+let test_interp_between () =
+  let t = Interp_table.of_points_exn [ (0.0, 0.0); (10.0, 100.0) ] in
+  check_float "midpoint" 50.0 (Interp_table.eval t 5.0);
+  check_float "quarter" 25.0 (Interp_table.eval t 2.5)
+
+let test_interp_extrapolate () =
+  let t = Interp_table.of_points_exn [ (0.0, 0.0); (10.0, 100.0) ] in
+  check_float "above" 200.0 (Interp_table.eval t 20.0);
+  check_float "below" (-100.0) (Interp_table.eval t (-10.0))
+
+let test_interp_single_point () =
+  let t = Interp_table.of_points_exn [ (5.0, 7.0) ] in
+  check_float "constant" 7.0 (Interp_table.eval t 123.0)
+
+let test_interp_errors () =
+  (match Interp_table.of_points [] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty accepted");
+  match Interp_table.of_points [ (1.0, 2.0); (1.0, 3.0) ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate abscissae accepted"
+
+let test_interp_unsorted_input () =
+  let t = Interp_table.of_points_exn [ (10.0, 100.0); (0.0, 0.0) ] in
+  check_float "sorted internally" 50.0 (Interp_table.eval t 5.0);
+  Alcotest.(check int) "size" 2 (Interp_table.size t)
+
+let qcheck_interp_monotone_in_segments =
+  qtest "piecewise linearity"
+    G.(pair (float_range 0.0 9.9) (float_range 0.0 9.9))
+    (fun (x1, x2) ->
+      let t = Interp_table.of_points_exn [ (0.0, 3.0); (10.0, 23.0) ] in
+      let f x = 3.0 +. (2.0 *. x) in
+      Float.abs (Interp_table.eval t x1 -. f x1) < 1e-9
+      && Float.abs (Interp_table.eval t x2 -. f x2) < 1e-9)
+
+(* ---------------- Prng ---------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  let xs = List.init 20 (fun _ -> Prng.int a ~bound:1000) in
+  let ys = List.init 20 (fun _ -> Prng.int b ~bound:1000) in
+  Alcotest.(check (list int)) "same stream" xs ys
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let xs = List.init 20 (fun _ -> Prng.int a ~bound:1_000_000) in
+  let ys = List.init 20 (fun _ -> Prng.int b ~bound:1_000_000) in
+  Alcotest.(check bool) "different streams" true (xs <> ys)
+
+let test_prng_bounds () =
+  let rng = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng ~bound:13 in
+    if v < 0 || v >= 13 then Alcotest.failf "out of range: %d" v;
+    let f = Prng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_prng_split_independent () =
+  let parent = Prng.create ~seed:5 in
+  let child = Prng.split parent in
+  let xs = List.init 10 (fun _ -> Prng.int parent ~bound:100) in
+  let ys = List.init 10 (fun _ -> Prng.int child ~bound:100) in
+  Alcotest.(check bool) "differ" true (xs <> ys)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create ~seed:9 in
+  let xs = List.init 30 (fun k -> k) in
+  let ys = Prng.shuffle rng xs in
+  Alcotest.(check (list int)) "permutation" xs (List.sort compare ys)
+
+let test_prng_pick () =
+  let rng = Prng.create ~seed:3 in
+  for _ = 1 to 50 do
+    let v = Prng.pick rng [ 1; 2; 3 ] in
+    if not (List.mem v [ 1; 2; 3 ]) then Alcotest.fail "pick out of list"
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty list")
+    (fun () -> ignore (Prng.pick rng []))
+
+(* ---------------- Units ---------------- *)
+
+let test_units_paper_mb () =
+  (* A on 64 processors: the paper prints 57.6MB per node. *)
+  let words_per_node = 480 * 480 * 32 * 32 / 64 * 2 in
+  check_close ~ctx:"A mem/node" 57.6 (Units.paper_mb_of_words words_per_node);
+  Alcotest.(check string) "pp" "57.6MB"
+    (Format.asprintf "%a" Units.pp_paper_size words_per_node)
+
+let test_units_gb () =
+  (* T1 on 64 processors: 1.728GB per node. *)
+  let words = 480 * 480 * 480 * 64 / 64 * 2 in
+  Alcotest.(check string) "pp" "1.728GB"
+    (Format.asprintf "%a" Units.pp_paper_size words)
+
+let suite =
+  [
+    ( "util.ints",
+      [
+        case "isqrt small values" test_isqrt_small;
+        case "isqrt rejects negatives" test_isqrt_negative;
+        qcheck_isqrt;
+        case "is_perfect_square" test_perfect_square;
+        case "ceil_div" test_ceil_div;
+        case "pow" test_pow;
+        case "log2_ceil" test_log2_ceil;
+        case "divisors" test_divisors;
+        case "clamp" test_clamp;
+        case "mul_sat" test_mul_sat;
+        case "sum and prod" test_sum_prod;
+      ] );
+    ( "util.listx",
+      [
+        case "subsets" test_subsets;
+        case "subsets_upto" test_subsets_upto;
+        case "cartesian" test_cartesian;
+        case "product" test_product;
+        case "pairs" test_pairs;
+        case "splits2" test_splits2;
+        case "minimum_by" test_minimum_by;
+        case "take/index_of/dedup/is_subset" test_take_index_dedup;
+        qcheck_splits2_partition;
+        qcheck_splits2_count;
+      ] );
+    ( "util.interp",
+      [
+        case "exact at sample points" test_interp_exact;
+        case "linear between points" test_interp_between;
+        case "linear extrapolation" test_interp_extrapolate;
+        case "single-point table" test_interp_single_point;
+        case "construction errors" test_interp_errors;
+        case "unsorted input" test_interp_unsorted_input;
+        qcheck_interp_monotone_in_segments;
+      ] );
+    ( "util.prng",
+      [
+        case "deterministic" test_prng_deterministic;
+        case "seed sensitivity" test_prng_seed_sensitivity;
+        case "bounds" test_prng_bounds;
+        case "split independence" test_prng_split_independent;
+        case "shuffle is a permutation" test_prng_shuffle_permutation;
+        case "pick" test_prng_pick;
+      ] );
+    ( "util.units",
+      [
+        case "the paper's MB unit" test_units_paper_mb;
+        case "the paper's GB rendering" test_units_gb;
+      ] );
+  ]
