@@ -79,7 +79,7 @@ let run_table procs paper_rows paper_totals label =
       (Exptables.comparison_table plan paper_rows);
     Format.printf "paper vs model, totals:@.%a@.@." Table.pp
       (Exptables.totals_comparison plan paper_totals);
-    let timing = Simulate.run_plan params ext plan in
+    let timing = Simulate.run_plan_exn params ext plan in
     Format.printf
       "discrete-event replay of the plan: %a@.(model predicted %.1f s \
        communication; replay deviation %s)@."
@@ -431,7 +431,7 @@ let validate () =
       | Ok plan ->
         let simulated = Numeric.run_plan grid ext plan ~inputs in
         let ok = Dense.equal_approx ~tol:1e-9 reference simulated in
-        let timing = Simulate.run_plan params ext plan in
+        let timing = Simulate.run_plan_exn params ext plan in
         Format.printf
           "P=%3d: simulated execution matches reference: %b; replayed comm \
            %.4f s vs model %.4f s@."
@@ -599,7 +599,7 @@ let micro () =
                ignore (Opmin.optimize_def ext ~fresh four_factor)));
         Test.make ~name:"simulate-plan-replay"
           (Staged.stage (fun () ->
-               ignore (Simulate.run_plan params sext plan_small)));
+               ignore (Simulate.run_plan_exn params sext plan_small)));
         Test.make ~name:"einsum-small-contraction"
           (Staged.stage (fun () ->
                ignore

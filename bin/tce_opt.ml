@@ -87,6 +87,14 @@ let code_flag =
          ~doc:"Also print the plan as annotated SPMD pseudo-code (fused \
                loop bands with per-statement Cannon stanzas).")
 
+let faults_arg =
+  Arg.(value & opt (some int) None & info [ "faults" ] ~docv:"SEED"
+         ~doc:"Run a seeded fault scenario against the optimized plan: \
+               replay it on a cluster with degraded links, stragglers and \
+               transient message loss, crash a node mid-run, and replan on \
+               the surviving sub-grid, reporting the communication-cost \
+               delta. The same seed reproduces the same faults exactly.")
+
 let setup grid_procs params =
   let grid = or_die (Grid.create ~procs:grid_procs) in
   let rcost = Rcost.of_params params ~side:(Grid.side grid) in
@@ -94,8 +102,47 @@ let setup grid_procs params =
 
 (* ---------------- optimize ---------------- *)
 
+(* The --faults scenario: replay the plan under a seeded fault model; when
+   the injected crash fires, replan on the surviving sub-grid and report
+   the degradation. *)
+let fault_scenario ~seed ~params ~grid ~ext ~tree ~plan =
+  let healthy =
+    or_die (Tce_error.to_string_result (Simulate.run_plan params ext plan))
+  in
+  let scenario_rng = Prng.create ~seed in
+  let crash_rank = Prng.int scenario_rng ~bound:(Grid.procs grid) in
+  let crash_at = 0.5 *. healthy.Simulate.total_seconds in
+  let spec =
+    { (Fault.default ~seed) with Fault.crash = Some (crash_rank, crash_at) }
+  in
+  let faults = Fault.make spec grid in
+  Format.printf
+    "@.=== fault scenario (seed %d) ===@.healthy replay: %a@.injected \
+     crash: rank %d at t=%.1f s@."
+    seed Simulate.pp_timing healthy crash_rank crash_at;
+  (match Simulate.run_plan ~faults params ext plan with
+  | Ok degraded_t ->
+    Format.printf
+      "degraded replay (no crash reached): %a (x%.2f slower)@."
+      Simulate.pp_timing degraded_t
+      (degraded_t.Simulate.total_seconds /. healthy.Simulate.total_seconds)
+  | Error (Tce_error.Node_crashed { rank; at }) ->
+    Format.printf "replay aborted: node %d crashed at t=%.1f s@." rank at;
+    let config_of g =
+      Search.default_config ~grid:g ~params
+        ~rcost:(Rcost.of_params params ~side:(Grid.side g))
+        ()
+    in
+    let report =
+      or_die (Degrade.replan ~config_of ext tree ~healthy:plan)
+    in
+    Format.printf "%a@." Degrade.pp_report report
+  | Error e -> or_die (Error (Tce_error.to_string e)));
+  Format.printf "%a@." Fault.pp_trace faults
+
 let optimize_cmd =
-  let run file procs mem_gb flops_mhz latency_us bandwidth_mbs fusion code =
+  let run file procs mem_gb flops_mhz latency_us bandwidth_mbs fusion code
+      faults =
     let problem, tree = or_die (load_tree file) in
     let params = machine_of ~mem_gb ~flops_mhz ~latency_us ~bandwidth_mbs in
     let grid, rcost = setup procs params in
@@ -112,14 +159,17 @@ let optimize_cmd =
       (Exptables.plan_table plan)
       (Exptables.totals_line plan);
     if code then
-      Format.printf "@.%s@." (or_die (Parcode.emit ext tree plan))
+      Format.printf "@.%s@." (or_die (Parcode.emit ext tree plan));
+    Option.iter
+      (fun seed -> fault_scenario ~seed ~params ~grid ~ext ~tree ~plan)
+      faults
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Memory-constrained communication minimization for a problem file.")
     Term.(
       const run $ file_arg $ procs_arg $ mem_gb_arg $ flops_arg $ latency_arg
-      $ bandwidth_arg $ fusion_arg $ code_flag)
+      $ bandwidth_arg $ fusion_arg $ code_flag $ faults_arg)
 
 (* ---------------- codegen ---------------- *)
 
@@ -246,7 +296,9 @@ let validate_cmd =
         procs
         (Dense.equal_approx ~tol:1e-9 reference domains)
     end;
-    let timing = Simulate.run_plan params ext plan in
+    let timing =
+      or_die (Tce_error.to_string_result (Simulate.run_plan params ext plan))
+    in
     Format.printf "replayed communication %.4f s vs model %.4f s@."
       timing.Simulate.comm_seconds (Plan.comm_cost plan)
   in

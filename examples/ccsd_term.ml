@@ -51,7 +51,7 @@ let () =
         (Exptables.comparison_table plan rows)
         Table.pp
         (Exptables.totals_comparison plan totals);
-      let timing = Simulate.run_plan params ext plan in
+      let timing = Simulate.run_plan_exn params ext plan in
       Format.printf
         "discrete-event replay: %a (model predicted %.1f s comm)@.@."
         Simulate.pp_timing timing (Plan.comm_cost plan);

@@ -1,0 +1,49 @@
+open! Import
+
+type report = {
+  healthy : Plan.t;
+  degraded : Plan.t;
+  healthy_grid : Grid.t;
+  degraded_grid : Grid.t;
+  comm_delta : float;
+  comm_ratio : float;
+}
+
+let survivor_grid grid =
+  let side = Grid.side grid in
+  if side <= 1 then
+    Error
+      "degrade: a 1x1 grid has no surviving sub-grid (the last processor \
+       crashed)"
+  else Grid.create ~procs:((side - 1) * (side - 1))
+
+let replan ~config_of ext tree ~healthy =
+  let ( let* ) = Result.bind in
+  let healthy_grid = healthy.Plan.grid in
+  let* degraded_grid = survivor_grid healthy_grid in
+  let cfg = config_of degraded_grid in
+  if Grid.side cfg.Search.grid <> Grid.side degraded_grid then
+    Error "degrade: config_of returned a config for a different grid"
+  else
+    let* degraded = Search.optimize cfg ext tree in
+    let h = Plan.comm_cost healthy and d = Plan.comm_cost degraded in
+    Ok
+      {
+        healthy;
+        degraded;
+        healthy_grid;
+        degraded_grid;
+        comm_delta = d -. h;
+        comm_ratio = (if h > 0.0 then d /. h else Float.infinity);
+      }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>degraded replan: %a -> %a@,\
+     communication %.1f s -> %.1f s (delta %+.1f s, x%.2f)@,\
+     total %.1f s -> %.1f s@]"
+    Grid.pp r.healthy_grid Grid.pp r.degraded_grid
+    (Plan.comm_cost r.healthy) (Plan.comm_cost r.degraded) r.comm_delta
+    r.comm_ratio
+    (Plan.total_seconds r.healthy)
+    (Plan.total_seconds r.degraded)

@@ -3,15 +3,21 @@ open! Import
 type t = {
   params : Params.t;
   grid : Grid.t;
+  faults : Fault.t option;
   clocks : float array;  (* indexed by Grid.rank_of *)
   mutable comm : float;  (* critical-path communication time *)
   mutable work : float;  (* critical-path computation time *)
 }
 
-let create params grid =
+let create ?faults params grid =
+  (match faults with
+  | Some f when Grid.procs (Fault.grid f) <> Grid.procs grid ->
+    invalid_arg "Cluster.create: fault model built for a different grid"
+  | _ -> ());
   {
     params;
     grid;
+    faults;
     clocks = Array.make (Grid.procs grid) 0.0;
     comm = 0.0;
     work = 0.0;
@@ -19,9 +25,20 @@ let create params grid =
 
 let params t = t.params
 let grid t = t.grid
+let faults t = t.faults
 let clock t = Array.fold_left Float.max 0.0 t.clocks
 let comm_seconds t = t.comm
 let compute_seconds t = t.work
+
+let crashed t =
+  match t.faults with
+  | None -> None
+  | Some f -> Fault.check_crash f ~now:(clock t)
+
+let compute_rate_factor t r =
+  match t.faults with
+  | None -> 1.0
+  | Some f -> Fault.compute_factor f ~rank:r
 
 let compute t ~flops =
   let before = clock t in
@@ -29,7 +46,9 @@ let compute t ~flops =
     (fun coord ->
       let r = Grid.rank_of t.grid coord in
       t.clocks.(r) <-
-        t.clocks.(r) +. Params.compute_time t.params ~flops:(flops coord))
+        t.clocks.(r)
+        +. (compute_rate_factor t r
+           *. Params.compute_time t.params ~flops:(flops coord)))
     (Grid.coords t.grid);
   t.work <- t.work +. (clock t -. before)
 
@@ -37,22 +56,34 @@ let compute_uniform t ~flops_per_proc = compute t ~flops:(fun _ -> flops_per_pro
 
 let shift_round t ~axis ~bytes =
   let before = clock t in
+  let procs = Grid.procs t.grid in
+  (* Per-rank transfer duration for the block this rank sends, including
+     the fault model's link degradation and transient-loss retries. The
+     loss draws are consumed in rank order, once per rank per round, so a
+     seeded model replays identically. *)
+  let xfer = Array.make procs 0.0 in
+  for r = 0 to procs - 1 do
+    let coord = Grid.coord_of t.grid r in
+    let base = Params.step_time t.params ~bytes:(bytes coord) in
+    xfer.(r) <-
+      (match t.faults with
+      | None -> base
+      | Some f ->
+        (base *. Fault.link_factor f ~rank:r ~axis)
+        +. Fault.loss_delay f ~rank:r ~axis ~now:t.clocks.(r))
+  done;
   let next = Array.copy t.clocks in
   List.iter
     (fun coord ->
       let r = Grid.rank_of t.grid coord in
-      let peer_to = Grid.shift t.grid coord ~axis ~by:(-1) in
-      let peer_from = Grid.shift t.grid coord ~axis ~by:1 in
+      let peer_to = Grid.rank_of t.grid (Grid.shift t.grid coord ~axis ~by:(-1)) in
+      let peer_from = Grid.rank_of t.grid (Grid.shift t.grid coord ~axis ~by:1) in
       (* A processor's round completes when its send to -1 and its receive
          from +1 are both done; each transfer starts when both ends are
          ready. *)
-      let send_done =
-        Float.max t.clocks.(r) t.clocks.(Grid.rank_of t.grid peer_to)
-        +. Params.step_time t.params ~bytes:(bytes coord)
-      in
+      let send_done = Float.max t.clocks.(r) t.clocks.(peer_to) +. xfer.(r) in
       let recv_done =
-        Float.max t.clocks.(r) t.clocks.(Grid.rank_of t.grid peer_from)
-        +. Params.step_time t.params ~bytes:(bytes peer_from)
+        Float.max t.clocks.(r) t.clocks.(peer_from) +. xfer.(peer_from)
       in
       next.(r) <- Float.max send_done recv_done)
     (Grid.coords t.grid);
@@ -62,11 +93,17 @@ let shift_round t ~axis ~bytes =
 let shift_round_uniform t ~axis ~bytes = shift_round t ~axis ~bytes:(fun _ -> bytes)
 
 let advance_comm_uniform t ~seconds =
-  if seconds < 0.0 then invalid_arg "Cluster.advance_comm_uniform: negative";
-  for r = 0 to Array.length t.clocks - 1 do
-    t.clocks.(r) <- t.clocks.(r) +. seconds
-  done;
-  t.comm <- t.comm +. seconds
+  if seconds < 0.0 then
+    Error
+      (Tce_error.Negative_time
+         { where = "Cluster.advance_comm_uniform"; seconds })
+  else begin
+    for r = 0 to Array.length t.clocks - 1 do
+      t.clocks.(r) <- t.clocks.(r) +. seconds
+    done;
+    t.comm <- t.comm +. seconds;
+    Ok ()
+  end
 
 let barrier t =
   let m = clock t in

@@ -1,0 +1,188 @@
+open! Import
+
+type event =
+  | Link_degraded of { rank : int; axis : int; factor : float }
+  | Straggler of { rank : int; factor : float }
+  | Message_lost of { rank : int; axis : int; at : float; attempt : int; delay : float }
+  | Node_crashed of { rank : int; at : float }
+
+type spec = {
+  seed : int;
+  link_degrade_prob : float;
+  link_degrade_factor : float;
+  straggler_prob : float;
+  straggler_factor : float;
+  msg_loss_prob : float;
+  retry_timeout_s : float;
+  max_retries : int;
+  backoff : float;
+  crash : (int * float) option;
+}
+
+let healthy =
+  {
+    seed = 0;
+    link_degrade_prob = 0.0;
+    link_degrade_factor = 1.0;
+    straggler_prob = 0.0;
+    straggler_factor = 1.0;
+    msg_loss_prob = 0.0;
+    retry_timeout_s = 0.0;
+    max_retries = 0;
+    backoff = 1.0;
+    crash = None;
+  }
+
+let default ~seed =
+  {
+    seed;
+    link_degrade_prob = 0.25;
+    link_degrade_factor = 2.0;
+    straggler_prob = 0.25;
+    straggler_factor = 1.5;
+    msg_loss_prob = 0.01;
+    retry_timeout_s = 0.064;
+    max_retries = 3;
+    backoff = 2.0;
+    crash = None;
+  }
+
+let validate spec =
+  if spec.link_degrade_prob < 0.0 || spec.link_degrade_prob > 1.0 then
+    Error "Fault: link_degrade_prob outside [0, 1]"
+  else if spec.straggler_prob < 0.0 || spec.straggler_prob > 1.0 then
+    Error "Fault: straggler_prob outside [0, 1]"
+  else if spec.msg_loss_prob < 0.0 || spec.msg_loss_prob >= 1.0 then
+    Error "Fault: msg_loss_prob outside [0, 1)"
+  else if spec.link_degrade_factor < 1.0 then
+    Error "Fault: link_degrade_factor must be >= 1"
+  else if spec.straggler_factor < 1.0 then
+    Error "Fault: straggler_factor must be >= 1"
+  else if spec.retry_timeout_s < 0.0 then
+    Error "Fault: retry_timeout_s must be non-negative"
+  else if spec.max_retries < 0 then Error "Fault: max_retries must be >= 0"
+  else if spec.backoff < 1.0 then Error "Fault: backoff must be >= 1"
+  else
+    match spec.crash with
+    | Some (_, at) when at < 0.0 -> Error "Fault: crash time must be >= 0"
+    | Some (rank, _) when rank < 0 -> Error "Fault: crash rank must be >= 0"
+    | _ -> Ok ()
+
+type t = {
+  spec : spec;
+  grid : Grid.t;
+  link_factors : float array;  (* rank * 2 + (axis - 1) *)
+  compute_factors : float array;  (* per rank *)
+  loss_streams : Prng.t array;  (* one independent stream per rank *)
+  mutable trace_rev : event list;
+  mutable crashed : (int * float) option;
+}
+
+let record t e = t.trace_rev <- e :: t.trace_rev
+
+let make spec grid =
+  (match validate spec with Ok () -> () | Error m -> invalid_arg m);
+  (match spec.crash with
+  | Some (rank, _) when rank >= Grid.procs grid ->
+    invalid_arg "Fault: crash rank outside the grid"
+  | _ -> ());
+  let procs = Grid.procs grid in
+  let root = Prng.create ~seed:spec.seed in
+  (* All static draws come first, in a fixed (rank, axis) order, so the
+     instantiated topology is a pure function of the seed. *)
+  let link_factors = Array.make (procs * 2) 1.0 in
+  let compute_factors = Array.make procs 1.0 in
+  let t =
+    {
+      spec;
+      grid;
+      link_factors;
+      compute_factors;
+      loss_streams = Array.init procs (fun _ -> Prng.split root);
+      trace_rev = [];
+      crashed = None;
+    }
+  in
+  let topo = Prng.split root in
+  for rank = 0 to procs - 1 do
+    List.iter
+      (fun axis ->
+        if Prng.float topo < spec.link_degrade_prob then begin
+          link_factors.((rank * 2) + axis - 1) <- spec.link_degrade_factor;
+          record t
+            (Link_degraded { rank; axis; factor = spec.link_degrade_factor })
+        end)
+      [ 1; 2 ];
+    if Prng.float topo < spec.straggler_prob then begin
+      compute_factors.(rank) <- spec.straggler_factor;
+      record t (Straggler { rank; factor = spec.straggler_factor })
+    end
+  done;
+  t
+
+let spec t = t.spec
+let grid t = t.grid
+
+let link_factor t ~rank ~axis =
+  if axis <> 1 && axis <> 2 then invalid_arg "Fault.link_factor: bad axis";
+  t.link_factors.((rank * 2) + axis - 1)
+
+let compute_factor t ~rank = t.compute_factors.(rank)
+
+(* Transient loss of one message: each failed attempt costs a timeout that
+   grows by [backoff]; after [max_retries] failures the retransmission is
+   assumed to go through (the simulator models recoverable loss — a link
+   that never delivers is a crash, not a transient). Draws come from the
+   sending rank's own stream, so the trace is independent of how other
+   ranks interleave. *)
+let loss_delay t ~rank ~axis ~now =
+  if t.spec.msg_loss_prob <= 0.0 then 0.0
+  else begin
+    let stream = t.loss_streams.(rank) in
+    let rec attempt k acc =
+      if k > t.spec.max_retries then acc
+      else if Prng.float stream < t.spec.msg_loss_prob then begin
+        let delay =
+          t.spec.retry_timeout_s *. (t.spec.backoff ** float_of_int (k - 1))
+        in
+        record t
+          (Message_lost { rank; axis; at = now +. acc; attempt = k; delay });
+        attempt (k + 1) (acc +. delay)
+      end
+      else acc
+    in
+    attempt 1 0.0
+  end
+
+let check_crash t ~now =
+  match t.crashed with
+  | Some _ as c -> c
+  | None -> (
+    match t.spec.crash with
+    | Some (rank, at) when now >= at ->
+      t.crashed <- Some (rank, at);
+      record t (Node_crashed { rank; at });
+      t.crashed
+    | _ -> None)
+
+let trace t = List.rev t.trace_rev
+
+let event_equal (a : event) (b : event) = a = b
+
+let pp_event ppf = function
+  | Link_degraded { rank; axis; factor } ->
+    Format.fprintf ppf "link rank %d axis %d degraded x%.2f" rank axis factor
+  | Straggler { rank; factor } ->
+    Format.fprintf ppf "straggler rank %d compute x%.2f" rank factor
+  | Message_lost { rank; axis; at; attempt; delay } ->
+    Format.fprintf ppf
+      "message lost at rank %d axis %d (t=%.3f s, attempt %d, +%.3f s)" rank
+      axis at attempt delay
+  | Node_crashed { rank; at } ->
+    Format.fprintf ppf "node %d crashed at t=%.3f s" rank at
+
+let pp_trace ppf t =
+  let events = trace t in
+  Format.fprintf ppf "@[<v>%d fault events" (List.length events);
+  List.iter (fun e -> Format.fprintf ppf "@,  %a" pp_event e) events;
+  Format.fprintf ppf "@]"

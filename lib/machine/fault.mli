@@ -1,0 +1,87 @@
+(** A deterministic, seeded fault model for the simulated cluster.
+
+    The model covers the failure classes a production run actually sees
+    (cf. node-aware processor-grid work: per-link and per-node
+    heterogeneity dominates contraction performance):
+
+    - {b degraded links}: a per-(rank, axis) bandwidth multiplier applied
+      to every transfer the rank sends along that torus direction;
+    - {b stragglers}: a per-rank compute-rate multiplier;
+    - {b transient message loss}: each send may be lost and retried with
+      timeout/backoff accounting, charged to the sender's clock;
+    - {b node crashes}: a (rank, simulated-time) event that aborts the
+      run — {!Tce_machine.Simulate.run_plan} reports it as
+      [Error (Node_crashed _)] so the planner can fall back to a degraded
+      grid (see [Tce_core.Degrade]).
+
+    Everything is a pure function of [spec.seed]: the static topology
+    (degraded links, stragglers) is drawn at {!make} in fixed rank order,
+    and transient-loss draws come from independent per-rank streams, so
+    the same seed yields a bit-identical fault trace and timing on every
+    run. The instance accumulates an event {!trace} as the simulator
+    consumes it. *)
+
+open! Import
+
+type event =
+  | Link_degraded of { rank : int; axis : int; factor : float }
+  | Straggler of { rank : int; factor : float }
+  | Message_lost of { rank : int; axis : int; at : float; attempt : int; delay : float }
+  | Node_crashed of { rank : int; at : float }
+
+type spec = {
+  seed : int;
+  link_degrade_prob : float;  (** per directed link, in [0, 1] *)
+  link_degrade_factor : float;  (** slowdown of a degraded link, >= 1 *)
+  straggler_prob : float;  (** per rank, in [0, 1] *)
+  straggler_factor : float;  (** compute-time multiplier, >= 1 *)
+  msg_loss_prob : float;  (** per message attempt, in [0, 1) *)
+  retry_timeout_s : float;  (** seconds charged per lost attempt *)
+  max_retries : int;  (** attempts after which delivery is assumed *)
+  backoff : float;  (** timeout growth per retry, >= 1 *)
+  crash : (int * float) option;  (** (rank, simulated crash time) *)
+}
+
+val healthy : spec
+(** No faults at all; [make healthy grid] is a no-op model. *)
+
+val default : seed:int -> spec
+(** A representative degraded scenario: 25% degraded links (2x slower),
+    25% stragglers (1.5x slower), 1% transient message loss with 64 ms
+    retry timeout and exponential backoff, no crash. *)
+
+val validate : spec -> (unit, string) result
+
+type t
+
+val make : spec -> Grid.t -> t
+(** Instantiate the model for a grid. Raises [Invalid_argument] when the
+    spec is out of range (see {!validate}) or the crash rank is outside
+    the grid. *)
+
+val spec : t -> spec
+val grid : t -> Grid.t
+
+val link_factor : t -> rank:int -> axis:int -> float
+(** Bandwidth multiplier (>= 1) for transfers [rank] sends along [axis]. *)
+
+val compute_factor : t -> rank:int -> float
+(** Compute-time multiplier (>= 1) for [rank]. *)
+
+val loss_delay : t -> rank:int -> axis:int -> now:float -> float
+(** Retry/timeout penalty for one message sent by [rank] along [axis] at
+    simulated time [now]; records a {!Message_lost} event per failed
+    attempt. *)
+
+val check_crash : t -> now:float -> (int * float) option
+(** [Some (rank, at)] once the simulated clock has reached the spec's
+    crash time; records the {!Node_crashed} event on first detection and
+    keeps answering [Some] afterwards. *)
+
+val trace : t -> event list
+(** Every recorded event, in recording order (static topology first, then
+    runtime events chronologically). *)
+
+val event_equal : event -> event -> bool
+val pp_event : Format.formatter -> event -> unit
+val pp_trace : Format.formatter -> t -> unit

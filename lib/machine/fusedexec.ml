@@ -96,12 +96,11 @@ let check_no_distributed_fusion (step : Plan.step) =
       Index.Set.iter
         (fun t ->
           if Dist.distributes alpha t then
-            invalid_arg
-              (Printf.sprintf
-                 "Fusedexec: fused index %s is distributed in %s's role — \
-                  not executable"
-                 (Index.name t)
-                 (Aref.name (Variant.aref_of step.variant role))))
+            Tce_error.failf
+              "Fusedexec: fused index %s is distributed in %s's role — not \
+               executable"
+              (Index.name t)
+              (Aref.name (Variant.aref_of step.variant role)))
         (Index.Set.union step.fusion_out
            (Index.Set.union step.fusion_left step.fusion_right)))
     [ Variant.Out; Variant.Left; Variant.Right ]
@@ -122,7 +121,9 @@ let run_plan grid ext (plan : Plan.t) ~inputs =
     | None -> (
       match List.assoc_opt name inputs with
       | Some d -> d
-      | None -> invalid_arg ("Fusedexec: missing input " ^ name))
+      | None ->
+        Tce_error.raise_err
+          (Tce_error.Missing_tensor { where = "Fusedexec"; name }))
   in
   List.iter
     (fun (ps : Plan.presum) ->
@@ -294,7 +295,7 @@ let run_plan grid ext (plan : Plan.t) ~inputs =
     Aref.name
       (match List.rev plan.steps with
       | last :: _ -> last.contraction.Contraction.out
-      | [] -> invalid_arg "Fusedexec: plan has no steps")
+      | [] -> Tce_error.failf "Fusedexec: plan has no steps")
   in
   let slab = eval root Index.Map.empty in
   let result = gather grid ext slab in

@@ -30,5 +30,6 @@ type stats = {
 
 val run_plan :
   Grid.t -> Extents.t -> Plan.t -> inputs:(string * Dense.t) list -> stats
-(** Execute the plan with reduced storage. Raises [Invalid_argument] on
-    the documented restrictions or missing inputs. *)
+(** Execute the plan with reduced storage. Raises [Tce_error.Error] on
+    the documented restrictions ([Msg]) or missing inputs
+    ([Missing_tensor]). *)

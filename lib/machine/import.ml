@@ -4,6 +4,7 @@ module Ints = Tce_util.Ints
 module Listx = Tce_util.Listx
 module Units = Tce_util.Units
 module Prng = Tce_util.Prng
+module Tce_error = Tce_util.Tce_error
 module Index = Tce_index.Index
 module Extents = Tce_index.Extents
 module Dense = Tce_tensor.Dense

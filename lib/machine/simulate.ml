@@ -8,6 +8,13 @@ type timing = {
 
 let max_rounds = 10_000_000
 
+(* Raise the typed error when the fault model's crash time has passed;
+   callers of [run_plan] receive it as [Error (Node_crashed _)]. *)
+let poll_crash cluster =
+  match Cluster.crashed cluster with
+  | Some (rank, at) -> Tce_error.raise_err (Tce_error.Node_crashed { rank; at })
+  | None -> ()
+
 (* Per-block slice size (words) of a rotated array: lengths of the two
    distributed dimensions at this block coordinate, full extents elsewhere,
    fused dimensions reduced to single slices. *)
@@ -44,11 +51,15 @@ let simulate_step cluster ext (step : Plan.step) =
       let dims = Aref.indices (Variant.aref_of step.variant role) in
       let m = Eqs.msg_factor ext ~side ~alpha ~fused ~dims in
       if m * side > max_rounds then
-        invalid_arg
-          (Printf.sprintf
-             "Simulate: step at %s implies %d communication rounds"
-             (Aref.name (Variant.aref_of step.variant role))
-             (m * side));
+        Tce_error.raise_err
+          (Tce_error.Runaway_rounds
+             {
+               where =
+                 Printf.sprintf "Simulate: step at %s"
+                   (Aref.name (Variant.aref_of step.variant role));
+               rounds = m * side;
+               limit = max_rounds;
+             });
       for _iter = 1 to m do
         for round = 0 to side - 1 do
           Cluster.shift_round cluster ~axis ~bytes:(fun (z1, z2) ->
@@ -56,33 +67,41 @@ let simulate_step cluster ext (step : Plan.step) =
                 Schedule.block_at sched role ~step:round ~z1 ~z2
               in
               Units.bytes_of_words
-                (slice_words ext grid ~alpha ~fused ~dims ~b1 ~b2))
+                (slice_words ext grid ~alpha ~fused ~dims ~b1 ~b2));
+          poll_crash cluster
         done
       done)
     (Variant.rotated step.variant);
   List.iter
     (fun (rd : Plan.redist) ->
       Cluster.barrier cluster;
-      Cluster.advance_comm_uniform cluster ~seconds:rd.cost)
+      Tce_error.get_ok (Cluster.advance_comm_uniform cluster ~seconds:rd.cost);
+      poll_crash cluster)
     step.redists;
   Cluster.compute_uniform cluster
     ~flops_per_proc:(float_of_int step.flops /. float_of_int procs);
+  poll_crash cluster;
   Cluster.barrier cluster
 
-let run_plan params ext (plan : Plan.t) =
-  let cluster = Cluster.create params plan.grid in
-  let procs = Grid.procs plan.grid in
-  List.iter
-    (fun (ps : Plan.presum) ->
-      Cluster.compute_uniform cluster
-        ~flops_per_proc:(float_of_int ps.flops /. float_of_int procs))
-    plan.presums;
-  List.iter (simulate_step cluster ext) plan.steps;
-  {
-    comm_seconds = Cluster.comm_seconds cluster;
-    compute_seconds = Cluster.compute_seconds cluster;
-    total_seconds = Cluster.clock cluster;
-  }
+let run_plan ?faults params ext (plan : Plan.t) =
+  Tce_error.protect (fun () ->
+      let cluster = Cluster.create ?faults params plan.grid in
+      let procs = Grid.procs plan.grid in
+      List.iter
+        (fun (ps : Plan.presum) ->
+          Cluster.compute_uniform cluster
+            ~flops_per_proc:(float_of_int ps.flops /. float_of_int procs);
+          poll_crash cluster)
+        plan.presums;
+      List.iter (simulate_step cluster ext) plan.steps;
+      {
+        comm_seconds = Cluster.comm_seconds cluster;
+        compute_seconds = Cluster.compute_seconds cluster;
+        total_seconds = Cluster.clock cluster;
+      })
+
+let run_plan_exn ?faults params ext plan =
+  Tce_error.get_ok (run_plan ?faults params ext plan)
 
 let measure_rotation params grid ~axis ~words =
   let cluster = Cluster.create params grid in

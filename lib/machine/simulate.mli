@@ -5,7 +5,12 @@
     message sizes, plus the local computation. This is the "measured"
     column of the experiment reports: the optimizer predicts with the
     analytic equations, the simulator replays the schedule event by event,
-    and the two must agree (exactly, for extents the grid divides). *)
+    and the two must agree (exactly, for extents the grid divides).
+
+    With a {!Fault} model attached, the replay degrades accordingly —
+    slower links, stragglers, retry delays — and a node-crash event stops
+    the run with [Error (Node_crashed _)], leaving the partial fault
+    trace readable through [Fault.trace]. *)
 
 open! Import
 
@@ -15,14 +20,21 @@ type timing = {
   total_seconds : float;
 }
 
-val run_plan : Params.t -> Extents.t -> Plan.t -> timing
-(** Simulate the whole plan. Raises [Invalid_argument] if a fused loop nest
-    implies more than [10^7] communication rounds (a runaway plan no real
-    run would attempt either). *)
+val run_plan :
+  ?faults:Fault.t -> Params.t -> Extents.t -> Plan.t
+  -> (timing, Tce_error.t) result
+(** Simulate the whole plan. [Error (Runaway_rounds _)] if a fused loop
+    nest implies more than [10^7] communication rounds (a runaway plan no
+    real run would attempt either); [Error (Node_crashed _)] when the
+    fault model kills a node mid-run. *)
+
+val run_plan_exn : ?faults:Fault.t -> Params.t -> Extents.t -> Plan.t -> timing
+(** Like {!run_plan} but raises [Tce_error.Error]: for callers with no
+    degradation story (benchmarks, quick scripts). *)
 
 val measure_rotation : Params.t -> Grid.t -> axis:int -> words:int -> float
 (** Time one full Cannon rotation of blocks of the given size on the
-    simulated machine: the measurement primitive behind the
+    simulated (healthy) machine: the measurement primitive behind the
     characterization pipeline ([Rcost.characterize]). *)
 
 val pp_timing : Format.formatter -> timing -> unit

@@ -24,7 +24,7 @@ let check_extents grid ext variant =
         (Dist.indices (Variant.dist_of variant role)))
     [ Variant.Out; Variant.Left; Variant.Right ]
 
-let run_contraction grid ext variant ~left ~right =
+let run_contraction ?recv_timeout_s grid ext variant ~left ~right =
   check_extents grid ext variant;
   let side = Grid.side grid in
   let sched = Schedule.make variant ~side in
@@ -74,7 +74,7 @@ let run_contraction grid ext variant ~left ~right =
           let dst = Grid.rank_of grid (Grid.shift grid (z1, z2) ~axis ~by:(-1)) in
           let src = Grid.rank_of grid (Grid.shift grid (z1, z2) ~axis ~by:1) in
           let cell = cell_of role in
-          cell := Spmd.sendrecv ctx ~dst !cell ~src)
+          cell := Spmd.sendrecv ?timeout_s:recv_timeout_s ctx ~dst !cell ~src)
         (Variant.rotated variant);
       multiply ()
     done;
@@ -95,7 +95,7 @@ let run_contraction grid ext variant ~left ~right =
   let (_ : unit array) = Spmd.run ~procs:(Grid.procs grid) worker in
   result
 
-let run_plan grid ext (plan : Plan.t) ~inputs =
+let run_plan ?recv_timeout_s grid ext (plan : Plan.t) ~inputs =
   let env = Hashtbl.create 16 in
   List.iter (fun (name, t) -> Hashtbl.replace env name t) inputs;
   (* Local pre-summations (no communication) before any contraction. *)
@@ -103,9 +103,9 @@ let run_plan grid ext (plan : Plan.t) ~inputs =
     (fun (ps : Plan.presum) ->
       match Hashtbl.find_opt env (Aref.name ps.source) with
       | None ->
-        invalid_arg
-          (Printf.sprintf "Multicore.run_plan: missing tensor %s"
-             (Aref.name ps.source))
+        Tce_error.raise_err
+          (Tce_error.Missing_tensor
+             { where = "Multicore.run_plan"; name = Aref.name ps.source })
       | Some src ->
         Hashtbl.replace env (Aref.name ps.out) (Einsum.sum_over src ps.sum))
     plan.presums;
@@ -113,15 +113,15 @@ let run_plan grid ext (plan : Plan.t) ~inputs =
     match Hashtbl.find_opt env (Aref.name aref) with
     | Some t -> t
     | None ->
-      invalid_arg
-        (Printf.sprintf "Multicore.run_plan: missing tensor %s"
-           (Aref.name aref))
+      Tce_error.raise_err
+        (Tce_error.Missing_tensor
+           { where = "Multicore.run_plan"; name = Aref.name aref })
   in
   let last = ref None in
   List.iter
     (fun (step : Plan.step) ->
       let out =
-        run_contraction grid ext step.variant
+        run_contraction ?recv_timeout_s grid ext step.variant
           ~left:(lookup step.contraction.Contraction.left)
           ~right:(lookup step.contraction.Contraction.right)
       in
@@ -130,4 +130,4 @@ let run_plan grid ext (plan : Plan.t) ~inputs =
     plan.steps;
   match !last with
   | Some out -> out
-  | None -> invalid_arg "Multicore.run_plan: plan has no steps"
+  | None -> Tce_error.failf "Multicore.run_plan: plan has no steps"

@@ -9,15 +9,24 @@
     Like [Tce_machine.Numeric], values are insensitive to fusion, so plans
     are executed with full intermediates at validation extents (every
     distributed extent at least the grid side). Use modest grids
-    (4–16 domains). *)
+    (4–16 domains).
+
+    Crash safety comes from the {!Spmd} layer: a domain that raises (or a
+    receive that exceeds [?recv_timeout_s]) poisons the team, every peer
+    unwinds, and the call fails with [Spmd.Spmd_aborted] instead of
+    hanging. Missing inputs are reported as
+    [Tce_error.Error (Missing_tensor _)]. *)
 
 open! Import
 
 val run_contraction :
-  Grid.t -> Extents.t -> Variant.t -> left:Dense.t -> right:Dense.t
-  -> Dense.t
-(** One contraction, one domain per processor. *)
+  ?recv_timeout_s:float -> Grid.t -> Extents.t -> Variant.t -> left:Dense.t
+  -> right:Dense.t -> Dense.t
+(** One contraction, one domain per processor. [?recv_timeout_s] bounds
+    every block receive; on expiry the run aborts with
+    [Spmd.Spmd_aborted] wrapping a [Spmd.Recv_timeout]. *)
 
 val run_plan :
-  Grid.t -> Extents.t -> Plan.t -> inputs:(string * Dense.t) list -> Dense.t
+  ?recv_timeout_s:float -> Grid.t -> Extents.t -> Plan.t
+  -> inputs:(string * Dense.t) list -> Dense.t
 (** Execute every step of the plan with a fresh SPMD team per step. *)

@@ -1,7 +1,22 @@
+exception Spmd_aborted of { rank : int; exn : exn }
+exception Recv_timeout of { rank : int; src : int; waited_s : float }
+
+let () =
+  Printexc.register_printer (function
+    | Spmd_aborted { rank; exn } ->
+      Some
+        (Printf.sprintf "Spmd_aborted (rank %d: %s)" rank
+           (Printexc.to_string exn))
+    | Recv_timeout { rank; src; waited_s } ->
+      Some
+        (Printf.sprintf "Recv_timeout (rank %d waited %.3f s for rank %d)"
+           rank waited_s src)
+    | _ -> None)
+
 type 'msg mailbox = {
   lock : Mutex.t;
   nonempty : Condition.t;
-  pending : (int * 'msg) Queue.t;  (* (sender, payload), FIFO *)
+  from : 'msg Queue.t array;  (* per-sender FIFO, indexed by sender *)
 }
 
 type 'msg shared = {
@@ -11,6 +26,8 @@ type 'msg shared = {
   bar_cond : Condition.t;
   mutable bar_count : int;
   mutable bar_sense : bool;
+  abort : (int * exn) option Atomic.t;
+      (* first participant to raise, with its exception; poisons the run *)
 }
 
 type 'msg ctx = { shared : 'msg shared; my_rank : int }
@@ -18,8 +35,32 @@ type 'msg ctx = { shared : 'msg shared; my_rank : int }
 let rank t = t.my_rank
 let procs t = t.shared.nprocs
 
+(* Record the failure (first raiser wins) and wake every sleeper: barrier
+   waiters and receivers re-check the abort flag whenever signalled, so
+   one participant's exception tears the whole team down instead of
+   deadlocking it. Each broadcast happens under the condition's own lock,
+   so a waiter that checked the flag and is about to block cannot miss it. *)
+let poison shared ~rank ~exn =
+  if Atomic.compare_and_set shared.abort None (Some (rank, exn)) then begin
+    Mutex.lock shared.bar_lock;
+    Condition.broadcast shared.bar_cond;
+    Mutex.unlock shared.bar_lock;
+    Array.iter
+      (fun box ->
+        Mutex.lock box.lock;
+        Condition.broadcast box.nonempty;
+        Mutex.unlock box.lock)
+      shared.boxes
+  end
+
+let check_abort t =
+  match Atomic.get t.shared.abort with
+  | Some (rank, exn) -> raise (Spmd_aborted { rank; exn })
+  | None -> ()
+
 let barrier t =
   let s = t.shared in
+  check_abort t;
   Mutex.lock s.bar_lock;
   let sense = s.bar_sense in
   s.bar_count <- s.bar_count + 1;
@@ -29,48 +70,71 @@ let barrier t =
     Condition.broadcast s.bar_cond
   end
   else
-    while s.bar_sense = sense do
+    while s.bar_sense = sense && Atomic.get s.abort = None do
       Condition.wait s.bar_cond s.bar_lock
     done;
-  Mutex.unlock s.bar_lock
+  Mutex.unlock s.bar_lock;
+  check_abort t
 
 let send t ~dst msg =
   if dst < 0 || dst >= t.shared.nprocs then invalid_arg "Spmd.send: bad rank";
+  check_abort t;
   let box = t.shared.boxes.(dst) in
   Mutex.lock box.lock;
-  Queue.push (t.my_rank, msg) box.pending;
+  Queue.push msg box.from.(t.my_rank);
   Condition.broadcast box.nonempty;
   Mutex.unlock box.lock
 
-let recv t ~src =
+let recv ?timeout_s t ~src =
   if src < 0 || src >= t.shared.nprocs then invalid_arg "Spmd.recv: bad rank";
+  (match timeout_s with
+  | Some s when s <= 0.0 -> invalid_arg "Spmd.recv: timeout must be positive"
+  | _ -> ());
   let box = t.shared.boxes.(t.my_rank) in
+  let q = box.from.(src) in
+  let deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
+  in
   Mutex.lock box.lock;
   let rec take () =
-    (* FIFO per sender: scan for the first message from [src]. *)
-    let found = ref None in
-    let rest = Queue.create () in
-    Queue.iter
-      (fun (sender, payload) ->
-        if !found = None && sender = src then found := Some payload
-        else Queue.push (sender, payload) rest)
-      box.pending;
-    match !found with
-    | Some payload ->
-      Queue.clear box.pending;
-      Queue.transfer rest box.pending;
-      payload
-    | None ->
-      Condition.wait box.nonempty box.lock;
-      take ()
+    if not (Queue.is_empty q) then Queue.pop q
+    else if Atomic.get t.shared.abort <> None then begin
+      Mutex.unlock box.lock;
+      check_abort t;
+      assert false
+    end
+    else
+      match deadline with
+      | None ->
+        Condition.wait box.nonempty box.lock;
+        take ()
+      | Some d ->
+        if Unix.gettimeofday () >= d then begin
+          Mutex.unlock box.lock;
+          raise
+            (Recv_timeout
+               {
+                 rank = t.my_rank;
+                 src;
+                 waited_s = Option.value ~default:0.0 timeout_s;
+               })
+        end
+        else begin
+          (* [Condition.wait] has no deadline; poll with a short sleep.
+             The unlock/sleep/lock dance keeps senders unblocked. *)
+          Mutex.unlock box.lock;
+          Unix.sleepf 2e-4;
+          Mutex.lock box.lock;
+          take ()
+        end
   in
   let payload = take () in
   Mutex.unlock box.lock;
   payload
 
-let sendrecv t ~dst msg ~src =
+let sendrecv ?timeout_s t ~dst msg ~src =
   send t ~dst msg;
-  recv t ~src
+  recv ?timeout_s t ~src
 
 let run ~procs f =
   if procs <= 0 then invalid_arg "Spmd.run: procs must be positive";
@@ -82,27 +146,32 @@ let run ~procs f =
             {
               lock = Mutex.create ();
               nonempty = Condition.create ();
-              pending = Queue.create ();
+              from = Array.init procs (fun _ -> Queue.create ());
             });
       bar_lock = Mutex.create ();
       bar_cond = Condition.create ();
       bar_count = 0;
       bar_sense = false;
+      abort = Atomic.make None;
     }
   in
   let results = Array.make procs None in
-  let errors = Array.make procs None in
   let participant r () =
     match f { shared; my_rank = r } with
     | v -> results.(r) <- Some v
-    | exception e -> errors.(r) <- Some e
+    | exception Spmd_aborted _ ->
+      (* Secondary casualty: unblocked by another rank's poison. *)
+      ()
+    | exception e -> poison shared ~rank:r ~exn:e
   in
   let domains =
     List.init (procs - 1) (fun k -> Domain.spawn (participant (k + 1)))
   in
   participant 0 ();
   List.iter Domain.join domains;
-  Array.iteri (fun _ e -> match e with Some exn -> raise exn | None -> ()) errors;
+  (match Atomic.get shared.abort with
+  | Some (rank, exn) -> raise (Spmd_aborted { rank; exn })
+  | None -> ());
   Array.map
     (function
       | Some v -> v

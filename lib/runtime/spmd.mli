@@ -1,11 +1,31 @@
-(** A small SPMD layer over OCaml 5 domains.
+(** A small, crash-safe SPMD layer over OCaml 5 domains.
 
     Models the message-passing cluster in shared memory: [procs] domains
     run the same function, each with a rank; they synchronize through a
-    sense-reversing barrier and exchange messages through per-receiver
-    mailboxes. This is the substrate the multicore Cannon executor runs
-    on (no [domainslib] dependency — the primitives below are all the
-    engine needs). *)
+    sense-reversing barrier and exchange messages through per-receiver,
+    per-sender FIFO mailboxes (selective receive is O(1) amortized). This
+    is the substrate the multicore Cannon executor runs on (no
+    [domainslib] dependency — the primitives below are all the engine
+    needs).
+
+    {2 Fault tolerance}
+
+    A participant that raises poisons the whole team: an abort flag is
+    broadcast into every blocking primitive, so peers parked in
+    {!barrier} or {!recv} wake up and unwind instead of deadlocking, all
+    domains are joined, and {!run} reports the failure as the structured
+    {!Spmd_aborted} carrying the first-failing rank and its exception.
+    {!recv} additionally takes an optional timeout, turning a silent peer
+    (the shared-memory analogue of a dead node) into a {!Recv_timeout}
+    failure that poisons the run the same way. *)
+
+exception Spmd_aborted of { rank : int; exn : exn }
+(** The run was torn down because [rank] raised [exn] (the {e first}
+    failure; later casualties of the teardown are not reported). *)
+
+exception Recv_timeout of { rank : int; src : int; waited_s : float }
+(** A {!recv} with [?timeout_s] expired before a message from [src]
+    arrived. *)
 
 type 'msg ctx
 (** Execution context handed to each participant; ['msg] is the message
@@ -15,20 +35,25 @@ val rank : _ ctx -> int
 val procs : _ ctx -> int
 
 val barrier : _ ctx -> unit
-(** Block until every participant has reached the barrier. *)
+(** Block until every participant has reached the barrier — or until the
+    run is poisoned, in which case {!Spmd_aborted} is raised. *)
 
 val send : 'msg ctx -> dst:int -> 'msg -> unit
-(** Asynchronous send (unbounded mailbox). *)
+(** Asynchronous send (unbounded mailbox). Raises {!Spmd_aborted} if the
+    run is already poisoned. *)
 
-val recv : 'msg ctx -> src:int -> 'msg
-(** Block until a message from [src] arrives (FIFO per sender). *)
+val recv : ?timeout_s:float -> 'msg ctx -> src:int -> 'msg
+(** Block until a message from [src] arrives (FIFO per sender). With
+    [?timeout_s], raise {!Recv_timeout} if nothing arrives in time;
+    raises {!Spmd_aborted} if the run is poisoned while waiting. *)
 
-val sendrecv : 'msg ctx -> dst:int -> 'msg -> src:int -> 'msg
+val sendrecv : ?timeout_s:float -> 'msg ctx -> dst:int -> 'msg -> src:int -> 'msg
 (** Send then receive; safe against the cyclic-shift deadlock because
     sends never block. *)
 
 val run : procs:int -> ('msg ctx -> 'a) -> 'a array
 (** Run [procs] participants to completion (rank 0 executes on the calling
-    domain) and collect their results by rank. [procs] must be positive;
-    exceptions in any participant are re-raised after all domains are
-    joined. *)
+    domain) and collect their results by rank. [procs] must be positive.
+    If any participant raises, every domain is unblocked and joined and
+    {!Spmd_aborted} is raised — the run terminates in bounded time
+    instead of deadlocking at the next barrier or receive. *)

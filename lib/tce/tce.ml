@@ -32,9 +32,16 @@
     {!Loopnest}, {!Interp} — fused-code generation and interpretation;
     {!Cluster}, {!Simulate}, {!Numeric} — the discrete-event cluster
     simulator; {!Spmd}, {!Multicore} — real parallel execution on OCaml 5
-    domains; {!Table}, {!Paperref}, {!Exptables} — experiment reports. *)
+    domains; {!Table}, {!Paperref}, {!Exptables} — experiment reports.
+
+    {2 Fault tolerance}
+    {!Tce_error} — the typed error surface; {!Fault} — the seeded,
+    deterministic fault model (degraded links, stragglers, message loss,
+    node crashes) consumed by the simulator; {!Degrade} — replanning on
+    the surviving sub-grid after a crash. *)
 
 module Ints = Tce_util.Ints
+module Tce_error = Tce_util.Tce_error
 module Listx = Tce_util.Listx
 module Interp_table = Tce_util.Interp
 module Prng = Tce_util.Prng
@@ -64,9 +71,11 @@ module Fusionset = Tce_fusion.Fusionset
 module Memmin = Tce_fusion.Memmin
 module Plan = Tce_core.Plan
 module Search = Tce_core.Search
+module Degrade = Tce_core.Degrade
 module Baselines = Tce_core.Baselines
 module Loopnest = Tce_codegen.Loopnest
 module Interp = Tce_codegen.Interp
+module Fault = Tce_machine.Fault
 module Cluster = Tce_machine.Cluster
 module Simulate = Tce_machine.Simulate
 module Numeric = Tce_machine.Numeric

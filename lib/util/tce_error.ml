@@ -1,0 +1,40 @@
+type t =
+  | Runaway_rounds of { where : string; rounds : int; limit : int }
+  | Negative_time of { where : string; seconds : float }
+  | Node_crashed of { rank : int; at : float }
+  | Missing_tensor of { where : string; name : string }
+  | Msg of string
+
+exception Error of t
+
+let msg s = Msg s
+let errorf fmt = Format.kasprintf (fun s -> Msg s) fmt
+let raise_err e = raise (Error e)
+let failf fmt = Format.kasprintf (fun s -> raise (Error (Msg s))) fmt
+
+let to_string = function
+  | Runaway_rounds { where; rounds; limit } ->
+    Printf.sprintf "%s: %d communication rounds exceed the %d-round limit"
+      where rounds limit
+  | Negative_time { where; seconds } ->
+    Printf.sprintf "%s: negative duration %g s" where seconds
+  | Node_crashed { rank; at } ->
+    Printf.sprintf "node %d crashed at simulated time %.3f s" rank at
+  | Missing_tensor { where; name } ->
+    Printf.sprintf "%s: missing tensor %s" where name
+  | Msg s -> s
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let equal (a : t) (b : t) = a = b
+
+let protect f = match f () with v -> Ok v | exception Error e -> Error e
+
+let to_string_result r = Result.map_error to_string r
+
+let get_ok = function Ok v -> v | Error e -> raise_err e
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Tce_error.Error: " ^ to_string e)
+    | _ -> None)

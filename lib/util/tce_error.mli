@@ -1,0 +1,42 @@
+(** The typed error surface of the engine.
+
+    Recoverable failures in the simulator, the executors and the planner
+    are reported as values of {!t} — either directly through [result]
+    returns, or wrapped in the {!Error} exception where an exception is
+    the only practical transport (deep inside an executor loop). Callers
+    that want to degrade gracefully (the fault-tolerant planner, the
+    bench harness) match on the constructors; callers that want the old
+    fail-fast behaviour use {!get_ok}. *)
+
+type t =
+  | Runaway_rounds of { where : string; rounds : int; limit : int }
+      (** a plan implies more communication rounds than any real run
+          would attempt *)
+  | Negative_time of { where : string; seconds : float }
+      (** a negative duration reached a clock-advancing primitive *)
+  | Node_crashed of { rank : int; at : float }
+      (** a fault-model crash event interrupted a simulated run *)
+  | Missing_tensor of { where : string; name : string }
+      (** an executor was handed a plan whose input is absent *)
+  | Msg of string  (** everything else, human-readable *)
+
+exception Error of t
+
+val msg : string -> t
+val errorf : ('a, Format.formatter, unit, t) format4 -> 'a
+val raise_err : t -> 'a
+val failf : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** Run a thunk, catching {!Error} into [Error]. Other exceptions pass
+    through. *)
+
+val to_string_result : ('a, t) result -> ('a, string) result
+(** Adapt a typed result to the string-error convention of the search
+    layer. *)
+
+val get_ok : ('a, t) result -> 'a
+(** [Ok v -> v]; re-raises the typed error as {!Error} otherwise. *)

@@ -47,6 +47,12 @@ let get_ok ~ctx = function
   | Ok v -> v
   | Error msg -> Alcotest.failf "%s: unexpected error: %s" ctx msg
 
+(* Replay a plan on the healthy simulated cluster, failing the test on any
+   typed error. *)
+let simulate ?faults params ext plan =
+  get_ok ~ctx:"simulate"
+    (Tce_error.to_string_result (Simulate.run_plan ?faults params ext plan))
+
 let get_error ~ctx = function
   | Ok _ -> Alcotest.failf "%s: expected an error" ctx
   | Error msg -> msg

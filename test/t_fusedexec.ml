@@ -86,7 +86,7 @@ let test_missing_input () =
   let grid, ext, seq, plan = small_plan () in
   let inputs = List.tl (Sequence.random_inputs ext ~seed:45 seq) in
   match Fusedexec.run_plan grid ext plan ~inputs with
-  | exception Invalid_argument _ -> ()
+  | exception Tce_error.Error (Tce_error.Missing_tensor _) -> ()
   | _ -> Alcotest.fail "missing input accepted"
 
 let suite =

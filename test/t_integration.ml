@@ -32,7 +32,7 @@ let test_full_pipeline_raw_product () =
   let mc = Multicore.run_plan grid ext plan ~inputs in
   Alcotest.(check bool) "multicore" true (Dense.equal_approx reference mc);
   (* 3. Timing: replay = model. *)
-  let t = Simulate.run_plan params ext plan in
+  let t = simulate params ext plan in
   check_close ~ctx:"comm replay" ~rel:1e-9 (Plan.comm_cost plan)
     t.Simulate.comm_seconds;
   (* 4. Fused code with the plan's own fusion choices. *)
@@ -164,7 +164,7 @@ S[p0,p3,q]  = sum[p2] T1[p0,p2,q] * M3[p2,p3]
       let fused = (Fusedexec.run_plan grid ext plan ~inputs).Fusedexec.result in
       if not (Dense.equal_approx ~tol:1e-9 reference fused) then
         Alcotest.failf "fused execution wrong for:%s" text;
-      let t = Simulate.run_plan params ext plan in
+      let t = simulate params ext plan in
       check_close ~ctx:"replay" ~rel:1e-6 (Plan.comm_cost plan)
         t.Simulate.comm_seconds
   done;

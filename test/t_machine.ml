@@ -57,7 +57,7 @@ let test_replay_matches_model_divisible () =
   let grid, cfg = search_config 4 in
   ignore grid;
   let plan = get_ok ~ctx:"plan" (Search.optimize cfg ext tree) in
-  let t = Simulate.run_plan params ext plan in
+  let t = simulate params ext plan in
   check_close ~ctx:"comm equal" ~rel:1e-9 (Plan.comm_cost plan)
     t.Simulate.comm_seconds;
   check_close ~ctx:"compute equal" ~rel:1e-9 (Plan.compute_seconds plan)
@@ -68,7 +68,7 @@ let test_replay_paper_scale () =
   let ext = problem.Problem.extents in
   let _, cfg = search_config 16 in
   let plan = get_ok ~ctx:"plan" (Search.optimize cfg ext tree) in
-  let t = Simulate.run_plan params ext plan in
+  let t = simulate params ext plan in
   check_close ~ctx:"Table 2 replay" ~rel:1e-6 (Plan.comm_cost plan)
     t.Simulate.comm_seconds
 

@@ -79,11 +79,96 @@ let test_spmd_validation () =
   ()
 
 let test_spmd_exception_propagates () =
-  match
-    Spmd.run ~procs:1 (fun _ -> failwith "boom")
-  with
-  | exception Failure msg -> Alcotest.(check string) "msg" "boom" msg
+  match Spmd.run ~procs:1 (fun _ -> failwith "boom") with
+  | exception Spmd.Spmd_aborted { rank = 0; exn = Failure msg } ->
+    Alcotest.(check string) "msg" "boom" msg
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
   | _ -> Alcotest.fail "exception swallowed"
+
+(* Regression for the seed deadlock: one participant raises while its
+   peers are parked in a barrier. Before the abort broadcast, the peers
+   waited forever and [run] never returned; now the whole team unwinds
+   and the failure surfaces as [Spmd_aborted] with the raising rank. *)
+let test_spmd_abort_unblocks_barrier () =
+  match
+    Spmd.run ~procs:4 (fun ctx ->
+        if Spmd.rank ctx = 2 then failwith "dead node"
+        else Spmd.barrier ctx)
+  with
+  | exception Spmd.Spmd_aborted { rank = 2; exn = Failure msg } ->
+    Alcotest.(check string) "origin" "dead node" msg
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "deadlock-free run succeeded despite a dead rank"
+
+(* Same regression through the other blocking primitive: peers parked in
+   [recv] on a rank that died before sending. *)
+let test_spmd_abort_unblocks_recv () =
+  match
+    Spmd.run ~procs:3 (fun ctx ->
+        match Spmd.rank ctx with
+        | 0 -> failwith "crashed before send"
+        | r -> Spmd.recv ctx ~src:(r - 1))
+  with
+  | exception Spmd.Spmd_aborted { rank = 0; exn = Failure _ } -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "receivers were never unblocked"
+
+(* A silent peer (dead node without an exception) is caught by the recv
+   timeout, which poisons the run for everyone. *)
+let test_spmd_recv_timeout () =
+  match
+    Spmd.run ~procs:2 (fun ctx ->
+        match Spmd.rank ctx with
+        | 1 -> ignore (Spmd.recv ~timeout_s:0.05 ctx ~src:0)
+        | _ -> Spmd.barrier ctx)
+  with
+  | exception
+      Spmd.Spmd_aborted
+        { rank = 1; exn = Spmd.Recv_timeout { rank = 1; src = 0; _ } } ->
+    ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "timeout never fired"
+
+(* A timely message beats the timeout. *)
+let test_spmd_recv_within_timeout () =
+  let results =
+    Spmd.run ~procs:2 (fun ctx ->
+        match Spmd.rank ctx with
+        | 0 ->
+          Spmd.send ctx ~dst:1 41;
+          0
+        | _ -> 1 + Spmd.recv ~timeout_s:5.0 ctx ~src:0)
+  in
+  Alcotest.(check int) "received in time" 42 results.(1)
+
+(* Selective receive stays FIFO per sender when two senders interleave
+   (exercises the per-sender queues). *)
+let test_spmd_selective_recv_interleaved () =
+  let n = 50 in
+  let results =
+    Spmd.run ~procs:3 (fun ctx ->
+        match Spmd.rank ctx with
+        | 2 ->
+          let seen = ref [] in
+          for k = 1 to n do
+            (* Drain the two senders in alternating order regardless of
+               arrival interleaving. *)
+            let a = Spmd.recv ctx ~src:0 in
+            let b = Spmd.recv ctx ~src:1 in
+            ignore k;
+            seen := b :: a :: !seen
+          done;
+          List.rev !seen
+        | r ->
+          for k = 1 to n do
+            Spmd.send ctx ~dst:2 ((r * 1000) + k)
+          done;
+          [])
+  in
+  let expected =
+    List.concat (List.init n (fun k -> [ k + 1; 1000 + k + 1 ]))
+  in
+  Alcotest.(check (list int)) "per-sender order" expected results.(2)
 
 (* ---------------- Multicore Cannon ---------------- *)
 
@@ -142,6 +227,13 @@ let suite =
         case "FIFO per sender" test_spmd_fifo_per_sender;
         case "validation" test_spmd_validation;
         case "exceptions propagate" test_spmd_exception_propagates;
+        case "abort unblocks barrier (deadlock regression)"
+          test_spmd_abort_unblocks_barrier;
+        case "abort unblocks recv" test_spmd_abort_unblocks_recv;
+        case "recv timeout poisons the run" test_spmd_recv_timeout;
+        case "recv within timeout" test_spmd_recv_within_timeout;
+        case "selective recv, interleaved senders"
+          test_spmd_selective_recv_interleaved;
       ] );
     ( "runtime.multicore",
       [

@@ -230,7 +230,7 @@ S[a,b] = sum[k,x] X[a,k,x] * Y[k,b]
   let row = Option.get (Plan.find_row plan "S__1") in
   check_close ~ctx:"local production" 0.0 row.Plan.comm_initial;
   (* The replay includes the presum's local flops. *)
-  let t = Simulate.run_plan params ext plan in
+  let t = simulate params ext plan in
   check_close ~ctx:"replay comm" ~rel:1e-9 (Plan.comm_cost plan)
     t.Simulate.comm_seconds
 

@@ -16,6 +16,7 @@ let () =
          T_fusion.suite;
          T_search.suite;
          T_machine.suite;
+         T_fault.suite;
          T_fusedexec.suite;
          T_codegen.suite;
          T_runtime.suite;
