@@ -637,6 +637,118 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* Kernel benchmarks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the blocked contraction kernel against the frozen seed engine
+   ([Einsum.contract2_ref]) on CCSD-shaped and adversarial layouts, and
+   writes BENCH_kernels.json so future PRs can track the trajectory.
+   Sizes are chosen to keep the reference runs near a second in total, so
+   the section doubles as a CI smoke job. *)
+let kernels () =
+  section "Kernel benchmarks: blocked kernel vs frozen seed reference";
+  let rng = Prng.create ~seed:20260806 in
+  let mk dims =
+    let t = Dense.create (List.map (fun (n, e) -> (Index.v n, e)) dims) in
+    Dense.fill_random t rng;
+    t
+  in
+  let time_of f =
+    (* Adaptive repetition: double the run count until the measurement is
+       long enough to trust, then report seconds per run. *)
+    ignore (f ());
+    let rec go n =
+      let t0 = Sys.time () in
+      for _ = 1 to n do
+        ignore (f ())
+      done;
+      let dt = Sys.time () -. t0 in
+      if dt >= 0.2 || n >= 4096 then dt /. float_of_int n else go (n * 2)
+    in
+    go 1
+  in
+  let cases =
+    [
+      (* T1[b,c,d,f] = Σ_{e,l} B[b,e,f,l]·D[c,d,e,l]: the CCSD micro
+         case the >=10x acceptance bar is stated over. *)
+      ( "ccsd-t1",
+        [ "b"; "c"; "d"; "f" ],
+        mk [ ("b", 14); ("e", 10); ("f", 10); ("l", 10) ],
+        mk [ ("c", 14); ("d", 14); ("e", 10); ("l", 10) ] );
+      (* T2[b,c,j,k] = Σ_{d,f} T1[b,c,d,f]·C[d,f,j,k]: coalesces to a
+         clean (bc) x (jk) x (df) matmul. *)
+      ( "ccsd-t2",
+        [ "b"; "c"; "j"; "k" ],
+        mk [ ("b", 14); ("c", 14); ("d", 14); ("f", 10) ],
+        mk [ ("d", 14); ("f", 10); ("j", 10); ("k", 10) ] );
+      (* Same contraction as ccsd-t1 under permuted operand storage:
+         coalescing is partially defeated, strides are non-trivial. *)
+      ( "ccsd-t1-permuted",
+        [ "b"; "c"; "d"; "f" ],
+        mk [ ("l", 10); ("b", 14); ("e", 10); ("f", 10) ],
+        mk [ ("e", 10); ("c", 14); ("l", 10); ("d", 14) ] );
+      (* Innermost output dimension present in both operands: no (M,N,K)
+         form exists and the kernel must take the stride-walk fallback. *)
+      ( "noncoalescible",
+        [ "m"; "x" ],
+        mk [ ("m", 128); ("k", 64); ("x", 64) ],
+        mk [ ("k", 64); ("x", 64) ] );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, out_names, a, b) ->
+        let out = List.map Index.v out_names in
+        let flops = Einsum.flops_contract2 ~out a b in
+        let kernel_s = time_of (fun () -> Einsum.contract2 ~out a b) in
+        let micro = Kernel.last_used_microkernel () in
+        let ref_s = time_of (fun () -> Einsum.contract2_ref ~out a b) in
+        (* Allocation of one accumulating Cannon-style step into a
+           preallocated output block: must be bookkeeping-sized,
+           independent of tensor extents (no per-step delta tensor). *)
+        let into = Einsum.contract2 ~out a b in
+        let before = Gc.allocated_bytes () in
+        Einsum.contract2_acc ~into a b;
+        let acc_alloc = Gc.allocated_bytes () -. before in
+        let gf s = float_of_int flops /. s /. 1e9 in
+        Format.printf
+          "%-18s %8.1f MFLOP  ref %8.4f s (%6.3f GF/s)  kernel %8.5f s \
+           (%6.3f GF/s)  speedup %7.1fx  micro=%b  acc-alloc %.0f B@."
+          name
+          (float_of_int flops /. 1e6)
+          ref_s (gf ref_s) kernel_s (gf kernel_s) (ref_s /. kernel_s) micro
+          acc_alloc;
+        ( name,
+          flops,
+          ref_s,
+          kernel_s,
+          micro,
+          acc_alloc,
+          8 * Dense.size into ))
+      cases
+  in
+  let path = "BENCH_kernels.json" in
+  Out_channel.with_open_text path (fun oc ->
+      let p fmt = Printf.fprintf oc fmt in
+      p "{\n  \"benchmark\": \"kernels\",\n  \"cases\": [\n";
+      List.iteri
+        (fun k (name, flops, ref_s, kernel_s, micro, acc_alloc, out_bytes) ->
+          p
+            "    {\"name\": %S, \"flops\": %d, \"ref_seconds\": %.6e, \
+             \"kernel_seconds\": %.6e, \"ref_gflops\": %.4f, \
+             \"kernel_gflops\": %.4f, \"speedup\": %.2f, \
+             \"microkernel\": %b, \"acc_alloc_bytes\": %.0f, \
+             \"out_bytes\": %d}%s\n"
+            name flops ref_s kernel_s
+            (float_of_int flops /. ref_s /. 1e9)
+            (float_of_int flops /. kernel_s /. 1e9)
+            (ref_s /. kernel_s) micro acc_alloc out_bytes
+            (if k = List.length rows - 1 then "" else ","))
+        rows;
+      p "  ]\n}\n");
+  Format.printf "@.wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -653,6 +765,7 @@ let sections =
     ("csv", csv);
     ("validate", validate);
     ("micro", micro);
+    ("kernels", kernels);
   ]
 
 let default =

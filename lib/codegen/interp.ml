@@ -83,6 +83,7 @@ let run ext (p : Loopnest.program) ~inputs =
   match List.iter (exec Index.Map.empty) p.body with
   | () -> Ok (lookup output_name)
   | exception Invalid_argument msg -> Error msg
+  | exception Tce_error.Error e -> Error (Tce_error.to_string e)
 
 let run_exn ext p ~inputs =
   match run ext p ~inputs with

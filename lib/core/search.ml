@@ -169,36 +169,56 @@ let better a b =
   | c -> c
 
 (* Pareto pruning within (production distribution content, fusion) groups:
-   the paper's "inferior solution" rule. *)
+   the paper's "inferior solution" rule. A solution is dominated when
+   another solution of its group is no worse on (cost, node bytes) and
+   strictly better on cost, bytes or output rotations. Exact ties beyond
+   that are broken by an explicit deterministic key — the oriented
+   production distribution (the pair order the content key deliberately
+   erases), then enumeration order — so exactly one of a set of
+   duplicates survives. Each solution's bytes, rotation count and keys
+   are computed once up front, not inside the O(n²) inner loop, and the
+   old polymorphic [s' < s] compare over records holding floats and
+   lists is gone. *)
 let prune_solutions cfg sols =
-  let key s =
-    ( content_key s.prod_dist,
-      String.concat "," (List.map Index.name (Index.Set.elements s.fused)) )
+  let annotated =
+    List.mapi
+      (fun ord s ->
+        ( s,
+          Memacct.node_bytes cfg.params s.mem,
+          out_rotations s.steps,
+          String.concat "," (List.map Index.name (Dist.indices s.prod_dist)),
+          ord ))
+      sols
   in
   let groups = Hashtbl.create 32 in
   List.iter
-    (fun s ->
-      let k = key s in
-      Hashtbl.replace groups k (s :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
-    sols;
+    (fun ((s, _, _, _, _) as a) ->
+      let k =
+        ( content_key s.prod_dist,
+          String.concat "," (List.map Index.name (Index.Set.elements s.fused))
+        )
+      in
+      Hashtbl.replace groups k
+        (a :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
+    annotated;
   Hashtbl.fold
     (fun _ group acc ->
-      let dominated s =
+      let dominated (s, bytes, rots, okey, ord) =
         List.exists
-          (fun s' ->
+          (fun (s', bytes', rots', okey', ord') ->
             s' != s
             && s'.cost <= s.cost
-            && Memacct.node_bytes cfg.params s'.mem
-               <= Memacct.node_bytes cfg.params s.mem
-            && (s'.cost < s.cost
-               || Memacct.node_bytes cfg.params s'.mem
-                  < Memacct.node_bytes cfg.params s.mem
-               || out_rotations s'.steps < out_rotations s.steps
-               || (out_rotations s'.steps = out_rotations s.steps && s' < s)
-                  (* tie-break duplicates deterministically *)))
+            && bytes' <= bytes
+            && (s'.cost < s.cost || bytes' < bytes || rots' < rots
+               || (rots' = rots
+                  && (String.compare okey' okey < 0
+                     || (String.equal okey' okey && ord' < ord)))))
           group
       in
-      List.filter (fun s -> not (dominated s)) group @ acc)
+      List.filter_map
+        (fun ((s, _, _, _, _) as a) -> if dominated a then None else Some s)
+        group
+      @ acc)
     groups []
 
 let err fmt = Format.kasprintf (fun s -> Error s) fmt

@@ -75,14 +75,14 @@ let iter_assignments ext indices ~base f =
   in
   go base indices
 
-(* Pin every label of [block] that the assignment binds. *)
-let restrict_block assign block =
-  List.fold_left
-    (fun b label ->
-      match Index.Map.find_opt label assign with
-      | Some v -> Dense.slice b label v
-      | None -> b)
-    block (Dense.labels block)
+(* Labels of [block] that the assignment binds, as kernel pins: the
+   contraction then reads/writes the bound slab positions in place
+   instead of slicing copies. *)
+let pins_of assign block =
+  List.filter_map
+    (fun label ->
+      Option.map (fun v -> (label, v)) (Index.Map.find_opt label assign))
+    (Dense.labels block)
 
 let fused_of_role (step : Plan.step) = function
   | Variant.Out -> step.fusion_out
@@ -257,28 +257,16 @@ let run_plan grid ext (plan : Plan.t) ~inputs =
           Array.blit moved 0 arr 0 procs
         in
         let multiply () =
+          (* Accumulate each rank's product directly into the bound slab
+             positions of its out block: labels fixed by the assignment
+             are pinned, so no operand slices, no delta tensor and no
+             per-step output allocation. *)
           for rank = 0 to procs - 1 do
             let out_blk = w_out.(rank) in
-            let l = restrict_block assign w_left.(rank) in
-            let r = restrict_block assign w_right.(rank) in
-            let delta_labels =
-              List.filter
-                (fun ix -> not (Index.Map.mem ix assign))
-                (Dense.labels out_blk)
-            in
-            let delta = Einsum.contract2 ~out:delta_labels l r in
-            (* Accumulate the slice into the (undistributed) fused
-               positions of the out block. *)
-            Dense.iteri delta ~f:(fun m v ->
-                let m' =
-                  List.fold_left
-                    (fun acc ix ->
-                      match Index.Map.find_opt ix assign with
-                      | Some pos -> Index.Map.add ix pos acc
-                      | None -> acc)
-                    m (Dense.labels out_blk)
-                in
-                Dense.add_at out_blk m' v)
+            let l = w_left.(rank) and r = w_right.(rank) in
+            Kernel.contract_acc ~pin_out:(pins_of assign out_blk)
+              ~pin_a:(pins_of assign l) ~pin_b:(pins_of assign r)
+              ~into:out_blk l r
           done
         in
         multiply ();

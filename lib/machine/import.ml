@@ -8,6 +8,7 @@ module Tce_error = Tce_util.Tce_error
 module Index = Tce_index.Index
 module Extents = Tce_index.Extents
 module Dense = Tce_tensor.Dense
+module Kernel = Tce_tensor.Kernel
 module Einsum = Tce_tensor.Einsum
 module Aref = Tce_expr.Aref
 module Tree = Tce_expr.Tree

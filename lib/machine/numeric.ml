@@ -86,14 +86,12 @@ let run_contraction grid ext variant ~left ~right =
       moved
   in
   let multiply () =
+    (* In-place accumulation per rank: no delta tensor, no Einsum.add. *)
     Array.iteri
       (fun rank (_, out_blk) ->
         let _, l_blk = lefts.(rank) in
         let _, r_blk = rights.(rank) in
-        let delta =
-          Einsum.contract2 ~out:(Dense.labels out_blk) l_blk r_blk
-        in
-        outs.(rank) <- (fst outs.(rank), Einsum.add out_blk delta))
+        Einsum.contract2_acc ~into:out_blk l_blk r_blk)
       outs
   in
   multiply ();

@@ -16,11 +16,10 @@ let check_extents grid ext variant =
       List.iter
         (fun i ->
           if Extents.extent ext i < Grid.side grid then
-            invalid_arg
-              (Printf.sprintf
-                 "Multicore: extent of distributed index %s (%d) is below \
-                  the grid side %d"
-                 (Index.name i) (Extents.extent ext i) (Grid.side grid)))
+            Tce_error.failf
+              "Multicore: extent of distributed index %s (%d) is below the \
+               grid side %d"
+              (Index.name i) (Extents.extent ext i) (Grid.side grid))
         (Dist.indices (Variant.dist_of variant role)))
     [ Variant.Out; Variant.Left; Variant.Right ]
 
@@ -60,12 +59,11 @@ let run_contraction ?recv_timeout_s grid ext variant ~left ~right =
       | Variant.Right -> my_right
       | Variant.Out -> my_out
     in
-    let multiply () =
-      let delta =
-        Einsum.contract2 ~out:(Dense.labels !my_out) !my_left !my_right
-      in
-      my_out := Einsum.add !my_out delta
-    in
+    (* Accumulate each Cannon step straight into the rank's output block:
+       no per-step delta tensor, no [Einsum.add]. Received operand blocks
+       arrive by reference through the shared-heap Spmd mailbox, so a
+       step's only allocation is the mailbox cell itself. *)
+    let multiply () = Einsum.contract2_acc ~into:!my_out !my_left !my_right in
     multiply ();
     for _step = 1 to side - 1 do
       List.iter

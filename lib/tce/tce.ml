@@ -11,8 +11,10 @@
     binarization of multi-factor products).
 
     {2 Data and reference execution}
-    {!Dense}, {!Einsum} — labeled dense tensors and the naive contraction
-    engine every other execution path is validated against.
+    {!Dense}, {!Einsum} — labeled dense tensors and the contraction
+    engine; {!Kernel} — the blocked, register-tiled contraction
+    microkernel behind it (the frozen naive reference survives as
+    [Einsum.contract2_ref]).
 
     {2 Parallel model}
     {!Grid}, {!Dist} — the √P×√P logical processor grid and array
@@ -50,6 +52,7 @@ module Index = Tce_index.Index
 module Extents = Tce_index.Extents
 module Coords = Tce_tensor.Coords
 module Dense = Tce_tensor.Dense
+module Kernel = Tce_tensor.Kernel
 module Einsum = Tce_tensor.Einsum
 module Aref = Tce_expr.Aref
 module Formula = Tce_expr.Formula

@@ -7,16 +7,16 @@ type t = {
   data : float array;
 }
 
+let fail fmt = Tce_error.failf fmt
+
 let check_dims dims =
   let labels = List.map fst dims in
   if not (Index.distinct labels) then
-    invalid_arg "Dense: dimension labels must be distinct";
+    fail "Dense: dimension labels must be distinct";
   List.iter
     (fun (i, n) ->
       if n <= 0 then
-        invalid_arg
-          (Printf.sprintf "Dense: extent of %s must be positive, got %d"
-             (Index.name i) n))
+        fail "Dense: extent of %s must be positive, got %d" (Index.name i) n)
     dims
 
 let create dims =
@@ -42,6 +42,13 @@ let labels t = Array.to_list t.labels
 let rank t = Array.length t.labels
 let size t = Array.length t.data
 
+(* Flat-buffer view: the live storage, for the kernel layer. *)
+let data t = t.data
+let extents_arr t = Array.copy t.ext
+let strides_arr t = Array.copy t.strides
+let unsafe_get t o = Array.unsafe_get t.data o
+let unsafe_set t o v = Array.unsafe_set t.data o v
+
 let pos_of_label t i =
   let rec go d =
     if d >= Array.length t.labels then raise Not_found
@@ -52,25 +59,22 @@ let pos_of_label t i =
 
 let extent_of t i = t.ext.(pos_of_label t i)
 let has_label t i = Array.exists (Index.equal i) t.labels
+let stride_of t i = t.strides.(pos_of_label t i)
 
 let coord_of_map t m =
   let n = Array.length t.labels in
   if Index.Map.cardinal m <> n then
-    invalid_arg "Dense: coordinate must bind exactly the tensor's labels";
+    fail "Dense: coordinate must bind exactly the tensor's labels";
   let coord = Array.make n 0 in
   for d = 0 to n - 1 do
     match Index.Map.find_opt t.labels.(d) m with
     | None ->
-      invalid_arg
-        (Printf.sprintf "Dense: coordinate missing label %s"
-           (Index.name t.labels.(d)))
+      fail "Dense: coordinate missing label %s" (Index.name t.labels.(d))
     | Some c ->
       if c < 0 || c >= t.ext.(d) then
-        invalid_arg
-          (Printf.sprintf "Dense: position %d out of range for %s (extent %d)"
-             c
-             (Index.name t.labels.(d))
-             t.ext.(d));
+        fail "Dense: position %d out of range for %s (extent %d)" c
+          (Index.name t.labels.(d))
+          t.ext.(d);
       coord.(d) <- c
   done;
   coord
@@ -85,15 +89,16 @@ let add_at t m v =
   t.data.(o) <- t.data.(o) +. v
 
 let get_value t =
-  if rank t <> 0 then invalid_arg "Dense.get_value: tensor is not a scalar";
+  if rank t <> 0 then fail "Dense.get_value: tensor is not a scalar";
   t.data.(0)
 
 let fill t v = Array.fill t.data 0 (Array.length t.data) v
 let copy t = { t with data = Array.copy t.data }
 
 let fill_random t rng =
-  for i = 0 to Array.length t.data - 1 do
-    t.data.(i) <- Prng.float_range rng ~lo:(-1.0) ~hi:1.0
+  let data = t.data in
+  for i = 0 to Array.length data - 1 do
+    Array.unsafe_set data i (Prng.float_range rng ~lo:(-1.0) ~hi:1.0)
   done
 
 let map_of_coord t coord =
@@ -117,46 +122,106 @@ let same_shape a b = a.labels = b.labels && a.ext = b.ext
 
 let map2 a b ~f =
   if not (same_shape a b) then
-    invalid_arg "Dense.map2: shapes differ (labels or storage order)";
-  { a with data = Array.map2 f a.data b.data }
+    fail "Dense.map2: shapes differ (labels or storage order)";
+  let da = a.data and db = b.data in
+  let n = Array.length da in
+  let out = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set out i (f (Array.unsafe_get da i) (Array.unsafe_get db i))
+  done;
+  { a with data = out }
 
 let frobenius t =
-  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 t.data)
+  let data = t.data in
+  (* Accumulate in a float-array cell: unboxed stores, unlike a [ref]
+     which would box the float on every assignment (no flambda). *)
+  let acc = Array.make 1 0.0 in
+  for i = 0 to Array.length data - 1 do
+    let x = Array.unsafe_get data i in
+    Array.unsafe_set acc 0 (Array.unsafe_get acc 0 +. (x *. x))
+  done;
+  sqrt acc.(0)
+
+(* Stride-walk copy engine: visit the row-major points of [ext], reading
+   the source at [sbase] advanced by [sstr] per dimension while the
+   destination advances sequentially (destination extents are exactly
+   [ext] in storage order). The innermost dimension is a tight loop with
+   unchecked accesses; no per-element allocation. *)
+let walk_gather ~ext ~sstr ~sbase ~src ~dst =
+  let n = Array.length ext in
+  if n = 0 then Array.unsafe_set dst 0 (Array.unsafe_get src sbase)
+  else begin
+    let k = ref 0 in
+    let rec go d soff =
+      let e = Array.unsafe_get ext d in
+      let s = Array.unsafe_get sstr d in
+      if d = n - 1 then begin
+        let base = !k in
+        for i = 0 to e - 1 do
+          Array.unsafe_set dst (base + i) (Array.unsafe_get src (soff + (i * s)))
+        done;
+        k := base + e
+      end
+      else
+        for i = 0 to e - 1 do
+          go (d + 1) (soff + (i * s))
+        done
+    in
+    go 0 sbase
+  end
+
+(* Dual of {!walk_gather}: the source advances sequentially over [ext]
+   while the destination is strided; [combine] merges into the target. *)
+let walk_scatter ~ext ~dstr ~dbase ~src ~dst ~combine =
+  let n = Array.length ext in
+  if n = 0 then
+    Array.unsafe_set dst dbase
+      (combine (Array.unsafe_get dst dbase) (Array.unsafe_get src 0))
+  else begin
+    let k = ref 0 in
+    let rec go d doff =
+      let e = Array.unsafe_get ext d in
+      let s = Array.unsafe_get dstr d in
+      if d = n - 1 then begin
+        let base = !k in
+        for i = 0 to e - 1 do
+          let o = doff + (i * s) in
+          Array.unsafe_set dst o
+            (combine (Array.unsafe_get dst o) (Array.unsafe_get src (base + i)))
+        done;
+        k := base + e
+      end
+      else
+        for i = 0 to e - 1 do
+          go (d + 1) (doff + (i * s))
+        done
+    in
+    go 0 dbase
+  end
 
 let transpose t order =
   if
     List.length order <> rank t
     || not (List.for_all (has_label t) order)
     || not (Index.distinct order)
-  then invalid_arg "Dense.transpose: order must be a permutation of labels";
+  then fail "Dense.transpose: order must be a permutation of labels";
   let out = create (List.map (fun i -> (i, extent_of t i)) order) in
-  (* perm.(d) is the position in [t] of the d-th output dimension. *)
-  let perm = Array.map (pos_of_label t) out.labels in
-  let src = Array.make (rank t) 0 in
-  Coords.iter out.ext (fun coord ->
-      Array.iteri (fun d p -> src.(p) <- coord.(d)) perm;
-      out.data.(Coords.offset ~strides:out.strides coord)
-      <- t.data.(Coords.offset ~strides:t.strides src));
+  (* Source stride of each output dimension: walking the output row-major
+     advances the source by these. *)
+  let sstr = Array.map (fun l -> t.strides.(pos_of_label t l)) out.labels in
+  walk_gather ~ext:out.ext ~sstr ~sbase:0 ~src:t.data ~dst:out.data;
   out
 
 let slice t i pos =
   let d = pos_of_label t i in
   if pos < 0 || pos >= t.ext.(d) then
-    invalid_arg "Dense.slice: position out of range";
+    fail "Dense.slice: position out of range";
   let keep = List.filter (fun (l, _) -> not (Index.equal l i)) (dims t) in
   let out = create keep in
-  let src = Array.make (rank t) 0 in
-  Coords.iter out.ext (fun coord ->
-      let k = ref 0 in
-      for sd = 0 to rank t - 1 do
-        if sd = d then src.(sd) <- pos
-        else begin
-          src.(sd) <- coord.(!k);
-          incr k
-        end
-      done;
-      out.data.(Coords.offset ~strides:out.strides coord)
-      <- t.data.(Coords.offset ~strides:t.strides src));
+  let sstr = Array.map (fun l -> t.strides.(pos_of_label t l)) out.labels in
+  walk_gather ~ext:out.ext ~sstr
+    ~sbase:(pos * t.strides.(d))
+    ~src:t.data ~dst:out.data;
   out
 
 let resolve_ranges t ranges =
@@ -164,8 +229,7 @@ let resolve_ranges t ranges =
   List.iter
     (fun (l, _) ->
       if not (has_label t l) then
-        invalid_arg
-          (Printf.sprintf "Dense.block: foreign label %s" (Index.name l)))
+        fail "Dense.block: foreign label %s" (Index.name l))
     ranges;
   Array.mapi
     (fun d label ->
@@ -173,9 +237,8 @@ let resolve_ranges t ranges =
       | None -> (0, t.ext.(d))
       | Some (_, (off, len)) ->
         if off < 0 || len <= 0 || off + len > t.ext.(d) then
-          invalid_arg
-            (Printf.sprintf "Dense.block: bad range (%d,%d) for %s (extent %d)"
-               off len (Index.name label) t.ext.(d));
+          fail "Dense.block: bad range (%d,%d) for %s (extent %d)" off len
+            (Index.name label) t.ext.(d);
         (off, len))
     t.labels
 
@@ -186,39 +249,29 @@ let block t ranges =
       (Array.to_list
          (Array.map2 (fun l (_, len) -> (l, len)) t.labels windows))
   in
-  let src = Array.make (rank t) 0 in
-  Coords.iter out.ext (fun coord ->
-      Array.iteri (fun d (off, _) -> src.(d) <- off + coord.(d)) windows;
-      out.data.(Coords.offset ~strides:out.strides coord)
-      <- t.data.(Coords.offset ~strides:t.strides src));
+  let sbase = ref 0 in
+  Array.iteri (fun d (off, _) -> sbase := !sbase + (off * t.strides.(d))) windows;
+  walk_gather ~ext:out.ext ~sstr:t.strides ~sbase:!sbase ~src:t.data
+    ~dst:out.data;
   out
 
 let write_block ~combine t offsets blk =
   if blk.labels <> t.labels then
-    invalid_arg
-      "Dense.set_block: block labels must match target labels and order";
-  let off =
-    Array.mapi
-      (fun d label ->
-        let o =
-          match List.find_opt (fun (l, _) -> Index.equal l label) offsets with
-          | None -> 0
-          | Some (_, o) -> o
-        in
-        if o < 0 || o + blk.ext.(d) > t.ext.(d) then
-          invalid_arg
-            (Printf.sprintf "Dense.set_block: block does not fit along %s"
-               (Index.name label));
-        o)
-      t.labels
-  in
-  let dst = Array.make (rank t) 0 in
-  Coords.iter blk.ext (fun coord ->
-      Array.iteri (fun d o -> dst.(d) <- o + coord.(d)) off;
-      let doff = Coords.offset ~strides:t.strides dst in
-      t.data.(doff)
-      <- combine t.data.(doff)
-           blk.data.(Coords.offset ~strides:blk.strides coord))
+    fail "Dense.set_block: block labels must match target labels and order";
+  let dbase = ref 0 in
+  Array.iteri
+    (fun d label ->
+      let o =
+        match List.find_opt (fun (l, _) -> Index.equal l label) offsets with
+        | None -> 0
+        | Some (_, o) -> o
+      in
+      if o < 0 || o + blk.ext.(d) > t.ext.(d) then
+        fail "Dense.set_block: block does not fit along %s" (Index.name label);
+      dbase := !dbase + (o * t.strides.(d)))
+    t.labels;
+  walk_scatter ~ext:blk.ext ~dstr:t.strides ~dbase:!dbase ~src:blk.data
+    ~dst:t.data ~combine
 
 let set_block t offsets blk = write_block ~combine:(fun _ v -> v) t offsets blk
 let add_block t offsets blk = write_block ~combine:( +. ) t offsets blk

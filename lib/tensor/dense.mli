@@ -12,7 +12,7 @@ type t
 
 val create : (Index.t * int) list -> t
 (** [create dims] is a zero tensor with the given labeled extents. Labels
-    must be distinct and extents positive; raises [Invalid_argument]
+    must be distinct and extents positive; raises [Tce_error.Error]
     otherwise. A rank-0 tensor ([dims = \[\]]) is a scalar. *)
 
 val init : (Index.t * int) list -> f:(int Index.Map.t -> float) -> t
@@ -37,6 +37,33 @@ val extent_of : t -> Index.t -> int
 
 val has_label : t -> Index.t -> bool
 
+val stride_of : t -> Index.t -> int
+(** Row-major storage stride of a dimension by label; raises [Not_found]
+    for foreign labels. *)
+
+(** {2 Flat-buffer view}
+
+    The kernel layer addresses elements by flat offset into the live
+    row-major storage. [data] exposes that storage itself (not a copy):
+    writes through it mutate the tensor. Offsets are the stride
+    dot-product of the coordinate; no bounds checks are performed by the
+    [unsafe_*] accessors. *)
+
+val data : t -> float array
+(** The live backing buffer, row-major in label order. *)
+
+val extents_arr : t -> int array
+(** Extents in storage order (a fresh copy). *)
+
+val strides_arr : t -> int array
+(** Row-major strides in storage order (a fresh copy). *)
+
+val unsafe_get : t -> int -> float
+(** Element at a flat offset; no bounds check. *)
+
+val unsafe_set : t -> int -> float -> unit
+(** Write an element at a flat offset; no bounds check. *)
+
 val get : t -> int Index.Map.t -> float
 (** Element at a coordinate given by label. The map must bind exactly the
     tensor's labels to in-range positions. *)
@@ -47,7 +74,7 @@ val add_at : t -> int Index.Map.t -> float -> unit
 (** Accumulate into an element. *)
 
 val get_value : t -> float
-(** The value of a scalar (rank-0) tensor; raises [Invalid_argument]
+(** The value of a scalar (rank-0) tensor; raises [Tce_error.Error]
     otherwise. *)
 
 val fill : t -> float -> unit

@@ -1,5 +1,7 @@
 open! Import
 
+let fail fmt = Tce_error.failf fmt
+
 (* For each dimension of the full (out @ sum) iteration space, the stride it
    contributes to a given operand's flat offset (0 when the operand lacks
    that label). *)
@@ -21,10 +23,7 @@ let stride_contribs full_labels operand =
 
 let extent_in operands l =
   let rec go = function
-    | [] ->
-      invalid_arg
-        (Printf.sprintf "Einsum: label %s not found in any operand"
-           (Index.name l))
+    | [] -> fail "Einsum: label %s not found in any operand" (Index.name l)
     | t :: rest -> if Dense.has_label t l then Dense.extent_of t l else go rest
   in
   go operands
@@ -33,9 +32,7 @@ let check_shared_extents a b =
   List.iter
     (fun l ->
       if Dense.has_label b l && Dense.extent_of a l <> Dense.extent_of b l then
-        invalid_arg
-          (Printf.sprintf "Einsum: extent mismatch on shared label %s"
-             (Index.name l)))
+        fail "Einsum: extent mismatch on shared label %s" (Index.name l))
     (Dense.labels a)
 
 let dot contribs coord =
@@ -45,41 +42,58 @@ let dot contribs coord =
   done;
   !acc
 
-(* Raw access into a dense tensor by flat offset: we rebuild the data array
-   view through [to_list]-free means. Dense does not expose its buffer, so we
-   keep a tiny adapter here based on row-major iteration order. *)
-let buffer_of t =
-  (* Dense stores row-major in label order; reconstruct a flat snapshot. *)
-  let n = Dense.size t in
-  let buf = Array.make n 0.0 in
-  let k = ref 0 in
-  Dense.iteri t ~f:(fun _ v ->
-      buf.(!k) <- v;
-      incr k);
-  buf
+let sum_labels_of ~out a b =
+  let in_out l = List.exists (Index.equal l) out in
+  List.filter
+    (fun l -> not (in_out l))
+    (Listx.dedup ~compare:Index.compare (Dense.labels a @ Dense.labels b))
 
-let contract2 ~out a b =
+let validate_contract2 ~out a b =
   if not (Index.distinct out) then
-    invalid_arg "Einsum.contract2: duplicate output labels";
+    fail "Einsum.contract2: duplicate output labels";
   check_shared_extents a b;
   List.iter
     (fun l ->
       if not (Dense.has_label a l || Dense.has_label b l) then
-        invalid_arg
-          (Printf.sprintf "Einsum.contract2: output label %s absent from both operands"
-             (Index.name l)))
-    out;
-  let in_out l = List.exists (Index.equal l) out in
-  let sum_labels =
-    List.filter
-      (fun l -> not (in_out l))
-      (Listx.dedup ~compare:Index.compare
-         (Dense.labels a @ Dense.labels b))
+        fail "Einsum.contract2: output label %s absent from both operands"
+          (Index.name l))
+    out
+
+let contract2 ~out a b =
+  validate_contract2 ~out a b;
+  let operands = [ a; b ] in
+  let result =
+    Dense.create (List.map (fun l -> (l, extent_in operands l)) out)
   in
+  Kernel.contract_acc ~into:result a b;
+  result
+
+let contract2_acc ~into a b =
+  validate_contract2 ~out:(Dense.labels into) a b;
+  Kernel.contract_acc ~into a b
+
+(* The seed engine, frozen verbatim as the correctness oracle and the
+   benchmark baseline: full-space iteration with a stride dot-product per
+   point, operand snapshots copied through the per-element [Index.Map]
+   iterator, and a labeled write-back pass. Do not optimize. *)
+let contract2_ref ~out a b =
+  validate_contract2 ~out a b;
+  let buffer_of t =
+    let n = Dense.size t in
+    let buf = Array.make n 0.0 in
+    let k = ref 0 in
+    Dense.iteri t ~f:(fun _ v ->
+        buf.(!k) <- v;
+        incr k);
+    buf
+  in
+  let sum_labels = sum_labels_of ~out a b in
   let full = out @ sum_labels in
   let operands = [ a; b ] in
   let full_ext = Array.of_list (List.map (extent_in operands) full) in
-  let result = Dense.create (List.map (fun l -> (l, extent_in operands l)) out) in
+  let result =
+    Dense.create (List.map (fun l -> (l, extent_in operands l)) out)
+  in
   let ca = stride_contribs full a
   and cb = stride_contribs full b
   and cr = stride_contribs full result in
@@ -99,8 +113,7 @@ let sum_over t idxs =
   List.iter
     (fun l ->
       if not (Dense.has_label t l) then
-        invalid_arg
-          (Printf.sprintf "Einsum.sum_over: foreign label %s" (Index.name l)))
+        fail "Einsum.sum_over: foreign label %s" (Index.name l))
     idxs;
   let keep =
     List.filter
@@ -108,18 +121,17 @@ let sum_over t idxs =
       (Dense.dims t)
   in
   let result = Dense.create keep in
-  Dense.iteri t ~f:(fun m v ->
-      let m' =
-        Index.Map.filter
-          (fun l _ -> not (List.exists (Index.equal l) idxs))
-          m
-      in
-      Dense.add_at result m' v);
+  (* Summation is contraction against the unit scalar; the kernel's
+     stride walk does the reduction with no per-element allocation. *)
+  Kernel.contract_acc ~into:result t (Dense.scalar 1.0);
   result
 
 let scale k t =
   let out = Dense.copy t in
-  Dense.iteri t ~f:(fun m v -> Dense.set out m (k *. v));
+  let d = Dense.data out in
+  for i = 0 to Array.length d - 1 do
+    Array.unsafe_set d i (k *. Array.unsafe_get d i)
+  done;
   out
 
 let add a b =
@@ -130,12 +142,5 @@ let add a b =
   Dense.map2 a b' ~f:( +. )
 
 let flops_contract2 ~out a b =
-  let in_out l = List.exists (Index.equal l) out in
-  let sum_labels =
-    List.filter
-      (fun l -> not (in_out l))
-      (Listx.dedup ~compare:Index.compare
-         (Dense.labels a @ Dense.labels b))
-  in
   let operands = [ a; b ] in
-  2 * Ints.prod (List.map (extent_in operands) (out @ sum_labels))
+  2 * Ints.prod (List.map (extent_in operands) (out @ sum_labels_of ~out a b))

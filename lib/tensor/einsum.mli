@@ -1,9 +1,10 @@
-(** Reference contraction engine (naive einsum).
+(** Contraction engine.
 
-    This is the ground truth for every other execution path in the engine:
-    generated fused code, the simulated distributed machine and the multicore
-    runtime are all checked against it in the test suite. It favours
-    obviousness over speed. *)
+    {!contract2} runs through the blocked {!Kernel}; {!contract2_ref} is
+    the frozen naive engine kept as the ground-truth oracle — generated
+    fused code, the simulated distributed machine and the multicore
+    runtime are all checked against it in the test suite, and the kernel
+    benchmarks report speedup relative to it. *)
 
 open! Import
 
@@ -11,8 +12,20 @@ val contract2 : out:Index.t list -> Dense.t -> Dense.t -> Dense.t
 (** [contract2 ~out a b] is the generalized contraction
     [C(out) = Σ_sum A · B] where the summation indices are every label of
     [a] or [b] not listed in [out]. Labels shared by [a] and [b] must have
-    equal extents; every [out] label must occur in [a] or [b]. The result's
-    storage order is [out]. *)
+    equal extents; every [out] label must occur in [a] or [b]
+    ([Tce_error.Error] otherwise). The result's storage order is [out]. *)
+
+val contract2_acc : into:Dense.t -> Dense.t -> Dense.t -> unit
+(** [contract2_acc ~into a b] accumulates the contraction into an
+    existing tensor (β = 1): [into += contract2 ~out:(labels into) a b],
+    with no intermediate allocation. [into] must not share storage with
+    the operands. *)
+
+val contract2_ref : out:Index.t list -> Dense.t -> Dense.t -> Dense.t
+(** The seed reference implementation of {!contract2}, frozen verbatim:
+    full-space iteration with per-point stride dot-products and
+    per-element [Index.Map] allocation. Slow by construction; used as
+    the oracle in property tests and the baseline in benchmarks. *)
 
 val sum_over : Dense.t -> Index.t list -> Dense.t
 (** [sum_over t idxs] sums away the given labels of [t], keeping the
@@ -25,5 +38,5 @@ val add : Dense.t -> Dense.t -> Dense.t
     is transposed to the first's order if needed). *)
 
 val flops_contract2 : out:Index.t list -> Dense.t -> Dense.t -> int
-(** Number of floating-point operations (multiply-add counted as 2) the
-    reference engine performs for {!contract2} with these arguments. *)
+(** Number of floating-point operations (multiply-add counted as 2) a
+    full-space engine performs for {!contract2} with these arguments. *)

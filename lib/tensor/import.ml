@@ -1,6 +1,7 @@
 (* Aliases for lower-layer libraries; opened by every module in this
    library. *)
 module Ints = Tce_util.Ints
+module Tce_error = Tce_util.Tce_error
 module Listx = Tce_util.Listx
 module Prng = Tce_util.Prng
 module Index = Tce_index.Index

@@ -1,0 +1,336 @@
+open! Import
+
+(* One dimension of the joint iteration space of [C(out) += Σ A·B]: its
+   extent and the stride it contributes to each tensor's flat offset
+   (0 when the tensor does not carry the label). [sc = 0] marks a
+   summation dimension. Classifying by stride pattern instead of label
+   sets means Hadamard/batch dimensions (present everywhere), M/N-like
+   dimensions (one operand + output) and summation dimensions present in
+   only one operand (stride 0 in the other) all fall out of the same
+   representation. *)
+type dim = { ext : int; sa : int; sb : int; sc : int }
+
+let fail fmt = Tce_error.failf fmt
+
+(* Cache-blocking parameters: KC bounds the summation strip so the A/B
+   panels stay cache-resident across the register-tile sweep; MC/NC bound
+   the C panel touched per block. Register tile is MR=2 x NR=4. *)
+let kc = 256
+let mc = 64
+let nc = 512
+
+let used_micro = ref false
+let last_used_microkernel () = !used_micro
+
+(* Resolve pinned labels of [t] to a base flat offset, and return the
+   remaining (visible) labels in storage order. A pinned dimension is
+   excluded from iteration entirely; its position only shifts the base. *)
+let apply_pins ctx t pins =
+  let base = ref 0 in
+  List.iter
+    (fun (l, p) ->
+      match Dense.extent_of t l with
+      | exception Not_found ->
+        fail "Kernel.%s: pinned label %s not in tensor" ctx (Index.name l)
+      | e ->
+        if p < 0 || p >= e then
+          fail "Kernel.%s: pin %s=%d out of range (extent %d)" ctx
+            (Index.name l) p e;
+        base := !base + (p * Dense.stride_of t l))
+    pins;
+  let pinned l = List.exists (fun (l', _) -> Index.equal l l') pins in
+  (!base, List.filter (fun l -> not (pinned l)) (Dense.labels t))
+
+(* Extent-1 dimensions contribute nothing to any offset. *)
+let drop_unit dims = List.filter (fun d -> d.ext > 1) dims
+
+(* Merge adjacent dimensions that are jointly contiguous in all three
+   tensors: outer [o] directly encloses inner [i] when o's stride equals
+   i's stride times i's extent — in A, B and C simultaneously (0 = 0·e
+   covers absent labels). Coalescing turns e.g. a 4-index CCSD block into
+   a plain M x N x K matmul. *)
+let coalesce dims =
+  List.fold_right
+    (fun o acc ->
+      match acc with
+      | i :: rest
+        when o.sa = i.sa * i.ext && o.sb = i.sb * i.ext && o.sc = i.sc * i.ext
+        ->
+        { ext = o.ext * i.ext; sa = i.sa; sb = i.sb; sc = i.sc } :: rest
+      | _ -> o :: acc)
+    dims []
+
+(* Generic stride-walk contraction: a recursive loop nest over the output
+   dimensions then the summation dimensions, maintaining flat offsets
+   incrementally. The innermost loops accumulate straight into the output
+   cell through unboxed float-array stores, so there is no per-element
+   allocation (a float [ref] would box on every assignment). *)
+let walk ~out_dims ~sum_dims da db dc oa0 ob0 oc0 =
+  let od = Array.of_list out_dims and sd = Array.of_list sum_dims in
+  let no = Array.length od and ns = Array.length sd in
+  let rec go_sum d oa ob oc =
+    if d = ns - 1 then begin
+      let { ext; sa; sb; _ } = Array.unsafe_get sd d in
+      for k = 0 to ext - 1 do
+        Array.unsafe_set dc oc
+          (Array.unsafe_get dc oc
+          +. Array.unsafe_get da (oa + (k * sa))
+             *. Array.unsafe_get db (ob + (k * sb)))
+      done
+    end
+    else begin
+      let { ext; sa; sb; _ } = Array.unsafe_get sd d in
+      for k = 0 to ext - 1 do
+        go_sum (d + 1) (oa + (k * sa)) (ob + (k * sb)) oc
+      done
+    end
+  in
+  let rec go_out d oa ob oc =
+    if d = no then
+      if ns = 0 then
+        Array.unsafe_set dc oc
+          (Array.unsafe_get dc oc
+          +. (Array.unsafe_get da oa *. Array.unsafe_get db ob))
+      else go_sum 0 oa ob oc
+    else begin
+      let { ext; sa; sb; sc } = Array.unsafe_get od d in
+      for i = 0 to ext - 1 do
+        go_out (d + 1) (oa + (i * sa)) (ob + (i * sb)) (oc + (i * sc))
+      done
+    end
+  in
+  go_out 0 oa0 ob0 oc0
+
+(* Cache-blocked, register-tiled microkernel for the canonical layout:
+   the innermost output dimension j is stride-1 in C and absent from A;
+   i strides A and C only; k is a summation dimension of both operands.
+   C is updated in place (2x4 tile per K strip) with unchecked accesses;
+   accumulators live in the C cells themselves rather than float refs,
+   which keeps the loop allocation-free without flambda. *)
+let gemm_block da db dc ~oa ~ob ~oc ~m ~n ~kext ~sai ~sci ~ska ~sbj ~skb =
+  let k0 = ref 0 in
+  while !k0 < kext do
+    let kend = min kext (!k0 + kc) in
+    let ks = !k0 in
+    let j0 = ref 0 in
+    while !j0 < n do
+      let jend = min n (!j0 + nc) in
+      let i0 = ref 0 in
+      while !i0 < m do
+        let iend = min m (!i0 + mc) in
+        let i = ref !i0 in
+        while !i + 1 < iend do
+          let oa0 = oa + (!i * sai) in
+          let oa1 = oa0 + sai in
+          let oc0 = oc + (!i * sci) in
+          let oc1 = oc0 + sci in
+          let j = ref !j0 in
+          while !j + 3 < jend do
+            let p0 = oc0 + !j and p1 = oc1 + !j in
+            let obj = ob + (!j * sbj) in
+            for kk = ks to kend - 1 do
+              let pa = kk * ska in
+              let a0 = Array.unsafe_get da (oa0 + pa)
+              and a1 = Array.unsafe_get da (oa1 + pa) in
+              let pb = obj + (kk * skb) in
+              let b0 = Array.unsafe_get db pb
+              and b1 = Array.unsafe_get db (pb + sbj)
+              and b2 = Array.unsafe_get db (pb + (2 * sbj))
+              and b3 = Array.unsafe_get db (pb + (3 * sbj)) in
+              Array.unsafe_set dc p0 (Array.unsafe_get dc p0 +. (a0 *. b0));
+              Array.unsafe_set dc (p0 + 1)
+                (Array.unsafe_get dc (p0 + 1) +. (a0 *. b1));
+              Array.unsafe_set dc (p0 + 2)
+                (Array.unsafe_get dc (p0 + 2) +. (a0 *. b2));
+              Array.unsafe_set dc (p0 + 3)
+                (Array.unsafe_get dc (p0 + 3) +. (a0 *. b3));
+              Array.unsafe_set dc p1 (Array.unsafe_get dc p1 +. (a1 *. b0));
+              Array.unsafe_set dc (p1 + 1)
+                (Array.unsafe_get dc (p1 + 1) +. (a1 *. b1));
+              Array.unsafe_set dc (p1 + 2)
+                (Array.unsafe_get dc (p1 + 2) +. (a1 *. b2));
+              Array.unsafe_set dc (p1 + 3)
+                (Array.unsafe_get dc (p1 + 3) +. (a1 *. b3))
+            done;
+            j := !j + 4
+          done;
+          while !j < jend do
+            let p0 = oc0 + !j and p1 = oc1 + !j in
+            let pb = ob + (!j * sbj) in
+            for kk = ks to kend - 1 do
+              let bv = Array.unsafe_get db (pb + (kk * skb)) in
+              let pa = kk * ska in
+              Array.unsafe_set dc p0
+                (Array.unsafe_get dc p0
+                +. (Array.unsafe_get da (oa0 + pa) *. bv));
+              Array.unsafe_set dc p1
+                (Array.unsafe_get dc p1
+                +. (Array.unsafe_get da (oa1 + pa) *. bv))
+            done;
+            incr j
+          done;
+          i := !i + 2
+        done;
+        while !i < iend do
+          let oa0 = oa + (!i * sai) in
+          let oc0 = oc + (!i * sci) in
+          let j = ref !j0 in
+          while !j < jend do
+            let p0 = oc0 + !j in
+            let pb = ob + (!j * sbj) in
+            for kk = ks to kend - 1 do
+              Array.unsafe_set dc p0
+                (Array.unsafe_get dc p0
+                +. Array.unsafe_get da (oa0 + (kk * ska))
+                   *. Array.unsafe_get db (pb + (kk * skb)))
+            done;
+            incr j
+          done;
+          incr i
+        done;
+        i0 := iend
+      done;
+      j0 := jend
+    done;
+    k0 := kend
+  done
+
+(* Remove the LAST element matching [pred], preserving the order of the
+   rest; returns (rest, found). *)
+let extract_last pred dims =
+  let last = ref (-1) in
+  List.iteri (fun i d -> if pred d then last := i) dims;
+  if !last < 0 then (dims, None)
+  else
+    ( List.filteri (fun i _ -> i <> !last) dims,
+      Some (List.nth dims !last) )
+
+(* Try the fast path: needs an innermost output dimension with unit C
+   stride that one operand lacks entirely (that operand becomes "A").
+   Returns [false] when the layout does not canonicalize, in which case
+   the caller falls back to the generic walk. *)
+let try_micro ~out_dims ~sum_dims da db dc abase bbase cbase =
+  match List.rev out_dims with
+  | [] -> false
+  | jd :: _ when jd.sc <> 1 -> false
+  | jd :: _ ->
+    (* Orient the operands so that j is absent from A; a contraction is
+       symmetric in A·B, so swap when j is absent from B instead. *)
+    let swap =
+      if jd.sa = 0 && jd.sb <> 0 then Some false
+      else if jd.sb = 0 && jd.sa <> 0 then Some true
+      else None
+    in
+    (match swap with
+    | None -> false
+    | Some sw ->
+      let da, db, abase, bbase =
+        if sw then (db, da, bbase, abase) else (da, db, abase, bbase)
+      in
+      let flip d = if sw then { d with sa = d.sb; sb = d.sa } else d in
+      let out_dims = List.map flip out_dims and sum_dims = List.map flip sum_dims in
+      let rest_out, jdim = extract_last (fun d -> d.sc = 1 && d.sa = 0) out_dims in
+      let jd = Option.get jdim in
+      (* i: innermost output dimension that strides A but not B. *)
+      let rest_out, idim =
+        extract_last (fun d -> d.sa <> 0 && d.sb = 0) rest_out
+      in
+      let id =
+        match idim with
+        | Some d -> d
+        | None -> { ext = 1; sa = 0; sb = 0; sc = 0 }
+      in
+      (* k: the summation dimension with the smallest A stride (best
+         locality in the k-loop); remaining sums stay in the outer walk
+         and accumulate across gemm_block calls. *)
+      let rest_sum, kdim =
+        match sum_dims with
+        | [] -> ([], None)
+        | _ ->
+          let best =
+            List.fold_left
+              (fun acc d ->
+                match acc with
+                | None -> Some d
+                | Some b ->
+                  if d.sa <> 0 && (b.sa = 0 || d.sa < b.sa) then Some d
+                  else acc)
+              None sum_dims
+          in
+          let b = Option.get best in
+          let rec remove = function
+            | [] -> []
+            | d :: rest -> if d == b then rest else d :: remove rest
+          in
+          (remove sum_dims, Some b)
+      in
+      let kd =
+        match kdim with
+        | Some d -> d
+        | None -> { ext = 1; sa = 0; sb = 0; sc = 0 }
+      in
+      (* Outer walk over every remaining dimension (output dims via their
+         C strides, leftover summation dims with sc = 0); each leaf runs
+         one blocked matmul that accumulates into C. *)
+      let outer = Array.of_list (rest_out @ rest_sum) in
+      let nouter = Array.length outer in
+      let rec go d oa ob oc =
+        if d = nouter then
+          gemm_block da db dc ~oa ~ob ~oc ~m:id.ext ~n:jd.ext ~kext:kd.ext
+            ~sai:id.sa ~sci:id.sc ~ska:kd.sa ~sbj:jd.sb ~skb:kd.sb
+        else begin
+          let { ext; sa; sb; sc } = Array.unsafe_get outer d in
+          for i = 0 to ext - 1 do
+            go (d + 1) (oa + (i * sa)) (ob + (i * sb)) (oc + (i * sc))
+          done
+        end
+      in
+      go 0 abase bbase cbase;
+      true)
+
+let contract_acc ?(pin_out = []) ?(pin_a = []) ?(pin_b = []) ~into a b =
+  let cbase, cvis = apply_pins "contract_acc" into pin_out in
+  let abase, avis = apply_pins "contract_acc" a pin_a in
+  let bbase, bvis = apply_pins "contract_acc" b pin_b in
+  let visible vis l = List.exists (Index.equal l) vis in
+  let vis_stride vis t l = if visible vis l then Dense.stride_of t l else 0 in
+  let check_ext t vis l ext =
+    if visible vis l && Dense.extent_of t l <> ext then
+      fail "Kernel.contract_acc: extent mismatch on label %s" (Index.name l)
+  in
+  let out_dims =
+    List.map
+      (fun l ->
+        let ext = Dense.extent_of into l in
+        let sa = vis_stride avis a l and sb = vis_stride bvis b l in
+        if sa = 0 && sb = 0 then
+          fail "Kernel.contract_acc: output label %s absent from both operands"
+            (Index.name l);
+        check_ext a avis l ext;
+        check_ext b bvis l ext;
+        { ext; sa; sb; sc = Dense.stride_of into l })
+      cvis
+  in
+  let in_out l = visible cvis l in
+  let sum_a = List.filter (fun l -> not (in_out l)) avis in
+  let sum_b =
+    List.filter
+      (fun l -> (not (in_out l)) && not (List.exists (Index.equal l) sum_a))
+      bvis
+  in
+  let sum_dims =
+    List.map
+      (fun l ->
+        let ext =
+          if visible avis l then Dense.extent_of a l else Dense.extent_of b l
+        in
+        check_ext a avis l ext;
+        check_ext b bvis l ext;
+        { ext; sa = vis_stride avis a l; sb = vis_stride bvis b l; sc = 0 })
+      (sum_a @ sum_b)
+  in
+  let out_dims = coalesce (drop_unit out_dims) in
+  let sum_dims = coalesce (drop_unit sum_dims) in
+  let da = Dense.data a and db = Dense.data b and dc = Dense.data into in
+  used_micro := try_micro ~out_dims ~sum_dims da db dc abase bbase cbase;
+  if not !used_micro then walk ~out_dims ~sum_dims da db dc abase bbase cbase

@@ -1,0 +1,39 @@
+(** High-performance binary contraction kernel.
+
+    Canonicalizes a contraction [C(out) += Σ A·B] into (M, N, K) index
+    groups: each joint dimension is classified purely by its stride
+    pattern across the three tensors, extent-1 dimensions are dropped,
+    and adjacent dimensions that are jointly contiguous are coalesced.
+    When the resulting layout has a stride-1 innermost output dimension
+    absent from one operand, a cache-blocked, register-tiled matmul
+    microkernel runs over the flat buffers with unchecked accesses;
+    otherwise a generic stride-walk loop nest is used. Both paths
+    perform zero per-element allocation. *)
+
+open! Import
+
+val contract_acc :
+  ?pin_out:(Index.t * int) list ->
+  ?pin_a:(Index.t * int) list ->
+  ?pin_b:(Index.t * int) list ->
+  into:Dense.t ->
+  Dense.t ->
+  Dense.t ->
+  unit
+(** [contract_acc ~into a b] accumulates (β = 1) the generalized
+    contraction of [a] and [b] into [into]: for every coordinate of
+    [into]'s labels, the product of [a] and [b] summed over their labels
+    not appearing in [into]. [into] is mutated in place and must not
+    share storage with [a] or [b].
+
+    The [pin_*] arguments fix labels of the respective tensor at a given
+    position: a pinned dimension is excluded from iteration and only
+    shifts the tensor's base offset, which lets callers contract into or
+    out of a slab of a larger tensor without slicing copies. Raises
+    [Tce_error.Error] on foreign or out-of-range pins, on extent
+    mismatches, and on output labels absent from both operands. *)
+
+val last_used_microkernel : unit -> bool
+(** Whether the most recent {!contract_acc} on this domain ran the
+    blocked microkernel (as opposed to the generic stride-walk
+    fallback). For tests and benchmarks. *)

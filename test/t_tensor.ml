@@ -21,22 +21,22 @@ let test_create_get_set () =
 
 let test_create_errors () =
   (match Dense.create [ (i "a", 2); (i "a", 3) ] with
-  | exception Invalid_argument _ -> ()
+  | exception Tce_error.Error _ -> ()
   | _ -> Alcotest.fail "duplicate labels accepted");
   match Dense.create [ (i "a", 0) ] with
-  | exception Invalid_argument _ -> ()
+  | exception Tce_error.Error _ -> ()
   | _ -> Alcotest.fail "zero extent accepted"
 
 let test_coordinate_errors () =
   let t = Dense.create [ (i "a", 2) ] in
   (match Dense.get t (coord [ ("a", 2) ]) with
-  | exception Invalid_argument _ -> ()
+  | exception Tce_error.Error _ -> ()
   | _ -> Alcotest.fail "out of range accepted");
   (match Dense.get t (coord [ ("b", 0) ]) with
-  | exception Invalid_argument _ -> ()
+  | exception Tce_error.Error _ -> ()
   | _ -> Alcotest.fail "wrong label accepted");
   match Dense.get t (coord [ ("a", 0); ("b", 0) ]) with
-  | exception Invalid_argument _ -> ()
+  | exception Tce_error.Error _ -> ()
   | _ -> Alcotest.fail "extra label accepted"
 
 let test_scalar () =
@@ -120,7 +120,7 @@ let test_equal_approx_orders () =
 let test_map2_shape_check () =
   let a = Dense.create [ (i "a", 2) ] and b = Dense.create [ (i "b", 2) ] in
   match Dense.map2 a b ~f:( +. ) with
-  | exception Invalid_argument _ -> ()
+  | exception Tce_error.Error _ -> ()
   | _ -> Alcotest.fail "shape mismatch accepted"
 
 (* ---------------- Einsum ---------------- *)
@@ -174,10 +174,10 @@ let test_sum_over () =
 let test_einsum_errors () =
   let a = Dense.create [ (i "x", 3) ] and b = Dense.create [ (i "x", 4) ] in
   (match Einsum.contract2 ~out:[ i "x" ] a b with
-  | exception Invalid_argument _ -> ()
+  | exception Tce_error.Error _ -> ()
   | _ -> Alcotest.fail "extent mismatch accepted");
   match Einsum.contract2 ~out:[ i "z" ] a a with
-  | exception Invalid_argument _ -> ()
+  | exception Tce_error.Error _ -> ()
   | _ -> Alcotest.fail "foreign output label accepted"
 
 let test_flops_count () =
@@ -235,6 +235,127 @@ let test_add_and_scale () =
   let sum = Einsum.add a s in
   check_float "add" 6.0 (Dense.get sum (coord [ ("x", 2) ]))
 
+(* ---------------- Kernel ---------------- *)
+
+(* Random contraction instances: each label draws a membership role
+   (sum in A / in B / in both; output from A / from B / batch) and an
+   extent in 1..4 — so extent-1 dimensions, empty summation sets,
+   scalar operands and Hadamard dimensions all occur — and every storage
+   order is shuffled. The blocked kernel must agree with the frozen seed
+   reference on all of them. *)
+let qcheck_kernel_vs_ref =
+  qtest ~count:150 "kernel = frozen reference on random contractions"
+    G.(
+      tup2
+        (list_size (int_range 1 6) (tup2 (int_range 0 5) (int_range 1 4)))
+        (int_range 0 1_000_000))
+    (fun (spec, seed) ->
+      let rng = Prng.create ~seed in
+      let labeled =
+        List.mapi
+          (fun k (role, ext) -> (i (Printf.sprintf "x%d" k), role, ext))
+          spec
+      in
+      (* roles: 0 sum in A; 1 sum in B; 2 sum in both;
+         3 out from A; 4 out from B; 5 out from both (batch) *)
+      let dims_of roles =
+        List.filter_map
+          (fun (l, r, e) -> if List.mem r roles then Some (l, e) else None)
+          labeled
+      in
+      let a_dims = Prng.shuffle rng (dims_of [ 0; 2; 3; 5 ]) in
+      let b_dims = Prng.shuffle rng (dims_of [ 1; 2; 4; 5 ]) in
+      let out = Prng.shuffle rng (List.map fst (dims_of [ 3; 4; 5 ])) in
+      let a = Dense.create a_dims and b = Dense.create b_dims in
+      Dense.fill_random a rng;
+      Dense.fill_random b rng;
+      let fast = Einsum.contract2 ~out a b in
+      let slow = Einsum.contract2_ref ~out a b in
+      Dense.equal_approx fast slow)
+
+let qcheck_acc_equivalence =
+  qtest ~count:50 "contract2_acc = contract2 + add"
+    G.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let a = Dense.create [ (i "p", 3); (i "k", 4); (i "s", 2) ] in
+      let b = Dense.create [ (i "k", 4); (i "q", 5) ] in
+      let into = Dense.create [ (i "p", 3); (i "q", 5); (i "s", 2) ] in
+      Dense.fill_random a rng;
+      Dense.fill_random b rng;
+      Dense.fill_random into rng;
+      let base = Dense.copy into in
+      Einsum.contract2_acc ~into a b;
+      let expect =
+        Einsum.add base (Einsum.contract2_ref ~out:(Dense.labels into) a b)
+      in
+      Dense.equal_approx into expect)
+
+(* The CCSD-shaped contraction T1[b,c,d,f] = Σ_{e,l} B[b,e,f,l]·D[c,d,e,l]
+   must canonicalize onto the blocked microkernel (this is the layout the
+   benchmark's >=10x speedup claim rests on). *)
+let test_ccsd_hits_microkernel () =
+  let rng = Prng.create ~seed:42 in
+  let bt = Dense.create [ (i "b", 4); (i "e", 3); (i "f", 4); (i "l", 3) ] in
+  let dt = Dense.create [ (i "c", 4); (i "d", 4); (i "e", 3); (i "l", 3) ] in
+  Dense.fill_random bt rng;
+  Dense.fill_random dt rng;
+  let out = idx_list [ "b"; "c"; "d"; "f" ] in
+  let c = Einsum.contract2 ~out bt dt in
+  Alcotest.(check bool) "microkernel used" true (Kernel.last_used_microkernel ());
+  Alcotest.(check bool) "matches reference" true
+    (Dense.equal_approx c (Einsum.contract2_ref ~out bt dt))
+
+(* An innermost output dimension present in both operands defeats the
+   canonical (M, N, K) form; the kernel must take the stride-walk
+   fallback and still be exact. *)
+let test_noncoalescible_falls_back () =
+  let rng = Prng.create ~seed:43 in
+  let a = Dense.create [ (i "m", 3); (i "k", 4); (i "x", 5) ] in
+  let b = Dense.create [ (i "k", 4); (i "x", 5) ] in
+  Dense.fill_random a rng;
+  Dense.fill_random b rng;
+  let out = idx_list [ "m"; "x" ] in
+  let c = Einsum.contract2 ~out a b in
+  Alcotest.(check bool) "fallback used" false (Kernel.last_used_microkernel ());
+  Alcotest.(check bool) "matches reference" true
+    (Dense.equal_approx c (Einsum.contract2_ref ~out a b))
+
+(* Pinned contraction into a slab position equals slicing by hand; the
+   rest of the target is untouched. *)
+let test_kernel_pins () =
+  let rng = Prng.create ~seed:44 in
+  let a = Dense.create [ (i "s", 2); (i "p", 3); (i "k", 4) ] in
+  let b = Dense.create [ (i "k", 4); (i "q", 5); (i "s", 2) ] in
+  Dense.fill_random a rng;
+  Dense.fill_random b rng;
+  let into = Dense.create [ (i "s", 2); (i "p", 3); (i "q", 5) ] in
+  Kernel.contract_acc
+    ~pin_out:[ (i "s", 1) ]
+    ~pin_a:[ (i "s", 1) ]
+    ~pin_b:[ (i "s", 1) ]
+    ~into a b;
+  let expect =
+    Einsum.contract2_ref
+      ~out:(idx_list [ "p"; "q" ])
+      (Dense.slice a (i "s") 1)
+      (Dense.slice b (i "s") 1)
+  in
+  Alcotest.(check bool) "pinned slab" true
+    (Dense.equal_approx (Dense.slice into (i "s") 1) expect);
+  check_float "other slab untouched" 0.0
+    (Dense.frobenius (Dense.slice into (i "s") 0))
+
+let test_kernel_pin_errors () =
+  let a = Dense.create [ (i "p", 3) ] in
+  let into = Dense.create [ (i "p", 3) ] in
+  (match Kernel.contract_acc ~pin_a:[ (i "z", 0) ] ~into a (Dense.scalar 1.0) with
+  | exception Tce_error.Error _ -> ()
+  | () -> Alcotest.fail "foreign pin accepted");
+  match Kernel.contract_acc ~pin_a:[ (i "p", 3) ] ~into a (Dense.scalar 1.0) with
+  | exception Tce_error.Error _ -> ()
+  | () -> Alcotest.fail "out-of-range pin accepted"
+
 (* ---------------- Coords ---------------- *)
 
 let test_coords_strides () =
@@ -282,6 +403,15 @@ let suite =
         qcheck_matmul;
         qcheck_contract_commutes;
         case "add and scale" test_add_and_scale;
+      ] );
+    ( "tensor.kernel",
+      [
+        qcheck_kernel_vs_ref;
+        qcheck_acc_equivalence;
+        case "CCSD shape hits the microkernel" test_ccsd_hits_microkernel;
+        case "non-coalescible layout falls back" test_noncoalescible_falls_back;
+        case "pinned slab contraction" test_kernel_pins;
+        case "pin errors" test_kernel_pin_errors;
       ] );
     ( "tensor.coords",
       [
