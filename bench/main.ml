@@ -749,6 +749,101 @@ let kernels () =
   Format.printf "@.wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* SPMD engine benchmarks                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Times whole-plan execution on real domains under the engine's four
+   mode corners — {spawn-per-step, pooled} x {serialized, overlapped} —
+   on 2x2 and 3x3 grids, checks the schedules produce bit-identical
+   outputs, and writes BENCH_spmd.json. The CCSD plan has 3 contraction
+   steps, so spawn-per-step pays three team spawns per run where the
+   pooled engine pays one per plan. *)
+let spmd () =
+  section "SPMD engine: pooled + double-buffered Cannon vs spawn-per-step";
+  let problem, seq, tree = load ccsd_small_text in
+  let ext = problem.Problem.extents in
+  let inputs = Sequence.random_inputs ext ~seed:20260806 seq in
+  let reference = Sequence.eval ext ~inputs seq in
+  (* Wall clock, not [Sys.time]: domain CPU time sums across cores. *)
+  let wall_of ?(reps = 5) f =
+    ignore (f ());
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let bits_equal a b =
+    let da = Dense.data a and db = Dense.data b in
+    Array.length da = Array.length db
+    && (let ok = ref true in
+        Array.iteri
+          (fun k x ->
+            if not (Int64.equal (Int64.bits_of_float x)
+                      (Int64.bits_of_float db.(k))) then ok := false)
+          da;
+        !ok)
+  in
+  let modes =
+    [
+      ("spawn-serialized", false, Multicore.Serialized);
+      ("spawn-overlapped", false, Multicore.Overlapped);
+      ("pooled-serialized", true, Multicore.Serialized);
+      ("pooled-overlapped", true, Multicore.Overlapped);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun procs ->
+        let grid, cfg = config procs in
+        let side = Grid.side grid in
+        let plan = Result.get_ok (Search.optimize cfg ext tree) in
+        let steps = List.length plan.Plan.steps in
+        let run ~pooled ~schedule () =
+          Multicore.run_plan ~pooled ~schedule grid ext plan ~inputs
+        in
+        let baseline_out = run ~pooled:false ~schedule:Multicore.Serialized () in
+        assert (Dense.equal_approx ~tol:1e-9 reference baseline_out);
+        let baseline_s =
+          wall_of (run ~pooled:false ~schedule:Multicore.Serialized)
+        in
+        List.map
+          (fun (name, pooled, schedule) ->
+            let out = run ~pooled ~schedule () in
+            let identical = bits_equal baseline_out out in
+            let seconds =
+              if pooled = false && schedule = Multicore.Serialized then
+                baseline_s
+              else wall_of (run ~pooled ~schedule)
+            in
+            Format.printf
+              "%dx%d %-18s %9.2f ms/plan  speedup %5.2fx  bit-identical %b@."
+              side side name (1e3 *. seconds) (baseline_s /. seconds)
+              identical;
+            (Printf.sprintf "%dx%d" side side, steps, name, seconds,
+             baseline_s /. seconds, identical))
+          modes)
+      [ 4; 9 ]
+  in
+  let path = "BENCH_spmd.json" in
+  Out_channel.with_open_text path (fun oc ->
+      let p fmt = Printf.fprintf oc fmt in
+      p "{\n  \"benchmark\": \"spmd\",\n  \"cases\": [\n";
+      List.iteri
+        (fun k (grid, steps, name, seconds, speedup, identical) ->
+          p
+            "    {\"grid\": %S, \"plan_steps\": %d, \"mode\": %S, \
+             \"seconds\": %.6e, \"speedup_vs_spawn_serialized\": %.3f, \
+             \"bit_identical_to_baseline\": %b}%s\n"
+            grid steps name seconds speedup identical
+            (if k = List.length rows - 1 then "" else ","))
+        rows;
+      p "  ]\n}\n");
+  Format.printf "@.wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -766,6 +861,7 @@ let sections =
     ("validate", validate);
     ("micro", micro);
     ("kernels", kernels);
+    ("spmd", spmd);
   ]
 
 let default =

@@ -56,6 +56,34 @@ let compute_seconds t =
 
 let total_seconds t = compute_seconds t +. comm_cost t
 
+let step_comm_seconds (s : step) =
+  List.fold_left (fun a (_, c) -> a +. c) 0.0 s.rotations
+  +. List.fold_left (fun a rd -> a +. rd.cost) 0.0 s.redists
+
+let step_compute_seconds t (s : step) =
+  Params.compute_time t.params
+    ~flops:(float_of_int s.flops /. float_of_int (Grid.procs t.grid))
+
+(* Presums are communication-free, so under any overlap law they
+   contribute their compute time additively; each contraction step pays
+   the overlap law on its (comm, compute) pair. With [Overlap.none] this
+   telescopes back to exactly [total_seconds]. *)
+let overlapped_seconds ?(overlap = Overlap.none) t =
+  let presum_compute =
+    List.fold_left
+      (fun acc (ps : presum) ->
+        acc
+        +. Params.compute_time t.params
+             ~flops:(float_of_int ps.flops /. float_of_int (Grid.procs t.grid)))
+      0.0 t.presums
+  in
+  List.fold_left
+    (fun acc s ->
+      acc
+      +. Overlap.step_seconds overlap ~comm:(step_comm_seconds s)
+           ~compute:(step_compute_seconds t s))
+    presum_compute t.steps
+
 let comm_fraction t =
   let total = total_seconds t in
   if total <= 0.0 then 0.0 else comm_cost t /. total

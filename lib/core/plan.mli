@@ -70,7 +70,20 @@ val compute_seconds : t -> float
 (** Elapsed computation time: [flops / (P · flop_rate)]. *)
 
 val total_seconds : t -> float
-(** Computation plus communication. *)
+(** Computation plus communication, strictly serialized (the paper's
+    additive law). *)
+
+val step_comm_seconds : step -> float
+(** One step's rotation plus redistribution cost. *)
+
+val step_compute_seconds : t -> step -> float
+(** One step's per-processor multiply time. *)
+
+val overlapped_seconds : ?overlap:Overlap.t -> t -> float
+(** Predicted elapsed time when each step's communication may overlap its
+    computation under the given {!Overlap} law (default [Overlap.none],
+    which makes this exactly {!total_seconds}). Presums are always
+    additive — they communicate nothing. *)
 
 val comm_fraction : t -> float
 (** Fraction of {!total_seconds} spent communicating. *)

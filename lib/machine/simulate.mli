@@ -18,17 +18,27 @@ type timing = {
   comm_seconds : float;
   compute_seconds : float;
   total_seconds : float;
+  overlapped_seconds : float;
+      (** elapsed time under the requested {!Overlap} law: per step,
+          [max(comm, compute) + factor·min(comm, compute)]. Equal to
+          [comm_seconds + compute_seconds] under the default
+          [Overlap.none]. *)
 }
 
 val run_plan :
-  ?faults:Fault.t -> Params.t -> Extents.t -> Plan.t
+  ?faults:Fault.t -> ?overlap:Overlap.t -> Params.t -> Extents.t -> Plan.t
   -> (timing, Tce_error.t) result
 (** Simulate the whole plan. [Error (Runaway_rounds _)] if a fused loop
     nest implies more than [10^7] communication rounds (a runaway plan no
     real run would attempt either); [Error (Node_crashed _)] when the
-    fault model kills a node mid-run. *)
+    fault model kills a node mid-run. [?overlap] (default [Overlap.none],
+    the paper's serialized law) only affects [overlapped_seconds]: the
+    replayed clocks themselves stay strictly shift-then-multiply, so the
+    Tables 1–2 reproduction is untouched. *)
 
-val run_plan_exn : ?faults:Fault.t -> Params.t -> Extents.t -> Plan.t -> timing
+val run_plan_exn :
+  ?faults:Fault.t -> ?overlap:Overlap.t -> Params.t -> Extents.t -> Plan.t
+  -> timing
 (** Like {!run_plan} but raises [Tce_error.Error]: for callers with no
     degradation story (benchmarks, quick scripts). *)
 

@@ -1,0 +1,38 @@
+open! Import
+
+type t = { factor : float }
+
+let none = { factor = 1.0 }
+let perfect = { factor = 0.0 }
+
+let make ~factor =
+  if Float.is_nan factor || factor < 0.0 || factor > 1.0 then
+    Error
+      (Printf.sprintf "Overlap.make: factor %g outside [0, 1]" factor)
+  else Ok { factor }
+
+let make_exn ~factor =
+  match make ~factor with
+  | Ok t -> t
+  | Error msg -> Tce_error.raise_err (Tce_error.msg msg)
+
+let factor t = t.factor
+let is_none t = t.factor = 1.0
+
+let step_seconds t ~comm ~compute =
+  if comm < 0.0 then
+    Tce_error.raise_err
+      (Tce_error.Negative_time { where = "Overlap.step_seconds"; seconds = comm });
+  if compute < 0.0 then
+    Tce_error.raise_err
+      (Tce_error.Negative_time
+         { where = "Overlap.step_seconds"; seconds = compute });
+  Float.max comm compute +. (t.factor *. Float.min comm compute)
+
+let saved_seconds t ~comm ~compute =
+  (1.0 -. t.factor) *. Float.min comm compute
+
+let pp ppf t =
+  if is_none t then Format.fprintf ppf "overlap: none (serialized)"
+  else if t.factor = 0.0 then Format.fprintf ppf "overlap: perfect"
+  else Format.fprintf ppf "overlap: factor %.2f exposed" t.factor

@@ -1,5 +1,7 @@
 open! Import
 
+type schedule = Serialized | Overlapped
+
 let block_ranges grid ext ~alpha ~dims ~b1 ~b2 =
   List.map
     (fun i ->
@@ -23,16 +25,56 @@ let check_extents grid ext variant =
         (Dist.indices (Variant.dist_of variant role)))
     [ Variant.Out; Variant.Left; Variant.Right ]
 
-let run_contraction ?recv_timeout_s grid ext variant ~left ~right =
+let check_pool grid = function
+  | Some pool when Spmd.Pool.procs pool <> Grid.procs grid ->
+    Tce_error.failf
+      "Multicore: pool of %d domains cannot run a grid of %d processors"
+      (Spmd.Pool.procs pool) (Grid.procs grid)
+  | _ -> ()
+
+(* Ranks gather without a lock, so their output blocks must tile [result]
+   disjointly. They do — the schedule's placement at a step is a
+   permutation of blocks — but that is a property of [Schedule], not of
+   this writer, so debug builds re-check it: two blocks are disjoint iff
+   some dimension's (offset, length) ranges do not intersect. *)
+let gather_blocks_disjoint blocks =
+  let overlap (o1, l1) (o2, l2) = o1 < o2 + l2 && o2 < o1 + l1 in
+  let blocks_overlap a b =
+    List.for_all2 (fun (_, r1) (_, r2) -> overlap r1 r2) a b
+  in
+  let n = Array.length blocks in
+  let ok = ref true in
+  for r = 0 to n - 1 do
+    for s = r + 1 to n - 1 do
+      if blocks_overlap blocks.(r) blocks.(s) then ok := false
+    done
+  done;
+  !ok
+
+let run_contraction ?pool ?(schedule = Overlapped) ?recv_timeout_s grid ext
+    variant ~left ~right =
   check_extents grid ext variant;
+  check_pool grid pool;
   let side = Grid.side grid in
   let sched = Schedule.make variant ~side in
   let out_aref = Variant.aref_of variant Variant.Out in
+  let out_alpha = Variant.dist_of variant Variant.Out in
   let result =
     Dense.create
       (List.map (fun i -> (i, Extents.extent ext i)) (Aref.indices out_aref))
   in
-  let gather_lock = Mutex.create () in
+  (* Each rank's final-step output block, precomputed so the disjointness
+     backing the lock-free gather is checkable before any domain runs. *)
+  let gather =
+    Array.init (Grid.procs grid) (fun r ->
+        let z1, z2 = Grid.coord_of grid r in
+        let b1, b2 =
+          Schedule.block_at sched Variant.Out ~step:(side - 1) ~z1 ~z2
+        in
+        block_ranges grid ext ~alpha:out_alpha ~dims:(Aref.indices out_aref)
+          ~b1 ~b2)
+  in
+  assert (gather_blocks_disjoint gather);
   let worker ctx =
     let my = Spmd.rank ctx in
     let z1, z2 = Grid.coord_of grid my in
@@ -47,9 +89,8 @@ let run_contraction ?recv_timeout_s grid ext variant ~left ~right =
     let my_out =
       let b1, b2 = Schedule.block_at sched Variant.Out ~step:0 ~z1 ~z2 in
       let ranges =
-        block_ranges grid ext
-          ~alpha:(Variant.dist_of variant Variant.Out)
-          ~dims:(Aref.indices out_aref) ~b1 ~b2
+        block_ranges grid ext ~alpha:out_alpha ~dims:(Aref.indices out_aref)
+          ~b1 ~b2
       in
       ref (Dense.create (List.map (fun (i, (_, len)) -> (i, len)) ranges))
     in
@@ -64,38 +105,114 @@ let run_contraction ?recv_timeout_s grid ext variant ~left ~right =
        arrive by reference through the shared-heap Spmd mailbox, so a
        step's only allocation is the mailbox cell itself. *)
     let multiply () = Einsum.contract2_acc ~into:!my_out !my_left !my_right in
-    multiply ();
-    for _step = 1 to side - 1 do
-      List.iter
-        (fun (role, axis) ->
-          (* Blocks move one hop toward the lower coordinate. *)
-          let dst = Grid.rank_of grid (Grid.shift grid (z1, z2) ~axis ~by:(-1)) in
-          let src = Grid.rank_of grid (Grid.shift grid (z1, z2) ~axis ~by:1) in
-          let cell = cell_of role in
-          cell := Spmd.sendrecv ?timeout_s:recv_timeout_s ctx ~dst !cell ~src)
-        (Variant.rotated variant);
-      multiply ()
-    done;
-    (* Gather: each domain writes its (possibly displaced) output block. *)
-    let b1, b2 = Schedule.block_at sched Variant.Out ~step:(side - 1) ~z1 ~z2 in
+    (* Blocks move one hop toward the lower coordinate. *)
+    let dst_of axis = Grid.rank_of grid (Grid.shift grid (z1, z2) ~axis ~by:(-1)) in
+    let src_of axis = Grid.rank_of grid (Grid.shift grid (z1, z2) ~axis ~by:1) in
+    let exchange (role, axis) =
+      let cell = cell_of role in
+      cell :=
+        Spmd.sendrecv ?timeout_s:recv_timeout_s ctx ~dst:(dst_of axis) !cell
+          ~src:(src_of axis)
+    in
+    let rotated = Variant.rotated variant in
+    (match schedule with
+    | Serialized ->
+      multiply ();
+      for _step = 1 to side - 1 do
+        List.iter exchange rotated;
+        multiply ()
+      done
+    | Overlapped ->
+      (* Double-buffered Cannon: operand blocks are read-only in the
+         multiply, so their sends for the next shift are posted {e
+         before} it — the message is in the peer's mailbox (and, under a
+         fault model, its retry latency is running) while this rank
+         computes, and the post-multiply receive usually completes
+         immediately. A rotated {e output} block is being written by the
+         multiply, so it still exchanges strictly between multiplies.
+         The blocks multiplied at every step are identical to the
+         serialized schedule's, so results are bit-identical. *)
+      let out_moves, operand_moves =
+        List.partition
+          (fun (role, _) -> Variant.role_equal role Variant.Out)
+          rotated
+      in
+      let post_sends () =
+        List.iter
+          (fun (role, axis) -> Spmd.send ctx ~dst:(dst_of axis) !(cell_of role))
+          operand_moves
+      in
+      let recv_operands () =
+        List.iter
+          (fun (role, axis) ->
+            cell_of role
+            := Spmd.recv ?timeout_s:recv_timeout_s ctx ~src:(src_of axis))
+          operand_moves
+      in
+      if side > 1 then post_sends ();
+      multiply ();
+      for step = 1 to side - 1 do
+        List.iter exchange out_moves;
+        recv_operands ();
+        if step < side - 1 then post_sends ();
+        multiply ()
+      done);
+    (* Gather: each domain writes its (possibly displaced) output block.
+       The blocks tile [result] disjointly (asserted above), so the
+       stride-walk writes need no lock; the join/completion handshake
+       publishes them to the caller. *)
     let offsets =
       List.filter_map
         (fun (i, (off, _)) -> if off = 0 then None else Some (i, off))
-        (block_ranges grid ext
-           ~alpha:(Variant.dist_of variant Variant.Out)
-           ~dims:(Aref.indices out_aref) ~b1 ~b2)
+        gather.(my)
     in
-    Mutex.lock gather_lock;
     Dense.set_block result offsets !my_out;
-    Mutex.unlock gather_lock;
     Spmd.barrier ctx
   in
-  let (_ : unit array) = Spmd.run ~procs:(Grid.procs grid) worker in
+  let (_ : unit array) =
+    match pool with
+    | Some pool -> Spmd.Pool.run pool worker
+    | None -> Spmd.run ~procs:(Grid.procs grid) worker
+  in
   result
 
-let run_plan ?recv_timeout_s grid ext (plan : Plan.t) ~inputs =
+let run_plan ?pool ?(pooled = true) ?schedule ?recv_timeout_s
+    ?(free_intermediates = true) ?on_free grid ext (plan : Plan.t) ~inputs =
+  check_pool grid pool;
+  if plan.steps = [] then Tce_error.failf "Multicore.run_plan: plan has no steps";
   let env = Hashtbl.create 16 in
   List.iter (fun (name, t) -> Hashtbl.replace env name t) inputs;
+  let final_name =
+    let last = List.nth plan.steps (List.length plan.steps - 1) in
+    Aref.name last.Plan.contraction.Contraction.out
+  in
+  (* Liveness: the step index after which each tensor is dead. Executing a
+     memory-constrained plan while holding every intermediate until the
+     end would betray the [MemLimit] discipline the search enforced, so
+     env entries are dropped after their last consumption (the caller
+     keeps its own references to inputs; intermediates become garbage). *)
+  let dying = Array.make (List.length plan.steps) [] in
+  if free_intermediates then begin
+    let last_use = Hashtbl.create 16 in
+    List.iteri
+      (fun k (step : Plan.step) ->
+        Hashtbl.replace last_use
+          (Aref.name step.contraction.Contraction.left) k;
+        Hashtbl.replace last_use
+          (Aref.name step.contraction.Contraction.right) k)
+      plan.steps;
+    Hashtbl.iter
+      (fun name k ->
+        if not (String.equal name final_name) then
+          dying.(k) <- name :: dying.(k))
+      last_use
+  end;
+  let free name =
+    if Hashtbl.mem env name then begin
+      Hashtbl.remove env name;
+      Option.iter (fun f -> f name) on_free
+    end
+  in
   (* Local pre-summations (no communication) before any contraction. *)
   List.iter
     (fun (ps : Plan.presum) ->
@@ -115,17 +232,26 @@ let run_plan ?recv_timeout_s grid ext (plan : Plan.t) ~inputs =
         (Tce_error.Missing_tensor
            { where = "Multicore.run_plan"; name = Aref.name aref })
   in
-  let last = ref None in
-  List.iter
-    (fun (step : Plan.step) ->
-      let out =
-        run_contraction ?recv_timeout_s grid ext step.variant
-          ~left:(lookup step.contraction.Contraction.left)
-          ~right:(lookup step.contraction.Contraction.right)
-      in
-      Hashtbl.replace env (Aref.name step.contraction.Contraction.out) out;
-      last := Some out)
-    plan.steps;
-  match !last with
-  | Some out -> out
-  | None -> Tce_error.failf "Multicore.run_plan: plan has no steps"
+  let execute pool =
+    let last = ref None in
+    List.iteri
+      (fun k (step : Plan.step) ->
+        let out =
+          run_contraction ?pool ?schedule ?recv_timeout_s grid ext
+            step.variant
+            ~left:(lookup step.contraction.Contraction.left)
+            ~right:(lookup step.contraction.Contraction.right)
+        in
+        Hashtbl.replace env (Aref.name step.contraction.Contraction.out) out;
+        List.iter free dying.(k);
+        last := Some out)
+      plan.steps;
+    Option.get !last
+  in
+  match pool with
+  | Some _ -> execute pool
+  | None when pooled ->
+    (* One persistent team serves every step: spawn/join is paid once per
+       plan, not once per contraction. *)
+    Spmd.with_pool ~procs:(Grid.procs grid) (fun p -> execute (Some p))
+  | None -> execute None

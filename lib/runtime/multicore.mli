@@ -11,22 +11,56 @@
     distributed extent at least the grid side). Use modest grids
     (4–16 domains).
 
+    The engine is built for overlap and reuse (DESIGN.md §10): by default
+    Cannon steps are double-buffered — the next shift's operand sends are
+    posted before the current multiply, hiding message transit (and fault
+    retries) behind arithmetic — ranks gather their disjoint output
+    blocks lock-free, {!run_plan} runs every step on one persistent
+    {!Spmd.Pool} team instead of spawning domains per contraction, and
+    intermediates are dropped after their last use. Every knob has a
+    paper-faithful fallback ([Serialized], [~pooled:false],
+    [~free_intermediates:false]); the overlapped and serialized schedules
+    multiply identical blocks in identical order, so their results are
+    bit-identical.
+
     Crash safety comes from the {!Spmd} layer: a domain that raises (or a
     receive that exceeds [?recv_timeout_s]) poisons the team, every peer
     unwinds, and the call fails with [Spmd.Spmd_aborted] instead of
-    hanging. Missing inputs are reported as
-    [Tce_error.Error (Missing_tensor _)]. *)
+    hanging; a pooled team survives the abort ready for the next step.
+    Missing inputs are reported as [Tce_error.Error (Missing_tensor _)]. *)
 
 open! Import
 
+(** How a contraction's Cannon steps are driven. *)
+type schedule =
+  | Serialized  (** shift, then multiply — the paper's strict alternation *)
+  | Overlapped
+      (** double-buffered: operand sends for step [k+1] are posted before
+          the step-[k] multiply; receives land in a second buffer after
+          it. Rotated {e output} blocks (written by the multiply) still
+          exchange between multiplies. Bit-identical to [Serialized]. *)
+
 val run_contraction :
-  ?recv_timeout_s:float -> Grid.t -> Extents.t -> Variant.t -> left:Dense.t
-  -> right:Dense.t -> Dense.t
-(** One contraction, one domain per processor. [?recv_timeout_s] bounds
-    every block receive; on expiry the run aborts with
-    [Spmd.Spmd_aborted] wrapping a [Spmd.Recv_timeout]. *)
+  ?pool:Dense.t Spmd.Pool.t -> ?schedule:schedule -> ?recv_timeout_s:float
+  -> Grid.t -> Extents.t -> Variant.t -> left:Dense.t -> right:Dense.t
+  -> Dense.t
+(** One contraction, one domain per processor. [?pool] reuses a
+    persistent team (its size must match the grid; [Tce_error.Error]
+    otherwise) instead of spawning domains; [?schedule] defaults to
+    [Overlapped]. [?recv_timeout_s] bounds every block receive; on expiry
+    the run aborts with [Spmd.Spmd_aborted] wrapping a
+    [Spmd.Recv_timeout]. *)
 
 val run_plan :
-  ?recv_timeout_s:float -> Grid.t -> Extents.t -> Plan.t
+  ?pool:Dense.t Spmd.Pool.t -> ?pooled:bool -> ?schedule:schedule
+  -> ?recv_timeout_s:float -> ?free_intermediates:bool
+  -> ?on_free:(string -> unit) -> Grid.t -> Extents.t -> Plan.t
   -> inputs:(string * Dense.t) list -> Dense.t
-(** Execute every step of the plan with a fresh SPMD team per step. *)
+(** Execute every step of the plan. By default ([?pooled] true) all steps
+    run on one persistent {!Spmd.Pool} team created for the call;
+    [~pooled:false] restores the seed's spawn-per-step behaviour, and an
+    explicit [?pool] (not closed by this call) overrides both.
+    [?free_intermediates] (default true) drops each environment entry
+    after its last consuming step, honouring the memory discipline the
+    plan was optimized under; [?on_free] observes each dropped name (for
+    tests and tracing). The final output is never dropped. *)

@@ -1,3 +1,5 @@
+open! Import
+
 exception Spmd_aborted of { rank : int; exn : exn }
 exception Recv_timeout of { rank : int; src : int; waited_s : float }
 
@@ -77,7 +79,8 @@ let barrier t =
   check_abort t
 
 let send t ~dst msg =
-  if dst < 0 || dst >= t.shared.nprocs then invalid_arg "Spmd.send: bad rank";
+  if dst < 0 || dst >= t.shared.nprocs then
+    Tce_error.failf "Spmd.send: bad rank %d (team of %d)" dst t.shared.nprocs;
   check_abort t;
   let box = t.shared.boxes.(dst) in
   Mutex.lock box.lock;
@@ -86,15 +89,21 @@ let send t ~dst msg =
   Mutex.unlock box.lock
 
 let recv ?timeout_s t ~src =
-  if src < 0 || src >= t.shared.nprocs then invalid_arg "Spmd.recv: bad rank";
+  if src < 0 || src >= t.shared.nprocs then
+    Tce_error.failf "Spmd.recv: bad rank %d (team of %d)" src t.shared.nprocs;
   (match timeout_s with
-  | Some s when s <= 0.0 -> invalid_arg "Spmd.recv: timeout must be positive"
+  | Some s when s <= 0.0 ->
+    Tce_error.failf "Spmd.recv: timeout must be positive (got %g)" s
   | _ -> ());
   let box = t.shared.boxes.(t.my_rank) in
   let q = box.from.(src) in
-  let deadline =
-    Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s
-  in
+  let entered = if timeout_s = None then 0.0 else Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> entered +. s) timeout_s in
+  (* [Condition.wait] has no deadline, so the timeout path polls; the
+     sleep backs off exponentially (50 µs up to 1 ms) so short timeouts
+     stay responsive without a long wait spinning the CPU at a fixed
+     200 µs cadence. *)
+  let sleep_s = ref 5e-5 in
   Mutex.lock box.lock;
   let rec take () =
     if not (Queue.is_empty q) then Queue.pop q
@@ -109,21 +118,18 @@ let recv ?timeout_s t ~src =
         Condition.wait box.nonempty box.lock;
         take ()
       | Some d ->
-        if Unix.gettimeofday () >= d then begin
+        let now = Unix.gettimeofday () in
+        if now >= d then begin
           Mutex.unlock box.lock;
           raise
             (Recv_timeout
-               {
-                 rank = t.my_rank;
-                 src;
-                 waited_s = Option.value ~default:0.0 timeout_s;
-               })
+               { rank = t.my_rank; src; waited_s = now -. entered })
         end
         else begin
-          (* [Condition.wait] has no deadline; poll with a short sleep.
-             The unlock/sleep/lock dance keeps senders unblocked. *)
+          (* The unlock/sleep/lock dance keeps senders unblocked. *)
           Mutex.unlock box.lock;
-          Unix.sleepf 2e-4;
+          Unix.sleepf (Float.min !sleep_s (d -. now));
+          sleep_s := Float.min (2.0 *. !sleep_s) 1e-3;
           Mutex.lock box.lock;
           take ()
         end
@@ -136,44 +142,210 @@ let sendrecv ?timeout_s t ~dst msg ~src =
   send t ~dst msg;
   recv ?timeout_s t ~src
 
-let run ~procs f =
-  if procs <= 0 then invalid_arg "Spmd.run: procs must be positive";
-  let shared =
-    {
-      nprocs = procs;
-      boxes =
-        Array.init procs (fun _ ->
-            {
-              lock = Mutex.create ();
-              nonempty = Condition.create ();
-              from = Array.init procs (fun _ -> Queue.create ());
-            });
-      bar_lock = Mutex.create ();
-      bar_cond = Condition.create ();
-      bar_count = 0;
-      bar_sense = false;
-      abort = Atomic.make None;
-    }
-  in
-  let results = Array.make procs None in
-  let participant r () =
-    match f { shared; my_rank = r } with
-    | v -> results.(r) <- Some v
-    | exception Spmd_aborted _ ->
-      (* Secondary casualty: unblocked by another rank's poison. *)
-      ()
-    | exception e -> poison shared ~rank:r ~exn:e
-  in
-  let domains =
-    List.init (procs - 1) (fun k -> Domain.spawn (participant (k + 1)))
-  in
-  participant 0 ();
-  List.iter Domain.join domains;
+let make_shared procs =
+  {
+    nprocs = procs;
+    boxes =
+      Array.init procs (fun _ ->
+          {
+            lock = Mutex.create ();
+            nonempty = Condition.create ();
+            from = Array.init procs (fun _ -> Queue.create ());
+          });
+    bar_lock = Mutex.create ();
+    bar_cond = Condition.create ();
+    bar_count = 0;
+    bar_sense = false;
+    abort = Atomic.make None;
+  }
+
+(* Restore a shared team state to pristine after a program has fully
+   unwound (every participant returned or raised): drop stale messages an
+   unbalanced or aborted program left behind, rewind the barrier, clear
+   the poison. Only sound when no participant is inside a primitive. *)
+let reset_shared shared =
+  Array.iter
+    (fun box ->
+      Mutex.lock box.lock;
+      Array.iter Queue.clear box.from;
+      Mutex.unlock box.lock)
+    shared.boxes;
+  Mutex.lock shared.bar_lock;
+  shared.bar_count <- 0;
+  shared.bar_sense <- false;
+  Mutex.unlock shared.bar_lock;
+  Atomic.set shared.abort None
+
+(* Run [f] as participant [r], translating its fate: a normal return
+   stores nothing here (the caller's wrapper does), a primary failure
+   poisons the team, a secondary [Spmd_aborted] (unblocked by another
+   rank's poison) is absorbed — the originator is already recorded. *)
+let participate shared r f =
+  match f { shared; my_rank = r } with
+  | () -> ()
+  | exception Spmd_aborted _ -> ()
+  | exception e -> poison shared ~rank:r ~exn:e
+
+let collect_results shared results =
   (match Atomic.get shared.abort with
   | Some (rank, exn) -> raise (Spmd_aborted { rank; exn })
   | None -> ());
   Array.map
     (function
       | Some v -> v
-      | None -> invalid_arg "Spmd.run: participant produced no result")
+      | None ->
+        Tce_error.failf "Spmd: participant produced no result")
     results
+
+let run ~procs f =
+  if procs <= 0 then
+    Tce_error.failf "Spmd.run: procs must be positive (got %d)" procs;
+  let shared = make_shared procs in
+  let results = Array.make procs None in
+  let participant r () =
+    participate shared r (fun ctx -> results.(r) <- Some (f ctx))
+  in
+  let domains =
+    List.init (procs - 1) (fun k -> Domain.spawn (participant (k + 1)))
+  in
+  participant 0 ();
+  List.iter Domain.join domains;
+  collect_results shared results
+
+module Pool = struct
+  (* A worker parks on its slot waiting for the next team program; the
+     job is pre-wrapped as [ctx -> unit] so one pool serves programs of
+     any result type without the workers knowing. *)
+  type 'msg job = Job of ('msg ctx -> unit) | Quit
+
+  type 'msg slot = {
+    slot_lock : Mutex.t;
+    slot_cond : Condition.t;
+    mutable job : 'msg job option;
+  }
+
+  type 'msg t = {
+    shared : 'msg shared;
+    slots : 'msg slot array;  (* one per worker, ranks 1 .. procs-1 *)
+    done_lock : Mutex.t;
+    done_cond : Condition.t;
+    mutable done_count : int;
+    mutable domains : unit Domain.t list;
+    mutable closed : bool;
+    mutable running : bool;
+  }
+
+  let post slot job =
+    Mutex.lock slot.slot_lock;
+    slot.job <- Some job;
+    Condition.signal slot.slot_cond;
+    Mutex.unlock slot.slot_lock
+
+  let next_job slot =
+    Mutex.lock slot.slot_lock;
+    while slot.job = None do
+      Condition.wait slot.slot_cond slot.slot_lock
+    done;
+    let job = Option.get slot.job in
+    slot.job <- None;
+    Mutex.unlock slot.slot_lock;
+    job
+
+  let create ~procs =
+    if procs <= 0 then
+      Tce_error.failf "Spmd.Pool.create: procs must be positive (got %d)"
+        procs;
+    let shared = make_shared procs in
+    let slots =
+      Array.init (procs - 1) (fun _ ->
+          {
+            slot_lock = Mutex.create ();
+            slot_cond = Condition.create ();
+            job = None;
+          })
+    in
+    let done_lock = Mutex.create () in
+    let done_cond = Condition.create () in
+    let pool =
+      {
+        shared;
+        slots;
+        done_lock;
+        done_cond;
+        done_count = 0;
+        domains = [];
+        closed = false;
+        running = false;
+      }
+    in
+    let worker k () =
+      let r = k + 1 in
+      let rec loop () =
+        match next_job slots.(k) with
+        | Quit -> ()
+        | Job f ->
+          participate shared r f;
+          (* Signal completion only after the program has fully unwound
+             on this rank; the driver resets the team once every rank has
+             signalled, so no worker is ever inside a primitive when the
+             mailboxes and barrier are rewound. *)
+          Mutex.lock done_lock;
+          pool.done_count <- pool.done_count + 1;
+          Condition.signal done_cond;
+          Mutex.unlock done_lock;
+          loop ()
+      in
+      loop ()
+    in
+    pool.domains <- List.init (procs - 1) (fun k -> Domain.spawn (worker k));
+    pool
+
+  let procs pool = pool.shared.nprocs
+
+  let run pool f =
+    if pool.closed then Tce_error.failf "Spmd.Pool.run: pool is closed";
+    if pool.running then
+      Tce_error.failf "Spmd.Pool.run: pool is already running a program";
+    pool.running <- true;
+    Fun.protect
+      ~finally:(fun () -> pool.running <- false)
+      (fun () ->
+        let n = pool.shared.nprocs in
+        let results = Array.make n None in
+        Mutex.lock pool.done_lock;
+        pool.done_count <- 0;
+        Mutex.unlock pool.done_lock;
+        let program ctx = results.(ctx.my_rank) <- Some (f ctx) in
+        Array.iter (fun slot -> post slot (Job program)) pool.slots;
+        participate pool.shared 0 program;
+        (* Wait for every worker to finish this program. Workers park on
+           their slots afterwards, so once the count is full the team is
+           quiescent and [reset_shared] is safe; the mutex also gives the
+           driver a happens-before edge over the workers' result (and
+           poison) writes. *)
+        Mutex.lock pool.done_lock;
+        while pool.done_count < n - 1 do
+          Condition.wait pool.done_cond pool.done_lock
+        done;
+        Mutex.unlock pool.done_lock;
+        let verdict = Atomic.get pool.shared.abort in
+        (* Tear the aborted team state down and rearm: the next [run]
+           gets a pristine team whether or not this one was poisoned. *)
+        reset_shared pool.shared;
+        match verdict with
+        | Some (rank, exn) -> raise (Spmd_aborted { rank; exn })
+        | None -> collect_results pool.shared results)
+
+  let close pool =
+    if not pool.closed then begin
+      if pool.running then
+        Tce_error.failf "Spmd.Pool.close: a program is still running";
+      pool.closed <- true;
+      Array.iter (fun slot -> post slot Quit) pool.slots;
+      List.iter Domain.join pool.domains
+    end
+end
+
+let with_pool ~procs f =
+  let pool = Pool.create ~procs in
+  Fun.protect ~finally:(fun () -> Pool.close pool) (fun () -> f pool)

@@ -17,7 +17,19 @@
     {!Spmd_aborted} carrying the first-failing rank and its exception.
     {!recv} additionally takes an optional timeout, turning a silent peer
     (the shared-memory analogue of a dead node) into a {!Recv_timeout}
-    failure that poisons the run the same way. *)
+    failure that poisons the run the same way.
+
+    {2 Pooled teams}
+
+    {!run} pays a [Domain.spawn]/[join] per participant per call — fine
+    for one contraction, wasteful for a multi-step plan or a serving loop
+    executing plans back to back. {!Pool} spawns the domains once;
+    successive {!Pool.run} calls replay team programs against the same
+    mailboxes and barrier. The crash-safety contract carries over: a
+    poisoned program still unwinds every rank and raises {!Spmd_aborted},
+    after which the pool has torn the dead team's state down (mailboxes
+    drained, barrier rewound, poison cleared) and is ready for the next
+    program. Argument errors are reported as [Tce_error.Error]. *)
 
 exception Spmd_aborted of { rank : int; exn : exn }
 (** The run was torn down because [rank] raised [exn] (the {e first}
@@ -25,7 +37,8 @@ exception Spmd_aborted of { rank : int; exn : exn }
 
 exception Recv_timeout of { rank : int; src : int; waited_s : float }
 (** A {!recv} with [?timeout_s] expired before a message from [src]
-    arrived. *)
+    arrived; [waited_s] is the time actually spent waiting (measured
+    from the call's entry), not the configured timeout. *)
 
 type 'msg ctx
 (** Execution context handed to each participant; ['msg] is the message
@@ -40,12 +53,14 @@ val barrier : _ ctx -> unit
 
 val send : 'msg ctx -> dst:int -> 'msg -> unit
 (** Asynchronous send (unbounded mailbox). Raises {!Spmd_aborted} if the
-    run is already poisoned. *)
+    run is already poisoned, [Tce_error.Error] on an out-of-range rank. *)
 
 val recv : ?timeout_s:float -> 'msg ctx -> src:int -> 'msg
 (** Block until a message from [src] arrives (FIFO per sender). With
-    [?timeout_s], raise {!Recv_timeout} if nothing arrives in time;
-    raises {!Spmd_aborted} if the run is poisoned while waiting. *)
+    [?timeout_s], raise {!Recv_timeout} if nothing arrives in time (the
+    wait polls with an exponentially backed-off sleep, 50 µs to 1 ms);
+    raises {!Spmd_aborted} if the run is poisoned while waiting,
+    [Tce_error.Error] on a bad rank or non-positive timeout. *)
 
 val sendrecv : ?timeout_s:float -> 'msg ctx -> dst:int -> 'msg -> src:int -> 'msg
 (** Send then receive; safe against the cyclic-shift deadlock because
@@ -53,7 +68,38 @@ val sendrecv : ?timeout_s:float -> 'msg ctx -> dst:int -> 'msg -> src:int -> 'ms
 
 val run : procs:int -> ('msg ctx -> 'a) -> 'a array
 (** Run [procs] participants to completion (rank 0 executes on the calling
-    domain) and collect their results by rank. [procs] must be positive.
-    If any participant raises, every domain is unblocked and joined and
-    {!Spmd_aborted} is raised — the run terminates in bounded time
-    instead of deadlocking at the next barrier or receive. *)
+    domain) and collect their results by rank. [procs] must be positive
+    ([Tce_error.Error] otherwise). If any participant raises, every domain
+    is unblocked and joined and {!Spmd_aborted} is raised — the run
+    terminates in bounded time instead of deadlocking at the next barrier
+    or receive. Spawns [procs - 1] domains per call; use {!Pool} to
+    amortize that over many runs. *)
+
+(** A persistent team: domains spawned once, team programs replayed
+    against reusable mailboxes and barriers. *)
+module Pool : sig
+  type 'msg t
+
+  val create : procs:int -> 'msg t
+  (** Spawn [procs - 1] worker domains (the creating domain plays
+      rank 0 during {!run}). [procs] must be positive. *)
+
+  val procs : _ t -> int
+
+  val run : 'msg t -> ('msg ctx -> 'a) -> 'a array
+  (** Execute one team program on the pooled domains, exactly as {!val:run}
+      would: results by rank, {!Spmd_aborted} if any rank raises. After
+      an abort the pool remains usable — the dead team's mailboxes,
+      barrier and poison flag are reset before raising, so the next
+      {!run} starts on a fresh team. Raises [Tce_error.Error] if the
+      pool is closed or a program is already in flight (programs do not
+      nest). *)
+
+  val close : _ t -> unit
+  (** Shut the workers down and join their domains. Idempotent; raises
+      [Tce_error.Error] if called while a program is running. *)
+end
+
+val with_pool : procs:int -> ('msg Pool.t -> 'a) -> 'a
+(** [with_pool ~procs f] runs [f] with a fresh pool, closing it on the
+    way out (also on exceptions). *)

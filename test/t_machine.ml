@@ -135,6 +135,43 @@ let test_numeric_plan_matches_reference () =
         (Dense.equal_approx ~tol:1e-9 reference got))
     [ 1; 4 ]
 
+(* Overlap is reporting-only: under [Overlap.none] the overlapped clock
+   equals the serialized total (and the replayed clocks are identical to
+   an overlap-free run), under [Overlap.perfect] it is bounded by the
+   additive total above and the larger single clock below. *)
+let test_simulate_overlap_bounds () =
+  let problem, _, tree = ccsd ~scale:`Small in
+  let ext = problem.Problem.extents in
+  let _, cfg = search_config 4 in
+  let plan = get_ok ~ctx:"plan" (Search.optimize cfg ext tree) in
+  let params = Params.itanium_2003 in
+  let base = Simulate.run_plan_exn params ext plan in
+  check_close ~ctx:"none = additive"
+    (base.Simulate.comm_seconds +. base.Simulate.compute_seconds)
+    base.Simulate.overlapped_seconds;
+  let perfect = Simulate.run_plan_exn ~overlap:Overlap.perfect params ext plan in
+  (* The replay itself is untouched by the knob. *)
+  check_close ~ctx:"comm unchanged" base.Simulate.comm_seconds
+    perfect.Simulate.comm_seconds;
+  check_close ~ctx:"compute unchanged" base.Simulate.compute_seconds
+    perfect.Simulate.compute_seconds;
+  let additive = perfect.Simulate.comm_seconds +. perfect.Simulate.compute_seconds in
+  let larger =
+    Float.max perfect.Simulate.comm_seconds perfect.Simulate.compute_seconds
+  in
+  if perfect.Simulate.overlapped_seconds > additive +. 1e-9 then
+    Alcotest.failf "perfect overlap above additive: %g > %g"
+      perfect.Simulate.overlapped_seconds additive;
+  if perfect.Simulate.overlapped_seconds < larger -. 1e-9 then
+    Alcotest.failf "perfect overlap below either clock: %g < %g"
+      perfect.Simulate.overlapped_seconds larger;
+  (* The plan-side analytic mirror obeys the same corner identity. *)
+  check_close ~ctx:"plan none = total" (Plan.total_seconds plan)
+    (Plan.overlapped_seconds plan);
+  let po = Plan.overlapped_seconds ~overlap:Overlap.perfect plan in
+  if po > Plan.total_seconds plan +. 1e-9 then
+    Alcotest.fail "plan perfect overlap above serialized total"
+
 let suite =
   [
     ( "machine.cluster",
@@ -150,6 +187,7 @@ let suite =
         case "replay = model (divisible extents)"
           test_replay_matches_model_divisible;
         case "replay = model (paper scale)" test_replay_paper_scale;
+        case "overlapped timing bounds" test_simulate_overlap_bounds;
       ] );
     ( "machine.numeric",
       [

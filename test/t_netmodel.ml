@@ -142,6 +142,42 @@ let test_characterize_custom_measure () =
   check_close ~ctx:"axis1" 150.0 (Rcost.query r ~axis:1 ~words:150);
   check_close ~ctx:"axis2" 300.0 (Rcost.query r ~axis:2 ~words:150)
 
+(* ---------------- Overlap cost law ---------------- *)
+
+let test_overlap_law () =
+  (* factor = 1: the paper's additive law, exactly. *)
+  check_close ~ctx:"none" 7.0
+    (Overlap.step_seconds Overlap.none ~comm:3.0 ~compute:4.0);
+  Alcotest.(check bool) "is_none" true (Overlap.is_none Overlap.none);
+  (* factor = 0: pay only the longer leg. *)
+  check_close ~ctx:"perfect" 4.0
+    (Overlap.step_seconds Overlap.perfect ~comm:3.0 ~compute:4.0);
+  (* Intermediate factor exposes that fraction of the shorter leg, and
+     the law is symmetric in its arguments. *)
+  let half = Overlap.make_exn ~factor:0.5 in
+  check_close ~ctx:"half" 5.5 (Overlap.step_seconds half ~comm:3.0 ~compute:4.0);
+  check_close ~ctx:"symmetric" 5.5
+    (Overlap.step_seconds half ~comm:4.0 ~compute:3.0);
+  check_close ~ctx:"saved" 1.5 (Overlap.saved_seconds half ~comm:3.0 ~compute:4.0);
+  check_close ~ctx:"factor" 0.5 (Overlap.factor half);
+  (* Degenerate steps: nothing to hide. *)
+  check_close ~ctx:"no comm" 4.0
+    (Overlap.step_seconds Overlap.perfect ~comm:0.0 ~compute:4.0)
+
+let test_overlap_validation () =
+  (match Overlap.make ~factor:(-0.1) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "negative factor accepted");
+  (match Overlap.make ~factor:1.5 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "factor above 1 accepted");
+  (match Overlap.make_exn ~factor:nan with
+  | exception Tce_error.Error _ -> ()
+  | _ -> Alcotest.fail "nan factor accepted");
+  match Overlap.step_seconds Overlap.none ~comm:(-1.0) ~compute:2.0 with
+  | exception Tce_error.Error _ -> ()
+  | _ -> Alcotest.fail "negative comm accepted"
+
 let suite =
   [
     ( "netmodel.params",
@@ -162,5 +198,10 @@ let suite =
         case "load failure modes" test_rcost_load_errors;
         case "characterize validation" test_characterize_validation;
         case "axis-dependent measurements" test_characterize_custom_measure;
+      ] );
+    ( "netmodel.overlap",
+      [
+        case "cost law at the corner and middle factors" test_overlap_law;
+        case "validation" test_overlap_validation;
       ] );
   ]

@@ -68,12 +68,12 @@ let test_spmd_fifo_per_sender () =
 
 let test_spmd_validation () =
   (match Spmd.run ~procs:0 (fun _ -> ()) with
-  | exception Invalid_argument _ -> ()
+  | exception Tce_error.Error _ -> ()
   | _ -> Alcotest.fail "zero procs accepted");
   let (_ : unit array) =
     Spmd.run ~procs:1 (fun ctx ->
         match Spmd.send ctx ~dst:5 () with
-        | exception Invalid_argument _ -> ()
+        | exception Tce_error.Error _ -> ()
         | _ -> Alcotest.fail "bad rank accepted")
   in
   ()
@@ -114,7 +114,9 @@ let test_spmd_abort_unblocks_recv () =
   | _ -> Alcotest.fail "receivers were never unblocked"
 
 (* A silent peer (dead node without an exception) is caught by the recv
-   timeout, which poisons the run for everyone. *)
+   timeout, which poisons the run for everyone. [waited_s] must report the
+   time actually spent waiting — at least the configured timeout (the
+   expiry condition), and nowhere near the zero the seed reported. *)
 let test_spmd_recv_timeout () =
   match
     Spmd.run ~procs:2 (fun ctx ->
@@ -124,8 +126,12 @@ let test_spmd_recv_timeout () =
   with
   | exception
       Spmd.Spmd_aborted
-        { rank = 1; exn = Spmd.Recv_timeout { rank = 1; src = 0; _ } } ->
-    ()
+        { rank = 1; exn = Spmd.Recv_timeout { rank = 1; src = 0; waited_s } }
+    ->
+    if waited_s < 0.05 then
+      Alcotest.failf "waited_s %.4f below the 0.05 s timeout" waited_s;
+    if waited_s > 5.0 then
+      Alcotest.failf "waited_s %.4f implausibly large" waited_s
   | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
   | _ -> Alcotest.fail "timeout never fired"
 
@@ -170,6 +176,69 @@ let test_spmd_selective_recv_interleaved () =
   in
   Alcotest.(check (list int)) "per-sender order" expected results.(2)
 
+(* ---------------- Persistent pool ---------------- *)
+
+(* One team of domains replays successive programs: ring exchange, then a
+   barrier-phased program, then ranks — three distinct programs on the
+   same mailboxes and barrier. *)
+let test_pool_replays_programs () =
+  Spmd.with_pool ~procs:4 (fun pool ->
+      Alcotest.(check int) "size" 4 (Spmd.Pool.procs pool);
+      let ring =
+        Spmd.Pool.run pool (fun ctx ->
+            let r = Spmd.rank ctx in
+            let v = ref r in
+            for _ = 1 to 4 do
+              v := Spmd.sendrecv ctx ~dst:((r + 1) mod 4) !v ~src:((r + 3) mod 4)
+            done;
+            !v)
+      in
+      Alcotest.(check (array int)) "ring home" [| 0; 1; 2; 3 |] ring;
+      let phased =
+        Spmd.Pool.run pool (fun ctx ->
+            Spmd.barrier ctx;
+            Spmd.rank ctx * 10)
+      in
+      Alcotest.(check (array int)) "phased" [| 0; 10; 20; 30 |] phased;
+      let ranks = Spmd.Pool.run pool (fun ctx -> Spmd.procs ctx) in
+      Alcotest.(check (array int)) "procs" [| 4; 4; 4; 4 |] ranks)
+
+(* Crash-safety survives pooling: program 2 aborts (one rank raises while
+   peers park in a barrier), the pool resets, and program 3 runs clean on
+   the same domains. *)
+let test_pool_survives_abort () =
+  Spmd.with_pool ~procs:4 (fun pool ->
+      let first = Spmd.Pool.run pool (fun ctx -> Spmd.rank ctx) in
+      Alcotest.(check (array int)) "step 1" [| 0; 1; 2; 3 |] first;
+      (match
+         Spmd.Pool.run pool (fun ctx ->
+             if Spmd.rank ctx = 2 then failwith "mid-plan crash"
+             else Spmd.barrier ctx)
+       with
+      | exception Spmd.Spmd_aborted { rank = 2; exn = Failure msg } ->
+        Alcotest.(check string) "origin" "mid-plan crash" msg
+      | exception e ->
+        Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "abort swallowed");
+      (* Mailboxes and barrier were left clean by the teardown. *)
+      let third =
+        Spmd.Pool.run pool (fun ctx ->
+            let r = Spmd.rank ctx in
+            Spmd.send ctx ~dst:((r + 1) mod 4) r;
+            let v = Spmd.recv ctx ~src:((r + 3) mod 4) in
+            Spmd.barrier ctx;
+            v)
+      in
+      Alcotest.(check (array int)) "step 3" [| 3; 0; 1; 2 |] third)
+
+let test_pool_closed_rejects () =
+  let pool = Spmd.Pool.create ~procs:2 in
+  Spmd.Pool.close pool;
+  Spmd.Pool.close pool (* idempotent *);
+  match Spmd.Pool.run pool (fun _ -> ()) with
+  | exception Tce_error.Error _ -> ()
+  | _ -> Alcotest.fail "closed pool accepted a program"
+
 (* ---------------- Multicore Cannon ---------------- *)
 
 let test_multicore_contraction () =
@@ -195,6 +264,107 @@ let test_multicore_contraction () =
         Alcotest.failf "variant %s wrong" (Format.asprintf "%a" Variant.pp v))
     (Variant.all c)
 
+let bits_equal a b =
+  let da = Dense.data a and db = Dense.data b in
+  Array.length da = Array.length db
+  && (let ok = ref true in
+      Array.iteri
+        (fun k x ->
+          if not (Int64.equal (Int64.bits_of_float x)
+                    (Int64.bits_of_float db.(k)))
+          then ok := false)
+        da;
+      !ok)
+
+(* The double-buffered schedule multiplies the same blocks in the same
+   order as the strict shift-then-multiply alternation, so its output is
+   bit-identical — not merely approximately equal — under every variant. *)
+let test_multicore_overlap_bit_identical () =
+  let e = extents [ ("x", 6); ("y", 6); ("k", 6) ] in
+  let grid = Grid.create_exn ~procs:9 in
+  let rng = Prng.create ~seed:31 in
+  let left = Dense.create [ (i "x", 6); (i "k", 6) ] in
+  let right = Dense.create [ (i "k", 6); (i "y", 6) ] in
+  Dense.fill_random left rng;
+  Dense.fill_random right rng;
+  let c =
+    get_ok ~ctx:"c"
+      (Contraction.make ~out:(aref "O" [ "x"; "y" ])
+         ~left:(aref "L" [ "x"; "k" ])
+         ~right:(aref "R" [ "k"; "y" ])
+         ~sum:[ i "k" ])
+  in
+  List.iter
+    (fun v ->
+      let serial =
+        Multicore.run_contraction ~schedule:Multicore.Serialized grid e v
+          ~left ~right
+      in
+      let overlapped =
+        Multicore.run_contraction ~schedule:Multicore.Overlapped grid e v
+          ~left ~right
+      in
+      if not (bits_equal serial overlapped) then
+        Alcotest.failf "variant %s not bit-identical"
+          (Format.asprintf "%a" Variant.pp v))
+    (Variant.all c)
+
+(* One pooled team carries three contractions, with a poisoned program
+   injected after the first: the abort tears the second program down and
+   the same domains still run the remaining contractions correctly. *)
+let test_multicore_pool_reuse_with_abort () =
+  let e = extents [ ("x", 4); ("y", 4); ("k", 6) ] in
+  let grid = Grid.create_exn ~procs:4 in
+  let rng = Prng.create ~seed:37 in
+  let left = Dense.create [ (i "x", 4); (i "k", 6) ] in
+  let right = Dense.create [ (i "k", 6); (i "y", 4) ] in
+  Dense.fill_random left rng;
+  Dense.fill_random right rng;
+  let c =
+    get_ok ~ctx:"c"
+      (Contraction.make ~out:(aref "O" [ "x"; "y" ])
+         ~left:(aref "L" [ "x"; "k" ])
+         ~right:(aref "R" [ "k"; "y" ])
+         ~sum:[ i "k" ])
+  in
+  let v = List.hd (Variant.all c) in
+  let reference = Einsum.contract2 ~out:(idx_list [ "x"; "y" ]) left right in
+  Spmd.with_pool ~procs:4 (fun pool ->
+      let check label =
+        let got = Multicore.run_contraction ~pool grid e v ~left ~right in
+        Alcotest.(check bool) label true
+          (Dense.equal_approx ~tol:1e-9 reference got)
+      in
+      check "contraction 1";
+      (match
+         Spmd.Pool.run pool (fun ctx ->
+             if Spmd.rank ctx = 1 then failwith "injected" else Spmd.barrier ctx)
+       with
+      | exception Spmd.Spmd_aborted { rank = 1; _ } -> ()
+      | exception e ->
+        Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "abort swallowed");
+      check "contraction 2 (after abort)";
+      check "contraction 3")
+
+let test_multicore_pool_size_mismatch () =
+  let e = extents [ ("x", 4); ("y", 4); ("k", 6) ] in
+  let grid = Grid.create_exn ~procs:4 in
+  let left = Dense.create [ (i "x", 4); (i "k", 6) ] in
+  let right = Dense.create [ (i "k", 6); (i "y", 4) ] in
+  let c =
+    get_ok ~ctx:"c"
+      (Contraction.make ~out:(aref "O" [ "x"; "y" ])
+         ~left:(aref "L" [ "x"; "k" ])
+         ~right:(aref "R" [ "k"; "y" ])
+         ~sum:[ i "k" ])
+  in
+  let v = List.hd (Variant.all c) in
+  Spmd.with_pool ~procs:9 (fun pool ->
+      match Multicore.run_contraction ~pool grid e v ~left ~right with
+      | exception Tce_error.Error _ -> ()
+      | _ -> Alcotest.fail "9-domain pool accepted a 4-processor grid")
+
 let test_multicore_plan () =
   let problem, seq, tree = ccsd ~scale:`Small in
   let ext = problem.Problem.extents in
@@ -217,6 +387,56 @@ let test_multicore_agrees_with_simulator () =
   Alcotest.(check bool) "domains = simulated" true
     (Dense.equal_approx ~tol:1e-12 a b)
 
+(* All four engine corners produce the same bits on a whole plan. *)
+let test_multicore_plan_modes_bit_identical () =
+  let problem, seq, tree = ccsd ~scale:`Small in
+  let ext = problem.Problem.extents in
+  let grid, cfg = search_config 4 in
+  let plan = get_ok ~ctx:"plan" (Search.optimize cfg ext tree) in
+  let inputs = Sequence.random_inputs ext ~seed:41 seq in
+  let baseline =
+    Multicore.run_plan ~pooled:false ~schedule:Multicore.Serialized grid ext
+      plan ~inputs
+  in
+  List.iter
+    (fun (label, pooled, schedule) ->
+      let got = Multicore.run_plan ~pooled ~schedule grid ext plan ~inputs in
+      Alcotest.(check bool) label true (bits_equal baseline got))
+    [
+      ("spawn overlapped", false, Multicore.Overlapped);
+      ("pooled serialized", true, Multicore.Serialized);
+      ("pooled overlapped", true, Multicore.Overlapped);
+    ]
+
+(* Liveness-based freeing: on the 3-step CCSD plan the intermediates T1
+   and T2 (and the consumed inputs) are dropped after their last use; the
+   final output S never is. *)
+let test_multicore_plan_frees_intermediates () =
+  let problem, seq, tree = ccsd ~scale:`Small in
+  let ext = problem.Problem.extents in
+  let grid, cfg = search_config 4 in
+  let plan = get_ok ~ctx:"plan" (Search.optimize cfg ext tree) in
+  let inputs = Sequence.random_inputs ext ~seed:43 seq in
+  let freed = ref [] in
+  let got =
+    Multicore.run_plan ~on_free:(fun n -> freed := n :: !freed) grid ext plan
+      ~inputs
+  in
+  let reference = Sequence.eval ext ~inputs seq in
+  Alcotest.(check bool) "result intact" true
+    (Dense.equal_approx ~tol:1e-9 reference got);
+  Alcotest.(check bool) "T1 freed" true (List.mem "T1" !freed);
+  Alcotest.(check bool) "T2 freed" true (List.mem "T2" !freed);
+  Alcotest.(check bool) "final output kept" false (List.mem "S" !freed);
+  (* And the knob turns it off. *)
+  let freed' = ref [] in
+  let (_ : Dense.t) =
+    Multicore.run_plan ~free_intermediates:false
+      ~on_free:(fun n -> freed' := n :: !freed')
+      grid ext plan ~inputs
+  in
+  Alcotest.(check (list string)) "no freeing when disabled" [] !freed'
+
 let suite =
   [
     ( "runtime.spmd",
@@ -235,10 +455,25 @@ let suite =
         case "selective recv, interleaved senders"
           test_spmd_selective_recv_interleaved;
       ] );
+    ( "runtime.pool",
+      [
+        case "replays successive programs" test_pool_replays_programs;
+        case "survives an abort" test_pool_survives_abort;
+        case "closed pool rejects programs" test_pool_closed_rejects;
+      ] );
     ( "runtime.multicore",
       [
         case "contraction under every variant" test_multicore_contraction;
+        case "overlapped schedule bit-identical to serialized"
+          test_multicore_overlap_bit_identical;
+        case "pool reuse across contractions with a mid-sequence abort"
+          test_multicore_pool_reuse_with_abort;
+        case "pool size must match the grid" test_multicore_pool_size_mismatch;
         case "whole plan matches reference" test_multicore_plan;
+        case "all engine modes bit-identical on a plan"
+          test_multicore_plan_modes_bit_identical;
+        case "intermediates freed after last use"
+          test_multicore_plan_frees_intermediates;
         case "domains agree with the simulator" test_multicore_agrees_with_simulator;
       ] );
   ]
