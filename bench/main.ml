@@ -844,6 +844,63 @@ let spmd () =
   Format.printf "@.wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* Tracing overhead and volume                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures what the Obs probes cost: whole-plan pooled execution with no
+   sink installed (every probe is one atomic load) vs with a sink
+   recording, plus the event volume of a traced simulator replay. Writes
+   BENCH_trace.json. *)
+let trace () =
+  section "Tracing: probe overhead and trace volume";
+  let problem, seq, tree = load ccsd_small_text in
+  let ext = problem.Problem.extents in
+  let inputs = Sequence.random_inputs ext ~seed:20260806 seq in
+  let grid, cfg = config 4 in
+  let plan = Result.get_ok (Search.optimize cfg ext tree) in
+  let wall_of ?(reps = 5) f =
+    ignore (f ());
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let run () = Multicore.run_plan grid ext plan ~inputs in
+  let off_s = wall_of run in
+  let traced_events = ref 0 in
+  let on_s =
+    wall_of (fun () ->
+        let sink = Obs.create () in
+        let out = Obs.with_sink sink run in
+        traced_events := List.length (Obs.events sink);
+        out)
+  in
+  let sim_sink = Obs.create () in
+  let sim_events =
+    Obs.with_sink sim_sink (fun () ->
+        ignore
+          (Result.get_ok (Simulate.run_plan params ext plan)
+            : Simulate.timing);
+        List.length (Obs.events sim_sink))
+  in
+  Format.printf
+    "pooled plan, tracing off: %8.2f ms/plan@.pooled plan, tracing on:  \
+     %8.2f ms/plan (x%.2f, %d events)@.simulated replay: %d sim-clock \
+     events@."
+    (1e3 *. off_s) (1e3 *. on_s) (on_s /. off_s) !traced_events sim_events;
+  let path = "BENCH_trace.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc
+        "{\n  \"benchmark\": \"trace\",\n  \"off_seconds\": %.6e,\n  \
+         \"on_seconds\": %.6e,\n  \"overhead_factor\": %.3f,\n  \
+         \"spmd_events\": %d,\n  \"simulate_events\": %d\n}\n"
+        off_s on_s (on_s /. off_s) !traced_events sim_events);
+  Format.printf "@.wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -862,6 +919,7 @@ let sections =
     ("micro", micro);
     ("kernels", kernels);
     ("spmd", spmd);
+    ("trace", trace);
   ]
 
 let default =

@@ -6,7 +6,8 @@
      codegen       print fused pseudo-code (sequential view)
      opcount       operation-minimization report for multi-factor products
      characterize  write a communication characterization file
-     tables        reproduce the paper's Tables 1 and 2 *)
+     tables        reproduce the paper's Tables 1 and 2
+     trace-check   validate a Chrome trace-event JSON file *)
 
 open Cmdliner
 open Tce
@@ -104,6 +105,15 @@ let faults_arg =
                the surviving sub-grid, reporting the communication-cost \
                delta. The same seed reproduces the same faults exactly.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record the whole run as a Chrome trace-event JSON file \
+               loadable in Perfetto or chrome://tracing: search counters, \
+               a simulated-clock replay of the plan (per-Cannon-step \
+               shift/rotate/compute spans), and a scaled-down real SPMD \
+               execution (per-rank send/recv/multiply/barrier spans on \
+               the wall clock).")
+
 let setup grid_procs params =
   let grid = or_die (Grid.create ~procs:grid_procs) in
   let rcost = Rcost.of_params params ~side:(Grid.side grid) in
@@ -149,9 +159,34 @@ let fault_scenario ~seed ~params ~grid ~ext ~tree ~plan =
   | Error e -> or_die (Error (Tce_error.to_string e)));
   Format.printf "%a@." Fault.pp_trace faults
 
+(* The traced extras behind [--trace]: replay the plan on the simulated
+   cluster (sim-clock spans for every shift round, rotation, redistribution
+   and compute) and run a scaled-down real SPMD execution so the trace also
+   carries per-rank wall-clock spans. *)
+let traced_runs ~params ~procs ~ext ~tree ~plan ~overlap =
+  ignore
+    (or_die
+       (Tce_error.to_string_result (Simulate.run_plan ~overlap params ext plan))
+      : Simulate.timing);
+  let procs' = min procs 9 in
+  let grid' = or_die (Grid.create ~procs:procs') in
+  let side' = Grid.side grid' in
+  let ext' =
+    Extents.scale ext ~factor_num:1 ~factor_den:40 ~min_extent:(max 2 side')
+  in
+  let rcost' = Rcost.of_params params ~side:side' in
+  let cfg' = Search.default_config ~grid:grid' ~params ~rcost:rcost' () in
+  let plan' = or_die (Search.optimize cfg' ext' tree) in
+  let seq = or_die (Tree.to_sequence tree) in
+  let inputs = Sequence.random_inputs ext' ~seed:20260806 seq in
+  ignore (Multicore.run_plan grid' ext' plan' ~inputs : Dense.t)
+
 let optimize_cmd =
   let run file procs mem_gb flops_mhz latency_us bandwidth_mbs fusion code
-      overlap_factor faults =
+      overlap_factor faults trace =
+    let sink = Option.map (fun _ -> Obs.create ()) trace in
+    Option.iter Obs.install sink;
+    Fun.protect ~finally:Obs.uninstall @@ fun () ->
     let problem, tree = or_die (load_tree file) in
     let params = machine_of ~mem_gb ~flops_mhz ~latency_us ~bandwidth_mbs in
     let grid, rcost = setup procs params in
@@ -178,14 +213,24 @@ let optimize_cmd =
       Format.printf "@.%s@." (or_die (Parcode.emit ext tree plan));
     Option.iter
       (fun seed -> fault_scenario ~seed ~params ~grid ~ext ~tree ~plan)
-      faults
+      faults;
+    match (trace, sink) with
+    | Some path, Some sink ->
+      traced_runs ~params ~procs ~ext ~tree ~plan ~overlap;
+      Obs.uninstall ();
+      or_die (Obs.write_chrome_json sink ~path);
+      Format.printf "wrote %s (%d trace events, %d dropped)@." path
+        (List.length (Obs.events sink))
+        (Obs.dropped sink)
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "optimize"
        ~doc:"Memory-constrained communication minimization for a problem file.")
     Term.(
       const run $ file_arg $ procs_arg $ mem_gb_arg $ flops_arg $ latency_arg
-      $ bandwidth_arg $ fusion_arg $ code_flag $ overlap_arg $ faults_arg)
+      $ bandwidth_arg $ fusion_arg $ code_flag $ overlap_arg $ faults_arg
+      $ trace_arg)
 
 (* ---------------- codegen ---------------- *)
 
@@ -324,6 +369,23 @@ let validate_cmd =
              scaled-down extents (simulator, fused executor, domains).")
     Term.(const run $ file_arg $ procs_arg $ div_arg)
 
+(* ---------------- trace-check ---------------- *)
+
+let trace_check_cmd =
+  let run file =
+    match Obs.Trace_check.validate_file file with
+    | Ok n -> Format.printf "%s: valid Chrome trace (%d events)@." file n
+    | Error msg ->
+      Format.eprintf "error: %s: %s@." file msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a Chrome trace-event JSON file (as written by \
+             $(b,optimize --trace)): well-formed JSON, and every event \
+             carries a name, a known ph, and numeric ts/pid/tid fields.")
+    Term.(const run $ file_arg)
+
 (* ---------------- tables ---------------- *)
 
 let ccsd_text =
@@ -376,5 +438,5 @@ let () =
        (Cmd.group info
           [
             optimize_cmd; codegen_cmd; opcount_cmd; characterize_cmd;
-            validate_cmd; tables_cmd;
+            validate_cmd; tables_cmd; trace_check_cmd;
           ]))

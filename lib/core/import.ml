@@ -20,3 +20,4 @@ module Contraction = Tce_cannon.Contraction
 module Variant = Tce_cannon.Variant
 module Schedule = Tce_cannon.Schedule
 module Fusionset = Tce_fusion.Fusionset
+module Obs = Tce_obs.Obs

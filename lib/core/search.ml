@@ -308,7 +308,22 @@ let rec solve cfg ext ~prune ~parent node =
           left_cases)
       (Variant.all contraction);
     let sols = !solutions in
+    let generated = List.length sols in
     let sols = if prune then prune_solutions cfg sols else sols in
+    if Obs.enabled () then begin
+      let kept = List.length sols in
+      Obs.count "search.nodes";
+      Obs.count ~by:generated "search.solutions_generated";
+      Obs.count ~by:kept "search.solutions_kept";
+      Obs.count ~by:(generated - kept) "search.solutions_pruned";
+      Obs.instant ~cat:"search"
+        ~args:
+          [
+            ("generated", string_of_int generated);
+            ("kept", string_of_int kept);
+          ]
+        ("search:" ^ Aref.name out_aref)
+    end;
     if sols = [] then
       err "no feasible solution at node %s under the %a memory limit"
         (Aref.name out_aref) Units.pp_bytes_si (mem_limit cfg)
@@ -468,7 +483,10 @@ let run ?(select = better) cfg ext tree ~prune =
   let* () = check_grid cfg in
   let tree = Tree.fuse_mult_sum tree in
   let* () = Tree.validate tree in
-  let* sols = solve cfg ext ~prune ~parent:None tree in
+  let* sols =
+    Obs.span ~cat:"search" "search.solve" (fun () ->
+        solve cfg ext ~prune ~parent:None tree)
+  in
   match Listx.minimum_by select sols with
   | None -> Error "no feasible solution"
   | Some best ->

@@ -17,6 +17,7 @@ type spec = {
   max_retries : int;
   backoff : float;
   crash : (int * float) option;
+  trace_limit : int;
 }
 
 let healthy =
@@ -31,6 +32,7 @@ let healthy =
     max_retries = 0;
     backoff = 1.0;
     crash = None;
+    trace_limit = 10_000;
   }
 
 let default ~seed =
@@ -45,6 +47,7 @@ let default ~seed =
     max_retries = 3;
     backoff = 2.0;
     crash = None;
+    trace_limit = 10_000;
   }
 
 let validate spec =
@@ -62,6 +65,8 @@ let validate spec =
     Error "Fault: retry_timeout_s must be non-negative"
   else if spec.max_retries < 0 then Error "Fault: max_retries must be >= 0"
   else if spec.backoff < 1.0 then Error "Fault: backoff must be >= 1"
+  else if spec.trace_limit < 0 then
+    Error "Fault: trace_limit must be >= 0"
   else
     match spec.crash with
     | Some (_, at) when at < 0.0 -> Error "Fault: crash time must be >= 0"
@@ -75,10 +80,22 @@ type t = {
   compute_factors : float array;  (* per rank *)
   loss_streams : Prng.t array;  (* one independent stream per rank *)
   mutable trace_rev : event list;
+  mutable trace_len : int;
+  mutable trace_dropped : int;
   mutable crashed : (int * float) option;
 }
 
-let record t e = t.trace_rev <- e :: t.trace_rev
+(* The trace is a diagnostic, not part of the model: a long simulation
+   under heavy loss would otherwise grow it without bound, so it is capped
+   at [spec.trace_limit] and overflow is counted instead of stored. The
+   random draws are unaffected — a dropped event changes no factor, delay
+   or crash decision. *)
+let record t e =
+  if t.trace_len < t.spec.trace_limit then begin
+    t.trace_rev <- e :: t.trace_rev;
+    t.trace_len <- t.trace_len + 1
+  end
+  else t.trace_dropped <- t.trace_dropped + 1
 
 let make spec grid =
   (match validate spec with Ok () -> () | Error m -> invalid_arg m);
@@ -100,6 +117,8 @@ let make spec grid =
       compute_factors;
       loss_streams = Array.init procs (fun _ -> Prng.split root);
       trace_rev = [];
+      trace_len = 0;
+      trace_dropped = 0;
       crashed = None;
     }
   in
@@ -166,6 +185,7 @@ let check_crash t ~now =
     | _ -> None)
 
 let trace t = List.rev t.trace_rev
+let dropped_events t = t.trace_dropped
 
 let event_equal (a : event) (b : event) = a = b
 
@@ -185,4 +205,7 @@ let pp_trace ppf t =
   let events = trace t in
   Format.fprintf ppf "@[<v>%d fault events" (List.length events);
   List.iter (fun e -> Format.fprintf ppf "@,  %a" pp_event e) events;
+  if t.trace_dropped > 0 then
+    Format.fprintf ppf "@,  (%d more dropped at the %d-event cap)"
+      t.trace_dropped t.spec.trace_limit;
   Format.fprintf ppf "@]"

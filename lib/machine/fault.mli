@@ -40,6 +40,10 @@ type spec = {
   max_retries : int;  (** attempts after which delivery is assumed *)
   backoff : float;  (** timeout growth per retry, >= 1 *)
   crash : (int * float) option;  (** (rank, simulated crash time) *)
+  trace_limit : int;
+      (** stored-event cap on the diagnostic {!trace} (default 10_000);
+          overflow is counted by {!dropped_events}, never stored, and the
+          model's random draws are unaffected *)
 }
 
 val healthy : spec
@@ -80,7 +84,10 @@ val check_crash : t -> now:float -> (int * float) option
 
 val trace : t -> event list
 (** Every recorded event, in recording order (static topology first, then
-    runtime events chronologically). *)
+    runtime events chronologically), capped at [spec.trace_limit]. *)
+
+val dropped_events : t -> int
+(** Events discarded because the trace had reached [spec.trace_limit]. *)
 
 val event_equal : event -> event -> bool
 val pp_event : Format.formatter -> event -> unit

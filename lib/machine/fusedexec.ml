@@ -163,7 +163,14 @@ let run_plan grid ext (plan : Plan.t) ~inputs =
       (match prev with
       | Some (_, old) -> release (slab_words old)
       | None -> ());
-      let s = compute (Hashtbl.find step_by_name name) sigma in
+      let s =
+        if Obs.enabled () then begin
+          Obs.count "fusedexec.slices";
+          Obs.span ~cat:"fusedexec" ("slice:" ^ name) (fun () ->
+              compute (Hashtbl.find step_by_name name) sigma)
+        end
+        else compute (Hashtbl.find step_by_name name) sigma
+      in
       Hashtbl.replace cache name (sigma, s);
       s
 
@@ -274,8 +281,10 @@ let run_plan grid ext (plan : Plan.t) ~inputs =
           List.iter (fun (role, axis) -> shift role ~axis) (Variant.rotated variant);
           multiply ()
         done;
-        sliced_rotations :=
-          !sliced_rotations + List.length (Variant.rotated variant))
+        let nrot = List.length (Variant.rotated variant) in
+        sliced_rotations := !sliced_rotations + nrot;
+        if Obs.enabled () then
+          Obs.count ~by:nrot "fusedexec.sliced_rotations")
   ;
     out_slab
   in

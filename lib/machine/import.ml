@@ -22,3 +22,4 @@ module Contraction = Tce_cannon.Contraction
 module Variant = Tce_cannon.Variant
 module Schedule = Tce_cannon.Schedule
 module Plan = Tce_core.Plan
+module Obs = Tce_obs.Obs

@@ -39,6 +39,12 @@ let simulate_step cluster ext (step : Plan.step) =
   let side = Grid.side grid in
   let procs = Grid.procs grid in
   let sched = Schedule.make step.variant ~side in
+  (* Sim-clock tracing: spans are positioned at the cluster's own clock,
+     so the exported trace shows the replay's timeline, not ours. All
+     probes sit behind one [Obs.enabled] check to keep the untraced
+     replay untouched. *)
+  let traced = Obs.enabled () in
+  let step_t0 = if traced then Cluster.clock cluster else 0. in
   (* Rotations, serialized per role as in the cost model. *)
   List.iter
     (fun ((role : Variant.role), axis) ->
@@ -61,26 +67,54 @@ let simulate_step cluster ext (step : Plan.step) =
                rounds = m * side;
                limit = max_rounds;
              });
+      let aref_name = Aref.name (Variant.aref_of step.variant role) in
+      let rot_t0 = if traced then Cluster.clock cluster else 0. in
       for _iter = 1 to m do
         for round = 0 to side - 1 do
+          let round_t0 = if traced then Cluster.clock cluster else 0. in
           Cluster.shift_round cluster ~axis ~bytes:(fun (z1, z2) ->
               let b1, b2 =
                 Schedule.block_at sched role ~step:round ~z1 ~z2
               in
               Units.bytes_of_words
                 (slice_words ext grid ~alpha ~fused ~dims ~b1 ~b2));
+          if traced then
+            Obs.span_sim ~cat:"comm"
+              ~args:[ ("axis", string_of_int axis) ]
+              ("shift:" ^ aref_name) ~t0:round_t0
+              ~t1:(Cluster.clock cluster);
           poll_crash cluster
         done
-      done)
+      done;
+      if traced then
+        Obs.span_sim ~cat:"comm"
+          ~args:
+            [ ("axis", string_of_int axis); ("rounds", string_of_int (m * side)) ]
+          ("rotate:" ^ aref_name) ~t0:rot_t0 ~t1:(Cluster.clock cluster))
     (Variant.rotated step.variant);
   List.iter
     (fun (rd : Plan.redist) ->
       Cluster.barrier cluster;
+      let rd_t0 = if traced then Cluster.clock cluster else 0. in
       Tce_error.get_ok (Cluster.advance_comm_uniform cluster ~seconds:rd.cost);
+      if traced then
+        Obs.span_sim ~cat:"comm"
+          ("redistribute:"
+          ^ Aref.name (Variant.aref_of step.variant rd.Plan.role))
+          ~t0:rd_t0 ~t1:(Cluster.clock cluster);
       poll_crash cluster)
     step.redists;
+  let cmp_t0 = if traced then Cluster.clock cluster else 0. in
   Cluster.compute_uniform cluster
     ~flops_per_proc:(float_of_int step.flops /. float_of_int procs);
+  if traced then begin
+    let out = Aref.name step.contraction.Contraction.out in
+    Obs.span_sim ~cat:"compute"
+      ~args:[ ("flops", string_of_int step.flops) ]
+      ("compute:" ^ out) ~t0:cmp_t0 ~t1:(Cluster.clock cluster);
+    Obs.span_sim ~cat:"step" ("step:" ^ out) ~t0:step_t0
+      ~t1:(Cluster.clock cluster)
+  end;
   poll_crash cluster;
   Cluster.barrier cluster
 
@@ -96,9 +130,15 @@ let run_plan ?faults ?(overlap = Overlap.none) params ext (plan : Plan.t) =
       let overlapped = ref 0.0 in
       List.iter
         (fun (ps : Plan.presum) ->
+          let traced = Obs.enabled () in
+          let t0 = if traced then Cluster.clock cluster else 0. in
           let w0 = Cluster.compute_seconds cluster in
           Cluster.compute_uniform cluster
             ~flops_per_proc:(float_of_int ps.flops /. float_of_int procs);
+          if traced then
+            Obs.span_sim ~cat:"compute"
+              ("presum:" ^ Aref.name ps.out)
+              ~t0 ~t1:(Cluster.clock cluster);
           overlapped := !overlapped +. (Cluster.compute_seconds cluster -. w0);
           poll_crash cluster)
         plan.presums;

@@ -1,0 +1,561 @@
+let wall_pid = 1
+let sim_pid = 2
+
+type event = {
+  name : string;
+  cat : string;
+  ph : [ `X | `I | `C ];
+  pid : int;
+  tid : int;
+  ts_us : float;
+  dur_us : float;
+  value : float;
+  args : (string * string) list;
+}
+
+type sink = {
+  limit : int;
+  lock : Mutex.t;
+  mutable events_rev : event list;
+  mutable n_events : int;
+  mutable n_dropped : int;
+  counters : (string, int ref) Hashtbl.t;
+  thread_names : ((int * int), string) Hashtbl.t;
+  epoch : float;  (* wall-clock origin: spans record [now - epoch] *)
+}
+
+let create ?(limit = 200_000) () =
+  if limit < 0 then invalid_arg "Obs.create: negative limit";
+  {
+    limit;
+    lock = Mutex.create ();
+    events_rev = [];
+    n_events = 0;
+    n_dropped = 0;
+    counters = Hashtbl.create 32;
+    thread_names = Hashtbl.create 16;
+    epoch = Unix.gettimeofday ();
+  }
+
+(* The one global probes consult. A single atomic load decides whether any
+   probe does work, so with no sink installed instrumented hot paths pay
+   only that load. *)
+let current : sink option Atomic.t = Atomic.make None
+
+let install s = Atomic.set current (Some s)
+let uninstall () = Atomic.set current None
+let enabled () = Atomic.get current <> None
+
+let with_sink s f =
+  install s;
+  Fun.protect ~finally:uninstall f
+
+let locked s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let record s e =
+  locked s (fun () ->
+      if s.n_events < s.limit then begin
+        s.events_rev <- e :: s.events_rev;
+        s.n_events <- s.n_events + 1
+      end
+      else s.n_dropped <- s.n_dropped + 1)
+
+let span ?(cat = "") ?(tid = 0) ?(args = []) name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some s ->
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      let t1 = Unix.gettimeofday () in
+      record s
+        {
+          name;
+          cat;
+          ph = `X;
+          pid = wall_pid;
+          tid;
+          ts_us = (t0 -. s.epoch) *. 1e6;
+          dur_us = (t1 -. t0) *. 1e6;
+          value = 0.;
+          args;
+        }
+    in
+    (match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e)
+
+let span_sim ?(cat = "") ?(tid = 0) ?(args = []) name ~t0 ~t1 =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+    record s
+      {
+        name;
+        cat;
+        ph = `X;
+        pid = sim_pid;
+        tid;
+        ts_us = t0 *. 1e6;
+        dur_us = (t1 -. t0) *. 1e6;
+        value = 0.;
+        args;
+      }
+
+let instant ?(cat = "") ?(tid = 0) ?(args = []) name =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+    record s
+      {
+        name;
+        cat;
+        ph = `I;
+        pid = wall_pid;
+        tid;
+        ts_us = (Unix.gettimeofday () -. s.epoch) *. 1e6;
+        dur_us = 0.;
+        value = 0.;
+        args;
+      }
+
+let count ?(by = 1) name =
+  match Atomic.get current with
+  | None -> ()
+  | Some s ->
+    locked s (fun () ->
+        match Hashtbl.find_opt s.counters name with
+        | Some r -> r := !r + by
+        | None -> Hashtbl.replace s.counters name (ref by))
+
+let set_thread_name ~pid ~tid name =
+  match Atomic.get current with
+  | None -> ()
+  | Some s -> locked s (fun () -> Hashtbl.replace s.thread_names (pid, tid) name)
+
+let events s = locked s (fun () -> List.rev s.events_rev)
+
+let counters s =
+  locked s (fun () ->
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) s.counters []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let dropped s = locked s (fun () -> s.n_dropped)
+
+let thread_names s =
+  locked s (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.thread_names []
+      |> List.sort compare)
+
+(* {2 Chrome trace-event JSON} *)
+
+let json_escape b str =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    str
+
+let json_string b str =
+  Buffer.add_char b '"';
+  json_escape b str;
+  Buffer.add_char b '"'
+
+(* Chrome's importer accepts any JSON number for ts/dur; print with enough
+   digits to round-trip and no exponent weirdness for typical values. *)
+let json_float b x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" x)
+  else Buffer.add_string b (Printf.sprintf "%.17g" x)
+
+let emit_args b args =
+  Buffer.add_string b ",\"args\":{";
+  List.iteri
+    (fun k (key, v) ->
+      if k > 0 then Buffer.add_char b ',';
+      json_string b key;
+      Buffer.add_char b ':';
+      json_string b v)
+    args;
+  Buffer.add_char b '}'
+
+let emit_event b e =
+  Buffer.add_string b "{\"name\":";
+  json_string b e.name;
+  if e.cat <> "" then begin
+    Buffer.add_string b ",\"cat\":";
+    json_string b e.cat
+  end;
+  Buffer.add_string b ",\"ph\":";
+  json_string b (match e.ph with `X -> "X" | `I -> "i" | `C -> "C");
+  Buffer.add_string b ",\"ts\":";
+  json_float b e.ts_us;
+  (match e.ph with
+  | `X ->
+    Buffer.add_string b ",\"dur\":";
+    json_float b (Float.max 0. e.dur_us)
+  | `I | `C -> ());
+  Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" e.pid e.tid);
+  (match e.ph with
+  | `C ->
+    Buffer.add_string b ",\"args\":{\"value\":";
+    json_float b e.value;
+    Buffer.add_char b '}'
+  | _ -> if e.args <> [] then emit_args b e.args);
+  Buffer.add_char b '}'
+
+let to_chrome_json s =
+  let evs = events s in
+  let ctrs = counters s in
+  let names = thread_names s in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string b ",\n";
+    ()
+  in
+  List.iter
+    (fun e ->
+      sep ();
+      emit_event b e)
+    evs;
+  (* One terminal sample per aggregate counter, on a dedicated track. *)
+  List.iter
+    (fun (name, v) ->
+      sep ();
+      emit_event b
+        {
+          name;
+          cat = "counter";
+          ph = `C;
+          pid = wall_pid;
+          tid = 0;
+          ts_us = 0.;
+          dur_us = 0.;
+          value = float_of_int v;
+          args = [];
+        })
+    ctrs;
+  List.iter
+    (fun ((pid, tid), name) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\
+            \"args\":{\"name\":" pid tid);
+      json_string b name;
+      Buffer.add_string b "}}")
+    names;
+  (* Label the two clock domains. *)
+  List.iter
+    (fun (pid, pname) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\
+            \"args\":{\"name\":\"%s\"}}" pid pname))
+    [ (wall_pid, "wall clock"); (sim_pid, "simulated clock") ];
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_chrome_json s ~path =
+  match
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (to_chrome_json s))
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+(* {2 Deterministic summary} *)
+
+let summary s =
+  let evs = events s in
+  let ctrs = counters s in
+  let b = Buffer.create 1024 in
+  (* (pid, tid, name) -> (count, total sim seconds). Wall durations are
+     nondeterministic, so only sim-clock spans report time. *)
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      match e.ph with
+      | `X ->
+        let key = (e.pid, e.tid, e.name) in
+        let n, t =
+          Option.value (Hashtbl.find_opt tbl key) ~default:(0, 0.)
+        in
+        let t =
+          if e.pid = sim_pid then t +. (e.dur_us /. 1e6) else t
+        in
+        Hashtbl.replace tbl key (n + 1, t)
+      | `I | `C -> ())
+    evs;
+  let rows =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  List.iter
+    (fun ((pid, tid, name), (n, t)) ->
+      let clock = if pid = sim_pid then "sim" else "wall" in
+      if pid = sim_pid then
+        Buffer.add_string b
+          (Printf.sprintf "span %s/%d %s: count=%d total=%.9fs\n" clock tid
+             name n t)
+      else
+        Buffer.add_string b
+          (Printf.sprintf "span %s/%d %s: count=%d\n" clock tid name n))
+    rows;
+  List.iter
+    (fun (name, v) ->
+      Buffer.add_string b (Printf.sprintf "counter %s = %d\n" name v))
+    ctrs;
+  Buffer.add_string b (Printf.sprintf "dropped = %d\n" (dropped s));
+  Buffer.contents b
+
+(* {2 Chrome trace validation} *)
+
+module Trace_check = struct
+  (* A small recursive-descent JSON parser — just enough structure to
+     validate trace files without pulling in a JSON dependency. *)
+  type json =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of json list
+    | Obj of (string * json) list
+
+  exception Bad of string
+
+  type state = { src : string; mutable pos : int }
+
+  let error st msg = raise (Bad (Printf.sprintf "%s at offset %d" msg st.pos))
+  let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+  let skip_ws st =
+    let n = String.length st.src in
+    while
+      st.pos < n
+      && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      st.pos <- st.pos + 1
+    done
+
+  let expect st c =
+    match peek st with
+    | Some c' when c' = c -> st.pos <- st.pos + 1
+    | _ -> error st (Printf.sprintf "expected '%c'" c)
+
+  let parse_lit st lit v =
+    let n = String.length lit in
+    if
+      st.pos + n <= String.length st.src
+      && String.sub st.src st.pos n = lit
+    then begin
+      st.pos <- st.pos + n;
+      v
+    end
+    else error st (Printf.sprintf "expected %s" lit)
+
+  let parse_string st =
+    expect st '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if st.pos >= String.length st.src then error st "unterminated string";
+      let c = st.src.[st.pos] in
+      st.pos <- st.pos + 1;
+      match c with
+      | '"' -> Buffer.contents b
+      | '\\' ->
+        if st.pos >= String.length st.src then error st "bad escape";
+        let e = st.src.[st.pos] in
+        st.pos <- st.pos + 1;
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+          if st.pos + 4 > String.length st.src then error st "bad \\u escape";
+          let hex = String.sub st.src st.pos 4 in
+          st.pos <- st.pos + 4;
+          (match int_of_string_opt ("0x" ^ hex) with
+          | None -> error st "bad \\u escape"
+          | Some code ->
+            (* Validation only cares about well-formedness; encode the
+               code point as UTF-8 without surrogate pairing. *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else Buffer.add_string b (Printf.sprintf "\\u%04x" code))
+        | _ -> error st "bad escape");
+        go ()
+      | c -> Buffer.add_char b c; go ()
+    in
+    go ()
+
+  let parse_number st =
+    let start = st.pos in
+    let n = String.length st.src in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while st.pos < n && is_num_char st.src.[st.pos] do
+      st.pos <- st.pos + 1
+    done;
+    match float_of_string_opt (String.sub st.src start (st.pos - start)) with
+    | Some f -> f
+    | None -> error st "bad number"
+
+  let rec parse_value st =
+    skip_ws st;
+    match peek st with
+    | None -> error st "unexpected end of input"
+    | Some '"' -> Str (parse_string st)
+    | Some '{' -> parse_obj st
+    | Some '[' -> parse_arr st
+    | Some 't' -> parse_lit st "true" (Bool true)
+    | Some 'f' -> parse_lit st "false" (Bool false)
+    | Some 'n' -> parse_lit st "null" Null
+    | Some ('-' | '0' .. '9') -> Num (parse_number st)
+    | Some c -> error st (Printf.sprintf "unexpected '%c'" c)
+
+  and parse_obj st =
+    expect st '{';
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec go () =
+        skip_ws st;
+        let key = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        fields := (key, v) :: !fields;
+        skip_ws st;
+        match peek st with
+        | Some ',' -> st.pos <- st.pos + 1; go ()
+        | Some '}' -> st.pos <- st.pos + 1
+        | _ -> error st "expected ',' or '}'"
+      in
+      go ();
+      Obj (List.rev !fields)
+    end
+
+  and parse_arr st =
+    expect st '[';
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      Arr []
+    end
+    else begin
+      let items = ref [] in
+      let rec go () =
+        let v = parse_value st in
+        items := v :: !items;
+        skip_ws st;
+        match peek st with
+        | Some ',' -> st.pos <- st.pos + 1; go ()
+        | Some ']' -> st.pos <- st.pos + 1
+        | _ -> error st "expected ',' or ']'"
+      in
+      go ();
+      Arr (List.rev !items)
+    end
+
+  let parse str =
+    let st = { src = str; pos = 0 } in
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length str then error st "trailing garbage";
+    v
+
+  let field obj key = List.assoc_opt key obj
+
+  let check_event k v =
+    let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+    match v with
+    | Obj fields -> (
+      match (field fields "name", field fields "ph") with
+      | None, _ -> fail "event %d: missing \"name\"" k
+      | Some (Str _), Some (Str ph) -> (
+        let known =
+          List.mem ph [ "B"; "E"; "X"; "I"; "i"; "C"; "M"; "P"; "b"; "e"; "n" ]
+        in
+        if not known then fail "event %d: unknown ph %S" k ph
+        else
+          let num key =
+            match field fields key with
+            | Some (Num _) -> Ok ()
+            | Some _ -> fail "event %d: %S is not a number" k key
+            | None -> fail "event %d: missing %S" k key
+          in
+          let ( let* ) = Result.bind in
+          let* () = num "pid" in
+          let* () = num "tid" in
+          if ph = "M" then Ok ()  (* metadata events carry no timestamp *)
+          else
+            let* () = num "ts" in
+            if ph = "X" then num "dur" else Ok ())
+      | Some (Str _), _ -> fail "event %d: missing or non-string \"ph\"" k
+      | Some _, _ -> fail "event %d: \"name\" is not a string" k)
+    | _ -> fail "event %d: not an object" k
+
+  let validate str =
+    match parse str with
+    | exception Bad msg -> Error ("invalid JSON: " ^ msg)
+    | json -> (
+      let events =
+        match json with
+        | Arr evs -> Ok evs
+        | Obj fields -> (
+          match field fields "traceEvents" with
+          | Some (Arr evs) -> Ok evs
+          | Some _ -> Error "\"traceEvents\" is not an array"
+          | None -> Error "object form lacks \"traceEvents\"")
+        | _ -> Error "top level is neither an array nor an object"
+      in
+      match events with
+      | Error _ as e -> e
+      | Ok evs ->
+        let rec go k = function
+          | [] -> Ok k
+          | e :: rest -> (
+            match check_event k e with
+            | Ok () -> go (k + 1) rest
+            | Error _ as err -> err)
+        in
+        go 0 evs)
+
+  let validate_file path =
+    match
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error msg -> Error msg
+    | contents -> validate contents
+end

@@ -55,6 +55,13 @@ let run_contraction ?pool ?(schedule = Overlapped) ?recv_timeout_s grid ext
     variant ~left ~right =
   check_extents grid ext variant;
   check_pool grid pool;
+  if Obs.enabled () then begin
+    Obs.count "multicore.contractions";
+    for r = 0 to Grid.procs grid - 1 do
+      Obs.set_thread_name ~pid:Obs.wall_pid ~tid:r
+        (Printf.sprintf "rank %d" r)
+    done
+  end;
   let side = Grid.side grid in
   let sched = Schedule.make variant ~side in
   let out_aref = Variant.aref_of variant Variant.Out in
@@ -104,7 +111,14 @@ let run_contraction ?pool ?(schedule = Overlapped) ?recv_timeout_s grid ext
        no per-step delta tensor, no [Einsum.add]. Received operand blocks
        arrive by reference through the shared-heap Spmd mailbox, so a
        step's only allocation is the mailbox cell itself. *)
-    let multiply () = Einsum.contract2_acc ~into:!my_out !my_left !my_right in
+    let multiply_impl () =
+      Einsum.contract2_acc ~into:!my_out !my_left !my_right
+    in
+    let multiply () =
+      if Obs.enabled () then
+        Obs.span ~cat:"compute" ~tid:my "multiply" multiply_impl
+      else multiply_impl ()
+    in
     (* Blocks move one hop toward the lower coordinate. *)
     let dst_of axis = Grid.rank_of grid (Grid.shift grid (z1, z2) ~axis ~by:(-1)) in
     let src_of axis = Grid.rank_of grid (Grid.shift grid (z1, z2) ~axis ~by:1) in
@@ -166,7 +180,10 @@ let run_contraction ?pool ?(schedule = Overlapped) ?recv_timeout_s grid ext
         (fun (i, (off, _)) -> if off = 0 then None else Some (i, off))
         gather.(my)
     in
-    Dense.set_block result offsets !my_out;
+    (if Obs.enabled () then
+       Obs.span ~cat:"compute" ~tid:my "gather" (fun () ->
+           Dense.set_block result offsets !my_out)
+     else Dense.set_block result offsets !my_out);
     Spmd.barrier ctx
   in
   let (_ : unit array) =
@@ -210,6 +227,7 @@ let run_plan ?pool ?(pooled = true) ?schedule ?recv_timeout_s
   let free name =
     if Hashtbl.mem env name then begin
       Hashtbl.remove env name;
+      if Obs.enabled () then Obs.instant ~cat:"memory" ("free:" ^ name);
       Option.iter (fun f -> f name) on_free
     end
   in
@@ -236,11 +254,18 @@ let run_plan ?pool ?(pooled = true) ?schedule ?recv_timeout_s
     let last = ref None in
     List.iteri
       (fun k (step : Plan.step) ->
-        let out =
+        let contract () =
           run_contraction ?pool ?schedule ?recv_timeout_s grid ext
             step.variant
             ~left:(lookup step.contraction.Contraction.left)
             ~right:(lookup step.contraction.Contraction.right)
+        in
+        let out =
+          if Obs.enabled () then
+            Obs.span ~cat:"plan"
+              ("contraction:" ^ Aref.name step.contraction.Contraction.out)
+              contract
+          else contract ()
         in
         Hashtbl.replace env (Aref.name step.contraction.Contraction.out) out;
         List.iter free dying.(k);

@@ -60,7 +60,7 @@ let check_abort t =
   | Some (rank, exn) -> raise (Spmd_aborted { rank; exn })
   | None -> ()
 
-let barrier t =
+let barrier_impl t =
   let s = t.shared in
   check_abort t;
   Mutex.lock s.bar_lock;
@@ -78,7 +78,15 @@ let barrier t =
   Mutex.unlock s.bar_lock;
   check_abort t
 
-let send t ~dst msg =
+(* The tracing wrappers keep the hot path at one atomic load when no sink
+   is installed: probe arguments (and the span closure) are only built
+   inside the [Obs.enabled] branch. *)
+let barrier t =
+  if Obs.enabled () then
+    Obs.span ~cat:"spmd" ~tid:t.my_rank "barrier" (fun () -> barrier_impl t)
+  else barrier_impl t
+
+let send_impl t ~dst msg =
   if dst < 0 || dst >= t.shared.nprocs then
     Tce_error.failf "Spmd.send: bad rank %d (team of %d)" dst t.shared.nprocs;
   check_abort t;
@@ -88,7 +96,16 @@ let send t ~dst msg =
   Condition.broadcast box.nonempty;
   Mutex.unlock box.lock
 
-let recv ?timeout_s t ~src =
+let send t ~dst msg =
+  if Obs.enabled () then begin
+    Obs.count "spmd.sends";
+    Obs.span ~cat:"spmd" ~tid:t.my_rank
+      ~args:[ ("dst", string_of_int dst) ]
+      "send" (fun () -> send_impl t ~dst msg)
+  end
+  else send_impl t ~dst msg
+
+let recv_impl ?timeout_s t ~src =
   if src < 0 || src >= t.shared.nprocs then
     Tce_error.failf "Spmd.recv: bad rank %d (team of %d)" src t.shared.nprocs;
   (match timeout_s with
@@ -137,6 +154,15 @@ let recv ?timeout_s t ~src =
   let payload = take () in
   Mutex.unlock box.lock;
   payload
+
+let recv ?timeout_s t ~src =
+  if Obs.enabled () then begin
+    Obs.count "spmd.recvs";
+    Obs.span ~cat:"spmd" ~tid:t.my_rank
+      ~args:[ ("src", string_of_int src) ]
+      "recv-wait" (fun () -> recv_impl ?timeout_s t ~src)
+  end
+  else recv_impl ?timeout_s t ~src
 
 let sendrecv ?timeout_s t ~dst msg ~src =
   send t ~dst msg;
@@ -284,7 +310,10 @@ module Pool = struct
         match next_job slots.(k) with
         | Quit -> ()
         | Job f ->
-          participate shared r f;
+          (if Obs.enabled () then
+             Obs.span ~cat:"pool" ~tid:r "pool.job" (fun () ->
+                 participate shared r f)
+           else participate shared r f);
           (* Signal completion only after the program has fully unwound
              on this rank; the driver resets the team once every rank has
              signalled, so no worker is ever inside a primitive when the
@@ -316,8 +345,15 @@ module Pool = struct
         pool.done_count <- 0;
         Mutex.unlock pool.done_lock;
         let program ctx = results.(ctx.my_rank) <- Some (f ctx) in
+        if Obs.enabled () then begin
+          Obs.count "spmd.pool.jobs";
+          Obs.instant ~cat:"pool" "pool.post"
+        end;
         Array.iter (fun slot -> post slot (Job program)) pool.slots;
-        participate pool.shared 0 program;
+        (if Obs.enabled () then
+           Obs.span ~cat:"pool" ~tid:0 "pool.job" (fun () ->
+               participate pool.shared 0 program)
+         else participate pool.shared 0 program);
         (* Wait for every worker to finish this program. Workers park on
            their slots afterwards, so once the count is full the team is
            quiescent and [reset_shared] is safe; the mutex also gives the

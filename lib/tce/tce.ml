@@ -36,6 +36,11 @@
     simulator; {!Spmd}, {!Multicore} — real parallel execution on OCaml 5
     domains; {!Table}, {!Paperref}, {!Exptables} — experiment reports.
 
+    {2 Observability}
+    {!Obs} — structured tracing and metrics: wall-clock and
+    simulated-clock spans, named counters, Chrome trace-event JSON and
+    deterministic text exporters.
+
     {2 Fault tolerance}
     {!Tce_error} — the typed error surface; {!Fault} — the seeded,
     deterministic fault model (degraded links, stragglers, message loss,
@@ -61,6 +66,7 @@ module Tree = Tce_expr.Tree
 module Problem = Tce_expr.Problem
 module Parser = Tce_expr.Parser
 module Opmin = Tce_opmin.Opmin
+module Obs = Tce_obs.Obs
 module Grid = Tce_grid.Grid
 module Dist = Tce_grid.Dist
 module Params = Tce_netmodel.Params

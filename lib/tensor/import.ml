@@ -6,3 +6,4 @@ module Listx = Tce_util.Listx
 module Prng = Tce_util.Prng
 module Index = Tce_index.Index
 module Extents = Tce_index.Extents
+module Obs = Tce_obs.Obs

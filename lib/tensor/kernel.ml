@@ -333,4 +333,11 @@ let contract_acc ?(pin_out = []) ?(pin_a = []) ?(pin_b = []) ~into a b =
   let sum_dims = coalesce (drop_unit sum_dims) in
   let da = Dense.data a and db = Dense.data b and dc = Dense.data into in
   used_micro := try_micro ~out_dims ~sum_dims da db dc abase bbase cbase;
-  if not !used_micro then walk ~out_dims ~sum_dims da db dc abase bbase cbase
+  if not !used_micro then walk ~out_dims ~sum_dims da db dc abase bbase cbase;
+  if Obs.enabled () then begin
+    Obs.count
+      (if !used_micro then "kernel.microkernel" else "kernel.fallback");
+    let dims_product = List.fold_left (fun acc d -> acc * d.ext) 1 in
+    Obs.count ~by:(2 * dims_product out_dims * dims_product sum_dims)
+      "kernel.flops"
+  end

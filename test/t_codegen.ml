@@ -164,6 +164,38 @@ S[t]    = sum[j] T3[j,t]
   let got = Interp.run_exn ext prog ~inputs in
   Alcotest.(check bool) "values" true (Dense.equal_approx reference got)
 
+(* A 3-contraction chain (four-matrix product) distinct from the CCSD
+   shape: memmin's fusions must collapse both temporaries and the fused
+   program must still evaluate to the unfused reference. *)
+let test_three_contraction_chain () =
+  let text =
+    {|
+extents m=5, k1=6, k2=4, k3=7, n=3
+T[m,k2] = sum[k1] A[m,k1] * B[k1,k2]
+U[m,k3] = sum[k2] T[m,k2] * C[k2,k3]
+S[m,n]  = sum[k3] U[m,k3] * D[k3,n]
+|}
+  in
+  let problem = get_ok ~ctx:"parse" (Parser.parse text) in
+  let ext = problem.Problem.extents in
+  let seq = get_ok ~ctx:"seq" (Problem.to_sequence problem) in
+  let tree = Tree.fuse_mult_sum (get_ok ~ctx:"tree" (Tree.of_sequence seq)) in
+  let mmf = fusions_of_memmin ext tree in
+  let prog = get_ok ~ctx:"generate" (Loopnest.generate tree ~fusions:mmf) in
+  (* Both intermediates shrink below their unfused footprints. *)
+  let unfused = get_ok ~ctx:"unfused" (Loopnest.generate_unfused tree) in
+  Alcotest.(check bool) "fusion reduces temporary storage" true
+    (Loopnest.temporary_words ext prog
+    < Loopnest.temporary_words ext unfused);
+  let inputs = Sequence.random_inputs ext ~seed:47 seq in
+  let reference = Sequence.eval ext ~inputs seq in
+  let fused_values = Interp.run_exn ext prog ~inputs in
+  Alcotest.(check bool) "fused == reference" true
+    (Dense.equal_approx ~tol:1e-9 reference fused_values);
+  let unfused_values = Interp.run_exn ext unfused ~inputs in
+  Alcotest.(check bool) "unfused == reference" true
+    (Dense.equal_approx ~tol:1e-9 reference unfused_values)
+
 let test_interp_missing_input () =
   let _, _, tree = ccsd ~scale:`Tiny in
   let problem, seq, _ = ccsd ~scale:`Tiny in
@@ -198,6 +230,7 @@ let suite =
         case "shallow child under deep parent (regression)"
           test_shallow_child_deep_parent;
         case "Fig 1 with unary summations" test_fig1_codegen;
+        case "three-contraction fused chain" test_three_contraction_chain;
         case "missing input reported" test_interp_missing_input;
         case "wrong input shape reported" test_interp_wrong_shape;
       ] );

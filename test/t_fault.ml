@@ -182,6 +182,113 @@ let test_typed_errors () =
   Alcotest.(check string) "pp round-trip" "node 3 crashed at simulated time 2.000 s"
     (Tce_error.to_string (Tce_error.Node_crashed { rank = 3; at = 2.0 }))
 
+(* The trace cap is diagnostic-only: a tiny cap keeps the bounded prefix,
+   counts the rest as dropped, and leaves every random draw — hence the
+   simulated timing — bit-identical to the uncapped run. *)
+let test_trace_cap () =
+  let grid, ext, _, plan = small_plan 4 in
+  let lossy limit =
+    {
+      (Fault.default ~seed:5) with
+      Fault.msg_loss_prob = 0.5;
+      retry_timeout_s = 0.005;
+      trace_limit = limit;
+    }
+  in
+  let run limit =
+    let faults = Fault.make (lossy limit) grid in
+    let t = simulate ~faults params ext plan in
+    (t, Fault.trace faults, Fault.dropped_events faults, faults)
+  in
+  let t_full, tr_full, dropped_full, _ = run 1_000_000 in
+  Alcotest.(check int) "uncapped run drops nothing" 0 dropped_full;
+  Alcotest.(check bool) "enough events to exercise the cap" true
+    (List.length tr_full > 8);
+  let t_capped, tr_capped, dropped, capped_faults = run 8 in
+  Alcotest.(check int) "capped trace length" 8 (List.length tr_capped);
+  Alcotest.(check int) "everything else counted as dropped"
+    (List.length tr_full - 8)
+    dropped;
+  Alcotest.(check bool) "timing unaffected by the cap" true
+    (t_full = t_capped);
+  (* The kept prefix is the chronological prefix of the full trace. *)
+  List.iteri
+    (fun j e ->
+      if not (Fault.event_equal e (List.nth tr_full j)) then
+        Alcotest.failf "capped trace diverges at event %d" j)
+    tr_capped;
+  let rendered = Format.asprintf "%a" Fault.pp_trace capped_faults in
+  Alcotest.(check bool) "pp_trace reports the drop" true
+    (Astring_contains.contains rendered "dropped")
+
+let test_trace_cap_spec () =
+  Alcotest.(check int) "healthy default cap" 10_000
+    Fault.healthy.Fault.trace_limit;
+  Alcotest.(check int) "seeded default cap" 10_000
+    (Fault.default ~seed:1).Fault.trace_limit;
+  (match Fault.validate { Fault.healthy with Fault.trace_limit = -1 } with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "negative cap accepted");
+  (* A zero cap records nothing but still counts. *)
+  let grid, ext, _, plan = small_plan 4 in
+  let spec =
+    {
+      (Fault.default ~seed:5) with
+      Fault.msg_loss_prob = 0.5;
+      retry_timeout_s = 0.005;
+      trace_limit = 0;
+    }
+  in
+  let faults = Fault.make spec grid in
+  ignore (simulate ~faults params ext plan);
+  Alcotest.(check (list string)) "empty trace" []
+    (List.map (Format.asprintf "%a" Fault.pp_event) (Fault.trace faults));
+  Alcotest.(check bool) "drops counted" true
+    (Fault.dropped_events faults > 0)
+
+(* Determinism holds per seed across the whole seed range, not just for
+   one lucky value: each seed reproduces its own trace and timing, and
+   distinct seeds genuinely produce distinct traces. *)
+let test_multi_seed_determinism () =
+  let grid, ext, _, plan = small_plan 4 in
+  let run seed =
+    let spec =
+      {
+        (Fault.default ~seed) with
+        Fault.msg_loss_prob = 0.1;
+        straggler_prob = 0.3;
+        straggler_factor = 1.7;
+        retry_timeout_s = 0.01;
+      }
+    in
+    let faults = Fault.make spec grid in
+    let t = simulate ~faults params ext plan in
+    (t, Fault.trace faults)
+  in
+  let seeds = [ 1; 5; 9; 13; 21 ] in
+  let fingerprints =
+    List.map
+      (fun seed ->
+        let t1, tr1 = run seed in
+        let t2, tr2 = run seed in
+        Alcotest.(check bool)
+          (Printf.sprintf "seed %d: timing reproducible" seed)
+          true (t1 = t2);
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: trace length reproducible" seed)
+          (List.length tr1) (List.length tr2);
+        List.iter2
+          (fun a b ->
+            if not (Fault.event_equal a b) then
+              Alcotest.failf "seed %d: trace diverged" seed)
+          tr1 tr2;
+        Format.asprintf "%a" Simulate.pp_timing t1)
+      seeds
+  in
+  let distinct = List.sort_uniq compare fingerprints in
+  Alcotest.(check bool) "different seeds differ" true
+    (List.length distinct > 1)
+
 let test_spec_validation () =
   let bad = { Fault.healthy with Fault.msg_loss_prob = 1.5 } in
   (match Fault.validate bad with
@@ -203,6 +310,9 @@ let suite =
         case "link degradation slows communication"
           test_link_degradation_slows_comm;
         case "message loss adds retry delay" test_message_loss_adds_delay;
+        case "trace cap bounds memory, not behavior" test_trace_cap;
+        case "trace cap spec and zero-cap edge" test_trace_cap_spec;
+        case "determinism across seeds" test_multi_seed_determinism;
         case "spec validation" test_spec_validation;
       ] );
     ( "fault.degrade",

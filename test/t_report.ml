@@ -23,6 +23,69 @@ let test_table_csv () =
   Alcotest.(check string) "csv quoting" "a,b\n\"x,y\",\"q\"\"z\""
     (Table.csv t)
 
+(* Round-trip: cells survive both renderers verbatim. The markdown
+   renderer only adds alignment padding, so splitting on the pipes and
+   trimming must recover exactly the headers and rows that went in; the
+   CSV renderer's quoting must invert under a standard RFC-4180 parse. *)
+let test_table_round_trip () =
+  let headers = [ "array"; "dist"; "note" ] in
+  let rows =
+    [
+      [ "T1[b,c]"; "(b,c)"; "plain" ];
+      [ "x,y"; "has \"quotes\""; "" ];
+      [ "short row" ];
+    ]
+  in
+  let t = Table.add_rows (Table.create ~headers) rows in
+  (* add_row pads short rows, so the expected grid is rectangular. *)
+  let pad r = r @ List.init (List.length headers - List.length r) (fun _ -> "") in
+  let expected = headers :: List.map pad rows in
+  (* Markdown side. *)
+  let parse_md_line line =
+    String.split_on_char '|' line
+    |> List.filteri (fun j _ -> j > 0)
+    |> fun cells ->
+    List.filteri (fun j _ -> j < List.length cells - 1) cells
+    |> List.map String.trim
+  in
+  let md_grid =
+    Table.to_string t |> String.split_on_char '\n'
+    |> List.filteri (fun j _ -> j <> 1) (* drop the |---| rule *)
+    |> List.map parse_md_line
+  in
+  Alcotest.(check (list (list string))) "markdown round-trip" expected md_grid;
+  (* CSV side: minimal RFC-4180 reader. *)
+  let parse_csv_line line =
+    let buf = Buffer.create 16 and cells = ref [] in
+    let n = String.length line in
+    let rec field j quoted =
+      if j >= n then j
+      else
+        match (line.[j], quoted) with
+        | '"', false when Buffer.length buf = 0 -> field (j + 1) true
+        | '"', true when j + 1 < n && line.[j + 1] = '"' ->
+          Buffer.add_char buf '"';
+          field (j + 2) true
+        | '"', true -> j + 1
+        | ',', false -> j
+        | c, q ->
+          Buffer.add_char buf c;
+          field (j + 1) q
+    in
+    let rec loop j =
+      let j' = field j false in
+      cells := Buffer.contents buf :: !cells;
+      Buffer.clear buf;
+      if j' < n && line.[j'] = ',' then loop (j' + 1)
+    in
+    loop 0;
+    List.rev !cells
+  in
+  let csv_grid =
+    Table.csv t |> String.split_on_char '\n' |> List.map parse_csv_line
+  in
+  Alcotest.(check (list (list string))) "csv round-trip" expected csv_grid
+
 let test_paperref_totals () =
   Alcotest.(check int) "procs" 64 Paperref.totals1.Paperref.procs;
   check_float "t1 comm" 98.0 Paperref.totals1.Paperref.comm_seconds;
@@ -99,6 +162,7 @@ let suite =
         case "table rendering" test_table_render;
         case "table validation" test_table_validation;
         case "csv quoting" test_table_csv;
+        case "markdown and csv round-trip" test_table_round_trip;
         case "paper reference data" test_paperref_totals;
         case "percentage deviations" test_pct_dev;
         case "plan tables" test_plan_table_rows;

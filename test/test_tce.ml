@@ -21,5 +21,7 @@ let () =
          T_codegen.suite;
          T_runtime.suite;
          T_report.suite;
+         T_obs.suite;
+         T_prop.suite;
          T_integration.suite;
        ])
