@@ -901,6 +901,120 @@ let trace () =
   Format.printf "@.wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* Search engine benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let chain_text =
+  {|
+extents a=96, b=96, c=96, d=96, e=96, f=96
+T1[a,c] = sum[b] M1[a,b] * M2[b,c]
+T2[a,d] = sum[c] T1[a,c] * M3[c,d]
+T3[a,e] = sum[d] T2[a,d] * M4[d,e]
+S[a,f] = sum[e] T3[a,e] * M5[e,f]
+|}
+
+(* The same subcomputation under two output names: the memo cache solves it
+   once and α-renames the cached solutions for the second occurrence. *)
+let cse_text =
+  {|
+extents a=64, b=64, c=64, k=64
+T1[a,b] = sum[k] X[a,k] * Y[k,b]
+T2[a,c] = sum[b] T1[a,b] * W[b,c]
+T3[a,b] = sum[k] X[a,k] * Y[k,b]
+S[c,b] = sum[a] T2[a,c] * T3[a,b]
+|}
+
+(* Times the DP search under its engine knobs — sequential cache-free,
+   memoized, and domain-parallel at jobs=2/4 — on the CCSD term (the
+   paper's example; the 8x8 grid gives the largest variant space), a
+   5-matrix chain, and a repeated-subexpression problem where the memo
+   cache actually hits. Checks all engines return byte-identical plans and
+   writes BENCH_search.json. Speedups depend on the host's core count
+   (recorded in the JSON): with a single core, jobs>1 only adds pool
+   overhead. *)
+let search () =
+  section "Search engine: memoized + domain-parallel DP vs sequential";
+  let host_cores = Domain.recommended_domain_count () in
+  let wall_of ?(reps = 5) f =
+    ignore (f ());
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let plan_str p = Format.asprintf "%a" Plan.pp p in
+  let cases =
+    [
+      ("ccsd-64procs", ccsd_text, 64);
+      ("chain-16procs", chain_text, 16);
+      ("cse-16procs", cse_text, 16);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, text, procs) ->
+        let problem, _, tree = load text in
+        let ext = problem.Problem.extents in
+        let grid = Grid.create_exn ~procs in
+        let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+        let cfg = Search.default_config ~grid ~params ~rcost () in
+        let solve ?jobs ?memo () =
+          Result.get_ok (Search.optimize ?jobs ?memo cfg ext tree)
+        in
+        let seq_s = wall_of (solve ~memo:false) in
+        let memo_s = wall_of (solve ~memo:true) in
+        let j2_s = wall_of (solve ~jobs:2) in
+        let j4_s = wall_of (solve ~jobs:4) in
+        let sink = Obs.create () in
+        let memo_plan = Obs.with_sink sink (solve ~memo:true) in
+        let counter k =
+          Option.value ~default:0 (List.assoc_opt k (Obs.counters sink))
+        in
+        let hits = counter "search.memo_hits" in
+        let misses = counter "search.memo_misses" in
+        let identical =
+          let baseline = plan_str (solve ~memo:false ()) in
+          String.equal baseline (plan_str memo_plan)
+          && String.equal baseline (plan_str (solve ~jobs:4 ()))
+        in
+        let steps = List.length memo_plan.Plan.steps in
+        Format.printf
+          "%-14s %d steps  seq %8.2f ms  memo %8.2f ms (%4.2fx, %d hits / \
+           %d misses)  jobs2 %8.2f ms (%4.2fx)  jobs4 %8.2f ms (%4.2fx)  \
+           identical %b@."
+          name steps (1e3 *. seq_s) (1e3 *. memo_s) (seq_s /. memo_s) hits
+          misses (1e3 *. j2_s) (seq_s /. j2_s) (1e3 *. j4_s) (seq_s /. j4_s)
+          identical;
+        (name, steps, seq_s, memo_s, j2_s, j4_s, hits, misses, identical))
+      cases
+  in
+  let path = "BENCH_search.json" in
+  Out_channel.with_open_text path (fun oc ->
+      let p fmt = Printf.fprintf oc fmt in
+      p "{\n  \"benchmark\": \"search\",\n  \"host_cores\": %d,\n  \
+         \"cases\": [\n"
+        host_cores;
+      List.iteri
+        (fun k (name, steps, seq_s, memo_s, j2_s, j4_s, hits, misses,
+                identical) ->
+          p
+            "    {\"name\": %S, \"plan_steps\": %d, \
+             \"sequential_seconds\": %.6e, \"memo_seconds\": %.6e, \
+             \"jobs2_seconds\": %.6e, \"jobs4_seconds\": %.6e, \
+             \"speedup_memo\": %.3f, \"speedup_jobs2\": %.3f, \
+             \"speedup_jobs4\": %.3f, \"memo_hits\": %d, \
+             \"memo_misses\": %d, \"plans_identical\": %b}%s\n"
+            name steps seq_s memo_s j2_s j4_s (seq_s /. memo_s)
+            (seq_s /. j2_s) (seq_s /. j4_s) hits misses identical
+            (if k = List.length rows - 1 then "" else ","))
+        rows;
+      p "  ]\n}\n");
+  Format.printf "@.wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -920,6 +1034,7 @@ let sections =
     ("kernels", kernels);
     ("spmd", spmd);
     ("trace", trace);
+    ("search", search);
   ]
 
 let default =

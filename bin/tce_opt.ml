@@ -105,6 +105,19 @@ let faults_arg =
                the surviving sub-grid, reporting the communication-cost \
                delta. The same seed reproduces the same faults exactly.")
 
+let search_jobs_arg =
+  Arg.(value & opt int 1 & info [ "search-jobs" ] ~docv:"N"
+         ~doc:"Width of the search engine's domain pool (default 1: \
+               sequential). Any width returns byte-identical plans; extra \
+               domains only cut wall-clock time on multi-core hosts.")
+
+let beam_arg =
+  Arg.(value & opt (some int) None & info [ "beam" ] ~docv:"K"
+         ~doc:"Anytime search: keep only the $(docv) best partial solutions \
+               per node under the engine's deterministic total order. \
+               Faster on large trees but no longer guaranteed optimal; off \
+               by default.")
+
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Record the whole run as a Chrome trace-event JSON file \
@@ -183,7 +196,7 @@ let traced_runs ~params ~procs ~ext ~tree ~plan ~overlap =
 
 let optimize_cmd =
   let run file procs mem_gb flops_mhz latency_us bandwidth_mbs fusion code
-      overlap_factor faults trace =
+      overlap_factor faults search_jobs beam trace =
     let sink = Option.map (fun _ -> Obs.create ()) trace in
     Option.iter Obs.install sink;
     Fun.protect ~finally:Obs.uninstall @@ fun () ->
@@ -195,9 +208,10 @@ let optimize_cmd =
     let plan =
       or_die
         (match fusion with
-        | `All -> Baselines.integrated cfg ext tree
-        | `None -> Baselines.fusion_free cfg ext tree
-        | `Memmin -> Baselines.memory_minimal cfg ext tree)
+        | `All -> Baselines.integrated ~jobs:search_jobs ?beam cfg ext tree
+        | `None -> Baselines.fusion_free ~jobs:search_jobs ?beam cfg ext tree
+        | `Memmin ->
+          Baselines.memory_minimal ~jobs:search_jobs ?beam cfg ext tree)
     in
     Format.printf "%a@.@.%a@.%s@." Plan.pp plan Table.pp
       (Exptables.plan_table plan)
@@ -230,7 +244,7 @@ let optimize_cmd =
     Term.(
       const run $ file_arg $ procs_arg $ mem_gb_arg $ flops_arg $ latency_arg
       $ bandwidth_arg $ fusion_arg $ code_flag $ overlap_arg $ faults_arg
-      $ trace_arg)
+      $ search_jobs_arg $ beam_arg $ trace_arg)
 
 (* ---------------- codegen ---------------- *)
 

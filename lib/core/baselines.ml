@@ -1,13 +1,17 @@
 open! Import
 module Memmin = Tce_fusion.Memmin
 
-let fusion_free cfg ext tree =
-  Search.optimize { cfg with Search.fusion_mode = Search.No_fusion } ext tree
+let fusion_free ?jobs ?memo ?beam cfg ext tree =
+  Search.optimize ?jobs ?memo ?beam
+    { cfg with Search.fusion_mode = Search.No_fusion }
+    ext tree
 
-let memory_minimal cfg ext tree =
-  Search.optimize_min_memory
+let memory_minimal ?jobs ?memo ?beam cfg ext tree =
+  Search.optimize_min_memory ?jobs ?memo ?beam
     { cfg with Search.fusion_mode = Search.Enumerate }
     ext tree
 
-let integrated cfg ext tree =
-  Search.optimize { cfg with Search.fusion_mode = Search.Enumerate } ext tree
+let integrated ?jobs ?memo ?beam cfg ext tree =
+  Search.optimize ?jobs ?memo ?beam
+    { cfg with Search.fusion_mode = Search.Enumerate }
+    ext tree

@@ -15,13 +15,19 @@
 
 open! Import
 
+(** All three baselines accept {!Search.optimize}'s [?jobs] / [?memo] /
+    [?beam] engine knobs and forward them unchanged. *)
+
 val fusion_free :
-  Search.config -> Extents.t -> Tree.t -> (Plan.t, string) result
+  ?jobs:int -> ?memo:bool -> ?beam:int -> Search.config -> Extents.t
+  -> Tree.t -> (Plan.t, string) result
 
 val memory_minimal :
-  Search.config -> Extents.t -> Tree.t -> (Plan.t, string) result
+  ?jobs:int -> ?memo:bool -> ?beam:int -> Search.config -> Extents.t
+  -> Tree.t -> (Plan.t, string) result
 
 val integrated :
-  Search.config -> Extents.t -> Tree.t -> (Plan.t, string) result
+  ?jobs:int -> ?memo:bool -> ?beam:int -> Search.config -> Extents.t
+  -> Tree.t -> (Plan.t, string) result
 (** [Search.optimize] with full fusion enumeration regardless of the
     config's [fusion_mode]; for symmetric comparison tables. *)

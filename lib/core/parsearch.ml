@@ -1,0 +1,131 @@
+open! Import
+
+(* One round of work: workers (and the caller) pull item indices from a
+   shared cursor until it runs past the array, so uneven per-item costs
+   balance dynamically while every result still lands in its input slot. *)
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  work_cv : Condition.t;  (* workers park here between rounds *)
+  done_cv : Condition.t;  (* the caller parks here during a round *)
+  mutable round : int;  (* bumped once per map_array call *)
+  mutable work : (unit -> unit) option;  (* the live round's chunk runner *)
+  mutable finished : int;  (* workers done with the live round *)
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let fail fmt = Tce_error.failf fmt
+
+let rec worker_loop t seen =
+  Mutex.lock t.m;
+  while (not t.closed) && t.round = seen do
+    Condition.wait t.work_cv t.m
+  done;
+  if t.round = seen then Mutex.unlock t.m (* closed, no new round: exit *)
+  else begin
+    let round = t.round in
+    let work = Option.get t.work in
+    Mutex.unlock t.m;
+    work ();
+    Mutex.lock t.m;
+    t.finished <- t.finished + 1;
+    if t.finished = t.jobs - 1 then Condition.broadcast t.done_cv;
+    Mutex.unlock t.m;
+    worker_loop t round
+  end
+
+let create ~jobs =
+  if jobs < 1 then fail "Parsearch.create: jobs must be >= 1 (got %d)" jobs;
+  let t =
+    {
+      jobs;
+      m = Mutex.create ();
+      work_cv = Condition.create ();
+      done_cv = Condition.create ();
+      round = 0;
+      work = None;
+      finished = 0;
+      closed = false;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let jobs t = t.jobs
+
+let map_array t f xs =
+  let n = Array.length xs in
+  Mutex.lock t.m;
+  if t.closed then begin
+    Mutex.unlock t.m;
+    fail "Parsearch.map_array: pool is closed"
+  end;
+  if t.work <> None then begin
+    Mutex.unlock t.m;
+    fail "Parsearch.map_array: a map is already in flight (maps do not nest)"
+  end;
+  Mutex.unlock t.m;
+  if t.jobs = 1 || n <= 1 then Array.map f xs
+  else begin
+    if Obs.enabled () then begin
+      Obs.count "parsearch.maps";
+      Obs.count ~by:n "parsearch.items"
+    end;
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let first_exn = Atomic.make None in
+    let chunk () =
+      let rec go () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (if Atomic.get first_exn = None then
+             match f xs.(i) with
+             | v -> results.(i) <- Some v
+             | exception e ->
+               ignore (Atomic.compare_and_set first_exn None (Some e)));
+          go ()
+        end
+      in
+      go ()
+    in
+    Mutex.lock t.m;
+    t.work <- Some chunk;
+    t.finished <- 0;
+    t.round <- t.round + 1;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    chunk ();
+    Mutex.lock t.m;
+    while t.finished < t.jobs - 1 do
+      Condition.wait t.done_cv t.m
+    done;
+    t.work <- None;
+    Mutex.unlock t.m;
+    match Atomic.get first_exn with
+    | Some e -> raise e
+    | None ->
+      Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let close t =
+  Mutex.lock t.m;
+  if t.work <> None then begin
+    Mutex.unlock t.m;
+    fail "Parsearch.close: a map is in flight"
+  end;
+  if t.closed then Mutex.unlock t.m
+  else begin
+    t.closed <- true;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

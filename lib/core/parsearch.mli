@@ -1,0 +1,44 @@
+(** A small persistent domain pool for the search engine's fan-out.
+
+    The DP search enumerates per-node candidate sets (Cannon variants ×
+    child cases × fusions) and prunes per-(distribution, fusion) groups —
+    both embarrassingly parallel maps over pure work items. This module
+    provides exactly that shape, in the {!Tce_runtime.Spmd.Pool} style
+    (domains spawned once, work replayed against them) but without
+    mailboxes or barriers: workers pull item indices from a shared atomic
+    cursor, so uneven item costs balance dynamically, and results land in
+    their input slot, so the output order — and therefore the search's
+    deterministic tie-breaking — is independent of scheduling.
+
+    [lib/core] cannot depend on the runtime library (the dependency points
+    the other way), which is why this is a sibling of {!Search} rather
+    than a re-use of [Spmd.Pool]. *)
+
+type t
+(** A pool of worker domains. The creating domain also executes work
+    during {!map_array}, so a pool of [jobs] runs [jobs]-wide with
+    [jobs - 1] spawned domains. *)
+
+val create : jobs:int -> t
+(** Spawn [jobs - 1] worker domains. [jobs] must be at least 1 (a
+    1-wide pool spawns nothing and {!map_array} degenerates to
+    [Array.map]). Raises [Tce_error.Error] otherwise. *)
+
+val jobs : t -> int
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array pool f xs] applies [f] to every element, fanned across the
+    pool's domains, and returns the results in input order. [f] must be
+    pure (it runs concurrently on several domains). If any application
+    raises, the first exception (in completion order) is re-raised on the
+    calling domain after all workers have drained. Raises
+    [Tce_error.Error] if the pool is closed or a map is already in
+    flight (maps do not nest). *)
+
+val close : t -> unit
+(** Shut the workers down and join their domains. Idempotent. Raises
+    [Tce_error.Error] if called while a map is in flight. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool, closing it on the way
+    out (also on exceptions). *)

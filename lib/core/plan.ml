@@ -130,8 +130,7 @@ let assemble ~ext ~grid ~params ~flops ~mem ?(presums = []) steps =
         outs := List.map (fun r -> if r == row then row' else r) !outs
       | None ->
         (* Consumed before produced would violate post-order. *)
-        invalid_arg
-          (Printf.sprintf "Plan.assemble: %s consumed before production" name)
+        Tce_error.failf "Plan.assemble: %s consumed before production" name
     end
     else begin
       ignore fused;
@@ -235,6 +234,219 @@ let assemble ~ext ~grid ~params ~flops ~mem ?(presums = []) steps =
       0.0 steps
   in
   { grid; params; presums; steps; rows = !inputs @ !outs; comm_cost; flops; mem }
+
+(* --- Validity checking -------------------------------------------------
+
+   An independent re-statement of the search's legality rules, used by the
+   fuzz oracle suite: a plan that passes [validate] satisfies every
+   constraint the optimizer is supposed to enforce, checked from the plan
+   alone rather than trusting the search's own bookkeeping. *)
+
+let fused_of_role s = function
+  | Variant.Out -> s.fusion_out
+  | Variant.Left -> s.fusion_left
+  | Variant.Right -> s.fusion_right
+
+let dist_content d = List.sort compare (List.map Index.name (Dist.indices d))
+
+let validate ?mem_limit_bytes ?(allow_distributed_fusion = false) t =
+  let ( let* ) = Result.bind in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let* () = if t.steps = [] then fail "plan has no steps" else Ok () in
+  let limit =
+    Option.value mem_limit_bytes ~default:t.params.Params.mem_per_node_bytes
+  in
+  let* () =
+    if mem_per_node_bytes t <= limit then Ok ()
+    else
+      fail "plan needs %a per node, over the %a limit" Units.pp_bytes_si
+        (mem_per_node_bytes t) Units.pp_bytes_si limit
+  in
+  let producers = Hashtbl.create 8 in
+  List.iteri
+    (fun i s ->
+      Hashtbl.replace producers (Aref.name s.contraction.Contraction.out) (i, s))
+    t.steps;
+  let presums = Hashtbl.create 4 in
+  List.iter (fun ps -> Hashtbl.replace presums (Aref.name ps.out) ps) t.presums;
+  let last = List.nth t.steps (List.length t.steps - 1) in
+  let* () =
+    if Index.Set.is_empty last.fusion_out then Ok ()
+    else fail "final step fuses %s upward but has no consumer"
+           (Aref.name last.contraction.Contraction.out)
+  in
+  let check_step pos s =
+    let c = s.contraction in
+    let out_name = Aref.name c.Contraction.out in
+    let loop =
+      Index.Set.union
+        (Aref.index_set c.Contraction.out)
+        (Index.Set.of_list c.Contraction.k_set)
+    in
+    (* Fusion sets live in [operand dims ∩ node loop indices]. *)
+    let* () =
+      List.fold_left
+        (fun acc (what, fused, aref) ->
+          let* () = acc in
+          let legal = Index.Set.inter (Aref.index_set aref) loop in
+          if Index.Set.subset fused legal then Ok ()
+          else fail "step %s: %s fusion is not within the fusible set"
+                 out_name what)
+        (Ok ())
+        [
+          ("left", s.fusion_left, c.Contraction.left);
+          ("right", s.fusion_right, c.Contraction.right);
+          ("out", s.fusion_out, c.Contraction.out);
+        ]
+    in
+    let* () =
+      if Fusionset.chain [ s.fusion_left; s.fusion_right; s.fusion_out ] then
+        Ok ()
+      else fail "step %s: incident fusion sets do not chain" out_name
+    in
+    (* Fused loops around the node force every rotated array inside them:
+       the loop index must be a dimension of the rotated array and fused
+       on its edge, and must not be distributed along that array's own
+       rotation axis. *)
+    let internal role =
+      let name = Aref.name (Variant.aref_of s.variant role) in
+      Hashtbl.mem producers name || Hashtbl.mem presums name
+    in
+    let forcing =
+      let add cond set acc = if cond then Index.Set.union set acc else acc in
+      Index.Set.empty
+      |> Index.Set.union s.fusion_out
+      |> add (internal Variant.Left) s.fusion_left
+      |> add (internal Variant.Right) s.fusion_right
+    in
+    let* () =
+      if
+        Index.Set.for_all
+          (fun idx ->
+            List.for_all
+              (fun ((role : Variant.role), _axis) ->
+                Index.Set.mem idx
+                  (Aref.index_set (Variant.aref_of s.variant role))
+                && Index.Set.mem idx (fused_of_role s role))
+              (Variant.rotated s.variant))
+          forcing
+      then Ok ()
+      else fail "step %s: a forcing fused loop misses a rotated array"
+             out_name
+    in
+    let* () =
+      if
+        List.for_all
+          (fun ((role : Variant.role), axis) ->
+            Index.Set.for_all
+              (fun idx ->
+                Dist.position_of (Variant.dist_of s.variant role) idx
+                <> Some axis)
+              (fused_of_role s role))
+          (Variant.rotated s.variant)
+      then Ok ()
+      else fail "step %s: a fused loop is distributed along its array's \
+                 rotation axis"
+             out_name
+    in
+    let* () =
+      if allow_distributed_fusion then Ok ()
+      else if
+        List.for_all
+          (fun role ->
+            Index.Set.for_all
+              (fun idx ->
+                not (Dist.distributes (Variant.dist_of s.variant role) idx))
+              (fused_of_role s role))
+          [ Variant.Out; Variant.Left; Variant.Right ]
+      then Ok ()
+      else fail "step %s: fuses a distributed loop" out_name
+    in
+    let* () =
+      if List.for_all (fun rd -> not (Variant.role_equal rd.role Variant.Out))
+           s.redists
+      then Ok ()
+      else fail "step %s: redistributes its own output" out_name
+    in
+    (* Consumption of each operand against its production. *)
+    let check_operand role =
+      let name = Aref.name (Variant.aref_of s.variant role) in
+      let cons = Variant.dist_of s.variant role in
+      let fused = fused_of_role s role in
+      let redists =
+        List.filter (fun rd -> Variant.role_equal rd.role role) s.redists
+      in
+      match Hashtbl.find_opt producers name with
+      | Some (ppos, producer) ->
+        let* () =
+          if ppos < pos then Ok ()
+          else fail "step %s: consumes %s before it is produced" out_name name
+        in
+        let* () =
+          if Index.Set.equal producer.fusion_out fused then Ok ()
+          else fail "step %s: edge fusion of %s disagrees with its producer"
+                 out_name name
+        in
+        let prod = Variant.dist_of producer.variant Variant.Out in
+        if dist_content prod = dist_content cons then
+          if redists = [] then Ok ()
+          else fail "step %s: redistributes %s although the contents agree"
+                 out_name name
+        else begin
+          match redists with
+          | [ rd ] ->
+            if not (Dist.equal rd.from_dist prod) then
+              fail "step %s: redistribution of %s starts from the wrong \
+                    distribution"
+                out_name name
+            else if not (Dist.equal rd.to_dist cons) then
+              fail "step %s: redistribution of %s ends in the wrong \
+                    distribution"
+                out_name name
+            else if not (Fusionset.dist_compatible ~fused ~prod ~cons) then
+              fail "step %s: redistribution of %s violates constraint (iii) \
+                    on its fused edge"
+                out_name name
+            else Ok ()
+          | [] ->
+            fail "step %s: consumes %s in a different distribution without \
+                  redistributing"
+              out_name name
+          | _ ->
+            fail "step %s: multiple redistributions of %s" out_name name
+        end
+      | None -> begin
+        match Hashtbl.find_opt presums name with
+        | Some ps ->
+          let* () =
+            if Dist.equal ps.dist cons then Ok ()
+            else fail "step %s: presummed %s is stored in a different \
+                       distribution than consumed"
+                   out_name name
+          in
+          let* () =
+            if Index.Set.equal ps.fused fused then Ok ()
+            else fail "step %s: edge fusion of presummed %s disagrees"
+                   out_name name
+          in
+          if redists = [] then Ok ()
+          else fail "step %s: redistributes presummed %s" out_name name
+        | None ->
+          (* A leaf input materializes in the required distribution. *)
+          if redists = [] then Ok ()
+          else fail "step %s: redistributes input %s" out_name name
+      end
+    in
+    let* () = check_operand Variant.Left in
+    check_operand Variant.Right
+  in
+  let rec walk pos = function
+    | [] -> Ok ()
+    | s :: rest ->
+      let* () = check_step pos s in
+      walk (pos + 1) rest
+  in
+  walk 0 t.steps
 
 let pp_step ppf s =
   Format.fprintf ppf "@[<v 2>%a@,variant: %a@,fusions: out %a, left %a, right %a@,"

@@ -100,5 +100,22 @@ val assemble :
 (** Build a plan from optimizer decisions; computes [rows] and the cost
     totals from the steps. *)
 
+val validate :
+  ?mem_limit_bytes:float -> ?allow_distributed_fusion:bool -> t
+  -> (unit, string) result
+(** Check a plan against the legality rules the optimizer is supposed to
+    enforce, from the plan alone: the per-node memory limit
+    ([?mem_limit_bytes], default the machine's memory), fusion sets within
+    the fusible index sets and chaining across each node, fused loops
+    forcing rotated arrays (and never lying on a rotated array's own
+    rotation axis, nor on a distributed index unless
+    [?allow_distributed_fusion]), producers preceding consumers, edge
+    fusions agreeing at both ends, and redistribution exactly when the
+    producer and consumer distribution contents disagree — with matching
+    endpoint distributions and the paper's constraint (iii)
+    ({!Tce_fusion.Fusionset.dist_compatible}) on fused edges. Inputs and
+    presummed arrays must be consumed without redistribution. Used by the
+    fuzz-oracle suite to certify every plan the search returns. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable plan description. *)

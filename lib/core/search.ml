@@ -168,6 +168,12 @@ let better a b =
   | 0 -> compare (out_rotations a.steps) (out_rotations b.steps)
   | c -> c
 
+let fused_key fused =
+  String.concat "," (List.map Index.name (Index.Set.elements fused))
+
+let orient_key dist =
+  String.concat "," (List.map Index.name (Dist.indices dist))
+
 (* Pareto pruning within (production distribution content, fusion) groups:
    the paper's "inferior solution" rule. A solution is dominated when
    another solution of its group is no worse on (cost, node bytes) and
@@ -176,56 +182,261 @@ let better a b =
    production distribution (the pair order the content key deliberately
    erases), then enumeration order — so exactly one of a set of
    duplicates survives. Each solution's bytes, rotation count and keys
-   are computed once up front, not inside the O(n²) inner loop, and the
-   old polymorphic [s' < s] compare over records holding floats and
-   lists is gone. *)
-let prune_solutions cfg sols =
+   are computed once up front, not inside the O(n²) inner loop.
+
+   Dominance is a fixed predicate of a group's members, so each group can
+   be filtered on its own: when a pool is supplied, groups are fanned out
+   across its domains. The group collection order and the within-group
+   order are fixed by the insertion sequence alone, so the output — not
+   just the surviving set — is identical however many domains run the
+   filter. *)
+let prune_solutions ?pool cfg sols =
+  let pool_map f arr =
+    match pool with
+    | Some p when Array.length arr > 1 -> Parsearch.map_array p f arr
+    | _ -> Array.map f arr
+  in
   let annotated =
-    List.mapi
-      (fun ord s ->
-        ( s,
-          Memacct.node_bytes cfg.params s.mem,
-          out_rotations s.steps,
-          String.concat "," (List.map Index.name (Dist.indices s.prod_dist)),
-          ord ))
-      sols
+    let arr = Array.of_list sols in
+    Array.to_list
+      (pool_map
+         (fun (ord, s) ->
+           ( s,
+             Memacct.node_bytes cfg.params s.mem,
+             out_rotations s.steps,
+             orient_key s.prod_dist,
+             ord ))
+         (Array.mapi (fun ord s -> (ord, s)) arr))
   in
   let groups = Hashtbl.create 32 in
   List.iter
     (fun ((s, _, _, _, _) as a) ->
-      let k =
-        ( content_key s.prod_dist,
-          String.concat "," (List.map Index.name (Index.Set.elements s.fused))
-        )
-      in
+      let k = (content_key s.prod_dist, fused_key s.fused) in
       Hashtbl.replace groups k
         (a :: Option.value ~default:[] (Hashtbl.find_opt groups k)))
     annotated;
-  Hashtbl.fold
-    (fun _ group acc ->
-      let dominated (s, bytes, rots, okey, ord) =
-        List.exists
-          (fun (s', bytes', rots', okey', ord') ->
-            s' != s
-            && s'.cost <= s.cost
-            && bytes' <= bytes
-            && (s'.cost < s.cost || bytes' < bytes || rots' < rots
-               || (rots' = rots
-                  && (String.compare okey' okey < 0
-                     || (String.equal okey' okey && ord' < ord)))))
-          group
-      in
-      List.filter_map
-        (fun ((s, _, _, _, _) as a) -> if dominated a then None else Some s)
+  let filter_group group =
+    let dominated (s, bytes, rots, okey, ord) =
+      List.exists
+        (fun (s', bytes', rots', okey', ord') ->
+          s' != s
+          && s'.cost <= s.cost
+          && bytes' <= bytes
+          && (s'.cost < s.cost || bytes' < bytes || rots' < rots
+             || (rots' = rots
+                && (String.compare okey' okey < 0
+                   || (String.equal okey' okey && ord' < ord)))))
         group
-      @ acc)
-    groups []
+    in
+    List.filter_map
+      (fun ((s, _, _, _, _) as a) -> if dominated a then None else Some s)
+      group
+  in
+  let group_list = Hashtbl.fold (fun _ group acc -> group :: acc) groups [] in
+  let filtered = pool_map filter_group (Array.of_list group_list) in
+  (* [group_list] holds the fold's visit order reversed, and the old
+     sequential fold accumulated each filtered group in front of the
+     previously visited ones — so concatenating in this order reproduces
+     the historical output byte for byte. *)
+  List.concat (Array.to_list filtered)
+
+(* Anytime narrowing: keep the [k] best survivors under a total order —
+   cost, then node bytes, then output rotations, then the oriented
+   production-distribution key, then the fused-set key, then enumeration
+   order. The order is total (the final component never ties), so the cut
+   is deterministic for every [jobs] setting. *)
+let beam_filter cfg beam sols =
+  match beam with
+  | Some k when List.length sols > k ->
+    let annotated =
+      List.mapi
+        (fun ord s ->
+          ( s,
+            ( s.cost,
+              Memacct.node_bytes cfg.params s.mem,
+              out_rotations s.steps,
+              orient_key s.prod_dist,
+              fused_key s.fused,
+              ord ) ))
+        sols
+    in
+    let cmp (_, a) (_, b) = compare a b in
+    List.sort cmp annotated |> Listx.take k |> List.map fst
+  | _ -> sols
 
 let err fmt = Format.kasprintf (fun s -> Error s) fmt
 
+(* --- Memoization ------------------------------------------------------- *)
+
+module SMap = Map.Make (String)
+
+type memo = {
+  table : (string, Tree.t * solution list) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(* The content fingerprint of a subtree: structure, index lists and leaf
+   names, with intermediate names erased (α-renaming) so that two
+   occurrences of the same subcomputation under different output names
+   share their solutions. Under [Fixed] fusion the intermediate names are
+   semantic (the assignment is keyed on them), so they stay in. *)
+let fingerprint ~with_names node =
+  let buf = Buffer.create 128 in
+  let str = Buffer.add_string buf in
+  let idxs l =
+    List.iter
+      (fun i ->
+        str (Index.name i);
+        Buffer.add_char buf ',')
+      l
+  in
+  let inner a =
+    if with_names then str (Aref.name a);
+    Buffer.add_char buf '[';
+    idxs (Aref.indices a);
+    Buffer.add_char buf ']'
+  in
+  let rec go = function
+    | Tree.Leaf a ->
+      str "L";
+      str (Aref.name a);
+      Buffer.add_char buf '[';
+      idxs (Aref.indices a);
+      Buffer.add_char buf ']'
+    | Tree.Sum (a, k, c) ->
+      str "S";
+      inner a;
+      Buffer.add_char buf '{';
+      idxs k;
+      str "}(";
+      go c;
+      Buffer.add_char buf ')'
+    | Tree.Mult (a, l, r) ->
+      str "M";
+      inner a;
+      Buffer.add_char buf '(';
+      go l;
+      str ")(";
+      go r;
+      Buffer.add_char buf ')'
+    | Tree.Contract (a, k, l, r) ->
+      str "C";
+      inner a;
+      Buffer.add_char buf '{';
+      idxs k;
+      str "}(";
+      go l;
+      str ")(";
+      go r;
+      Buffer.add_char buf ')'
+  in
+  go node;
+  Buffer.contents buf
+
+let candidates_key cands =
+  String.concat "|" (List.map fused_key cands)
+
+let memo_key cfg node cands =
+  let with_names =
+    match cfg.fusion_mode with Fixed _ -> true | Enumerate | No_fusion -> false
+  in
+  fingerprint ~with_names node ^ "#" ^ candidates_key cands
+
+(* Rename map from the cached subtree's intermediate names to the current
+   one's. The trees share a fingerprint, so they align node for node and
+   their leaves carry identical names. Returns [None] in the pathological
+   case where a leaf name collides with a cached intermediate name (the
+   by-name rewrite would then touch the leaf too) — the caller falls back
+   to recomputing. *)
+let alpha_map ~cached ~current =
+  let add a b acc =
+    if String.equal (Aref.name a) (Aref.name b) then acc
+    else SMap.add (Aref.name a) (Aref.name b) acc
+  in
+  let rec go cached current acc =
+    match (cached, current) with
+    | Tree.Leaf _, Tree.Leaf _ -> acc
+    | Tree.Sum (a, _, c), Tree.Sum (b, _, c') -> go c c' (add a b acc)
+    | Tree.Mult (a, l, r), Tree.Mult (b, l', r')
+    | Tree.Contract (a, _, l, r), Tree.Contract (b, _, l', r') ->
+      go r r' (go l l' (add a b acc))
+    | _ -> acc (* unreachable: the fingerprints matched *)
+  in
+  let map = go cached current SMap.empty in
+  let rec leaf_clash = function
+    | Tree.Leaf a -> SMap.mem (Aref.name a) map
+    | Tree.Sum (_, _, c) -> leaf_clash c
+    | Tree.Mult (_, l, r) | Tree.Contract (_, _, l, r) ->
+      leaf_clash l || leaf_clash r
+  in
+  if leaf_clash cached then None else Some map
+
+let rename_bug what =
+  Tce_error.raise_err
+    (Tce_error.errorf "Search memo: renaming a cached %s failed (bug)" what)
+
+let rename_aref m a =
+  match SMap.find_opt (Aref.name a) m with
+  | Some fresh -> Aref.rename a fresh
+  | None -> a
+
+let rename_contraction m (c : Contraction.t) =
+  match
+    Contraction.make ~out:(rename_aref m c.Contraction.out)
+      ~left:(rename_aref m c.Contraction.left)
+      ~right:(rename_aref m c.Contraction.right)
+      ~sum:c.Contraction.k_set
+  with
+  | Ok c -> c
+  | Error _ -> rename_bug "contraction"
+
+let rename_variant m (v : Variant.t) =
+  match
+    Variant.make
+      (rename_contraction m v.Variant.contraction)
+      ~i:v.Variant.i ~j:v.Variant.j ~k:v.Variant.k ~rot:v.Variant.rot
+  with
+  | Ok v -> v
+  | Error _ -> rename_bug "variant"
+
+let rename_step m (s : Plan.step) =
+  {
+    s with
+    Plan.contraction = rename_contraction m s.Plan.contraction;
+    variant = rename_variant m s.Plan.variant;
+  }
+
+let rename_presum m (p : Plan.presum) =
+  {
+    p with
+    Plan.out = rename_aref m p.Plan.out;
+    source = rename_aref m p.Plan.source;
+  }
+
+let rename_solution m s =
+  if SMap.is_empty m then s
+  else
+    {
+      s with
+      steps = List.map (rename_step m) s.steps;
+      presums = List.map (rename_presum m) s.presums;
+    }
+
+(* --- The DP ------------------------------------------------------------ *)
+
+type ctx = {
+  cfg : config;
+  ext : Extents.t;
+  prune : bool;
+  beam : int option;
+  pool : Parsearch.t option;
+  memo : memo option;
+}
+
 (* Solutions of the subtree rooted at [node]; [parent] provides the fusion
    candidates for the edge above (None at the root: fusion is empty). *)
-let rec solve cfg ext ~prune ~parent node =
+let rec solve ctx ~parent node =
   let ( let* ) = Result.bind in
   match node with
   | Tree.Leaf a ->
@@ -248,98 +459,144 @@ let rec solve cfg ext ~prune ~parent node =
       (Aref.name a)
   | Tree.Contract (_, _, l, r) ->
     let* contraction = Contraction.of_tree_node node in
-    let* left_cases = child_cases cfg ext ~prune node l in
-    let* right_cases = child_cases cfg ext ~prune node r in
     let f_out_candidates =
       match parent with
       | None -> [ Index.Set.empty ]
-      | Some p -> fusion_candidates cfg ~child:node ~parent:p
+      | Some p -> fusion_candidates ctx.cfg ~child:node ~parent:p
     in
-    let side = Grid.side cfg.grid in
-    let flops = Contraction.flops ext contraction in
-    let out_aref = contraction.Contraction.out in
-    let solutions = ref [] in
+    (match ctx.memo with
+    | None -> solve_contract ctx ~contraction ~f_out_candidates node l r
+    | Some memo -> begin
+      let key = memo_key ctx.cfg node f_out_candidates in
+      let cached =
+        match Hashtbl.find_opt memo.table key with
+        | None -> None
+        | Some (cached_tree, sols) -> begin
+          match alpha_map ~cached:cached_tree ~current:node with
+          | None -> None
+          | Some m -> Some (List.map (rename_solution m) sols)
+        end
+      in
+      match cached with
+      | Some sols ->
+        memo.hits <- memo.hits + 1;
+        if Obs.enabled () then Obs.count "search.memo_hits";
+        Ok sols
+      | None ->
+        memo.misses <- memo.misses + 1;
+        if Obs.enabled () then Obs.count "search.memo_misses";
+        let* sols = solve_contract ctx ~contraction ~f_out_candidates node l r in
+        Hashtbl.replace memo.table key (node, sols);
+        Ok sols
+    end)
+
+and solve_contract ctx ~contraction ~f_out_candidates node l r =
+  let ( let* ) = Result.bind in
+  let cfg = ctx.cfg and ext = ctx.ext in
+  let* left_cases = child_cases ctx node l in
+  let* right_cases = child_cases ctx node r in
+  let side = Grid.side cfg.grid in
+  let flops = Contraction.flops ext contraction in
+  let out_aref = contraction.Contraction.out in
+  (* One task per Cannon variant: each walks its (left case × right case ×
+     parent fusion) block and pushes hits in front, so a task's list is its
+     chronological order reversed — exactly what the historical single
+     [solutions := sol :: !solutions] accumulator produced per variant. *)
+  let enumerate variant =
+    let alpha_out = Variant.dist_of variant Variant.Out in
+    let acc = ref [] in
     List.iter
-      (fun variant ->
-        let alpha_out = Variant.dist_of variant Variant.Out in
+      (fun (left_case, f_left) ->
         List.iter
-          (fun (left_case, f_left) ->
+          (fun (right_case, f_right) ->
             List.iter
-              (fun (right_case, f_right) ->
-                List.iter
-                  (fun f_out ->
-                    (* Presummed children store their reduced array under
-                       the edge fusion, so like internal children their
-                       fused loops force the node's nesting. *)
-                    let internal = function
-                      | Csol _ | Cpresum _ -> true
-                      | Cleaf _ -> false
-                    in
-                    let forcing =
-                      forcing_set ~f_out ~f_left ~f_right
-                        ~left_internal:(internal left_case)
-                        ~right_internal:(internal right_case)
-                    in
-                    if
-                      Fusionset.chain [ f_left; f_right; f_out ]
-                      && rotated_context_ok variant ~forcing ~f_out ~f_left
-                           ~f_right
-                      && (cfg.allow_distributed_fusion
-                         || List.for_all
-                              (fun role ->
-                                Index.Set.for_all
-                                  (fun t ->
-                                    not
-                                      (Dist.distributes
-                                         (Variant.dist_of variant role) t))
-                                  (fused_of_role ~f_out ~f_left ~f_right role))
-                              [ Variant.Out; Variant.Left; Variant.Right ])
-                    then begin
-                      match
-                        combine cfg ext ~side ~variant ~contraction ~flops
-                          ~alpha_out ~f_out ~f_left ~f_right ~left_case
-                          ~right_case ~out_aref
-                      with
-                      | None -> ()
-                      | Some sol -> solutions := sol :: !solutions
-                    end)
-                  f_out_candidates)
-              right_cases)
-          left_cases)
-      (Variant.all contraction);
-    let sols = !solutions in
-    let generated = List.length sols in
-    let sols = if prune then prune_solutions cfg sols else sols in
-    if Obs.enabled () then begin
-      let kept = List.length sols in
-      Obs.count "search.nodes";
-      Obs.count ~by:generated "search.solutions_generated";
-      Obs.count ~by:kept "search.solutions_kept";
-      Obs.count ~by:(generated - kept) "search.solutions_pruned";
-      Obs.instant ~cat:"search"
-        ~args:
-          [
-            ("generated", string_of_int generated);
-            ("kept", string_of_int kept);
-          ]
-        ("search:" ^ Aref.name out_aref)
-    end;
-    if sols = [] then
-      err "no feasible solution at node %s under the %a memory limit"
-        (Aref.name out_aref) Units.pp_bytes_si (mem_limit cfg)
-    else Ok sols
+              (fun f_out ->
+                (* Presummed children store their reduced array under
+                   the edge fusion, so like internal children their
+                   fused loops force the node's nesting. *)
+                let internal = function
+                  | Csol _ | Cpresum _ -> true
+                  | Cleaf _ -> false
+                in
+                let forcing =
+                  forcing_set ~f_out ~f_left ~f_right
+                    ~left_internal:(internal left_case)
+                    ~right_internal:(internal right_case)
+                in
+                if
+                  Fusionset.chain [ f_left; f_right; f_out ]
+                  && rotated_context_ok variant ~forcing ~f_out ~f_left
+                       ~f_right
+                  && (cfg.allow_distributed_fusion
+                     || List.for_all
+                          (fun role ->
+                            Index.Set.for_all
+                              (fun t ->
+                                not
+                                  (Dist.distributes
+                                     (Variant.dist_of variant role) t))
+                              (fused_of_role ~f_out ~f_left ~f_right role))
+                          [ Variant.Out; Variant.Left; Variant.Right ])
+                then begin
+                  match
+                    combine cfg ext ~side ~variant ~contraction ~flops
+                      ~alpha_out ~f_out ~f_left ~f_right ~left_case
+                      ~right_case ~out_aref
+                  with
+                  | None -> ()
+                  | Some sol -> acc := sol :: !acc
+                end)
+              f_out_candidates)
+          right_cases)
+      left_cases;
+    !acc
+  in
+  let variants = Array.of_list (Variant.all contraction) in
+  let per_variant =
+    match ctx.pool with
+    | Some p when Array.length variants > 1 ->
+      Parsearch.map_array p enumerate variants
+    | _ -> Array.map enumerate variants
+  in
+  (* Reversing the variant order before concatenation reproduces the
+     single-accumulator list (last variant's pushes in front), keeping the
+     enumeration-order tie-break identical for every [jobs] setting. *)
+  let sols = List.concat (List.rev (Array.to_list per_variant)) in
+  let generated = List.length sols in
+  let sols =
+    if ctx.prune then prune_solutions ?pool:ctx.pool cfg sols else sols
+  in
+  let sols = beam_filter cfg ctx.beam sols in
+  if Obs.enabled () then begin
+    let kept = List.length sols in
+    Obs.count "search.nodes";
+    Obs.count ~by:generated "search.solutions_generated";
+    Obs.count ~by:kept "search.solutions_kept";
+    Obs.count ~by:(generated - kept) "search.solutions_pruned";
+    Obs.instant ~cat:"search"
+      ~args:
+        [
+          ("generated", string_of_int generated);
+          ("kept", string_of_int kept);
+        ]
+      ("search:" ^ Aref.name out_aref)
+  end;
+  if sols = [] then
+    err "no feasible solution at node %s under the %a memory limit"
+      (Aref.name out_aref) Units.pp_bytes_si (mem_limit cfg)
+  else Ok sols
 
 (* The consumption options for one child: for an internal child each of its
    solutions (which fix the edge fusion); for a leaf, every fusion
    candidate (inputs may start in any distribution at no cost). *)
-and child_cases cfg ext ~prune parent_node child =
+and child_cases ctx parent_node child =
   let ( let* ) = Result.bind in
   match child with
   | Tree.Leaf a ->
     Ok
       (List.map
          (fun f -> (Cleaf a, f))
-         (fusion_candidates cfg ~child ~parent:parent_node))
+         (fusion_candidates ctx.cfg ~child ~parent:parent_node))
   | Tree.Sum (a, k, Tree.Leaf src) ->
     (* A pre-summation of an input: evaluated locally on each processor's
        block (the summed dimensions are never in the distribution pair, by
@@ -347,9 +604,9 @@ and child_cases cfg ext ~prune parent_node child =
     Ok
       (List.map
          (fun f -> (Cpresum { out = a; sum = k; source = src }, f))
-         (fusion_candidates cfg ~child ~parent:parent_node))
+         (fusion_candidates ctx.cfg ~child ~parent:parent_node))
   | _ ->
-    let* sols = solve cfg ext ~prune ~parent:(Some parent_node) child in
+    let* sols = solve ctx ~parent:(Some parent_node) child in
     Ok (List.map (fun s -> (Csol s, s.fused)) sols)
 
 (* Assemble one candidate solution at a contraction node; [None] when the
@@ -478,15 +735,44 @@ let check_grid cfg =
          (Grid.side cfg.grid))
   else Ok ()
 
-let run ?(select = better) cfg ext tree ~prune =
+let run ?(select = better) ?(jobs = 1) ?(memo = true) ?beam cfg ext tree
+    ~prune =
   let ( let* ) = Result.bind in
+  let* () =
+    if jobs < 1 then err "search: jobs must be >= 1 (got %d)" jobs else Ok ()
+  in
+  let* () =
+    match beam with
+    | Some k when k < 1 -> err "search: beam width must be >= 1 (got %d)" k
+    | _ -> Ok ()
+  in
   let* () = check_grid cfg in
   let tree = Tree.fuse_mult_sum tree in
   let* () = Tree.validate tree in
-  let* sols =
-    Obs.span ~cat:"search" "search.solve" (fun () ->
-        solve cfg ext ~prune ~parent:None tree)
+  let memo_state =
+    if memo then Some { table = Hashtbl.create 64; hits = 0; misses = 0 }
+    else None
   in
+  let solve_all pool =
+    let ctx = { cfg; ext; prune; beam; pool; memo = memo_state } in
+    Obs.span ~cat:"search"
+      ~args:[ ("jobs", string_of_int jobs) ]
+      "search.solve"
+      (fun () -> solve ctx ~parent:None tree)
+  in
+  let* sols =
+    if jobs > 1 then Parsearch.with_pool ~jobs (fun p -> solve_all (Some p))
+    else solve_all None
+  in
+  (match memo_state with
+  | Some m when Obs.enabled () ->
+    Obs.instant ~cat:"search"
+      ~args:
+        [
+          ("hits", string_of_int m.hits); ("misses", string_of_int m.misses);
+        ]
+      "search:memo"
+  | _ -> ());
   match Listx.minimum_by select sols with
   | None -> Error "no feasible solution"
   | Some best ->
@@ -497,14 +783,17 @@ let run ?(select = better) cfg ext tree ~prune =
       flops
       + List.fold_left (fun acc (p : Plan.presum) -> acc + p.flops) 0 best.presums
     in
-    Ok
-      (Plan.assemble ~ext ~grid:cfg.grid ~params:cfg.params ~flops
-         ~mem:best.mem ~presums:best.presums best.steps)
+    Tce_error.to_string_result
+      (Tce_error.protect (fun () ->
+           Plan.assemble ~ext ~grid:cfg.grid ~params:cfg.params ~flops
+             ~mem:best.mem ~presums:best.presums best.steps))
 
-let optimize cfg ext tree = run cfg ext tree ~prune:true
-let brute_force cfg ext tree = run cfg ext tree ~prune:false
+let optimize ?jobs ?memo ?beam cfg ext tree =
+  run ?jobs ?memo ?beam cfg ext tree ~prune:true
 
-let optimize_min_memory cfg ext tree =
+let brute_force cfg ext tree = run ~memo:false cfg ext tree ~prune:false
+
+let optimize_min_memory ?jobs ?memo ?beam cfg ext tree =
   (* Lexicographic (memory, communication): the "fuse as much as legally
      possible first, then distribute" discipline of the sequential
      prior work, transplanted into the parallel legality space. *)
@@ -517,11 +806,25 @@ let optimize_min_memory cfg ext tree =
     | 0 -> better a b
     | c -> c
   in
-  run ~select cfg ext tree ~prune:true
+  run ~select ?jobs ?memo ?beam cfg ext tree ~prune:true
 
-let solution_count cfg ext tree =
+let solution_count ?jobs ?memo ?beam cfg ext tree =
   let ( let* ) = Result.bind in
   let* () = check_grid cfg in
   let tree = Tree.fuse_mult_sum tree in
-  let* sols = solve cfg ext ~prune:true ~parent:None tree in
+  let* () = Tree.validate tree in
+  let jobs = Option.value jobs ~default:1 in
+  let memo_state =
+    if Option.value memo ~default:true then
+      Some { table = Hashtbl.create 64; hits = 0; misses = 0 }
+    else None
+  in
+  let solve_all pool =
+    let ctx = { cfg; ext; prune = true; beam; pool; memo = memo_state } in
+    solve ctx ~parent:None tree
+  in
+  let* sols =
+    if jobs > 1 then Parsearch.with_pool ~jobs (fun p -> solve_all (Some p))
+    else solve_all None
+  in
   Ok (List.length sols)

@@ -17,13 +17,41 @@
     - the per-node memory limit, accounting every array's resident block
       plus the largest message buffer.
 
-    Partial solutions are kept per (production distribution, fusion) key
-    and pruned by Pareto dominance on (cost, memory) — the paper's
-    "inferior solution" rule — and by the memory limit (memory only grows
-    upward, so an oversized partial solution can never recover). The
-    search is exhaustive over the remaining space: on small trees it
+    {2 Pruning and the deterministic tie-break}
+
+    Partial solutions are kept per (production-distribution {e content},
+    fusion set) group and pruned by Pareto dominance on (cost, node
+    bytes) — the paper's "inferior solution" rule — plus the memory limit
+    (memory only grows upward, so an oversized partial solution can never
+    recover). Among solutions tied on cost and bytes, one survives under
+    an explicit total tie-break:
+
+    + fewer {e output} rotations (a rotated output ends displaced);
+    + smaller {e oriented} production-distribution string (the pair order
+      the group's content key deliberately erases);
+    + earliest enumeration order.
+
+    The same ordering, extended with the fused-set key, is the total
+    order used by the [?beam] cut. Because it never ties, search results
+    are byte-for-byte identical for every [?jobs] setting.
+
+    {2 Memoization}
+
+    With [?memo] (the default) each solved subtree is cached under a key
+    made of (a) the subtree's content fingerprint — structure, index
+    lists and {e leaf} names, with intermediate names α-erased so two
+    occurrences of the same subcomputation under different output names
+    share their solutions — and (b) the fusion candidates of the edge to
+    the parent (the only outside input to a subtree's solution set). On a
+    hit the cached solutions are α-renamed back to the current subtree's
+    intermediate names. Under [Fixed] fusion the intermediate names are
+    part of the semantics (the assignment is keyed on them), so they stay
+    in the fingerprint. Hits and misses are surfaced through the
+    [search.memo_hits] / [search.memo_misses] {!Tce_obs.Obs} counters.
+
+    The search is exhaustive over the remaining space: on small trees it
     provably returns the same optimum as brute-force enumeration (see the
-    test suite). *)
+    fuzz suite in [test/t_searchprop.ml]). *)
 
 open! Import
 
@@ -57,12 +85,30 @@ val default_config :
   -> ?allow_distributed_fusion:bool -> grid:Grid.t -> params:Params.t
   -> rcost:Rcost.t -> unit -> config
 
-val optimize : config -> Extents.t -> Tree.t -> (Plan.t, string) result
+(** The optional knobs below are shared by the entry points:
+
+    - [?jobs] (default 1): width of the domain pool enumerating Cannon
+      variants and filtering prune groups (see {!Parsearch}). Any value
+      returns byte-identical plans; values above 1 only change wall-clock.
+    - [?memo] (default true): the α-renaming subtree cache above. Off, the
+      engine is the original cache-free walk (the brute-force oracle always
+      runs unmemoized).
+    - [?beam] (default off): anytime narrowing — after pruning, keep only
+      the [k] best solutions per node under the documented total order.
+      Exactness is no longer guaranteed (a locally worse partial solution
+      can win globally), but a larger beam explores a superset per node.
+      Off, paper Tables 1–2 replays are bit-for-bit untouched. *)
+
+val optimize :
+  ?jobs:int -> ?memo:bool -> ?beam:int -> config -> Extents.t -> Tree.t
+  -> (Plan.t, string) result
 (** The optimal plan, or an error when the tree is outside the Cannon
     template (Hadamard/unary nodes), the grid side does not match the
     characterization, or no solution fits in memory. *)
 
-val optimize_min_memory : config -> Extents.t -> Tree.t -> (Plan.t, string) result
+val optimize_min_memory :
+  ?jobs:int -> ?memo:bool -> ?beam:int -> config -> Extents.t -> Tree.t
+  -> (Plan.t, string) result
 (** Lexicographic objective (memory first, then communication): the
     parallel transplant of the sequential memory-minimal-fusion
     discipline, used as the prior-work baseline. Note that fixing the
@@ -71,11 +117,13 @@ val optimize_min_memory : config -> Extents.t -> Tree.t -> (Plan.t, string) resu
     leaves no rotated array containing the fused loops), which is itself
     part of the paper's argument for an integrated search. *)
 
-val solution_count : config -> Extents.t -> Tree.t -> (int, string) result
+val solution_count :
+  ?jobs:int -> ?memo:bool -> ?beam:int -> config -> Extents.t -> Tree.t
+  -> (int, string) result
 (** Number of undominated solutions at the root (diagnostic: shows how
     effective pruning is). *)
 
 val brute_force : config -> Extents.t -> Tree.t -> (Plan.t, string) result
 (** Exhaustive enumeration of every (variant, fusion) assignment of the
-    whole tree with no dominance pruning — exponential; the test oracle
-    for {!optimize}. *)
+    whole tree with no dominance pruning and no memo cache — exponential;
+    the test oracle for {!optimize}. *)

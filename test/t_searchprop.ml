@@ -1,0 +1,334 @@
+(* Fuzz/property suite for the search engine's scaling machinery: the
+   memo cache, domain-parallel enumeration and the beam cut are each
+   checked against the brute-force optimality oracle on seeded random
+   instances, every returned plan is certified by [Plan.validate], and
+   the [Parsearch] pool gets direct unit coverage. *)
+
+open Tce
+open Helpers
+
+(* ---------- seeded random instance generator ---------- *)
+
+(* An instance is a problem text over 3–5 index names with randomized
+   extents, plus a memory limit. Four shapes: a single contraction, the
+   two-contraction tree from t_search, a three-matrix chain, and a
+   repeated subexpression (T1 and T3 share their right-hand side) that
+   exercises the memo cache's α-renaming on a hit. *)
+let gen_instance rng =
+  let e name lo hi = (name, lo + Prng.int rng ~bound:(hi - lo + 1)) in
+  let fmt bindings tmpl =
+    Printf.sprintf tmpl
+      (String.concat ", "
+         (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) bindings))
+  in
+  match Prng.int rng ~bound:4 with
+  | 0 ->
+    fmt
+      [ e "a" 4 12; e "b" 4 12; e "k" 2 10 ]
+      {|
+extents %s
+S[a,b] = sum[k] X[a,k] * Y[k,b]
+|}
+  | 1 ->
+    fmt
+      [ e "a" 4 10; e "b" 4 10; e "c" 2 8; e "d" 2 8; e "k" 2 8 ]
+      {|
+extents %s
+T[a,b,c] = sum[k] X[a,k,c] * Y[k,b]
+S[a,d]   = sum[b,c] T[a,b,c] * Z[b,c,d]
+|}
+  | 2 ->
+    fmt
+      [ e "a" 4 12; e "b" 4 12; e "c" 4 12; e "d" 4 12 ]
+      {|
+extents %s
+T1[a,c] = sum[b] M1[a,b] * M2[b,c]
+S[a,d]  = sum[c] T1[a,c] * M3[c,d]
+|}
+  | _ ->
+    fmt
+      [ e "a" 3 8; e "b" 3 8; e "c" 3 8; e "k" 3 8 ]
+      {|
+extents %s
+T1[a,b] = sum[k] X[a,k] * Y[k,b]
+T2[a,c] = sum[b] T1[a,b] * W[b,c]
+T3[a,b] = sum[k] X[a,k] * Y[k,b]
+S[c,b]  = sum[a] T2[a,c] * T3[a,b]
+|}
+
+let load text =
+  let problem = get_ok ~ctx:"parse" (Parser.parse text) in
+  let seq = get_ok ~ctx:"seq" (Problem.to_sequence problem) in
+  let tree = get_ok ~ctx:"tree" (Tree.of_sequence seq) in
+  (problem.Problem.extents, tree)
+
+let certify ~ctx ~(cfg : Search.config) plan =
+  match
+    Plan.validate ?mem_limit_bytes:cfg.Search.mem_limit_bytes
+      ~allow_distributed_fusion:cfg.Search.allow_distributed_fusion plan
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: plan fails validation: %s" ctx msg
+
+(* Property: on every random instance, each engine configuration —
+   sequential cache-free, memoized, and domain-parallel — returns a plan
+   with exactly the brute-force optimum cost, and that plan passes the
+   independent validator. Infeasibility must also agree with the oracle.
+   This is the soundness certificate for the memo cache's α-renaming and
+   for the parallel merge order. *)
+let test_engines_match_brute_force () =
+  let rng = Prng.create ~seed:20260806 in
+  for trial = 1 to 52 do
+    let text = gen_instance rng in
+    let ext, tree = load text in
+    let limit =
+      (* Between severely constrained and unconstrained, with an occasional
+         unlimited case to cover that path too. *)
+      if Prng.int rng ~bound:5 = 0 then None
+      else Some (Prng.float_range rng ~lo:5_000.0 ~hi:400_000.0)
+    in
+    let _, cfg = search_config ?mem_limit_bytes:limit 4 in
+    let ctx kind = Printf.sprintf "trial %d (%s)" trial kind in
+    let engines =
+      [
+        ("seq", fun () -> Search.optimize ~memo:false cfg ext tree);
+        ("memo", fun () -> Search.optimize cfg ext tree);
+        ("jobs3", fun () -> Search.optimize ~jobs:3 cfg ext tree);
+      ]
+    in
+    match Search.brute_force cfg ext tree with
+    | Error _ ->
+      List.iter
+        (fun (kind, run) ->
+          match run () with
+          | Error _ -> ()
+          | Ok p ->
+            Alcotest.failf "%s: feasible (%.6f) but oracle infeasible"
+              (ctx kind) (Plan.comm_cost p))
+        engines
+    | Ok oracle ->
+      let best = Plan.comm_cost oracle in
+      List.iter
+        (fun (kind, run) ->
+          match run () with
+          | Error msg ->
+            Alcotest.failf "%s: infeasible (%s) but oracle found %.6f"
+              (ctx kind) msg best
+          | Ok p ->
+            if Float.abs (Plan.comm_cost p -. best) > 1e-9 then
+              Alcotest.failf "%s: cost %.6f vs oracle %.6f" (ctx kind)
+                (Plan.comm_cost p) best;
+            certify ~ctx:(ctx kind) ~cfg p)
+        engines
+  done
+
+(* ---------- determinism regressions ---------- *)
+
+let plan_str p = Format.asprintf "%a" Plan.pp p
+
+(* Parallel search must be byte-for-byte identical to sequential search,
+   and to itself across runs — scheduling must never leak into the
+   tie-break. Checked on the CSE problem (memo hits + α-renaming in play)
+   and on the CCSD term. *)
+let test_jobs_deterministic () =
+  let cse_text =
+    {|
+extents a=8, b=8, c=8, k=8
+T1[a,b] = sum[k] X[a,k] * Y[k,b]
+T2[a,c] = sum[b] T1[a,b] * W[b,c]
+T3[a,b] = sum[k] X[a,k] * Y[k,b]
+S[c,b]  = sum[a] T2[a,c] * T3[a,b]
+|}
+  in
+  let problems =
+    [
+      ("cse", load cse_text, 4);
+      ( "ccsd-tiny",
+        (let problem, _, tree = ccsd ~scale:`Tiny in
+         (problem.Problem.extents, tree)),
+        4 );
+    ]
+  in
+  List.iter
+    (fun (name, (ext, tree), procs) ->
+      let _, cfg = search_config procs in
+      let run ?jobs () =
+        plan_str
+          (get_ok ~ctx:(name ^ " optimize") (Search.optimize ?jobs cfg ext tree))
+      in
+      let seq = run () in
+      let par1 = run ~jobs:4 () in
+      let par2 = run ~jobs:4 () in
+      Alcotest.(check string) (name ^ ": jobs=4 matches sequential") seq par1;
+      Alcotest.(check string) (name ^ ": jobs=4 run twice identical") par1 par2)
+    problems
+
+(* The memo cache must be invisible in the result, not just in the cost. *)
+let test_memo_identical_plans () =
+  let ext, tree =
+    load
+      {|
+extents a=8, b=8, c=8, k=8
+T1[a,b] = sum[k] X[a,k] * Y[k,b]
+T2[a,c] = sum[b] T1[a,b] * W[b,c]
+T3[a,b] = sum[k] X[a,k] * Y[k,b]
+S[c,b]  = sum[a] T2[a,c] * T3[a,b]
+|}
+  in
+  let _, cfg = search_config 4 in
+  let s ~memo =
+    plan_str (get_ok ~ctx:"optimize" (Search.optimize ~memo cfg ext tree))
+  in
+  Alcotest.(check string) "memo on == memo off" (s ~memo:false) (s ~memo:true)
+
+(* The memo cache actually hits on the repeated subexpression, and the
+   counters surface through Obs. *)
+let test_memo_counters () =
+  let ext, tree =
+    load
+      {|
+extents a=8, b=8, c=8, k=8
+T1[a,b] = sum[k] X[a,k] * Y[k,b]
+T2[a,c] = sum[b] T1[a,b] * W[b,c]
+T3[a,b] = sum[k] X[a,k] * Y[k,b]
+S[c,b]  = sum[a] T2[a,c] * T3[a,b]
+|}
+  in
+  let _, cfg = search_config 4 in
+  let sink = Obs.create () in
+  let _plan =
+    Obs.with_sink sink (fun () ->
+        get_ok ~ctx:"optimize" (Search.optimize cfg ext tree))
+  in
+  let counters = Obs.counters sink in
+  let count name =
+    match List.assoc_opt name counters with Some n -> n | None -> 0
+  in
+  Alcotest.(check int) "one hit (T3 reuses T1's subtree)" 1
+    (count "search.memo_hits");
+  Alcotest.(check int) "three misses (T1, T2, S)" 3
+    (count "search.memo_misses")
+
+(* ---------- beam ---------- *)
+
+(* A beam of width k explores a per-node superset of width k-1, so on
+   these seeded instances cost is monotonically non-increasing in k and a
+   wide-enough beam recovers the unrestricted optimum. (Not a theorem —
+   beam search is inexact by design — but a regression guard on the
+   documented total order.) *)
+let test_beam_monotone () =
+  let problem, _, tree = ccsd ~scale:`Tiny in
+  let ext = problem.Problem.extents in
+  let _, cfg = search_config 4 in
+  let cost ?beam () =
+    Plan.comm_cost (get_ok ~ctx:"beam" (Search.optimize ?beam cfg ext tree))
+  in
+  let unrestricted = cost () in
+  let widths = [ 1; 2; 4; 8; 16 ] in
+  let costs = List.map (fun k -> cost ~beam:k ()) widths in
+  List.iteri
+    (fun i c ->
+      if i > 0 then
+        let prev = List.nth costs (i - 1) in
+        if c > prev +. 1e-9 then
+          Alcotest.failf "beam %d cost %.6f worse than beam %d cost %.6f"
+            (List.nth widths i) c
+            (List.nth widths (i - 1))
+            prev)
+    costs;
+  check_close ~ctx:"wide beam = unrestricted" ~rel:1e-9 unrestricted
+    (List.nth costs (List.length costs - 1));
+  let (_ : string) =
+    get_error ~ctx:"beam 0 rejected" (Search.optimize ~beam:0 cfg ext tree)
+  in
+  ()
+
+(* ---------- Plan.validate as an independent checker ---------- *)
+
+let test_validate_rejects_corrupt_plans () =
+  let problem, _, tree = ccsd ~scale:`Small in
+  let ext = problem.Problem.extents in
+  let _, cfg = search_config 16 in
+  let plan = get_ok ~ctx:"optimize" (Search.optimize cfg ext tree) in
+  certify ~ctx:"genuine plan" ~cfg plan;
+  (* A consumer moved ahead of its producer. *)
+  let reversed = { plan with Plan.steps = List.rev plan.Plan.steps } in
+  let (_ : string) =
+    get_error ~ctx:"reversed steps" (Plan.validate reversed)
+  in
+  (* An impossible memory budget. *)
+  let (_ : string) =
+    get_error ~ctx:"tiny memory limit"
+      (Plan.validate ~mem_limit_bytes:1.0 plan)
+  in
+  (* An empty plan. *)
+  let empty = { plan with Plan.steps = []; presums = [] } in
+  let (_ : string) = get_error ~ctx:"no steps" (Plan.validate empty) in
+  ()
+
+(* ---------- Parsearch unit tests ---------- *)
+
+let test_parsearch_map_order () =
+  Parsearch.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check int) "jobs" 3 (Parsearch.jobs pool);
+      let xs = Array.init 100 (fun i -> i) in
+      let ys = Parsearch.map_array pool (fun x -> x * x) xs in
+      Alcotest.(check (array int)) "input order"
+        (Array.map (fun x -> x * x) xs)
+        ys;
+      (* The pool replays: a second map on the same pool works. *)
+      let zs = Parsearch.map_array pool (fun x -> x + 1) xs in
+      Alcotest.(check (array int)) "second map"
+        (Array.map (fun x -> x + 1) xs)
+        zs)
+
+let test_parsearch_exception () =
+  Parsearch.with_pool ~jobs:2 (fun pool ->
+      (match
+         Parsearch.map_array pool
+           (fun x -> if x = 7 then failwith "boom" else x)
+           (Array.init 32 (fun i -> i))
+       with
+      | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+      | _ -> Alcotest.fail "expected the worker exception to re-raise");
+      (* The pool survives a failed map. *)
+      let ys = Parsearch.map_array pool (fun x -> x) [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "pool survives" [| 1; 2; 3 |] ys)
+
+let test_parsearch_misuse () =
+  (match Parsearch.create ~jobs:0 with
+  | exception Tce_error.Error _ -> ()
+  | pool ->
+    Parsearch.close pool;
+    Alcotest.fail "jobs:0 accepted");
+  let pool = Parsearch.create ~jobs:2 in
+  Parsearch.close pool;
+  Parsearch.close pool (* idempotent *);
+  match Parsearch.map_array pool (fun x -> x) [| 1; 2 |] with
+  | exception Tce_error.Error _ -> ()
+  | _ -> Alcotest.fail "map on a closed pool accepted"
+
+let suite =
+  [
+    ( "searchprop.oracle",
+      [
+        case "all engines match brute force on random instances"
+          test_engines_match_brute_force;
+      ] );
+    ( "searchprop.determinism",
+      [
+        case "jobs=4 byte-identical to sequential, twice"
+          test_jobs_deterministic;
+        case "memo cache invisible in the plan" test_memo_identical_plans;
+        case "memo hit/miss counters" test_memo_counters;
+        case "beam cost monotone in width" test_beam_monotone;
+      ] );
+    ( "searchprop.validate",
+      [ case "validator rejects corrupted plans" test_validate_rejects_corrupt_plans ] );
+    ( "searchprop.parsearch",
+      [
+        case "map_array preserves input order" test_parsearch_map_order;
+        case "worker exception re-raised" test_parsearch_exception;
+        case "misuse raises typed errors" test_parsearch_misuse;
+      ] );
+  ]

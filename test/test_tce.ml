@@ -15,6 +15,7 @@ let () =
          T_cannon.suite;
          T_fusion.suite;
          T_search.suite;
+         T_searchprop.suite;
          T_machine.suite;
          T_fault.suite;
          T_fusedexec.suite;
