@@ -1015,6 +1015,198 @@ let search () =
   Format.printf "@.wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* The planning daemon: load generator                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives an in-process Server (the exact engine behind bin/tce_serve)
+   through four regimes and writes BENCH_serve.json:
+
+   - throughput and cold-vs-cache-hit latency on a stream of small
+     problems (distinct extents for cold, one repeated for hits), with a
+     byte-identity check between the cold plan and its later cache hit;
+   - rejection rate at overload (single worker pinned by debug_sleep,
+     burst past the admission bound);
+   - degradation rate under tight deadlines (paper-scale CCSD at 64
+     procs against a budget the exact search cannot meet). *)
+let serve_bench () =
+  section "Planning daemon: throughput, cache, overload, degradation";
+  let matmul_expr n =
+    Printf.sprintf
+      "extents a=%d, b=16, c=16\nC[a,c] = sum[b] A[a,b] * B[b,c]\n" n
+  in
+  let opt_line ?deadline_ms ?(procs = 4) ~id expr =
+    Json.to_string
+      (Json.Obj
+         ([
+            ("id", Json.Num (float_of_int id));
+            ("op", Json.Str "optimize");
+            ("expr", Json.Str expr);
+            ("procs", Json.Num (float_of_int procs));
+          ]
+         @
+         match deadline_ms with
+         | None -> []
+         | Some ms -> [ ("deadline_ms", Json.Num ms) ]))
+  in
+  let field name json =
+    match Json.member name json with
+    | Some v -> v
+    | None -> Json.Null
+  in
+  let status json =
+    match field "status" json with Json.Str s -> s | _ -> "?"
+  in
+  let timed_call server line =
+    let t0 = Unix.gettimeofday () in
+    let resp = Json.parse_exn (Server.call_line server line) in
+    (Unix.gettimeofday () -. t0, resp)
+  in
+  let percentile xs p =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    a.(min (Array.length a - 1)
+         (int_of_float (ceil (p /. 100. *. float_of_int (Array.length a))) - 1
+         |> max 0))
+  in
+
+  (* -- cold vs cache-hit latency + byte identity -- *)
+  let server =
+    Server.create
+      (Server.default_config ~workers:2 ~queue_capacity:64 ~cache_capacity:256
+         ())
+  in
+  let cold_n = 24 in
+  let cold_lat = ref [] in
+  for k = 1 to cold_n do
+    (* distinct extents => distinct cache keys => every one a cold miss *)
+    let dt, resp = timed_call server (opt_line ~id:k (matmul_expr (8 + k))) in
+    assert (status resp = "ok");
+    cold_lat := dt :: !cold_lat
+  done;
+  let probe = matmul_expr 8 in
+  let _, cold_resp = timed_call server (opt_line ~id:100 probe) in
+  let hit_n = 200 in
+  let hit_lat = ref [] in
+  let t_hits0 = Unix.gettimeofday () in
+  for k = 1 to hit_n do
+    let dt, resp = timed_call server (opt_line ~id:(100 + k) probe) in
+    assert (status resp = "ok");
+    hit_lat := dt :: !hit_lat
+  done;
+  let hits_elapsed = Unix.gettimeofday () -. t_hits0 in
+  let _, hit_resp = timed_call server (opt_line ~id:999 probe) in
+  let byte_identical =
+    field "plan" cold_resp = field "plan" hit_resp
+    && field "cached" hit_resp = Json.Bool true
+  in
+  let cache_stats = (Server.stats server).Server.cache in
+  Server.drain server;
+  Server.close server;
+  let rps = float_of_int hit_n /. hits_elapsed in
+  let cold_p50 = percentile !cold_lat 50. *. 1e3 in
+  let cold_p99 = percentile !cold_lat 99. *. 1e3 in
+  let hit_p50 = percentile !hit_lat 50. *. 1e3 in
+  let hit_p99 = percentile !hit_lat 99. *. 1e3 in
+  Format.printf
+    "cache-hit throughput %.0f req/s@.cold latency p50 %.2f ms, p99 %.2f \
+     ms@.hit  latency p50 %.2f ms, p99 %.2f ms@.cache hits %d, misses %d; \
+     hit plan byte-identical to cold search: %b@."
+    rps cold_p50 cold_p99 hit_p50 hit_p99 cache_stats.Plancache.hits
+    cache_stats.Plancache.misses byte_identical;
+
+  (* -- rejection rate at overload -- *)
+  let server =
+    Server.create
+      (Server.default_config ~workers:1 ~queue_capacity:2 ~cache_capacity:8
+         ~debug_ops:true ())
+  in
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let got = ref [] in
+  let reply s =
+    Mutex.lock lock;
+    got := s :: !got;
+    Condition.signal cond;
+    Mutex.unlock lock
+  in
+  Server.submit_line server {|{"id":"pin","op":"debug_sleep","ms":400}|}
+    ~reply;
+  let t0 = Unix.gettimeofday () in
+  while Server.queue_depth server > 0 && Unix.gettimeofday () -. t0 < 5.0 do
+    Unix.sleepf 0.002
+  done;
+  let burst = 20 in
+  for k = 1 to burst do
+    Server.submit_line server (opt_line ~id:k (matmul_expr 16)) ~reply
+  done;
+  Mutex.lock lock;
+  while List.length !got < burst + 1 do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  let statuses = List.map (fun s -> status (Json.parse_exn s)) !got in
+  let rejected =
+    List.length (List.filter (String.equal "overloaded") statuses)
+  in
+  Server.drain server;
+  Server.close server;
+  let rejection_rate = float_of_int rejected /. float_of_int burst in
+  Format.printf
+    "overload: %d/%d burst requests rejected (%.0f%%) past a queue bound \
+     of 2@."
+    rejected burst (100. *. rejection_rate);
+
+  (* -- degradation under tight deadlines -- *)
+  let server =
+    Server.create
+      (Server.default_config ~workers:1 ~queue_capacity:8 ~cache_capacity:0
+         ~degrade:`Auto ())
+  in
+  let tight_n = 6 in
+  let tight =
+    List.init tight_n (fun k ->
+        let _, resp =
+          timed_call server
+            (opt_line ~id:k ~procs:64 ~deadline_ms:120.0 ccsd_text)
+        in
+        ( status resp,
+          field "approximate" resp = Json.Bool true ))
+  in
+  Server.drain server;
+  Server.close server;
+  let degraded =
+    List.length (List.filter (fun (s, a) -> s = "ok" && a) tight)
+  in
+  let exceeded =
+    List.length (List.filter (fun (s, _) -> s = "deadline_exceeded") tight)
+  in
+  let degradation_rate = float_of_int degraded /. float_of_int tight_n in
+  Format.printf
+    "tight deadlines (120 ms on paper CCSD, 64 procs): %d/%d served \
+     approximate, %d/%d deadline_exceeded@."
+    degraded tight_n exceeded tight_n;
+
+  let path = "BENCH_serve.json" in
+  Out_channel.with_open_text path (fun oc ->
+      Printf.fprintf oc
+        "{\n\
+        \  \"benchmark\": \"serve\",\n\
+        \  \"cache_hit_requests_per_sec\": %.1f,\n\
+        \  \"cold_latency_ms\": {\"p50\": %.3f, \"p99\": %.3f},\n\
+        \  \"cache_hit_latency_ms\": {\"p50\": %.3f, \"p99\": %.3f},\n\
+        \  \"cache\": {\"hits\": %d, \"misses\": %d},\n\
+        \  \"hit_plan_byte_identical\": %b,\n\
+        \  \"overload\": {\"burst\": %d, \"rejected\": %d, \
+         \"rejection_rate\": %.3f},\n\
+        \  \"tight_deadline\": {\"requests\": %d, \"degraded\": %d, \
+         \"deadline_exceeded\": %d, \"degradation_rate\": %.3f}\n\
+         }\n"
+        rps cold_p50 cold_p99 hit_p50 hit_p99 cache_stats.Plancache.hits
+        cache_stats.Plancache.misses byte_identical burst rejected
+        rejection_rate tight_n degraded exceeded degradation_rate);
+  Format.printf "@.wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* Dispatch                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1035,6 +1227,7 @@ let sections =
     ("spmd", spmd);
     ("trace", trace);
     ("search", search);
+    ("serve", serve_bench);
   ]
 
 let default =

@@ -24,6 +24,15 @@ let or_die = function
     Format.eprintf "error: %s@." msg;
     exit 1
 
+(* Typed-error variant: one line on stderr and the error's own exit code
+   (Tce_error.exit_code — distinct per constructor), so scripts can tell
+   a crashed simulated node from a memory-infeasible problem. *)
+let or_die_tce = function
+  | Ok v -> v
+  | Error e ->
+    Format.eprintf "error: %s@." (Tce_error.to_string e);
+    exit (Tce_error.exit_code e)
+
 let machine_of ~mem_gb ~flops_mhz ~latency_us ~bandwidth_mbs =
   match (latency_us, bandwidth_mbs) with
   | None, None ->
@@ -138,9 +147,7 @@ let setup grid_procs params =
    the injected crash fires, replan on the surviving sub-grid and report
    the degradation. *)
 let fault_scenario ~seed ~params ~grid ~ext ~tree ~plan =
-  let healthy =
-    or_die (Tce_error.to_string_result (Simulate.run_plan params ext plan))
-  in
+  let healthy = or_die_tce (Simulate.run_plan params ext plan) in
   let scenario_rng = Prng.create ~seed in
   let crash_rank = Prng.int scenario_rng ~bound:(Grid.procs grid) in
   let crash_at = 0.5 *. healthy.Simulate.total_seconds in
@@ -169,7 +176,7 @@ let fault_scenario ~seed ~params ~grid ~ext ~tree ~plan =
       or_die (Degrade.replan ~config_of ext tree ~healthy:plan)
     in
     Format.printf "%a@." Degrade.pp_report report
-  | Error e -> or_die (Error (Tce_error.to_string e)));
+  | Error e -> or_die_tce (Error e));
   Format.printf "%a@." Fault.pp_trace faults
 
 (* The traced extras behind [--trace]: replay the plan on the simulated
@@ -178,8 +185,7 @@ let fault_scenario ~seed ~params ~grid ~ext ~tree ~plan =
    carries per-rank wall-clock spans. *)
 let traced_runs ~params ~procs ~ext ~tree ~plan ~overlap =
   ignore
-    (or_die
-       (Tce_error.to_string_result (Simulate.run_plan ~overlap params ext plan))
+    (or_die_tce (Simulate.run_plan ~overlap params ext plan)
       : Simulate.timing);
   let procs' = min procs 9 in
   let grid' = or_die (Grid.create ~procs:procs') in
@@ -371,9 +377,7 @@ let validate_cmd =
         procs
         (Dense.equal_approx ~tol:1e-9 reference domains)
     end;
-    let timing =
-      or_die (Tce_error.to_string_result (Simulate.run_plan params ext plan))
-    in
+    let timing = or_die_tce (Simulate.run_plan params ext plan) in
     Format.printf "replayed communication %.4f s vs model %.4f s@."
       timing.Simulate.comm_seconds (Plan.comm_cost plan)
   in
@@ -448,9 +452,15 @@ let () =
             expressions under memory constraints."
   in
   exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            optimize_cmd; codegen_cmd; opcount_cmd; characterize_cmd;
-            validate_cmd; tables_cmd; trace_check_cmd;
-          ]))
+    (try
+       Cmd.eval ~catch:false
+         (Cmd.group info
+            [
+              optimize_cmd; codegen_cmd; opcount_cmd; characterize_cmd;
+              validate_cmd; tables_cmd; trace_check_cmd;
+            ])
+     with Tce_error.Error e ->
+       (* Typed failures escaping any subcommand: one line, one
+          constructor-specific exit code. *)
+       Format.eprintf "error: %s@." (Tce_error.to_string e);
+       Tce_error.exit_code e)

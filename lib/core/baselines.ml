@@ -1,17 +1,17 @@
 open! Import
 module Memmin = Tce_fusion.Memmin
 
-let fusion_free ?jobs ?memo ?beam cfg ext tree =
-  Search.optimize ?jobs ?memo ?beam
+let fusion_free ?jobs ?memo ?beam ?cancel ?pool cfg ext tree =
+  Search.optimize ?jobs ?memo ?beam ?cancel ?pool
     { cfg with Search.fusion_mode = Search.No_fusion }
     ext tree
 
-let memory_minimal ?jobs ?memo ?beam cfg ext tree =
-  Search.optimize_min_memory ?jobs ?memo ?beam
+let memory_minimal ?jobs ?memo ?beam ?cancel ?pool cfg ext tree =
+  Search.optimize_min_memory ?jobs ?memo ?beam ?cancel ?pool
     { cfg with Search.fusion_mode = Search.Enumerate }
     ext tree
 
-let integrated ?jobs ?memo ?beam cfg ext tree =
-  Search.optimize ?jobs ?memo ?beam
+let integrated ?jobs ?memo ?beam ?cancel ?pool cfg ext tree =
+  Search.optimize ?jobs ?memo ?beam ?cancel ?pool
     { cfg with Search.fusion_mode = Search.Enumerate }
     ext tree

@@ -16,18 +16,22 @@
 open! Import
 
 (** All three baselines accept {!Search.optimize}'s [?jobs] / [?memo] /
-    [?beam] engine knobs and forward them unchanged. *)
+    [?beam] / [?cancel] / [?pool] engine knobs and forward them
+    unchanged. *)
 
 val fusion_free :
-  ?jobs:int -> ?memo:bool -> ?beam:int -> Search.config -> Extents.t
+  ?jobs:int -> ?memo:bool -> ?beam:int -> ?cancel:(unit -> bool)
+  -> ?pool:Parsearch.t -> Search.config -> Extents.t
   -> Tree.t -> (Plan.t, string) result
 
 val memory_minimal :
-  ?jobs:int -> ?memo:bool -> ?beam:int -> Search.config -> Extents.t
+  ?jobs:int -> ?memo:bool -> ?beam:int -> ?cancel:(unit -> bool)
+  -> ?pool:Parsearch.t -> Search.config -> Extents.t
   -> Tree.t -> (Plan.t, string) result
 
 val integrated :
-  ?jobs:int -> ?memo:bool -> ?beam:int -> Search.config -> Extents.t
+  ?jobs:int -> ?memo:bool -> ?beam:int -> ?cancel:(unit -> bool)
+  -> ?pool:Parsearch.t -> Search.config -> Extents.t
   -> Tree.t -> (Plan.t, string) result
 (** [Search.optimize] with full fusion enumeration regardless of the
     config's [fusion_mode]; for symmetric comparison tables. *)

@@ -57,19 +57,31 @@ let create ~jobs =
 
 let jobs t = t.jobs
 
+(* Admission must be atomic with posting the round: checking [closed],
+   then releasing the lock, then posting would let a concurrent [close]
+   slip in between — the workers would be joined and the caller would
+   park on [done_cv] forever. Instead the closed/in-flight checks and the
+   work installation happen under one hold of [t.m], so use-after-close
+   is always the typed error, never a deadlock. *)
 let map_array t f xs =
   let n = Array.length xs in
-  Mutex.lock t.m;
-  if t.closed then begin
-    Mutex.unlock t.m;
-    fail "Parsearch.map_array: pool is closed"
-  end;
-  if t.work <> None then begin
-    Mutex.unlock t.m;
-    fail "Parsearch.map_array: a map is already in flight (maps do not nest)"
-  end;
-  Mutex.unlock t.m;
-  if t.jobs = 1 || n <= 1 then Array.map f xs
+  let admit install =
+    Mutex.lock t.m;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      fail "Parsearch.map_array: pool is closed"
+    end;
+    if t.work <> None then begin
+      Mutex.unlock t.m;
+      fail "Parsearch.map_array: a map is already in flight (maps do not nest)"
+    end;
+    install ();
+    Mutex.unlock t.m
+  in
+  if t.jobs = 1 || n <= 1 then begin
+    admit (fun () -> ());
+    Array.map f xs
+  end
   else begin
     if Obs.enabled () then begin
       Obs.count "parsearch.maps";
@@ -92,12 +104,11 @@ let map_array t f xs =
       in
       go ()
     in
-    Mutex.lock t.m;
-    t.work <- Some chunk;
-    t.finished <- 0;
-    t.round <- t.round + 1;
-    Condition.broadcast t.work_cv;
-    Mutex.unlock t.m;
+    admit (fun () ->
+        t.work <- Some chunk;
+        t.finished <- 0;
+        t.round <- t.round + 1;
+        Condition.broadcast t.work_cv);
     chunk ();
     Mutex.lock t.m;
     while t.finished < t.jobs - 1 do

@@ -432,12 +432,25 @@ type ctx = {
   beam : int option;
   pool : Parsearch.t option;
   memo : memo option;
+  cancel : (unit -> bool) option;
 }
+
+(* Cooperative cancellation, checked at every DP node (and before each
+   per-variant enumeration block, so a single huge node stays
+   responsive). The raise propagates through [Parsearch.map_array] —
+   which drains its round first, leaving a persistent pool reusable —
+   and out of [optimize] as the typed error. *)
+let check_cancel ctx =
+  match ctx.cancel with
+  | Some cancelled when cancelled () ->
+    Tce_error.raise_err (Tce_error.Deadline_exceeded { where = "Search.solve" })
+  | _ -> ()
 
 (* Solutions of the subtree rooted at [node]; [parent] provides the fusion
    candidates for the edge above (None at the root: fusion is empty). *)
 let rec solve ctx ~parent node =
   let ( let* ) = Result.bind in
+  check_cancel ctx;
   match node with
   | Tree.Leaf a ->
     err "leaf %s cannot be the whole computation" (Aref.name a)
@@ -503,6 +516,7 @@ and solve_contract ctx ~contraction ~f_out_candidates node l r =
      chronological order reversed — exactly what the historical single
      [solutions := sol :: !solutions] accumulator produced per variant. *)
   let enumerate variant =
+    check_cancel ctx;
     let alpha_out = Variant.dist_of variant Variant.Out in
     let acc = ref [] in
     List.iter
@@ -735,8 +749,8 @@ let check_grid cfg =
          (Grid.side cfg.grid))
   else Ok ()
 
-let run ?(select = better) ?(jobs = 1) ?(memo = true) ?beam cfg ext tree
-    ~prune =
+let run ?(select = better) ?(jobs = 1) ?(memo = true) ?beam ?cancel ?pool
+    cfg ext tree ~prune =
   let ( let* ) = Result.bind in
   let* () =
     if jobs < 1 then err "search: jobs must be >= 1 (got %d)" jobs else Ok ()
@@ -753,16 +767,20 @@ let run ?(select = better) ?(jobs = 1) ?(memo = true) ?beam cfg ext tree
     if memo then Some { table = Hashtbl.create 64; hits = 0; misses = 0 }
     else None
   in
+  let jobs = match pool with Some p -> Parsearch.jobs p | None -> jobs in
   let solve_all pool =
-    let ctx = { cfg; ext; prune; beam; pool; memo = memo_state } in
+    let ctx = { cfg; ext; prune; beam; pool; memo = memo_state; cancel } in
     Obs.span ~cat:"search"
       ~args:[ ("jobs", string_of_int jobs) ]
       "search.solve"
       (fun () -> solve ctx ~parent:None tree)
   in
   let* sols =
-    if jobs > 1 then Parsearch.with_pool ~jobs (fun p -> solve_all (Some p))
-    else solve_all None
+    match pool with
+    | Some p -> solve_all (Some p)
+    | None ->
+      if jobs > 1 then Parsearch.with_pool ~jobs (fun p -> solve_all (Some p))
+      else solve_all None
   in
   (match memo_state with
   | Some m when Obs.enabled () ->
@@ -788,12 +806,12 @@ let run ?(select = better) ?(jobs = 1) ?(memo = true) ?beam cfg ext tree
            Plan.assemble ~ext ~grid:cfg.grid ~params:cfg.params ~flops
              ~mem:best.mem ~presums:best.presums best.steps))
 
-let optimize ?jobs ?memo ?beam cfg ext tree =
-  run ?jobs ?memo ?beam cfg ext tree ~prune:true
+let optimize ?jobs ?memo ?beam ?cancel ?pool cfg ext tree =
+  run ?jobs ?memo ?beam ?cancel ?pool cfg ext tree ~prune:true
 
 let brute_force cfg ext tree = run ~memo:false cfg ext tree ~prune:false
 
-let optimize_min_memory ?jobs ?memo ?beam cfg ext tree =
+let optimize_min_memory ?jobs ?memo ?beam ?cancel ?pool cfg ext tree =
   (* Lexicographic (memory, communication): the "fuse as much as legally
      possible first, then distribute" discipline of the sequential
      prior work, transplanted into the parallel legality space. *)
@@ -806,7 +824,7 @@ let optimize_min_memory ?jobs ?memo ?beam cfg ext tree =
     | 0 -> better a b
     | c -> c
   in
-  run ~select ?jobs ?memo ?beam cfg ext tree ~prune:true
+  run ~select ?jobs ?memo ?beam ?cancel ?pool cfg ext tree ~prune:true
 
 let solution_count ?jobs ?memo ?beam cfg ext tree =
   let ( let* ) = Result.bind in
@@ -820,7 +838,9 @@ let solution_count ?jobs ?memo ?beam cfg ext tree =
     else None
   in
   let solve_all pool =
-    let ctx = { cfg; ext; prune = true; beam; pool; memo = memo_state } in
+    let ctx =
+      { cfg; ext; prune = true; beam; pool; memo = memo_state; cancel = None }
+    in
     solve ctx ~parent:None tree
   in
   let* sols =
@@ -828,3 +848,30 @@ let solution_count ?jobs ?memo ?beam cfg ext tree =
     else solve_all None
   in
   Ok (List.length sols)
+
+(* --- Content fingerprint and plan renaming (the serve-layer cache) ----- *)
+
+let tree_fingerprint cfg tree =
+  let with_names =
+    match cfg.fusion_mode with Fixed _ -> true | Enumerate | No_fusion -> false
+  in
+  fingerprint ~with_names (Tree.fuse_mult_sum tree)
+
+let rename_plan cfg ~ext ~cached ~current (plan : Plan.t) =
+  let cached = Tree.fuse_mult_sum cached in
+  let current = Tree.fuse_mult_sum current in
+  match alpha_map ~cached ~current with
+  | None -> None (* leaf/intermediate name clash: recompute instead *)
+  | Some m ->
+    if SMap.is_empty m then Some plan
+    else begin
+      let steps = List.map (rename_step m) plan.Plan.steps in
+      let presums = List.map (rename_presum m) plan.Plan.presums in
+      match
+        Tce_error.protect (fun () ->
+            Plan.assemble ~ext ~grid:cfg.grid ~params:cfg.params
+              ~flops:plan.Plan.flops ~mem:plan.Plan.mem ~presums steps)
+      with
+      | Ok p -> Some p
+      | Error _ -> None
+    end

@@ -97,17 +97,29 @@ val default_config :
       the [k] best solutions per node under the documented total order.
       Exactness is no longer guaranteed (a locally worse partial solution
       can win globally), but a larger beam explores a superset per node.
-      Off, paper Tables 1–2 replays are bit-for-bit untouched. *)
+      Off, paper Tables 1–2 replays are bit-for-bit untouched.
+    - [?cancel] (default absent): a cooperative cancellation token, polled
+      at every DP node and before each per-variant enumeration block. When
+      it returns [true] the search raises
+      [Tce_error.Error (Deadline_exceeded _)] promptly instead of running
+      to completion — the serving layer's per-request deadline hook. The
+      raise leaves any supplied [?pool] reusable.
+    - [?pool] (default absent): a caller-owned persistent {!Parsearch}
+      pool to fan out on, overriding [?jobs] with the pool's width. The
+      pool is {e not} closed on return, so a long-running service can
+      amortize domain spawning across requests. *)
 
 val optimize :
-  ?jobs:int -> ?memo:bool -> ?beam:int -> config -> Extents.t -> Tree.t
+  ?jobs:int -> ?memo:bool -> ?beam:int -> ?cancel:(unit -> bool)
+  -> ?pool:Parsearch.t -> config -> Extents.t -> Tree.t
   -> (Plan.t, string) result
 (** The optimal plan, or an error when the tree is outside the Cannon
     template (Hadamard/unary nodes), the grid side does not match the
     characterization, or no solution fits in memory. *)
 
 val optimize_min_memory :
-  ?jobs:int -> ?memo:bool -> ?beam:int -> config -> Extents.t -> Tree.t
+  ?jobs:int -> ?memo:bool -> ?beam:int -> ?cancel:(unit -> bool)
+  -> ?pool:Parsearch.t -> config -> Extents.t -> Tree.t
   -> (Plan.t, string) result
 (** Lexicographic objective (memory first, then communication): the
     parallel transplant of the sequential memory-minimal-fusion
@@ -127,3 +139,30 @@ val brute_force : config -> Extents.t -> Tree.t -> (Plan.t, string) result
 (** Exhaustive enumeration of every (variant, fusion) assignment of the
     whole tree with no dominance pruning and no memo cache — exponential;
     the test oracle for {!optimize}. *)
+
+(** {2 Content fingerprint and plan renaming}
+
+    The serving layer's plan cache is keyed on the α-renamed content
+    fingerprint below (plus the machine, grid, memory limit and search
+    knobs). Because intermediate names are erased from the key, a cached
+    plan may carry different intermediate names than the request that
+    hits it; {!rename_plan} maps the cached plan onto the requested
+    tree's names — the whole-plan analogue of the memo cache's α-renaming
+    of subtree solutions. *)
+
+val tree_fingerprint : config -> Tree.t -> string
+(** The content fingerprint of the (normalized) operator tree: structure,
+    index lists and leaf names, with intermediate names α-erased — except
+    under [Fixed] fusion, where intermediate names are semantic and stay
+    in. Two trees with equal fingerprints have identical solution spaces
+    up to intermediate renaming. *)
+
+val rename_plan :
+  config -> ext:Extents.t -> cached:Tree.t -> current:Tree.t -> Plan.t
+  -> Plan.t option
+(** [rename_plan cfg ~ext ~cached ~current plan] rewrites [plan] (the
+    solution of [cached]) onto [current]'s intermediate names and
+    reassembles it. The trees must share {!tree_fingerprint}. Returns
+    [None] in the pathological leaf-name-clash case (the caller should
+    recompute) — same fallback as the memo cache. When the trees already
+    agree on names the plan is returned unchanged, physically equal. *)

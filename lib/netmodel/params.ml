@@ -65,3 +65,13 @@ let pp ppf t =
     t.procs_per_node Units.pp_bytes_si t.mem_per_node_bytes
     (t.flop_rate /. 1e6)
     (step_time t ~bytes:1e6)
+
+let fingerprint t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "machine:%s;flop=%.17g;ppn=%d;mem=%.17g;step=" t.name
+       t.flop_rate t.procs_per_node t.mem_per_node_bytes);
+  List.iter
+    (fun (x, y) -> Buffer.add_string b (Printf.sprintf "%.17g:%.17g," x y))
+    (Interp.points t.step_time);
+  Buffer.contents b

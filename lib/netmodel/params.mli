@@ -46,3 +46,9 @@ val compute_time : t -> flops:float -> float
 val mem_per_proc_bytes : t -> float
 
 val pp : Format.formatter -> t -> unit
+
+val fingerprint : t -> string
+(** A deterministic content string of the machine spec (name, rates,
+    memory, and the full step-time table at full float precision). Two
+    specs time every plan identically iff their fingerprints are equal;
+    a component of the planning daemon's cache key. *)

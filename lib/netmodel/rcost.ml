@@ -129,3 +129,15 @@ let pp ppf t =
     "rcost characterization: side=%d, %d+%d samples, rot(1Mword)=%.3fs"
     t.side (Interp.size t.axis1) (Interp.size t.axis2)
     (query t ~axis:1 ~words:1_048_576)
+
+let fingerprint t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "rcost:side=%d" t.side);
+  List.iter
+    (fun (axis, table) ->
+      Buffer.add_string b (Printf.sprintf ";a%d=" axis);
+      List.iter
+        (fun (w, s) -> Buffer.add_string b (Printf.sprintf "%.17g:%.17g," w s))
+        (Interp.points table))
+    [ (1, t.axis1); (2, t.axis2) ];
+  Buffer.contents b

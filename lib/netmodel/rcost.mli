@@ -45,3 +45,9 @@ val load : path:string -> (t, string) result
 
 val pp : Format.formatter -> t -> unit
 (** Summary: side, sample counts, a few sample values. *)
+
+val fingerprint : t -> string
+(** A deterministic content string of the whole characterization (side and
+    both axis tables at full float precision): two characterizations
+    answer every query identically iff their fingerprints are equal. Used
+    as a component of the planning daemon's cache key. *)

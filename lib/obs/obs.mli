@@ -131,3 +131,33 @@ module Trace_check : sig
 
   val validate_file : string -> (int, string) result
 end
+
+(** {2 Latency histograms}
+
+    A small thread-safe log-bucketed duration histogram for long-running
+    services (the planning daemon's p50/p99 request latencies). Constant
+    memory: 96 geometric buckets covering 1 µs to ~1000 s with ~2.4%
+    worst-case quantile error. Independent of the sink — histograms are
+    explicit values, not probes, so a server can report latency
+    percentiles whether or not tracing is on. *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+  (** Record one duration in seconds. Raises [Invalid_argument] on NaN or
+      negative values. *)
+
+  val count : t -> int
+  val mean : t -> float
+
+  val max_value : t -> float
+  (** Largest recorded value (exact, not bucketed); 0 when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [[0, 100]]: the geometric midpoint of
+      the bucket holding the rank-⌈p/100·n⌉ sample (clamped to
+      {!max_value}); 0 when empty. Raises [Invalid_argument] outside
+      [[0, 100]]. *)
+end

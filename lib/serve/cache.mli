@@ -1,0 +1,30 @@
+(** Bounded LRU cache fronting the planner (thread-safe).
+
+    Keys are the serving layer's full content fingerprints; values are
+    whatever the caller stores (the daemon stores the cached tree plus
+    its plan, so hits can be α-renamed onto the requester's names via
+    {!Tce_core.Search.rename_plan}).
+
+    Eviction is least-recently-used with a strictly monotonic recency
+    stamp, so for equal access sequences the eviction order is
+    deterministic — stamps never tie. A capacity of [0] disables
+    caching ([add] is a no-op, every [find] a miss). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] on negative capacity. *)
+
+val find : 'a t -> string -> 'a option
+(** Refreshes recency on hit; counts a hit or a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts (or refreshes) the binding, evicting the least recently used
+    entry first when at capacity. *)
+
+val length : 'a t -> int
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : 'a t -> stats
+val clear : 'a t -> unit

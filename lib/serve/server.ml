@@ -1,0 +1,723 @@
+(* The planning daemon's engine: a bounded request queue in front of a
+   team of worker domains, each holding a persistent Parsearch pool, with
+   an LRU plan cache keyed on the α-renamed content fingerprint.
+
+   Pipeline (DESIGN.md §13): parse → admission (bounded queue, typed
+   [overloaded] rejection with a Fault-style exponential Retry-After
+   hint) → cache probe → search with a cooperative deadline token →
+   degradation ladder (exact DP on a fraction of the budget, then beam
+   search labelled [approximate], then [deadline_exceeded]) → reply.
+   Admin requests (health/stats/drain) bypass the queue so the daemon
+   stays introspectable under saturation. A worker whose request raises
+   unexpectedly answers a typed [worker_crashed] error, tears down and
+   respawns its search pool, and keeps serving — the daemon never dies
+   with a request. *)
+
+module Search = Tce_core.Search
+module Plan = Tce_core.Plan
+module Baselines = Tce_core.Baselines
+module Parsearch = Tce_core.Parsearch
+module Tree = Tce_expr.Tree
+module Parser = Tce_expr.Parser
+module Problem = Tce_expr.Problem
+module Opmin = Tce_opmin.Opmin
+module Grid = Tce_grid.Grid
+module Params = Tce_netmodel.Params
+module Rcost = Tce_netmodel.Rcost
+module Extents = Tce_index.Extents
+module Index = Tce_index.Index
+module Simulate = Tce_machine.Simulate
+module Obs = Tce_obs.Obs
+module Tce_error = Tce_util.Tce_error
+
+let now () = Unix.gettimeofday ()
+
+(* ---- configuration --------------------------------------------------- *)
+
+type degrade_mode = [ `Auto | `Always | `Never ]
+
+type config = {
+  workers : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  default_deadline_ms : float option;
+  search_jobs : int;
+  degrade : degrade_mode;
+  exact_fraction : float;
+  degrade_beam : int;
+  retry_base_ms : float;
+  retry_backoff : float;
+  debug_ops : bool;
+}
+
+let default_config ?(workers = 2) ?(queue_capacity = 32) ?(cache_capacity = 128)
+    ?default_deadline_ms ?(search_jobs = 1) ?(degrade = `Auto)
+    ?(exact_fraction = 0.6) ?(degrade_beam = 4) ?(retry_base_ms = 25.0)
+    ?(retry_backoff = 2.0) ?(debug_ops = false) () =
+  if workers < 1 then invalid_arg "Server: workers must be >= 1";
+  if queue_capacity < 1 then invalid_arg "Server: queue_capacity must be >= 1";
+  if search_jobs < 1 then invalid_arg "Server: search_jobs must be >= 1";
+  if not (exact_fraction > 0.0 && exact_fraction <= 1.0) then
+    invalid_arg "Server: exact_fraction must be in (0, 1]";
+  if degrade_beam < 1 then invalid_arg "Server: degrade_beam must be >= 1";
+  if retry_backoff < 1.0 then invalid_arg "Server: retry_backoff must be >= 1";
+  {
+    workers;
+    queue_capacity;
+    cache_capacity;
+    default_deadline_ms;
+    search_jobs;
+    degrade;
+    exact_fraction;
+    degrade_beam;
+    retry_base_ms;
+    retry_backoff;
+    debug_ops;
+  }
+
+(* ---- server state ---------------------------------------------------- *)
+
+type job = {
+  req : Proto.request;
+  reply : Json.t -> unit;
+  enqueued_at : float;
+  deadline_at : float option;  (* absolute wall time; queue wait counts *)
+}
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  idle : Condition.t;
+  queue : job Queue.t;
+  mutable draining : bool;
+  mutable closed : bool;
+  mutable inflight : int;
+  mutable domains : unit Domain.t list;
+  cache : (Tree.t * Plan.t) Cache.t;
+  (* counters under [lock] *)
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable consecutive_rejections : int;
+  mutable completed : int;
+  mutable request_errors : int;
+  mutable deadline_exceeded : int;
+  mutable degraded : int;
+  mutable crashes : int;
+  mutable ema_service_s : float;
+  lat_all : Obs.Hist.t;
+  lat_cold : Obs.Hist.t;
+  lat_hit : Obs.Hist.t;
+}
+
+(* ---- machine construction (mirrors tce_opt's machine_of) -------------- *)
+
+let params_of_work (w : Proto.work) =
+  match (w.Proto.latency_us, w.Proto.bandwidth_mbs) with
+  | None, None ->
+    let base = Params.itanium_2003 in
+    {
+      base with
+      Params.mem_per_node_bytes =
+        (match w.Proto.mem_gb with
+        | None -> base.Params.mem_per_node_bytes
+        | Some gb -> gb *. 1e9);
+      flop_rate =
+        (match w.Proto.mflops with
+        | None -> base.Params.flop_rate
+        | Some m -> m *. 1e6);
+    }
+  | lat, bw ->
+    Params.uniform ~name:"uniform"
+      ~latency:
+        (Option.value ~default:6.4e-2 (Option.map (fun u -> u *. 1e-6) lat))
+      ~bandwidth:
+        (Option.value ~default:13.6e6 (Option.map (fun m -> m *. 1e6) bw))
+      ~flop_rate:
+        (Option.value ~default:6.15e8
+           (Option.map (fun m -> m *. 1e6) w.Proto.mflops))
+      ~procs_per_node:2
+      ~mem_per_node_bytes:
+        (Option.value ~default:4e9
+           (Option.map (fun gb -> gb *. 1e9) w.Proto.mem_gb))
+
+(* ---- cache key -------------------------------------------------------- *)
+
+let ext_fingerprint ext =
+  String.concat ","
+    (List.map
+       (fun (i, n) ->
+         Printf.sprintf "%s=%d" (Format.asprintf "%a" Index.pp i) n)
+       (Extents.bindings ext))
+
+let cache_key (cfg : Search.config) (w : Proto.work) ~ext ~tree =
+  String.concat "|"
+    [
+      "v1";
+      Proto.fusion_to_string w.Proto.fusion;
+      Search.tree_fingerprint cfg tree;
+      ext_fingerprint ext;
+      Printf.sprintf "side=%d" (Grid.side cfg.Search.grid);
+      Params.fingerprint cfg.Search.params;
+      Rcost.fingerprint cfg.Search.rcost;
+      (match cfg.Search.mem_limit_bytes with
+      | None -> "mem=default"
+      | Some b -> Printf.sprintf "mem=%.17g" b);
+      Printf.sprintf "redist=%.17g" cfg.Search.redist_factor;
+      Printf.sprintf "adf=%b" cfg.Search.allow_distributed_fusion;
+    ]
+
+(* exposed for the cache tests *)
+let cache_key_of_work (w : Proto.work) =
+  let ( let* ) = Result.bind in
+  let* problem = Parser.parse w.Proto.expr in
+  let* tree = Opmin.optimize_to_tree problem in
+  let params = params_of_work w in
+  let* grid = Grid.create ~procs:w.Proto.procs in
+  let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+  let cfg =
+    Search.default_config
+      ?mem_limit_bytes:(Option.map (fun gb -> gb *. 1e9) w.Proto.mem_gb)
+      ~grid ~params ~rcost ()
+  in
+  Ok (cache_key cfg w ~ext:problem.Problem.extents ~tree)
+
+(* ---- request execution ------------------------------------------------ *)
+
+let invalid ~id msg = Proto.error ~id ~kind:"invalid_request" ~message:msg []
+
+let plan_fields plan ~cached ~approximate =
+  [
+    ("cached", Json.Bool cached);
+    ("approximate", Json.Bool approximate);
+    ("comm_seconds", Json.Num (Plan.comm_cost plan));
+    ("compute_seconds", Json.Num (Plan.compute_seconds plan));
+    ("total_seconds", Json.Num (Plan.total_seconds plan));
+    ("flops", Json.Num (float_of_int plan.Plan.flops));
+    ("mem_per_node_bytes", Json.Num (Plan.mem_per_node_bytes plan));
+    ("steps", Json.Num (float_of_int (List.length plan.Plan.steps)));
+    ("plan", Json.Str (Format.asprintf "%a" Plan.pp plan));
+  ]
+
+(* The degradation ladder. Returns the plan plus whether it is exact
+   (cacheable) or approximate (beam), or raises
+   [Tce_error.Error (Deadline_exceeded _)] when even the fallback cannot
+   finish inside the budget. *)
+let search_ladder t pool (cfg : Search.config) ext tree (w : Proto.work)
+    ~deadline_at =
+  let run ?beam ?cancel () =
+    match w.Proto.fusion with
+    | `All -> Baselines.integrated ?beam ?cancel ?pool cfg ext tree
+    | `None -> Baselines.fusion_free ?beam ?cancel ?pool cfg ext tree
+    | `Memmin -> Baselines.memory_minimal ?beam ?cancel ?pool cfg ext tree
+  in
+  let cancel_at d () = now () > d in
+  let beam = t.cfg.degrade_beam in
+  let approx r = Result.map (fun p -> (p, true)) r in
+  let exact r = Result.map (fun p -> (p, false)) r in
+  match (t.cfg.degrade, deadline_at) with
+  | `Never, None -> exact (run ())
+  | `Never, Some d -> exact (run ~cancel:(cancel_at d) ())
+  | `Always, None -> approx (run ~beam ())
+  | `Always, Some d -> approx (run ~beam ~cancel:(cancel_at d) ())
+  | `Auto, None -> exact (run ())
+  | `Auto, Some d -> (
+    (* Spend at most [exact_fraction] of the remaining budget on the
+       exact search, keeping the rest in reserve for the beam fallback. *)
+    let t0 = now () in
+    let exact_d = t0 +. (t.cfg.exact_fraction *. (d -. t0)) in
+    match run ~cancel:(cancel_at exact_d) () with
+    | r -> exact r
+    | exception Tce_error.Error (Tce_error.Deadline_exceeded _) ->
+      Mutex.lock t.lock;
+      t.degraded <- t.degraded + 1;
+      Mutex.unlock t.lock;
+      Obs.count "serve.degraded";
+      approx (run ~beam ~cancel:(cancel_at d) ()))
+
+(* Handle one work request (optimize/simulate/validate). Returns the
+   response and whether the plan came from the cache. *)
+let handle_work t pool ~id ~deadline_at (w : Proto.work) ~view =
+  match Parser.parse w.Proto.expr with
+  | Error msg -> (invalid ~id ("expr: " ^ msg), `Other)
+  | Ok problem -> (
+    match Opmin.optimize_to_tree problem with
+    | Error msg -> (invalid ~id ("expr: " ^ msg), `Other)
+    | Ok tree -> (
+      let ext = problem.Problem.extents in
+      let params = params_of_work w in
+      match Grid.create ~procs:w.Proto.procs with
+      | Error msg -> (invalid ~id msg, `Other)
+      | Ok grid -> (
+        let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+        let cfg =
+          Search.default_config
+            ?mem_limit_bytes:(Option.map (fun gb -> gb *. 1e9) w.Proto.mem_gb)
+            ~grid ~params ~rcost ()
+        in
+        let key = cache_key cfg w ~ext ~tree in
+        let cached_plan =
+          match Cache.find t.cache key with
+          | None ->
+            Obs.count "serve.cache_misses";
+            None
+          | Some (ctree, plan) -> (
+            (* A hit may carry different intermediate names; rename it
+               onto this request's tree. The pathological leaf-clash case
+               returns [None] and we recompute, same as the memo cache. *)
+            match Search.rename_plan cfg ~ext ~cached:ctree ~current:tree plan
+            with
+            | Some plan ->
+              Obs.count "serve.cache_hits";
+              Some plan
+            | None ->
+              Obs.count "serve.cache_misses";
+              None)
+        in
+        let searched =
+          match cached_plan with
+          | Some plan -> Ok ((plan, false), `Hit)
+          | None ->
+            Result.map
+              (fun (plan, approximate) ->
+                (* Only exact plans enter the cache: a later hit must be
+                   byte-identical to a fresh exact search. *)
+                if not approximate then begin
+                  let before = (Cache.stats t.cache).Cache.evictions in
+                  Cache.add t.cache key (tree, plan);
+                  let after = (Cache.stats t.cache).Cache.evictions in
+                  if after > before then
+                    Obs.count ~by:(after - before) "serve.cache_evictions"
+                end;
+                ((plan, approximate), `Cold))
+              (search_ladder t pool cfg ext tree w ~deadline_at)
+        in
+        match searched with
+        | Error msg ->
+          (Proto.error ~id ~kind:"no_plan" ~message:msg [], `Other)
+        | Ok ((plan, approximate), origin) -> (
+          let cached = origin = `Hit in
+          let base = plan_fields plan ~cached ~approximate in
+          match view with
+          | `Optimize -> (Proto.ok ~id base, origin)
+          | `Simulate -> (
+            match Simulate.run_plan params ext plan with
+            | Ok timing ->
+              ( Proto.ok ~id
+                  (base
+                  @ [
+                      ( "simulated",
+                        Json.Obj
+                          [
+                            ("comm_seconds", Json.Num timing.Simulate.comm_seconds);
+                            ( "compute_seconds",
+                              Json.Num timing.Simulate.compute_seconds );
+                            ( "total_seconds",
+                              Json.Num timing.Simulate.total_seconds );
+                          ] );
+                    ]),
+                origin )
+            | Error e ->
+              ( Proto.error ~id ~kind:(Tce_error.kind e)
+                  ~message:(Tce_error.to_string e) [],
+                `Other ))
+          | `Validate -> (
+            match
+              Plan.validate ?mem_limit_bytes:cfg.Search.mem_limit_bytes plan
+            with
+            | Ok () -> (Proto.ok ~id (("valid", Json.Bool true) :: base), origin)
+            | Error msg ->
+              ( Proto.ok ~id
+                  (("valid", Json.Bool false)
+                  :: ("violation", Json.Str msg)
+                  :: base),
+                origin ))))))
+
+(* ---- admin responses -------------------------------------------------- *)
+
+let queue_depth t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let health_json t ~id =
+  Mutex.lock t.lock;
+  let depth = Queue.length t.queue in
+  let draining = t.draining in
+  let crashes = t.crashes in
+  let inflight = t.inflight in
+  Mutex.unlock t.lock;
+  Proto.ok ~id
+    [
+      ("healthy", Json.Bool true);
+      ("queue_depth", Json.Num (float_of_int depth));
+      ("inflight", Json.Num (float_of_int inflight));
+      ("workers", Json.Num (float_of_int t.cfg.workers));
+      ("draining", Json.Bool draining);
+      ("worker_crashes", Json.Num (float_of_int crashes));
+    ]
+
+let hist_json h =
+  let ms f = f *. 1e3 in
+  Json.Obj
+    [
+      ("count", Json.Num (float_of_int (Obs.Hist.count h)));
+      ("mean_ms", Json.Num (ms (Obs.Hist.mean h)));
+      ("p50_ms", Json.Num (ms (Obs.Hist.percentile h 50.0)));
+      ("p99_ms", Json.Num (ms (Obs.Hist.percentile h 99.0)));
+      ("max_ms", Json.Num (ms (Obs.Hist.max_value h)));
+    ]
+
+let stats_json t ~id =
+  let c = Cache.stats t.cache in
+  Mutex.lock t.lock;
+  let fields =
+    [
+      ("queue_depth", Json.Num (float_of_int (Queue.length t.queue)));
+      ("inflight", Json.Num (float_of_int t.inflight));
+      ("accepted", Json.Num (float_of_int t.accepted));
+      ("rejected", Json.Num (float_of_int t.rejected));
+      ("completed", Json.Num (float_of_int t.completed));
+      ("request_errors", Json.Num (float_of_int t.request_errors));
+      ("deadline_exceeded", Json.Num (float_of_int t.deadline_exceeded));
+      ("degraded", Json.Num (float_of_int t.degraded));
+      ("worker_crashes", Json.Num (float_of_int t.crashes));
+      ("ema_service_ms", Json.Num (t.ema_service_s *. 1e3));
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Num (float_of_int c.Cache.hits));
+            ("misses", Json.Num (float_of_int c.Cache.misses));
+            ("evictions", Json.Num (float_of_int c.Cache.evictions));
+            ("entries", Json.Num (float_of_int c.Cache.entries));
+          ] );
+      ( "latency",
+        Json.Obj
+          [
+            ("all", hist_json t.lat_all);
+            ("cold", hist_json t.lat_cold);
+            ("cache_hit", hist_json t.lat_hit);
+          ] );
+    ]
+  in
+  Mutex.unlock t.lock;
+  Proto.ok ~id fields
+
+(* ---- workers ----------------------------------------------------------- *)
+
+let respawn_pool t pool_ref =
+  (match !pool_ref with
+  | Some p -> ( try Parsearch.close p with _ -> ())
+  | None -> ());
+  pool_ref :=
+    (if t.cfg.search_jobs > 1 then Some (Parsearch.create ~jobs:t.cfg.search_jobs)
+     else None)
+
+let safe_reply (job : job) json = try job.reply json with _ -> ()
+
+let record_latency t job ~started ~origin ~failed =
+  let finished = now () in
+  let total = finished -. job.enqueued_at in
+  let service = finished -. started in
+  Mutex.lock t.lock;
+  if failed then t.request_errors <- t.request_errors + 1
+  else t.completed <- t.completed + 1;
+  t.ema_service_s <-
+    (if t.ema_service_s = 0.0 then service
+     else (0.2 *. service) +. (0.8 *. t.ema_service_s));
+  Mutex.unlock t.lock;
+  Obs.Hist.add t.lat_all total;
+  (match origin with
+  | `Hit -> Obs.Hist.add t.lat_hit total
+  | `Cold -> Obs.Hist.add t.lat_cold total
+  | `Other -> ())
+
+let process t pool_ref (job : job) =
+  let id = job.req.Proto.id in
+  let started = now () in
+  let expired =
+    match job.deadline_at with Some d -> started > d | None -> false
+  in
+  if expired then begin
+    Mutex.lock t.lock;
+    t.deadline_exceeded <- t.deadline_exceeded + 1;
+    Mutex.unlock t.lock;
+    Obs.count "serve.deadline_exceeded";
+    safe_reply job
+      (Proto.deadline_exceeded ~id ~where:"queue"
+         ~elapsed_ms:((started -. job.enqueued_at) *. 1e3))
+  end
+  else
+    let elapsed_ms () = (now () -. job.enqueued_at) *. 1e3 in
+    match
+      match job.req.Proto.op with
+      | Proto.Optimize w ->
+        handle_work t !pool_ref ~id ~deadline_at:job.deadline_at w
+          ~view:`Optimize
+      | Proto.Simulate w ->
+        handle_work t !pool_ref ~id ~deadline_at:job.deadline_at w
+          ~view:`Simulate
+      | Proto.Validate w ->
+        handle_work t !pool_ref ~id ~deadline_at:job.deadline_at w
+          ~view:`Validate
+      | Proto.Debug_sleep ms ->
+        Unix.sleepf (ms /. 1e3);
+        (Proto.ok ~id [ ("slept_ms", Json.Num ms) ], `Other)
+      | Proto.Debug_crash -> failwith "injected worker crash (debug_crash)"
+      | Proto.Health -> (health_json t ~id, `Other)
+      | Proto.Stats -> (stats_json t ~id, `Other)
+      | Proto.Drain ->
+        (* Drain is normally answered at admission; a queued one (via
+           [call]) just acknowledges. *)
+        (Proto.ok ~id [ ("draining", Json.Bool true) ], `Other)
+    with
+    | resp, origin ->
+      let failed =
+        match resp with Json.Obj f -> List.assoc_opt "status" f <> Some (Json.Str "ok") | _ -> false
+      in
+      record_latency t job ~started ~origin ~failed;
+      safe_reply job resp
+    | exception Tce_error.Error (Tce_error.Deadline_exceeded { where }) ->
+      Mutex.lock t.lock;
+      t.deadline_exceeded <- t.deadline_exceeded + 1;
+      Mutex.unlock t.lock;
+      Obs.count "serve.deadline_exceeded";
+      safe_reply job
+        (Proto.deadline_exceeded ~id ~where ~elapsed_ms:(elapsed_ms ()))
+    | exception Tce_error.Error e ->
+      record_latency t job ~started ~origin:`Other ~failed:true;
+      safe_reply job
+        (Proto.error ~id ~kind:(Tce_error.kind e)
+           ~message:(Tce_error.to_string e) [])
+    | exception ex ->
+      (* Crash isolation: typed reply, then tear down and respawn this
+         worker's search pool — the daemon and its siblings keep going. *)
+      Mutex.lock t.lock;
+      t.crashes <- t.crashes + 1;
+      t.request_errors <- t.request_errors + 1;
+      Mutex.unlock t.lock;
+      Obs.count "serve.worker_crashes";
+      safe_reply job
+        (Proto.error ~id ~kind:"worker_crashed"
+           ~message:(Printexc.to_string ex)
+           [ ("respawned", Json.Bool true) ]);
+      (try respawn_pool t pool_ref
+       with _ -> pool_ref := None)
+
+let worker_loop t =
+  let pool_ref =
+    ref
+      (if t.cfg.search_jobs > 1 then
+         Some (Parsearch.create ~jobs:t.cfg.search_jobs)
+       else None)
+  in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.draining && not t.closed do
+      Condition.wait t.not_empty t.lock
+    done;
+    if Queue.is_empty t.queue then begin
+      (* draining or closed, nothing left: exit *)
+      running := false;
+      Mutex.unlock t.lock
+    end
+    else begin
+      let job = Queue.pop t.queue in
+      t.inflight <- t.inflight + 1;
+      Mutex.unlock t.lock;
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock t.lock;
+          t.inflight <- t.inflight - 1;
+          if Queue.is_empty t.queue && t.inflight = 0 then
+            Condition.broadcast t.idle;
+          Mutex.unlock t.lock)
+        (fun () -> process t pool_ref job)
+    end
+  done;
+  (match !pool_ref with
+  | Some p -> ( try Parsearch.close p with _ -> ())
+  | None -> ())
+
+(* ---- lifecycle --------------------------------------------------------- *)
+
+let create cfg =
+  let t =
+    {
+      cfg;
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      draining = false;
+      closed = false;
+      inflight = 0;
+      domains = [];
+      cache = Cache.create ~capacity:cfg.cache_capacity;
+      accepted = 0;
+      rejected = 0;
+      consecutive_rejections = 0;
+      completed = 0;
+      request_errors = 0;
+      deadline_exceeded = 0;
+      degraded = 0;
+      crashes = 0;
+      ema_service_s = 0.0;
+      lat_all = Obs.Hist.create ();
+      lat_cold = Obs.Hist.create ();
+      lat_hit = Obs.Hist.create ();
+    }
+  in
+  t.domains <-
+    List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let retry_hint_ms t ~depth =
+  (* Mirrors the fault layer's retry law (timeout · backoff^(k-1)): the
+     base grows exponentially with consecutive rejections, scaled by the
+     observed service time and the queue ahead of the caller. *)
+  let k = max 1 t.consecutive_rejections in
+  let backoff = t.cfg.retry_backoff ** float_of_int (k - 1) in
+  let service_ms = max 1.0 (t.ema_service_s *. 1e3) in
+  Float.min 60_000.0
+    (Float.max (t.cfg.retry_base_ms *. backoff) (service_ms *. float_of_int (depth + 1)))
+
+let submit t (req : Proto.request) ~reply =
+  let id = req.Proto.id in
+  match req.Proto.op with
+  | Proto.Health -> reply (health_json t ~id)
+  | Proto.Stats -> reply (stats_json t ~id)
+  | Proto.Drain ->
+    Mutex.lock t.lock;
+    t.draining <- true;
+    Condition.broadcast t.not_empty;
+    while not (Queue.is_empty t.queue && t.inflight = 0) do
+      Condition.wait t.idle t.lock
+    done;
+    Mutex.unlock t.lock;
+    reply (Proto.ok ~id [ ("drained", Json.Bool true) ])
+  | (Proto.Debug_sleep _ | Proto.Debug_crash) when not t.cfg.debug_ops ->
+    reply (invalid ~id "debug ops are disabled (start with --debug-ops)")
+  | Proto.Optimize _ | Proto.Simulate _ | Proto.Validate _
+  | Proto.Debug_sleep _ | Proto.Debug_crash ->
+    Mutex.lock t.lock;
+    if t.draining || t.closed then begin
+      Mutex.unlock t.lock;
+      reply
+        (Proto.error ~id ~kind:"draining"
+           ~message:"server is draining; no new requests admitted" [])
+    end
+    else if Queue.length t.queue >= t.cfg.queue_capacity then begin
+      t.rejected <- t.rejected + 1;
+      t.consecutive_rejections <- t.consecutive_rejections + 1;
+      let depth = Queue.length t.queue in
+      let hint = retry_hint_ms t ~depth in
+      Mutex.unlock t.lock;
+      Obs.count "serve.rejected";
+      reply (Proto.overloaded ~id ~queue_depth:depth ~retry_after_ms:hint)
+    end
+    else begin
+      let enqueued_at = now () in
+      let deadline_ms =
+        match req.Proto.deadline_ms with
+        | Some ms -> Some ms
+        | None -> t.cfg.default_deadline_ms
+      in
+      let deadline_at =
+        Option.map (fun ms -> enqueued_at +. (ms /. 1e3)) deadline_ms
+      in
+      t.accepted <- t.accepted + 1;
+      t.consecutive_rejections <- 0;
+      Queue.push { req; reply; enqueued_at; deadline_at } t.queue;
+      Condition.signal t.not_empty;
+      Mutex.unlock t.lock;
+      Obs.count "serve.accepted"
+    end
+
+let submit_line t line ~reply =
+  let reply_json json = reply (Proto.to_line json) in
+  match Proto.parse_request line with
+  | Error (`Parse msg) ->
+    reply_json (Proto.error ~id:Json.Null ~kind:"parse_error" ~message:msg [])
+  | Error (`Invalid (id, msg)) -> reply_json (invalid ~id msg)
+  | Ok req -> submit t req ~reply:reply_json
+
+let call t (req : Proto.request) =
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let slot = ref None in
+  submit t req ~reply:(fun json ->
+      Mutex.lock lock;
+      slot := Some json;
+      Condition.signal cond;
+      Mutex.unlock lock);
+  Mutex.lock lock;
+  while !slot = None do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  Option.get !slot
+
+let call_line t line =
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let slot = ref None in
+  submit_line t line ~reply:(fun s ->
+      Mutex.lock lock;
+      slot := Some s;
+      Condition.signal cond;
+      Mutex.unlock lock);
+  Mutex.lock lock;
+  while !slot = None do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  Option.get !slot
+
+let drain t =
+  ignore
+    (call t { Proto.id = Json.Null; op = Proto.Drain; deadline_ms = None }
+      : Json.t)
+
+let close t =
+  Mutex.lock t.lock;
+  t.draining <- true;
+  t.closed <- true;
+  Condition.broadcast t.not_empty;
+  let domains = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.lock;
+  List.iter Domain.join domains
+
+type stats = {
+  queue_depth : int;
+  accepted : int;
+  rejected : int;
+  completed : int;
+  request_errors : int;
+  deadline_exceeded : int;
+  degraded : int;
+  worker_crashes : int;
+  cache : Cache.stats;
+}
+
+let stats (t : t) =
+  let cache = Cache.stats t.cache in
+  Mutex.lock t.lock;
+  let s =
+    {
+      queue_depth = Queue.length t.queue;
+      accepted = t.accepted;
+      rejected = t.rejected;
+      completed = t.completed;
+      request_errors = t.request_errors;
+      deadline_exceeded = t.deadline_exceeded;
+      degraded = t.degraded;
+      worker_crashes = t.crashes;
+      cache;
+    }
+  in
+  Mutex.unlock t.lock;
+  s

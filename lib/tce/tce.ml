@@ -45,7 +45,14 @@
     {!Tce_error} — the typed error surface; {!Fault} — the seeded,
     deterministic fault model (degraded links, stragglers, message loss,
     node crashes) consumed by the simulator; {!Degrade} — replanning on
-    the surviving sub-grid after a crash. *)
+    the surviving sub-grid after a crash.
+
+    {2 Serving}
+    {!Json}, {!Proto}, {!Plancache}, {!Server} — the fault-hardened planning
+    daemon behind [bin/tce_serve]: JSON-lines protocol, bounded
+    admission queue, LRU plan cache on the α-renamed content
+    fingerprint, per-request deadlines with a degradation ladder, and
+    worker crash isolation (DESIGN.md §13). *)
 
 module Ints = Tce_util.Ints
 module Tce_error = Tce_util.Tce_error
@@ -93,6 +100,10 @@ module Numeric = Tce_machine.Numeric
 module Fusedexec = Tce_machine.Fusedexec
 module Spmd = Tce_runtime.Spmd
 module Multicore = Tce_runtime.Multicore
+module Json = Tce_server.Json
+module Proto = Tce_server.Proto
+module Plancache = Tce_server.Cache
+module Server = Tce_server.Server
 module Table = Tce_report.Table
 module Paperref = Tce_report.Paperref
 module Exptables = Tce_report.Exptables

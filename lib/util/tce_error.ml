@@ -3,6 +3,7 @@ type t =
   | Negative_time of { where : string; seconds : float }
   | Node_crashed of { rank : int; at : float }
   | Missing_tensor of { where : string; name : string }
+  | Deadline_exceeded of { where : string }
   | Msg of string
 
 exception Error of t
@@ -22,7 +23,27 @@ let to_string = function
     Printf.sprintf "node %d crashed at simulated time %.3f s" rank at
   | Missing_tensor { where; name } ->
     Printf.sprintf "%s: missing tensor %s" where name
+  | Deadline_exceeded { where } -> Printf.sprintf "%s: deadline exceeded" where
   | Msg s -> s
+
+(* Stable per-constructor process exit codes, so scripts can branch on the
+   failure class without parsing stderr. 1 is left to the CLI layer
+   (usage/uncategorized), 2 to generic engine errors. *)
+let exit_code = function
+  | Msg _ -> 2
+  | Runaway_rounds _ -> 3
+  | Negative_time _ -> 4
+  | Node_crashed _ -> 5
+  | Missing_tensor _ -> 6
+  | Deadline_exceeded _ -> 7
+
+let kind = function
+  | Runaway_rounds _ -> "runaway_rounds"
+  | Negative_time _ -> "negative_time"
+  | Node_crashed _ -> "node_crashed"
+  | Missing_tensor _ -> "missing_tensor"
+  | Deadline_exceeded _ -> "deadline_exceeded"
+  | Msg _ -> "error"
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 

@@ -18,9 +18,22 @@ type t =
       (** a fault-model crash event interrupted a simulated run *)
   | Missing_tensor of { where : string; name : string }
       (** an executor was handed a plan whose input is absent *)
+  | Deadline_exceeded of { where : string }
+      (** a cooperative cancellation token fired: the caller's deadline
+          passed while the work was still running *)
   | Msg of string  (** everything else, human-readable *)
 
 exception Error of t
+
+val exit_code : t -> int
+(** A stable nonzero process exit code per constructor (2–7), so scripts
+    can branch on the failure class without parsing stderr. *)
+
+val kind : t -> string
+(** A stable machine-readable tag per constructor (the wire protocol's
+    error [kind] field): ["runaway_rounds"], ["negative_time"],
+    ["node_crashed"], ["missing_tensor"], ["deadline_exceeded"],
+    ["error"]. *)
 
 val msg : string -> t
 val errorf : ('a, Format.formatter, unit, t) format4 -> 'a

@@ -325,6 +325,53 @@ let test_multicore_spans_and_bit_identity () =
   | Ok _ -> ()
   | Error m -> Alcotest.failf "invalid combined trace: %s" m
 
+(* ---------------- latency histogram ---------------- *)
+
+let test_hist_percentiles () =
+  let h = Obs.Hist.create () in
+  (* 1..1000 ms, uniformly *)
+  for ms = 1 to 1000 do
+    Obs.Hist.add h (float_of_int ms /. 1e3)
+  done;
+  Alcotest.(check int) "count" 1000 (Obs.Hist.count h);
+  check_close ~ctx:"mean" ~rel:1e-9 0.5005 (Obs.Hist.mean h);
+  check_close ~ctx:"max" ~rel:1e-9 1.0 (Obs.Hist.max_value h);
+  (* Log buckets guarantee ~±12% (one bucket) on any quantile. *)
+  let p50 = Obs.Hist.percentile h 50.0 in
+  if p50 < 0.40 || p50 > 0.62 then Alcotest.failf "p50 %.4f off" p50;
+  let p99 = Obs.Hist.percentile h 99.0 in
+  if p99 < 0.85 || p99 > 1.0 then Alcotest.failf "p99 %.4f off" p99;
+  if Obs.Hist.percentile h 100.0 > Obs.Hist.max_value h +. 1e-12 then
+    Alcotest.fail "p100 above max";
+  (* Percentiles are monotone in p. *)
+  let prev = ref 0.0 in
+  List.iter
+    (fun p ->
+      let v = Obs.Hist.percentile h p in
+      if v < !prev then Alcotest.failf "p%.0f below p-prev" p;
+      prev := v)
+    [ 1.0; 10.0; 25.0; 50.0; 75.0; 90.0; 99.0; 100.0 ]
+
+let test_hist_edge_cases () =
+  let h = Obs.Hist.create () in
+  Alcotest.(check int) "empty count" 0 (Obs.Hist.count h);
+  check_close ~ctx:"empty p99" ~rel:1e-9 0.0 (Obs.Hist.percentile h 99.0);
+  check_close ~ctx:"empty max" ~rel:1e-9 0.0 (Obs.Hist.max_value h);
+  (match Obs.Hist.add h Float.nan with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "NaN accepted");
+  (match Obs.Hist.add h (-1.0) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "negative accepted");
+  (match Obs.Hist.percentile h 101.0 with
+  | exception Invalid_argument _ -> ()
+  | (_ : float) -> Alcotest.fail "p>100 accepted");
+  (* sub-range values clamp into the first/last bucket, no exception *)
+  Obs.Hist.add h 0.0;
+  Obs.Hist.add h 1e-9;
+  Obs.Hist.add h 1e7;
+  Alcotest.(check int) "clamped count" 3 (Obs.Hist.count h)
+
 let suite =
   [
     ( "obs.core",
@@ -349,6 +396,11 @@ let suite =
           test_trace_check_rejects_malformed;
         case "validator accepts both top-level forms"
           test_trace_check_accepts_both_forms;
+      ] );
+    ( "obs.hist",
+      [
+        case "percentiles and bounds" test_hist_percentiles;
+        case "rejects bad samples, empty is zero" test_hist_edge_cases;
       ] );
     ( "obs.instrumented",
       [

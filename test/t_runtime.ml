@@ -231,6 +231,49 @@ let test_pool_survives_abort () =
       in
       Alcotest.(check (array int)) "step 3" [| 3; 0; 1; 2 |] third)
 
+(* Abort-teardown stress: one pool, 50 alternating failing/succeeding
+   programs. Every odd program crashes a different rank (cycling through
+   the team, sometimes while peers park in a barrier or a recv), every
+   even program does real communication and must see clean mailboxes and
+   an aligned barrier — i.e. the abort teardown leaves no residue. *)
+let test_pool_abort_teardown_stress () =
+  Spmd.with_pool ~procs:4 (fun pool ->
+      for k = 1 to 50 do
+        if k mod 2 = 1 then begin
+          let victim = k / 2 mod 4 in
+          match
+            Spmd.Pool.run pool (fun ctx ->
+                let r = Spmd.rank ctx in
+                if r = victim then failwith (Printf.sprintf "crash %d" k)
+                else if k mod 4 = 1 then Spmd.barrier ctx
+                else ignore (Spmd.recv ctx ~src:victim : int))
+          with
+          | exception Spmd.Spmd_aborted { rank; exn = Failure msg } ->
+            Alcotest.(check int) "aborting rank" victim rank;
+            Alcotest.(check string) "origin" (Printf.sprintf "crash %d" k) msg
+          | exception e ->
+            Alcotest.failf "job %d: wrong exception: %s" k
+              (Printexc.to_string e)
+          | _ -> Alcotest.failf "job %d: abort swallowed" k
+        end
+        else begin
+          let ring =
+            Spmd.Pool.run pool (fun ctx ->
+                let r = Spmd.rank ctx in
+                Spmd.send ctx ~dst:((r + 1) mod 4) ((100 * k) + r);
+                let v = Spmd.recv ctx ~src:((r + 3) mod 4) in
+                Spmd.barrier ctx;
+                v)
+          in
+          Alcotest.(check (array int))
+            (Printf.sprintf "job %d clean" k)
+            [|
+              (100 * k) + 3; (100 * k) + 0; (100 * k) + 1; (100 * k) + 2;
+            |]
+            ring
+        end
+      done)
+
 let test_pool_closed_rejects () =
   let pool = Spmd.Pool.create ~procs:2 in
   Spmd.Pool.close pool;
@@ -459,6 +502,8 @@ let suite =
       [
         case "replays successive programs" test_pool_replays_programs;
         case "survives an abort" test_pool_survives_abort;
+        case "50 alternating failing/succeeding jobs"
+          test_pool_abort_teardown_stress;
         case "closed pool rejects programs" test_pool_closed_rejects;
       ] );
     ( "runtime.multicore",

@@ -295,6 +295,39 @@ let test_parsearch_exception () =
       let ys = Parsearch.map_array pool (fun x -> x) [| 1; 2; 3 |] in
       Alcotest.(check (array int)) "pool survives" [| 1; 2; 3 |] ys)
 
+(* Regression: close used to check the in-flight flag in a window where
+   map_array had passed admission but not yet posted its round — a close
+   racing into that window joined the workers and the mapper hung forever
+   on its completion condvar. Admission and posting are now one critical
+   section: a racing close either beats the map (which then raises a
+   typed error) or fails typed itself while the map is in flight. Either
+   way, nobody deadlocks. *)
+let test_parsearch_concurrent_close_no_deadlock () =
+  for _ = 1 to 25 do
+    let pool = Parsearch.create ~jobs:4 in
+    let closer =
+      Domain.spawn (fun () ->
+          (* Retry until the pool is quiescent; typed failures only. *)
+          let rec go () =
+            match Parsearch.close pool with
+            | () -> ()
+            | exception Tce_error.Error _ -> go ()
+          in
+          go ())
+    in
+    (* Map until the closer wins; every refusal must be the typed error,
+       and this loop must terminate (the regression hung it). *)
+    (try
+       while true do
+         ignore
+           (Parsearch.map_array pool (fun x -> x + 1) (Array.init 64 Fun.id)
+             : int array)
+       done
+     with Tce_error.Error _ -> ());
+    Domain.join closer;
+    Parsearch.close pool (* idempotent after the race *)
+  done
+
 let test_parsearch_misuse () =
   (match Parsearch.create ~jobs:0 with
   | exception Tce_error.Error _ -> ()
@@ -330,5 +363,7 @@ let suite =
         case "map_array preserves input order" test_parsearch_map_order;
         case "worker exception re-raised" test_parsearch_exception;
         case "misuse raises typed errors" test_parsearch_misuse;
+        case "concurrent close never deadlocks (regression)"
+          test_parsearch_concurrent_close_no_deadlock;
       ] );
   ]

@@ -1,0 +1,434 @@
+(* The planning daemon: JSON codec, plan cache, admission control,
+   deadlines, degradation and crash isolation — all in-process through
+   Server.call_line, the same engine bin/tce_serve fronts on stdio. *)
+
+open Tce
+open Helpers
+
+(* ---------------- fixtures ---------------- *)
+
+let matmul_expr =
+  "extents a=16, b=16, c=16\nC[a,c] = sum[b] A[a,b] * B[b,c]\n"
+
+(* A two-contraction chain, so the problem has a nameable intermediate. *)
+let chain_expr ~t ~s =
+  Printf.sprintf
+    "extents a=6, b=6, c=6, d=6\n%s[a,d] = sum[b] A[a,b] * B[b,d]\n%s[a,c] = sum[d] %s[a,d] * C[d,c]\n"
+    t s t
+
+let work ?(expr = matmul_expr) ?(procs = 4) ?mem_gb ?mflops ?(fusion = `All)
+    () =
+  {
+    Proto.expr;
+    procs;
+    mem_gb;
+    mflops;
+    latency_us = None;
+    bandwidth_mbs = None;
+    fusion;
+  }
+
+let with_server cfg f =
+  let server = Server.create cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain server;
+      Server.close server)
+    (fun () -> f server)
+
+let get_str name json =
+  match Json.member name json with
+  | Some (Json.Str s) -> s
+  | _ -> Alcotest.failf "missing string field %S in %s" name (Json.to_string json)
+
+let get_bool name json =
+  match Json.member name json with
+  | Some (Json.Bool b) -> b
+  | _ -> Alcotest.failf "missing bool field %S in %s" name (Json.to_string json)
+
+let status json = get_str "status" json
+
+let error_kind json =
+  match Json.member "error" json with
+  | Some err -> get_str "kind" err
+  | None -> Alcotest.failf "no error object in %s" (Json.to_string json)
+
+let call server line = Json.parse_exn (Server.call_line server line)
+
+let req fields = Json.to_string (Json.Obj fields)
+
+let optimize_req ?deadline_ms ?(procs = 4) ?(id = 1.0) expr =
+  req
+    ([ ("id", Json.Num id); ("op", Json.Str "optimize");
+       ("expr", Json.Str expr); ("procs", Json.Num (float_of_int procs)) ]
+    @ match deadline_ms with
+      | None -> []
+      | Some ms -> [ ("deadline_ms", Json.Num ms) ])
+
+(* ---------------- JSON codec ---------------- *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      {|null|}; {|true|}; {|[1,2.5,-3]|}; {|"a\"b\\c\nd"|};
+      {|{"x":[{"y":null}],"z":"w"}|}; {|{}|}; {|[]|}; {|1e300|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      let v = Json.parse_exn s in
+      let v' = Json.parse_exn (Json.to_string v) in
+      if v <> v' then Alcotest.failf "roundtrip changed %s" s)
+    samples;
+  (* escapes survive a print/parse cycle *)
+  let v = Json.Str "line\nbreak \"quoted\" \\ tab\t\x01" in
+  Alcotest.(check bool) "string roundtrip" true
+    (Json.parse_exn (Json.to_string v) = v)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,"; "nul"; "{\"a\"}"; "1 2"; "\"unterminated" ]
+
+(* ---------------- cache keys (satellite: no collisions) ---------------- *)
+
+let key w =
+  match Server.cache_key_of_work w with
+  | Ok k -> k
+  | Error msg -> Alcotest.failf "cache_key_of_work: %s" msg
+
+let test_cache_key_separation () =
+  let base = key (work ()) in
+  Alcotest.(check string) "deterministic" base (key (work ()));
+  let distinct =
+    [
+      ("procs", key (work ~procs:16 ()));
+      ("mem limit", key (work ~mem_gb:0.001 ()));
+      ("flop rate", key (work ~mflops:100.0 ()));
+      ("fusion mode", key (work ~fusion:`None ()));
+      ("extents", key (work ~expr:"extents a=32, b=16, c=16\nC[a,c] = sum[b] A[a,b] * B[b,c]\n" ()));
+    ]
+  in
+  List.iter
+    (fun (what, k) ->
+      if k = base then Alcotest.failf "%s does not separate cache keys" what)
+    distinct
+
+let test_cache_key_alpha_renaming () =
+  (* Intermediate names are erased: T/S and U/R chains share a key... *)
+  Alcotest.(check string) "alpha-renamed chains collide"
+    (key (work ~expr:(chain_expr ~t:"T" ~s:"S") ()))
+    (key (work ~expr:(chain_expr ~t:"U" ~s:"R") ()));
+  (* ...but leaf names are semantic and do separate. *)
+  let renamed_leaf =
+    "extents a=16, b=16, c=16\nC[a,c] = sum[b] X[a,b] * B[b,c]\n"
+  in
+  if key (work ()) = key (work ~expr:renamed_leaf ()) then
+    Alcotest.fail "leaf rename should change the key"
+
+(* ---------------- LRU cache ---------------- *)
+
+let test_cache_lru_eviction_deterministic () =
+  let run () =
+    let c = Plancache.create ~capacity:2 in
+    Plancache.add c "A" 1;
+    Plancache.add c "B" 2;
+    ignore (Plancache.find c "A" : int option);
+    Plancache.add c "C" 3;
+    (* B was least recently used *)
+    let surviving =
+      List.filter_map
+        (fun k -> Option.map (fun _ -> k) (Plancache.find c k))
+        [ "A"; "B"; "C" ]
+    in
+    (surviving, (Plancache.stats c).Plancache.evictions)
+  in
+  let s1, e1 = run () in
+  let s2, e2 = run () in
+  Alcotest.(check (list string)) "survivors" [ "A"; "C" ] s1;
+  Alcotest.(check (list string)) "deterministic" s1 s2;
+  Alcotest.(check int) "one eviction" 1 e1;
+  Alcotest.(check int) "deterministic evictions" e1 e2
+
+let test_cache_counters () =
+  let c = Plancache.create ~capacity:4 in
+  Alcotest.(check (option int)) "miss" None (Plancache.find c "x");
+  Plancache.add c "x" 7;
+  Alcotest.(check (option int)) "hit" (Some 7) (Plancache.find c "x");
+  let s = Plancache.stats c in
+  Alcotest.(check int) "hits" 1 s.Plancache.hits;
+  Alcotest.(check int) "misses" 1 s.Plancache.misses;
+  Alcotest.(check int) "entries" 1 s.Plancache.entries
+
+(* ---------------- serving: plans and the cache front ---------------- *)
+
+let default_cfg ?(workers = 1) ?(queue_capacity = 8) ?(debug_ops = false)
+    ?degrade ?default_deadline_ms () =
+  Server.default_config ~workers ~queue_capacity ~cache_capacity:16
+    ?default_deadline_ms ?degrade ~debug_ops ()
+
+let test_optimize_cold_then_hit () =
+  with_server (default_cfg ()) (fun server ->
+      let r1 = call server (optimize_req matmul_expr) in
+      Alcotest.(check string) "cold ok" "ok" (status r1);
+      Alcotest.(check bool) "cold" false (get_bool "cached" r1);
+      Alcotest.(check bool) "exact" false (get_bool "approximate" r1);
+      let r2 = call server (optimize_req matmul_expr) in
+      Alcotest.(check string) "hit ok" "ok" (status r2);
+      Alcotest.(check bool) "cached" true (get_bool "cached" r2);
+      (* The tentpole acceptance bar: a cache hit is byte-identical to
+         the fresh search. *)
+      Alcotest.(check string) "byte-identical plan" (get_str "plan" r1)
+        (get_str "plan" r2))
+
+let test_cache_hit_alpha_renamed_byte_identical () =
+  with_server (default_cfg ()) (fun server ->
+      let r1 = call server (optimize_req (chain_expr ~t:"T" ~s:"S")) in
+      Alcotest.(check bool) "cold" false (get_bool "cached" r1);
+      (* Same computation under renamed intermediates: must hit, and the
+         renamed plan must equal a fresh sequential search bit for bit. *)
+      let r2 = call server (optimize_req (chain_expr ~t:"U" ~s:"R")) in
+      Alcotest.(check string) "ok" "ok" (status r2);
+      Alcotest.(check bool) "alpha hit" true (get_bool "cached" r2);
+      let problem =
+        Result.get_ok (Parser.parse (chain_expr ~t:"U" ~s:"R"))
+      in
+      let tree = Result.get_ok (Opmin.optimize_to_tree problem) in
+      let grid = Grid.create_exn ~procs:4 in
+      let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+      let cfg = Search.default_config ~grid ~params ~rcost () in
+      let fresh =
+        Result.get_ok (Search.optimize cfg problem.Problem.extents tree)
+      in
+      Alcotest.(check string) "renamed hit equals fresh search"
+        (Format.asprintf "%a" Plan.pp fresh)
+        (get_str "plan" r2))
+
+let test_simulate_and_validate_views () =
+  with_server (default_cfg ()) (fun server ->
+      let sim =
+        call server
+          (req
+             [
+               ("id", Json.Num 1.0); ("op", Json.Str "simulate");
+               ("expr", Json.Str matmul_expr); ("procs", Json.Num 4.0);
+             ])
+      in
+      Alcotest.(check string) "simulate ok" "ok" (status sim);
+      (match Json.member "simulated" sim with
+      | Some (Json.Obj _) -> ()
+      | _ -> Alcotest.fail "no simulated timing");
+      let v =
+        call server
+          (req
+             [
+               ("id", Json.Num 2.0); ("op", Json.Str "validate");
+               ("expr", Json.Str matmul_expr); ("procs", Json.Num 4.0);
+             ])
+      in
+      Alcotest.(check string) "validate ok" "ok" (status v);
+      Alcotest.(check bool) "plan valid" true (get_bool "valid" v))
+
+(* ---------------- typed rejections ---------------- *)
+
+let test_malformed_lines () =
+  with_server (default_cfg ()) (fun server ->
+      let r = call server "this is not json" in
+      Alcotest.(check string) "parse status" "error" (status r);
+      Alcotest.(check string) "parse kind" "parse_error" (error_kind r);
+      let r = call server {|{"id":9,"op":"frobnicate"}|} in
+      Alcotest.(check string) "op status" "error" (status r);
+      Alcotest.(check string) "op kind" "invalid_request" (error_kind r);
+      let r = call server {|{"op":"optimize"}|} in
+      Alcotest.(check string) "missing expr" "invalid_request" (error_kind r);
+      let r = call server (optimize_req ~procs:3 matmul_expr) in
+      Alcotest.(check string) "bad grid" "invalid_request" (error_kind r);
+      let r = call server {|{"id":1,"op":"debug_crash"}|} in
+      Alcotest.(check string) "debug ops gated" "invalid_request"
+        (error_kind r))
+
+let test_infeasible_memory_is_typed () =
+  with_server (default_cfg ()) (fun server ->
+      let r =
+        call server
+          (req
+             [
+               ("id", Json.Num 1.0); ("op", Json.Str "optimize");
+               ("expr", Json.Str matmul_expr); ("procs", Json.Num 4.0);
+               ("mem_gb", Json.Num 1e-9);
+             ])
+      in
+      Alcotest.(check string) "status" "error" (status r);
+      Alcotest.(check string) "kind" "no_plan" (error_kind r))
+
+(* ---------------- backpressure ---------------- *)
+
+let await ?(timeout_s = 5.0) what cond =
+  let t0 = Unix.gettimeofday () in
+  while (not (cond ())) && Unix.gettimeofday () -. t0 < timeout_s do
+    Unix.sleepf 0.005
+  done;
+  if not (cond ()) then Alcotest.failf "timed out waiting for %s" what
+
+let test_overload_rejection () =
+  let cfg = default_cfg ~workers:1 ~queue_capacity:1 ~debug_ops:true () in
+  with_server cfg (fun server ->
+      let replies = ref [] in
+      let lock = Mutex.create () in
+      let submit line =
+        Server.submit_line server line ~reply:(fun s ->
+            Mutex.lock lock;
+            replies := s :: !replies;
+            Mutex.unlock lock)
+      in
+      (* Occupy the single worker... *)
+      submit {|{"id":"busy","op":"debug_sleep","ms":300}|};
+      await "worker pickup" (fun () -> Server.queue_depth server = 0);
+      (* ...fill the queue... *)
+      submit {|{"id":"queued","op":"debug_sleep","ms":1}|};
+      await "queue fill" (fun () -> Server.queue_depth server = 1);
+      (* ...and the next request must be rejected with a typed hint. *)
+      let r = call server (optimize_req ~id:3.0 matmul_expr) in
+      Alcotest.(check string) "status" "overloaded" (status r);
+      (match Json.member "retry_after_ms" r with
+      | Some (Json.Num ms) when ms > 0.0 -> ()
+      | _ -> Alcotest.fail "no positive retry_after_ms hint");
+      let s = Server.stats server in
+      Alcotest.(check bool) "rejection counted" true (s.Server.rejected >= 1))
+
+let test_deadline_expires_in_queue () =
+  let cfg = default_cfg ~workers:1 ~queue_capacity:4 ~debug_ops:true () in
+  with_server cfg (fun server ->
+      Server.submit_line server {|{"id":"busy","op":"debug_sleep","ms":300}|}
+        ~reply:(fun _ -> ());
+      await "worker pickup" (fun () -> Server.queue_depth server = 0);
+      (* Queued behind a 300 ms sleep with a 5 ms budget: expired at
+         dequeue, before any search starts. *)
+      let r = call server (optimize_req ~deadline_ms:5.0 matmul_expr) in
+      Alcotest.(check string) "status" "deadline_exceeded" (status r);
+      Alcotest.(check string) "where" "queue" (get_str "where" r))
+
+(* ---------------- deadlines and degradation ---------------- *)
+
+let test_deadline_exceeded_in_search () =
+  (* degrade=`Never: the paper-scale search against a ~1 ms budget must
+     come back deadline_exceeded through the cooperative cancel token. *)
+  let cfg = default_cfg ~degrade:`Never () in
+  with_server cfg (fun server ->
+      let r =
+        call server
+          (optimize_req ~procs:64 ~deadline_ms:1.0 (ccsd_text ~scale:`Paper))
+      in
+      Alcotest.(check string) "status" "deadline_exceeded" (status r);
+      let s = Server.stats server in
+      Alcotest.(check bool) "counted" true (s.Server.deadline_exceeded >= 1))
+
+let test_degrade_always_is_approximate () =
+  let cfg = default_cfg ~degrade:`Always () in
+  with_server cfg (fun server ->
+      let r = call server (optimize_req matmul_expr) in
+      Alcotest.(check string) "status" "ok" (status r);
+      Alcotest.(check bool) "labelled approximate" true
+        (get_bool "approximate" r);
+      (* Approximate plans never enter the cache: a second request is
+         still served, but not from the exact-plan cache. *)
+      let r2 = call server (optimize_req matmul_expr) in
+      Alcotest.(check bool) "not cached" false (get_bool "cached" r2))
+
+(* ---------------- crash isolation ---------------- *)
+
+let test_worker_crash_isolation () =
+  let cfg = default_cfg ~workers:1 ~debug_ops:true () in
+  with_server cfg (fun server ->
+      let r = call server {|{"id":"boom","op":"debug_crash"}|} in
+      Alcotest.(check string) "status" "error" (status r);
+      Alcotest.(check string) "kind" "worker_crashed" (error_kind r);
+      (* The daemon survives: health answers and a real request works. *)
+      let h = call server {|{"id":"h","op":"health"}|} in
+      Alcotest.(check string) "health ok" "ok" (status h);
+      Alcotest.(check bool) "healthy" true (get_bool "healthy" h);
+      let r2 = call server (optimize_req matmul_expr) in
+      Alcotest.(check string) "still serving" "ok" (status r2);
+      let s = Server.stats server in
+      Alcotest.(check bool) "crash counted" true (s.Server.worker_crashes >= 1))
+
+(* ---------------- drain ---------------- *)
+
+let test_drain_rejects_new_work () =
+  let server = Server.create (default_cfg ()) in
+  Fun.protect
+    ~finally:(fun () -> Server.close server)
+    (fun () ->
+      let r1 = call server (optimize_req matmul_expr) in
+      Alcotest.(check string) "pre-drain ok" "ok" (status r1);
+      let d = call server {|{"id":"d","op":"drain"}|} in
+      Alcotest.(check string) "drain ok" "ok" (status d);
+      Alcotest.(check bool) "drained" true (get_bool "drained" d);
+      let r2 = call server (optimize_req matmul_expr) in
+      Alcotest.(check string) "post-drain status" "error" (status r2);
+      Alcotest.(check string) "post-drain kind" "draining" (error_kind r2))
+
+(* ---------------- search cancellation (core hook) ---------------- *)
+
+let test_search_cancel_raises_and_pool_survives () =
+  let problem, _, tree = ccsd ~scale:`Small in
+  let _grid, cfg = search_config 16 in
+  let ext = problem.Problem.extents in
+  let pool = Parsearch.create ~jobs:2 in
+  Fun.protect
+    ~finally:(fun () -> Parsearch.close pool)
+    (fun () ->
+      (match Search.optimize ~pool ~cancel:(fun () -> true) cfg ext tree with
+      | exception Tce_error.Error (Tce_error.Deadline_exceeded _) -> ()
+      | exception e ->
+        Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      | Ok _ -> Alcotest.fail "cancelled search returned a plan"
+      | Error msg -> Alcotest.failf "cancelled search errored: %s" msg);
+      (* The pool is left quiescent: the same pool solves for real. *)
+      let with_pool =
+        Result.get_ok (Search.optimize ~pool cfg ext tree)
+      in
+      let sequential = Result.get_ok (Search.optimize cfg ext tree) in
+      Alcotest.(check string) "pool reusable, result identical"
+        (Format.asprintf "%a" Plan.pp sequential)
+        (Format.asprintf "%a" Plan.pp with_pool))
+
+let suite =
+  [
+    ( "serve.json",
+      [
+        case "print/parse roundtrip" test_json_roundtrip;
+        case "malformed input rejected" test_json_rejects_garbage;
+      ] );
+    ( "serve.cache",
+      [
+        case "keys separate machines and limits" test_cache_key_separation;
+        case "keys erase intermediate names" test_cache_key_alpha_renaming;
+        case "LRU eviction deterministic" test_cache_lru_eviction_deterministic;
+        case "hit/miss counters" test_cache_counters;
+      ] );
+    ( "serve.server",
+      [
+        case "cold then byte-identical hit" test_optimize_cold_then_hit;
+        case "alpha-renamed hit equals fresh search"
+          test_cache_hit_alpha_renamed_byte_identical;
+        case "simulate and validate views" test_simulate_and_validate_views;
+        case "malformed requests typed" test_malformed_lines;
+        case "infeasible memory typed" test_infeasible_memory_is_typed;
+        case "overload rejected with hint" test_overload_rejection;
+        case "deadline expires in queue" test_deadline_expires_in_queue;
+        case "deadline exceeded in search" test_deadline_exceeded_in_search;
+        case "degrade always labels approximate"
+          test_degrade_always_is_approximate;
+        case "worker crash isolated" test_worker_crash_isolation;
+        case "drain rejects new work" test_drain_rejects_new_work;
+      ] );
+    ( "serve.cancel",
+      [
+        case "cancel raises typed, pool survives"
+          test_search_cancel_raises_and_pool_survives;
+      ] );
+  ]

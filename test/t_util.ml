@@ -253,8 +253,57 @@ let test_units_gb () =
   Alcotest.(check string) "pp" "1.728GB"
     (Format.asprintf "%a" Units.pp_paper_size words)
 
+(* ---------------- typed errors ---------------- *)
+
+let test_error_exit_codes () =
+  (* One representative per constructor: codes are stable, nonzero,
+     pairwise distinct (scripts branch on them), and 1 is reserved for
+     untyped string errors. *)
+  let reps =
+    Tce_error.
+      [
+        Msg "boom";
+        Runaway_rounds { where = "w"; rounds = 9; limit = 3 };
+        Negative_time { where = "w"; seconds = -1.0 };
+        Node_crashed { rank = 0; at = 1.0 };
+        Missing_tensor { where = "w"; name = "A" };
+        Deadline_exceeded { where = "w" };
+      ]
+  in
+  let codes = List.map Tce_error.exit_code reps in
+  List.iter
+    (fun c -> Alcotest.(check bool) "in 2..7" true (c >= 2 && c <= 7))
+    codes;
+  Alcotest.(check int) "pairwise distinct"
+    (List.length codes)
+    (List.length (List.sort_uniq compare codes))
+
+let test_error_kinds_distinct () =
+  let reps =
+    Tce_error.
+      [
+        Msg "boom";
+        Runaway_rounds { where = "w"; rounds = 9; limit = 3 };
+        Negative_time { where = "w"; seconds = -1.0 };
+        Node_crashed { rank = 0; at = 1.0 };
+        Missing_tensor { where = "w"; name = "A" };
+        Deadline_exceeded { where = "w" };
+      ]
+  in
+  let kinds = List.map Tce_error.kind reps in
+  Alcotest.(check int) "pairwise distinct"
+    (List.length kinds)
+    (List.length (List.sort_uniq compare kinds));
+  Alcotest.(check bool) "deadline tag" true
+    (List.mem "deadline_exceeded" kinds)
+
 let suite =
   [
+    ( "util.errors",
+      [
+        case "exit codes stable and distinct" test_error_exit_codes;
+        case "wire kinds distinct" test_error_kinds_distinct;
+      ] );
     ( "util.ints",
       [
         case "isqrt small values" test_isqrt_small;

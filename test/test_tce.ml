@@ -24,5 +24,6 @@ let () =
          T_report.suite;
          T_obs.suite;
          T_prop.suite;
+         T_serve.suite;
          T_integration.suite;
        ])
