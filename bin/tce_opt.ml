@@ -127,6 +127,20 @@ let beam_arg =
                Faster on large trees but no longer guaranteed optimal; off \
                by default.")
 
+let strategy_arg =
+  let strat =
+    Arg.enum [ ("exact", `Exact); ("greedy", `Greedy); ("anytime", `Anytime) ]
+  in
+  Arg.(value & opt strat `Exact & info [ "strategy" ] ~docv:"S"
+         ~doc:"Search strategy: $(b,exact) (default: the optimal DP, \
+               optionally narrowed with $(b,--beam)); $(b,greedy) (the \
+               fusion-capped beam-1 seed plan, produced in a small \
+               fraction of the exact search's time — validated but not \
+               optimal); $(b,anytime) (greedy seed, then widening beam \
+               rounds, then the exact pass — each round's best cost is \
+               reported on stderr and the final plan equals the exact \
+               optimum). $(b,greedy) and $(b,anytime) ignore $(b,--beam).")
+
 let trace_arg =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
          ~doc:"Record the whole run as a Chrome trace-event JSON file \
@@ -202,7 +216,7 @@ let traced_runs ~params ~procs ~ext ~tree ~plan ~overlap =
 
 let optimize_cmd =
   let run file procs mem_gb flops_mhz latency_us bandwidth_mbs fusion code
-      overlap_factor faults search_jobs beam trace =
+      overlap_factor faults search_jobs beam strategy trace =
     let sink = Option.map (fun _ -> Obs.create ()) trace in
     Option.iter Obs.install sink;
     Fun.protect ~finally:Obs.uninstall @@ fun () ->
@@ -213,11 +227,39 @@ let optimize_cmd =
     let ext = problem.Problem.extents in
     let plan =
       or_die
-        (match fusion with
-        | `All -> Baselines.integrated ~jobs:search_jobs ?beam cfg ext tree
-        | `None -> Baselines.fusion_free ~jobs:search_jobs ?beam cfg ext tree
-        | `Memmin ->
-          Baselines.memory_minimal ~jobs:search_jobs ?beam cfg ext tree)
+        (match (strategy, fusion) with
+        | `Exact, `All ->
+          Baselines.integrated ~jobs:search_jobs ?beam cfg ext tree
+        | `Exact, `None ->
+          Baselines.fusion_free ~jobs:search_jobs ?beam cfg ext tree
+        | `Exact, `Memmin ->
+          Baselines.memory_minimal ~jobs:search_jobs ?beam cfg ext tree
+        | (`Greedy | `Anytime), `Memmin ->
+          Error
+            "--strategy greedy/anytime applies to the search modes \
+             (--fusion all/none); --fusion memmin runs its own exact pass"
+        | (`Greedy | `Anytime) as s, fusion ->
+          let cfg =
+            {
+              cfg with
+              Search.fusion_mode =
+                (match fusion with
+                | `None -> Search.No_fusion
+                | _ -> Search.Enumerate);
+            }
+          in
+          (match s with
+          | `Greedy -> Search.greedy ~jobs:search_jobs cfg ext tree
+          | `Anytime ->
+            Search.anytime ~jobs:search_jobs
+              ~on_round:(fun r ->
+                Format.eprintf "anytime: width %s  best cost %.4e%s@."
+                  (match r.Search.width with
+                  | Some w -> string_of_int w
+                  | None -> "exact")
+                  r.Search.cost
+                  (if r.Search.improved then "  (improved)" else ""))
+              cfg ext tree))
     in
     Format.printf "%a@.@.%a@.%s@." Plan.pp plan Table.pp
       (Exptables.plan_table plan)
@@ -250,7 +292,7 @@ let optimize_cmd =
     Term.(
       const run $ file_arg $ procs_arg $ mem_gb_arg $ flops_arg $ latency_arg
       $ bandwidth_arg $ fusion_arg $ code_flag $ overlap_arg $ faults_arg
-      $ search_jobs_arg $ beam_arg $ trace_arg)
+      $ search_jobs_arg $ beam_arg $ strategy_arg $ trace_arg)
 
 (* ---------------- codegen ---------------- *)
 

@@ -84,8 +84,10 @@ let degrade_arg =
   Arg.(value & opt mode_conv `Auto & info [ "degrade" ] ~docv:"MODE"
          ~doc:"Degradation ladder under deadline pressure: $(b,auto) \
                (exact search on a fraction of the budget, then beam \
-               fallback labelled approximate), $(b,always) (beam on every \
-               request), $(b,never) (exact only).")
+               fallback, then the millisecond greedy seed plan — both \
+               labelled approximate), $(b,always) (beam on every \
+               request, greedy seed if the beam blows the budget), \
+               $(b,never) (exact only).")
 
 let debug_ops_arg =
   Arg.(value & flag & info [ "debug-ops" ]

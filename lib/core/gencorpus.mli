@@ -1,0 +1,42 @@
+(** Seeded problem generators for the search engine.
+
+    The paper's own expressions (CCSD, the running example) solve in
+    tens of milliseconds — far too small to measure the parallel DP, and
+    too small for an anytime mode to matter. This module generates
+    contraction trees big enough that exact DP takes seconds: classic
+    matrix chains (the shape every einsum planner is benchmarked on) and
+    random well-formed einsum trees in the style of omeco /
+    opt_einsum's random test corpora. Everything is driven by an
+    explicit seed through {!Tce_util.Prng}, so every instance is
+    reproducible byte for byte — the determinism suite re-solves the
+    same instance at several [jobs] settings and diffs the plans.
+
+    Generated trees always satisfy [Tree.validate] and the contraction
+    well-formedness rules ([Formula.check_contract]) at every node: sum
+    indices are fresh and shared by both children, output indices land
+    in exactly one child, and no node exceeds the requested rank. *)
+
+open! Import
+
+type instance = { name : string; ext : Extents.t; tree : Tree.t }
+
+val matrix_chain :
+  seed:int -> n:int -> lo:int -> hi:int -> Extents.t * Tree.t
+(** A left-deep product of [n >= 2] matrices [M1 … Mn] with fresh
+    boundary indices, extents uniform in [lo, hi]. Raises
+    [Tce_error.Error] on [n < 2]. *)
+
+val random_einsum :
+  seed:int -> tensors:int -> rank:int -> lo:int -> hi:int
+  -> Extents.t * Tree.t
+(** A random contraction tree over [tensors >= 2] leaves in which no
+    array exceeds [rank >= 2] dimensions; extents uniform in [lo, hi].
+    Raises [Tce_error.Error] on out-of-range arguments. *)
+
+val bench_corpus : unit -> instance list
+(** The fixed seconds-scale corpus the [search] bench section measures:
+    instances sized so the sequential exact DP takes ~1–10 s each. *)
+
+val fuzz : seed:int -> count:int -> instance list
+(** Small random instances (3–4 tensors, tiny extents) for property
+    tests that need brute force to stay feasible. *)

@@ -2,6 +2,7 @@
    library. *)
 module Ints = Tce_util.Ints
 module Listx = Tce_util.Listx
+module Prng = Tce_util.Prng
 module Tce_error = Tce_util.Tce_error
 module Units = Tce_util.Units
 module Index = Tce_index.Index

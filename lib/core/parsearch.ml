@@ -1,137 +1,331 @@
 open! Import
 
-(* One round of work: workers (and the caller) pull item indices from a
-   shared cursor until it runs past the array, so uneven per-item costs
-   balance dynamically while every result still lands in its input slot. *)
+(* Work-stealing pool. One deque per slot: slot 0 belongs to external
+   callers (any domain that is not a pool worker), slots 1..jobs-1 to the
+   worker domains. Owners push and pop at the front (LIFO, good
+   locality); thieves take from the back (FIFO, oldest first, which tends
+   to be the largest remaining subtree). Each fork point — a [map_array]
+   or a [both] — is a *region* with its own countdown latch, so regions
+   nest freely: a task may itself fork, and a joiner helps (pops its own
+   deque, then steals) instead of blocking, so the pool never deadlocks
+   on nested work. Results always land in caller-owned slots, so the
+   output order — and therefore the search's deterministic tie-breaking —
+   is independent of which domain ran what. *)
+
+type task = { owner : int; run : unit -> unit }
+
+type deque = {
+  dm : Mutex.t;
+  mutable front : task list;  (* owner end, newest first *)
+  mutable back : task list;  (* thief end, oldest first *)
+}
 
 type t = {
   jobs : int;
-  m : Mutex.t;
-  work_cv : Condition.t;  (* workers park here between rounds *)
-  done_cv : Condition.t;  (* the caller parks here during a round *)
-  mutable round : int;  (* bumped once per map_array call *)
-  mutable work : (unit -> unit) option;  (* the live round's chunk runner *)
-  mutable finished : int;  (* workers done with the live round *)
+  deques : deque array;
+  m : Mutex.t;  (* lifecycle + sleep/wake; never held while taking [dm] on the push path *)
+  cv : Condition.t;  (* idle workers and blocked joiners park here *)
+  mutable sleepers : int;
+  mutable active : int;  (* external regions in flight (close refuses while > 0) *)
   mutable closed : bool;
   mutable domains : unit Domain.t list;
 }
 
+(* A fork point. [remaining] counts unfinished tasks; the forking caller
+   helps until it reaches 0. The first exception (in completion order)
+   wins; later tasks of a poisoned region skip their payload but still
+   count down, so the joiner always sees the region drain. *)
+type region = { remaining : int Atomic.t; first_exn : exn option Atomic.t }
+
 let fail fmt = Tce_error.failf fmt
 
-let rec worker_loop t seen =
+(* Which slot does the current domain own in pool [t]?  [None] means
+   "external caller" (including workers of *other* pools). *)
+let slot_key : (t * int) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let my_slot t =
+  match Domain.DLS.get slot_key with
+  | Some (p, i) when p == t -> Some i
+  | _ -> None
+
+let wake_all t =
   Mutex.lock t.m;
-  while (not t.closed) && t.round = seen do
-    Condition.wait t.work_cv t.m
-  done;
-  if t.round = seen then Mutex.unlock t.m (* closed, no new round: exit *)
-  else begin
-    let round = t.round in
-    let work = Option.get t.work in
-    Mutex.unlock t.m;
-    work ();
-    Mutex.lock t.m;
-    t.finished <- t.finished + 1;
-    if t.finished = t.jobs - 1 then Condition.broadcast t.done_cv;
-    Mutex.unlock t.m;
-    worker_loop t round
-  end
+  if t.sleepers > 0 then Condition.broadcast t.cv;
+  Mutex.unlock t.m
+
+let push_batch t slot tasks =
+  let d = t.deques.(slot) in
+  Mutex.lock d.dm;
+  d.front <- List.rev_append tasks d.front;
+  Mutex.unlock d.dm;
+  wake_all t
+
+let pop_own d =
+  Mutex.lock d.dm;
+  let r =
+    match d.front with
+    | x :: rest ->
+      d.front <- rest;
+      Some x
+    | [] -> (
+      match d.back with
+      | x :: rest ->
+        d.back <- rest;
+        Some x
+      | [] -> None)
+  in
+  Mutex.unlock d.dm;
+  r
+
+let steal d =
+  Mutex.lock d.dm;
+  if d.back = [] then begin
+    d.back <- List.rev d.front;
+    d.front <- []
+  end;
+  let r =
+    match d.back with
+    | x :: rest ->
+      d.back <- rest;
+      Some x
+    | [] -> None
+  in
+  Mutex.unlock d.dm;
+  r
+
+let try_get t slot =
+  match pop_own t.deques.(slot) with
+  | Some _ as r -> r
+  | None ->
+    let rec go k =
+      if k = t.jobs then None
+      else
+        match steal t.deques.((slot + k) mod t.jobs) with
+        | Some _ as r -> r
+        | None -> go (k + 1)
+    in
+    go 1
+
+let run_task slot task =
+  if Obs.enabled () then begin
+    Obs.count "parsearch.tasks";
+    if task.owner <> slot then Obs.count "parsearch.steals"
+  end;
+  task.run ()
+
+(* Called with [t.m] held. *)
+let work_available t =
+  let avail = ref false in
+  Array.iter
+    (fun d ->
+      if not !avail then begin
+        Mutex.lock d.dm;
+        if d.front <> [] || d.back <> [] then avail := true;
+        Mutex.unlock d.dm
+      end)
+    t.deques;
+  !avail
+
+(* Bounded backoff before parking: retry the deques a few times with
+   [cpu_relax] between attempts. Returns [true] if a task was run. *)
+let spin_for_work t slot budget =
+  let rec go k =
+    if k = 0 then false
+    else begin
+      Domain.cpu_relax ();
+      match try_get t slot with
+      | Some task ->
+        run_task slot task;
+        true
+      | None -> go (k - 1)
+    end
+  in
+  go budget
+
+let spin_budget = 64
+
+let rec worker_loop t slot =
+  match try_get t slot with
+  | Some task ->
+    run_task slot task;
+    worker_loop t slot
+  | None ->
+    if spin_for_work t slot spin_budget then worker_loop t slot
+    else begin
+      (* Park. Holding [t.m] from the availability check through
+         [Condition.wait] closes the missed-wakeup window: a racing push
+         cannot complete its [wake_all] (which needs [t.m]) until this
+         worker is actually waiting and counted in [sleepers]. *)
+      Mutex.lock t.m;
+      if t.closed then Mutex.unlock t.m (* exit *)
+      else if work_available t then begin
+        Mutex.unlock t.m;
+        worker_loop t slot
+      end
+      else begin
+        t.sleepers <- t.sleepers + 1;
+        Condition.wait t.cv t.m;
+        t.sleepers <- t.sleepers - 1;
+        let closed = t.closed in
+        Mutex.unlock t.m;
+        if not closed then worker_loop t slot
+      end
+    end
 
 let create ~jobs =
   if jobs < 1 then fail "Parsearch.create: jobs must be >= 1 (got %d)" jobs;
   let t =
     {
       jobs;
+      deques =
+        Array.init jobs (fun _ ->
+            { dm = Mutex.create (); front = []; back = [] });
       m = Mutex.create ();
-      work_cv = Condition.create ();
-      done_cv = Condition.create ();
-      round = 0;
-      work = None;
-      finished = 0;
+      cv = Condition.create ();
+      sleepers = 0;
+      active = 0;
       closed = false;
       domains = [];
     }
   in
   t.domains <-
-    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+    List.init (jobs - 1) (fun i ->
+        let slot = i + 1 in
+        Domain.spawn (fun () ->
+            Domain.DLS.set slot_key (Some (t, slot));
+            worker_loop t slot));
   t
 
 let jobs t = t.jobs
 
-(* Admission must be atomic with posting the round: checking [closed],
-   then releasing the lock, then posting would let a concurrent [close]
-   slip in between — the workers would be joined and the caller would
-   park on [done_cv] forever. Instead the closed/in-flight checks and the
-   work installation happen under one hold of [t.m], so use-after-close
-   is always the typed error, never a deadlock. *)
+let make_task t ~owner region f =
+  {
+    owner;
+    run =
+      (fun () ->
+        (if Atomic.get region.first_exn = None then
+           match f () with
+           | () -> ()
+           | exception e ->
+             ignore (Atomic.compare_and_set region.first_exn None (Some e)));
+        if Atomic.fetch_and_add region.remaining (-1) = 1 then wake_all t);
+  }
+
+(* Help until the region drains: run own/stolen tasks, spin briefly when
+   the deques look empty (the region's last tasks may still be executing
+   elsewhere), then park on [cv]. Both region completion and any push
+   broadcast, so a parked joiner always wakes. *)
+let join_region t slot region =
+  let rec loop () =
+    if Atomic.get region.remaining > 0 then begin
+      (match try_get t slot with
+      | Some task -> run_task slot task
+      | None ->
+        if not (spin_for_work t slot spin_budget) then
+          if Atomic.get region.remaining > 0 then begin
+            Mutex.lock t.m;
+            if Atomic.get region.remaining > 0 && not (work_available t) then begin
+              t.sleepers <- t.sleepers + 1;
+              Condition.wait t.cv t.m;
+              t.sleepers <- t.sleepers - 1
+            end;
+            Mutex.unlock t.m
+          end);
+      loop ()
+    end
+  in
+  loop ()
+
+(* External callers are admitted under [t.m] so a racing [close] either
+   beats them (typed error here) or fails typed itself while the region
+   is in flight ([active] > 0). Either way, nobody deadlocks. Calls made
+   from inside pool tasks skip admission: the pool cannot close while the
+   enclosing external region is active. *)
+let enter t ~who =
+  Mutex.lock t.m;
+  if t.closed then begin
+    Mutex.unlock t.m;
+    fail "Parsearch.%s: pool is closed" who
+  end;
+  t.active <- t.active + 1;
+  Mutex.unlock t.m
+
+let leave t =
+  Mutex.lock t.m;
+  t.active <- t.active - 1;
+  Mutex.unlock t.m
+
+let admitted t ~who f =
+  match my_slot t with
+  | Some slot -> f slot
+  | None ->
+    enter t ~who;
+    Fun.protect ~finally:(fun () -> leave t) (fun () -> f 0)
+
 let map_array t f xs =
   let n = Array.length xs in
-  let admit install =
-    Mutex.lock t.m;
-    if t.closed then begin
-      Mutex.unlock t.m;
-      fail "Parsearch.map_array: pool is closed"
-    end;
-    if t.work <> None then begin
-      Mutex.unlock t.m;
-      fail "Parsearch.map_array: a map is already in flight (maps do not nest)"
-    end;
-    install ();
-    Mutex.unlock t.m
-  in
-  if t.jobs = 1 || n <= 1 then begin
-    admit (fun () -> ());
-    Array.map f xs
-  end
-  else begin
-    if Obs.enabled () then begin
-      Obs.count "parsearch.maps";
-      Obs.count ~by:n "parsearch.items"
-    end;
-    let results = Array.make n None in
-    let cursor = Atomic.make 0 in
-    let first_exn = Atomic.make None in
-    let chunk () =
-      let rec go () =
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i < n then begin
-          (if Atomic.get first_exn = None then
-             match f xs.(i) with
-             | v -> results.(i) <- Some v
-             | exception e ->
-               ignore (Atomic.compare_and_set first_exn None (Some e)));
-          go ()
-        end
-      in
-      go ()
-    in
-    admit (fun () ->
-        t.work <- Some chunk;
-        t.finished <- 0;
-        t.round <- t.round + 1;
-        Condition.broadcast t.work_cv);
-    chunk ();
-    Mutex.lock t.m;
-    while t.finished < t.jobs - 1 do
-      Condition.wait t.done_cv t.m
-    done;
-    t.work <- None;
-    Mutex.unlock t.m;
-    match Atomic.get first_exn with
-    | Some e -> raise e
-    | None ->
-      Array.map (function Some v -> v | None -> assert false) results
-  end
+  admitted t ~who:"map_array" (fun slot ->
+      if t.jobs = 1 || n <= 1 then Array.map f xs
+      else begin
+        if Obs.enabled () then begin
+          Obs.count "parsearch.maps";
+          Obs.count ~by:n "parsearch.items"
+        end;
+        let results = Array.make n None in
+        let region =
+          { remaining = Atomic.make n; first_exn = Atomic.make None }
+        in
+        let tasks =
+          List.init n (fun i ->
+              make_task t ~owner:slot region (fun () ->
+                  results.(i) <- Some (f xs.(i))))
+        in
+        push_batch t slot tasks;
+        join_region t slot region;
+        match Atomic.get region.first_exn with
+        | Some e -> raise e
+        | None ->
+          Array.map (function Some v -> v | None -> assert false) results
+      end)
+
+let both t fa fb =
+  admitted t ~who:"both" (fun slot ->
+      if t.jobs = 1 then
+        let a = fa () in
+        let b = fb () in
+        (a, b)
+      else begin
+        if Obs.enabled () then Obs.count "parsearch.forks";
+        let region =
+          { remaining = Atomic.make 1; first_exn = Atomic.make None }
+        in
+        let rb = ref None in
+        push_batch t slot
+          [ make_task t ~owner:slot region (fun () -> rb := Some (fb ())) ];
+        let ra = try Ok (fa ()) with e -> Error e in
+        join_region t slot region;
+        match ra with
+        | Error e -> raise e
+        | Ok a -> (
+          match Atomic.get region.first_exn with
+          | Some e -> raise e
+          | None -> (
+            match !rb with
+            | Some b -> (a, b)
+            | None -> assert false))
+      end)
 
 let close t =
   Mutex.lock t.m;
-  if t.work <> None then begin
+  if t.active > 0 then begin
     Mutex.unlock t.m;
-    fail "Parsearch.close: a map is in flight"
+    fail "Parsearch.close: a parallel region is in flight"
   end;
   if t.closed then Mutex.unlock t.m
   else begin
     t.closed <- true;
-    Condition.broadcast t.work_cv;
+    Condition.broadcast t.cv;
     Mutex.unlock t.m;
     List.iter Domain.join t.domains;
     t.domains <- []

@@ -1,43 +1,71 @@
-(** A small persistent domain pool for the search engine's fan-out.
+(** A work-stealing domain pool for the search engine's fork points.
 
-    The DP search enumerates per-node candidate sets (Cannon variants ×
-    child cases × fusions) and prunes per-(distribution, fusion) groups —
-    both embarrassingly parallel maps over pure work items. This module
-    provides exactly that shape, in the {!Tce_runtime.Spmd.Pool} style
-    (domains spawned once, work replayed against them) but without
-    mailboxes or barriers: workers pull item indices from a shared atomic
-    cursor, so uneven item costs balance dynamically, and results land in
-    their input slot, so the output order — and therefore the search's
-    deterministic tie-breaking — is independent of scheduling.
+    The DP search forks in two shapes: whole-subtree solves (a [Contract]
+    node's two children are independent DP problems — coarse work) and
+    per-node candidate fan-out (Cannon variants × child cases × fusions,
+    and per-(distribution, fusion) prune groups — fine work that is only
+    worth shipping when the candidate product is large). This module
+    serves both: each slot (slot 0 for external callers, one per worker
+    domain otherwise) owns a deque — owners push and pop at the front,
+    idle domains steal from the back (oldest first, which tends to be the
+    largest remaining subtree), so uneven costs balance dynamically.
 
-    [lib/core] cannot depend on the runtime library (the dependency points
-    the other way), which is why this is a sibling of {!Search} rather
-    than a re-use of [Spmd.Pool]. *)
+    Fork points nest freely: a task spawned by {!both} may itself call
+    {!map_array} or {!both}. A joining caller {e helps} — it runs its own
+    and stolen tasks while its fork's countdown latch is nonzero — so
+    nested forks never deadlock on a full pool. Idle workers back off
+    with bounded [Domain.cpu_relax] spinning, then park on a condition
+    variable; an idle pool burns no CPU between calls.
+
+    Results always land in caller-owned slots (input-indexed for
+    {!map_array}, the pair for {!both}), so output order — and therefore
+    the search's deterministic tie-breaking — is independent of which
+    domain ran what.
+
+    Scheduler visibility (when {!Tce_obs.Obs} collection is on):
+    [parsearch.tasks] counts tasks executed, [parsearch.steals] the
+    subset executed by a non-owner slot, [parsearch.forks] the {!both}
+    calls, and [parsearch.maps]/[parsearch.items] the {!map_array} calls
+    and their item totals.
+
+    [lib/core] cannot depend on the runtime library (the dependency
+    points the other way), which is why this is a sibling of {!Search}
+    rather than a re-use of [Spmd.Pool]. *)
 
 type t
 (** A pool of worker domains. The creating domain also executes work
-    during {!map_array}, so a pool of [jobs] runs [jobs]-wide with
-    [jobs - 1] spawned domains. *)
+    during {!map_array}/{!both}, so a pool of [jobs] runs [jobs]-wide
+    with [jobs - 1] spawned domains. *)
 
 val create : jobs:int -> t
 (** Spawn [jobs - 1] worker domains. [jobs] must be at least 1 (a
-    1-wide pool spawns nothing and {!map_array} degenerates to
-    [Array.map]). Raises [Tce_error.Error] otherwise. *)
+    1-wide pool spawns nothing and {!map_array}/{!both} degenerate to
+    sequential calls). Raises [Tce_error.Error] otherwise. *)
 
 val jobs : t -> int
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array pool f xs] applies [f] to every element, fanned across the
     pool's domains, and returns the results in input order. [f] must be
-    pure (it runs concurrently on several domains). If any application
-    raises, the first exception (in completion order) is re-raised on the
-    calling domain after all workers have drained. Raises
-    [Tce_error.Error] if the pool is closed or a map is already in
-    flight (maps do not nest). *)
+    pure up to benign shared state (it runs concurrently on several
+    domains). If any application raises, the first exception (in
+    completion order) is re-raised on the calling domain after the fork
+    has drained; remaining items are skipped. May be called from inside
+    pool tasks (forks nest). Raises [Tce_error.Error] if the pool is
+    closed. *)
+
+val both : t -> (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [both pool fa fb] runs the two thunks, possibly concurrently: [fb] is
+    pushed to the caller's deque (where an idle domain can steal it) and
+    [fa] runs on the calling domain; the caller then helps until [fb]'s
+    fork drains. If [fa] raises, its exception is re-raised (after the
+    fork drains); otherwise [fb]'s exception, if any. May be called from
+    inside pool tasks. Raises [Tce_error.Error] if the pool is closed. *)
 
 val close : t -> unit
 (** Shut the workers down and join their domains. Idempotent. Raises
-    [Tce_error.Error] if called while a map is in flight. *)
+    [Tce_error.Error] if an external {!map_array}/{!both} is in
+    flight. *)
 
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] runs [f] with a fresh pool, closing it on the way

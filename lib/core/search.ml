@@ -68,15 +68,24 @@ let child_presums = function
   | Cleaf _ | Cpresum _ -> []
   | Csol s -> s.presums
 
-let fusion_candidates cfg ~child ~parent =
+(* [cap]: only consider fused sets of at most that many indices — the
+   greedy seed's truncation of the 2^|fusible| per-edge candidate space
+   (∅ and small sets carry most feasible plans; the exact search keeps
+   [None] = everything). *)
+let fusion_candidates ?cap cfg ~child ~parent =
   let fusible = Fusionset.fusible ~child ~parent in
+  let truncate cands =
+    match cap with
+    | None -> cands
+    | Some c -> List.filter (fun s -> Index.Set.cardinal s <= c) cands
+  in
   match (cfg.fusion_mode, child) with
-  | Enumerate, _ -> Fusionset.candidates ~child ~parent
+  | Enumerate, _ -> truncate (Fusionset.candidates ~child ~parent)
   | No_fusion, _ -> [ Index.Set.empty ]
   | Fixed _, Tree.Leaf _ ->
     (* Fixed assignments pin intermediate storage; a leaf edge's fusion
        only slices its communication and stays free. *)
-    Fusionset.candidates ~child ~parent
+    truncate (Fusionset.candidates ~child ~parent)
   | Fixed assignment, _ ->
     let wanted =
       Option.value ~default:Index.Set.empty
@@ -190,10 +199,11 @@ let orient_key dist =
    order are fixed by the insertion sequence alone, so the output — not
    just the surviving set — is identical however many domains run the
    filter. *)
-let prune_solutions ?pool cfg sols =
+let prune_solutions ?pool ?(fan_min = 0) cfg sols =
+  let fan = List.length sols >= fan_min in
   let pool_map f arr =
     match pool with
-    | Some p when Array.length arr > 1 -> Parsearch.map_array p f arr
+    | Some p when fan && Array.length arr > 1 -> Parsearch.map_array p f arr
     | _ -> Array.map f arr
   in
   let annotated =
@@ -270,11 +280,52 @@ let err fmt = Format.kasprintf (fun s -> Error s) fmt
 
 module SMap = Map.Make (String)
 
-type memo = {
+(* The memo table is shared across concurrent subtree solves, so it is
+   sharded: each shard pairs a mutex with a plain hash table, and a key
+   only ever contends with keys hashing to its shard. Lookup and store
+   are separate critical sections — two domains may race to solve the
+   same key, in which case both miss and the later store wins; that is
+   benign because cached solutions are α-equivalent (hits are
+   plan-invisible, an invariant the fuzz suite checks), only the
+   hit/miss split varies with scheduling. Counters are atomics so the
+   split stays exact at jobs = 1. *)
+type memo_shard = {
+  lock : Mutex.t;
   table : (string, Tree.t * solution list) Hashtbl.t;
-  mutable hits : int;
-  mutable misses : int;
 }
+
+type memo = {
+  shards : memo_shard array;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let memo_shard_count = 16
+
+let memo_create () =
+  {
+    shards =
+      Array.init memo_shard_count (fun _ ->
+          { lock = Mutex.create (); table = Hashtbl.create 16 });
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+let memo_shard memo key =
+  memo.shards.(Hashtbl.hash key land (memo_shard_count - 1))
+
+let memo_find memo key =
+  let s = memo_shard memo key in
+  Mutex.lock s.lock;
+  let r = Hashtbl.find_opt s.table key in
+  Mutex.unlock s.lock;
+  r
+
+let memo_store memo key v =
+  let s = memo_shard memo key in
+  Mutex.lock s.lock;
+  Hashtbl.replace s.table key v;
+  Mutex.unlock s.lock
 
 (* The content fingerprint of a subtree: structure, index lists and leaf
    names, with intermediate names erased (α-renaming) so that two
@@ -430,6 +481,7 @@ type ctx = {
   ext : Extents.t;
   prune : bool;
   beam : int option;
+  fusion_cap : int option;
   pool : Parsearch.t option;
   memo : memo option;
   cancel : (unit -> bool) option;
@@ -445,6 +497,30 @@ let check_cancel ctx =
   | Some cancelled when cancelled () ->
     Tce_error.raise_err (Tce_error.Deadline_exceeded { where = "Search.solve" })
   | _ -> ()
+
+(* Contract nodes below a tree node — the size measure for the coarse
+   fork cutover. *)
+let rec contract_weight = function
+  | Tree.Leaf _ -> 0
+  | Tree.Sum (_, _, c) -> contract_weight c
+  | Tree.Mult (_, l, r) -> contract_weight l + contract_weight r
+  | Tree.Contract (_, _, l, r) ->
+    1 + contract_weight l + contract_weight r
+
+(* Cutover thresholds between coarse parallel work and the plain
+   sequential loop. [fork_grain]: minimum contract nodes on *each* side
+   of a node before its two child subtrees are solved as separate tasks
+   (a side without its own contraction is a leaf/presum case list —
+   nothing to fork). [fanout_min]: minimum per-variant candidate block
+   (|left cases| × |right cases| × |parent fusions|) before the node's
+   variant enumeration — and its prune-group filtering — are fanned out
+   item-wise; below it each task would cost microseconds and scheduling
+   would dominate, which is precisely the regression the committed
+   BENCH_search.json recorded on the old per-variant-always pool. Both
+   thresholds are functions of the instance alone, never of timing, so
+   the chosen path — and with it the result — is deterministic. *)
+let fork_grain = 1
+let fanout_min = 256
 
 (* Solutions of the subtree rooted at [node]; [parent] provides the fusion
    candidates for the edge above (None at the root: fusion is empty). *)
@@ -475,14 +551,15 @@ let rec solve ctx ~parent node =
     let f_out_candidates =
       match parent with
       | None -> [ Index.Set.empty ]
-      | Some p -> fusion_candidates ctx.cfg ~child:node ~parent:p
+      | Some p ->
+        fusion_candidates ?cap:ctx.fusion_cap ctx.cfg ~child:node ~parent:p
     in
     (match ctx.memo with
     | None -> solve_contract ctx ~contraction ~f_out_candidates node l r
     | Some memo -> begin
       let key = memo_key ctx.cfg node f_out_candidates in
       let cached =
-        match Hashtbl.find_opt memo.table key with
+        match memo_find memo key with
         | None -> None
         | Some (cached_tree, sols) -> begin
           match alpha_map ~cached:cached_tree ~current:node with
@@ -492,22 +569,45 @@ let rec solve ctx ~parent node =
       in
       match cached with
       | Some sols ->
-        memo.hits <- memo.hits + 1;
+        Atomic.incr memo.hits;
         if Obs.enabled () then Obs.count "search.memo_hits";
         Ok sols
       | None ->
-        memo.misses <- memo.misses + 1;
+        Atomic.incr memo.misses;
         if Obs.enabled () then Obs.count "search.memo_misses";
         let* sols = solve_contract ctx ~contraction ~f_out_candidates node l r in
-        Hashtbl.replace memo.table key (node, sols);
+        memo_store memo key (node, sols);
         Ok sols
     end)
 
 and solve_contract ctx ~contraction ~f_out_candidates node l r =
   let ( let* ) = Result.bind in
   let cfg = ctx.cfg and ext = ctx.ext in
-  let* left_cases = child_cases ctx node l in
-  let* right_cases = child_cases ctx node r in
+  (* The coarse unit of work: when both children carry their own
+     contractions, solve them as two independent DP tasks (the right one
+     lands on this domain's deque, where an idle domain steals it).
+     Sequential evaluation short-circuits on a left error without
+     touching the right subtree; the parallel arm evaluates both but
+     reports the left error first, so the surfaced error — like the
+     solutions — is identical for every jobs setting. *)
+  let* left_cases, right_cases =
+    match ctx.pool with
+    | Some p
+      when contract_weight l >= fork_grain && contract_weight r >= fork_grain
+      ->
+      let lr, rr =
+        Parsearch.both p
+          (fun () -> child_cases ctx node l)
+          (fun () -> child_cases ctx node r)
+      in
+      let* lcs = lr in
+      let* rcs = rr in
+      Ok (lcs, rcs)
+    | _ ->
+      let* lcs = child_cases ctx node l in
+      let* rcs = child_cases ctx node r in
+      Ok (lcs, rcs)
+  in
   let side = Grid.side cfg.grid in
   let flops = Contraction.flops ext contraction in
   let out_aref = contraction.Contraction.out in
@@ -566,9 +666,15 @@ and solve_contract ctx ~contraction ~f_out_candidates node l r =
     !acc
   in
   let variants = Array.of_list (Variant.all contraction) in
+  (* Fan the per-variant blocks out only when each is big enough to
+     amortize a task; small nodes run the plain loop on this domain. *)
+  let block =
+    List.length left_cases * List.length right_cases
+    * List.length f_out_candidates
+  in
   let per_variant =
     match ctx.pool with
-    | Some p when Array.length variants > 1 ->
+    | Some p when Array.length variants > 1 && block >= fanout_min ->
       Parsearch.map_array p enumerate variants
     | _ -> Array.map enumerate variants
   in
@@ -578,7 +684,9 @@ and solve_contract ctx ~contraction ~f_out_candidates node l r =
   let sols = List.concat (List.rev (Array.to_list per_variant)) in
   let generated = List.length sols in
   let sols =
-    if ctx.prune then prune_solutions ?pool:ctx.pool cfg sols else sols
+    if ctx.prune then
+      prune_solutions ?pool:ctx.pool ~fan_min:fanout_min cfg sols
+    else sols
   in
   let sols = beam_filter cfg ctx.beam sols in
   if Obs.enabled () then begin
@@ -610,7 +718,8 @@ and child_cases ctx parent_node child =
     Ok
       (List.map
          (fun f -> (Cleaf a, f))
-         (fusion_candidates ctx.cfg ~child ~parent:parent_node))
+         (fusion_candidates ?cap:ctx.fusion_cap ctx.cfg ~child
+            ~parent:parent_node))
   | Tree.Sum (a, k, Tree.Leaf src) ->
     (* A pre-summation of an input: evaluated locally on each processor's
        block (the summed dimensions are never in the distribution pair, by
@@ -618,7 +727,8 @@ and child_cases ctx parent_node child =
     Ok
       (List.map
          (fun f -> (Cpresum { out = a; sum = k; source = src }, f))
-         (fusion_candidates ctx.cfg ~child ~parent:parent_node))
+         (fusion_candidates ?cap:ctx.fusion_cap ctx.cfg ~child
+            ~parent:parent_node))
   | _ ->
     let* sols = solve ctx ~parent:(Some parent_node) child in
     Ok (List.map (fun s -> (Csol s, s.fused)) sols)
@@ -749,8 +859,8 @@ let check_grid cfg =
          (Grid.side cfg.grid))
   else Ok ()
 
-let run ?(select = better) ?(jobs = 1) ?(memo = true) ?beam ?cancel ?pool
-    cfg ext tree ~prune =
+let run ?(select = better) ?(jobs = 1) ?(memo = true) ?beam ?fusion_cap
+    ?cancel ?pool cfg ext tree ~prune =
   let ( let* ) = Result.bind in
   let* () =
     if jobs < 1 then err "search: jobs must be >= 1 (got %d)" jobs else Ok ()
@@ -763,13 +873,12 @@ let run ?(select = better) ?(jobs = 1) ?(memo = true) ?beam ?cancel ?pool
   let* () = check_grid cfg in
   let tree = Tree.fuse_mult_sum tree in
   let* () = Tree.validate tree in
-  let memo_state =
-    if memo then Some { table = Hashtbl.create 64; hits = 0; misses = 0 }
-    else None
-  in
+  let memo_state = if memo then Some (memo_create ()) else None in
   let jobs = match pool with Some p -> Parsearch.jobs p | None -> jobs in
   let solve_all pool =
-    let ctx = { cfg; ext; prune; beam; pool; memo = memo_state; cancel } in
+    let ctx =
+      { cfg; ext; prune; beam; fusion_cap; pool; memo = memo_state; cancel }
+    in
     Obs.span ~cat:"search"
       ~args:[ ("jobs", string_of_int jobs) ]
       "search.solve"
@@ -787,7 +896,8 @@ let run ?(select = better) ?(jobs = 1) ?(memo = true) ?beam ?cancel ?pool
     Obs.instant ~cat:"search"
       ~args:
         [
-          ("hits", string_of_int m.hits); ("misses", string_of_int m.misses);
+          ("hits", string_of_int (Atomic.get m.hits));
+          ("misses", string_of_int (Atomic.get m.misses));
         ]
       "search:memo"
   | _ -> ());
@@ -826,6 +936,92 @@ let optimize_min_memory ?jobs ?memo ?beam ?cancel ?pool cfg ext tree =
   in
   run ~select ?jobs ?memo ?beam ?cancel ?pool cfg ext tree ~prune:true
 
+(* --- Anytime: greedy seed, then widening beam refinement --------------- *)
+
+(* The greedy seed is the beam-1 DP on a truncated candidate space: at
+   every node keep only the single cheapest candidate under the paper's
+   cost model (the beam order is cost-first) — the locally cheapest
+   (variant, fusion, child-case) choice propagated bottom-up — and only
+   consider fused sets of at most one index per edge (the 2^|fusible|
+   per-edge enumeration is where the exact search spends its time). A
+   cut this aggressive can strand the search — the kept child solution
+   may admit no legal parent combination under the memory limit, or the
+   memory-saving fusion it needs may exceed the cap — so on
+   infeasibility the rungs widen (beam 1/cap 1 → 4/2 → 16/all → exact)
+   before giving up. Every plan this returns came through
+   [Plan.assemble] on a fully costed solution, so it is
+   [Plan.validate]-certifiable like any exact plan. *)
+let greedy_rungs = [ (1, Some 1); (4, Some 2); (16, None) ]
+
+let greedy ?jobs ?memo ?cancel ?pool cfg ext tree =
+  let rec go = function
+    | [] -> run ?jobs ?memo ?cancel ?pool cfg ext tree ~prune:true
+    | (w, cap) :: rest -> (
+      match
+        run ?jobs ?memo ~beam:w ?fusion_cap:cap ?cancel ?pool cfg ext tree
+          ~prune:true
+      with
+      | Ok plan -> Ok plan
+      | Error _ -> go rest)
+  in
+  go greedy_rungs
+
+type anytime_round = { width : int option; cost : float; improved : bool }
+
+(* The first round is the capped greedy seed (milliseconds); each later
+   round is a fresh DP at the next beam width with the full candidate
+   space (memo entries hold beam-cut solution lists, so they cannot be
+   shared across widths); the best plan so far is kept, which makes the
+   reported cost monotone non-increasing by construction, and the final
+   unbounded round makes the limit the exact optimum. A deadline raised
+   mid-round returns the best-so-far instead of failing, provided any
+   round completed. *)
+let anytime ?jobs ?memo ?(widths = [ 4; 16; 64 ]) ?on_round ?cancel ?pool cfg
+    ext tree =
+  let best = ref None in
+  let note width plan =
+    let cost = Plan.comm_cost plan in
+    let improved =
+      match !best with None -> true | Some (c, _) -> cost < c
+    in
+    if improved then best := Some (cost, plan);
+    match on_round with
+    | Some f ->
+      let cost = match !best with Some (c, _) -> c | None -> cost in
+      f { width; cost; improved }
+    | None -> ()
+  in
+  let rounds =
+    (`Seed :: List.map (fun w -> `Beam w) widths) @ [ `Exact ]
+  in
+  let rec go last_err = function
+    | [] -> (
+      match !best with
+      | Some (_, plan) -> Ok plan
+      | None -> Error (Option.value last_err ~default:"no feasible solution"))
+    | round :: rest -> (
+      let solve () =
+        match round with
+        | `Seed -> greedy ?jobs ?memo ?cancel ?pool cfg ext tree
+        | `Beam w -> run ?jobs ?memo ~beam:w ?cancel ?pool cfg ext tree ~prune:true
+        | `Exact -> run ?jobs ?memo ?cancel ?pool cfg ext tree ~prune:true
+      in
+      let width =
+        match round with `Seed -> Some 1 | `Beam w -> Some w | `Exact -> None
+      in
+      match solve () with
+      | Ok plan ->
+        note width plan;
+        go last_err rest
+      | Error e -> go (Some e) rest
+      | exception Tce_error.Error (Tce_error.Deadline_exceeded _)
+        when !best <> None -> (
+        match !best with
+        | Some (_, plan) -> Ok plan
+        | None -> assert false))
+  in
+  go None rounds
+
 let solution_count ?jobs ?memo ?beam cfg ext tree =
   let ( let* ) = Result.bind in
   let* () = check_grid cfg in
@@ -833,13 +1029,20 @@ let solution_count ?jobs ?memo ?beam cfg ext tree =
   let* () = Tree.validate tree in
   let jobs = Option.value jobs ~default:1 in
   let memo_state =
-    if Option.value memo ~default:true then
-      Some { table = Hashtbl.create 64; hits = 0; misses = 0 }
-    else None
+    if Option.value memo ~default:true then Some (memo_create ()) else None
   in
   let solve_all pool =
     let ctx =
-      { cfg; ext; prune = true; beam; pool; memo = memo_state; cancel = None }
+      {
+        cfg;
+        ext;
+        prune = true;
+        beam;
+        fusion_cap = None;
+        pool;
+        memo = memo_state;
+        cancel = None;
+      }
     in
     solve ctx ~parent:None tree
   in

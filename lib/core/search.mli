@@ -107,7 +107,18 @@ val default_config :
     - [?pool] (default absent): a caller-owned persistent {!Parsearch}
       pool to fan out on, overriding [?jobs] with the pool's width. The
       pool is {e not} closed on return, so a long-running service can
-      amortize domain spawning across requests. *)
+      amortize domain spawning across requests.
+
+    With a pool (or [?jobs] > 1) the engine forks at two granularities:
+    whole-subtree DP solves (both children of a node carrying their own
+    contractions become independent tasks, stolen by idle domains) and,
+    only at nodes whose per-variant candidate block is large enough to
+    amortize a task, item-wise fan-out of variant enumeration and
+    prune-group filtering. Below the cutover the plain sequential loop
+    runs — no task creation. Scheduling never affects results: solutions
+    land in input slots, merge order is fixed, and the memo cache is
+    sharded-mutex domain-safe with α-equivalent entries, so plans are
+    byte-identical for every jobs setting. *)
 
 val optimize :
   ?jobs:int -> ?memo:bool -> ?beam:int -> ?cancel:(unit -> bool)
@@ -128,6 +139,42 @@ val optimize_min_memory :
     executable under the Cannon template (a fully collapsed intermediate
     leaves no rotated array containing the fused loops), which is itself
     part of the paper's argument for an integrated search. *)
+
+val greedy :
+  ?jobs:int -> ?memo:bool -> ?cancel:(unit -> bool) -> ?pool:Parsearch.t
+  -> config -> Extents.t -> Tree.t -> (Plan.t, string) result
+(** The greedy seed plan: a beam-1 DP that keeps only the single
+    cheapest candidate per node under the paper's cost model — the
+    locally cheapest (variant, fusion, child-case) choice propagated
+    bottom-up, produced in a small fraction of the exact search's time.
+    A width-1 cut can strand the search (the kept child solution may
+    admit no legal parent combination), so on infeasibility the width
+    widens (1 → 4 → 16 → exact) before reporting failure. The plan is
+    assembled like any exact plan and passes {!Plan.validate}; only
+    optimality is traded away. *)
+
+type anytime_round = {
+  width : int option;  (** beam width of the round; [None] = exact *)
+  cost : float;  (** best communication cost found so far (monotone) *)
+  improved : bool;  (** did this round improve on the previous best *)
+}
+
+val anytime :
+  ?jobs:int -> ?memo:bool -> ?widths:int list
+  -> ?on_round:(anytime_round -> unit) -> ?cancel:(unit -> bool)
+  -> ?pool:Parsearch.t -> config -> Extents.t -> Tree.t
+  -> (Plan.t, string) result
+(** Anytime refinement: the {!greedy} seed first (reported as width 1),
+    then re-searches at widening beam widths over the full candidate
+    space ([?widths], default [4; 16; 64]), then a final exact round.
+    The best plan so far is kept, so the reported
+    cost never increases across rounds and the final result equals
+    {!optimize}'s optimum when the exact round completes. [?on_round]
+    observes each completed round. If [?cancel] fires mid-round, the
+    best plan found so far is returned instead of the deadline error
+    (provided any round completed — the greedy seed's milliseconds are
+    usually enough). Infeasible rounds are skipped; if every round
+    fails, the last error is returned. *)
 
 val solution_count :
   ?jobs:int -> ?memo:bool -> ?beam:int -> config -> Extents.t -> Tree.t

@@ -6,7 +6,8 @@
    [overloaded] rejection with a Fault-style exponential Retry-After
    hint) → cache probe → search with a cooperative deadline token →
    degradation ladder (exact DP on a fraction of the budget, then beam
-   search labelled [approximate], then [deadline_exceeded]) → reply.
+   search labelled [approximate], then the millisecond greedy seed, then
+   [deadline_exceeded]) → reply.
    Admin requests (health/stats/drain) bypass the queue so the daemon
    stays introspectable under saturation. A worker whose request raises
    unexpectedly answers a typed [worker_crashed] error, tears down and
@@ -103,6 +104,7 @@ type t = {
   mutable request_errors : int;
   mutable deadline_exceeded : int;
   mutable degraded : int;
+  mutable greedy_seeded : int;
   mutable crashes : int;
   mutable ema_service_s : float;
   lat_all : Obs.Hist.t;
@@ -200,8 +202,8 @@ let plan_fields plan ~cached ~approximate =
   ]
 
 (* The degradation ladder. Returns the plan plus whether it is exact
-   (cacheable) or approximate (beam), or raises
-   [Tce_error.Error (Deadline_exceeded _)] when even the fallback cannot
+   (cacheable) or approximate (beam or greedy), or raises
+   [Tce_error.Error (Deadline_exceeded _)] when even the fallbacks cannot
    finish inside the budget. *)
 let search_ladder t pool (cfg : Search.config) ext tree (w : Proto.work)
     ~deadline_at =
@@ -215,11 +217,44 @@ let search_ladder t pool (cfg : Search.config) ext tree (w : Proto.work)
   let beam = t.cfg.degrade_beam in
   let approx r = Result.map (fun p -> (p, true)) r in
   let exact r = Result.map (fun p -> (p, false)) r in
+  (* The ladder's last rung: the milliseconds-scale greedy seed (a
+     fusion-capped beam-1 DP), so a request whose budget the beam search
+     also blows still gets a valid, validator-certified plan labelled
+     [approximate] instead of a bare deadline_exceeded. Only a deadline
+     with almost nothing left can still fail here. *)
+  let greedy_rung d =
+    let cfg =
+      {
+        cfg with
+        Search.fusion_mode =
+          (match w.Proto.fusion with
+          | `None -> Search.No_fusion
+          | `All | `Memmin -> Search.Enumerate);
+      }
+    in
+    Mutex.lock t.lock;
+    t.greedy_seeded <- t.greedy_seeded + 1;
+    Mutex.unlock t.lock;
+    Obs.count "serve.greedy_seeded";
+    approx (Search.greedy ?pool ~cancel:(cancel_at d) cfg ext tree)
+  in
+  let beam_or_greedy d =
+    (* The beam gets most of the remaining budget but not all of it: if
+       it ran all the way to [d] before giving up, the greedy pass would
+       be cancelled at its first checkpoint and the last rung could
+       never return a plan. *)
+    let t0 = now () in
+    let beam_d = t0 +. (0.8 *. (d -. t0)) in
+    match run ~beam ~cancel:(cancel_at beam_d) () with
+    | r -> approx r
+    | exception Tce_error.Error (Tce_error.Deadline_exceeded _) ->
+      greedy_rung d
+  in
   match (t.cfg.degrade, deadline_at) with
   | `Never, None -> exact (run ())
   | `Never, Some d -> exact (run ~cancel:(cancel_at d) ())
   | `Always, None -> approx (run ~beam ())
-  | `Always, Some d -> approx (run ~beam ~cancel:(cancel_at d) ())
+  | `Always, Some d -> beam_or_greedy d
   | `Auto, None -> exact (run ())
   | `Auto, Some d -> (
     (* Spend at most [exact_fraction] of the remaining budget on the
@@ -233,7 +268,7 @@ let search_ladder t pool (cfg : Search.config) ext tree (w : Proto.work)
       t.degraded <- t.degraded + 1;
       Mutex.unlock t.lock;
       Obs.count "serve.degraded";
-      approx (run ~beam ~cancel:(cancel_at d) ()))
+      beam_or_greedy d)
 
 (* Handle one work request (optimize/simulate/validate). Returns the
    response and whether the plan came from the cache. *)
@@ -382,6 +417,7 @@ let stats_json t ~id =
       ("request_errors", Json.Num (float_of_int t.request_errors));
       ("deadline_exceeded", Json.Num (float_of_int t.deadline_exceeded));
       ("degraded", Json.Num (float_of_int t.degraded));
+      ("greedy_seeded", Json.Num (float_of_int t.greedy_seeded));
       ("worker_crashes", Json.Num (float_of_int t.crashes));
       ("ema_service_ms", Json.Num (t.ema_service_s *. 1e3));
       ( "cache",
@@ -563,6 +599,7 @@ let create cfg =
       request_errors = 0;
       deadline_exceeded = 0;
       degraded = 0;
+      greedy_seeded = 0;
       crashes = 0;
       ema_service_s = 0.0;
       lat_all = Obs.Hist.create ();
@@ -699,6 +736,7 @@ type stats = {
   request_errors : int;
   deadline_exceeded : int;
   degraded : int;
+  greedy_seeded : int;
   worker_crashes : int;
   cache : Cache.stats;
 }
@@ -715,6 +753,7 @@ let stats (t : t) =
       request_errors = t.request_errors;
       deadline_exceeded = t.deadline_exceeded;
       degraded = t.degraded;
+      greedy_seeded = t.greedy_seeded;
       worker_crashes = t.crashes;
       cache;
     }

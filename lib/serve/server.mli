@@ -2,7 +2,7 @@
     domains with persistent {!Tce_core.Parsearch} pools, an LRU plan
     cache keyed on the α-renamed content fingerprint, per-request
     deadlines with cooperative cancellation, and a degradation ladder
-    (exact DP → beam search → [deadline_exceeded]).
+    (exact DP → beam search → greedy seed plan → [deadline_exceeded]).
 
     Transport-agnostic: callers feed JSON-lines strings in via
     {!submit_line} and receive the response line through a callback, so
@@ -90,6 +90,8 @@ type stats = {
   request_errors : int;
   deadline_exceeded : int;
   degraded : int;  (** requests answered by the beam fallback *)
+  greedy_seeded : int;
+      (** requests answered by the last-rung greedy seed plan *)
   worker_crashes : int;
   cache : Cache.stats;
 }
