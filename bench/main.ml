@@ -655,7 +655,9 @@ let kernels () =
   in
   let time_of f =
     (* Adaptive repetition: double the run count until the measurement is
-       long enough to trust, then report seconds per run. *)
+       long enough to trust, then report seconds per run. Best of three
+       such measurements, so the committed artifact (and the CI gates on
+       it) sit on the steady-state rate rather than scheduler noise. *)
     ignore (f ());
     let rec go n =
       let t0 = Sys.time () in
@@ -665,7 +667,7 @@ let kernels () =
       let dt = Sys.time () -. t0 in
       if dt >= 0.2 || n >= 4096 then dt /. float_of_int n else go (n * 2)
     in
-    go 1
+    min (go 1) (min (go 1) (go 1))
   in
   let cases =
     [
@@ -688,20 +690,52 @@ let kernels () =
         mk [ ("l", 10); ("b", 14); ("e", 10); ("f", 10) ],
         mk [ ("e", 10); ("c", 14); ("l", 10); ("d", 14) ] );
       (* Innermost output dimension present in both operands: no (M,N,K)
-         form exists and the kernel must take the stride-walk fallback. *)
+         form exists; the packed Hadamard flavor must keep this within
+         ~2x of the coalescible cases instead of the old 5x walk cliff.
+         Extents are chosen L2-resident like the CCSD cases: the flavor
+         reads each A element exactly once (2 flops/element arithmetic
+         intensity), so a DRAM-sized A would measure stream bandwidth,
+         not the kernel. *)
       ( "noncoalescible",
         [ "m"; "x" ],
-        mk [ ("m", 128); ("k", 64); ("x", 64) ],
+        mk [ ("m", 32); ("k", 64); ("x", 64) ],
         mk [ ("k", 64); ("x", 64) ] );
+      (* Large near-square matmul where the opt-in Strassen path engages
+         (crossover forced to 32 so three recursion levels run). *)
+      ( "strassen-256",
+        [ "m"; "n" ],
+        mk [ ("m", 256); ("k", 256) ],
+        mk [ ("k", 256); ("n", 256) ] );
     ]
+  in
+  let path_name = function
+    | Kernel.Gemm -> "gemm"
+    | Kernel.Hadamard -> "hadamard"
+    | Kernel.Dot -> "dot"
+    | Kernel.Strassen -> "strassen"
+    | Kernel.Walk -> "walk"
   in
   let rows =
     List.map
       (fun (name, out_names, a, b) ->
+        let strassen = String.starts_with ~prefix:"strassen" name in
+        if strassen then Kernel.set_strassen ~crossover:32 true;
+        Fun.protect ~finally:(fun () -> Kernel.set_strassen false)
+        @@ fun () ->
         let out = List.map Index.v out_names in
         let flops = Einsum.flops_contract2 ~out a b in
         let kernel_s = time_of (fun () -> Einsum.contract2 ~out a b) in
         let micro = Kernel.last_used_microkernel () in
+        let kpath = Kernel.last_path () in
+        let packed = Kernel.last_used_packed () in
+        (* GC pressure of one kernel run: minor/major words allocated.
+           Packing reuses grow-only domain scratch, so after warmup this
+           is the output tensor plus bookkeeping only. *)
+        let g0 = Gc.quick_stat () in
+        ignore (Einsum.contract2 ~out a b);
+        let g1 = Gc.quick_stat () in
+        let minor_w = g1.Gc.minor_words -. g0.Gc.minor_words
+        and major_w = g1.Gc.major_words -. g0.Gc.major_words in
         let ref_s = time_of (fun () -> Einsum.contract2_ref ~out a b) in
         (* Allocation of one accumulating Cannon-style step into a
            preallocated output block: must be bookkeeping-sized,
@@ -713,16 +747,15 @@ let kernels () =
         let gf s = float_of_int flops /. s /. 1e9 in
         Format.printf
           "%-18s %8.1f MFLOP  ref %8.4f s (%6.3f GF/s)  kernel %8.5f s \
-           (%6.3f GF/s)  speedup %7.1fx  micro=%b  acc-alloc %.0f B@."
+           (%6.3f GF/s)  speedup %7.1fx  path=%s packed=%b  acc-alloc %.0f B@."
           name
           (float_of_int flops /. 1e6)
-          ref_s (gf ref_s) kernel_s (gf kernel_s) (ref_s /. kernel_s) micro
-          acc_alloc;
+          ref_s (gf ref_s) kernel_s (gf kernel_s) (ref_s /. kernel_s)
+          (path_name kpath) packed acc_alloc;
         ( name,
-          flops,
-          ref_s,
-          kernel_s,
-          micro,
+          (flops, ref_s, kernel_s),
+          (micro, kpath, packed),
+          (minor_w, major_w),
           acc_alloc,
           8 * Dense.size into ))
       cases
@@ -730,19 +763,31 @@ let kernels () =
   let path = "BENCH_kernels.json" in
   Out_channel.with_open_text path (fun oc ->
       let p fmt = Printf.fprintf oc fmt in
-      p "{\n  \"benchmark\": \"kernels\",\n  \"cases\": [\n";
+      p "{\n  \"benchmark\": \"kernels\",\n";
+      let bkc, bmc, bnc = Kernel.blocking () in
+      p "  \"blocking\": {\"kc\": %d, \"mc\": %d, \"nc\": %d},\n" bkc bmc bnc;
+      p "  \"cases\": [\n";
       List.iteri
-        (fun k (name, flops, ref_s, kernel_s, micro, acc_alloc, out_bytes) ->
+        (fun k
+             ( name,
+               (flops, ref_s, kernel_s),
+               (micro, kpath, packed),
+               (minor_w, major_w),
+               acc_alloc,
+               out_bytes ) ->
           p
             "    {\"name\": %S, \"flops\": %d, \"ref_seconds\": %.6e, \
              \"kernel_seconds\": %.6e, \"ref_gflops\": %.4f, \
              \"kernel_gflops\": %.4f, \"speedup\": %.2f, \
-             \"microkernel\": %b, \"acc_alloc_bytes\": %.0f, \
+             \"microkernel\": %b, \"path\": %S, \"packed\": %b, \
+             \"strassen\": %b, \"gc_minor_words\": %.0f, \
+             \"gc_major_words\": %.0f, \"acc_alloc_bytes\": %.0f, \
              \"out_bytes\": %d}%s\n"
             name flops ref_s kernel_s
             (float_of_int flops /. ref_s /. 1e9)
             (float_of_int flops /. kernel_s /. 1e9)
-            (ref_s /. kernel_s) micro acc_alloc out_bytes
+            (ref_s /. kernel_s) micro (path_name kpath) packed
+            (kpath = Kernel.Strassen) minor_w major_w acc_alloc out_bytes
             (if k = List.length rows - 1 then "" else ","))
         rows;
       p "  ]\n}\n");
@@ -775,17 +820,7 @@ let spmd () =
     done;
     !best
   in
-  let bits_equal a b =
-    let da = Dense.data a and db = Dense.data b in
-    Array.length da = Array.length db
-    && (let ok = ref true in
-        Array.iteri
-          (fun k x ->
-            if not (Int64.equal (Int64.bits_of_float x)
-                      (Int64.bits_of_float db.(k))) then ok := false)
-          da;
-        !ok)
-  in
+  let bits_equal = Dense.bits_equal in
   let modes =
     [
       ("spawn-serialized", false, Multicore.Serialized);

@@ -1,13 +1,21 @@
 open! Import
+module A1 = Bigarray.Array1
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) A1.t
 
 type t = {
   labels : Index.t array;
   ext : int array;
   strides : int array;
-  data : float array;
+  data : buf;
 }
 
 let fail fmt = Tce_error.failf fmt
+
+let alloc n : buf =
+  let b = A1.create Bigarray.Float64 Bigarray.C_layout n in
+  A1.fill b 0.0;
+  b
 
 let check_dims dims =
   let labels = List.map fst dims in
@@ -27,12 +35,12 @@ let create dims =
     labels;
     ext;
     strides = Coords.strides ext;
-    data = Array.make (Coords.total ext) 0.0;
+    data = alloc (Coords.total ext);
   }
 
 let scalar v =
   let t = create [] in
-  t.data.(0) <- v;
+  A1.unsafe_set t.data 0 v;
   t
 
 let dims t =
@@ -40,14 +48,18 @@ let dims t =
 
 let labels t = Array.to_list t.labels
 let rank t = Array.length t.labels
-let size t = Array.length t.data
+let size t = A1.dim t.data
 
 (* Flat-buffer view: the live storage, for the kernel layer. *)
-let data t = t.data
+let buf t = t.data
 let extents_arr t = Array.copy t.ext
 let strides_arr t = Array.copy t.strides
-let unsafe_get t o = Array.unsafe_get t.data o
-let unsafe_set t o v = Array.unsafe_set t.data o v
+let unsafe_get t o = A1.unsafe_get t.data o
+let unsafe_set t o v = A1.unsafe_set t.data o v
+
+let to_floats t =
+  let n = size t in
+  Array.init n (fun i -> A1.unsafe_get t.data i)
 
 let pos_of_label t i =
   let rec go d =
@@ -79,26 +91,30 @@ let coord_of_map t m =
   done;
   coord
 
-let get t m = t.data.(Coords.offset ~strides:t.strides (coord_of_map t m))
+let get t m = A1.get t.data (Coords.offset ~strides:t.strides (coord_of_map t m))
 
 let set t m v =
-  t.data.(Coords.offset ~strides:t.strides (coord_of_map t m)) <- v
+  A1.set t.data (Coords.offset ~strides:t.strides (coord_of_map t m)) v
 
 let add_at t m v =
   let o = Coords.offset ~strides:t.strides (coord_of_map t m) in
-  t.data.(o) <- t.data.(o) +. v
+  A1.set t.data o (A1.get t.data o +. v)
 
 let get_value t =
   if rank t <> 0 then fail "Dense.get_value: tensor is not a scalar";
-  t.data.(0)
+  A1.get t.data 0
 
-let fill t v = Array.fill t.data 0 (Array.length t.data) v
-let copy t = { t with data = Array.copy t.data }
+let fill t v = A1.fill t.data v
+
+let copy t =
+  let data = A1.create Bigarray.Float64 Bigarray.C_layout (size t) in
+  A1.blit t.data data;
+  { t with data }
 
 let fill_random t rng =
   let data = t.data in
-  for i = 0 to Array.length data - 1 do
-    Array.unsafe_set data i (Prng.float_range rng ~lo:(-1.0) ~hi:1.0)
+  for i = 0 to A1.dim data - 1 do
+    A1.unsafe_set data i (Prng.float_range rng ~lo:(-1.0) ~hi:1.0)
   done
 
 let map_of_coord t coord =
@@ -109,25 +125,34 @@ let map_of_coord t coord =
 let iteri t ~f =
   Coords.iter t.ext (fun coord ->
       f (map_of_coord t coord)
-        t.data.(Coords.offset ~strides:t.strides coord))
+        (A1.get t.data (Coords.offset ~strides:t.strides coord)))
 
 let init dims ~f =
   let t = create dims in
   Coords.iter t.ext (fun coord ->
-      t.data.(Coords.offset ~strides:t.strides coord)
-      <- f (map_of_coord t coord));
+      A1.set t.data
+        (Coords.offset ~strides:t.strides coord)
+        (f (map_of_coord t coord)));
   t
 
 let same_shape a b = a.labels = b.labels && a.ext = b.ext
+
+let map t ~f =
+  let out = copy t in
+  let d = out.data in
+  for i = 0 to A1.dim d - 1 do
+    A1.unsafe_set d i (f (A1.unsafe_get d i))
+  done;
+  out
 
 let map2 a b ~f =
   if not (same_shape a b) then
     fail "Dense.map2: shapes differ (labels or storage order)";
   let da = a.data and db = b.data in
-  let n = Array.length da in
-  let out = Array.make n 0.0 in
+  let n = A1.dim da in
+  let out = A1.create Bigarray.Float64 Bigarray.C_layout n in
   for i = 0 to n - 1 do
-    Array.unsafe_set out i (f (Array.unsafe_get da i) (Array.unsafe_get db i))
+    A1.unsafe_set out i (f (A1.unsafe_get da i) (A1.unsafe_get db i))
   done;
   { a with data = out }
 
@@ -136,20 +161,36 @@ let frobenius t =
   (* Accumulate in a float-array cell: unboxed stores, unlike a [ref]
      which would box the float on every assignment (no flambda). *)
   let acc = Array.make 1 0.0 in
-  for i = 0 to Array.length data - 1 do
-    let x = Array.unsafe_get data i in
+  for i = 0 to A1.dim data - 1 do
+    let x = A1.unsafe_get data i in
     Array.unsafe_set acc 0 (Array.unsafe_get acc 0 +. (x *. x))
   done;
   sqrt acc.(0)
+
+let bits_equal a b =
+  a.labels = b.labels && a.ext = b.ext
+  &&
+  let da = a.data and db = b.data in
+  let n = A1.dim da in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if
+      not
+        (Int64.equal
+           (Int64.bits_of_float (A1.unsafe_get da i))
+           (Int64.bits_of_float (A1.unsafe_get db i)))
+    then ok := false
+  done;
+  !ok
 
 (* Stride-walk copy engine: visit the row-major points of [ext], reading
    the source at [sbase] advanced by [sstr] per dimension while the
    destination advances sequentially (destination extents are exactly
    [ext] in storage order). The innermost dimension is a tight loop with
    unchecked accesses; no per-element allocation. *)
-let walk_gather ~ext ~sstr ~sbase ~src ~dst =
+let walk_gather ~ext ~sstr ~sbase ~(src : buf) ~(dst : buf) =
   let n = Array.length ext in
-  if n = 0 then Array.unsafe_set dst 0 (Array.unsafe_get src sbase)
+  if n = 0 then A1.unsafe_set dst 0 (A1.unsafe_get src sbase)
   else begin
     let k = ref 0 in
     let rec go d soff =
@@ -158,7 +199,7 @@ let walk_gather ~ext ~sstr ~sbase ~src ~dst =
       if d = n - 1 then begin
         let base = !k in
         for i = 0 to e - 1 do
-          Array.unsafe_set dst (base + i) (Array.unsafe_get src (soff + (i * s)))
+          A1.unsafe_set dst (base + i) (A1.unsafe_get src (soff + (i * s)))
         done;
         k := base + e
       end
@@ -172,11 +213,11 @@ let walk_gather ~ext ~sstr ~sbase ~src ~dst =
 
 (* Dual of {!walk_gather}: the source advances sequentially over [ext]
    while the destination is strided; [combine] merges into the target. *)
-let walk_scatter ~ext ~dstr ~dbase ~src ~dst ~combine =
+let walk_scatter ~ext ~dstr ~dbase ~(src : buf) ~(dst : buf) ~combine =
   let n = Array.length ext in
   if n = 0 then
-    Array.unsafe_set dst dbase
-      (combine (Array.unsafe_get dst dbase) (Array.unsafe_get src 0))
+    A1.unsafe_set dst dbase
+      (combine (A1.unsafe_get dst dbase) (A1.unsafe_get src 0))
   else begin
     let k = ref 0 in
     let rec go d doff =
@@ -186,8 +227,8 @@ let walk_scatter ~ext ~dstr ~dbase ~src ~dst ~combine =
         let base = !k in
         for i = 0 to e - 1 do
           let o = doff + (i * s) in
-          Array.unsafe_set dst o
-            (combine (Array.unsafe_get dst o) (Array.unsafe_get src (base + i)))
+          A1.unsafe_set dst o
+            (combine (A1.unsafe_get dst o) (A1.unsafe_get src (base + i)))
         done;
         k := base + e
       end
@@ -284,12 +325,12 @@ let equal_approx ?(tol = 1e-9) a b =
   &&
   let b' = if a.labels = b.labels then b else transpose b (labels a) in
   let ok = ref true in
-  Array.iteri
-    (fun k va ->
-      let vb = b'.data.(k) in
-      let scale = 1.0 +. Float.max (Float.abs va) (Float.abs vb) in
-      if Float.abs (va -. vb) > tol *. scale then ok := false)
-    a.data;
+  for k = 0 to size a - 1 do
+    let va = A1.unsafe_get a.data k in
+    let vb = A1.unsafe_get b'.data k in
+    let scale = 1.0 +. Float.max (Float.abs va) (Float.abs vb) in
+    if Float.abs (va -. vb) > tol *. scale then ok := false
+  done;
   !ok
 
 let to_list t =

@@ -43,14 +43,34 @@ val stride_of : t -> Index.t -> int
 
 (** {2 Flat-buffer view}
 
-    The kernel layer addresses elements by flat offset into the live
-    row-major storage. [data] exposes that storage itself (not a copy):
-    writes through it mutate the tensor. Offsets are the stride
-    dot-product of the coordinate; no bounds checks are performed by the
-    [unsafe_*] accessors. *)
+    Storage is an unboxed C-layout [Bigarray.Array1] of float64 —
+    contiguous, unscanned by the GC, shareable across domains, and
+    FFI-ready. The kernel layer addresses elements by flat offset into
+    the live row-major storage; everyone else goes through the labeled
+    accessors or the safe copies below (the former [data : t -> float
+    array] escape hatch is gone, so no caller can alias the raw buffer
+    behind the kernel's back). Offsets are the stride dot-product of the
+    coordinate; no bounds checks are performed by the [unsafe_*]
+    accessors. *)
 
-val data : t -> float array
-(** The live backing buffer, row-major in label order. *)
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** The storage representation: unboxed float64, C layout, rank 1. *)
+
+val buf : t -> buf
+(** The live backing buffer, row-major in label order — {b kernel-layer
+    only}. Writes through it mutate the tensor; all other code must use
+    the labeled accessors, {!to_floats}, or the algebra in [Einsum]. *)
+
+val to_floats : t -> float array
+(** A fresh copy of the elements, row-major in label order. Safe view
+    for tests and diagnostics; mutating the result does not touch the
+    tensor. *)
+
+val bits_equal : t -> t -> bool
+(** True iff both tensors have identical labels, extents, storage order
+    and {b bitwise}-identical elements (an [Int64.bits_of_float]
+    comparison, so NaNs compare by payload and [-0.] differs from
+    [0.]). *)
 
 val extents_arr : t -> int array
 (** Extents in storage order (a fresh copy). *)
@@ -86,6 +106,10 @@ val fill_random : t -> Prng.t -> unit
 
 val iteri : t -> f:(int Index.Map.t -> float -> unit) -> unit
 (** Visit every element with its labeled coordinate, row-major. *)
+
+val map : t -> f:(float -> float) -> t
+(** Pointwise image of [t] under [f]; same labeled shape and storage
+    order, fresh storage. *)
 
 val map2 : t -> t -> f:(float -> float -> float) -> t
 (** Pointwise combination; the tensors must have identical labeled shapes

@@ -126,13 +126,7 @@ let sum_over t idxs =
   Kernel.contract_acc ~into:result t (Dense.scalar 1.0);
   result
 
-let scale k t =
-  let out = Dense.copy t in
-  let d = Dense.data out in
-  for i = 0 to Array.length d - 1 do
-    Array.unsafe_set d i (k *. Array.unsafe_get d i)
-  done;
-  out
+let scale k t = Dense.map t ~f:(( *. ) k)
 
 let add a b =
   let b' =

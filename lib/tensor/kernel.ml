@@ -1,4 +1,5 @@
 open! Import
+module A1 = Bigarray.Array1
 
 (* One dimension of the joint iteration space of [C(out) += Σ A·B]: its
    extent and the stride it contributes to each tensor's flat offset
@@ -14,13 +15,73 @@ let fail fmt = Tce_error.failf fmt
 
 (* Cache-blocking parameters: KC bounds the summation strip so the A/B
    panels stay cache-resident across the register-tile sweep; MC/NC bound
-   the C panel touched per block. Register tile is MR=2 x NR=4. *)
+   the C panel touched per block. Register tile is MR=2 x NR=4, with the
+   K loop unrolled by 4. *)
 let kc = 256
 let mc = 64
 let nc = 512
 
-let used_micro = ref false
-let last_used_microkernel () = !used_micro
+(* Hadamard-flavor row width: the contiguous innermost-output strip
+   processed per packed B panel. *)
+let hb = 512
+
+(* Hadamard-flavor summation strip. Much shorter than the GEMM [kc]:
+   A is read in place (each element feeds exactly one MAC, so packing
+   it would only add traffic), which means the packed B panel must
+   share L1 with the streamed A rows — [hkc * hb] panel elements plus
+   [hkc] live A cache lines per leaf. 16 measures fastest on the
+   noncoalescible bench case across {8, 16, 32, 48, 256}. *)
+let hkc = 16
+
+let blocking () = (kc, mc, nc)
+
+type path = Gemm | Hadamard | Dot | Strassen | Walk
+
+let last = ref Walk
+let last_path () = !last
+let last_used_microkernel () = !last <> Walk
+
+let last_used_packed () =
+  match !last with Gemm | Hadamard | Strassen -> true | Dot | Walk -> false
+
+(* Debug oracle: route every contraction through the generic stride walk
+   (on the very same canonicalized dimension lists the production
+   kernels use), so tests can assert pack-path == walk bit-for-bit. *)
+let walk_oracle = ref false
+let set_walk_oracle b = walk_oracle := b
+
+(* ------------------------------------------------------------------ *)
+(* Strassen knob                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One recursion level on an n^3-ish multiply trades n^3/4 kernel flops
+   (2n^3 - 7·2(n/2)^3) for ~18 half-quadrant element passes, 4.5 n^2
+   elements moved at [move_rate]. It pays iff n > 18·flop_rate/move_rate,
+   which is the crossover below; see DESIGN.md §15. *)
+let strassen_crossover ~flop_rate ~move_rate =
+  if flop_rate <= 0.0 || move_rate <= 0.0 then
+    fail "Kernel.strassen_crossover: rates must be positive";
+  let n = ceil (18.0 *. flop_rate /. move_rate) in
+  max 32 (min 4096 (int_of_float n))
+
+(* Measured on the register-tiled kernel in this tree: ~5 Gflop/s of
+   microkernel throughput against ~1 G elements/s of add/copy passes. *)
+let default_crossover = strassen_crossover ~flop_rate:5e9 ~move_rate:1e9
+let strassen_state = ref None (* None = off, Some crossover = on *)
+
+let set_strassen ?crossover enabled =
+  (match crossover with
+  | Some c when c < 2 -> fail "Kernel.set_strassen: crossover must be >= 2"
+  | _ -> ());
+  strassen_state :=
+    if enabled then Some (Option.value crossover ~default:default_crossover)
+    else None
+
+let strassen_config () = !strassen_state
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization helpers                                            *)
+(* ------------------------------------------------------------------ *)
 
 (* Resolve pinned labels of [t] to a base flat offset, and return the
    remaining (visible) labels in storage order. A pinned dimension is
@@ -60,22 +121,24 @@ let coalesce dims =
       | _ -> o :: acc)
     dims []
 
-(* Generic stride-walk contraction: a recursive loop nest over the output
-   dimensions then the summation dimensions, maintaining flat offsets
-   incrementally. The innermost loops accumulate straight into the output
-   cell through unboxed float-array stores, so there is no per-element
-   allocation (a float [ref] would box on every assignment). *)
-let walk ~out_dims ~sum_dims da db dc oa0 ob0 oc0 =
+(* Generic stride-walk contraction over the raw storage, kept verbatim
+   from the pre-packing kernel as the debug oracle: a recursive loop nest
+   over the output dimensions then the summation dimensions, maintaining
+   flat offsets incrementally. Every packed path below accumulates each
+   output cell in exactly this order, so walk and pack agree bit-for-bit
+   on the same canonicalized dimension lists. *)
+let walk ~out_dims ~sum_dims (da : Dense.buf) (db : Dense.buf)
+    (dc : Dense.buf) oa0 ob0 oc0 =
   let od = Array.of_list out_dims and sd = Array.of_list sum_dims in
   let no = Array.length od and ns = Array.length sd in
   let rec go_sum d oa ob oc =
     if d = ns - 1 then begin
       let { ext; sa; sb; _ } = Array.unsafe_get sd d in
       for k = 0 to ext - 1 do
-        Array.unsafe_set dc oc
-          (Array.unsafe_get dc oc
-          +. Array.unsafe_get da (oa + (k * sa))
-             *. Array.unsafe_get db (ob + (k * sb)))
+        A1.unsafe_set dc oc
+          (A1.unsafe_get dc oc
+          +. A1.unsafe_get da (oa + (k * sa)) *. A1.unsafe_get db (ob + (k * sb))
+          )
       done
     end
     else begin
@@ -88,9 +151,9 @@ let walk ~out_dims ~sum_dims da db dc oa0 ob0 oc0 =
   let rec go_out d oa ob oc =
     if d = no then
       if ns = 0 then
-        Array.unsafe_set dc oc
-          (Array.unsafe_get dc oc
-          +. (Array.unsafe_get da oa *. Array.unsafe_get db ob))
+        A1.unsafe_set dc oc
+          (A1.unsafe_get dc oc
+          +. (A1.unsafe_get da oa *. A1.unsafe_get db ob))
       else go_sum 0 oa ob oc
     else begin
       let { ext; sa; sb; sc } = Array.unsafe_get od d in
@@ -101,192 +164,853 @@ let walk ~out_dims ~sum_dims da db dc oa0 ob0 oc0 =
   in
   go_out 0 oa0 ob0 oc0
 
-(* Cache-blocked, register-tiled microkernel for the canonical layout:
-   the innermost output dimension j is stride-1 in C and absent from A;
-   i strides A and C only; k is a summation dimension of both operands.
-   C is updated in place (2x4 tile per K strip) with unchecked accesses;
-   accumulators live in the C cells themselves rather than float refs,
-   which keeps the loop allocation-free without flambda. *)
-let gemm_block da db dc ~oa ~ob ~oc ~m ~n ~kext ~sai ~sci ~ska ~sbj ~skb =
-  let k0 = ref 0 in
-  while !k0 < kext do
-    let kend = min kext (!k0 + kc) in
-    let ks = !k0 in
-    let j0 = ref 0 in
-    while !j0 < n do
-      let jend = min n (!j0 + nc) in
-      let i0 = ref 0 in
-      while !i0 < m do
-        let iend = min m (!i0 + mc) in
-        let i = ref !i0 in
-        while !i + 1 < iend do
-          let oa0 = oa + (!i * sai) in
-          let oa1 = oa0 + sai in
-          let oc0 = oc + (!i * sci) in
-          let oc1 = oc0 + sci in
-          let j = ref !j0 in
-          while !j + 3 < jend do
-            let p0 = oc0 + !j and p1 = oc1 + !j in
-            let obj = ob + (!j * sbj) in
-            for kk = ks to kend - 1 do
-              let pa = kk * ska in
-              let a0 = Array.unsafe_get da (oa0 + pa)
-              and a1 = Array.unsafe_get da (oa1 + pa) in
-              let pb = obj + (kk * skb) in
-              let b0 = Array.unsafe_get db pb
-              and b1 = Array.unsafe_get db (pb + sbj)
-              and b2 = Array.unsafe_get db (pb + (2 * sbj))
-              and b3 = Array.unsafe_get db (pb + (3 * sbj)) in
-              Array.unsafe_set dc p0 (Array.unsafe_get dc p0 +. (a0 *. b0));
-              Array.unsafe_set dc (p0 + 1)
-                (Array.unsafe_get dc (p0 + 1) +. (a0 *. b1));
-              Array.unsafe_set dc (p0 + 2)
-                (Array.unsafe_get dc (p0 + 2) +. (a0 *. b2));
-              Array.unsafe_set dc (p0 + 3)
-                (Array.unsafe_get dc (p0 + 3) +. (a0 *. b3));
-              Array.unsafe_set dc p1 (Array.unsafe_get dc p1 +. (a1 *. b0));
-              Array.unsafe_set dc (p1 + 1)
-                (Array.unsafe_get dc (p1 + 1) +. (a1 *. b1));
-              Array.unsafe_set dc (p1 + 2)
-                (Array.unsafe_get dc (p1 + 2) +. (a1 *. b2));
-              Array.unsafe_set dc (p1 + 3)
-                (Array.unsafe_get dc (p1 + 3) +. (a1 *. b3))
-            done;
-            j := !j + 4
-          done;
-          while !j < jend do
-            let p0 = oc0 + !j and p1 = oc1 + !j in
-            let pb = ob + (!j * sbj) in
-            for kk = ks to kend - 1 do
-              let bv = Array.unsafe_get db (pb + (kk * skb)) in
-              let pa = kk * ska in
-              Array.unsafe_set dc p0
-                (Array.unsafe_get dc p0
-                +. (Array.unsafe_get da (oa0 + pa) *. bv));
-              Array.unsafe_set dc p1
-                (Array.unsafe_get dc p1
-                +. (Array.unsafe_get da (oa1 + pa) *. bv))
-            done;
-            incr j
-          done;
-          i := !i + 2
-        done;
-        while !i < iend do
-          let oa0 = oa + (!i * sai) in
-          let oc0 = oc + (!i * sci) in
-          let j = ref !j0 in
-          while !j < jend do
-            let p0 = oc0 + !j in
-            let pb = ob + (!j * sbj) in
-            for kk = ks to kend - 1 do
-              Array.unsafe_set dc p0
-                (Array.unsafe_get dc p0
-                +. Array.unsafe_get da (oa0 + (kk * ska))
-                   *. Array.unsafe_get db (pb + (kk * skb)))
-            done;
-            incr j
-          done;
-          incr i
-        done;
-        i0 := iend
+(* ------------------------------------------------------------------ *)
+(* Per-domain scratch: packed panels, register-tile spill cells, and
+   flat offset tables. Grow-only, reused across calls, domain-local so
+   concurrent Multicore ranks never share a panel.                     *)
+(* ------------------------------------------------------------------ *)
+
+type scratch = {
+  mutable ap : float array; (* packed A panel / Strassen A *)
+  mutable bp : float array; (* packed B panel / Strassen B *)
+  mutable cp : float array; (* packed C panel / Strassen product *)
+  acc : float array; (* 2x4 register-tile spill cells *)
+  mutable ma : int array; (* M-group offsets into A *)
+  mutable mcf : int array; (* M-group offsets into C *)
+  mutable nb : int array; (* N-group offsets into B *)
+  mutable ncf : int array; (* N-group offsets into C *)
+  mutable ka : int array; (* K-group offsets into A *)
+  mutable kb : int array; (* K-group offsets into B *)
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        ap = [||];
+        bp = [||];
+        cp = [||];
+        acc = Array.make 8 0.0;
+        ma = [||];
+        mcf = [||];
+        nb = [||];
+        ncf = [||];
+        ka = [||];
+        kb = [||];
+      })
+
+let grow_f arr n = if Array.length arr >= n then arr else Array.make n 0.0
+let grow_i arr n = if Array.length arr >= n then arr else Array.make n 0
+
+(* Fill [tbl.(0 .. prod ext - 1)] with the row-major flat-offset table of
+   [dims] against the strides selected by [which]. *)
+let fill_offsets tbl dims which =
+  let nd = Array.length dims in
+  let k = ref 0 in
+  let rec go d base =
+    if d = nd then begin
+      Array.unsafe_set tbl !k base;
+      incr k
+    end
+    else begin
+      let dm = Array.unsafe_get dims d in
+      let s = which dm in
+      for x = 0 to dm.ext - 1 do
+        go (d + 1) (base + (x * s))
+      done
+    end
+  in
+  go 0 0
+
+let prod dims = Array.fold_left (fun acc d -> acc * d.ext) 1 dims
+
+(* ------------------------------------------------------------------ *)
+(* Register-tiled microkernel on flat float arrays                     *)
+(* ------------------------------------------------------------------ *)
+
+(* [micro] multiplies an [mw x kw] panel of [ap] (row stride [lda], unit
+   K stride) by a [kw x nw] panel of [bp] (row stride [ldb], unit N
+   stride) into [cp] (row stride [ldc], unit N stride), accumulating on
+   top of what is already there. 2x4 register tile; the K loop is
+   unrolled by 4 with left-associated chained adds, so each C cell sees
+   the same addition sequence as a plain ascending-K loop — bit-identical
+   to the stride walk — while touching each accumulator cell once per 4
+   MACs instead of once per MAC. Accumulators live in the 8 reusable
+   [acc] spill cells (unboxed float-array stores; no allocation). *)
+let micro ap bp cp ~oa ~ob ~oc ~mw ~nw ~kw ~lda ~ldb ~ldc ~acc =
+  (* NR-column groups outer, M-row pairs inner: the [kw x 4] B
+     micro-panel stays L1-resident across the whole M sweep while the
+     larger A panel streams from L2 — the cheap direction, since the A
+     panel is read once per column group instead of the B panel once per
+     row pair. *)
+  let j = ref 0 in
+  while !j + 3 < nw do
+    let i = ref 0 in
+    while !i + 1 < mw do
+      let ra0 = oa + (!i * lda) in
+      let ra1 = ra0 + lda in
+      let p0 = oc + (!i * ldc) + !j and p1 = oc + (!i * ldc) + ldc + !j in
+      Array.unsafe_set acc 0 (Array.unsafe_get cp p0);
+      Array.unsafe_set acc 1 (Array.unsafe_get cp (p0 + 1));
+      Array.unsafe_set acc 2 (Array.unsafe_get cp (p0 + 2));
+      Array.unsafe_set acc 3 (Array.unsafe_get cp (p0 + 3));
+      Array.unsafe_set acc 4 (Array.unsafe_get cp p1);
+      Array.unsafe_set acc 5 (Array.unsafe_get cp (p1 + 1));
+      Array.unsafe_set acc 6 (Array.unsafe_get cp (p1 + 2));
+      Array.unsafe_set acc 7 (Array.unsafe_get cp (p1 + 3));
+      let kk = ref 0 in
+      while !kk + 3 < kw do
+        let a00 = Array.unsafe_get ap (ra0 + !kk)
+        and a01 = Array.unsafe_get ap (ra0 + !kk + 1)
+        and a02 = Array.unsafe_get ap (ra0 + !kk + 2)
+        and a03 = Array.unsafe_get ap (ra0 + !kk + 3)
+        and a10 = Array.unsafe_get ap (ra1 + !kk)
+        and a11 = Array.unsafe_get ap (ra1 + !kk + 1)
+        and a12 = Array.unsafe_get ap (ra1 + !kk + 2)
+        and a13 = Array.unsafe_get ap (ra1 + !kk + 3) in
+        let rb0 = ob + (!kk * ldb) + !j in
+        let rb1 = rb0 + ldb
+        and rb2 = rb0 + (2 * ldb)
+        and rb3 = rb0 + (3 * ldb) in
+        let b00 = Array.unsafe_get bp rb0
+        and b10 = Array.unsafe_get bp rb1
+        and b20 = Array.unsafe_get bp rb2
+        and b30 = Array.unsafe_get bp rb3 in
+        Array.unsafe_set acc 0
+          ((((Array.unsafe_get acc 0 +. (a00 *. b00)) +. (a01 *. b10))
+           +. (a02 *. b20))
+          +. (a03 *. b30));
+        Array.unsafe_set acc 4
+          ((((Array.unsafe_get acc 4 +. (a10 *. b00)) +. (a11 *. b10))
+           +. (a12 *. b20))
+          +. (a13 *. b30));
+        let b01 = Array.unsafe_get bp (rb0 + 1)
+        and b11 = Array.unsafe_get bp (rb1 + 1)
+        and b21 = Array.unsafe_get bp (rb2 + 1)
+        and b31 = Array.unsafe_get bp (rb3 + 1) in
+        Array.unsafe_set acc 1
+          ((((Array.unsafe_get acc 1 +. (a00 *. b01)) +. (a01 *. b11))
+           +. (a02 *. b21))
+          +. (a03 *. b31));
+        Array.unsafe_set acc 5
+          ((((Array.unsafe_get acc 5 +. (a10 *. b01)) +. (a11 *. b11))
+           +. (a12 *. b21))
+          +. (a13 *. b31));
+        let b02 = Array.unsafe_get bp (rb0 + 2)
+        and b12 = Array.unsafe_get bp (rb1 + 2)
+        and b22 = Array.unsafe_get bp (rb2 + 2)
+        and b32 = Array.unsafe_get bp (rb3 + 2) in
+        Array.unsafe_set acc 2
+          ((((Array.unsafe_get acc 2 +. (a00 *. b02)) +. (a01 *. b12))
+           +. (a02 *. b22))
+          +. (a03 *. b32));
+        Array.unsafe_set acc 6
+          ((((Array.unsafe_get acc 6 +. (a10 *. b02)) +. (a11 *. b12))
+           +. (a12 *. b22))
+          +. (a13 *. b32));
+        let b03 = Array.unsafe_get bp (rb0 + 3)
+        and b13 = Array.unsafe_get bp (rb1 + 3)
+        and b23 = Array.unsafe_get bp (rb2 + 3)
+        and b33 = Array.unsafe_get bp (rb3 + 3) in
+        Array.unsafe_set acc 3
+          ((((Array.unsafe_get acc 3 +. (a00 *. b03)) +. (a01 *. b13))
+           +. (a02 *. b23))
+          +. (a03 *. b33));
+        Array.unsafe_set acc 7
+          ((((Array.unsafe_get acc 7 +. (a10 *. b03)) +. (a11 *. b13))
+           +. (a12 *. b23))
+          +. (a13 *. b33));
+        kk := !kk + 4
       done;
-      j0 := jend
+      while !kk < kw do
+        let a0 = Array.unsafe_get ap (ra0 + !kk)
+        and a1 = Array.unsafe_get ap (ra1 + !kk) in
+        let rb = ob + (!kk * ldb) + !j in
+        let b0 = Array.unsafe_get bp rb
+        and b1 = Array.unsafe_get bp (rb + 1)
+        and b2 = Array.unsafe_get bp (rb + 2)
+        and b3 = Array.unsafe_get bp (rb + 3) in
+        Array.unsafe_set acc 0 (Array.unsafe_get acc 0 +. (a0 *. b0));
+        Array.unsafe_set acc 1 (Array.unsafe_get acc 1 +. (a0 *. b1));
+        Array.unsafe_set acc 2 (Array.unsafe_get acc 2 +. (a0 *. b2));
+        Array.unsafe_set acc 3 (Array.unsafe_get acc 3 +. (a0 *. b3));
+        Array.unsafe_set acc 4 (Array.unsafe_get acc 4 +. (a1 *. b0));
+        Array.unsafe_set acc 5 (Array.unsafe_get acc 5 +. (a1 *. b1));
+        Array.unsafe_set acc 6 (Array.unsafe_get acc 6 +. (a1 *. b2));
+        Array.unsafe_set acc 7 (Array.unsafe_get acc 7 +. (a1 *. b3));
+        incr kk
+      done;
+      Array.unsafe_set cp p0 (Array.unsafe_get acc 0);
+      Array.unsafe_set cp (p0 + 1) (Array.unsafe_get acc 1);
+      Array.unsafe_set cp (p0 + 2) (Array.unsafe_get acc 2);
+      Array.unsafe_set cp (p0 + 3) (Array.unsafe_get acc 3);
+      Array.unsafe_set cp p1 (Array.unsafe_get acc 4);
+      Array.unsafe_set cp (p1 + 1) (Array.unsafe_get acc 5);
+      Array.unsafe_set cp (p1 + 2) (Array.unsafe_get acc 6);
+      Array.unsafe_set cp (p1 + 3) (Array.unsafe_get acc 7);
+      i := !i + 2
     done;
-    k0 := kend
+    if !i < mw then begin
+      (* Odd trailing row: 1x4 tile, same ascending-K chains. *)
+      let ra0 = oa + (!i * lda) in
+      let p0 = oc + (!i * ldc) + !j in
+      Array.unsafe_set acc 0 (Array.unsafe_get cp p0);
+      Array.unsafe_set acc 1 (Array.unsafe_get cp (p0 + 1));
+      Array.unsafe_set acc 2 (Array.unsafe_get cp (p0 + 2));
+      Array.unsafe_set acc 3 (Array.unsafe_get cp (p0 + 3));
+      let kk = ref 0 in
+      while !kk + 3 < kw do
+        let a00 = Array.unsafe_get ap (ra0 + !kk)
+        and a01 = Array.unsafe_get ap (ra0 + !kk + 1)
+        and a02 = Array.unsafe_get ap (ra0 + !kk + 2)
+        and a03 = Array.unsafe_get ap (ra0 + !kk + 3) in
+        let rb0 = ob + (!kk * ldb) + !j in
+        let rb1 = rb0 + ldb
+        and rb2 = rb0 + (2 * ldb)
+        and rb3 = rb0 + (3 * ldb) in
+        Array.unsafe_set acc 0
+          ((((Array.unsafe_get acc 0
+             +. (a00 *. Array.unsafe_get bp rb0))
+            +. (a01 *. Array.unsafe_get bp rb1))
+           +. (a02 *. Array.unsafe_get bp rb2))
+          +. (a03 *. Array.unsafe_get bp rb3));
+        Array.unsafe_set acc 1
+          ((((Array.unsafe_get acc 1
+             +. (a00 *. Array.unsafe_get bp (rb0 + 1)))
+            +. (a01 *. Array.unsafe_get bp (rb1 + 1)))
+           +. (a02 *. Array.unsafe_get bp (rb2 + 1)))
+          +. (a03 *. Array.unsafe_get bp (rb3 + 1)));
+        Array.unsafe_set acc 2
+          ((((Array.unsafe_get acc 2
+             +. (a00 *. Array.unsafe_get bp (rb0 + 2)))
+            +. (a01 *. Array.unsafe_get bp (rb1 + 2)))
+           +. (a02 *. Array.unsafe_get bp (rb2 + 2)))
+          +. (a03 *. Array.unsafe_get bp (rb3 + 2)));
+        Array.unsafe_set acc 3
+          ((((Array.unsafe_get acc 3
+             +. (a00 *. Array.unsafe_get bp (rb0 + 3)))
+            +. (a01 *. Array.unsafe_get bp (rb1 + 3)))
+           +. (a02 *. Array.unsafe_get bp (rb2 + 3)))
+          +. (a03 *. Array.unsafe_get bp (rb3 + 3)));
+        kk := !kk + 4
+      done;
+      while !kk < kw do
+        let a0 = Array.unsafe_get ap (ra0 + !kk) in
+        let rb = ob + (!kk * ldb) + !j in
+        Array.unsafe_set acc 0
+          (Array.unsafe_get acc 0 +. (a0 *. Array.unsafe_get bp rb));
+        Array.unsafe_set acc 1
+          (Array.unsafe_get acc 1 +. (a0 *. Array.unsafe_get bp (rb + 1)));
+        Array.unsafe_set acc 2
+          (Array.unsafe_get acc 2 +. (a0 *. Array.unsafe_get bp (rb + 2)));
+        Array.unsafe_set acc 3
+          (Array.unsafe_get acc 3 +. (a0 *. Array.unsafe_get bp (rb + 3)));
+        incr kk
+      done;
+      Array.unsafe_set cp p0 (Array.unsafe_get acc 0);
+      Array.unsafe_set cp (p0 + 1) (Array.unsafe_get acc 1);
+      Array.unsafe_set cp (p0 + 2) (Array.unsafe_get acc 2);
+      Array.unsafe_set cp (p0 + 3) (Array.unsafe_get acc 3)
+    end;
+    j := !j + 4
+  done;
+  (* Trailing columns (nw mod 4): 2x1 pairs then a lone cell. *)
+  while !j < nw do
+    let i = ref 0 in
+    while !i + 1 < mw do
+      let ra0 = oa + (!i * lda) in
+      let ra1 = ra0 + lda in
+      let p0 = oc + (!i * ldc) + !j and p1 = oc + (!i * ldc) + ldc + !j in
+      Array.unsafe_set acc 0 (Array.unsafe_get cp p0);
+      Array.unsafe_set acc 1 (Array.unsafe_get cp p1);
+      for kk = 0 to kw - 1 do
+        let bv = Array.unsafe_get bp (ob + (kk * ldb) + !j) in
+        Array.unsafe_set acc 0
+          (Array.unsafe_get acc 0 +. (Array.unsafe_get ap (ra0 + kk) *. bv));
+        Array.unsafe_set acc 1
+          (Array.unsafe_get acc 1 +. (Array.unsafe_get ap (ra1 + kk) *. bv))
+      done;
+      Array.unsafe_set cp p0 (Array.unsafe_get acc 0);
+      Array.unsafe_set cp p1 (Array.unsafe_get acc 1);
+      i := !i + 2
+    done;
+    if !i < mw then begin
+      let ra0 = oa + (!i * lda) in
+      let p0 = oc + (!i * ldc) + !j in
+      Array.unsafe_set acc 0 (Array.unsafe_get cp p0);
+      for kk = 0 to kw - 1 do
+        Array.unsafe_set acc 0
+          (Array.unsafe_get acc 0
+          +. (Array.unsafe_get ap (ra0 + kk)
+             *. Array.unsafe_get bp (ob + (kk * ldb) + !j)))
+      done;
+      Array.unsafe_set cp p0 (Array.unsafe_get acc 0)
+    end;
+    incr j
   done
 
-(* Remove the LAST element matching [pred], preserving the order of the
-   rest; returns (rest, found). *)
-let extract_last pred dims =
-  let last = ref (-1) in
-  List.iteri (fun i d -> if pred d then last := i) dims;
-  if !last < 0 then (dims, None)
-  else
-    ( List.filteri (fun i _ -> i <> !last) dims,
-      Some (List.nth dims !last) )
+(* Blocked GEMM over flat arrays already in canonical layout (unit K
+   stride in A, unit N stride in B and C): the Strassen base case. *)
+let gemm_flat a b c ~oa ~ob ~oc ~m ~n ~k ~lda ~ldb ~ldc ~acc =
+  let pc = ref 0 in
+  while !pc < k do
+    let kw = min kc (k - !pc) in
+    let jc = ref 0 in
+    while !jc < n do
+      let nw = min nc (n - !jc) in
+      let ic = ref 0 in
+      while !ic < m do
+        let mw = min mc (m - !ic) in
+        micro a b c
+          ~oa:(oa + (!ic * lda) + !pc)
+          ~ob:(ob + (!pc * ldb) + !jc)
+          ~oc:(oc + (!ic * ldc) + !jc)
+          ~mw ~nw ~kw ~lda ~ldb ~ldc ~acc;
+        ic := !ic + mw
+      done;
+      jc := !jc + nw
+    done;
+    pc := !pc + kw
+  done
 
-(* Try the fast path: needs an innermost output dimension with unit C
-   stride that one operand lacks entirely (that operand becomes "A").
-   Returns [false] when the layout does not canonicalize, in which case
-   the caller falls back to the generic walk. *)
-let try_micro ~out_dims ~sum_dims da db dc abase bbase cbase =
-  match List.rev out_dims with
-  | [] -> false
-  | jd :: _ when jd.sc <> 1 -> false
-  | jd :: _ ->
-    (* Orient the operands so that j is absent from A; a contraction is
-       symmetric in A·B, so swap when j is absent from B instead. *)
-    let swap =
-      if jd.sa = 0 && jd.sb <> 0 then Some false
-      else if jd.sb = 0 && jd.sa <> 0 then Some true
-      else None
+(* ------------------------------------------------------------------ *)
+(* Strassen recursion (tolerance path; never bit-identical)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Pointwise helpers on packed row-major blocks. [dst] is a fresh
+   [rows x cols] block with unit row stride [cols]. *)
+let blk_add dst src1 o1 ld1 src2 o2 ld2 ~rows ~cols =
+  for i = 0 to rows - 1 do
+    let r = i * cols and r1 = o1 + (i * ld1) and r2 = o2 + (i * ld2) in
+    for j = 0 to cols - 1 do
+      Array.unsafe_set dst (r + j)
+        (Array.unsafe_get src1 (r1 + j) +. Array.unsafe_get src2 (r2 + j))
+    done
+  done
+
+let blk_sub dst src1 o1 ld1 src2 o2 ld2 ~rows ~cols =
+  for i = 0 to rows - 1 do
+    let r = i * cols and r1 = o1 + (i * ld1) and r2 = o2 + (i * ld2) in
+    for j = 0 to cols - 1 do
+      Array.unsafe_set dst (r + j)
+        (Array.unsafe_get src1 (r1 + j) -. Array.unsafe_get src2 (r2 + j))
+    done
+  done
+
+let blk_copy dst src o ld ~rows ~cols =
+  for i = 0 to rows - 1 do
+    let r = i * cols and r1 = o + (i * ld) in
+    for j = 0 to cols - 1 do
+      Array.unsafe_set dst (r + j) (Array.unsafe_get src (r1 + j))
+    done
+  done
+
+let blk_accum c oc ldc p ~sign ~rows ~cols =
+  for i = 0 to rows - 1 do
+    let r = oc + (i * ldc) and rp = i * cols in
+    if sign > 0 then
+      for j = 0 to cols - 1 do
+        Array.unsafe_set c (r + j)
+          (Array.unsafe_get c (r + j) +. Array.unsafe_get p (rp + j))
+      done
+    else
+      for j = 0 to cols - 1 do
+        Array.unsafe_set c (r + j)
+          (Array.unsafe_get c (r + j) -. Array.unsafe_get p (rp + j))
+      done
+  done
+
+(* C += A·B with classical 7-product Strassen recursion; recursion stops
+   on odd extents or when the half-size would drop below [xover], where
+   the blocked microkernel takes over. Temporaries are allocated per
+   level (sizes shrink 4x per level; only large multiplies get here). *)
+let rec strassen_rec a b c ~oa ~ob ~oc ~m ~n ~k ~lda ~ldb ~ldc ~xover ~acc =
+  if
+    m land 1 = 1
+    || n land 1 = 1
+    || k land 1 = 1
+    || min m (min n k) < 2 * xover
+  then gemm_flat a b c ~oa ~ob ~oc ~m ~n ~k ~lda ~ldb ~ldc ~acc
+  else begin
+    let m2 = m / 2 and n2 = n / 2 and k2 = k / 2 in
+    let ta = Array.make (m2 * k2) 0.0 in
+    let tb = Array.make (k2 * n2) 0.0 in
+    let p = Array.make (m2 * n2) 0.0 in
+    let a11 = oa
+    and a12 = oa + k2
+    and a21 = oa + (m2 * lda)
+    and a22 = oa + (m2 * lda) + k2 in
+    let b11 = ob
+    and b12 = ob + n2
+    and b21 = ob + (k2 * ldb)
+    and b22 = ob + (k2 * ldb) + n2 in
+    let c11 = oc
+    and c12 = oc + n2
+    and c21 = oc + (m2 * ldc)
+    and c22 = oc + (m2 * ldc) + n2 in
+    let recurse ta tb =
+      Array.fill p 0 (m2 * n2) 0.0;
+      strassen_rec ta tb p ~oa:0 ~ob:0 ~oc:0 ~m:m2 ~n:n2 ~k:k2 ~lda:k2
+        ~ldb:n2 ~ldc:n2 ~xover ~acc
     in
-    (match swap with
-    | None -> false
-    | Some sw ->
-      let da, db, abase, bbase =
-        if sw then (db, da, bbase, abase) else (da, db, abase, bbase)
+    (* M1 = (A11 + A22)(B11 + B22) -> C11, C22 *)
+    blk_add ta a a11 lda a a22 lda ~rows:m2 ~cols:k2;
+    blk_add tb b b11 ldb b b22 ldb ~rows:k2 ~cols:n2;
+    recurse ta tb;
+    blk_accum c c11 ldc p ~sign:1 ~rows:m2 ~cols:n2;
+    blk_accum c c22 ldc p ~sign:1 ~rows:m2 ~cols:n2;
+    (* M2 = (A21 + A22) B11 -> C21, -C22 *)
+    blk_add ta a a21 lda a a22 lda ~rows:m2 ~cols:k2;
+    blk_copy tb b b11 ldb ~rows:k2 ~cols:n2;
+    recurse ta tb;
+    blk_accum c c21 ldc p ~sign:1 ~rows:m2 ~cols:n2;
+    blk_accum c c22 ldc p ~sign:(-1) ~rows:m2 ~cols:n2;
+    (* M3 = A11 (B12 - B22) -> C12, C22 *)
+    blk_copy ta a a11 lda ~rows:m2 ~cols:k2;
+    blk_sub tb b b12 ldb b b22 ldb ~rows:k2 ~cols:n2;
+    recurse ta tb;
+    blk_accum c c12 ldc p ~sign:1 ~rows:m2 ~cols:n2;
+    blk_accum c c22 ldc p ~sign:1 ~rows:m2 ~cols:n2;
+    (* M4 = A22 (B21 - B11) -> C11, C21 *)
+    blk_copy ta a a22 lda ~rows:m2 ~cols:k2;
+    blk_sub tb b b21 ldb b b11 ldb ~rows:k2 ~cols:n2;
+    recurse ta tb;
+    blk_accum c c11 ldc p ~sign:1 ~rows:m2 ~cols:n2;
+    blk_accum c c21 ldc p ~sign:1 ~rows:m2 ~cols:n2;
+    (* M5 = (A11 + A12) B22 -> -C11, C12 *)
+    blk_add ta a a11 lda a a12 lda ~rows:m2 ~cols:k2;
+    blk_copy tb b b22 ldb ~rows:k2 ~cols:n2;
+    recurse ta tb;
+    blk_accum c c11 ldc p ~sign:(-1) ~rows:m2 ~cols:n2;
+    blk_accum c c12 ldc p ~sign:1 ~rows:m2 ~cols:n2;
+    (* M6 = (A21 - A11)(B11 + B12) -> C22 *)
+    blk_sub ta a a21 lda a a11 lda ~rows:m2 ~cols:k2;
+    blk_add tb b b11 ldb b b12 ldb ~rows:k2 ~cols:n2;
+    recurse ta tb;
+    blk_accum c c22 ldc p ~sign:1 ~rows:m2 ~cols:n2;
+    (* M7 = (A12 - A22)(B21 + B22) -> C11 *)
+    blk_sub ta a a12 lda a a22 lda ~rows:m2 ~cols:k2;
+    blk_add tb b b21 ldb b b22 ldb ~rows:k2 ~cols:n2;
+    recurse ta tb;
+    blk_accum c c11 ldc p ~sign:1 ~rows:m2 ~cols:n2
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Flavor drivers                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* GEMM flavor: pack-and-tile over (M, N, K) index groups, with any
+   batch (Hadamard) dimensions walked outside. For each (MC, NC) block
+   of C: gather the block into the contiguous [cp] panel (so later
+   K strips keep accumulating on the caller's initial values, exactly
+   like the walk), then per KC strip copy-pack the A and B panels into
+   canonical layout and run the microkernel; finally scatter the packed
+   block back. Offset tables linearize the multi-dimensional groups so
+   arbitrary strides — including the noncoalescible layouts that used to
+   fall back to the stride walk — all run the same register tile. *)
+let gemm_driver st (abuf : Dense.buf) (bbuf : Dense.buf) (cbuf : Dense.buf)
+    ~abase ~bbase ~cbase ~msz ~nsz ~ksz =
+  let ma = st.ma
+  and mcf = st.mcf
+  and nb = st.nb
+  and ncf = st.ncf
+  and ka = st.ka
+  and kb = st.kb in
+  let ap = st.ap and bp = st.bp and cp = st.cp and acc = st.acc in
+  let ic = ref 0 in
+  while !ic < msz do
+    let mw = min mc (msz - !ic) in
+    let jc = ref 0 in
+    while !jc < nsz do
+      let nw = min nc (nsz - !jc) in
+      (* Gather the C block. *)
+      for ii = 0 to mw - 1 do
+        let co = cbase + Array.unsafe_get mcf (!ic + ii) in
+        let r = ii * nw in
+        for jj = 0 to nw - 1 do
+          Array.unsafe_set cp (r + jj)
+            (A1.unsafe_get cbuf (co + Array.unsafe_get ncf (!jc + jj)))
+        done
+      done;
+      let pc = ref 0 in
+      while !pc < ksz do
+        let kw = min kc (ksz - !pc) in
+        (* Pack the A panel: mw x kw, unit K stride. *)
+        for ii = 0 to mw - 1 do
+          let ao = abase + Array.unsafe_get ma (!ic + ii) in
+          let r = ii * kw in
+          for t = 0 to kw - 1 do
+            Array.unsafe_set ap (r + t)
+              (A1.unsafe_get abuf (ao + Array.unsafe_get ka (!pc + t)))
+          done
+        done;
+        (* Pack the B panel: kw x nw, unit N stride. *)
+        for t = 0 to kw - 1 do
+          let bo = bbase + Array.unsafe_get kb (!pc + t) in
+          let r = t * nw in
+          for jj = 0 to nw - 1 do
+            Array.unsafe_set bp (r + jj)
+              (A1.unsafe_get bbuf (bo + Array.unsafe_get nb (!jc + jj)))
+          done
+        done;
+        micro ap bp cp ~oa:0 ~ob:0 ~oc:0 ~mw ~nw ~kw ~lda:kw ~ldb:nw ~ldc:nw
+          ~acc;
+        pc := !pc + kw
+      done;
+      (* Scatter the C block back. *)
+      for ii = 0 to mw - 1 do
+        let co = cbase + Array.unsafe_get mcf (!ic + ii) in
+        let r = ii * nw in
+        for jj = 0 to nw - 1 do
+          A1.unsafe_set cbuf
+            (co + Array.unsafe_get ncf (!jc + jj))
+            (Array.unsafe_get cp (r + jj))
+        done
+      done;
+      jc := !jc + nw
+    done;
+    ic := !ic + mw
+  done
+
+(* Hadamard flavor: the innermost output dimension [jd] is present in
+   both operands (no (M,N,K) form exists), so tile it directly in
+   [hb]-wide strips of the contiguous C row. The outer output dimensions
+   split by stride pattern: those with a B stride ([rb_dims]) are walked
+   outside the B-panel pack, the rest ([ra_dims]) are linearized through
+   the M offset tables and register-tiled 2 leaves x 4 cells with the K
+   loop unrolled by 4 — the microkernel shape. Per (strip, KC block,
+   B-leaf) the B panel is packed once (K x strip, unit J stride) and
+   reused across all [ra] leaves; A streams straight from storage
+   because each of its elements feeds exactly one MAC — packing it would
+   only double its traffic. Cells are independent and each cell's
+   additions stay in ascending-K walk order (chained, left-associated),
+   so the tiling reorders only the cell visiting order and the
+   bit-identity contract with the walk oracle is untouched. *)
+let hadamard_driver st (abuf : Dense.buf) (bbuf : Dense.buf)
+    (cbuf : Dense.buf) ~abase ~bbase ~cbase ~(jd : dim) ~rb_dims ~ra_dims
+    ~ksz =
+  let ka = st.ka and kb = st.kb and ma = st.ma and mcf = st.mcf in
+  let bp = st.bp and acc = st.acc in
+  let saj = jd.sa and sbj = jd.sb in
+  let nrb = Array.length rb_dims in
+  let msz = prod ra_dims in
+  let j0 = ref 0 in
+  while !j0 < jd.ext do
+    let jw = min hb (jd.ext - !j0) in
+    let pc = ref 0 in
+    while !pc < ksz do
+      let kw = min hkc (ksz - !pc) in
+      (* One row fragment of one leaf: cells [jj, jj+cn) accumulated in
+         the spill cells [ci, ci+cn), plain ascending-K chain. *)
+      let row_tail oa oc ~jj ~cn ~ci =
+        for x = 0 to cn - 1 do
+          Array.unsafe_set acc (ci + x)
+            (A1.unsafe_get cbuf (oc + !j0 + jj + x))
+        done;
+        for t = 0 to kw - 1 do
+          let ao = oa + Array.unsafe_get ka (!pc + t) + ((!j0 + jj) * saj) in
+          let r = (t * jw) + jj in
+          for x = 0 to cn - 1 do
+            Array.unsafe_set acc (ci + x)
+              (Array.unsafe_get acc (ci + x)
+              +. (A1.unsafe_get abuf (ao + (x * saj))
+                 *. Array.unsafe_get bp (r + x)))
+          done
+        done;
+        for x = 0 to cn - 1 do
+          A1.unsafe_set cbuf
+            (oc + !j0 + jj + x)
+            (Array.unsafe_get acc (ci + x))
+        done
       in
-      let flip d = if sw then { d with sa = d.sb; sb = d.sa } else d in
-      let out_dims = List.map flip out_dims and sum_dims = List.map flip sum_dims in
-      let rest_out, jdim = extract_last (fun d -> d.sc = 1 && d.sa = 0) out_dims in
-      let jd = Option.get jdim in
-      (* i: innermost output dimension that strides A but not B. *)
-      let rest_out, idim =
-        extract_last (fun d -> d.sa <> 0 && d.sb = 0) rest_out
+      (* The 2x4 register tile: leaves at [oa0]/[oa1], cells
+         [jj..jj+3], K unrolled by 4 with left-associated chains. *)
+      let tile_gen oa0 oc0 oa1 oc1 ~jj =
+        let c0 = oc0 + !j0 + jj and c1 = oc1 + !j0 + jj in
+        Array.unsafe_set acc 0 (A1.unsafe_get cbuf c0);
+        Array.unsafe_set acc 1 (A1.unsafe_get cbuf (c0 + 1));
+        Array.unsafe_set acc 2 (A1.unsafe_get cbuf (c0 + 2));
+        Array.unsafe_set acc 3 (A1.unsafe_get cbuf (c0 + 3));
+        Array.unsafe_set acc 4 (A1.unsafe_get cbuf c1);
+        Array.unsafe_set acc 5 (A1.unsafe_get cbuf (c1 + 1));
+        Array.unsafe_set acc 6 (A1.unsafe_get cbuf (c1 + 2));
+        Array.unsafe_set acc 7 (A1.unsafe_get cbuf (c1 + 3));
+        let jb = (!j0 + jj) * saj in
+        let p0 = oa0 + jb and q0 = oa1 + jb in
+        let t = ref 0 in
+        while !t + 3 < kw do
+          let k0 = Array.unsafe_get ka (!pc + !t)
+          and k1 = Array.unsafe_get ka (!pc + !t + 1)
+          and k2 = Array.unsafe_get ka (!pc + !t + 2)
+          and k3 = Array.unsafe_get ka (!pc + !t + 3) in
+          let r0 = (!t * jw) + jj in
+          let r1 = r0 + jw and r2 = r0 + (2 * jw) and r3 = r0 + (3 * jw) in
+          for x = 0 to 3 do
+            let s = x * saj in
+            let b0 = Array.unsafe_get bp (r0 + x)
+            and b1 = Array.unsafe_get bp (r1 + x)
+            and b2 = Array.unsafe_get bp (r2 + x)
+            and b3 = Array.unsafe_get bp (r3 + x) in
+            Array.unsafe_set acc x
+              ((((Array.unsafe_get acc x
+                 +. (A1.unsafe_get abuf (p0 + k0 + s) *. b0))
+                +. (A1.unsafe_get abuf (p0 + k1 + s) *. b1))
+               +. (A1.unsafe_get abuf (p0 + k2 + s) *. b2))
+              +. (A1.unsafe_get abuf (p0 + k3 + s) *. b3));
+            Array.unsafe_set acc (4 + x)
+              ((((Array.unsafe_get acc (4 + x)
+                 +. (A1.unsafe_get abuf (q0 + k0 + s) *. b0))
+                +. (A1.unsafe_get abuf (q0 + k1 + s) *. b1))
+               +. (A1.unsafe_get abuf (q0 + k2 + s) *. b2))
+              +. (A1.unsafe_get abuf (q0 + k3 + s) *. b3))
+          done;
+          t := !t + 4
+        done;
+        while !t < kw do
+          let k0 = Array.unsafe_get ka (!pc + !t) in
+          let r0 = (!t * jw) + jj in
+          let pk = p0 + k0 and qk = q0 + k0 in
+          for x = 0 to 3 do
+            let s = x * saj in
+            let b = Array.unsafe_get bp (r0 + x) in
+            Array.unsafe_set acc x
+              (Array.unsafe_get acc x +. (A1.unsafe_get abuf (pk + s) *. b));
+            Array.unsafe_set acc (4 + x)
+              (Array.unsafe_get acc (4 + x)
+              +. (A1.unsafe_get abuf (qk + s) *. b))
+          done;
+          incr t
+        done;
+        A1.unsafe_set cbuf c0 (Array.unsafe_get acc 0);
+        A1.unsafe_set cbuf (c0 + 1) (Array.unsafe_get acc 1);
+        A1.unsafe_set cbuf (c0 + 2) (Array.unsafe_get acc 2);
+        A1.unsafe_set cbuf (c0 + 3) (Array.unsafe_get acc 3);
+        A1.unsafe_set cbuf c1 (Array.unsafe_get acc 4);
+        A1.unsafe_set cbuf (c1 + 1) (Array.unsafe_get acc 5);
+        A1.unsafe_set cbuf (c1 + 2) (Array.unsafe_get acc 6);
+        A1.unsafe_set cbuf (c1 + 3) (Array.unsafe_get acc 7)
       in
-      let id =
-        match idim with
-        | Some d -> d
-        | None -> { ext = 1; sa = 0; sb = 0; sc = 0 }
+      (* Unit-J-stride specialization of [tile_gen]: A cells for one K
+         row are contiguous, so the cell loop is fully unrolled into
+         constant offsets (no per-cell stride multiply). Term order in
+         every chain is identical to [tile_gen]. *)
+      let tile_u1 oa0 oc0 oa1 oc1 ~jj =
+        let c0 = oc0 + !j0 + jj and c1 = oc1 + !j0 + jj in
+        Array.unsafe_set acc 0 (A1.unsafe_get cbuf c0);
+        Array.unsafe_set acc 1 (A1.unsafe_get cbuf (c0 + 1));
+        Array.unsafe_set acc 2 (A1.unsafe_get cbuf (c0 + 2));
+        Array.unsafe_set acc 3 (A1.unsafe_get cbuf (c0 + 3));
+        Array.unsafe_set acc 4 (A1.unsafe_get cbuf c1);
+        Array.unsafe_set acc 5 (A1.unsafe_get cbuf (c1 + 1));
+        Array.unsafe_set acc 6 (A1.unsafe_get cbuf (c1 + 2));
+        Array.unsafe_set acc 7 (A1.unsafe_get cbuf (c1 + 3));
+        let jb = !j0 + jj in
+        let p0 = oa0 + jb and q0 = oa1 + jb in
+        let dq = q0 - p0 in
+        let t = ref 0 in
+        while !t + 3 < kw do
+          let pk0 = p0 + Array.unsafe_get ka (!pc + !t)
+          and pk1 = p0 + Array.unsafe_get ka (!pc + !t + 1)
+          and pk2 = p0 + Array.unsafe_get ka (!pc + !t + 2)
+          and pk3 = p0 + Array.unsafe_get ka (!pc + !t + 3) in
+          let qk0 = pk0 + dq and qk1 = pk1 + dq in
+          let qk2 = pk2 + dq and qk3 = pk3 + dq in
+          let r0 = (!t * jw) + jj in
+          let r1 = r0 + jw and r2 = r0 + (2 * jw) and r3 = r0 + (3 * jw) in
+          Array.unsafe_set acc 0 @@
+            (((Array.unsafe_get acc 0 +. (A1.unsafe_get abuf pk0 *. Array.unsafe_get bp r0))
+             +. (A1.unsafe_get abuf pk1 *. Array.unsafe_get bp r1))
+            +. (A1.unsafe_get abuf pk2 *. Array.unsafe_get bp r2))
+            +. (A1.unsafe_get abuf pk3 *. Array.unsafe_get bp r3);
+          Array.unsafe_set acc 1 @@
+            (((Array.unsafe_get acc 1 +. (A1.unsafe_get abuf (pk0 + 1) *. Array.unsafe_get bp (r0 + 1)))
+             +. (A1.unsafe_get abuf (pk1 + 1) *. Array.unsafe_get bp (r1 + 1)))
+            +. (A1.unsafe_get abuf (pk2 + 1) *. Array.unsafe_get bp (r2 + 1)))
+            +. (A1.unsafe_get abuf (pk3 + 1) *. Array.unsafe_get bp (r3 + 1));
+          Array.unsafe_set acc 2 @@
+            (((Array.unsafe_get acc 2 +. (A1.unsafe_get abuf (pk0 + 2) *. Array.unsafe_get bp (r0 + 2)))
+             +. (A1.unsafe_get abuf (pk1 + 2) *. Array.unsafe_get bp (r1 + 2)))
+            +. (A1.unsafe_get abuf (pk2 + 2) *. Array.unsafe_get bp (r2 + 2)))
+            +. (A1.unsafe_get abuf (pk3 + 2) *. Array.unsafe_get bp (r3 + 2));
+          Array.unsafe_set acc 3 @@
+            (((Array.unsafe_get acc 3 +. (A1.unsafe_get abuf (pk0 + 3) *. Array.unsafe_get bp (r0 + 3)))
+             +. (A1.unsafe_get abuf (pk1 + 3) *. Array.unsafe_get bp (r1 + 3)))
+            +. (A1.unsafe_get abuf (pk2 + 3) *. Array.unsafe_get bp (r2 + 3)))
+            +. (A1.unsafe_get abuf (pk3 + 3) *. Array.unsafe_get bp (r3 + 3));
+          Array.unsafe_set acc 4 @@
+            (((Array.unsafe_get acc 4 +. (A1.unsafe_get abuf qk0 *. Array.unsafe_get bp r0))
+             +. (A1.unsafe_get abuf qk1 *. Array.unsafe_get bp r1))
+            +. (A1.unsafe_get abuf qk2 *. Array.unsafe_get bp r2))
+            +. (A1.unsafe_get abuf qk3 *. Array.unsafe_get bp r3);
+          Array.unsafe_set acc 5 @@
+            (((Array.unsafe_get acc 5 +. (A1.unsafe_get abuf (qk0 + 1) *. Array.unsafe_get bp (r0 + 1)))
+             +. (A1.unsafe_get abuf (qk1 + 1) *. Array.unsafe_get bp (r1 + 1)))
+            +. (A1.unsafe_get abuf (qk2 + 1) *. Array.unsafe_get bp (r2 + 1)))
+            +. (A1.unsafe_get abuf (qk3 + 1) *. Array.unsafe_get bp (r3 + 1));
+          Array.unsafe_set acc 6 @@
+            (((Array.unsafe_get acc 6 +. (A1.unsafe_get abuf (qk0 + 2) *. Array.unsafe_get bp (r0 + 2)))
+             +. (A1.unsafe_get abuf (qk1 + 2) *. Array.unsafe_get bp (r1 + 2)))
+            +. (A1.unsafe_get abuf (qk2 + 2) *. Array.unsafe_get bp (r2 + 2)))
+            +. (A1.unsafe_get abuf (qk3 + 2) *. Array.unsafe_get bp (r3 + 2));
+          Array.unsafe_set acc 7 @@
+            (((Array.unsafe_get acc 7 +. (A1.unsafe_get abuf (qk0 + 3) *. Array.unsafe_get bp (r0 + 3)))
+             +. (A1.unsafe_get abuf (qk1 + 3) *. Array.unsafe_get bp (r1 + 3)))
+            +. (A1.unsafe_get abuf (qk2 + 3) *. Array.unsafe_get bp (r2 + 3)))
+            +. (A1.unsafe_get abuf (qk3 + 3) *. Array.unsafe_get bp (r3 + 3));
+          t := !t + 4
+        done;
+        while !t < kw do
+          let pk = p0 + Array.unsafe_get ka (!pc + !t) in
+          let qk = pk + dq in
+          let r0 = (!t * jw) + jj in
+          Array.unsafe_set acc 0 @@ Array.unsafe_get acc 0 +. (A1.unsafe_get abuf pk *. Array.unsafe_get bp r0);
+          Array.unsafe_set acc 1 @@
+            Array.unsafe_get acc 1
+            +. (A1.unsafe_get abuf (pk + 1) *. Array.unsafe_get bp (r0 + 1));
+          Array.unsafe_set acc 2 @@
+            Array.unsafe_get acc 2
+            +. (A1.unsafe_get abuf (pk + 2) *. Array.unsafe_get bp (r0 + 2));
+          Array.unsafe_set acc 3 @@
+            Array.unsafe_get acc 3
+            +. (A1.unsafe_get abuf (pk + 3) *. Array.unsafe_get bp (r0 + 3));
+          Array.unsafe_set acc 4 @@ Array.unsafe_get acc 4 +. (A1.unsafe_get abuf qk *. Array.unsafe_get bp r0);
+          Array.unsafe_set acc 5 @@
+            Array.unsafe_get acc 5
+            +. (A1.unsafe_get abuf (qk + 1) *. Array.unsafe_get bp (r0 + 1));
+          Array.unsafe_set acc 6 @@
+            Array.unsafe_get acc 6
+            +. (A1.unsafe_get abuf (qk + 2) *. Array.unsafe_get bp (r0 + 2));
+          Array.unsafe_set acc 7 @@
+            Array.unsafe_get acc 7
+            +. (A1.unsafe_get abuf (qk + 3) *. Array.unsafe_get bp (r0 + 3));
+          incr t
+        done;
+        A1.unsafe_set cbuf c0 (Array.unsafe_get acc 0);
+        A1.unsafe_set cbuf (c0 + 1) (Array.unsafe_get acc 1);
+        A1.unsafe_set cbuf (c0 + 2) (Array.unsafe_get acc 2);
+        A1.unsafe_set cbuf (c0 + 3) (Array.unsafe_get acc 3);
+        A1.unsafe_set cbuf c1 (Array.unsafe_get acc 4);
+        A1.unsafe_set cbuf (c1 + 1) (Array.unsafe_get acc 5);
+        A1.unsafe_set cbuf (c1 + 2) (Array.unsafe_get acc 6);
+        A1.unsafe_set cbuf (c1 + 3) (Array.unsafe_get acc 7)
       in
-      (* k: the summation dimension with the smallest A stride (best
-         locality in the k-loop); remaining sums stay in the outer walk
-         and accumulate across gemm_block calls. *)
-      let rest_sum, kdim =
-        match sum_dims with
-        | [] -> ([], None)
-        | _ ->
-          let best =
-            List.fold_left
-              (fun acc d ->
-                match acc with
-                | None -> Some d
-                | Some b ->
-                  if d.sa <> 0 && (b.sa = 0 || d.sa < b.sa) then Some d
-                  else acc)
-              None sum_dims
-          in
-          let b = Option.get best in
-          let rec remove = function
-            | [] -> []
-            | d :: rest -> if d == b then rest else d :: remove rest
-          in
-          (remove sum_dims, Some b)
-      in
-      let kd =
-        match kdim with
-        | Some d -> d
-        | None -> { ext = 1; sa = 0; sb = 0; sc = 0 }
-      in
-      (* Outer walk over every remaining dimension (output dims via their
-         C strides, leftover summation dims with sc = 0); each leaf runs
-         one blocked matmul that accumulates into C. *)
-      let outer = Array.of_list (rest_out @ rest_sum) in
-      let nouter = Array.length outer in
-      let rec go d oa ob oc =
-        if d = nouter then
-          gemm_block da db dc ~oa ~ob ~oc ~m:id.ext ~n:jd.ext ~kext:kd.ext
-            ~sai:id.sa ~sci:id.sc ~ska:kd.sa ~sbj:jd.sb ~skb:kd.sb
-        else begin
-          let { ext; sa; sb; sc } = Array.unsafe_get outer d in
-          for i = 0 to ext - 1 do
-            go (d + 1) (oa + (i * sa)) (ob + (i * sb)) (oc + (i * sc))
+      let tile = if saj = 1 then tile_u1 else tile_gen in
+      let leaves oa oc =
+        let m = ref 0 in
+        while !m + 1 < msz do
+          let oa0 = oa + Array.unsafe_get ma !m
+          and oc0 = oc + Array.unsafe_get mcf !m
+          and oa1 = oa + Array.unsafe_get ma (!m + 1)
+          and oc1 = oc + Array.unsafe_get mcf (!m + 1) in
+          let jj = ref 0 in
+          while !jj + 3 < jw do
+            tile oa0 oc0 oa1 oc1 ~jj:!jj;
+            jj := !jj + 4
+          done;
+          if !jj < jw then begin
+            row_tail oa0 oc0 ~jj:!jj ~cn:(jw - !jj) ~ci:0;
+            row_tail oa1 oc1 ~jj:!jj ~cn:(jw - !jj) ~ci:4
+          end;
+          m := !m + 2
+        done;
+        if !m < msz then begin
+          let oa0 = oa + Array.unsafe_get ma !m
+          and oc0 = oc + Array.unsafe_get mcf !m in
+          let jj = ref 0 in
+          while !jj < jw do
+            row_tail oa0 oc0 ~jj:!jj ~cn:(min 4 (jw - !jj)) ~ci:0;
+            jj := !jj + 4
           done
         end
       in
-      go 0 abase bbase cbase;
-      true)
+      let rec go_rb d oa ob oc =
+        if d = nrb then begin
+          (* Pack the B panel once for this (strip, KC, B-leaf). *)
+          for t = 0 to kw - 1 do
+            let bo = ob + Array.unsafe_get kb (!pc + t) + (!j0 * sbj) in
+            let r = t * jw in
+            for jj = 0 to jw - 1 do
+              Array.unsafe_set bp (r + jj)
+                (A1.unsafe_get bbuf (bo + (jj * sbj)))
+            done
+          done;
+          leaves oa oc
+        end
+        else begin
+          let { ext; sa; sb; sc } = Array.unsafe_get rb_dims d in
+          for x = 0 to ext - 1 do
+            go_rb (d + 1) (oa + (x * sa)) (ob + (x * sb)) (oc + (x * sc))
+          done
+        end
+      in
+      go_rb 0 abase bbase cbase;
+      pc := !pc + kw
+    done;
+    j0 := !j0 + jw
+  done
+
+(* Dot flavor: no surviving output dimensions — a single C cell. The
+   summation space is linearized in walk (row-major) order and reduced
+   with the same unrolled, left-associated chain. *)
+let dot_driver st (abuf : Dense.buf) (bbuf : Dense.buf) (cbuf : Dense.buf)
+    ~abase ~bbase ~cbase ~ksz =
+  let ka = st.ka and kb = st.kb and acc = st.acc in
+  Array.unsafe_set acc 0 (A1.unsafe_get cbuf cbase);
+  let t = ref 0 in
+  while !t + 3 < ksz do
+    Array.unsafe_set acc 0
+      ((((Array.unsafe_get acc 0
+         +. A1.unsafe_get abuf (abase + Array.unsafe_get ka !t)
+            *. A1.unsafe_get bbuf (bbase + Array.unsafe_get kb !t))
+        +. A1.unsafe_get abuf (abase + Array.unsafe_get ka (!t + 1))
+           *. A1.unsafe_get bbuf (bbase + Array.unsafe_get kb (!t + 1)))
+       +. A1.unsafe_get abuf (abase + Array.unsafe_get ka (!t + 2))
+          *. A1.unsafe_get bbuf (bbase + Array.unsafe_get kb (!t + 2)))
+      +. A1.unsafe_get abuf (abase + Array.unsafe_get ka (!t + 3))
+         *. A1.unsafe_get bbuf (bbase + Array.unsafe_get kb (!t + 3)));
+    t := !t + 4
+  done;
+  while !t < ksz do
+    Array.unsafe_set acc 0
+      (Array.unsafe_get acc 0
+      +. A1.unsafe_get abuf (abase + Array.unsafe_get ka !t)
+         *. A1.unsafe_get bbuf (bbase + Array.unsafe_get kb !t));
+    incr t
+  done;
+  A1.unsafe_set cbuf cbase (Array.unsafe_get acc 0)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let remove_phys x lst =
+  let rec go = function
+    | [] -> []
+    | d :: rest -> if d == x then rest else d :: go rest
+  in
+  go lst
+
+(* Replicates the historical inner-K choice of the register-tiled path:
+   the summation dimension with the smallest A-side stride (best
+   locality in the K loop) moves to the innermost position; the rest
+   keep their row-major order outside it. Bit-compatibility with every
+   pre-packing result depends on reproducing this exact fold. *)
+let kd_reorder sum_dims =
+  match sum_dims with
+  | [] | [ _ ] -> sum_dims
+  | _ ->
+    let kd =
+      let best =
+        List.fold_left
+          (fun acc d ->
+            match acc with
+            | None -> Some d
+            | Some b ->
+              if d.sa <> 0 && (b.sa = 0 || d.sa < b.sa) then Some d else acc)
+          None sum_dims
+      in
+      Option.get best
+    in
+    remove_phys kd sum_dims @ [ kd ]
 
 let contract_acc ?(pin_out = []) ?(pin_a = []) ?(pin_b = []) ~into a b =
   let cbase, cvis = apply_pins "contract_acc" into pin_out in
@@ -331,13 +1055,157 @@ let contract_acc ?(pin_out = []) ?(pin_a = []) ?(pin_b = []) ~into a b =
   in
   let out_dims = coalesce (drop_unit out_dims) in
   let sum_dims = coalesce (drop_unit sum_dims) in
-  let da = Dense.data a and db = Dense.data b and dc = Dense.data into in
-  used_micro := try_micro ~out_dims ~sum_dims da db dc abase bbase cbase;
-  if not !used_micro then walk ~out_dims ~sum_dims da db dc abase bbase cbase;
+  let da = Dense.buf a and db = Dense.buf b and dc = Dense.buf into in
+  (* Flavor selection. The innermost output dimension (unit C stride
+     whenever any survive coalescing) decides the canonical form; the
+     summation order is chosen per flavor so each packed path reproduces
+     the historical accumulation order bit-for-bit. *)
+  let flavor, sum_ordered =
+    match List.rev out_dims with
+    | [] -> (`Dot, sum_dims)
+    | jd :: _ when jd.sc = 1 && jd.sa = 0 && jd.sb <> 0 ->
+      (`Gemm false, kd_reorder sum_dims)
+    | jd :: _ when jd.sc = 1 && jd.sb = 0 && jd.sa <> 0 ->
+      (`Gemm true, kd_reorder (List.map (fun d -> { d with sa = d.sb; sb = d.sa }) sum_dims))
+    | jd :: _ when jd.sc = 1 -> (`Hadamard jd, sum_dims)
+    | _ -> (`Pinned_inner, sum_dims)
+  in
+  (* Under [`Gemm true] the operands are swapped (a contraction is
+     symmetric in A·B) so the innermost output dimension is always on
+     the B side; the walk oracle sees the flipped strides too. *)
+  let flipped = match flavor with `Gemm true -> true | _ -> false in
+  let out_eff =
+    if flipped then List.map (fun d -> { d with sa = d.sb; sb = d.sa }) out_dims
+    else out_dims
+  in
+  let da, db, abase, bbase =
+    if flipped then (db, da, bbase, abase) else (da, db, abase, bbase)
+  in
+  if !walk_oracle then begin
+    last := Walk;
+    walk ~out_dims:out_eff ~sum_dims:sum_ordered da db dc abase bbase cbase
+  end
+  else begin
+    let st = Domain.DLS.get scratch_key in
+    let ksz = List.fold_left (fun acc d -> acc * d.ext) 1 sum_ordered in
+    let sumd = Array.of_list sum_ordered in
+    st.ka <- grow_i st.ka ksz;
+    st.kb <- grow_i st.kb ksz;
+    fill_offsets st.ka sumd (fun d -> d.sa);
+    fill_offsets st.kb sumd (fun d -> d.sb);
+    (match flavor with
+    | `Dot ->
+      last := Dot;
+      dot_driver st da db dc ~abase ~bbase ~cbase ~ksz
+    | `Hadamard jd ->
+      last := Hadamard;
+      let rest = remove_phys jd out_eff in
+      let rb_dims = Array.of_list (List.filter (fun d -> d.sb <> 0) rest) in
+      let ra_dims = Array.of_list (List.filter (fun d -> d.sb = 0) rest) in
+      let msz = prod ra_dims in
+      st.ma <- grow_i st.ma msz;
+      st.mcf <- grow_i st.mcf msz;
+      fill_offsets st.ma ra_dims (fun d -> d.sa);
+      fill_offsets st.mcf ra_dims (fun d -> d.sc);
+      st.bp <- grow_f st.bp (min hkc ksz * min hb jd.ext);
+      hadamard_driver st da db dc ~abase ~bbase ~cbase ~jd ~rb_dims ~ra_dims
+        ~ksz
+    | `Gemm _ | `Pinned_inner ->
+      (* Partition the (effective) output dimensions into the M group
+         (A-and-C), N group (B-and-C) and batch group (all three). *)
+      let m_dims =
+        Array.of_list (List.filter (fun d -> d.sa <> 0 && d.sb = 0) out_eff)
+      in
+      let n_dims =
+        Array.of_list (List.filter (fun d -> d.sa = 0) out_eff)
+      in
+      let h_dims =
+        Array.of_list (List.filter (fun d -> d.sa <> 0 && d.sb <> 0) out_eff)
+      in
+      let msz = prod m_dims and nsz = prod n_dims in
+      st.ma <- grow_i st.ma msz;
+      st.mcf <- grow_i st.mcf msz;
+      fill_offsets st.ma m_dims (fun d -> d.sa);
+      fill_offsets st.mcf m_dims (fun d -> d.sc);
+      st.nb <- grow_i st.nb nsz;
+      st.ncf <- grow_i st.ncf nsz;
+      fill_offsets st.nb n_dims (fun d -> d.sb);
+      fill_offsets st.ncf n_dims (fun d -> d.sc);
+      let strassen_xover =
+        match !strassen_state with
+        | Some xover
+          when Array.length h_dims = 0
+               && msz land 1 = 0
+               && nsz land 1 = 0
+               && ksz land 1 = 0
+               && min msz (min nsz ksz) >= 2 * xover ->
+          Some xover
+        | _ -> None
+      in
+      (match strassen_xover with
+      | Some xover ->
+        last := Strassen;
+        (* Pack both operands whole into canonical layout, run the
+           recursion into a zeroed product, then accumulate it onto C
+           through the offset tables. *)
+        st.ap <- grow_f st.ap (msz * ksz);
+        st.bp <- grow_f st.bp (ksz * nsz);
+        st.cp <- grow_f st.cp (msz * nsz);
+        let ap = st.ap and bp = st.bp and cp = st.cp in
+        for i = 0 to msz - 1 do
+          let ao = abase + Array.unsafe_get st.ma i in
+          let r = i * ksz in
+          for t = 0 to ksz - 1 do
+            Array.unsafe_set ap (r + t)
+              (A1.unsafe_get da (ao + Array.unsafe_get st.ka t))
+          done
+        done;
+        for t = 0 to ksz - 1 do
+          let bo = bbase + Array.unsafe_get st.kb t in
+          let r = t * nsz in
+          for j = 0 to nsz - 1 do
+            Array.unsafe_set bp (r + j)
+              (A1.unsafe_get db (bo + Array.unsafe_get st.nb j))
+          done
+        done;
+        Array.fill cp 0 (msz * nsz) 0.0;
+        strassen_rec ap bp cp ~oa:0 ~ob:0 ~oc:0 ~m:msz ~n:nsz ~k:ksz
+          ~lda:ksz ~ldb:nsz ~ldc:nsz ~xover ~acc:st.acc;
+        for i = 0 to msz - 1 do
+          let co = cbase + Array.unsafe_get st.mcf i in
+          let r = i * nsz in
+          for j = 0 to nsz - 1 do
+            let o = co + Array.unsafe_get st.ncf j in
+            A1.unsafe_set dc o (A1.unsafe_get dc o +. Array.unsafe_get cp (r + j))
+          done
+        done
+      | None ->
+        last := Gemm;
+        st.ap <- grow_f st.ap (min mc msz * min kc ksz);
+        st.bp <- grow_f st.bp (min kc ksz * min nc nsz);
+        st.cp <- grow_f st.cp (min mc msz * min nc nsz);
+        let nh = Array.length h_dims in
+        let rec go d oa ob oc =
+          if d = nh then
+            gemm_driver st da db dc ~abase:oa ~bbase:ob ~cbase:oc ~msz ~nsz
+              ~ksz
+          else begin
+            let { ext; sa; sb; sc } = Array.unsafe_get h_dims d in
+            for x = 0 to ext - 1 do
+              go (d + 1) (oa + (x * sa)) (ob + (x * sb)) (oc + (x * sc))
+            done
+          end
+        in
+        go 0 abase bbase cbase))
+  end;
   if Obs.enabled () then begin
     Obs.count
-      (if !used_micro then "kernel.microkernel" else "kernel.fallback");
+      (match !last with
+      | Walk -> "kernel.fallback"
+      | Strassen -> "kernel.strassen"
+      | Gemm | Hadamard | Dot -> "kernel.microkernel");
     let dims_product = List.fold_left (fun acc d -> acc * d.ext) 1 in
-    Obs.count ~by:(2 * dims_product out_dims * dims_product sum_dims)
+    Obs.count
+      ~by:(2 * dims_product out_dims * dims_product sum_dims)
       "kernel.flops"
   end

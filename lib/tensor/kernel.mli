@@ -1,14 +1,26 @@
 (** High-performance binary contraction kernel.
 
-    Canonicalizes a contraction [C(out) += Σ A·B] into (M, N, K) index
-    groups: each joint dimension is classified purely by its stride
-    pattern across the three tensors, extent-1 dimensions are dropped,
-    and adjacent dimensions that are jointly contiguous are coalesced.
-    When the resulting layout has a stride-1 innermost output dimension
-    absent from one operand, a cache-blocked, register-tiled matmul
-    microkernel runs over the flat buffers with unchecked accesses;
-    otherwise a generic stride-walk loop nest is used. Both paths
-    perform zero per-element allocation. *)
+    Canonicalizes a contraction [C(out) += Σ A·B] by stride pattern:
+    each joint dimension is classified purely by its strides across the
+    three tensors, extent-1 dimensions are dropped, and adjacent
+    dimensions that are jointly contiguous are coalesced. The result is
+    dispatched to one of three pack → microkernel → unpack flavors —
+    GEMM (innermost output dimension absent from one operand), Hadamard
+    (innermost output dimension present in both) or Dot (no output
+    dimensions) — so the 2×4 register-tiled, K-unrolled microkernel runs
+    on {e every} binary contraction. Noncoalescible operand layouts are
+    copy-packed into contiguous panels through flat offset tables,
+    amortized over the KC/MC/NC cache blocking. The generic stride walk
+    survives only as a debug oracle behind {!set_walk_oracle}.
+
+    Packing preserves the historical accumulation order of every
+    pre-packing path, so results are bit-identical to both the walk (on
+    the same canonicalized dimensions) and earlier releases. The
+    optional {!set_strassen} path trades that bit guarantee for an
+    O(n^2.81) multiply on large near-square GEMM-shaped contractions;
+    it is off by default. All paths perform zero per-element
+    allocation (panels and offset tables are per-domain, grow-only
+    scratch). *)
 
 open! Import
 
@@ -33,7 +45,64 @@ val contract_acc :
     [Tce_error.Error] on foreign or out-of-range pins, on extent
     mismatches, and on output labels absent from both operands. *)
 
+(** {2 Probes} *)
+
+type path =
+  | Gemm  (** packed (M,N,K) blocking, register-tiled microkernel *)
+  | Hadamard
+      (** innermost output dimension shared by both operands: packed B
+          panels over contiguous C strips *)
+  | Dot  (** full reduction to one cell through offset tables *)
+  | Strassen  (** recursive 7-product multiply (opt-in, tolerance path) *)
+  | Walk  (** generic stride walk — debug oracle only *)
+
+val last_path : unit -> path
+(** Which flavor the most recent {!contract_acc} on this domain took. *)
+
 val last_used_microkernel : unit -> bool
-(** Whether the most recent {!contract_acc} on this domain ran the
-    blocked microkernel (as opposed to the generic stride-walk
-    fallback). For tests and benchmarks. *)
+(** Whether the most recent {!contract_acc} on this domain ran a
+    register-tiled/unrolled kernel — true for every path except
+    {!Walk}. For tests and benchmarks. *)
+
+val last_used_packed : unit -> bool
+(** Whether the most recent {!contract_acc} on this domain copy-packed
+    operand panels ({!Gemm}, {!Hadamard} and {!Strassen} do; {!Dot} and
+    {!Walk} read operands in place). *)
+
+val blocking : unit -> int * int * int
+(** The cache-blocking parameters [(KC, MC, NC)]: summation-strip depth,
+    C-panel rows and C-panel columns per block. For bench artifacts. *)
+
+(** {2 Knobs} *)
+
+val set_walk_oracle : bool -> unit
+(** Route subsequent contractions through the generic stride walk on the
+    {e same} canonicalized dimension lists the packed flavors use. The
+    packed paths reproduce the walk's accumulation order exactly, so
+    pack ≡ walk {b bit-for-bit}; the property suite sweeps this. Global,
+    not per-domain; for tests only. Default [false]. *)
+
+val set_strassen : ?crossover:int -> bool -> unit
+(** Enable the Strassen path. A contraction takes it when it is
+    GEMM-shaped with no batch dimensions and even [M], [N], [K] all at
+    least [2 × crossover]; recursion halves the quadrants until a
+    dimension turns odd or drops below [crossover], where the blocked
+    microkernel takes over. Results differ from the exact paths in the
+    last bits (certified ≤ 1e-10 relative Frobenius by the property
+    sweep). [crossover] defaults to {!strassen_crossover} applied to
+    this kernel's measured flop and copy rates. Raises [Tce_error.Error]
+    if [crossover < 2]. Global; default off. *)
+
+val strassen_config : unit -> int option
+(** [Some crossover] when the Strassen path is enabled, else [None]. *)
+
+val strassen_crossover : flop_rate:float -> move_rate:float -> int
+(** Cost-model crossover rule: one recursion level on an n³ multiply
+    saves [n³/4] multiply flops but spends ~[4.5 n²] extra element moves
+    (quadrant adds + product accumulation), so it pays iff
+    [0.25 n³ / flop_rate > 4.5 n² / move_rate], i.e.
+    [n > 18 · flop_rate / move_rate]. Returns that threshold (elements
+    per dimension), clamped to [\[32, 4096\]]. [flop_rate] is the
+    microkernel's flop/s, [move_rate] sustained element copies/s —
+    e.g. from [Tce_netmodel.Params]. Raises [Tce_error.Error] unless
+    both rates are positive. *)

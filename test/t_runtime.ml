@@ -307,17 +307,7 @@ let test_multicore_contraction () =
         Alcotest.failf "variant %s wrong" (Format.asprintf "%a" Variant.pp v))
     (Variant.all c)
 
-let bits_equal a b =
-  let da = Dense.data a and db = Dense.data b in
-  Array.length da = Array.length db
-  && (let ok = ref true in
-      Array.iteri
-        (fun k x ->
-          if not (Int64.equal (Int64.bits_of_float x)
-                    (Int64.bits_of_float db.(k)))
-          then ok := false)
-        da;
-      !ok)
+let bits_equal = Dense.bits_equal
 
 (* The double-buffered schedule multiplies the same blocks in the same
    order as the strict shift-then-multiply alternation, so its output is

@@ -307,9 +307,9 @@ let test_ccsd_hits_microkernel () =
     (Dense.equal_approx c (Einsum.contract2_ref ~out bt dt))
 
 (* An innermost output dimension present in both operands defeats the
-   canonical (M, N, K) form; the kernel must take the stride-walk
-   fallback and still be exact. *)
-let test_noncoalescible_falls_back () =
+   canonical (M, N, K) form; the kernel must take the packed Hadamard
+   flavor — still a microkernel, no walk fallback — and be exact. *)
+let test_noncoalescible_packs () =
   let rng = Prng.create ~seed:43 in
   let a = Dense.create [ (i "m", 3); (i "k", 4); (i "x", 5) ] in
   let b = Dense.create [ (i "k", 4); (i "x", 5) ] in
@@ -317,9 +317,58 @@ let test_noncoalescible_falls_back () =
   Dense.fill_random b rng;
   let out = idx_list [ "m"; "x" ] in
   let c = Einsum.contract2 ~out a b in
-  Alcotest.(check bool) "fallback used" false (Kernel.last_used_microkernel ());
+  Alcotest.(check bool) "microkernel used" true (Kernel.last_used_microkernel ());
+  Alcotest.(check bool) "hadamard flavor" true (Kernel.last_path () = Kernel.Hadamard);
+  Alcotest.(check bool) "packed" true (Kernel.last_used_packed ());
   Alcotest.(check bool) "matches reference" true
     (Dense.equal_approx c (Einsum.contract2_ref ~out a b))
+
+(* Flavor probes across the classification: GEMM for matmul shapes, Dot
+   for full reductions, Walk only under the debug oracle. *)
+let test_kernel_paths () =
+  let rng = Prng.create ~seed:45 in
+  let a = Dense.create [ (i "m", 6); (i "k", 5) ] in
+  let b = Dense.create [ (i "k", 5); (i "n", 7) ] in
+  Dense.fill_random a rng;
+  Dense.fill_random b rng;
+  ignore (Einsum.contract2 ~out:(idx_list [ "m"; "n" ]) a b);
+  Alcotest.(check bool) "gemm" true (Kernel.last_path () = Kernel.Gemm);
+  Alcotest.(check bool) "gemm packs" true (Kernel.last_used_packed ());
+  ignore (Einsum.contract2 ~out:[] a (Dense.transpose a [ i "m"; i "k" ]));
+  Alcotest.(check bool) "dot" true (Kernel.last_path () = Kernel.Dot);
+  Alcotest.(check bool) "dot reads in place" false (Kernel.last_used_packed ());
+  Kernel.set_walk_oracle true;
+  Fun.protect
+    ~finally:(fun () -> Kernel.set_walk_oracle false)
+    (fun () ->
+      let c = Einsum.contract2 ~out:(idx_list [ "m"; "n" ]) a b in
+      Alcotest.(check bool) "walk" true (Kernel.last_path () = Kernel.Walk);
+      Alcotest.(check bool) "oracle not microkernel" false
+        (Kernel.last_used_microkernel ());
+      Alcotest.(check bool) "oracle exact" true
+        (Dense.equal_approx c
+           (Einsum.contract2_ref ~out:(idx_list [ "m"; "n" ]) a b)));
+  let kc, mc, nc = Kernel.blocking () in
+  Alcotest.(check bool) "blocking sane" true (kc > 0 && mc > 1 && nc > 3)
+
+(* The safe flat view: [to_floats] is a detached copy and [bits_equal]
+   is exact. *)
+let test_dense_safe_view () =
+  let rng = Prng.create ~seed:46 in
+  let a = Dense.create [ (i "p", 3); (i "q", 4) ] in
+  Dense.fill_random a rng;
+  let snap = Dense.to_floats a in
+  Alcotest.(check (float 0.0)) "row-major copy" snap.(5)
+    (Dense.get a (Index.Map.of_seq
+                    (List.to_seq [ (i "p", 1); (i "q", 1) ])));
+  let b = Dense.copy a in
+  Alcotest.(check bool) "copy bits-equal" true (Dense.bits_equal a b);
+  snap.(0) <- snap.(0) +. 1.0;
+  Alcotest.(check bool) "to_floats detached" true (Dense.bits_equal a b);
+  Dense.unsafe_set b 0 (Float.succ (Dense.unsafe_get b 0));
+  Alcotest.(check bool) "bit flip detected" false (Dense.bits_equal a b);
+  let c = Dense.transpose a [ i "q"; i "p" ] in
+  Alcotest.(check bool) "layout differs" false (Dense.bits_equal a c)
 
 (* Pinned contraction into a slab position equals slicing by hand; the
    rest of the target is untouched. *)
@@ -409,7 +458,9 @@ let suite =
         qcheck_kernel_vs_ref;
         qcheck_acc_equivalence;
         case "CCSD shape hits the microkernel" test_ccsd_hits_microkernel;
-        case "non-coalescible layout falls back" test_noncoalescible_falls_back;
+        case "non-coalescible layout packs" test_noncoalescible_packs;
+        case "flavor probes and walk oracle" test_kernel_paths;
+        case "safe flat view" test_dense_safe_view;
         case "pinned slab contraction" test_kernel_pins;
         case "pin errors" test_kernel_pin_errors;
       ] );
