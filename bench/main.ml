@@ -1158,6 +1158,74 @@ let search_smoke () =
   Format.printf "@.wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* Multi-term sums: cross-term CSE vs per-term-independent planning    *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the sum optimizer on the planted-sharing corpus
+   (Gencorpus.sum_bench_corpus) against the no-sharing baseline
+   (max_groups:0 — every term planned independently), validates each
+   optimized sum plan, and checks jobs=1 vs jobs=2 return byte-identical
+   plans. Writes BENCH_sums.json; CI asserts "plans_identical": true and
+   a strictly positive saving on the planted cases. *)
+let sums () =
+  section "Sum optimizer: cross-term CSE vs per-term-independent planning";
+  let cfg = search_cfg () in
+  let sum_str ext s = Format.asprintf "%a" (Plan.pp_sum ext) s in
+  let rows =
+    List.map
+      (fun { Gencorpus.sname; sext; sum } ->
+        let solve ?jobs ?max_groups () =
+          Result.get_ok (Search.optimize_sum ?jobs ?max_groups cfg sext sum)
+        in
+        let opt_s, opt = best_of (fun () -> solve ()) in
+        let indep_s, indep = best_of (fun () -> solve ~max_groups:0 ()) in
+        let opt2 = solve ~jobs:2 () in
+        let identical = String.equal (sum_str sext opt) (sum_str sext opt2) in
+        let valid = Result.is_ok (Plan.validate_sum ~ext:sext opt) in
+        let opt_c = opt.Plan.sum_comm_cost
+        and indep_c = indep.Plan.sum_comm_cost in
+        let saving = 1.0 -. (opt_c /. indep_c) in
+        Format.printf
+          "%-15s %d terms, %d shared  sum-opt %9.4f s comm (%.2f ms \
+           search)  independent %9.4f s comm (%.2f ms search)  saving \
+           %5.1f%%  valid %b  jobs1=jobs2 %b@."
+          sname
+          (List.length opt.Plan.terms)
+          (List.length opt.Plan.shared)
+          opt_c (1e3 *. opt_s) indep_c (1e3 *. indep_s) (100. *. saving)
+          valid identical;
+        ( sname,
+          (List.length opt.Plan.terms, List.length opt.Plan.shared),
+          (opt_c, indep_c, saving),
+          (opt_s, indep_s),
+          (identical, valid) ))
+      (Gencorpus.sum_bench_corpus ())
+  in
+  let path = "BENCH_sums.json" in
+  Out_channel.with_open_text path (fun oc ->
+      let p fmt = Printf.fprintf oc fmt in
+      p "{\n  \"benchmark\": \"sums\",\n  \"cases\": [\n";
+      List.iteri
+        (fun k
+             ( name,
+               (terms, shared),
+               (opt_c, indep_c, saving),
+               (opt_s, indep_s),
+               (identical, valid) ) ->
+          p
+            "    {\"name\": %S, \"terms\": %d, \"shared_values\": %d, \
+             \"sum_comm_seconds\": %.6e, \"independent_comm_seconds\": \
+             %.6e, \"saving_fraction\": %.4f, \"optimize_seconds\": %.6e, \
+             \"independent_seconds\": %.6e, \"plans_identical\": %b, \
+             \"valid\": %b}%s\n"
+            name terms shared opt_c indep_c saving opt_s indep_s identical
+            valid
+            (if k = List.length rows - 1 then "" else ","))
+        rows;
+      p "  ]\n}\n");
+  Format.printf "@.wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* The planning daemon: load generator                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1371,6 +1439,7 @@ let sections =
     ("trace", trace);
     ("search", search);
     ("search-smoke", search_smoke);
+    ("sums", sums);
     ("serve", serve_bench);
   ]
 

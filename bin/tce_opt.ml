@@ -214,17 +214,46 @@ let traced_runs ~params ~procs ~ext ~tree ~plan ~overlap =
   let inputs = Sequence.random_inputs ext' ~seed:20260806 seq in
   ignore (Multicore.run_plan grid' ext' plan' ~inputs : Dense.t)
 
+(* The multi-term sum path (problems whose last definition is a [+]/[-]
+   sum of contraction terms): the sum optimizer with cross-term CSE, or
+   its greedy no-sharing rung. The plan-replay extras (--code, --faults,
+   --trace) are single-tree machinery and are reported as ignored. *)
+let optimize_sum_path ~cfg ~ext ~fusion ~search_jobs ~beam ~strategy
+    ~extras_requested se =
+  let plan =
+    or_die
+      (match (strategy, fusion) with
+      | `Exact, `All ->
+        Search.optimize_sum ~jobs:search_jobs ?beam cfg ext se
+      | `Greedy, `All -> Search.greedy_sum ~jobs:search_jobs cfg ext se
+      | _ ->
+        Error
+          "multi-term sums support --strategy exact or greedy with --fusion \
+           all")
+  in
+  Format.printf "%a@." (Plan.pp_sum ext) plan;
+  if extras_requested then
+    Format.eprintf
+      "note: --code, --faults and --trace apply to single-term problems; \
+       ignored for a multi-term sum@."
+
 let optimize_cmd =
   let run file procs mem_gb flops_mhz latency_us bandwidth_mbs fusion code
       overlap_factor faults search_jobs beam strategy trace =
     let sink = Option.map (fun _ -> Obs.create ()) trace in
     Option.iter Obs.install sink;
     Fun.protect ~finally:Obs.uninstall @@ fun () ->
-    let problem, tree = or_die (load_tree file) in
+    let problem = or_die (Parser.parse_file file) in
     let params = machine_of ~mem_gb ~flops_mhz ~latency_us ~bandwidth_mbs in
     let grid, rcost = setup procs params in
     let cfg = Search.default_config ~grid ~params ~rcost () in
     let ext = problem.Problem.extents in
+    match or_die (Opmin.optimize_to_computation problem) with
+    | Opmin.Summed se ->
+      optimize_sum_path ~cfg ~ext ~fusion ~search_jobs ~beam ~strategy
+        ~extras_requested:(code || faults <> None || trace <> None)
+        se
+    | Opmin.Single tree ->
     let plan =
       or_die
         (match (strategy, fusion) with

@@ -135,3 +135,115 @@ let fuzz ~seed ~count =
       let rank = 3 + Prng.int rng ~bound:2 in
       let ext, tree = random_einsum ~seed ~tensors ~rank ~lo:4 ~hi:10 in
       { name = Printf.sprintf "fuzz-%d" i; ext; tree })
+
+(* --- Multi-term sums with planted cross-term sharing ------------------- *)
+
+type sum_instance = { sname : string; sext : Extents.t; sum : Sumexpr.t }
+
+(* Every term is [E__tᵢ[o1,o2] = Σₓ C(aᵢ,x) · Rᵢ[x,bᵢ]] where [C(a,x) =
+   Σ_c P[a,c]·Q[c,x]] is the planted shared subtree: identical leaves
+   across terms, so [Sumexpr.detect] matches every occurrence by
+   content. With [~permute], odd terms take [(aᵢ,bᵢ) = (o2,o1)] — the
+   permuted-repeat pattern [s_a·t_b + s_b·t_a]; the two output extents
+   are equal, so the permuted occurrences still share their canonical
+   key and the stored representative stands in by pure relabeling. With
+   [~shared:false] the inner leaves are term-private ([Pᵢ], [Qᵢ]): no
+   common subtree exists, the zero-sharing baseline case. With
+   [~double], the right factor is itself a planted shared subtree
+   [D(x,b) = Σ_d U[x,d]·V[d,b]] instead of a private leaf — two CSE
+   groups, exercising the subset enumeration and the lifetime memory
+   accounting across both. *)
+let random_sum ?(permute = true) ?(shared = true) ?(double = false) ~seed
+    ~terms ~lo ~hi () =
+  if terms < 2 then
+    Tce_error.failf "Gencorpus.random_sum: need terms >= 2 (got %d)" terms;
+  let rng = Prng.create ~seed in
+  let o1 = Index.v "o1"
+  and o2 = Index.v "o2"
+  and x = Index.v "x"
+  and c = Index.v "c"
+  and d = Index.v "d" in
+  let pick () = lo + Prng.int rng ~bound:(hi - lo + 1) in
+  let e_out = pick () in
+  let sext =
+    Extents.of_list_exn
+      [ (o1, e_out); (o2, e_out); (x, pick ()); (c, pick ()); (d, pick ()) ]
+  in
+  let leaf name idxs = Tree.Leaf (Aref.v name idxs) in
+  let inner_left i a =
+    let p, q =
+      if shared then ("P", "Q")
+      else (Printf.sprintf "P%d" (i + 1), Printf.sprintf "Q%d" (i + 1))
+    in
+    Tree.Contract
+      ( Aref.v (Printf.sprintf "C%d" (i + 1)) [ a; x ],
+        [ c ],
+        leaf p [ a; c ],
+        leaf q [ c; x ] )
+  in
+  let right_factor i b =
+    if double then
+      Tree.Contract
+        ( Aref.v (Printf.sprintf "D%d" (i + 1)) [ x; b ],
+          [ d ],
+          leaf "U" [ x; d ],
+          leaf "V" [ d; b ] )
+    else leaf (Printf.sprintf "R%d" (i + 1)) [ x; b ]
+  in
+  let term i =
+    let a, b = if permute && i mod 2 = 1 then (o2, o1) else (o1, o2) in
+    let tree =
+      Tree.Contract
+        ( Aref.v (Printf.sprintf "E__t%d" (i + 1)) [ o1; o2 ],
+          [ x ],
+          inner_left i a,
+          right_factor i b )
+    in
+    let coeff =
+      (if Prng.bool rng then 1.0 else -1.0)
+      *. (1.0 +. float_of_int (Prng.int rng ~bound:3))
+    in
+    { Sumexpr.coeff; tree }
+  in
+  let sum =
+    match Sumexpr.create ~out:(Aref.v "E" [ o1; o2 ]) (List.init terms term) with
+    | Ok s -> s
+    | Error e -> Tce_error.failf "Gencorpus.random_sum: %s" e
+  in
+  (sext, sum)
+
+let sum_fuzz ~seed ~count =
+  let rng = Prng.create ~seed in
+  List.init count (fun i ->
+      let seed = Prng.int rng ~bound:1_000_000 in
+      let terms = 2 + Prng.int rng ~bound:2 in
+      let permute = Prng.bool rng in
+      (* 1-in-4: no planted sharing, the zero-CSE baseline family. *)
+      let shared = Prng.int rng ~bound:4 > 0 in
+      let double = shared && Prng.bool rng in
+      let sext, sum =
+        random_sum ~permute ~shared ~double ~seed ~terms ~lo:3 ~hi:6 ()
+      in
+      let sname =
+        Printf.sprintf "sumfuzz-%d%s%s%s" i
+          (if permute then "-perm" else "")
+          (if shared then "" else "-noshare")
+          (if double then "-double" else "")
+      in
+      { sname; sext; sum })
+
+(* The sum bench corpus: planted sharing at extents big enough that the
+   amortized shared intermediate visibly beats per-term-independent
+   planning, small enough that the subset × assignment enumeration stays
+   sub-second. *)
+let sum_bench_corpus () =
+  let mk name ?permute ?double ~seed ~terms ~lo ~hi () =
+    let sext, sum = random_sum ?permute ?double ~seed ~terms ~lo ~hi () in
+    { sname = name; sext; sum }
+  in
+  [
+    mk "sum-2t" ~permute:false ~seed:21 ~terms:2 ~lo:24 ~hi:48 ();
+    mk "sum-3t-perm" ~permute:true ~seed:22 ~terms:3 ~lo:24 ~hi:48 ();
+    mk "sum-2t-double" ~permute:false ~double:true ~seed:23 ~terms:2 ~lo:16
+      ~hi:40 ();
+  ]

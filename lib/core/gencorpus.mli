@@ -40,3 +40,32 @@ val bench_corpus : unit -> instance list
 val fuzz : seed:int -> count:int -> instance list
 (** Small random instances (3–4 tensors, tiny extents) for property
     tests that need brute force to stay feasible. *)
+
+(** {2 Multi-term sums with planted cross-term sharing} *)
+
+type sum_instance = { sname : string; sext : Extents.t; sum : Sumexpr.t }
+
+val random_sum :
+  ?permute:bool -> ?shared:bool -> ?double:bool -> seed:int -> terms:int
+  -> lo:int -> hi:int -> unit -> Extents.t * Sumexpr.t
+(** A [terms >= 2]-term sum [E\[o1,o2\] = Σᵢ cᵢ · (Σₓ C(aᵢ,x)·Rᵢ\[x,bᵢ\])]
+    whose inner factor [C(a,x) = Σ_c P\[a,c\]·Q\[c,x\]] is a planted
+    shared subtree (identical leaves across terms). [?permute] (default
+    true) swaps the output roles on odd terms — the permuted-repeat
+    pattern [s_a·t_b + s_b·t_a], matched because the two output extents
+    are generated equal. [?shared:false] makes the inner leaves
+    term-private: no common subtree, the zero-CSE baseline family.
+    [?double] (default false) replaces the private right factor with a
+    second planted shared subtree [D(x,b) = Σ_d U\[x,d\]·V\[d,b\]] — two
+    CSE groups. Extents are uniform in [lo, hi] (the two output extents
+    equal). Raises [Tce_error.Error] on [terms < 2]. *)
+
+val sum_fuzz : seed:int -> count:int -> sum_instance list
+(** Small random sum instances (terms, permutation, sharing family and
+    extents all seeded) for the sum-level oracle and property suites —
+    sized so {!Tce_core.Search.brute_force_sum} stays feasible. *)
+
+val sum_bench_corpus : unit -> sum_instance list
+(** The fixed corpus the [sums] bench section measures: planted sharing
+    at extents where the amortized shared intermediate visibly beats
+    per-term-independent planning. *)

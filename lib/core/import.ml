@@ -11,6 +11,7 @@ module Aref = Tce_expr.Aref
 module Formula = Tce_expr.Formula
 module Sequence = Tce_expr.Sequence
 module Tree = Tce_expr.Tree
+module Sumexpr = Tce_expr.Sumexpr
 module Grid = Tce_grid.Grid
 module Dist = Tce_grid.Dist
 module Params = Tce_netmodel.Params

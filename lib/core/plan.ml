@@ -249,7 +249,8 @@ let fused_of_role s = function
 
 let dist_content d = List.sort compare (List.map Index.name (Dist.indices d))
 
-let validate ?mem_limit_bytes ?(allow_distributed_fusion = false) t =
+let validate ?(pinned = []) ?mem_limit_bytes ?(allow_distributed_fusion = false)
+    t =
   let ( let* ) = Result.bind in
   let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
   let* () = if t.steps = [] then fail "plan has no steps" else Ok () in
@@ -431,10 +432,55 @@ let validate ?mem_limit_bytes ?(allow_distributed_fusion = false) t =
           in
           if redists = [] then Ok ()
           else fail "step %s: redistributes presummed %s" out_name name
-        | None ->
-          (* A leaf input materializes in the required distribution. *)
-          if redists = [] then Ok ()
-          else fail "step %s: redistributes input %s" out_name name
+        | None -> begin
+          match List.assoc_opt name pinned with
+          | Some (rep_order, stored) ->
+            (* A pinned leaf: a shared intermediate materialized earlier
+               (outside this plan) in distribution [stored] over
+               [rep_order]; this occurrence reads it through the
+               positional renaming onto its own index names. *)
+            let into = Aref.indices (Variant.aref_of s.variant role) in
+            let* prod =
+              match Dist.rename stored ~from:rep_order ~into with
+              | d -> Ok d
+              | exception Invalid_argument m ->
+                fail "step %s: pinned leaf %s: %s" out_name name m
+            in
+            if dist_content prod = dist_content cons then
+              if redists = [] then Ok ()
+              else
+                fail "step %s: redistributes pinned %s although the \
+                      contents agree"
+                  out_name name
+            else begin
+              match redists with
+              | [ rd ] ->
+                if not (Dist.equal rd.from_dist prod) then
+                  fail "step %s: redistribution of pinned %s starts from \
+                        the wrong distribution"
+                    out_name name
+                else if not (Dist.equal rd.to_dist cons) then
+                  fail "step %s: redistribution of pinned %s ends in the \
+                        wrong distribution"
+                    out_name name
+                else if not (Fusionset.dist_compatible ~fused ~prod ~cons)
+                then
+                  fail "step %s: redistribution of pinned %s violates \
+                        constraint (iii) on its fused edge"
+                    out_name name
+                else Ok ()
+              | [] ->
+                fail "step %s: consumes pinned %s in a different \
+                      distribution without redistributing"
+                  out_name name
+              | _ -> fail "step %s: multiple redistributions of pinned %s"
+                       out_name name
+            end
+          | None ->
+            (* A leaf input materializes in the required distribution. *)
+            if redists = [] then Ok ()
+            else fail "step %s: redistributes input %s" out_name name
+        end
       end
     in
     let* () = check_operand Variant.Left in
@@ -447,6 +493,226 @@ let validate ?mem_limit_bytes ?(allow_distributed_fusion = false) t =
       walk (pos + 1) rest
   in
   walk 0 t.steps
+
+(* --- Sum plans ---------------------------------------------------------
+
+   A plan for a multi-term sum: the shared intermediates (cross-term CSE
+   groups) are materialized first, each by its own sub-plan; then every
+   term runs as an ordinary plan whose pinned leaves read the stored
+   shared values; finally the scaled term values are accumulated locally
+   (communication-free: every term plan ends in the same output index
+   space). *)
+
+type sum = {
+  sum_out : Aref.t;
+  shared : (string * Index.t list * t) list;
+      (** shared intermediates in production order: CSE name, the
+          representative's output index order the value is stored under,
+          and the sub-plan computing it *)
+  terms : (float * t) list;  (** coefficient and plan, one per term *)
+  acc_flops : int;
+      (** local cost of scaling each term and accumulating the sum *)
+  sum_comm_cost : float;
+  sum_flops : int;
+  sum_grid : Grid.t;
+  sum_params : Params.t;
+}
+
+let final_step t = List.nth t.steps (List.length t.steps - 1)
+let output t = (final_step t).contraction.Contraction.out
+let output_dist t = Variant.dist_of (final_step t).variant Variant.Out
+
+(* Does plan [t] read [name] as a leaf (not produced inside [t])? *)
+let consumes_leaf t name =
+  let produced = Hashtbl.create 8 in
+  List.iter
+    (fun s -> Hashtbl.replace produced (Aref.name s.contraction.Contraction.out) ())
+    t.steps;
+  List.iter (fun ps -> Hashtbl.replace produced (Aref.name ps.out) ()) t.presums;
+  (not (Hashtbl.mem produced name))
+  && List.exists
+       (fun s ->
+         List.exists
+           (fun role ->
+             String.equal (Aref.name (Variant.aref_of s.variant role)) name)
+           [ Variant.Left; Variant.Right ])
+       t.steps
+
+let sum_accumulation_flops ext ~out ~n_terms =
+  ((2 * n_terms) - 1) * Extents.size_of ext (Aref.indices out)
+
+(* Stored footprint (words per node) of each shared value, in production
+   order. *)
+let shared_stored_words ext ~side shared =
+  List.map
+    (fun (_, rep_order, p) ->
+      Eqs.dist_size ext ~side ~alpha:(output_dist p) ~fused:Index.Set.empty
+        ~dims:rep_order)
+    shared
+
+(* Peak bytes per node over the whole sum's lifetime: while shared value
+   [j] is being computed, values [0..j-1] are already resident; while
+   term [i] runs, every shared value with a consumer at term [i] or later
+   is resident — those term [i] itself reads are already inside the term
+   plan's own accounting (pinned leaves count as resident there), the
+   rest are carried as extra residency. *)
+let sum_peak_bytes ext s =
+  let side = Grid.side s.sum_grid in
+  let stored = shared_stored_words ext ~side s.shared in
+  let last_consumer (name, _, _) =
+    let r = ref (-1) in
+    List.iteri (fun i (_, p) -> if consumes_leaf p name then r := i) s.terms;
+    !r
+  in
+  let lasts = List.map last_consumer s.shared in
+  let peak = ref 0.0 in
+  let note m = if m > !peak then peak := m in
+  List.iteri
+    (fun j (_, _, p) ->
+      let before = List.filteri (fun l _ -> l < j) stored in
+      let extra = List.fold_left ( + ) 0 before in
+      note (Memacct.node_bytes s.sum_params (Memacct.add_resident p.mem extra)))
+    s.shared;
+  List.iteri
+    (fun i (_, p) ->
+      let extra =
+        List.fold_left2
+          (fun acc ((name, _, _), last) words ->
+            if last >= i && not (consumes_leaf p name) then acc + words
+            else acc)
+          0
+          (List.combine s.shared lasts)
+          stored
+      in
+      note (Memacct.node_bytes s.sum_params (Memacct.add_resident p.mem extra)))
+    s.terms;
+  !peak
+
+let assemble_sum ~ext ~grid ~params ~out ~shared ~terms =
+  let comm =
+    List.fold_left (fun a (_, _, p) -> a +. p.comm_cost) 0.0 shared
+  in
+  let comm = List.fold_left (fun a (_, p) -> a +. p.comm_cost) comm terms in
+  let acc_flops =
+    sum_accumulation_flops ext ~out ~n_terms:(List.length terms)
+  in
+  let flops =
+    List.fold_left (fun a (_, _, p) -> a + p.flops) acc_flops shared
+  in
+  let flops = List.fold_left (fun a (_, p) -> a + p.flops) flops terms in
+  {
+    sum_out = out;
+    shared;
+    terms;
+    acc_flops;
+    sum_comm_cost = comm;
+    sum_flops = flops;
+    sum_grid = grid;
+    sum_params = params;
+  }
+
+let sum_mem_per_node_bytes ext s = sum_peak_bytes ext s
+
+let sum_compute_seconds s =
+  Params.compute_time s.sum_params
+    ~flops:(float_of_int s.sum_flops /. float_of_int (Grid.procs s.sum_grid))
+
+let sum_total_seconds s = sum_compute_seconds s +. s.sum_comm_cost
+
+let validate_sum ?mem_limit_bytes ?allow_distributed_fusion ~ext s =
+  let ( let* ) = Result.bind in
+  let fail fmt = Format.kasprintf (fun m -> Error m) fmt in
+  let* () = if s.terms = [] then fail "sum plan has no terms" else Ok () in
+  let* () =
+    List.fold_left
+      (fun acc (c, _) ->
+        let* () = acc in
+        if Float.is_finite c && c <> 0.0 then Ok ()
+        else fail "sum plan: coefficient %g is not finite and non-zero" c)
+      (Ok ()) s.terms
+  in
+  (* Shared sub-plans: ordinary valid plans, each producing its CSE name
+     in the representative index order, consumed by at least one term —
+     production precedes every consumer by construction, since all
+     shared values materialize before any term runs. *)
+  let* () =
+    List.fold_left
+      (fun acc (name, rep_order, p) ->
+        let* () = acc in
+        let* () = validate ?mem_limit_bytes ?allow_distributed_fusion p in
+        let outp = output p in
+        let* () =
+          if String.equal (Aref.name outp) name then Ok ()
+          else fail "sum plan: shared %s is produced under the name %s" name
+                 (Aref.name outp)
+        in
+        let* () =
+          if List.equal Index.equal (Aref.indices outp) rep_order then Ok ()
+          else fail "sum plan: shared %s is stored in a different index \
+                     order than declared"
+                 name
+        in
+        if List.exists (fun (_, tp) -> consumes_leaf tp name) s.terms then
+          Ok ()
+        else fail "sum plan: shared %s has no consumer" name)
+      (Ok ()) s.shared
+  in
+  (* Term plans: valid with their pinned shared leaves, all producing a
+     value in the sum output's index space (accumulation is pointwise). *)
+  let pinned =
+    List.map (fun (name, rep_order, p) -> (name, (rep_order, output_dist p)))
+      s.shared
+  in
+  let* () =
+    List.fold_left
+      (fun acc (_, p) ->
+        let* () = acc in
+        let* () = validate ~pinned ?mem_limit_bytes ?allow_distributed_fusion p in
+        if List.equal Index.equal
+             (Aref.indices (output p))
+             (Aref.indices s.sum_out)
+        then Ok ()
+        else fail "sum plan: term output %s does not match the sum output \
+                   index order"
+               (Aref.name (output p)))
+      (Ok ()) s.terms
+  in
+  (* Book-keeping totals, recomputed in the same order the assembler used
+     so float equality is exact. *)
+  let* () =
+    let expect =
+      sum_accumulation_flops ext ~out:s.sum_out ~n_terms:(List.length s.terms)
+    in
+    if s.acc_flops = expect then Ok ()
+    else fail "sum plan: accumulation flops %d, expected %d" s.acc_flops expect
+  in
+  let* () =
+    let comm =
+      List.fold_left (fun a (_, _, p) -> a +. p.comm_cost) 0.0 s.shared
+    in
+    let comm = List.fold_left (fun a (_, p) -> a +. p.comm_cost) comm s.terms in
+    if Float.equal comm s.sum_comm_cost then Ok ()
+    else fail "sum plan: communication cost %g disagrees with its parts (%g)"
+           s.sum_comm_cost comm
+  in
+  let* () =
+    let flops =
+      List.fold_left (fun a (_, _, p) -> a + p.flops) s.acc_flops s.shared
+    in
+    let flops = List.fold_left (fun a (_, p) -> a + p.flops) flops s.terms in
+    if flops = s.sum_flops then Ok ()
+    else fail "sum plan: flop count %d disagrees with its parts (%d)"
+           s.sum_flops flops
+  in
+  let limit =
+    Option.value mem_limit_bytes
+      ~default:s.sum_params.Params.mem_per_node_bytes
+  in
+  let peak = sum_peak_bytes ext s in
+  if peak <= limit then Ok ()
+  else
+    fail "sum plan needs %a per node over its lifetime, over the %a limit"
+      Units.pp_bytes_si peak Units.pp_bytes_si limit
 
 let pp_step ppf s =
   Format.fprintf ppf "@[<v 2>%a@,variant: %a@,fusions: out %a, left %a, right %a@,"
@@ -481,3 +747,24 @@ let pp ppf t =
     (100.0 *. comm_fraction t)
     Units.pp_bytes_si (mem_per_node_bytes t) Units.pp_bytes_si
     t.params.Params.mem_per_node_bytes
+
+let pp_sum ext ppf s =
+  Format.fprintf ppf "@[<v>sum plan for %a: %d shared value(s), %d term(s)@,"
+    Aref.pp s.sum_out (List.length s.shared) (List.length s.terms);
+  List.iter
+    (fun (name, rep_order, p) ->
+      Format.fprintf ppf "@[<v 2>shared %s[%a]:@,%a@]@," name Index.pp_list
+        rep_order pp p)
+    s.shared;
+  List.iteri
+    (fun i (c, p) ->
+      Format.fprintf ppf "@[<v 2>term %d (coefficient %g):@,%a@]@," (i + 1) c
+        pp p)
+    s.terms;
+  Format.fprintf ppf
+    "accumulation flops %d (local)@,\
+     total communication %.1f s, total flops %d@,\
+     peak memory/node %a (limit %a)@]"
+    s.acc_flops s.sum_comm_cost s.sum_flops Units.pp_bytes_si
+    (sum_peak_bytes ext s) Units.pp_bytes_si
+    s.sum_params.Params.mem_per_node_bytes

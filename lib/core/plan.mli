@@ -101,8 +101,8 @@ val assemble :
     totals from the steps. *)
 
 val validate :
-  ?mem_limit_bytes:float -> ?allow_distributed_fusion:bool -> t
-  -> (unit, string) result
+  ?pinned:(string * (Index.t list * Dist.t)) list -> ?mem_limit_bytes:float
+  -> ?allow_distributed_fusion:bool -> t -> (unit, string) result
 (** Check a plan against the legality rules the optimizer is supposed to
     enforce, from the plan alone: the per-node memory limit
     ([?mem_limit_bytes], default the machine's memory), fusion sets within
@@ -114,8 +114,95 @@ val validate :
     producer and consumer distribution contents disagree — with matching
     endpoint distributions and the paper's constraint (iii)
     ({!Tce_fusion.Fusionset.dist_compatible}) on fused edges. Inputs and
-    presummed arrays must be consumed without redistribution. Used by the
-    fuzz-oracle suite to certify every plan the search returns. *)
+    presummed arrays must be consumed without redistribution.
+
+    [?pinned] maps a leaf name to [(rep_order, stored)]: the leaf is a
+    shared intermediate of a sum plan, materialized outside this plan in
+    distribution [stored] over the index order [rep_order]. Such a leaf
+    is held to producer rules rather than input rules: renaming [stored]
+    positionally onto the occurrence's indices gives its effective
+    production distribution, and the occurrence must either consume a
+    content-equal distribution with no redistribution or carry exactly
+    one redistribution from it (constraint (iii) applying on fused
+    edges). Used by the fuzz-oracle suite to certify every plan the
+    search returns. *)
 
 val pp : Format.formatter -> t -> unit
 (** Multi-line human-readable plan description. *)
+
+(** {2 Sum plans}
+
+    A plan for a multi-term sum of contraction terms (DESIGN.md §16): the
+    cross-term shared intermediates are materialized first by their own
+    sub-plans, every term then runs as an ordinary plan whose pinned
+    leaves read the stored shared values, and the scaled term values are
+    accumulated locally — every term plan ends in the sum output's index
+    space, so accumulation is pointwise and communication-free. *)
+type sum = {
+  sum_out : Aref.t;
+  shared : (string * Index.t list * t) list;
+      (** shared intermediates in production order: CSE name, the
+          representative's output index order the value is stored under,
+          and the sub-plan computing it *)
+  terms : (float * t) list;  (** coefficient and plan, one per term *)
+  acc_flops : int;
+      (** local cost of scaling each term and accumulating the sum *)
+  sum_comm_cost : float;  (** the optimizer's objective: Σ over sub-plans *)
+  sum_flops : int;  (** Σ over sub-plans plus [acc_flops] *)
+  sum_grid : Grid.t;
+  sum_params : Params.t;
+}
+
+val output : t -> Aref.t
+(** The array the plan's last step produces. *)
+
+val output_dist : t -> Dist.t
+(** The distribution the plan's last step leaves its output in. *)
+
+val sum_accumulation_flops : Extents.t -> out:Aref.t -> n_terms:int -> int
+(** Local accumulation cost of an [n_terms]-way sum: each term value is
+    scaled by its coefficient and added, [(2·n_terms − 1) · |out|]. *)
+
+val sum_peak_bytes : Extents.t -> sum -> float
+(** Peak bytes per node over the whole sum's lifetime: while shared value
+    [j] is computed, values [0..j−1] are resident; while term [i] runs,
+    every shared value still needed at term [i] or later is resident
+    (term [i]'s own pinned reads are already inside that plan's memory
+    account; the rest are carried as extra residency). *)
+
+val sum_mem_per_node_bytes : Extents.t -> sum -> float
+(** Alias of {!sum_peak_bytes}, matching {!mem_per_node_bytes}. *)
+
+val sum_compute_seconds : sum -> float
+(** {!compute_seconds} over the whole sum: [sum_flops / (P · flop_rate)]
+    (accumulation included). *)
+
+val sum_total_seconds : sum -> float
+(** {!total_seconds} over the whole sum: computation plus communication,
+    strictly serialized. *)
+
+val assemble_sum :
+  ext:Extents.t -> grid:Grid.t -> params:Params.t -> out:Aref.t
+  -> shared:(string * Index.t list * t) list -> terms:(float * t) list
+  -> sum
+(** Build a sum plan from its parts; computes the accumulation flops and
+    the cost totals (communication summed shared-first then terms, in
+    list order — {!validate_sum} recomputes in the identical order, so
+    the float comparison there is exact). *)
+
+val validate_sum :
+  ?mem_limit_bytes:float -> ?allow_distributed_fusion:bool -> ext:Extents.t
+  -> sum -> (unit, string) result
+(** {!validate} lifted to sum plans: every shared sub-plan is a valid
+    plan producing its CSE name in the declared index order with at least
+    one consuming term (production precedes every consumer by
+    construction — shared values materialize before any term runs);
+    every term plan is valid under the pinned shared leaves and produces
+    a value in the sum output's index space; coefficients are finite and
+    non-zero; the accumulation-flop, total-flop and total-communication
+    book-keeping agrees with the parts; and {!sum_peak_bytes} fits the
+    memory limit. *)
+
+val pp_sum : Extents.t -> Format.formatter -> sum -> unit
+(** Multi-line human-readable sum plan description: shared sub-plans,
+    term sub-plans with coefficients, and the lifetime totals. *)

@@ -485,6 +485,13 @@ type ctx = {
   pool : Parsearch.t option;
   memo : memo option;
   cancel : (unit -> bool) option;
+  pinned : (Index.t list * Dist.t) SMap.t;
+      (** Sum optimization: leaf names that are shared intermediates,
+          already materialized in the given distribution over the given
+          index order (the representative's). Such a leaf is consumed
+          like a produced intermediate — content-equal for free,
+          otherwise through a costed redistribution — and its storage is
+          charged as resident. Empty for single-tree solves. *)
 }
 
 (* Cooperative cancellation, checked at every DP node (and before each
@@ -653,9 +660,9 @@ and solve_contract ctx ~contraction ~f_out_candidates node l r =
                           [ Variant.Out; Variant.Left; Variant.Right ])
                 then begin
                   match
-                    combine cfg ext ~side ~variant ~contraction ~flops
-                      ~alpha_out ~f_out ~f_left ~f_right ~left_case
-                      ~right_case ~out_aref
+                    combine cfg ext ~side ~pinned:ctx.pinned ~variant
+                      ~contraction ~flops ~alpha_out ~f_out ~f_left ~f_right
+                      ~left_case ~right_case ~out_aref
                   with
                   | None -> ()
                   | Some sol -> acc := sol :: !acc
@@ -735,18 +742,39 @@ and child_cases ctx parent_node child =
 
 (* Assemble one candidate solution at a contraction node; [None] when the
    combination is illegal or over the memory limit. *)
-and combine cfg ext ~side ~variant ~contraction ~flops ~alpha_out ~f_out
-    ~f_left ~f_right ~left_case ~right_case ~out_aref =
+and combine cfg ext ~side ~pinned ~variant ~contraction ~flops ~alpha_out
+    ~f_out ~f_left ~f_right ~left_case ~right_case ~out_aref =
   let consume role case fused =
     match case with
-    | Cleaf a ->
-      (* Inputs materialize in the required distribution for free. *)
-      let alpha = Variant.dist_of variant role in
-      let resident =
-        Eqs.dist_size ext ~side ~alpha ~fused:Index.Set.empty
-          ~dims:(Aref.indices a)
-      in
-      Ok ((resident, []), None)
+    | Cleaf a -> begin
+      match SMap.find_opt (Aref.name a) pinned with
+      | Some (rep_order, stored) ->
+        (* A shared intermediate of a sum, materialized earlier in
+           [stored] over [rep_order]; renaming positionally onto this
+           occurrence's indices gives its effective production
+           distribution. Consumption follows producer rules — free when
+           content-equal, otherwise a costed redistribution — and the
+           stored value is charged resident (unreduced: it outlives this
+           term). *)
+        let prod = Dist.rename stored ~from:rep_order ~into:(Aref.indices a) in
+        let resident =
+          Eqs.dist_size ext ~side ~alpha:prod ~fused:Index.Set.empty
+            ~dims:(Aref.indices a)
+        in
+        begin
+          match redistribution cfg ext ~variant ~role ~fused ~prod with
+          | Error `Illegal -> Error `Illegal
+          | Ok rd -> Ok ((resident, []), rd)
+        end
+      | None ->
+        (* Inputs materialize in the required distribution for free. *)
+        let alpha = Variant.dist_of variant role in
+        let resident =
+          Eqs.dist_size ext ~side ~alpha ~fused:Index.Set.empty
+            ~dims:(Aref.indices a)
+        in
+        Ok ((resident, []), None)
+    end
     | Cpresum { out; sum; source } ->
       (* The source input stays fully resident; the reduced array is
          stored under the edge fusion; the reduction itself is local. *)
@@ -859,6 +887,21 @@ let check_grid cfg =
          (Grid.side cfg.grid))
   else Ok ()
 
+(* Turn a chosen solution into a plan (the plan-construction tail every
+   entry point shares). *)
+let assemble_solution cfg ext best =
+  let flops =
+    List.fold_left (fun acc (s : Plan.step) -> acc + s.flops) 0 best.steps
+  in
+  let flops =
+    flops
+    + List.fold_left (fun acc (p : Plan.presum) -> acc + p.flops) 0 best.presums
+  in
+  Tce_error.to_string_result
+    (Tce_error.protect (fun () ->
+         Plan.assemble ~ext ~grid:cfg.grid ~params:cfg.params ~flops
+           ~mem:best.mem ~presums:best.presums best.steps))
+
 let run ?(select = better) ?(jobs = 1) ?(memo = true) ?beam ?fusion_cap
     ?cancel ?pool cfg ext tree ~prune =
   let ( let* ) = Result.bind in
@@ -877,7 +920,17 @@ let run ?(select = better) ?(jobs = 1) ?(memo = true) ?beam ?fusion_cap
   let jobs = match pool with Some p -> Parsearch.jobs p | None -> jobs in
   let solve_all pool =
     let ctx =
-      { cfg; ext; prune; beam; fusion_cap; pool; memo = memo_state; cancel }
+      {
+        cfg;
+        ext;
+        prune;
+        beam;
+        fusion_cap;
+        pool;
+        memo = memo_state;
+        cancel;
+        pinned = SMap.empty;
+      }
     in
     Obs.span ~cat:"search"
       ~args:[ ("jobs", string_of_int jobs) ]
@@ -903,18 +956,7 @@ let run ?(select = better) ?(jobs = 1) ?(memo = true) ?beam ?fusion_cap
   | _ -> ());
   match Listx.minimum_by select sols with
   | None -> Error "no feasible solution"
-  | Some best ->
-    let flops =
-      List.fold_left (fun acc (s : Plan.step) -> acc + s.flops) 0 best.steps
-    in
-    let flops =
-      flops
-      + List.fold_left (fun acc (p : Plan.presum) -> acc + p.flops) 0 best.presums
-    in
-    Tce_error.to_string_result
-      (Tce_error.protect (fun () ->
-           Plan.assemble ~ext ~grid:cfg.grid ~params:cfg.params ~flops
-             ~mem:best.mem ~presums:best.presums best.steps))
+  | Some best -> assemble_solution cfg ext best
 
 let optimize ?jobs ?memo ?beam ?cancel ?pool cfg ext tree =
   run ?jobs ?memo ?beam ?cancel ?pool cfg ext tree ~prune:true
@@ -1042,6 +1084,7 @@ let solution_count ?jobs ?memo ?beam cfg ext tree =
         pool;
         memo = memo_state;
         cancel = None;
+        pinned = SMap.empty;
       }
     in
     solve ctx ~parent:None tree
@@ -1051,6 +1094,257 @@ let solution_count ?jobs ?memo ?beam cfg ext tree =
     else solve_all None
   in
   Ok (List.length sols)
+
+(* --- Sum optimization: multi-term with cross-term CSE (DESIGN.md §16) --
+
+   A sum [O = Σᵢ cᵢ·Tᵢ] is planned in two phases: the cross-term shared
+   subtrees found by [Sumexpr.detect] are materialized first, then every
+   term is solved as an ordinary tree whose occurrences of a shared value
+   are pinned leaves (consumed under producer rules from the stored
+   distribution — see [combine]). The optimizer enumerates every subset
+   of the detected groups (≤ 2^3) — sharing is not always a win: storing
+   a shared value costs memory for its whole lifetime and may force
+   redistributions its consumers would not otherwise pay — and, per
+   subset, the cartesian product of the shared subtrees' solution lists;
+   term solutions are filtered by their lifetime memory (the term's own
+   peak plus the residency of shared values still needed later) and the
+   cheapest feasible combination wins. Subset 0 is the no-sharing
+   baseline, so the result is never worse than planning each term
+   independently.
+
+   Determinism: the mask loop, the cartesian enumeration and the
+   strictly-better-first tie-break are sequential and fixed; the
+   underlying tree solves are jobs-invariant, so the chosen sum plan is
+   byte-identical for every jobs setting. *)
+
+let sum_fingerprint se =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "sum|";
+  List.iter
+    (fun i ->
+      Buffer.add_string buf (Index.name i);
+      Buffer.add_char buf ',')
+    (Aref.indices (Sumexpr.out se));
+  List.iter
+    (fun (t : Sumexpr.term) ->
+      Buffer.add_string buf (Printf.sprintf "|%h*" t.Sumexpr.coeff);
+      Buffer.add_string buf (fingerprint ~with_names:true t.Sumexpr.tree))
+    (Sumexpr.terms se);
+  Buffer.contents buf
+
+(* Map over a list inside the result monad, propagating the first error. *)
+let map_result f l =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> ( match f x with Ok y -> go (y :: acc) rest | Error _ as e -> e)
+  in
+  go [] l
+
+let run_sum ?(select = better) ?(jobs = 1) ?(memo = true) ?beam ?fusion_cap
+    ?cancel ?pool ?(max_groups = 3) cfg ext se ~prune =
+  let ( let* ) = Result.bind in
+  let* () =
+    if jobs < 1 then err "search: jobs must be >= 1 (got %d)" jobs else Ok ()
+  in
+  let* () =
+    match beam with
+    | Some k when k < 1 -> err "search: beam width must be >= 1 (got %d)" k
+    | _ -> Ok ()
+  in
+  let* () = check_grid cfg in
+  let out = Sumexpr.out se in
+  let groups =
+    if max_groups <= 0 then [] else Sumexpr.detect ~max_groups ext se
+  in
+  let limit = mem_limit cfg in
+  let side = Grid.side cfg.grid in
+  let with_pool f =
+    match pool with
+    | Some p -> f (Some p)
+    | None ->
+      if jobs > 1 then Parsearch.with_pool ~jobs (fun p -> f (Some p))
+      else f None
+  in
+  with_pool @@ fun pool ->
+  (* One bottom-up solve, returning the node's full solution list. Fresh
+     memo per call: the memo key does not capture pinned distributions,
+     so entries must not leak between solves under different pins. *)
+  let solve_tree ?(pinned = SMap.empty) tree =
+    let memo_state = if memo then Some (memo_create ()) else None in
+    let ctx =
+      { cfg; ext; prune; beam; fusion_cap; pool; memo = memo_state; cancel;
+        pinned }
+    in
+    let tree = Tree.fuse_mult_sum tree in
+    let* () = Tree.validate tree in
+    solve ctx ~parent:None tree
+  in
+  (* Each group's representative, solved once; [] when infeasible alone
+     (masks selecting it are skipped). *)
+  let rep_sols =
+    List.map
+      (fun (g : Sumexpr.group) ->
+        match solve_tree g.Sumexpr.rep with Ok sols -> sols | Error _ -> [])
+      groups
+  in
+  let consumers =
+    List.map
+      (fun (g : Sumexpr.group) ->
+        List.sort_uniq compare
+          (List.map (fun (o : Sumexpr.occ) -> o.Sumexpr.term) g.Sumexpr.occs))
+      groups
+  in
+  let annotated = List.combine (List.combine groups rep_sols) consumers in
+  let term_cache = Hashtbl.create 64 in
+  let stored_words (g : Sumexpr.group) sol =
+    Eqs.dist_size ext ~side ~alpha:sol.prod_dist ~fused:Index.Set.empty
+      ~dims:g.Sumexpr.rep_order
+  in
+  let feasible extra sol =
+    Memacct.node_bytes cfg.params (Memacct.add_resident sol.mem extra) <= limit
+  in
+  let best = ref None in
+  (* One candidate: a group-subset assignment of shared solutions plus
+     the hoisted term trees; feasibility-check, solve every term, and
+     keep the cheapest total. *)
+  let consider mask assignment term_trees =
+    (* [assignment]: (group, consuming terms, chosen solution) in detect
+       order. Shared values materialize in that order, each on top of
+       its predecessors' storage. *)
+    let stored = List.map (fun (g, _, s) -> stored_words g s) assignment in
+    let shared_ok =
+      let rec go before asg ws =
+        match (asg, ws) with
+        | [], [] -> true
+        | (_, _, s) :: arest, w :: wrest ->
+          feasible before s && go (before + w) arest wrest
+        | _ -> false
+      in
+      go 0 assignment stored
+    in
+    if shared_ok then begin
+      let akey =
+        String.concat ";"
+          (List.map
+             (fun ((g : Sumexpr.group), _, s) ->
+               g.Sumexpr.name ^ "=" ^ orient_key s.prod_dist)
+             assignment)
+      in
+      let pinned =
+        List.fold_left
+          (fun m ((g : Sumexpr.group), _, s) ->
+            SMap.add g.Sumexpr.name (g.Sumexpr.rep_order, s.prod_dist) m)
+          SMap.empty assignment
+      in
+      (* Extra residency while term [i] runs: shared values with a later
+         consumer that term [i] does not itself read (its own reads are
+         pinned leaves, already inside the term solution's account). *)
+      let extra_for i =
+        List.fold_left2
+          (fun acc (_, cons, _) w ->
+            let last = List.fold_left max (-1) cons in
+            if last >= i && not (List.mem i cons) then acc + w else acc)
+          0 assignment stored
+      in
+      let term_best =
+        List.mapi
+          (fun i tree ->
+            let sols =
+              match Hashtbl.find_opt term_cache (mask, i, akey) with
+              | Some r -> r
+              | None ->
+                let r = solve_tree ~pinned tree in
+                Hashtbl.replace term_cache (mask, i, akey) r;
+                r
+            in
+            match sols with
+            | Error _ -> None
+            | Ok sols ->
+              Listx.minimum_by select
+                (List.filter (feasible (extra_for i)) sols))
+          term_trees
+      in
+      if List.for_all Option.is_some term_best then begin
+        let term_best = List.map Option.get term_best in
+        let total =
+          List.fold_left
+            (fun a (_, _, (s : solution)) -> a +. s.cost)
+            0.0 assignment
+          +. List.fold_left
+               (fun a (s : solution) -> a +. s.cost)
+               0.0 term_best
+        in
+        match !best with
+        | Some (c, _, _) when c <= total -> ()
+        | _ -> best := Some (total, assignment, term_best)
+      end
+    end
+  in
+  let ng = List.length groups in
+  List.iter
+    (fun mask ->
+      let sel =
+        List.filteri (fun gi _ -> mask land (1 lsl gi) <> 0) annotated
+      in
+      if List.for_all (fun ((_, sols), _) -> sols <> []) sel then begin
+        let selected = List.map (fun ((g, _), _) -> g) sel in
+        let _, terms' = Sumexpr.hoist se ~selected in
+        let term_trees =
+          List.map (fun (t : Sumexpr.term) -> t.Sumexpr.tree) terms'
+        in
+        let rec assignments acc = function
+          | [] -> consider mask (List.rev acc) term_trees
+          | ((g, sols), cons) :: rest ->
+            List.iter (fun s -> assignments ((g, cons, s) :: acc) rest) sols
+        in
+        assignments [] sel
+      end)
+    (List.init (1 lsl ng) Fun.id);
+  match !best with
+  | None ->
+    err "no feasible solution for the sum under the %a memory limit"
+      Units.pp_bytes_si limit
+  | Some (_, assignment, term_best) ->
+    let* shared =
+      map_result
+        (fun ((g : Sumexpr.group), _, s) ->
+          let* p = assemble_solution cfg ext s in
+          Ok (g.Sumexpr.name, g.Sumexpr.rep_order, p))
+        assignment
+    in
+    let* terms =
+      map_result
+        (fun ((t : Sumexpr.term), s) ->
+          let* p = assemble_solution cfg ext s in
+          Ok (t.Sumexpr.coeff, p))
+        (List.combine (Sumexpr.terms se) term_best)
+    in
+    Ok
+      (Plan.assemble_sum ~ext ~grid:cfg.grid ~params:cfg.params ~out ~shared
+         ~terms)
+
+let optimize_sum ?jobs ?memo ?beam ?max_groups ?cancel ?pool cfg ext se =
+  run_sum ?jobs ?memo ?beam ?max_groups ?cancel ?pool cfg ext se ~prune:true
+
+let brute_force_sum ?max_groups cfg ext se =
+  run_sum ~memo:false ?max_groups cfg ext se ~prune:false
+
+(* The sum rung of the serve layer's degradation ladder: no sharing, each
+   term through the widening greedy rungs — milliseconds, and still
+   [Plan.validate_sum]-certifiable like any exact sum plan. *)
+let greedy_sum ?jobs ?memo ?cancel ?pool cfg ext se =
+  let ( let* ) = Result.bind in
+  let* () = check_grid cfg in
+  let* terms =
+    map_result
+      (fun (t : Sumexpr.term) ->
+        let* p = greedy ?jobs ?memo ?cancel ?pool cfg ext t.Sumexpr.tree in
+        Ok (t.Sumexpr.coeff, p))
+      (Sumexpr.terms se)
+  in
+  Ok
+    (Plan.assemble_sum ~ext ~grid:cfg.grid ~params:cfg.params
+       ~out:(Sumexpr.out se) ~shared:[] ~terms)
 
 (* --- Content fingerprint and plan renaming (the serve-layer cache) ----- *)
 

@@ -187,6 +187,64 @@ val brute_force : config -> Extents.t -> Tree.t -> (Plan.t, string) result
     whole tree with no dominance pruning and no memo cache — exponential;
     the test oracle for {!optimize}. *)
 
+(** {2 Multi-term sums with cross-term CSE (DESIGN.md §16)}
+
+    A sum [O = Σᵢ cᵢ·Tᵢ] is planned in two phases: the cross-term shared
+    subtrees found by {!Tce_expr.Sumexpr.detect} are materialized first,
+    each by its own sub-plan; then every term is solved as an ordinary
+    tree whose occurrences of a shared value are {e pinned} leaves,
+    consumed under producer rules from the stored distribution
+    (content-equal for free, otherwise through a costed redistribution)
+    with the stored value charged resident. The optimizer enumerates
+    every subset of the detected groups — sharing is not always a win:
+    a stored shared value occupies memory for its whole lifetime and may
+    force redistributions its consumers would not otherwise pay — and,
+    per subset, the cartesian product of the shared subtrees' solution
+    lists; term solutions are filtered by their lifetime memory (the
+    term's own peak plus the residency of shared values still needed by
+    later terms) and the cheapest feasible combination wins. Subset ∅ is
+    the no-sharing baseline, so the result is never costlier than
+    planning each term independently. The final accumulation is local
+    and communication-free (every term plan ends in the sum output's
+    index space).
+
+    Determinism: the subset loop, the cartesian enumeration and the
+    strictly-better-first tie-break are sequential and fixed; the
+    underlying tree solves are jobs-invariant — so the chosen sum plan
+    is byte-identical for every [?jobs] setting. *)
+
+val optimize_sum :
+  ?jobs:int -> ?memo:bool -> ?beam:int -> ?max_groups:int
+  -> ?cancel:(unit -> bool) -> ?pool:Parsearch.t -> config -> Extents.t
+  -> Sumexpr.t -> (Plan.sum, string) result
+(** The optimal sum plan under the paper's cost model, or an error when
+    any term is outside the Cannon template, the grid side mismatches
+    the characterization, or no combination fits in memory.
+    [?max_groups] (default 3) caps the CSE groups considered; 0 disables
+    sharing entirely — the per-term-independent baseline, which tests
+    use as the comparison point. *)
+
+val brute_force_sum :
+  ?max_groups:int -> config -> Extents.t -> Sumexpr.t
+  -> (Plan.sum, string) result
+(** {!optimize_sum} with no dominance pruning and no memo cache on the
+    underlying tree solves — exponential; the sum-level test oracle. *)
+
+val greedy_sum :
+  ?jobs:int -> ?memo:bool -> ?cancel:(unit -> bool) -> ?pool:Parsearch.t
+  -> config -> Extents.t -> Sumexpr.t -> (Plan.sum, string) result
+(** The sum rung of the serve layer's degradation ladder: no sharing,
+    each term planned by {!greedy}'s widening rungs. Milliseconds, and
+    still {!Plan.validate_sum}-certifiable; only optimality is traded
+    away. *)
+
+val sum_fingerprint : Sumexpr.t -> string
+(** Cache key material for a whole sum: the output index list plus, per
+    term, its exact coefficient ([%h]) and the {e named} content
+    fingerprint of its tree. Distinct by construction from every
+    single-tree {!tree_fingerprint} (the ["sum|"] prefix), so a sum
+    request and any one of its terms never share a cache entry. *)
+
 (** {2 Content fingerprint and plan renaming}
 
     The serving layer's plan cache is keyed on the α-renamed content

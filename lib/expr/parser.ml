@@ -3,8 +3,11 @@ open! Import
 type token =
   | Ident of string
   | Int of int
+  | Float of float
   | Equals
   | Star
+  | Plus
+  | Minus
   | Lbracket
   | Rbracket
   | Comma
@@ -12,8 +15,11 @@ type token =
 let pp_token ppf = function
   | Ident s -> Format.fprintf ppf "identifier %S" s
   | Int n -> Format.fprintf ppf "integer %d" n
+  | Float f -> Format.fprintf ppf "number %g" f
   | Equals -> Format.pp_print_string ppf "'='"
   | Star -> Format.pp_print_string ppf "'*'"
+  | Plus -> Format.pp_print_string ppf "'+'"
+  | Minus -> Format.pp_print_string ppf "'-'"
   | Lbracket -> Format.pp_print_string ppf "'['"
   | Rbracket -> Format.pp_print_string ppf "']'"
   | Comma -> Format.pp_print_string ppf "','"
@@ -32,6 +38,8 @@ let tokenize line =
       | '#' -> List.rev acc
       | '=' -> go (i + 1) (Equals :: acc)
       | '*' -> go (i + 1) (Star :: acc)
+      | '+' -> go (i + 1) (Plus :: acc)
+      | '-' -> go (i + 1) (Minus :: acc)
       | '[' | '(' -> go (i + 1) (Lbracket :: acc)
       | ']' | ')' -> go (i + 1) (Rbracket :: acc)
       | ',' -> go (i + 1) (Comma :: acc)
@@ -40,7 +48,16 @@ let tokenize line =
         while !j < n && match line.[!j] with '0' .. '9' -> true | _ -> false do
           incr j
         done;
-        go !j (Int (int_of_string (String.sub line i (!j - i))) :: acc)
+        if !j < n && line.[!j] = '.' then begin
+          incr j;
+          while
+            !j < n && match line.[!j] with '0' .. '9' -> true | _ -> false
+          do
+            incr j
+          done;
+          go !j (Float (float_of_string (String.sub line i (!j - i))) :: acc)
+        end
+        else go !j (Int (int_of_string (String.sub line i (!j - i))) :: acc)
       | 'a' .. 'z' | 'A' .. 'Z' | '_' ->
         let j = ref i in
         while
@@ -114,6 +131,7 @@ type stmt =
   | Sextents of (Index.t * int) list
   | Sinput of Aref.t list
   | Sdef of Problem.def
+  | Ssum of Problem.sumdef
 
 let binding toks =
   let name, toks = ident toks in
@@ -142,15 +160,54 @@ let statement toks =
   | _ ->
     let lhs, toks = aref toks in
     let toks = expect Equals toks in
-    let sum, toks =
-      match toks with
-      | Ident "sum" :: Lbracket :: rest ->
-        let idxs, toks = index_list rest in
-        (idxs, expect Rbracket toks)
-      | _ -> ([], toks)
+    (* One addend: [number '*']? ['sum' '[' idxs ']']? factor ('*' factor)*.
+       [explicit] records whether a coefficient (or a leading sign, folded
+       in by the caller) was written — a lone addend must not carry one. *)
+    let addend_body toks =
+      let coeff, explicit, toks =
+        match toks with
+        | Int c :: Star :: rest -> (float_of_int c, true, rest)
+        | Float c :: Star :: rest -> (c, true, rest)
+        | _ -> (1.0, false, toks)
+      in
+      let sum, toks =
+        match toks with
+        | Ident "sum" :: Lbracket :: rest ->
+          let idxs, toks = index_list rest in
+          (idxs, expect Rbracket toks)
+        | _ -> ([], toks)
+      in
+      let fs, toks = factors toks in
+      ((coeff, explicit, sum, fs), toks)
     in
-    let terms, toks = factors toks in
-    finish (Sdef { Problem.lhs; sum; terms }, toks)
+    let first_sign, first_explicit, toks =
+      match toks with
+      | Minus :: rest -> (-1.0, true, rest)
+      | Plus :: rest -> (1.0, true, rest)
+      | _ -> (1.0, false, toks)
+    in
+    let rec addends sign sign_explicit toks acc =
+      let (coeff, coeff_explicit, sum, fs), toks = addend_body toks in
+      let a =
+        ( { Problem.coeff = sign *. coeff; sum; factors = fs },
+          sign_explicit || coeff_explicit )
+      in
+      match toks with
+      | Plus :: rest -> addends 1.0 true rest (a :: acc)
+      | Minus :: rest -> addends (-1.0) true rest (a :: acc)
+      | _ -> (List.rev (a :: acc), toks)
+    in
+    let addends, toks = addends first_sign first_explicit toks [] in
+    finish ((), toks);
+    begin
+      match addends with
+      | [ ({ Problem.coeff = _; sum; factors }, explicit) ] ->
+        if explicit then
+          fail "coefficients and signs require a multi-term sum"
+        else Sdef { Problem.lhs; sum; terms = factors }
+      | _ ->
+        Ssum { Problem.lhs; addends = List.map fst addends }
+    end
 
 let parse text =
   let lines = String.split_on_char '\n' text in
@@ -178,12 +235,28 @@ let parse text =
       List.concat_map (function Sinput arefs -> arefs | _ -> []) stmts
     in
     let defs = List.filter_map (function Sdef d -> Some d | _ -> None) stmts in
+    let sums = List.filter_map (function Ssum s -> Some s | _ -> None) stmts in
+    let inputs =
+      match declared_inputs with [] -> None | is -> Some is
+    in
     match Extents.of_list extent_bindings with
     | Error msg -> Error msg
-    | Ok extents ->
-      Problem.create ~extents
-        ?inputs:(match declared_inputs with [] -> None | is -> Some is)
-        defs
+    | Ok extents -> begin
+      match sums with
+      | [] -> Problem.create ~extents ?inputs defs
+      | [ sd ] ->
+        (* The sum is the problem's output: nothing may follow it. *)
+        let rec defs_after_sum seen_sum = function
+          | [] -> false
+          | Ssum _ :: rest -> defs_after_sum true rest
+          | Sdef _ :: rest -> seen_sum || defs_after_sum seen_sum rest
+          | _ :: rest -> defs_after_sum seen_sum rest
+        in
+        if defs_after_sum false stmts then
+          Error "definitions after the sum definition"
+        else Problem.create_sum ~extents ?inputs ~defs sd
+      | _ -> Error "at most one sum definition per problem"
+    end
   with Fail msg -> Error msg
 
 let parse_exn text =

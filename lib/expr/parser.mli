@@ -15,7 +15,18 @@
     the [input] line is optional (inputs are inferred when absent);
     parentheses may be used instead of brackets. Multi-factor products such
     as [S[a,b,i,j] = sum[c,d,e,f,k,l] A[...] * B[...] * C[...] * D[...]]
-    are accepted and left for operation minimization to binarize. *)
+    are accepted and left for operation minimization to binarize.
+
+    A definition may also be a multi-term sum (DESIGN.md §16): addends
+    separated by [+] / [-], each with an optional scalar coefficient, e.g.
+
+    {v
+    S[a,b] = sum[c] T1[a,c] * V[c,b] - 0.5 * sum[c] T1[a,c] * W[c,b]
+    v}
+
+    Signs fold into the coefficients. Coefficients and signs require a
+    multi-term sum — a lone addend must not carry one, so single-term
+    problems parse exactly as before. *)
 
 open! Import
 

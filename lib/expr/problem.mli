@@ -14,10 +14,26 @@ type def = {
   terms : Aref.t list;  (** one or more factors *)
 }
 
+type addend = {
+  coeff : float;  (** scalar coefficient, sign folded in *)
+  sum : Index.t list;  (** summation indices, possibly empty *)
+  factors : Aref.t list;  (** one or more factors *)
+}
+
+type sumdef = {
+  lhs : Aref.t;  (** the sum's output array *)
+  addends : addend list;
+      (** every addend produces the lhs index set (order-free, like
+          {!def}); the sum is [Σᵢ coeffᵢ · addendᵢ] *)
+}
+
 type t = {
   extents : Extents.t;
   inputs : Aref.t list;  (** declared or inferred input arrays *)
   defs : def list;
+  sum : sumdef option;
+      (** when present, the problem's output is a multi-term sum over the
+          defs/inputs in scope; [None] for classical single-term problems *)
 }
 
 val create :
@@ -25,16 +41,32 @@ val create :
 (** Validates: every term is an input or an earlier lhs; indices of every
     array have extents; summation indices occur in the terms; no duplicate
     definitions. When [inputs] is omitted, input arrays are inferred as the
-    referenced-but-never-defined arrays in first-use order. *)
+    referenced-but-never-defined arrays in first-use order. The result has
+    [sum = None]. *)
 
 val create_exn :
   extents:Extents.t -> ?inputs:Aref.t list -> def list -> t
 
+val create_sum :
+  extents:Extents.t ->
+  ?inputs:Aref.t list ->
+  defs:def list ->
+  sumdef ->
+  (t, string) result
+(** A multi-term sum problem. [defs] may be empty (addends built directly
+    from inputs). Each addend is validated like a definition with the
+    sum's lhs; coefficients must be finite and non-zero; addend factors
+    must be inputs or def lhs names; the sum lhs must be fresh. *)
+
+val create_sum_exn :
+  extents:Extents.t -> ?inputs:Aref.t list -> defs:def list -> sumdef -> t
+
 val to_sequence : t -> (Sequence.t, string) result
 (** Direct conversion; fails if some definition has three or more factors
-    (run operation minimization first). Two-factor definitions become
-    [Contract] (or [Mult] when there is no summation); single-factor
-    definitions become [Sum]. *)
+    (run operation minimization first) or if the problem is a multi-term
+    sum (a sum is not one formula sequence — see [Tce_opmin] and the sum
+    optimizer). Two-factor definitions become [Contract] (or [Mult] when
+    there is no summation); single-factor definitions become [Sum]. *)
 
 val binarize_left_deep : t -> t
 (** Rewrite every multi-term definition into a chain of binary contractions
@@ -43,5 +75,7 @@ val binarize_left_deep : t -> t
     intermediates named [<lhs>__1], [<lhs>__2], ... *)
 
 val output : t -> Aref.t
+(** The sum's lhs for a multi-term problem, else the last definition's. *)
 
 val pp : Format.formatter -> t -> unit
+val pp_sumdef : Format.formatter -> sumdef -> unit

@@ -1,0 +1,356 @@
+open! Import
+
+type term = { coeff : float; tree : Tree.t }
+type t = { out : Aref.t; terms : term list }
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let out t = t.out
+let terms t = t.terms
+
+let create ~out terms =
+  let ( let* ) = Result.bind in
+  let* () = if terms = [] then Error "sum needs at least one term" else Ok () in
+  let terms =
+    List.map (fun t -> { t with tree = Tree.fuse_mult_sum t.tree }) terms
+  in
+  let* () =
+    List.fold_left
+      (fun acc (i, t) ->
+        let* () = acc in
+        let* () =
+          if Float.is_finite t.coeff && t.coeff <> 0.0 then Ok ()
+          else err "term %d: coefficient must be finite and non-zero" (i + 1)
+        in
+        let* () = Tree.validate t.tree in
+        let* () =
+          match t.tree with
+          | Tree.Contract _ -> Ok ()
+          | _ ->
+            err "term %d: root must be a contraction (got %s)" (i + 1)
+              (Tree.name t.tree)
+        in
+        if List.equal Index.equal (Tree.indices t.tree) (Aref.indices out)
+        then Ok ()
+        else
+          err
+            "term %d: root indices %a do not match the sum output %a (order \
+             included)"
+            (i + 1) Index.pp_list (Tree.indices t.tree) Index.pp_list
+            (Aref.indices out))
+      (Ok ())
+      (List.mapi (fun i t -> (i, t)) terms)
+  in
+  let roots = List.map (fun t -> Tree.name t.tree) terms in
+  let* () =
+    if List.length (List.sort_uniq String.compare roots) = List.length roots
+    then Ok ()
+    else Error "term root names must be distinct"
+  in
+  Ok { out; terms }
+
+let create_exn ~out terms =
+  match create ~out terms with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Sumexpr.create_exn: " ^ msg)
+
+let flops ext t =
+  List.fold_left (fun acc tm -> acc + Tree.flops ext tm.tree) 0 t.terms
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a =@," Aref.pp t.out;
+  List.iteri
+    (fun i tm ->
+      let sign = if tm.coeff < 0.0 then "-" else if i = 0 then "" else "+" in
+      let mag = Float.abs tm.coeff in
+      if mag = 1.0 then Format.fprintf ppf "  %s term %d:@," sign (i + 1)
+      else Format.fprintf ppf "  %s %g * term %d:@," sign mag (i + 1);
+      Format.fprintf ppf "    %a@," Tree.pp tm.tree)
+    t.terms;
+  Format.fprintf ppf "@]"
+
+(* --- Cross-term common-subexpression detection ------------------------- *)
+
+type occ = { term : int; path : int list; leaf_indices : Index.t list }
+
+type group = {
+  name : string;
+  rep : Tree.t;
+  rep_order : Index.t list;
+  occs : occ list;
+  weight : int;
+}
+
+(* Proper contraction-rooted subtrees of a term, with their paths (0 =
+   left/only child, 1 = right child), in pre-order. Subtrees sitting
+   directly under a unary [Sum] node are skipped: hoisting one would put
+   its replacement leaf in presum position, where the optimizer treats
+   the source as a freely-placed input and could not honor the shared
+   value's pinned distribution. *)
+let proper_subtrees tree =
+  let acc = ref [] in
+  let rec go ~hoistable path node =
+    (match node with
+    | Tree.Contract _ when hoistable ->
+      acc := (List.rev path, node) :: !acc
+    | _ -> ());
+    match node with
+    | Tree.Leaf _ -> ()
+    | Tree.Sum (_, _, c) -> go ~hoistable:false (0 :: path) c
+    | Tree.Mult (_, l, r) | Tree.Contract (_, _, l, r) ->
+      go ~hoistable:true (0 :: path) l;
+      go ~hoistable:true (1 :: path) r
+  in
+  go ~hoistable:false [] tree;
+  List.rev !acc
+
+let rec contract_count = function
+  | Tree.Leaf _ -> 0
+  | Tree.Sum (_, _, c) -> contract_count c
+  | Tree.Mult (_, l, r) -> contract_count l + contract_count r
+  | Tree.Contract (_, _, l, r) -> 1 + contract_count l + contract_count r
+
+let is_prefix p q =
+  let rec go p q =
+    match (p, q) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: p', y :: q' -> x = y && go p' q'
+  in
+  go p q
+
+let paths_overlap p q = is_prefix p q || is_prefix q p
+
+let rename_root name = function
+  | Tree.Leaf a -> Tree.Leaf (Aref.rename a name)
+  | Tree.Mult (a, l, r) -> Tree.Mult (Aref.rename a name, l, r)
+  | Tree.Sum (a, k, c) -> Tree.Sum (Aref.rename a name, k, c)
+  | Tree.Contract (a, k, l, r) -> Tree.Contract (Aref.rename a name, k, l, r)
+
+let all_names t =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun tm ->
+      List.iter (fun n -> Hashtbl.replace tbl (Tree.name n) ())
+        (Tree.internal_nodes tm.tree);
+      List.iter (fun a -> Hashtbl.replace tbl (Aref.name a) ())
+        (Tree.leaves tm.tree))
+    t.terms;
+  Hashtbl.replace tbl (Aref.name t.out) ();
+  tbl
+
+let detect ?(max_groups = 3) ext t =
+  (* Bucket every proper contraction subtree of every term on its
+     canonical key; keys are recorded in first appearance order so the
+     whole pass is deterministic. *)
+  let buckets : (string, (int * int list * Tree.t) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let key_order = ref [] in
+  List.iteri
+    (fun ti tm ->
+      List.iter
+        (fun (path, node) ->
+          let key = Tree.canonical_key ext node in
+          (match Hashtbl.find_opt buckets key with
+          | None ->
+            key_order := key :: !key_order;
+            Hashtbl.add buckets key [ (ti, path, node) ]
+          | Some prev -> Hashtbl.replace buckets key ((ti, path, node) :: prev)))
+        (proper_subtrees tm.tree))
+    t.terms;
+  let candidates =
+    List.filter_map
+      (fun key ->
+        match Hashtbl.find buckets key with
+        | ([ _ ] | []) -> None
+        | occs ->
+          let occs = List.rev occs in
+          let _, _, first = List.hd occs in
+          Some (key, contract_count first, occs))
+      (List.rev !key_order)
+  in
+  (* Largest shared computation first; the key breaks weight ties. *)
+  let candidates =
+    List.stable_sort
+      (fun (k1, w1, _) (k2, w2, _) ->
+        match compare w2 w1 with 0 -> String.compare k1 k2 | c -> c)
+      candidates
+  in
+  let used_names = all_names t in
+  let fresh_name =
+    let counter = ref 0 in
+    fun () ->
+      let rec go () =
+        incr counter;
+        let nm = Printf.sprintf "cse%d" !counter in
+        if Hashtbl.mem used_names nm then go () else nm
+      in
+      let nm = go () in
+      Hashtbl.replace used_names nm ();
+      nm
+  in
+  let claimed : (int, int list list) Hashtbl.t = Hashtbl.create 8 in
+  let free ti path =
+    List.for_all
+      (fun q -> not (paths_overlap path q))
+      (Option.value ~default:[] (Hashtbl.find_opt claimed ti))
+  in
+  let claim ti path =
+    Hashtbl.replace claimed ti
+      (path :: Option.value ~default:[] (Hashtbl.find_opt claimed ti))
+  in
+  let groups = ref [] in
+  List.iter
+    (fun (_key, weight, occs) ->
+      if List.length !groups < max_groups then begin
+        let survivors =
+          List.filter (fun (ti, path, _) -> free ti path) occs
+        in
+        if List.length survivors >= 2 then begin
+          List.iter (fun (ti, path, _) -> claim ti path) survivors;
+          let name = fresh_name () in
+          let _, _, first = List.hd survivors in
+          let rep = rename_root name first in
+          groups :=
+            {
+              name;
+              rep;
+              rep_order = Tree.indices first;
+              occs =
+                List.map
+                  (fun (ti, path, node) ->
+                    { term = ti; path; leaf_indices = Tree.indices node })
+                  survivors;
+              weight;
+            }
+            :: !groups
+        end
+      end)
+    candidates;
+  List.rev !groups
+
+(* Rewrite the terms, replacing each occurrence of a selected group by a
+   leaf named after the group, indices in the occurrence's own root order
+   (position [m] of that list corresponds to position [m] of the group's
+   [rep_order] — the canonical-key isomorphism). *)
+let hoist t ~selected =
+  let subs : (int * int list, string * Index.t list) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun o -> Hashtbl.replace subs (o.term, o.path) (g.name, o.leaf_indices))
+        g.occs)
+    selected;
+  let rewrite ti tree =
+    let rec go path node =
+      match Hashtbl.find_opt subs (ti, List.rev path) with
+      | Some (name, idxs) -> Tree.Leaf (Aref.v name idxs)
+      | None -> begin
+        match node with
+        | Tree.Leaf _ -> node
+        | Tree.Sum (a, k, c) -> Tree.Sum (a, k, go (0 :: path) c)
+        | Tree.Mult (a, l, r) ->
+          Tree.Mult (a, go (0 :: path) l, go (1 :: path) r)
+        | Tree.Contract (a, k, l, r) ->
+          Tree.Contract (a, k, go (0 :: path) l, go (1 :: path) r)
+      end
+    in
+    go [] tree
+  in
+  let shared = List.map (fun g -> (g.name, g.rep)) selected in
+  let terms =
+    List.mapi (fun ti tm -> { tm with tree = rewrite ti tm.tree }) t.terms
+  in
+  (shared, terms)
+
+(* --- Numeric evaluation ------------------------------------------------ *)
+
+(* Mirrors [Tree.eval] exactly, plus: a leaf naming a stored shared value
+   reads it by positional relabeling — a pure buffer copy, so the bits are
+   those of evaluating the occurrence subtree inline (the canonical-key
+   isomorphism makes every loop nest positionally identical). *)
+let eval_tree ~inputs ~shared tree =
+  let lookup nm =
+    match List.assoc_opt nm inputs with
+    | Some d -> d
+    | None -> invalid_arg ("Sumexpr.eval: missing input tensor " ^ nm)
+  in
+  let rec go t =
+    match t with
+    | Tree.Leaf a -> begin
+      match List.assoc_opt (Aref.name a) shared with
+      | Some d -> Dense.relabel d (Aref.indices a)
+      | None ->
+        (* An input is stored once per name, labeled by its first
+           occurrence; a permuted repeat reads the same buffer under its
+           own index order, so relabel positionally here too. *)
+        Dense.relabel (lookup (Aref.name a)) (Aref.indices a)
+    end
+    | Tree.Mult (a, l, r) -> Einsum.contract2 ~out:(Aref.indices a) (go l) (go r)
+    | Tree.Contract (a, _, l, r) ->
+      Einsum.contract2 ~out:(Aref.indices a) (go l) (go r)
+    | Tree.Sum (a, k, c) ->
+      let s = Einsum.sum_over (go c) k in
+      let out = Aref.indices a in
+      if Dense.labels s = out then s else Dense.transpose s out
+  in
+  go tree
+
+(* The accumulation sequence is fixed — scale the first term, then fold
+   [map2 (+.)] with each scaled later term in order — and shared by both
+   evaluation paths, so a hoisted evaluation is bitwise-identical to the
+   independent one whenever the per-term values are. *)
+let accumulate values =
+  match values with
+  | [] -> invalid_arg "Sumexpr.accumulate: no terms"
+  | (c, v) :: rest ->
+    List.fold_left
+      (fun acc (c, v) -> Dense.map2 acc (Einsum.scale c v) ~f:( +. ))
+      (Einsum.scale c v) rest
+
+let eval_terms ~inputs ~shared terms =
+  accumulate
+    (List.map (fun tm -> (tm.coeff, eval_tree ~inputs ~shared tm.tree)) terms)
+
+let eval ext ~inputs t =
+  ignore ext;
+  eval_terms ~inputs ~shared:[] t.terms
+
+let eval_with_sharing ext ~inputs ~shared ~terms =
+  ignore ext;
+  let shared_values =
+    List.map (fun (name, rep) -> (name, eval_tree ~inputs ~shared:[] rep)) shared
+  in
+  eval_terms ~inputs ~shared:shared_values terms
+
+let random_inputs ext ~seed t =
+  let rng = Prng.create ~seed in
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun tm ->
+      let defined = Tree.internal_nodes tm.tree in
+      let is_defined nm =
+        List.exists (fun n -> String.equal (Tree.name n) nm) defined
+      in
+      List.iter
+        (fun a ->
+          let nm = Aref.name a in
+          if (not (is_defined nm)) && not (Hashtbl.mem tbl nm) then begin
+            Hashtbl.add tbl nm ();
+            order := (nm, a) :: !order
+          end)
+        (Tree.leaves tm.tree))
+    t.terms;
+  List.rev_map
+    (fun (nm, a) ->
+      let d =
+        Dense.create
+          (List.map (fun i -> (i, Extents.extent ext i)) (Aref.indices a))
+      in
+      Dense.fill_random d rng;
+      (nm, d))
+    !order

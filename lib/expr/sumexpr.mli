@@ -1,0 +1,91 @@
+(** Sums of contraction terms with scalar coefficients.
+
+    The multi-term extension of the expression language: a sum
+    [O = c₁·T₁ + c₂·T₂ + …] where each term [Tᵢ] is a {!Tree} rooted at a
+    contraction producing the sum's output index list (order included).
+    The sum-level optimizer in [Tce_core.Search] consumes this shape; the
+    cross-term common-subexpression detector below is what lets it pay for
+    a shared intermediate once and amortize the cost across terms. *)
+
+open! Import
+
+type term = { coeff : float; tree : Tree.t }
+type t
+
+val create : out:Aref.t -> term list -> (t, string) result
+(** Normalizes every term with {!Tree.fuse_mult_sum} and validates: at
+    least one term, each coefficient finite and non-zero, each tree
+    well-formed with a [Contract] root whose index list equals
+    [Aref.indices out] exactly (order included), and distinct term root
+    names. *)
+
+val create_exn : out:Aref.t -> term list -> t
+(** @raise Invalid_argument on any {!create} error. *)
+
+val out : t -> Aref.t
+val terms : t -> term list
+
+val flops : Extents.t -> t -> int
+(** Naive per-term total (no sharing); excludes the final accumulation. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Cross-term common subexpressions}
+
+    Occurrences of a shared subtree are matched modulo index renaming by
+    {!Tree.canonical_key} — including permuted repeats written with the
+    roots' index lists in different order, e.g. [V[o1,o2]] in one term and
+    [W[o2,o1]] in another. Matching is positional, so a stored
+    representative stands in for every occurrence by pure relabeling
+    ([Dense.relabel]), bitwise-identically and with no transpose step. *)
+
+type occ = {
+  term : int;  (** 0-based term position *)
+  path : int list;
+      (** Child steps from the term root: [0] = left/only child, [1] =
+          right child. *)
+  leaf_indices : Index.t list;
+      (** The occurrence's own root index order — position [m]
+          corresponds to position [m] of the group's [rep_order]. *)
+}
+
+type group = {
+  name : string;  (** Fresh array name, ["cse1"], ["cse2"], … *)
+  rep : Tree.t;  (** First occurrence's subtree, root renamed to [name]. *)
+  rep_order : Index.t list;  (** The representative's root index order. *)
+  occs : occ list;
+  weight : int;  (** Contraction nodes saved per extra occurrence. *)
+}
+
+val detect : ?max_groups:int -> Extents.t -> t -> group list
+(** Proper contraction-rooted subtrees appearing (modulo renaming) at
+    least twice across the sum, largest first, greedily claiming
+    non-overlapping regions, capped at [max_groups] (default 3).
+    Deterministic: independent of hash order. *)
+
+val hoist : t -> selected:group list -> (string * Tree.t) list * term list
+(** [(shared, terms')] where [shared] binds each group name to its
+    representative tree and [terms'] has every selected occurrence
+    replaced by a leaf [name\[leaf_indices\]]. *)
+
+(** {2 Reference evaluation} *)
+
+val eval : Extents.t -> inputs:(string * Dense.t) list -> t -> Dense.t
+(** Each term evaluated independently via the same engine as
+    {!Tree.eval}, then accumulated in term order: scale the first term,
+    then fold pointwise [(+.)] with each scaled later term. *)
+
+val eval_with_sharing :
+  Extents.t ->
+  inputs:(string * Dense.t) list ->
+  shared:(string * Tree.t) list ->
+  terms:term list ->
+  Dense.t
+(** Evaluation of a hoisted sum: each shared representative is computed
+    once; a leaf naming one reads it by positional relabeling. The
+    accumulation sequence is identical to {!eval}'s, so the result is
+    bitwise-identical to the independent evaluation. *)
+
+val random_inputs : Extents.t -> seed:int -> t -> (string * Dense.t) list
+(** Deterministic random input tensors for every leaf name of the sum
+    (first-appearance order), for tests. *)

@@ -163,6 +163,73 @@ let eval ext ~inputs t =
   ignore ext;
   go t
 
+(* A canonical content key modulo index renaming: every index occurrence is
+   replaced by "x<k>:<extent>" where <k> numbers distinct indices in first
+   appearance order along a fixed serialization walk. Renaming the indices
+   of a tree by any bijection leaves the key unchanged (ids depend on
+   occurrence positions only), and conversely two trees with equal keys are
+   positionally isomorphic: node for node, index-list position for
+   position, with equal extents and equal leaf names. That positional
+   strictness is deliberate — it is exactly what lets a shared subtree's
+   stored value stand in for an occurrence by pure positional relabeling,
+   with no transpose and bitwise-identical numerics. *)
+let canonical_key ext t =
+  let buf = Buffer.create 128 in
+  let ids : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let id i =
+    match Hashtbl.find_opt ids (Index.name i) with
+    | Some s -> s
+    | None ->
+      let s =
+        Printf.sprintf "x%d:%d" (Hashtbl.length ids) (Extents.extent ext i)
+      in
+      Hashtbl.add ids (Index.name i) s;
+      s
+  in
+  let idxs l =
+    Buffer.add_char buf '[';
+    List.iter
+      (fun i ->
+        Buffer.add_string buf (id i);
+        Buffer.add_char buf ',')
+      l;
+    Buffer.add_char buf ']'
+  in
+  let rec go = function
+    | Leaf a ->
+      Buffer.add_string buf "L";
+      Buffer.add_string buf (Aref.name a);
+      idxs (Aref.indices a)
+    | Sum (a, k, c) ->
+      Buffer.add_string buf "S";
+      idxs (Aref.indices a);
+      Buffer.add_char buf '{';
+      idxs k;
+      Buffer.add_string buf "}(";
+      go c;
+      Buffer.add_char buf ')'
+    | Mult (a, l, r) ->
+      Buffer.add_string buf "M";
+      idxs (Aref.indices a);
+      Buffer.add_char buf '(';
+      go l;
+      Buffer.add_string buf ")(";
+      go r;
+      Buffer.add_char buf ')'
+    | Contract (a, k, l, r) ->
+      Buffer.add_string buf "C";
+      idxs (Aref.indices a);
+      Buffer.add_char buf '{';
+      idxs k;
+      Buffer.add_string buf "}(";
+      go l;
+      Buffer.add_string buf ")(";
+      go r;
+      Buffer.add_char buf ')'
+  in
+  go t;
+  Buffer.contents buf
+
 let rec equal a b =
   match (a, b) with
   | Leaf x, Leaf y -> Aref.equal x y

@@ -68,6 +68,20 @@ val flops : Extents.t -> t -> int
 val eval : Extents.t -> inputs:(string * Dense.t) list -> t -> Dense.t
 (** Reference evaluation; inputs are looked up by leaf name. *)
 
+val canonical_key : Extents.t -> t -> string
+(** A content key invariant under any renaming of the tree's indices:
+    each index occurrence is replaced by a canonical id numbered in first
+    appearance order along a fixed serialization walk, tagged with its
+    extent; leaf names stay, intermediate names are erased. Two subtrees
+    have equal keys iff they are {e positionally isomorphic} — same
+    structure, same leaf names, and an index bijection that maps every
+    node's index list position for position (so in particular position
+    [m] of one root's index list corresponds to position [m] of the
+    other's). The cross-term common-subexpression detector of
+    {!Sumexpr} buckets subtrees on this key; positional strictness is
+    what lets a shared intermediate stand in for each occurrence by pure
+    positional relabeling, bitwise-identically. *)
+
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

@@ -35,6 +35,21 @@ let restrict t ~keep =
   in
   { p1 = f t.p1; p2 = f t.p2 }
 
+let rename t ~from ~into =
+  if List.length from <> List.length into then
+    invalid_arg "Dist.rename: index lists differ in length";
+  let f = function
+    | None -> None
+    | Some i -> (
+      match List.find_index (Index.equal i) from with
+      | Some k -> Some (List.nth into k)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Dist.rename: index %s not in the source list"
+             (Index.name i)))
+  in
+  make (f t.p1) (f t.p2)
+
 let equal a b =
   Option.equal Index.equal a.p1 b.p1 && Option.equal Index.equal a.p2 b.p2
 

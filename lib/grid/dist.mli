@@ -38,6 +38,14 @@ val restrict : t -> keep:Index.Set.t -> t
 (** Drop positions whose index is not in [keep] (used when summation
     collapses a distributed dimension). *)
 
+val rename : t -> from:Index.t list -> into:Index.t list -> t
+(** Positional rename: an occupied position naming [from]'s [m]-th index
+    comes back naming [into]'s [m]-th index. Used to re-express a shared
+    intermediate's stored distribution in the index names of one consumer
+    occurrence. Raises [Invalid_argument] if the lists differ in length,
+    if an occupied position's index is missing from [from], or if the
+    renaming maps both positions to the same index. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 

@@ -173,7 +173,7 @@ let optimize (p : Problem.t) =
   let ( let* ) = Result.bind in
   let* defs =
     List.fold_left
-      (fun acc d ->
+      (fun acc (d : Problem.def) ->
         let* done_defs = acc in
         let counter = ref 0 in
         let fresh () =
@@ -192,6 +192,139 @@ let optimize_to_tree p =
   let* seq = Problem.to_sequence p' in
   let* tree = Tree.of_sequence seq in
   Ok (Tree.fuse_mult_sum tree)
+
+(* ------------------------------------------------------------------ *)
+(* Sum problems: one operator tree per addend.                         *)
+(* ------------------------------------------------------------------ *)
+
+type computation = Single of Tree.t | Summed of Sumexpr.t
+
+let err fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let map_node_arefs f t =
+  let rec go = function
+    | Tree.Leaf _ as t -> t
+    | Tree.Sum (a, k, c) -> Tree.Sum (f a, k, go c)
+    | Tree.Mult (a, l, r) -> Tree.Mult (f a, go l, go r)
+    | Tree.Contract (a, k, l, r) -> Tree.Contract (f a, k, go l, go r)
+  in
+  go t
+
+let set_root_aref a = function
+  | Tree.Leaf _ -> invalid_arg "Opmin.set_root_aref: leaf"
+  | Tree.Sum (_, k, c) -> Tree.Sum (a, k, c)
+  | Tree.Mult (_, l, r) -> Tree.Mult (a, l, r)
+  | Tree.Contract (_, k, l, r) -> Tree.Contract (a, k, l, r)
+
+(* Build the operator tree of one definition: operation minimization for
+   multi-factor products, with references to earlier definitions from
+   [env] inlined as subtrees (each reference becomes its own copy — the
+   sum optimizer rediscovers the sharing across terms by content, so the
+   per-term computation must be a tree, not a DAG). Node names of a
+   second or later inlined copy are uniquified with an [__r<k>] suffix to
+   keep names distinct within the result. *)
+let tree_of_def ext ~env (d : Problem.def) =
+  let ( let* ) = Result.bind in
+  let used : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let fresh_variant n =
+    let rec go k =
+      let v = Printf.sprintf "%s__r%d" n k in
+      if Hashtbl.mem used v then go (k + 1) else v
+    in
+    go 2
+  in
+  (* Register/uniquify every internal node name of an inlined copy. *)
+  let place tree =
+    let renames = Hashtbl.create 8 in
+    let resolve n =
+      match Hashtbl.find_opt renames n with
+      | Some v -> v
+      | None ->
+        let v = if Hashtbl.mem used n then fresh_variant n else n in
+        Hashtbl.add renames n v;
+        Hashtbl.replace used v ();
+        v
+    in
+    map_node_arefs (fun a -> Aref.rename a (resolve (Aref.name a))) tree
+  in
+  let subtree_of_aref a =
+    match List.assoc_opt (Aref.name a) env with
+    | Some t -> place t
+    | None -> Tree.Leaf a
+  in
+  match d.terms with
+  | [] -> Error "definition with no factors"
+  | [ x ] ->
+    Hashtbl.replace used (Aref.name d.lhs) ();
+    if d.sum = [] then begin
+      match List.assoc_opt (Aref.name x) env with
+      | None ->
+        err "%s = %s: a bare alias of an input has no operator tree"
+          (Aref.name d.lhs) (Aref.name x)
+      | Some t -> Ok (Tree.fuse_mult_sum (set_root_aref d.lhs (place t)))
+    end
+    else Ok (Tree.fuse_mult_sum (Tree.Sum (d.lhs, d.sum, subtree_of_aref x)))
+  | _ ->
+    let counter = ref 0 in
+    let fresh () =
+      incr counter;
+      Printf.sprintf "%s__%d" (Aref.name d.lhs) !counter
+    in
+    let* plan = optimize_def ext ~fresh d in
+    let plan_defs = Hashtbl.create 8 in
+    List.iter
+      (fun (pd : Problem.def) ->
+        Hashtbl.replace plan_defs (Aref.name pd.lhs) pd;
+        Hashtbl.replace used (Aref.name pd.lhs) ())
+      plan.defs;
+    let rec node_of_aref a =
+      match Hashtbl.find_opt plan_defs (Aref.name a) with
+      | Some pd -> node_of_def pd
+      | None -> subtree_of_aref a
+    and node_of_def (pd : Problem.def) =
+      match (pd.terms, pd.sum) with
+      | [ x ], k -> Tree.Sum (pd.lhs, k, node_of_aref x)
+      | [ x; y ], [] -> Tree.Mult (pd.lhs, node_of_aref x, node_of_aref y)
+      | [ x; y ], k -> Tree.Contract (pd.lhs, k, node_of_aref x, node_of_aref y)
+      | _ -> assert false
+    in
+    let root_def = List.nth plan.defs (List.length plan.defs - 1) in
+    Ok (Tree.fuse_mult_sum (node_of_def root_def))
+
+let optimize_to_computation (p : Problem.t) =
+  let ( let* ) = Result.bind in
+  match p.Problem.sum with
+  | None -> Result.map (fun t -> Single t) (optimize_to_tree p)
+  | Some sd ->
+    let ext = p.Problem.extents in
+    let* env =
+      List.fold_left
+        (fun acc (d : Problem.def) ->
+          let* env = acc in
+          let* t = tree_of_def ext ~env d in
+          Ok ((Aref.name d.lhs, t) :: env))
+        (Ok []) p.Problem.defs
+    in
+    let out = sd.Problem.lhs in
+    let* terms_rev =
+      List.fold_left
+        (fun acc (i, (a : Problem.addend)) ->
+          let* ts = acc in
+          let term_lhs =
+            Aref.v
+              (Printf.sprintf "%s__t%d" (Aref.name out) (i + 1))
+              (Aref.indices out)
+          in
+          let* tree =
+            tree_of_def ext ~env
+              { Problem.lhs = term_lhs; sum = a.sum; terms = a.factors }
+          in
+          Ok ({ Sumexpr.coeff = a.coeff; tree } :: ts))
+        (Ok [])
+        (List.mapi (fun i a -> (i, a)) sd.Problem.addends)
+    in
+    let* s = Sumexpr.create ~out (List.rev terms_rev) in
+    Ok (Summed s)
 
 (* ------------------------------------------------------------------ *)
 (* Brute-force oracle.                                                 *)

@@ -37,7 +37,21 @@ val optimize : Problem.t -> (Problem.t, string) result
 val optimize_to_tree : Problem.t -> (Tree.t, string) result
 (** [optimize] followed by sequence/tree conversion and
     [Tree.fuse_mult_sum]: the operator tree the communication optimizer
-    consumes. *)
+    consumes. Fails on multi-term sum problems — use
+    {!optimize_to_computation}. *)
+
+type computation =
+  | Single of Tree.t  (** a classical single-term problem's operator tree *)
+  | Summed of Sumexpr.t  (** one operator tree per addend of a sum problem *)
+
+val optimize_to_computation : Problem.t -> (computation, string) result
+(** Like {!optimize_to_tree} for single-term problems ([Single], built by
+    the identical code path). For a sum problem, each addend becomes its
+    own operator tree (operation-minimized when multi-factor) named
+    [<lhs>__t<i>]; references to the problem's definitions are inlined as
+    per-term subtree copies — the sum optimizer rediscovers sharing across
+    terms by content — with repeated names uniquified as [<name>__r<k>].
+    Each addend must reduce to a contraction-rooted tree. *)
 
 val naive_flops : Extents.t -> Problem.def -> int
 (** Cost of the direct nested-loop evaluation with no reordering:

@@ -85,6 +85,14 @@ type job = {
   deadline_at : float option;  (* absolute wall time; queue wait counts *)
 }
 
+(* A cached single-term plan travels with the tree it solved so a hit
+   can be renamed onto the request's intermediate names. A cached sum
+   plan needs no companion: the sum fingerprint keeps term names in, so
+   a hit is byte-identical as stored. *)
+type cache_entry =
+  | Single_entry of Tree.t * Plan.t
+  | Sum_entry of Plan.sum
+
 type t = {
   cfg : config;
   lock : Mutex.t;
@@ -95,7 +103,7 @@ type t = {
   mutable closed : bool;
   mutable inflight : int;
   mutable domains : unit Domain.t list;
-  cache : (Tree.t * Plan.t) Cache.t;
+  cache : cache_entry Cache.t;
   (* counters under [lock] *)
   mutable accepted : int;
   mutable rejected : int;
@@ -152,12 +160,12 @@ let ext_fingerprint ext =
          Printf.sprintf "%s=%d" (Format.asprintf "%a" Index.pp i) n)
        (Extents.bindings ext))
 
-let cache_key (cfg : Search.config) (w : Proto.work) ~ext ~tree =
+let key_of_fingerprint (cfg : Search.config) (w : Proto.work) ~ext fp =
   String.concat "|"
     [
       "v1";
       Proto.fusion_to_string w.Proto.fusion;
-      Search.tree_fingerprint cfg tree;
+      fp;
       ext_fingerprint ext;
       Printf.sprintf "side=%d" (Grid.side cfg.Search.grid);
       Params.fingerprint cfg.Search.params;
@@ -169,11 +177,20 @@ let cache_key (cfg : Search.config) (w : Proto.work) ~ext ~tree =
       Printf.sprintf "adf=%b" cfg.Search.allow_distributed_fusion;
     ]
 
+let cache_key cfg w ~ext ~tree =
+  key_of_fingerprint cfg w ~ext (Search.tree_fingerprint cfg tree)
+
+(* A sum request's key wraps the whole-sum fingerprint. Its "sum|"
+   prefix is foreign to every single-tree fingerprint, so a sum and any
+   one of its terms can never collide in the cache. *)
+let sum_cache_key cfg w ~ext se =
+  key_of_fingerprint cfg w ~ext (Search.sum_fingerprint se)
+
 (* exposed for the cache tests *)
 let cache_key_of_work (w : Proto.work) =
   let ( let* ) = Result.bind in
   let* problem = Parser.parse w.Proto.expr in
-  let* tree = Opmin.optimize_to_tree problem in
+  let* comp = Opmin.optimize_to_computation problem in
   let params = params_of_work w in
   let* grid = Grid.create ~procs:w.Proto.procs in
   let rcost = Rcost.of_params params ~side:(Grid.side grid) in
@@ -182,7 +199,10 @@ let cache_key_of_work (w : Proto.work) =
       ?mem_limit_bytes:(Option.map (fun gb -> gb *. 1e9) w.Proto.mem_gb)
       ~grid ~params ~rcost ()
   in
-  Ok (cache_key cfg w ~ext:problem.Problem.extents ~tree)
+  let ext = problem.Problem.extents in
+  match comp with
+  | Opmin.Single tree -> Ok (cache_key cfg w ~ext ~tree)
+  | Opmin.Summed se -> Ok (sum_cache_key cfg w ~ext se)
 
 (* ---- request execution ------------------------------------------------ *)
 
@@ -199,6 +219,21 @@ let plan_fields plan ~cached ~approximate =
     ("mem_per_node_bytes", Json.Num (Plan.mem_per_node_bytes plan));
     ("steps", Json.Num (float_of_int (List.length plan.Plan.steps)));
     ("plan", Json.Str (Format.asprintf "%a" Plan.pp plan));
+  ]
+
+let sum_plan_fields ext (s : Plan.sum) ~cached ~approximate =
+  [
+    ("cached", Json.Bool cached);
+    ("approximate", Json.Bool approximate);
+    ("sum", Json.Bool true);
+    ("comm_seconds", Json.Num s.Plan.sum_comm_cost);
+    ("compute_seconds", Json.Num (Plan.sum_compute_seconds s));
+    ("total_seconds", Json.Num (Plan.sum_total_seconds s));
+    ("flops", Json.Num (float_of_int s.Plan.sum_flops));
+    ("mem_per_node_bytes", Json.Num (Plan.sum_mem_per_node_bytes ext s));
+    ("terms", Json.Num (float_of_int (List.length s.Plan.terms)));
+    ("shared_values", Json.Num (float_of_int (List.length s.Plan.shared)));
+    ("plan", Json.Str (Format.asprintf "%a" (Plan.pp_sum ext) s));
   ]
 
 (* The degradation ladder. Returns the plan plus whether it is exact
@@ -270,15 +305,163 @@ let search_ladder t pool (cfg : Search.config) ext tree (w : Proto.work)
       Obs.count "serve.degraded";
       beam_or_greedy d)
 
+(* The sum ladder mirrors [search_ladder] with the sum optimizer's
+   rungs: exact subset-enumerating DP, then the beam-limited DP labelled
+   [approximate], then {!Search.greedy_sum} — the no-sharing, per-term
+   greedy plan, still {!Plan.validate_sum}-certifiable. *)
+let sum_search_ladder t pool (cfg : Search.config) ext se ~deadline_at =
+  let cancel_at d () = now () > d in
+  let approx r = Result.map (fun p -> (p, true)) r in
+  let exact r = Result.map (fun p -> (p, false)) r in
+  let greedy_rung d =
+    Mutex.lock t.lock;
+    t.greedy_seeded <- t.greedy_seeded + 1;
+    Mutex.unlock t.lock;
+    Obs.count "serve.greedy_seeded";
+    approx (Search.greedy_sum ?pool ~cancel:(cancel_at d) cfg ext se)
+  in
+  let beam = t.cfg.degrade_beam in
+  let beam_or_greedy d =
+    let t0 = now () in
+    let beam_d = t0 +. (0.8 *. (d -. t0)) in
+    match
+      Search.optimize_sum ~beam ~cancel:(cancel_at beam_d) ?pool cfg ext se
+    with
+    | r -> approx r
+    | exception Tce_error.Error (Tce_error.Deadline_exceeded _) ->
+      greedy_rung d
+  in
+  match (t.cfg.degrade, deadline_at) with
+  | `Never, None -> exact (Search.optimize_sum ?pool cfg ext se)
+  | `Never, Some d ->
+    exact (Search.optimize_sum ~cancel:(cancel_at d) ?pool cfg ext se)
+  | `Always, None -> approx (Search.optimize_sum ~beam ?pool cfg ext se)
+  | `Always, Some d -> beam_or_greedy d
+  | `Auto, None -> exact (Search.optimize_sum ?pool cfg ext se)
+  | `Auto, Some d -> (
+    let t0 = now () in
+    let exact_d = t0 +. (t.cfg.exact_fraction *. (d -. t0)) in
+    match Search.optimize_sum ~cancel:(cancel_at exact_d) ?pool cfg ext se with
+    | r -> exact r
+    | exception Tce_error.Error (Tce_error.Deadline_exceeded _) ->
+      Mutex.lock t.lock;
+      t.degraded <- t.degraded + 1;
+      Mutex.unlock t.lock;
+      Obs.count "serve.degraded";
+      beam_or_greedy d)
+
+(* One sum request end to end: cache probe on the whole-sum fingerprint
+   (hits are byte-identical as stored — no renaming needed), ladder,
+   insert-if-exact, view. Sum planning supports the default fusion mode
+   only. *)
+let handle_sum_work t pool ~id ~deadline_at (w : Proto.work) ~view ~params
+    ~(cfg : Search.config) ~ext se =
+  match w.Proto.fusion with
+  | `None | `Memmin ->
+    ( invalid ~id
+        "multi-term sums support fusion \"all\" only (the sum optimizer \
+         plans every term with the full fusion space)",
+      `Other )
+  | `All -> (
+    let key = sum_cache_key cfg w ~ext se in
+    let cached_plan =
+      match Cache.find t.cache key with
+      | Some (Sum_entry s) ->
+        Obs.count "serve.cache_hits";
+        Some s
+      | Some (Single_entry _) | None ->
+        Obs.count "serve.cache_misses";
+        None
+    in
+    let searched =
+      match cached_plan with
+      | Some s -> Ok ((s, false), `Hit)
+      | None ->
+        Result.map
+          (fun (s, approximate) ->
+            if not approximate then begin
+              let before = (Cache.stats t.cache).Cache.evictions in
+              Cache.add t.cache key (Sum_entry s);
+              let after = (Cache.stats t.cache).Cache.evictions in
+              if after > before then
+                Obs.count ~by:(after - before) "serve.cache_evictions"
+            end;
+            ((s, approximate), `Cold))
+          (sum_search_ladder t pool cfg ext se ~deadline_at)
+    in
+    match searched with
+    | Error msg -> (Proto.error ~id ~kind:"no_plan" ~message:msg [], `Other)
+    | Ok ((s, approximate), origin) -> (
+      let cached = origin = `Hit in
+      let base = sum_plan_fields ext s ~cached ~approximate in
+      match view with
+      | `Optimize -> (Proto.ok ~id base, origin)
+      | `Simulate -> (
+        (* Sub-plans execute one after another and the accumulation is
+           local, so the simulated times are additive: Σ over shared and
+           term plans, plus the accumulation's compute time. *)
+        let rec simulate_all acc = function
+          | [] -> Ok acc
+          | p :: rest -> (
+            match Simulate.run_plan params ext p with
+            | Ok timing ->
+              let comm, compute = acc in
+              simulate_all
+                ( comm +. timing.Simulate.comm_seconds,
+                  compute +. timing.Simulate.compute_seconds )
+                rest
+            | Error e -> Error e)
+        in
+        let plans =
+          List.map (fun (_, _, p) -> p) s.Plan.shared
+          @ List.map snd s.Plan.terms
+        in
+        match simulate_all (0.0, 0.0) plans with
+        | Ok (comm, compute) ->
+          let acc_seconds =
+            Params.compute_time params
+              ~flops:
+                (float_of_int s.Plan.acc_flops
+                /. float_of_int (Grid.procs s.Plan.sum_grid))
+          in
+          let compute = compute +. acc_seconds in
+          ( Proto.ok ~id
+              (base
+              @ [
+                  ( "simulated",
+                    Json.Obj
+                      [
+                        ("comm_seconds", Json.Num comm);
+                        ("compute_seconds", Json.Num compute);
+                        ("total_seconds", Json.Num (comm +. compute));
+                      ] );
+                ]),
+            origin )
+        | Error e ->
+          ( Proto.error ~id ~kind:(Tce_error.kind e)
+              ~message:(Tce_error.to_string e) [],
+            `Other ))
+      | `Validate -> (
+        match
+          Plan.validate_sum ?mem_limit_bytes:cfg.Search.mem_limit_bytes ~ext s
+        with
+        | Ok () -> (Proto.ok ~id (("valid", Json.Bool true) :: base), origin)
+        | Error msg ->
+          ( Proto.ok ~id
+              (("valid", Json.Bool false)
+              :: ("violation", Json.Str msg)
+              :: base),
+            origin ))))
+
 (* Handle one work request (optimize/simulate/validate). Returns the
    response and whether the plan came from the cache. *)
 let handle_work t pool ~id ~deadline_at (w : Proto.work) ~view =
   match Parser.parse w.Proto.expr with
   | Error msg -> (invalid ~id ("expr: " ^ msg), `Other)
   | Ok problem -> (
-    match Opmin.optimize_to_tree problem with
+    match Opmin.optimize_to_computation problem with
     | Error msg -> (invalid ~id ("expr: " ^ msg), `Other)
-    | Ok tree -> (
+    | Ok comp -> (
       let ext = problem.Problem.extents in
       let params = params_of_work w in
       match Grid.create ~procs:w.Proto.procs with
@@ -290,13 +473,20 @@ let handle_work t pool ~id ~deadline_at (w : Proto.work) ~view =
             ?mem_limit_bytes:(Option.map (fun gb -> gb *. 1e9) w.Proto.mem_gb)
             ~grid ~params ~rcost ()
         in
+        match comp with
+        | Opmin.Summed se ->
+          handle_sum_work t pool ~id ~deadline_at w ~view ~params ~cfg ~ext se
+        | Opmin.Single tree -> (
         let key = cache_key cfg w ~ext ~tree in
         let cached_plan =
           match Cache.find t.cache key with
           | None ->
             Obs.count "serve.cache_misses";
             None
-          | Some (ctree, plan) -> (
+          | Some (Sum_entry _) ->
+            Obs.count "serve.cache_misses";
+            None
+          | Some (Single_entry (ctree, plan)) -> (
             (* A hit may carry different intermediate names; rename it
                onto this request's tree. The pathological leaf-clash case
                returns [None] and we recompute, same as the memo cache. *)
@@ -319,7 +509,7 @@ let handle_work t pool ~id ~deadline_at (w : Proto.work) ~view =
                    byte-identical to a fresh exact search. *)
                 if not approximate then begin
                   let before = (Cache.stats t.cache).Cache.evictions in
-                  Cache.add t.cache key (tree, plan);
+                  Cache.add t.cache key (Single_entry (tree, plan));
                   let after = (Cache.stats t.cache).Cache.evictions in
                   if after > before then
                     Obs.count ~by:(after - before) "serve.cache_evictions"
@@ -366,7 +556,7 @@ let handle_work t pool ~id ~deadline_at (w : Proto.work) ~view =
                   (("valid", Json.Bool false)
                   :: ("violation", Json.Str msg)
                   :: base),
-                origin ))))))
+                origin )))))))
 
 (* ---- admin responses -------------------------------------------------- *)
 

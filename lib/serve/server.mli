@@ -7,7 +7,13 @@
     Transport-agnostic: callers feed JSON-lines strings in via
     {!submit_line} and receive the response line through a callback, so
     the same engine serves stdio (see [bin/tce_serve]), an in-process
-    test harness, or any future socket front end. See DESIGN.md §13. *)
+    test harness, or any future socket front end. See DESIGN.md §13.
+
+    Multi-term sum problems (DESIGN.md §16) are first-class requests:
+    they are planned by {!Tce_core.Search.optimize_sum}, cached under
+    the whole-sum fingerprint (disjoint by construction from every
+    single-term key), and degrade through the sum ladder (exact →
+    beam-limited DP → the no-sharing greedy sum plan). *)
 
 type degrade_mode =
   [ `Auto  (** exact DP inside [exact_fraction] of the budget, then beam *)
@@ -101,5 +107,6 @@ val stats : t -> stats
 val queue_depth : t -> int
 
 val cache_key_of_work : Proto.work -> (string, string) result
-(** The plan-cache key a work request maps to (parse → tree → machine →
-    fingerprints). Exposed for the cache-key separation tests. *)
+(** The plan-cache key a work request maps to (parse → tree or sum →
+    machine → fingerprints). Exposed for the cache-key separation
+    tests. *)

@@ -70,6 +70,7 @@ module Aref = Tce_expr.Aref
 module Formula = Tce_expr.Formula
 module Sequence = Tce_expr.Sequence
 module Tree = Tce_expr.Tree
+module Sumexpr = Tce_expr.Sumexpr
 module Problem = Tce_expr.Problem
 module Parser = Tce_expr.Parser
 module Opmin = Tce_opmin.Opmin

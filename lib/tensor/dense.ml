@@ -111,6 +111,15 @@ let copy t =
   A1.blit t.data data;
   { t with data }
 
+let relabel t labels =
+  if List.length labels <> Array.length t.labels then
+    fail "Dense.relabel: expected %d labels, got %d" (Array.length t.labels)
+      (List.length labels);
+  let labels = Array.of_list labels in
+  if not (Index.distinct (Array.to_list labels)) then
+    fail "Dense.relabel: labels must be distinct";
+  { (copy t) with labels }
+
 let fill_random t rng =
   let data = t.data in
   for i = 0 to A1.dim data - 1 do

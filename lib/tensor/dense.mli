@@ -101,6 +101,13 @@ val fill : t -> float -> unit
 
 val copy : t -> t
 
+val relabel : t -> Index.t list -> t
+(** [relabel t labels] is a fresh tensor with the same extents, storage
+    order and bitwise-identical elements, but dimension [d] renamed to
+    [List.nth labels d]. The positional renaming of the sum-plan CSE
+    reads: a pure buffer copy, no element is reordered or recomputed.
+    Raises [Tce_error.Error] on a length mismatch or repeated labels. *)
+
 val fill_random : t -> Prng.t -> unit
 (** Uniform values in [\[-1, 1)]. *)
 

@@ -447,6 +447,74 @@ let test_divisibility_matters () =
     (replay.Simulate.total_seconds
     <= Plan.total_seconds plan +. 1e-9 *. Plan.total_seconds plan)
 
+(* ---------------- multi-term sums: sharing is numerically invisible ------- *)
+
+(* Ground truth for the sum tentpole: hoisting shared subtrees —
+   computing each representative once and reading it from every consumer
+   through index relabeling — must be bitwise-identical to evaluating
+   each term independently and accumulating, because both sides run the
+   same float operations in the same order. Checked per seeded instance
+   for the full detected grouping and for the exact grouping the sum
+   optimizer selected. *)
+let sum_sharing_numeric_block ~seed ~count () =
+  let instances = Gencorpus.sum_fuzz ~seed ~count in
+  List.iteri
+    (fun i { Gencorpus.sname; sext; sum } ->
+      let ctx = Printf.sprintf "sum %s" sname in
+      let inputs = Sumexpr.random_inputs sext ~seed:(seed + i) sum in
+      let independent = Sumexpr.eval sext ~inputs sum in
+      let check_selection ~what selected =
+        let shared, terms = Sumexpr.hoist sum ~selected in
+        let via = Sumexpr.eval_with_sharing sext ~inputs ~shared ~terms in
+        if not (Dense.bits_equal independent via) then
+          Alcotest.failf "%s: %s sharing changed the bits" ctx what
+      in
+      check_selection ~what:"fully detected" (Sumexpr.detect sext sum);
+      let _, cfg = search_config 4 in
+      match Search.optimize_sum cfg sext sum with
+      | Error _ -> ()
+      | Ok sp ->
+        let chosen =
+          List.filter
+            (fun (g : Sumexpr.group) ->
+              List.exists
+                (fun (n, _, _) -> String.equal n g.Sumexpr.name)
+                sp.Plan.shared)
+            (Sumexpr.detect sext sum)
+        in
+        check_selection ~what:"optimizer-selected" chosen)
+    instances
+
+(* A sum with nothing shareable costs exactly the sum of its per-term
+   optima: the sum DP degenerates to independent per-term planning, and
+   the assembled total accumulates the same floats in the same order. *)
+let test_sum_zero_share_cost_is_sum_of_optima () =
+  let rng = Prng.create ~seed:606 in
+  for trial = 1 to 10 do
+    let seed = 1 + Prng.int rng ~bound:1_000_000 in
+    let terms = 2 + Prng.int rng ~bound:2 in
+    let sext, sum =
+      Gencorpus.random_sum ~shared:false ~seed ~terms ~lo:4 ~hi:8 ()
+    in
+    let _, cfg = search_config 4 in
+    let ctx = Printf.sprintf "trial %d" trial in
+    let sp = get_ok ~ctx (Search.optimize_sum cfg sext sum) in
+    Alcotest.(check int) (ctx ^ ": nothing shared") 0
+      (List.length sp.Plan.shared);
+    let per_term =
+      List.fold_left
+        (fun acc (t : Sumexpr.term) ->
+          acc
+          +. Plan.comm_cost
+               (get_ok ~ctx:(ctx ^ " term")
+                  (Search.optimize cfg sext t.Sumexpr.tree)))
+        0.0 (Sumexpr.terms sum)
+    in
+    if not (Float.equal sp.Plan.sum_comm_cost per_term) then
+      Alcotest.failf "%s: sum cost %.17g <> per-term total %.17g" ctx
+        sp.Plan.sum_comm_cost per_term
+  done
+
 let suite =
   [
     ( "prop.kernel",
@@ -495,5 +563,14 @@ let suite =
           (differential_block ~seed:4004 ~procs:9 ~count:3);
         case "non-divisible extents only relax the bound"
           test_divisibility_matters;
+      ] );
+    ( "prop.sum",
+      [
+        case "shared evaluation bitwise == independent (seed 6001)"
+          (sum_sharing_numeric_block ~seed:6001 ~count:25);
+        case "shared evaluation bitwise == independent (seed 6002)"
+          (sum_sharing_numeric_block ~seed:6002 ~count:25);
+        case "zero-share sum costs exactly the sum of term optima"
+          test_sum_zero_share_cost_is_sum_of_optima;
       ] );
   ]

@@ -266,6 +266,154 @@ let test_validate_rejects_corrupt_plans () =
   let (_ : string) = get_error ~ctx:"no steps" (Plan.validate empty) in
   ()
 
+(* ---------- multi-term sums: oracle, determinism, certification ---------- *)
+
+let sum_plan_str ext sp = Format.asprintf "%a" (Plan.pp_sum ext) sp
+
+let certify_sum ~ctx ~(cfg : Search.config) ~ext sp =
+  match
+    Plan.validate_sum ?mem_limit_bytes:cfg.Search.mem_limit_bytes ~ext sp
+  with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: sum plan fails validation: %s" ctx msg
+
+(* Property: on every seeded random sum — terms, extents, permuted
+   repeats and sharing family all drawn by the generator, including
+   instances with no shareable subtree at all — the fast sum optimizer
+   returns exactly the brute-force optimum over all sharing selections ×
+   per-term contraction trees, the plan is certified by the independent
+   sum validator, and the result is byte-identical at jobs 1, 2 and 4.
+   Infeasibility must also agree with the oracle. *)
+let test_sum_optimizer_matches_brute_force () =
+  let instances = Gencorpus.sum_fuzz ~seed:20260808 ~count:40 in
+  List.iter
+    (fun { Gencorpus.sname; sext; sum } ->
+      let _, cfg = search_config 4 in
+      let ctx = Printf.sprintf "sum instance %s" sname in
+      match Search.brute_force_sum cfg sext sum with
+      | Error _ -> (
+        match Search.optimize_sum cfg sext sum with
+        | Error _ -> ()
+        | Ok sp ->
+          Alcotest.failf "%s: feasible (%.6f) but oracle infeasible" ctx
+            sp.Plan.sum_comm_cost)
+      | Ok oracle -> (
+        match Search.optimize_sum cfg sext sum with
+        | Error msg ->
+          Alcotest.failf "%s: infeasible (%s) but oracle found %.6f" ctx msg
+            oracle.Plan.sum_comm_cost
+        | Ok sp ->
+          if
+            Float.abs (sp.Plan.sum_comm_cost -. oracle.Plan.sum_comm_cost)
+            > 1e-9
+          then
+            Alcotest.failf "%s: cost %.6f vs oracle %.6f" ctx
+              sp.Plan.sum_comm_cost oracle.Plan.sum_comm_cost;
+          certify_sum ~ctx ~cfg ~ext:sext sp;
+          let reference = sum_plan_str sext sp in
+          List.iter
+            (fun jobs ->
+              let spj =
+                get_ok
+                  ~ctx:(Printf.sprintf "%s jobs=%d" ctx jobs)
+                  (Search.optimize_sum ~jobs cfg sext sum)
+              in
+              Alcotest.(check string)
+                (Printf.sprintf "%s: jobs=%d byte-identical" ctx jobs)
+                reference (sum_plan_str sext spj))
+            [ 2; 4 ]))
+    instances
+
+(* The acceptance bar from the issue: on the corpus instances with
+   planted shared subtrees (including the permuted repeat), the sum
+   optimizer's total communication is strictly below planning every term
+   independently, because the shared intermediate is paid for once. *)
+let test_sum_planted_sharing_beats_independent () =
+  List.iter
+    (fun { Gencorpus.sname; sext; sum } ->
+      let _, cfg = search_config 16 in
+      let sp =
+        get_ok ~ctx:(sname ^ " shared") (Search.optimize_sum cfg sext sum)
+      in
+      let indep =
+        get_ok
+          ~ctx:(sname ^ " independent")
+          (Search.optimize_sum ~max_groups:0 cfg sext sum)
+      in
+      if sp.Plan.shared = [] then
+        Alcotest.failf "%s: no shared intermediate selected" sname;
+      if not (sp.Plan.sum_comm_cost < indep.Plan.sum_comm_cost) then
+        Alcotest.failf "%s: shared %.6f not strictly below independent %.6f"
+          sname sp.Plan.sum_comm_cost indep.Plan.sum_comm_cost;
+      certify_sum ~ctx:sname ~cfg ~ext:sext sp;
+      certify_sum ~ctx:(sname ^ " independent") ~cfg ~ext:sext indep)
+    (Gencorpus.sum_bench_corpus ())
+
+(* Plan.validate_sum as an independent checker: it recomputes the
+   book-keeping totals and re-validates every sub-plan with its pinned
+   shared leaves, so tampering with any part of the sum plan is caught. *)
+let test_validate_sum_rejects_corrupt () =
+  let { Gencorpus.sname = _; sext; sum } =
+    List.hd (Gencorpus.sum_bench_corpus ())
+  in
+  let _, cfg = search_config 16 in
+  let sp = get_ok ~ctx:"optimize_sum" (Search.optimize_sum cfg sext sum) in
+  certify_sum ~ctx:"genuine sum plan" ~cfg ~ext:sext sp;
+  Alcotest.(check bool) "sharing selected" true (sp.Plan.shared <> []);
+  (* Shared producers dropped while the totals still claim amortization. *)
+  let (_ : string) =
+    get_error ~ctx:"dropped shared list"
+      (Plan.validate_sum ~ext:sext { sp with Plan.shared = [] })
+  in
+  (* No terms at all. *)
+  let (_ : string) =
+    get_error ~ctx:"no terms"
+      (Plan.validate_sum ~ext:sext { sp with Plan.terms = [] })
+  in
+  (* A zeroed coefficient. *)
+  let (_ : string) =
+    get_error ~ctx:"zero coefficient"
+      (Plan.validate_sum ~ext:sext
+         {
+           sp with
+           Plan.terms = List.map (fun (_, p) -> (0.0, p)) sp.Plan.terms;
+         })
+  in
+  (* An impossible memory budget across the whole sum. *)
+  let (_ : string) =
+    get_error ~ctx:"tiny memory limit"
+      (Plan.validate_sum ~mem_limit_bytes:1.0 ~ext:sext sp)
+  in
+  ()
+
+(* Single-term problems are untouched by the sum machinery: the
+   computation router classifies them as [Single] and the resulting plan
+   is byte-identical to the direct tree pipeline. *)
+let test_single_term_routes_identically () =
+  List.iter
+    (fun text ->
+      let problem = get_ok ~ctx:"parse" (Parser.parse text) in
+      let direct =
+        get_ok ~ctx:"optimize_to_tree" (Opmin.optimize_to_tree problem)
+      in
+      let routed =
+        match
+          get_ok ~ctx:"optimize_to_computation"
+            (Opmin.optimize_to_computation problem)
+        with
+        | Opmin.Single tree -> tree
+        | Opmin.Summed _ -> Alcotest.fail "single term classified as a sum"
+      in
+      let _, cfg = search_config 4 in
+      let ext = problem.Problem.extents in
+      Alcotest.(check string) "plan byte-identical"
+        (plan_str (get_ok ~ctx:"direct" (Search.optimize cfg ext direct)))
+        (plan_str (get_ok ~ctx:"routed" (Search.optimize cfg ext routed))))
+    [
+      ccsd_text ~scale:`Tiny;
+      "extents a=8, b=8, c=8\nC[a,c] = sum[b] A[a,b] * B[b,c]\n";
+    ]
+
 (* ---------- Parsearch unit tests ---------- *)
 
 let test_parsearch_map_order () =
@@ -358,6 +506,17 @@ let suite =
       ] );
     ( "searchprop.validate",
       [ case "validator rejects corrupted plans" test_validate_rejects_corrupt_plans ] );
+    ( "searchprop.sum",
+      [
+        case "sum optimizer matches sum brute force, jobs-invariant"
+          test_sum_optimizer_matches_brute_force;
+        case "planted sharing strictly beats independent terms"
+          test_sum_planted_sharing_beats_independent;
+        case "sum validator rejects corrupted sum plans"
+          test_validate_sum_rejects_corrupt;
+        case "single-term problems route identically"
+          test_single_term_routes_identically;
+      ] );
     ( "searchprop.parsearch",
       [
         case "map_array preserves input order" test_parsearch_map_order;

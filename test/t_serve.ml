@@ -338,6 +338,141 @@ let test_degrade_always_is_approximate () =
       let r2 = call server (optimize_req matmul_expr) in
       Alcotest.(check bool) "not cached" false (get_bool "cached" r2))
 
+(* ---------------- multi-term sums (DESIGN.md §16) ---------------- *)
+
+(* Two terms sharing the intermediate M = P·Q, so the sum optimizer has
+   a real cross-term CSE to find. *)
+let sum_expr =
+  "extents a=8, b=8, c=8, d=8\n\
+   M[a,b] = sum[c] P[a,c] * Q[c,b]\n\
+   E[a,d] = sum[b] M[a,b] * R[b,d] + 0.5 * sum[b] M[a,b] * U[b,d]\n"
+
+(* The sum's individual terms, as standalone single-term problems. *)
+let sum_term_exprs =
+  [
+    "extents a=8, b=8, c=8, d=8\n\
+     M[a,b] = sum[c] P[a,c] * Q[c,b]\n\
+     E[a,d] = sum[b] M[a,b] * R[b,d]\n";
+    "extents a=8, b=8, c=8, d=8\n\
+     M[a,b] = sum[c] P[a,c] * Q[c,b]\n\
+     E[a,d] = sum[b] M[a,b] * U[b,d]\n";
+  ]
+
+let load_sum expr =
+  let problem = Result.get_ok (Parser.parse expr) in
+  match Result.get_ok (Opmin.optimize_to_computation problem) with
+  | Opmin.Summed se -> (problem.Problem.extents, se)
+  | Opmin.Single _ -> Alcotest.fail "expected a multi-term sum"
+
+let test_sum_cache_key_separation () =
+  (* The whole-sum fingerprint keys the cache: the key is deterministic
+     and disjoint from the key of every individual term served alone. *)
+  let sum_key = key (work ~expr:sum_expr ()) in
+  Alcotest.(check string) "deterministic" sum_key
+    (key (work ~expr:sum_expr ()));
+  List.iteri
+    (fun i term_expr ->
+      if key (work ~expr:term_expr ()) = sum_key then
+        Alcotest.failf "term %d alone shares the sum's cache key" (i + 1))
+    sum_term_exprs
+
+let test_sum_cold_then_hit () =
+  with_server (default_cfg ()) (fun server ->
+      let r1 = call server (optimize_req sum_expr) in
+      Alcotest.(check string) "cold ok" "ok" (status r1);
+      Alcotest.(check bool) "sum flagged" true (get_bool "sum" r1);
+      Alcotest.(check bool) "cold" false (get_bool "cached" r1);
+      Alcotest.(check bool) "exact" false (get_bool "approximate" r1);
+      let r2 = call server (optimize_req sum_expr) in
+      Alcotest.(check string) "hit ok" "ok" (status r2);
+      Alcotest.(check bool) "cached" true (get_bool "cached" r2);
+      Alcotest.(check string) "byte-identical sum plan" (get_str "plan" r1)
+        (get_str "plan" r2);
+      (* The hit equals a fresh sum search bit for bit: sum fingerprints
+         keep names, so no renaming is even involved. *)
+      let ext, se = load_sum sum_expr in
+      let _grid, cfg = search_config 4 in
+      let fresh = get_ok ~ctx:"optimize_sum" (Search.optimize_sum cfg ext se) in
+      Alcotest.(check string) "hit equals fresh sum search"
+        (Format.asprintf "%a" (Plan.pp_sum ext) fresh)
+        (get_str "plan" r2))
+
+let test_sum_simulate_and_validate_views () =
+  with_server (default_cfg ()) (fun server ->
+      let sim =
+        call server
+          (req
+             [
+               ("id", Json.Num 1.0); ("op", Json.Str "simulate");
+               ("expr", Json.Str sum_expr); ("procs", Json.Num 4.0);
+             ])
+      in
+      Alcotest.(check string) "simulate ok" "ok" (status sim);
+      (match Json.member "simulated" sim with
+      | Some (Json.Obj _) -> ()
+      | _ -> Alcotest.fail "no simulated timing");
+      let v =
+        call server
+          (req
+             [
+               ("id", Json.Num 2.0); ("op", Json.Str "validate");
+               ("expr", Json.Str sum_expr); ("procs", Json.Num 4.0);
+             ])
+      in
+      Alcotest.(check string) "validate ok" "ok" (status v);
+      Alcotest.(check bool) "sum plan certified" true (get_bool "valid" v))
+
+let test_sum_fusion_modes_gated () =
+  (* The sum optimizer always plans terms over the full fusion space;
+     restricted modes on a multi-term problem are a typed rejection. *)
+  with_server (default_cfg ()) (fun server ->
+      List.iter
+        (fun mode ->
+          let r =
+            call server
+              (req
+                 [
+                   ("id", Json.Num 1.0); ("op", Json.Str "optimize");
+                   ("expr", Json.Str sum_expr); ("procs", Json.Num 4.0);
+                   ("fusion", Json.Str mode);
+                 ])
+          in
+          Alcotest.(check string) (mode ^ " status") "error" (status r);
+          Alcotest.(check string) (mode ^ " kind") "invalid_request"
+            (error_kind r))
+        [ "none"; "memmin" ])
+
+let test_sum_degrade_always_is_approximate () =
+  let cfg = default_cfg ~degrade:`Always () in
+  with_server cfg (fun server ->
+      let r = call server (optimize_req sum_expr) in
+      Alcotest.(check string) "status" "ok" (status r);
+      Alcotest.(check bool) "sum flagged" true (get_bool "sum" r);
+      Alcotest.(check bool) "labelled approximate" true
+        (get_bool "approximate" r);
+      (* Approximate sum plans never enter the cache. *)
+      let r2 = call server (optimize_req sum_expr) in
+      Alcotest.(check bool) "not cached" false (get_bool "cached" r2))
+
+let test_sum_greedy_rung_plan_certified () =
+  (* The ladder's last rung calls Search.greedy_sum (the labelling as
+     approximate is covered by test_sum_degrade_always_is_approximate):
+     the greedy no-sharing plan must be validator-certified and an upper
+     bound on the exact optimum. *)
+  let ext, se = load_sum sum_expr in
+  let _grid, cfg = search_config 4 in
+  let greedy = get_ok ~ctx:"greedy_sum" (Search.greedy_sum cfg ext se) in
+  Alcotest.(check int) "greedy shares nothing" 0
+    (List.length greedy.Plan.shared);
+  (match
+     Plan.validate_sum ?mem_limit_bytes:cfg.Search.mem_limit_bytes ~ext greedy
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "greedy sum plan rejected: %s" msg);
+  let exact = get_ok ~ctx:"optimize_sum" (Search.optimize_sum cfg ext se) in
+  Alcotest.(check bool) "greedy upper-bounds the optimum" true
+    (exact.Plan.sum_comm_cost <= greedy.Plan.sum_comm_cost +. 1e-9)
+
 (* ---------------- crash isolation ---------------- *)
 
 let test_worker_crash_isolation () =
@@ -425,6 +560,17 @@ let suite =
           test_degrade_always_is_approximate;
         case "worker crash isolated" test_worker_crash_isolation;
         case "drain rejects new work" test_drain_rejects_new_work;
+      ] );
+    ( "serve.sum",
+      [
+        case "sum key disjoint from its terms" test_sum_cache_key_separation;
+        case "sum cold then byte-identical hit" test_sum_cold_then_hit;
+        case "sum simulate and validate views"
+          test_sum_simulate_and_validate_views;
+        case "sum restricted fusion rejected" test_sum_fusion_modes_gated;
+        case "sum degrade always labels approximate"
+          test_sum_degrade_always_is_approximate;
+        case "greedy sum rung certified" test_sum_greedy_rung_plan_certified;
       ] );
     ( "serve.cancel",
       [
