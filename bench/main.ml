@@ -1226,6 +1226,109 @@ let sums () =
   Format.printf "@.wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
+(* Topology: uniform vs 2-procs/node node-aware planning               *)
+(* ------------------------------------------------------------------ *)
+
+(* Plans CCSD-small plus seeded Gencorpus instances at procs=16 under
+   (a) the uniform topology restricted to the 4x4 square — asserted
+   byte-identical to the plain square search, the bit-for-bit replay
+   gate — and (b) a 2-procs/node machine with a fast intra-node link,
+   where the shape search enumerates every R x C factorization. The
+   node-aware saving compares the best shape against the best square
+   plan under the *same* node-aware pricing (costs across different
+   pricings are not comparable). Writes BENCH_topology.json; CI asserts
+   "plans_identical": true on every uniform row. *)
+let topology_bench () =
+  section "Topology: uniform replay gate and node-aware shape choice";
+  let procs = 16 in
+  let square = Grid.create_exn ~procs in
+  let topo_uniform = Topology.uniform params in
+  let topo_node =
+    Topology.node_aware params ~intra_latency:1e-8 ~intra_bandwidth:1e11
+  in
+  let config_of topo g =
+    Search.default_config ~grid:g ~params:(Topology.params topo)
+      ~rcost:(Rcost.of_topology topo g) ()
+  in
+  let plain_cfg =
+    Search.default_config ~grid:square ~params
+      ~rcost:(Rcost.of_params params ~side:(Grid.side square))
+      ()
+  in
+  let shape g = Printf.sprintf "%dx%d" (Grid.rows g) (Grid.cols g) in
+  let instances =
+    (let _, _, tree = load ccsd_small_text in
+     let problem = Result.get_ok (Parser.parse ccsd_small_text) in
+     [ { Gencorpus.name = "ccsd-small"; ext = problem.Problem.extents; tree } ])
+    @ Gencorpus.fuzz ~seed:20260809 ~count:6
+  in
+  let rows =
+    List.filter_map
+      (fun { Gencorpus.name; ext; tree } ->
+        match Search.optimize plain_cfg ext tree with
+        | Error _ -> None (* infeasible at this grid: skip *)
+        | Ok plain ->
+          let topo_square =
+            Result.get_ok (Search.optimize (config_of topo_uniform square) ext tree)
+          in
+          let identical = String.equal (plan_str plain) (plan_str topo_square) in
+          let node_s, node_best =
+            best_of (fun () ->
+                Result.get_ok
+                  (Search.optimize_topology
+                     ~config_of:(config_of topo_node) ~topo:topo_node ~procs
+                     ext tree))
+          in
+          let square_node =
+            Result.get_ok (Search.optimize (config_of topo_node square) ext tree)
+          in
+          let node_c = Plan.comm_cost node_best
+          and square_node_c = Plan.comm_cost square_node in
+          let saving =
+            if square_node_c = 0.0 then 0.0 else 1.0 -. (node_c /. square_node_c)
+          in
+          let intra = Search.intra_axis_count topo_node node_best.Plan.grid in
+          Format.printf
+            "%-18s uniform %s %9.4f s comm (replay identical %b)  node \
+             %s %9.4f s comm (%d intra axes, %.2f ms search)  vs square \
+             %9.4f s  saving %5.1f%%@."
+            name (shape square) (Plan.comm_cost plain) identical
+            (shape node_best.Plan.grid)
+            node_c intra (1e3 *. node_s) square_node_c (100. *. saving);
+          Some
+            ( name,
+              (Plan.comm_cost plain, identical),
+              (shape node_best.Plan.grid, node_c, intra),
+              (square_node_c, saving) ))
+      instances
+  in
+  let path = "BENCH_topology.json" in
+  Out_channel.with_open_text path (fun oc ->
+      let p fmt = Printf.fprintf oc fmt in
+      p
+        "{\n  \"benchmark\": \"topology\",\n  \"procs\": %d,\n  \
+         \"procs_per_node\": %d,\n  \"cases\": [\n"
+        procs params.Params.procs_per_node;
+      List.iteri
+        (fun k
+             ( name,
+               (uniform_c, identical),
+               (node_shape, node_c, intra),
+               (square_node_c, saving) ) ->
+          p
+            "    {\"name\": %S, \"uniform_grid\": \"4x4\", \
+             \"uniform_comm_seconds\": %.6e, \"plans_identical\": %b, \
+             \"node_grid\": %S, \"node_comm_seconds\": %.6e, \
+             \"intra_axes\": %d, \"square_node_comm_seconds\": %.6e, \
+             \"saving_fraction\": %.4f}%s\n"
+            name uniform_c identical node_shape node_c intra square_node_c
+            saving
+            (if k = List.length rows - 1 then "" else ","))
+        rows;
+      p "  ]\n}\n");
+  Format.printf "@.wrote %s@." path
+
+(* ------------------------------------------------------------------ *)
 (* The planning daemon: load generator                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1440,6 +1543,7 @@ let sections =
     ("search", search);
     ("search-smoke", search_smoke);
     ("sums", sums);
+    ("topology", topology_bench);
     ("serve", serve_bench);
   ]
 

@@ -150,6 +150,31 @@ let trace_arg =
                execution (per-rank send/recv/multiply/barrier spans on \
                the wall clock).")
 
+let topology_arg =
+  let topo = Arg.enum [ ("uniform", `Uniform); ("node", `Node) ] in
+  Arg.(value & opt topo `Uniform & info [ "topology" ] ~docv:"T"
+         ~doc:"Network model: $(b,uniform) (default — the paper's flat \
+               alpha-beta torus; every existing plan is byte-identical) or \
+               $(b,node) (separate intra-node links: the search enumerates \
+               every R x C factorization of P, prices each grid axis by \
+               its link class under the row-major rank-to-node packing, \
+               and keeps the cheapest shape).")
+
+let nodes_arg =
+  Arg.(value & opt (some int) None & info [ "nodes" ] ~docv:"N"
+         ~doc:"With $(b,--topology node): number of nodes; the P ranks are \
+               packed row-major, P/N consecutive ranks per node (N must \
+               divide P). Default: the machine's own procs-per-node.")
+
+let intra_latency_arg =
+  Arg.(value & opt float 1.0 & info [ "intra-latency-us" ] ~docv:"US"
+         ~doc:"With $(b,--topology node): intra-node link latency \
+               (microseconds).")
+
+let intra_bandwidth_arg =
+  Arg.(value & opt float 1000.0 & info [ "intra-bandwidth-mbs" ] ~docv:"MBS"
+         ~doc:"With $(b,--topology node): intra-node link bandwidth (MB/s).")
+
 let setup grid_procs params =
   let grid = or_die (Grid.create ~procs:grid_procs) in
   let rcost = Rcost.of_params params ~side:(Grid.side grid) in
@@ -158,9 +183,11 @@ let setup grid_procs params =
 (* ---------------- optimize ---------------- *)
 
 (* The --faults scenario: replay the plan under a seeded fault model; when
-   the injected crash fires, replan on the surviving sub-grid and report
-   the degradation. *)
-let fault_scenario ~seed ~params ~grid ~ext ~tree ~plan =
+   the injected crash fires, replan via [replan] (surviving square
+   sub-grid under the uniform topology, best surviving factorization
+   under a node-aware one) and report the degradation. *)
+let fault_scenario ~seed ~params ~ext ~plan ~replan =
+  let grid = plan.Plan.grid in
   let healthy = or_die_tce (Simulate.run_plan params ext plan) in
   let scenario_rng = Prng.create ~seed in
   let crash_rank = Prng.int scenario_rng ~bound:(Grid.procs grid) in
@@ -181,14 +208,7 @@ let fault_scenario ~seed ~params ~grid ~ext ~tree ~plan =
       (degraded_t.Simulate.total_seconds /. healthy.Simulate.total_seconds)
   | Error (Tce_error.Node_crashed { rank; at }) ->
     Format.printf "replay aborted: node %d crashed at t=%.1f s@." rank at;
-    let config_of g =
-      Search.default_config ~grid:g ~params
-        ~rcost:(Rcost.of_params params ~side:(Grid.side g))
-        ()
-    in
-    let report =
-      or_die (Degrade.replan ~config_of ext tree ~healthy:plan)
-    in
+    let report = or_die (replan ~healthy:plan) in
     Format.printf "%a@." Degrade.pp_report report
   | Error e -> or_die_tce (Error e));
   Format.printf "%a@." Fault.pp_trace faults
@@ -237,18 +257,102 @@ let optimize_sum_path ~cfg ~ext ~fusion ~search_jobs ~beam ~strategy
       "note: --code, --faults and --trace apply to single-term problems; \
        ignored for a multi-term sum@."
 
+(* Everything printed after a single-tree plan is found: the plan, the
+   paper-style table, the overlap law, and the --code/--faults/--trace
+   extras. Shared by the uniform and node-aware paths; only the replan
+   policy differs. *)
+let report_plan ~params ~procs ~ext ~tree ~plan ~code ~overlap_factor ~faults
+    ~trace ~sink ~replan =
+  Format.printf "%a@.@.%a@.%s@." Plan.pp plan Table.pp
+    (Exptables.plan_table plan)
+    (Exptables.totals_line plan);
+  let overlap = or_die (Overlap.make ~factor:overlap_factor) in
+  let serialized = Plan.total_seconds plan in
+  let overlapped = Plan.overlapped_seconds ~overlap plan in
+  Format.printf
+    "overlap-aware cost (%a): serialized %.1f s, overlapped %.1f s \
+     (%.1f s hidden)@."
+    Overlap.pp overlap serialized overlapped (serialized -. overlapped);
+  if code then
+    Format.printf "@.%s@." (or_die (Parcode.emit ext tree plan));
+  Option.iter
+    (fun seed -> fault_scenario ~seed ~params ~ext ~plan ~replan)
+    faults;
+  match (trace, sink) with
+  | Some path, Some sink ->
+    traced_runs ~params ~procs ~ext ~tree ~plan ~overlap;
+    Obs.uninstall ();
+    or_die (Obs.write_chrome_json sink ~path);
+    Format.printf "wrote %s (%d trace events, %d dropped)@." path
+      (List.length (Obs.events sink))
+      (Obs.dropped sink)
+  | _ -> ()
+
 let optimize_cmd =
   let run file procs mem_gb flops_mhz latency_us bandwidth_mbs fusion code
-      overlap_factor faults search_jobs beam strategy trace =
+      overlap_factor faults search_jobs beam strategy trace topology nodes
+      intra_latency_us intra_bandwidth_mbs =
     let sink = Option.map (fun _ -> Obs.create ()) trace in
     Option.iter Obs.install sink;
     Fun.protect ~finally:Obs.uninstall @@ fun () ->
     let problem = or_die (Parser.parse_file file) in
     let params = machine_of ~mem_gb ~flops_mhz ~latency_us ~bandwidth_mbs in
+    let ext = problem.Problem.extents in
+    let computation = or_die (Opmin.optimize_to_computation problem) in
+    match topology with
+    | `Node ->
+      (* Node-aware shape search (DESIGN.md §17): enumerate R x C
+         factorizations under a per-link-class characterization. *)
+      let ppn =
+        match nodes with
+        | None -> params.Params.procs_per_node
+        | Some n ->
+          if n <= 0 || procs mod n <> 0 then
+            or_die
+              (Error
+                 (Printf.sprintf
+                    "--nodes %d does not evenly divide %d processors" n procs))
+          else procs / n
+      in
+      let params = { params with Params.procs_per_node = ppn } in
+      let topo =
+        Topology.node_aware params
+          ~intra_latency:(intra_latency_us *. 1e-6)
+          ~intra_bandwidth:(intra_bandwidth_mbs *. 1e6)
+      in
+      let config_of g =
+        Search.default_config ~grid:g ~params
+          ~rcost:(Rcost.of_topology topo g) ()
+      in
+      (match computation with
+      | Opmin.Summed _ ->
+        or_die
+          (Error
+             "multi-term sums plan on the uniform topology; drop --topology \
+              node")
+      | Opmin.Single tree ->
+        let plan =
+          or_die
+            (match (strategy, fusion) with
+            | `Exact, `All ->
+              Search.optimize_topology ~jobs:search_jobs ?beam ~config_of
+                ~topo ~procs ext tree
+            | _ ->
+              Error
+                "--topology node searches grid shapes with --strategy exact \
+                 --fusion all")
+        in
+        Format.printf "%a@.chosen grid: %a (%d of 2 axes intra-node)@."
+          Topology.pp topo Grid.pp plan.Plan.grid
+          (Search.intra_axis_count topo plan.Plan.grid);
+        report_plan ~params ~procs ~ext ~tree ~plan ~code ~overlap_factor
+          ~faults ~trace ~sink
+          ~replan:(fun ~healthy ->
+            Degrade.replan_best ~config_of ~topo ext tree ~healthy))
+    | `Uniform ->
     let grid, rcost = setup procs params in
     let cfg = Search.default_config ~grid ~params ~rcost () in
-    let ext = problem.Problem.extents in
-    match or_die (Opmin.optimize_to_computation problem) with
+    match computation with
     | Opmin.Summed se ->
       optimize_sum_path ~cfg ~ext ~fusion ~search_jobs ~beam ~strategy
         ~extras_requested:(code || faults <> None || trace <> None)
@@ -290,30 +394,14 @@ let optimize_cmd =
                   (if r.Search.improved then "  (improved)" else ""))
               cfg ext tree))
     in
-    Format.printf "%a@.@.%a@.%s@." Plan.pp plan Table.pp
-      (Exptables.plan_table plan)
-      (Exptables.totals_line plan);
-    let overlap = or_die (Overlap.make ~factor:overlap_factor) in
-    let serialized = Plan.total_seconds plan in
-    let overlapped = Plan.overlapped_seconds ~overlap plan in
-    Format.printf
-      "overlap-aware cost (%a): serialized %.1f s, overlapped %.1f s \
-       (%.1f s hidden)@."
-      Overlap.pp overlap serialized overlapped (serialized -. overlapped);
-    if code then
-      Format.printf "@.%s@." (or_die (Parcode.emit ext tree plan));
-    Option.iter
-      (fun seed -> fault_scenario ~seed ~params ~grid ~ext ~tree ~plan)
-      faults;
-    match (trace, sink) with
-    | Some path, Some sink ->
-      traced_runs ~params ~procs ~ext ~tree ~plan ~overlap;
-      Obs.uninstall ();
-      or_die (Obs.write_chrome_json sink ~path);
-      Format.printf "wrote %s (%d trace events, %d dropped)@." path
-        (List.length (Obs.events sink))
-        (Obs.dropped sink)
-    | _ -> ()
+    let config_of g =
+      Search.default_config ~grid:g ~params
+        ~rcost:(Rcost.of_params params ~side:(Grid.side g))
+        ()
+    in
+    report_plan ~params ~procs ~ext ~tree ~plan ~code ~overlap_factor ~faults
+      ~trace ~sink
+      ~replan:(fun ~healthy -> Degrade.replan ~config_of ext tree ~healthy)
   in
   Cmd.v
     (Cmd.info "optimize"
@@ -321,7 +409,8 @@ let optimize_cmd =
     Term.(
       const run $ file_arg $ procs_arg $ mem_gb_arg $ flops_arg $ latency_arg
       $ bandwidth_arg $ fusion_arg $ code_flag $ overlap_arg $ faults_arg
-      $ search_jobs_arg $ beam_arg $ strategy_arg $ trace_arg)
+      $ search_jobs_arg $ beam_arg $ strategy_arg $ trace_arg $ topology_arg
+      $ nodes_arg $ intra_latency_arg $ intra_bandwidth_arg)
 
 (* ---------------- codegen ---------------- *)
 

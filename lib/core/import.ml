@@ -16,6 +16,7 @@ module Grid = Tce_grid.Grid
 module Dist = Tce_grid.Dist
 module Params = Tce_netmodel.Params
 module Rcost = Tce_netmodel.Rcost
+module Topology = Tce_netmodel.Topology
 module Overlap = Tce_netmodel.Overlap
 module Eqs = Tce_memmodel.Eqs
 module Memacct = Tce_memmodel.Memacct

@@ -105,7 +105,7 @@ let redist_cost_of step role =
     0.0 step.redists
 
 let assemble ~ext ~grid ~params ~flops ~mem ?(presums = []) steps =
-  let side = Grid.side grid in
+  let rows = Grid.rows grid and cols = Grid.cols grid in
   let produced = Hashtbl.create 8 in
   List.iter
     (fun s -> Hashtbl.replace produced (Aref.name s.contraction.Contraction.out) ())
@@ -135,8 +135,8 @@ let assemble ~ext ~grid ~params ~flops ~mem ?(presums = []) steps =
     else begin
       ignore fused;
       let stored =
-        Eqs.dist_size ext ~side ~alpha:dist ~fused:Index.Set.empty
-          ~dims:(Aref.indices aref)
+        Eqs.dist_size_rect ext ~rows ~cols ~alpha:dist
+          ~fused:Index.Set.empty ~dims:(Aref.indices aref)
       in
       match
         List.find_opt (fun r -> String.equal (Aref.name r.aref) name) !inputs
@@ -167,7 +167,7 @@ let assemble ~ext ~grid ~params ~flops ~mem ?(presums = []) steps =
     let aref = step.contraction.Contraction.out in
     let dist = Variant.dist_of step.variant Variant.Out in
     let stored =
-      Eqs.dist_size ext ~side ~alpha:dist ~fused:step.fusion_out
+      Eqs.dist_size_rect ext ~rows ~cols ~alpha:dist ~fused:step.fusion_out
         ~dims:(Aref.indices aref)
     in
     outs :=
@@ -198,8 +198,8 @@ let assemble ~ext ~grid ~params ~flops ~mem ?(presums = []) steps =
               initial_dist = None;
               final_dist = Some ps.dist;
               stored_words =
-                Eqs.dist_size ext ~side ~alpha:ps.dist ~fused:Index.Set.empty
-                  ~dims:(Aref.indices ps.source);
+                Eqs.dist_size_rect ext ~rows ~cols ~alpha:ps.dist
+                  ~fused:Index.Set.empty ~dims:(Aref.indices ps.source);
               comm_initial = 0.0;
               comm_final = 0.0;
             };
@@ -213,8 +213,8 @@ let assemble ~ext ~grid ~params ~flops ~mem ?(presums = []) steps =
               initial_dist = Some ps.dist;
               final_dist = None;
               stored_words =
-                Eqs.dist_size ext ~side ~alpha:ps.dist ~fused:ps.fused
-                  ~dims:(Aref.indices ps.out);
+                Eqs.dist_size_rect ext ~rows ~cols ~alpha:ps.dist
+                  ~fused:ps.fused ~dims:(Aref.indices ps.out);
               comm_initial = 0.0;
               comm_final = 0.0;
             };
@@ -543,11 +543,11 @@ let sum_accumulation_flops ext ~out ~n_terms =
 
 (* Stored footprint (words per node) of each shared value, in production
    order. *)
-let shared_stored_words ext ~side shared =
+let shared_stored_words ext ~rows ~cols shared =
   List.map
     (fun (_, rep_order, p) ->
-      Eqs.dist_size ext ~side ~alpha:(output_dist p) ~fused:Index.Set.empty
-        ~dims:rep_order)
+      Eqs.dist_size_rect ext ~rows ~cols ~alpha:(output_dist p)
+        ~fused:Index.Set.empty ~dims:rep_order)
     shared
 
 (* Peak bytes per node over the whole sum's lifetime: while shared value
@@ -557,8 +557,8 @@ let shared_stored_words ext ~side shared =
    plan's own accounting (pinned leaves count as resident there), the
    rest are carried as extra residency. *)
 let sum_peak_bytes ext s =
-  let side = Grid.side s.sum_grid in
-  let stored = shared_stored_words ext ~side s.shared in
+  let rows = Grid.rows s.sum_grid and cols = Grid.cols s.sum_grid in
+  let stored = shared_stored_words ext ~rows ~cols s.shared in
   let last_consumer (name, _, _) =
     let r = ref (-1) in
     List.iteri (fun i (_, p) -> if consumes_leaf p name then r := i) s.terms;

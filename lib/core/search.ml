@@ -147,10 +147,12 @@ let redistribution cfg ext ~variant ~role ~fused ~prod =
   else if not (Fusionset.dist_compatible ~fused ~prod ~cons) then
     Error `Illegal
   else begin
-    let side = Grid.side cfg.grid in
+    let rows = Grid.rows cfg.grid and cols = Grid.cols cfg.grid in
     let dims = Aref.indices (Variant.aref_of variant role) in
-    let words = Eqs.dist_size ext ~side ~alpha:cons ~fused ~dims in
-    let factor = Eqs.msg_factor ext ~side ~alpha:cons ~fused ~dims in
+    let words = Eqs.dist_size_rect ext ~rows ~cols ~alpha:cons ~fused ~dims in
+    let factor =
+      Eqs.msg_factor_rect ext ~rows ~cols ~alpha:cons ~fused ~dims
+    in
     let cost =
       cfg.redist_factor *. float_of_int factor
       *. Rcost.query cfg.rcost ~axis:1 ~words
@@ -615,7 +617,7 @@ and solve_contract ctx ~contraction ~f_out_candidates node l r =
       let* rcs = child_cases ctx node r in
       Ok (lcs, rcs)
   in
-  let side = Grid.side cfg.grid in
+  let rows = Grid.rows cfg.grid and cols = Grid.cols cfg.grid in
   let flops = Contraction.flops ext contraction in
   let out_aref = contraction.Contraction.out in
   (* One task per Cannon variant: each walks its (left case × right case ×
@@ -660,7 +662,7 @@ and solve_contract ctx ~contraction ~f_out_candidates node l r =
                           [ Variant.Out; Variant.Left; Variant.Right ])
                 then begin
                   match
-                    combine cfg ext ~side ~pinned:ctx.pinned ~variant
+                    combine cfg ext ~rows ~cols ~pinned:ctx.pinned ~variant
                       ~contraction ~flops ~alpha_out ~f_out ~f_left ~f_right
                       ~left_case ~right_case ~out_aref
                   with
@@ -742,7 +744,8 @@ and child_cases ctx parent_node child =
 
 (* Assemble one candidate solution at a contraction node; [None] when the
    combination is illegal or over the memory limit. *)
-and combine cfg ext ~side ~pinned ~variant ~contraction ~flops ~alpha_out
+and combine cfg ext ~rows ~cols ~pinned ~variant ~contraction ~flops
+    ~alpha_out
     ~f_out ~f_left ~f_right ~left_case ~right_case ~out_aref =
   let consume role case fused =
     match case with
@@ -758,8 +761,8 @@ and combine cfg ext ~side ~pinned ~variant ~contraction ~flops ~alpha_out
            term). *)
         let prod = Dist.rename stored ~from:rep_order ~into:(Aref.indices a) in
         let resident =
-          Eqs.dist_size ext ~side ~alpha:prod ~fused:Index.Set.empty
-            ~dims:(Aref.indices a)
+          Eqs.dist_size_rect ext ~rows ~cols ~alpha:prod
+            ~fused:Index.Set.empty ~dims:(Aref.indices a)
         in
         begin
           match redistribution cfg ext ~variant ~role ~fused ~prod with
@@ -770,7 +773,7 @@ and combine cfg ext ~side ~pinned ~variant ~contraction ~flops ~alpha_out
         (* Inputs materialize in the required distribution for free. *)
         let alpha = Variant.dist_of variant role in
         let resident =
-          Eqs.dist_size ext ~side ~alpha ~fused:Index.Set.empty
+          Eqs.dist_size_rect ext ~rows ~cols ~alpha ~fused:Index.Set.empty
             ~dims:(Aref.indices a)
         in
         Ok ((resident, []), None)
@@ -780,9 +783,10 @@ and combine cfg ext ~side ~pinned ~variant ~contraction ~flops ~alpha_out
          stored under the edge fusion; the reduction itself is local. *)
       let alpha = Variant.dist_of variant role in
       let resident =
-        Eqs.dist_size ext ~side ~alpha ~fused:Index.Set.empty
+        Eqs.dist_size_rect ext ~rows ~cols ~alpha ~fused:Index.Set.empty
           ~dims:(Aref.indices source)
-        + Eqs.dist_size ext ~side ~alpha ~fused ~dims:(Aref.indices out)
+        + Eqs.dist_size_rect ext ~rows ~cols ~alpha ~fused
+            ~dims:(Aref.indices out)
       in
       let ps =
         {
@@ -816,7 +820,8 @@ and combine cfg ext ~side ~pinned ~variant ~contraction ~flops ~alpha_out
           let fused = fused_of_role ~f_out ~f_left ~f_right role in
           let dims = Aref.indices (Variant.aref_of variant role) in
           ( role,
-            Eqs.rotate_cost ~rcost:cfg.rcost ext ~alpha ~fused ~dims ~axis ))
+            Eqs.rotate_cost_rect ~rcost:cfg.rcost ext ~alpha ~fused ~dims
+              ~axis ))
         (Variant.rotated variant)
     in
     let redists = List.filter_map Fun.id [ rd_l; rd_r ] in
@@ -832,8 +837,8 @@ and combine cfg ext ~side ~pinned ~variant ~contraction ~flops ~alpha_out
       let m = Memacct.add_resident m (res_l + res_r) in
       let m =
         Memacct.add_resident m
-          (Eqs.dist_size ext ~side ~alpha:alpha_out ~fused:f_out
-             ~dims:(Aref.indices out_aref))
+          (Eqs.dist_size_rect ext ~rows ~cols ~alpha:alpha_out
+             ~fused:f_out ~dims:(Aref.indices out_aref))
       in
       let m =
         List.fold_left
@@ -841,7 +846,8 @@ and combine cfg ext ~side ~pinned ~variant ~contraction ~flops ~alpha_out
             let alpha = Variant.dist_of variant role in
             let fused = fused_of_role ~f_out ~f_left ~f_right role in
             let dims = Aref.indices (Variant.aref_of variant role) in
-            Memacct.add_message m (Eqs.dist_size ext ~side ~alpha ~fused ~dims))
+            Memacct.add_message m
+              (Eqs.dist_size_rect ext ~rows ~cols ~alpha ~fused ~dims))
           m (Variant.rotated variant)
       in
       List.fold_left
@@ -849,7 +855,8 @@ and combine cfg ext ~side ~pinned ~variant ~contraction ~flops ~alpha_out
           let dims = Aref.indices (Variant.aref_of variant rd.Plan.role) in
           let fused = fused_of_role ~f_out ~f_left ~f_right rd.Plan.role in
           Memacct.add_message m
-            (Eqs.dist_size ext ~side ~alpha:rd.Plan.to_dist ~fused ~dims))
+            (Eqs.dist_size_rect ext ~rows ~cols ~alpha:rd.Plan.to_dist ~fused
+               ~dims))
         m redists
     in
     if not (fits cfg mem) then None
@@ -878,13 +885,16 @@ and combine cfg ext ~side ~pinned ~variant ~contraction ~flops ~alpha_out
         }
 
 let check_grid cfg =
-  if Rcost.side cfg.rcost <> Grid.side cfg.grid then
+  if
+    Rcost.rows cfg.rcost <> Grid.rows cfg.grid
+    || Rcost.cols cfg.rcost <> Grid.cols cfg.grid
+  then
     Error
       (Printf.sprintf
          "characterization was measured for a %dx%d grid but the target is \
           %dx%d"
-         (Rcost.side cfg.rcost) (Rcost.side cfg.rcost) (Grid.side cfg.grid)
-         (Grid.side cfg.grid))
+         (Rcost.rows cfg.rcost) (Rcost.cols cfg.rcost) (Grid.rows cfg.grid)
+         (Grid.cols cfg.grid))
   else Ok ()
 
 (* Turn a chosen solution into a plan (the plan-construction tail every
@@ -977,6 +987,66 @@ let optimize_min_memory ?jobs ?memo ?beam ?cancel ?pool cfg ext tree =
     | c -> c
   in
   run ~select ?jobs ?memo ?beam ?cancel ?pool cfg ext tree ~prune:true
+
+(* --- Topology-aware grid-shape selection (DESIGN.md §17) --------------- *)
+
+let shape_candidates ~procs =
+  if procs <= 0 then []
+  else
+    List.filter_map
+      (fun rows ->
+        if procs mod rows = 0 then
+          Some (Grid.create_rect_exn ~rows ~cols:(procs / rows))
+        else None)
+      (List.init procs (fun k -> k + 1))
+
+let intra_axis_count topo grid =
+  List.length
+    (List.filter
+       (fun axis ->
+         match Topology.axis_link topo grid ~axis with
+         | Topology.Intra -> true
+         | Topology.Inter -> false)
+       [ 1; 2 ])
+
+(* Deterministic shape choice: cheapest plan first; ties prefer more
+   node-aligned (intra-node) axes, then the more nearly square shape,
+   then fewer rows. The per-shape solver is jobs-invariant and shapes
+   are visited in a fixed order, so the choice is too. *)
+let best_shape ~solve ~topo ~procs =
+  match shape_candidates ~procs with
+  | [] ->
+    Error (Printf.sprintf "search: no grid shapes for %d processors" procs)
+  | shapes ->
+    let score grid plan =
+      ( Plan.comm_cost plan,
+        -intra_axis_count topo grid,
+        abs (Grid.rows grid - Grid.cols grid),
+        Grid.rows grid )
+    in
+    let best =
+      List.fold_left
+        (fun acc grid ->
+          match solve grid with
+          | Error e -> (
+            match acc with `Err _ -> `Err e | `Best _ -> acc)
+          | Ok plan -> (
+            let s = score grid plan in
+            match acc with
+            | `Best (s0, _) when compare s0 s <= 0 -> acc
+            | `Best _ | `Err _ -> `Best (s, plan)))
+        (`Err "no feasible shape") shapes
+    in
+    (match best with `Best (_, plan) -> Ok plan | `Err e -> Error e)
+
+let optimize_topology ?jobs ?memo ?beam ?cancel ~config_of ~topo ~procs ext
+    tree =
+  best_shape ~topo ~procs ~solve:(fun grid ->
+      optimize ?jobs ?memo ?beam ?cancel (config_of grid) ext tree)
+
+let brute_force_topology ~config_of ~topo ~procs ext tree =
+  best_shape ~topo ~procs ~solve:(fun grid ->
+      brute_force (config_of grid) ext tree)
 
 (* --- Anytime: greedy seed, then widening beam refinement --------------- *)
 
@@ -1157,7 +1227,7 @@ let run_sum ?(select = better) ?(jobs = 1) ?(memo = true) ?beam ?fusion_cap
     if max_groups <= 0 then [] else Sumexpr.detect ~max_groups ext se
   in
   let limit = mem_limit cfg in
-  let side = Grid.side cfg.grid in
+  let rows = Grid.rows cfg.grid and cols = Grid.cols cfg.grid in
   let with_pool f =
     match pool with
     | Some p -> f (Some p)
@@ -1197,8 +1267,8 @@ let run_sum ?(select = better) ?(jobs = 1) ?(memo = true) ?beam ?fusion_cap
   let annotated = List.combine (List.combine groups rep_sols) consumers in
   let term_cache = Hashtbl.create 64 in
   let stored_words (g : Sumexpr.group) sol =
-    Eqs.dist_size ext ~side ~alpha:sol.prod_dist ~fused:Index.Set.empty
-      ~dims:g.Sumexpr.rep_order
+    Eqs.dist_size_rect ext ~rows ~cols ~alpha:sol.prod_dist
+      ~fused:Index.Set.empty ~dims:g.Sumexpr.rep_order
   in
   let feasible extra sol =
     Memacct.node_bytes cfg.params (Memacct.add_resident sol.mem extra) <= limit

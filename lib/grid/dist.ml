@@ -93,8 +93,8 @@ let local_dims grid ext t ~coord:(z1, z2) aref =
     (fun i ->
       let extent = Extents.extent ext i in
       match position_of t i with
-      | Some 1 -> (i, Grid.myrange grid ~extent ~coord:z1)
-      | Some 2 -> (i, Grid.myrange grid ~extent ~coord:z2)
+      | Some 1 -> (i, Grid.myrange grid ~axis:1 ~extent ~coord:z1)
+      | Some 2 -> (i, Grid.myrange grid ~axis:2 ~extent ~coord:z2)
       | _ -> (i, (0, extent)))
     (Aref.indices aref)
 

@@ -1,6 +1,6 @@
 open! Import
 
-type t = { procs : int; side : int }
+type t = { procs : int; rows : int; cols : int }
 
 let create ~procs =
   if procs <= 0 then Error "grid: processor count must be positive"
@@ -10,45 +10,87 @@ let create ~procs =
          "grid: processor count %d is not a perfect square (the logical view \
           is a sqrt(P) x sqrt(P) grid)"
          procs)
-  else Ok { procs; side = Ints.isqrt procs }
+  else
+    let s = Ints.isqrt procs in
+    Ok { procs; rows = s; cols = s }
 
 let create_exn ~procs =
   match create ~procs with
   | Ok t -> t
   | Error msg -> invalid_arg ("Grid.create_exn: " ^ msg)
 
+let create_rect ~rows ~cols =
+  if rows <= 0 || cols <= 0 then
+    Error "grid: row and column counts must be positive"
+  else Ok { procs = rows * cols; rows; cols }
+
+let create_rect_exn ~rows ~cols =
+  match create_rect ~rows ~cols with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Grid.create_rect_exn: " ^ msg)
+
 let procs t = t.procs
-let side t = t.side
+let rows t = t.rows
+let cols t = t.cols
+let is_square t = t.rows = t.cols
+
+let side t =
+  if t.rows <> t.cols then
+    invalid_arg
+      (Printf.sprintf "Grid.side: %dx%d grid is not square" t.rows t.cols);
+  t.rows
+
+let axis_len t ~axis =
+  match axis with
+  | 1 -> t.rows
+  | 2 -> t.cols
+  | _ -> invalid_arg "Grid.axis_len: axis must be 1 or 2"
+
+(* Shift steps a full Cannon rotation performs along [axis]. On a square
+   grid every rotated role takes [side] steps (the classic schedule; the
+   1x1 grid keeps its single degenerate step for cost-model stability).
+   On a rectangular grid a length-1 axis never moves; when one axis
+   length divides the other, the skewed m-scheme rotates each role once
+   per owned chunk ([axis_len] steps); otherwise the nested schedule
+   replays the longer axis once per step of the shorter one. *)
+let rotation_steps t ~axis =
+  let own = axis_len t ~axis in
+  let other = axis_len t ~axis:(3 - axis) in
+  if t.rows = t.cols then t.rows
+  else if own = 1 then 0
+  else if own mod other = 0 || other mod own = 0 then own
+  else if own > other then own * other
+  else own
 
 let coords t =
   List.concat
-    (List.init t.side (fun z1 -> List.init t.side (fun z2 -> (z1, z2))))
+    (List.init t.rows (fun z1 -> List.init t.cols (fun z2 -> (z1, z2))))
 
 let rank_of t (z1, z2) =
-  if z1 < 0 || z1 >= t.side || z2 < 0 || z2 >= t.side then
+  if z1 < 0 || z1 >= t.rows || z2 < 0 || z2 >= t.cols then
     invalid_arg "Grid.rank_of: coordinate out of range";
-  (z1 * t.side) + z2
+  (z1 * t.cols) + z2
 
 let coord_of t rank =
   if rank < 0 || rank >= t.procs then
     invalid_arg "Grid.coord_of: rank out of range";
-  (rank / t.side, rank mod t.side)
+  (rank / t.cols, rank mod t.cols)
 
 let shift t (z1, z2) ~axis ~by =
-  let wrap v = ((v mod t.side) + t.side) mod t.side in
+  let wrap n v = ((v mod n) + n) mod n in
   match axis with
-  | 1 -> (wrap (z1 + by), z2)
-  | 2 -> (z1, wrap (z2 + by))
+  | 1 -> (wrap t.rows (z1 + by), z2)
+  | 2 -> (z1, wrap t.cols (z2 + by))
   | _ -> invalid_arg "Grid.shift: axis must be 1 or 2"
 
-let myrange t ~extent ~coord =
-  if coord < 0 || coord >= t.side then
+let myrange t ~axis ~extent ~coord =
+  let n = axis_len t ~axis in
+  if coord < 0 || coord >= n then
     invalid_arg "Grid.myrange: coordinate out of range";
   if extent <= 0 then invalid_arg "Grid.myrange: extent must be positive";
-  let lo = coord * extent / t.side in
-  let hi = (coord + 1) * extent / t.side in
+  let lo = coord * extent / n in
+  let hi = (coord + 1) * extent / n in
   (lo, hi - lo)
 
-let block_len t ~extent = Ints.ceil_div extent t.side
-
-let pp ppf t = Format.fprintf ppf "%dx%d grid (%d procs)" t.side t.side t.procs
+let block_len t ~axis ~extent = Ints.ceil_div extent (axis_len t ~axis)
+let pp ppf t = Format.fprintf ppf "%dx%d grid (%d procs)" t.rows t.cols t.procs

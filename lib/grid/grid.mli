@@ -1,8 +1,11 @@
-(** The logical √P × √P processor grid (paper §3.1).
+(** The logical R × C processor grid (paper §3.1).
 
     Cannon's algorithm views the P processors as a two-dimensional torus;
-    arrays are partitioned along the two processor dimensions. The logical
-    view is independent of the physical interconnect — costs come from the
+    arrays are partitioned along the two processor dimensions. The paper's
+    grid is the square √P × √P special case; rectangular R × C shapes are
+    supported so the topology-aware search can pick shapes aligned with
+    the node boundaries of the physical machine. The logical view is
+    independent of the physical interconnect — costs come from the
     (empirically characterized) communication model, not from grid
     geometry. *)
 
@@ -11,21 +14,51 @@ open! Import
 type t
 
 val create : procs:int -> (t, string) result
-(** [create ~procs] requires [procs] to be a positive perfect square. *)
+(** [create ~procs] requires [procs] to be a positive perfect square and
+    builds the paper's square √P × √P grid. *)
 
 val create_exn : procs:int -> t
 
+val create_rect : rows:int -> cols:int -> (t, string) result
+(** [create_rect ~rows ~cols] builds a rectangular grid; both counts must
+    be positive. [create_rect ~rows:s ~cols:s] is identical to
+    [create ~procs:(s * s)]. *)
+
+val create_rect_exn : rows:int -> cols:int -> t
+
 val procs : t -> int
 
+val rows : t -> int
+(** Processors along grid axis 1. *)
+
+val cols : t -> int
+(** Processors along grid axis 2. *)
+
+val is_square : t -> bool
+
 val side : t -> int
-(** √P: processors per grid dimension, also the number of shift steps of a
-    full Cannon rotation. *)
+(** √P on a square grid: processors per grid dimension, also the number
+    of shift steps of a full Cannon rotation. Raises [Invalid_argument]
+    on a rectangular grid — callers on the rectangular path must use
+    {!rows}/{!cols}/{!axis_len} instead. *)
+
+val axis_len : t -> axis:int -> int
+(** Processors along grid [axis] (1 or 2). *)
+
+val rotation_steps : t -> axis:int -> int
+(** Number of nearest-neighbour shift steps a full rotation of a role
+    distributed along [axis] performs. [side] on a square grid (the
+    classic Cannon schedule); on a rectangular grid: 0 for a length-1
+    axis, the axis length when one axis length divides the other (the
+    skewed m-scheme), and [own · other] for the longer axis of a
+    non-divisible shape (the nested schedule replays the long axis once
+    per short-axis step). *)
 
 val coords : t -> (int * int) list
 (** All processor coordinates [(z1, z2)], 0-based, row-major. *)
 
 val rank_of : t -> int * int -> int
-(** Row-major linearization of a coordinate. *)
+(** Row-major linearization of a coordinate: [z1 * cols + z2]. *)
 
 val coord_of : t -> int -> int * int
 (** Inverse of {!rank_of}. *)
@@ -34,15 +67,17 @@ val shift : t -> int * int -> axis:int -> by:int -> int * int
 (** Torus neighbour: move [by] steps along processor dimension [axis]
     (1 or 2), wrapping. *)
 
-val myrange : t -> extent:int -> coord:int -> int * int
+val myrange : t -> axis:int -> extent:int -> coord:int -> int * int
 (** [(offset, length)] of the block owned by grid position [coord]
-    (0-based) along one processor dimension, for an array dimension of the
-    given extent: the paper's [myrange(z, N, √P)]. Blocks are balanced
-    ([⌊zN/s⌋ .. ⌊(z+1)N/s⌋)) and exactly tile the extent; when [side]
-    divides [extent] this is the paper's equal division. *)
+    (0-based) along processor dimension [axis], for an array dimension of
+    the given extent: the paper's [myrange(z, N, s)] with [s] the axis
+    length. Blocks are balanced ([⌊zN/s⌋ .. ⌊(z+1)N/s⌋)) and exactly tile
+    the extent; when the axis length divides [extent] this is the paper's
+    equal division. *)
 
-val block_len : t -> extent:int -> int
-(** Largest block length along one processor dimension ([⌈extent/side⌉]);
-    the per-processor range used in size formulas. *)
+val block_len : t -> axis:int -> extent:int -> int
+(** Largest block length along processor dimension [axis]
+    ([⌈extent/axis_len⌉]); the per-processor range used in size
+    formulas. *)
 
 val pp : Format.formatter -> t -> unit

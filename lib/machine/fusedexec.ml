@@ -19,8 +19,8 @@ let block_dims grid ext ~alpha ~stored ~z1 ~z2 =
     (fun ix ->
       let extent = Extents.extent ext ix in
       match Dist.position_of alpha ix with
-      | Some 1 -> (ix, Grid.myrange grid ~extent ~coord:z1)
-      | Some 2 -> (ix, Grid.myrange grid ~extent ~coord:z2)
+      | Some 1 -> (ix, Grid.myrange grid ~axis:1 ~extent ~coord:z1)
+      | Some 2 -> (ix, Grid.myrange grid ~axis:2 ~extent ~coord:z2)
       | _ -> (ix, (0, extent)))
     stored
 
@@ -106,6 +106,11 @@ let check_no_distributed_fusion (step : Plan.step) =
     [ Variant.Out; Variant.Left; Variant.Right ]
 
 let run_plan grid ext (plan : Plan.t) ~inputs =
+  if not (Grid.is_square grid) then
+    Tce_error.failf
+      "Fusedexec: the fused executor supports square grids only (got %dx%d); \
+       run rectangular plans on Multicore"
+      (Grid.rows grid) (Grid.cols grid);
   let side = Grid.side grid in
   let procs = Grid.procs grid in
   List.iter check_no_distributed_fusion plan.steps;

@@ -6,8 +6,8 @@ let block_ranges grid ext ~alpha ~dims ~b1 ~b2 =
     (fun i ->
       let extent = Extents.extent ext i in
       match Dist.position_of alpha i with
-      | Some 1 -> (i, Grid.myrange grid ~extent ~coord:b1)
-      | Some 2 -> (i, Grid.myrange grid ~extent ~coord:b2)
+      | Some 1 -> (i, Grid.myrange grid ~axis:1 ~extent ~coord:b1)
+      | Some 2 -> (i, Grid.myrange grid ~axis:2 ~extent ~coord:b2)
       | _ -> (i, (0, extent)))
     dims
 
@@ -29,6 +29,11 @@ let extract_block grid ext full ~alpha ~b1 ~b2 =
   Dense.block full (List.map (fun (i, r) -> (i, r)) ranges)
 
 let run_contraction grid ext variant ~left ~right =
+  if not (Grid.is_square grid) then
+    Tce_error.failf
+      "Numeric: the schedule-replaying executor supports square grids only \
+       (got %dx%d); run rectangular plans on Multicore"
+      (Grid.rows grid) (Grid.cols grid);
   let side = Grid.side grid in
   let sched = Schedule.make variant ~side in
   List.iter

@@ -27,8 +27,8 @@ let slice_words ext grid ~alpha ~fused ~dims ~b1 ~b2 =
         if Index.Set.mem i fused then 1
         else
           match Dist.position_of alpha i with
-          | Some 1 -> snd (Grid.myrange grid ~extent ~coord:b1)
-          | Some 2 -> snd (Grid.myrange grid ~extent ~coord:b2)
+          | Some 1 -> snd (Grid.myrange grid ~axis:1 ~extent ~coord:b1)
+          | Some 2 -> snd (Grid.myrange grid ~axis:2 ~extent ~coord:b2)
           | _ -> extent
       in
       acc * len)
@@ -36,9 +36,17 @@ let slice_words ext grid ~alpha ~fused ~dims ~b1 ~b2 =
 
 let simulate_step cluster ext (step : Plan.step) =
   let grid = Cluster.grid cluster in
-  let side = Grid.side grid in
   let procs = Grid.procs grid in
-  let sched = Schedule.make step.variant ~side in
+  (* The skewed square schedule gives per-rank (possibly ragged) block
+     coordinates; rectangular replays charge the uniform ceiling block
+     size instead (the same size the cost model and the memory account
+     use), over [Grid.rotation_steps] rounds per rotation. *)
+  let sched =
+    if Grid.is_square grid then
+      Some (Schedule.make step.variant ~side:(Grid.side grid))
+    else None
+  in
+  let rows = Grid.rows grid and cols = Grid.cols grid in
   (* Sim-clock tracing: spans are positioned at the cluster's own clock,
      so the exported trace shows the replay's timeline, not ours. All
      probes sit behind one [Obs.enabled] check to keep the untraced
@@ -56,28 +64,37 @@ let simulate_step cluster ext (step : Plan.step) =
         | Variant.Right -> step.fusion_right
       in
       let dims = Aref.indices (Variant.aref_of step.variant role) in
-      let m = Eqs.msg_factor ext ~side ~alpha ~fused ~dims in
-      if m * side > max_rounds then
+      let m = Eqs.msg_factor_rect ext ~rows ~cols ~alpha ~fused ~dims in
+      let rounds = Grid.rotation_steps grid ~axis in
+      if m * rounds > max_rounds then
         Tce_error.raise_err
           (Tce_error.Runaway_rounds
              {
                where =
                  Printf.sprintf "Simulate: step at %s"
                    (Aref.name (Variant.aref_of step.variant role));
-               rounds = m * side;
+               rounds = m * rounds;
                limit = max_rounds;
              });
+      let bytes_at =
+        match sched with
+        | Some sched ->
+          fun round (z1, z2) ->
+            let b1, b2 = Schedule.block_at sched role ~step:round ~z1 ~z2 in
+            Units.bytes_of_words
+              (slice_words ext grid ~alpha ~fused ~dims ~b1 ~b2)
+        | None ->
+          let words =
+            Eqs.dist_size_rect ext ~rows ~cols ~alpha ~fused ~dims
+          in
+          fun _round _coord -> Units.bytes_of_words words
+      in
       let aref_name = Aref.name (Variant.aref_of step.variant role) in
       let rot_t0 = if traced then Cluster.clock cluster else 0. in
       for _iter = 1 to m do
-        for round = 0 to side - 1 do
+        for round = 0 to rounds - 1 do
           let round_t0 = if traced then Cluster.clock cluster else 0. in
-          Cluster.shift_round cluster ~axis ~bytes:(fun (z1, z2) ->
-              let b1, b2 =
-                Schedule.block_at sched role ~step:round ~z1 ~z2
-              in
-              Units.bytes_of_words
-                (slice_words ext grid ~alpha ~fused ~dims ~b1 ~b2));
+          Cluster.shift_round cluster ~axis ~bytes:(bytes_at round);
           if traced then
             Obs.span_sim ~cat:"comm"
               ~args:[ ("axis", string_of_int axis) ]
@@ -89,7 +106,10 @@ let simulate_step cluster ext (step : Plan.step) =
       if traced then
         Obs.span_sim ~cat:"comm"
           ~args:
-            [ ("axis", string_of_int axis); ("rounds", string_of_int (m * side)) ]
+            [
+              ("axis", string_of_int axis);
+              ("rounds", string_of_int (m * rounds));
+            ]
           ("rotate:" ^ aref_name) ~t0:rot_t0 ~t1:(Cluster.clock cluster))
     (Variant.rotated step.variant);
   List.iter
@@ -165,7 +185,7 @@ let run_plan_exn ?faults ?overlap params ext plan =
 
 let measure_rotation params grid ~axis ~words =
   let cluster = Cluster.create params grid in
-  for _round = 1 to Grid.side grid do
+  for _round = 1 to Grid.rotation_steps grid ~axis do
     Cluster.shift_round_uniform cluster ~axis
       ~bytes:(Units.bytes_of_words words)
   done;

@@ -44,5 +44,33 @@ val rotate_cost :
 (** Total communication cost for rotating the array along processor
     dimension [axis] (the grid side is the characterization's). *)
 
+(** {2 Rectangular grids}
+
+    The same equations on an R × C grid: distribution position 1 divides
+    its dimension by [rows], position 2 by [cols]. With
+    [rows = cols = side] each computes the identical integers to its
+    [~side] counterpart above. *)
+
+val dist_range_rect :
+  Extents.t -> rows:int -> cols:int -> alpha:Dist.t -> fused:Index.Set.t
+  -> Index.t -> int
+
+val dist_size_rect :
+  Extents.t -> rows:int -> cols:int -> alpha:Dist.t -> fused:Index.Set.t
+  -> dims:Index.t list -> int
+
+val loop_range_rect :
+  Extents.t -> rows:int -> cols:int -> alpha:Dist.t -> fused:Index.Set.t
+  -> Index.t -> int
+
+val msg_factor_rect :
+  Extents.t -> rows:int -> cols:int -> alpha:Dist.t -> fused:Index.Set.t
+  -> dims:Index.t list -> int
+
+val rotate_cost_rect :
+  rcost:Rcost.t -> Extents.t -> alpha:Dist.t -> fused:Index.Set.t
+  -> dims:Index.t list -> axis:int -> float
+(** [rotate_cost] with the characterization's R × C shape. *)
+
 val full_words : Extents.t -> dims:Index.t list -> int
 (** Size of the undistributed, unfused array (for reporting). *)

@@ -1,0 +1,80 @@
+open! Import
+
+type link = Intra | Inter
+
+type t = {
+  params : Params.t;
+  intra_step_time : Interp.t option;
+}
+
+let uniform params = { params; intra_step_time = None }
+
+let node_aware params ~intra_latency ~intra_bandwidth =
+  if intra_latency < 0.0 || intra_bandwidth <= 0.0 then
+    invalid_arg "Topology.node_aware: non-positive intra-node parameter";
+  if Params.(params.procs_per_node) < 1 then
+    invalid_arg "Topology.node_aware: machine must have >= 1 proc per node";
+  let intra =
+    Interp.of_points_exn
+      [
+        (0.0, intra_latency);
+        (1.0e9, intra_latency +. (1.0e9 /. intra_bandwidth));
+      ]
+  in
+  { params; intra_step_time = Some intra }
+
+let node_aware_table params ~intra_step_time =
+  { params; intra_step_time = Some intra_step_time }
+
+let params t = t.params
+let is_uniform t = Option.is_none t.intra_step_time
+let procs_per_node t = Params.(t.params.procs_per_node)
+
+let node_of t ~rank =
+  if rank < 0 then invalid_arg "Topology.node_of: negative rank";
+  rank / procs_per_node t
+
+let step_time t ~link ~bytes =
+  match (link, t.intra_step_time) with
+  | Inter, _ | Intra, None -> Params.step_time t.params ~bytes
+  | Intra, Some table ->
+    if bytes < 0.0 then invalid_arg "Topology.step_time: negative size";
+    Interp.eval table bytes
+
+(* A grid axis is an intra-node axis when every nearest-neighbour hop of
+   every ring along that axis (wrap-around included) connects two ranks
+   on the same node. Ranks are row-major ([Grid.rank_of]), nodes are
+   [procs_per_node] consecutive ranks. *)
+let axis_link t grid ~axis =
+  let intra =
+    List.for_all
+      (fun coord ->
+        let rank = Grid.rank_of grid coord in
+        let rank' = Grid.rank_of grid (Grid.shift grid coord ~axis ~by:1) in
+        node_of t ~rank = node_of t ~rank:rank')
+      (Grid.coords grid)
+  in
+  if intra then Intra else Inter
+
+let link_name = function Intra -> "intra" | Inter -> "inter"
+
+let fingerprint t =
+  match t.intra_step_time with
+  | None -> "topo:uniform"
+  | Some table ->
+    let b = Buffer.create 128 in
+    Buffer.add_string b
+      (Printf.sprintf "topo:node;ppn=%d;intra=" (procs_per_node t));
+    List.iter
+      (fun (x, y) -> Buffer.add_string b (Printf.sprintf "%.17g:%.17g," x y))
+      (Interp.points table);
+    Buffer.contents b
+
+let pp ppf t =
+  match t.intra_step_time with
+  | None -> Format.fprintf ppf "uniform topology"
+  | Some table ->
+    Format.fprintf ppf
+      "node-aware topology: %d procs/node, intra step(1MB)=%.3gs"
+      (procs_per_node t)
+      (Interp.eval table 1e6)

@@ -80,6 +80,12 @@ let emit ext tree (plan : Plan.t) =
       | Some p -> p.fused
       | None -> Index.Set.empty)
   in
+  if not (Grid.is_square plan.Plan.grid) then
+    err
+      "parallel code generation: SPMD pseudocode is emitted for square \
+       grids only (got %dx%d)"
+      (Grid.rows plan.Plan.grid) (Grid.cols plan.Plan.grid)
+  else
   match Loopnest.generate tree ~fusions with
   | Error msg -> err "parallel code generation: %s" msg
   | Ok prog ->

@@ -7,21 +7,27 @@ let block_ranges grid ext ~alpha ~dims ~b1 ~b2 =
     (fun i ->
       let extent = Extents.extent ext i in
       match Dist.position_of alpha i with
-      | Some 1 -> (i, Grid.myrange grid ~extent ~coord:b1)
-      | Some 2 -> (i, Grid.myrange grid ~extent ~coord:b2)
+      | Some 1 -> (i, Grid.myrange grid ~axis:1 ~extent ~coord:b1)
+      | Some 2 -> (i, Grid.myrange grid ~axis:2 ~extent ~coord:b2)
       | _ -> (i, (0, extent)))
     dims
 
 let check_extents grid ext variant =
   List.iter
     (fun role ->
+      let alpha = Variant.dist_of variant role in
       List.iter
         (fun i ->
-          if Extents.extent ext i < Grid.side grid then
+          let n =
+            match Dist.position_of alpha i with
+            | Some p -> Grid.axis_len grid ~axis:p
+            | None -> 1
+          in
+          if Extents.extent ext i < n then
             Tce_error.failf
               "Multicore: extent of distributed index %s (%d) is below the \
-               grid side %d"
-              (Index.name i) (Extents.extent ext i) (Grid.side grid))
+               grid axis length %d"
+              (Index.name i) (Extents.extent ext i) n)
         (Dist.indices (Variant.dist_of variant role)))
     [ Variant.Out; Variant.Left; Variant.Right ]
 
@@ -51,17 +57,8 @@ let gather_blocks_disjoint blocks =
   done;
   !ok
 
-let run_contraction ?pool ?(schedule = Overlapped) ?recv_timeout_s grid ext
-    variant ~left ~right =
-  check_extents grid ext variant;
-  check_pool grid pool;
-  if Obs.enabled () then begin
-    Obs.count "multicore.contractions";
-    for r = 0 to Grid.procs grid - 1 do
-      Obs.set_thread_name ~pid:Obs.wall_pid ~tid:r
-        (Printf.sprintf "rank %d" r)
-    done
-  end;
+let run_contraction_square ?pool ~schedule ?recv_timeout_s grid ext variant
+    ~left ~right =
   let side = Grid.side grid in
   let sched = Schedule.make variant ~side in
   let out_aref = Variant.aref_of variant Variant.Out in
@@ -192,6 +189,221 @@ let run_contraction ?pool ?(schedule = Overlapped) ?recv_timeout_s grid ext
     | None -> Spmd.run ~procs:(Grid.procs grid) worker
   in
   result
+
+(* Rectangular Cannon (DESIGN.md §17). The square skew cannot align three
+   roles on an R×C torus, so the rotation index ω is chunked twice: at
+   rows granularity for the role rotating along axis 1 and at cols
+   granularity along axis 2. [Grid.myrange]'s floor-proportional partition
+   makes the finer chunking (longer axis) nest inside the coarser exactly
+   when one axis length divides the other; then a skewed single-pass
+   schedule of [nfine] slots works — the fine role shifts every slot, the
+   coarse role shifts each time the fine chunk crosses a coarse boundary
+   (a per-ring condition, identical for both partners of a coarse-axis
+   exchange). Otherwise a doubly-nested sweep of [ncoarse * nfine] slots
+   visits every (fine, coarse) chunk pair once. Either way each slot
+   multiplies over the intersection of the two held ω-ranges, so every
+   logical contribution is computed exactly once; when the rotated output
+   block's ω-range strictly contains the intersection the product lands in
+   a temporary and accumulates at an offset. Slot counts match
+   [Grid.rotation_steps] (up to the same final-shift elision as the square
+   path). Rectangular runs are always serialized — double-buffering is a
+   square-path optimization. *)
+let run_contraction_rect ?pool ?recv_timeout_s grid ext variant ~left ~right =
+  let rows = Grid.rows grid and cols = Grid.cols grid in
+  let fine_axis = if rows >= cols then 1 else 2 in
+  let coarse_axis = 3 - fine_axis in
+  let nfine = max rows cols and ncoarse = min rows cols in
+  let divisible = nfine mod ncoarse = 0 in
+  let m = nfine / ncoarse in
+  let slots = if divisible then nfine else ncoarse * nfine in
+  let omega = Variant.rot_index variant in
+  let n_omega = Extents.extent ext omega in
+  let fine_role, coarse_role =
+    match Variant.rotated variant with
+    | [ (r1, a1); (r2, _) ] -> if a1 = fine_axis then (r1, r2) else (r2, r1)
+    | _ -> assert false
+  in
+  (* ω chunks held by the fine and coarse rotating roles at slot [t], for
+     the rank whose fine/coarse-axis coordinates are [zf]/[zc]. *)
+  let chunks ~zf ~zc ~t =
+    if divisible then
+      let qf = (zf + (m * zc) + t) mod nfine in
+      (qf, qf / m)
+    else ((zf + (t mod nfine)) mod nfine, (zc + (t / nfine)) mod ncoarse)
+  in
+  let coarse_rotates_after ~zf ~t =
+    if divisible then (zf + t + 1) mod m = 0 else (t + 1) mod nfine = 0
+  in
+  let block_coords role ~z1 ~z2 ~t =
+    if Variant.role_equal role (Variant.fixed_role variant) then (z1, z2)
+    else begin
+      let zf = if fine_axis = 1 then z1 else z2 in
+      let zc = if fine_axis = 1 then z2 else z1 in
+      let qf, qc = chunks ~zf ~zc ~t in
+      let axis, q =
+        if Variant.role_equal role fine_role then (fine_axis, qf)
+        else (coarse_axis, qc)
+      in
+      if axis = 1 then (q, z2) else (z1, q)
+    end
+  in
+  let out_aref = Variant.aref_of variant Variant.Out in
+  let out_alpha = Variant.dist_of variant Variant.Out in
+  let result =
+    Dense.create
+      (List.map (fun i -> (i, Extents.extent ext i)) (Aref.indices out_aref))
+  in
+  let gather =
+    Array.init (Grid.procs grid) (fun r ->
+        let z1, z2 = Grid.coord_of grid r in
+        let b1, b2 = block_coords Variant.Out ~z1 ~z2 ~t:(slots - 1) in
+        block_ranges grid ext ~alpha:out_alpha ~dims:(Aref.indices out_aref)
+          ~b1 ~b2)
+  in
+  assert (gather_blocks_disjoint gather);
+  let worker ctx =
+    let my = Spmd.rank ctx in
+    let z1, z2 = Grid.coord_of grid my in
+    let zf = if fine_axis = 1 then z1 else z2 in
+    let zc = if fine_axis = 1 then z2 else z1 in
+    let slice_role role full ~t =
+      let b1, b2 = block_coords role ~z1 ~z2 ~t in
+      let alpha = Variant.dist_of variant role in
+      Dense.block full
+        (block_ranges grid ext ~alpha ~dims:(Dense.labels full) ~b1 ~b2)
+    in
+    let my_left = ref (slice_role Variant.Left left ~t:0) in
+    let my_right = ref (slice_role Variant.Right right ~t:0) in
+    let my_out =
+      let b1, b2 = block_coords Variant.Out ~z1 ~z2 ~t:0 in
+      let ranges =
+        block_ranges grid ext ~alpha:out_alpha ~dims:(Aref.indices out_aref)
+          ~b1 ~b2
+      in
+      ref (Dense.create (List.map (fun (i, (_, len)) -> (i, len)) ranges))
+    in
+    let cell_of role =
+      match role with
+      | Variant.Left -> my_left
+      | Variant.Right -> my_right
+      | Variant.Out -> my_out
+    in
+    let multiply_impl ~t =
+      let qf, qc = chunks ~zf ~zc ~t in
+      let off_f, len_f =
+        Grid.myrange grid ~axis:fine_axis ~extent:n_omega ~coord:qf
+      in
+      let off_c, len_c =
+        Grid.myrange grid ~axis:coarse_axis ~extent:n_omega ~coord:qc
+      in
+      let lo = max off_f off_c
+      and hi = min (off_f + len_f) (off_c + len_c) in
+      if hi > lo then begin
+        let olen = hi - lo in
+        (* Restrict a rotating role's block to the ω intersection; a no-op
+           (no copy) when its held range already is the intersection. *)
+        let slice_omega role blk =
+          let off, len =
+            if Variant.role_equal role fine_role then (off_f, len_f)
+            else (off_c, len_c)
+          in
+          if off = lo && len = olen then blk
+          else Dense.block blk [ (omega, (lo - off, olen)) ]
+        in
+        match Variant.fixed_role variant with
+        | Variant.Out ->
+          Einsum.contract2_acc ~into:!my_out
+            (slice_omega Variant.Left !my_left)
+            (slice_omega Variant.Right !my_right)
+        | fixed ->
+          let lhs =
+            if Variant.role_equal fixed Variant.Left then !my_left
+            else slice_omega Variant.Left !my_left
+          in
+          let rhs =
+            if Variant.role_equal fixed Variant.Right then !my_right
+            else slice_omega Variant.Right !my_right
+          in
+          let out_off, out_len =
+            if Variant.role_equal Variant.Out fine_role then (off_f, len_f)
+            else (off_c, len_c)
+          in
+          if out_off = lo && out_len = olen then
+            Einsum.contract2_acc ~into:!my_out lhs rhs
+          else begin
+            let tmp =
+              Dense.create
+                (List.map
+                   (fun (i, n) ->
+                     (i, if Index.equal i omega then olen else n))
+                   (Dense.dims !my_out))
+            in
+            Einsum.contract2_acc ~into:tmp lhs rhs;
+            Dense.add_block !my_out [ (omega, lo - out_off) ] tmp
+          end
+      end
+    in
+    let multiply ~t =
+      if Obs.enabled () then
+        Obs.span ~cat:"compute" ~tid:my "multiply" (fun () ->
+            multiply_impl ~t)
+      else multiply_impl ~t
+    in
+    let dst_of axis =
+      Grid.rank_of grid (Grid.shift grid (z1, z2) ~axis ~by:(-1))
+    in
+    let src_of axis =
+      Grid.rank_of grid (Grid.shift grid (z1, z2) ~axis ~by:1)
+    in
+    let exchange role axis =
+      if Grid.axis_len grid ~axis > 1 then begin
+        let cell = cell_of role in
+        cell :=
+          Spmd.sendrecv ?timeout_s:recv_timeout_s ctx ~dst:(dst_of axis)
+            !cell ~src:(src_of axis)
+      end
+    in
+    for t = 0 to slots - 1 do
+      multiply ~t;
+      if t < slots - 1 then begin
+        exchange fine_role fine_axis;
+        if coarse_rotates_after ~zf ~t then exchange coarse_role coarse_axis
+      end
+    done;
+    let offsets =
+      List.filter_map
+        (fun (i, (off, _)) -> if off = 0 then None else Some (i, off))
+        gather.(my)
+    in
+    (if Obs.enabled () then
+       Obs.span ~cat:"compute" ~tid:my "gather" (fun () ->
+           Dense.set_block result offsets !my_out)
+     else Dense.set_block result offsets !my_out);
+    Spmd.barrier ctx
+  in
+  let (_ : unit array) =
+    match pool with
+    | Some pool -> Spmd.Pool.run pool worker
+    | None -> Spmd.run ~procs:(Grid.procs grid) worker
+  in
+  result
+
+let run_contraction ?pool ?(schedule = Overlapped) ?recv_timeout_s grid ext
+    variant ~left ~right =
+  check_extents grid ext variant;
+  check_pool grid pool;
+  if Obs.enabled () then begin
+    Obs.count "multicore.contractions";
+    for r = 0 to Grid.procs grid - 1 do
+      Obs.set_thread_name ~pid:Obs.wall_pid ~tid:r
+        (Printf.sprintf "rank %d" r)
+    done
+  end;
+  if Grid.is_square grid then
+    run_contraction_square ?pool ~schedule ?recv_timeout_s grid ext variant
+      ~left ~right
+  else
+    run_contraction_rect ?pool ?recv_timeout_s grid ext variant ~left ~right
 
 let run_plan ?pool ?(pooled = true) ?schedule ?recv_timeout_s
     ?(free_intermediates = true) ?on_free grid ext (plan : Plan.t) ~inputs =

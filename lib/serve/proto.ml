@@ -2,6 +2,7 @@
    one per line out. See DESIGN.md §13 for the schema. *)
 
 type fusion = [ `All | `None | `Memmin ]
+type topology = [ `Uniform | `Node ]
 
 type work = {
   expr : string;
@@ -11,6 +12,10 @@ type work = {
   latency_us : float option;
   bandwidth_mbs : float option;
   fusion : fusion;
+  topology : topology;
+  nodes : int option;  (** with [`Node]: node count; must divide [procs] *)
+  intra_latency_us : float option;
+  intra_bandwidth_mbs : float option;
 }
 
 type op =
@@ -39,6 +44,13 @@ let fusion_to_string = function
   | `All -> "all"
   | `None -> "none"
   | `Memmin -> "memmin"
+
+let topology_of_string = function
+  | "uniform" -> Ok `Uniform
+  | "node" -> Ok `Node
+  | s -> Error (Printf.sprintf "unknown topology %S" s)
+
+let topology_to_string = function `Uniform -> "uniform" | `Node -> "node"
 
 (* ---- request parsing ------------------------------------------------- *)
 
@@ -72,9 +84,38 @@ let work_of_json json =
     | Some (Json.Str s) -> fusion_of_string s
     | Some _ -> Error "field \"fusion\" must be a string"
   in
+  let* topology =
+    match Json.member "topology" json with
+    | None | Some Json.Null -> Ok `Uniform
+    | Some (Json.Str s) -> topology_of_string s
+    | Some _ -> Error "field \"topology\" must be a string"
+  in
+  let* nodes = opt_field json "nodes" Json.to_int "an integer" in
+  let* intra_latency_us =
+    opt_field json "intra_latency_us" Json.to_float "a number"
+  in
+  let* intra_bandwidth_mbs =
+    opt_field json "intra_bandwidth_mbs" Json.to_float "a number"
+  in
   let procs = Option.value ~default:16 procs in
   if procs <= 0 then Error "field \"procs\" must be positive"
-  else Ok { expr; procs; mem_gb; mflops; latency_us; bandwidth_mbs; fusion }
+  else if (match nodes with Some n -> n <= 0 | None -> false) then
+    Error "field \"nodes\" must be positive"
+  else
+    Ok
+      {
+        expr;
+        procs;
+        mem_gb;
+        mflops;
+        latency_us;
+        bandwidth_mbs;
+        fusion;
+        topology;
+        nodes;
+        intra_latency_us;
+        intra_bandwidth_mbs;
+      }
 
 let request_of_json json =
   match json with

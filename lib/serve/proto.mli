@@ -9,15 +9,30 @@
 
 type fusion = [ `All | `None | `Memmin ]
 
+type topology = [ `Uniform | `Node ]
+(** [`Uniform]: the paper's flat α–β machine on the square grid —
+    byte-identical to the pre-topology daemon. [`Node]: node-aware
+    shape search over every R × C factorization of [procs]
+    ({!Tce_core.Search.optimize_topology}). *)
+
 type work = {
   expr : string;  (** problem text, {!Tce_expr.Parser.parse} syntax *)
-  procs : int;  (** processor count (positive perfect square) *)
+  procs : int;
+      (** processor count (a perfect square under [`Uniform]; any
+          positive count under [`Node]) *)
   mem_gb : float option;  (** per-node memory limit override *)
   mflops : float option;
   latency_us : float option;
       (** with [bandwidth_mbs]: use a uniform α–β machine *)
   bandwidth_mbs : float option;
   fusion : fusion;
+  topology : topology;  (** default [`Uniform] *)
+  nodes : int option;
+      (** with [`Node]: node count (must divide [procs]); default the
+          machine's procs-per-node *)
+  intra_latency_us : float option;  (** with [`Node]: default 1 µs *)
+  intra_bandwidth_mbs : float option;
+      (** with [`Node]: default 1000 MB/s *)
 }
 
 type op =
@@ -43,6 +58,8 @@ type request = {
 
 val fusion_of_string : string -> (fusion, string) result
 val fusion_to_string : fusion -> string
+val topology_of_string : string -> (topology, string) result
+val topology_to_string : topology -> string
 
 val parse_request :
   string ->

@@ -25,6 +25,7 @@ module Opmin = Tce_opmin.Opmin
 module Grid = Tce_grid.Grid
 module Params = Tce_netmodel.Params
 module Rcost = Tce_netmodel.Rcost
+module Topology = Tce_netmodel.Topology
 module Extents = Tce_index.Extents
 module Index = Tce_index.Index
 module Simulate = Tce_machine.Simulate
@@ -180,6 +181,63 @@ let key_of_fingerprint (cfg : Search.config) (w : Proto.work) ~ext fp =
 let cache_key cfg w ~ext ~tree =
   key_of_fingerprint cfg w ~ext (Search.tree_fingerprint cfg tree)
 
+(* A node-aware request searches grid shapes, so its key carries the
+   topology fingerprint in place of the square side / per-side rotation
+   table. Uniform keys never reach this function and stay byte-identical
+   to the pre-topology daemon. *)
+let node_cache_key (cfg : Search.config) (w : Proto.work) ~ext ~topo ~tree =
+  String.concat "|"
+    [
+      "v1";
+      Proto.fusion_to_string w.Proto.fusion;
+      Search.tree_fingerprint cfg tree;
+      ext_fingerprint ext;
+      "shape=search";
+      Params.fingerprint cfg.Search.params;
+      Printf.sprintf "topo=%s" (Topology.fingerprint topo);
+      (match cfg.Search.mem_limit_bytes with
+      | None -> "mem=default"
+      | Some b -> Printf.sprintf "mem=%.17g" b);
+      Printf.sprintf "redist=%.17g" cfg.Search.redist_factor;
+      Printf.sprintf "adf=%b" cfg.Search.allow_distributed_fusion;
+    ]
+
+(* Construction for a [`Node] request: row-major packing with
+   [procs / nodes] ranks per node; every per-shape config prices rotations
+   by the link class of the rotated axis. *)
+let node_setup (w : Proto.work) =
+  let params = params_of_work w in
+  let procs = w.Proto.procs in
+  let ppn =
+    match w.Proto.nodes with
+    | None -> Ok params.Params.procs_per_node
+    | Some n ->
+      if procs mod n <> 0 then
+        Error
+          (Printf.sprintf "\"nodes\" (%d) must evenly divide \"procs\" (%d)"
+             n procs)
+      else Ok (procs / n)
+  in
+  Result.map
+    (fun ppn ->
+      let params = { params with Params.procs_per_node = ppn } in
+      let topo =
+        Topology.node_aware params
+          ~intra_latency:
+            (Option.value ~default:1.0 w.Proto.intra_latency_us *. 1e-6)
+          ~intra_bandwidth:
+            (Option.value ~default:1000.0 w.Proto.intra_bandwidth_mbs *. 1e6)
+      in
+      let config_of g =
+        Search.default_config
+          ?mem_limit_bytes:(Option.map (fun gb -> gb *. 1e9) w.Proto.mem_gb)
+          ~grid:g ~params
+          ~rcost:(Rcost.of_topology topo g)
+          ()
+      in
+      (params, topo, config_of))
+    ppn
+
 (* A sum request's key wraps the whole-sum fingerprint. Its "sum|"
    prefix is foreign to every single-tree fingerprint, so a sum and any
    one of its terms can never collide in the cache. *)
@@ -191,18 +249,29 @@ let cache_key_of_work (w : Proto.work) =
   let ( let* ) = Result.bind in
   let* problem = Parser.parse w.Proto.expr in
   let* comp = Opmin.optimize_to_computation problem in
-  let params = params_of_work w in
-  let* grid = Grid.create ~procs:w.Proto.procs in
-  let rcost = Rcost.of_params params ~side:(Grid.side grid) in
-  let cfg =
-    Search.default_config
-      ?mem_limit_bytes:(Option.map (fun gb -> gb *. 1e9) w.Proto.mem_gb)
-      ~grid ~params ~rcost ()
-  in
   let ext = problem.Problem.extents in
-  match comp with
-  | Opmin.Single tree -> Ok (cache_key cfg w ~ext ~tree)
-  | Opmin.Summed se -> Ok (sum_cache_key cfg w ~ext se)
+  match w.Proto.topology with
+  | `Node -> (
+    let* _, topo, config_of = node_setup w in
+    let cfg =
+      config_of (List.hd (Search.shape_candidates ~procs:w.Proto.procs))
+    in
+    match comp with
+    | Opmin.Single tree -> Ok (node_cache_key cfg w ~ext ~topo ~tree)
+    | Opmin.Summed _ ->
+      Error "multi-term sums plan on the uniform topology")
+  | `Uniform -> (
+    let params = params_of_work w in
+    let* grid = Grid.create ~procs:w.Proto.procs in
+    let rcost = Rcost.of_params params ~side:(Grid.side grid) in
+    let cfg =
+      Search.default_config
+        ?mem_limit_bytes:(Option.map (fun gb -> gb *. 1e9) w.Proto.mem_gb)
+        ~grid ~params ~rcost ()
+    in
+    match comp with
+    | Opmin.Single tree -> Ok (cache_key cfg w ~ext ~tree)
+    | Opmin.Summed se -> Ok (sum_cache_key cfg w ~ext se))
 
 (* ---- request execution ------------------------------------------------ *)
 
@@ -453,6 +522,145 @@ let handle_sum_work t pool ~id ~deadline_at (w : Proto.work) ~view ~params
               :: base),
             origin ))))
 
+(* The node-aware ladder: exact shape search, then the beam-limited
+   shape search labelled [approximate], then a beam-1 last rung — the
+   same degradation law as [search_ladder] with the topology optimizer's
+   rungs. *)
+let node_search_ladder t ~config_of ~topo ~procs ext tree ~deadline_at =
+  let run ?beam ?cancel () =
+    Search.optimize_topology ?beam ?cancel ~config_of ~topo ~procs ext tree
+  in
+  let cancel_at d () = now () > d in
+  let beam = t.cfg.degrade_beam in
+  let approx r = Result.map (fun p -> (p, true)) r in
+  let exact r = Result.map (fun p -> (p, false)) r in
+  let last_rung d =
+    Mutex.lock t.lock;
+    t.greedy_seeded <- t.greedy_seeded + 1;
+    Mutex.unlock t.lock;
+    Obs.count "serve.greedy_seeded";
+    approx (run ~beam:1 ~cancel:(cancel_at d) ())
+  in
+  let beam_or_last d =
+    let t0 = now () in
+    let beam_d = t0 +. (0.8 *. (d -. t0)) in
+    match run ~beam ~cancel:(cancel_at beam_d) () with
+    | r -> approx r
+    | exception Tce_error.Error (Tce_error.Deadline_exceeded _) -> last_rung d
+  in
+  match (t.cfg.degrade, deadline_at) with
+  | `Never, None -> exact (run ())
+  | `Never, Some d -> exact (run ~cancel:(cancel_at d) ())
+  | `Always, None -> approx (run ~beam ())
+  | `Always, Some d -> beam_or_last d
+  | `Auto, None -> exact (run ())
+  | `Auto, Some d -> (
+    let t0 = now () in
+    let exact_d = t0 +. (t.cfg.exact_fraction *. (d -. t0)) in
+    match run ~cancel:(cancel_at exact_d) () with
+    | r -> exact r
+    | exception Tce_error.Error (Tce_error.Deadline_exceeded _) ->
+      Mutex.lock t.lock;
+      t.degraded <- t.degraded + 1;
+      Mutex.unlock t.lock;
+      Obs.count "serve.degraded";
+      beam_or_last d)
+
+(* One node-aware single-term request end to end: shape search over
+   every R x C factorization, cache keyed on the topology fingerprint.
+   A cache hit is renamed under the cached plan's own grid shape. *)
+let handle_node_work t ~id ~deadline_at (w : Proto.work) ~view ~ext tree =
+  match w.Proto.fusion with
+  | `None | `Memmin ->
+    ( invalid ~id
+        "topology \"node\" searches grid shapes with fusion \"all\" only",
+      `Other )
+  | `All -> (
+    match node_setup w with
+    | Error msg -> (invalid ~id msg, `Other)
+    | Ok (params, topo, config_of) -> (
+      let procs = w.Proto.procs in
+      let cfg0 = config_of (List.hd (Search.shape_candidates ~procs)) in
+      let key = node_cache_key cfg0 w ~ext ~topo ~tree in
+      let cached_plan =
+        match Cache.find t.cache key with
+        | None | Some (Sum_entry _) ->
+          Obs.count "serve.cache_misses";
+          None
+        | Some (Single_entry (ctree, plan)) -> (
+          match
+            Search.rename_plan
+              (config_of plan.Plan.grid)
+              ~ext ~cached:ctree ~current:tree plan
+          with
+          | Some plan ->
+            Obs.count "serve.cache_hits";
+            Some plan
+          | None ->
+            Obs.count "serve.cache_misses";
+            None)
+      in
+      let searched =
+        match cached_plan with
+        | Some plan -> Ok ((plan, false), `Hit)
+        | None ->
+          Result.map
+            (fun (plan, approximate) ->
+              if not approximate then begin
+                let before = (Cache.stats t.cache).Cache.evictions in
+                Cache.add t.cache key (Single_entry (tree, plan));
+                let after = (Cache.stats t.cache).Cache.evictions in
+                if after > before then
+                  Obs.count ~by:(after - before) "serve.cache_evictions"
+              end;
+              ((plan, approximate), `Cold))
+            (node_search_ladder t ~config_of ~topo ~procs ext tree
+               ~deadline_at)
+      in
+      match searched with
+      | Error msg -> (Proto.error ~id ~kind:"no_plan" ~message:msg [], `Other)
+      | Ok ((plan, approximate), origin) -> (
+        let cached = origin = `Hit in
+        let base =
+          ("grid", Json.Str (Format.asprintf "%a" Grid.pp plan.Plan.grid))
+          :: plan_fields plan ~cached ~approximate
+        in
+        match view with
+        | `Optimize -> (Proto.ok ~id base, origin)
+        | `Simulate -> (
+          match Simulate.run_plan params ext plan with
+          | Ok timing ->
+            ( Proto.ok ~id
+                (base
+                @ [
+                    ( "simulated",
+                      Json.Obj
+                        [
+                          ( "comm_seconds",
+                            Json.Num timing.Simulate.comm_seconds );
+                          ( "compute_seconds",
+                            Json.Num timing.Simulate.compute_seconds );
+                          ( "total_seconds",
+                            Json.Num timing.Simulate.total_seconds );
+                        ] );
+                  ]),
+              origin )
+          | Error e ->
+            ( Proto.error ~id ~kind:(Tce_error.kind e)
+                ~message:(Tce_error.to_string e) [],
+              `Other ))
+        | `Validate -> (
+          match
+            Plan.validate ?mem_limit_bytes:cfg0.Search.mem_limit_bytes plan
+          with
+          | Ok () -> (Proto.ok ~id (("valid", Json.Bool true) :: base), origin)
+          | Error msg ->
+            ( Proto.ok ~id
+                (("valid", Json.Bool false)
+                :: ("violation", Json.Str msg)
+                :: base),
+              origin )))))
+
 (* Handle one work request (optimize/simulate/validate). Returns the
    response and whether the plan came from the cache. *)
 let handle_work t pool ~id ~deadline_at (w : Proto.work) ~view =
@@ -463,6 +671,15 @@ let handle_work t pool ~id ~deadline_at (w : Proto.work) ~view =
     | Error msg -> (invalid ~id ("expr: " ^ msg), `Other)
     | Ok comp -> (
       let ext = problem.Problem.extents in
+      match (comp, w.Proto.topology) with
+      | Opmin.Single tree, `Node ->
+        handle_node_work t ~id ~deadline_at w ~view ~ext tree
+      | Opmin.Summed _, `Node ->
+        ( invalid ~id
+            "multi-term sums plan on the uniform topology; drop topology \
+             \"node\"",
+          `Other )
+      | _, `Uniform -> (
       let params = params_of_work w in
       match Grid.create ~procs:w.Proto.procs with
       | Error msg -> (invalid ~id msg, `Other)
@@ -556,7 +773,7 @@ let handle_work t pool ~id ~deadline_at (w : Proto.work) ~view =
                   (("valid", Json.Bool false)
                   :: ("violation", Json.Str msg)
                   :: base),
-                origin )))))))
+                origin ))))))))
 
 (* ---- admin responses -------------------------------------------------- *)
 

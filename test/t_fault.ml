@@ -159,6 +159,46 @@ let test_crash_and_degraded_replan () =
   check_close ~ctx:"delta" (d -. Plan.comm_cost plan)
     report.Degrade.comm_delta
 
+(* Topology-aware degradation (DESIGN.md §17): losing one whole node no
+   longer forces the next-smaller square — the replan searches every
+   factorization of the surviving rank count. 12 ranks at 2 procs/node
+   leave 10 survivors, a count with no square grid at all; the replanned
+   rectangular plan must validate and still replay on the simulator. *)
+let test_rectangular_survivor_replan () =
+  let problem, _, tree = ccsd ~scale:`Small in
+  let ext = problem.Problem.extents in
+  let topo = Topology.uniform params (* itanium: 2 procs/node *) in
+  let config_of g =
+    Search.default_config ~grid:g ~params ~rcost:(Rcost.of_topology topo g) ()
+  in
+  let healthy =
+    get_ok ~ctx:"healthy"
+      (Search.optimize_topology ~config_of ~topo ~procs:12 ext tree)
+  in
+  Alcotest.(check int) "healthy uses 12 ranks" 12
+    (Grid.procs healthy.Plan.grid);
+  Alcotest.(check int) "survivors = 12 - 2" 10
+    (get_ok ~ctx:"survivor_procs"
+       (Degrade.survivor_procs topo healthy.Plan.grid));
+  let report =
+    get_ok ~ctx:"replan_best"
+      (Degrade.replan_best ~config_of ~topo ext tree ~healthy)
+  in
+  let g = report.Degrade.degraded_grid in
+  Alcotest.(check int) "degraded grid uses all 10 survivors" 10 (Grid.procs g);
+  Alcotest.(check bool) "10 ranks admit no square" false (Grid.is_square g);
+  (match Plan.validate report.Degrade.degraded with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "degraded plan fails validation: %s" e);
+  let timing = simulate params ext report.Degrade.degraded in
+  Alcotest.(check bool) "degraded plan simulates" true
+    (timing.Simulate.total_seconds > 0.0);
+  Alcotest.(check bool) "degraded cost finite" true
+    (Float.is_finite (Plan.comm_cost report.Degrade.degraded));
+  check_close ~ctx:"delta"
+    (Plan.comm_cost report.Degrade.degraded -. Plan.comm_cost healthy)
+    report.Degrade.comm_delta
+
 let test_survivor_grid_edges () =
   let g1 = Grid.create_exn ~procs:1 in
   (match Degrade.survivor_grid g1 with
@@ -319,6 +359,8 @@ let suite =
       [
         case "crash aborts replay; replan on 3x3"
           test_crash_and_degraded_replan;
+        case "rectangular survivors: 12 ranks - node -> 10-rank grid"
+          test_rectangular_survivor_replan;
         case "survivor grid edges" test_survivor_grid_edges;
         case "typed error surface" test_typed_errors;
       ] );

@@ -40,7 +40,8 @@ let test_myrange_tiles () =
   List.iter
     (fun extent ->
       let ranges =
-        List.init (Grid.side g) (fun c -> Grid.myrange g ~extent ~coord:c)
+        List.init (Grid.side g) (fun c ->
+            Grid.myrange g ~axis:1 ~extent ~coord:c)
       in
       let total = Ints.sum (List.map snd ranges) in
       Alcotest.(check int) (Printf.sprintf "total %d" extent) extent total;
@@ -58,13 +59,13 @@ let test_myrange_divisible_equal () =
   List.iter
     (fun c ->
       Alcotest.(check (pair int int)) "equal blocks" (c * 120, 120)
-        (Grid.myrange g ~extent:480 ~coord:c))
+        (Grid.myrange g ~axis:2 ~extent:480 ~coord:c))
     [ 0; 1; 2; 3 ]
 
 let test_block_len () =
   let g = Grid.create_exn ~procs:16 in
-  Alcotest.(check int) "divisible" 120 (Grid.block_len g ~extent:480);
-  Alcotest.(check int) "ragged" 9 (Grid.block_len g ~extent:33)
+  Alcotest.(check int) "divisible" 120 (Grid.block_len g ~axis:1 ~extent:480);
+  Alcotest.(check int) "ragged" 9 (Grid.block_len g ~axis:2 ~extent:33)
 
 (* ---------------- Dist ---------------- *)
 
@@ -130,7 +131,7 @@ let qcheck_myrange_partition =
       let g = Grid.create_exn ~procs:(side * side) in
       let covered = Array.make extent 0 in
       for c = 0 to side - 1 do
-        let off, len = Grid.myrange g ~extent ~coord:c in
+        let off, len = Grid.myrange g ~axis:1 ~extent ~coord:c in
         for k = off to off + len - 1 do
           covered.(k) <- covered.(k) + 1
         done

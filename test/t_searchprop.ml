@@ -243,6 +243,71 @@ let test_beam_monotone () =
   in
   ()
 
+(* ---------- topology-aware shape search vs its oracle ---------- *)
+
+(* Property: on random instances and random node widths, the
+   topology-aware DP ([Search.optimize_topology]) returns exactly the
+   brute-force-over-factorizations optimum, the plan certifies under
+   [Plan.validate], and the result is byte-identical for jobs 1/2/4.
+   Covers uniform and node-aware topologies, square and non-square
+   processor counts. *)
+let test_topology_matches_brute_force () =
+  let rng = Prng.create ~seed:20260808 in
+  for trial = 1 to 24 do
+    let text = gen_instance rng in
+    let ext, tree = load text in
+    let procs = List.nth [ 4; 6; 8; 9; 12 ] (Prng.int rng ~bound:5) in
+    let machine =
+      Params.uniform ~name:"fuzz-node" ~latency:1e-5 ~bandwidth:1e9
+        ~flop_rate:1e9
+        ~procs_per_node:(List.nth [ 1; 2; 4 ] (Prng.int rng ~bound:3))
+        ~mem_per_node_bytes:4e9
+    in
+    let topo =
+      if Prng.int rng ~bound:2 = 0 then Topology.uniform machine
+      else
+        Topology.node_aware machine ~intra_latency:1e-8
+          ~intra_bandwidth:(Prng.float_range rng ~lo:1e9 ~hi:1e11)
+    in
+    let config_of grid =
+      Search.default_config ~grid ~params:machine
+        ~rcost:(Rcost.of_topology topo grid) ()
+    in
+    let ctx kind = Printf.sprintf "topo trial %d (%s)" trial kind in
+    let run ?jobs () =
+      Search.optimize_topology ?jobs ~config_of ~topo ~procs ext tree
+    in
+    (match (run (), Search.brute_force_topology ~config_of ~topo ~procs ext tree)
+     with
+    | Error _, Error _ -> ()
+    | Ok p, Error _ ->
+      Alcotest.failf "%s: feasible (%.6f) but oracle infeasible"
+        (ctx "dp vs oracle") (Plan.comm_cost p)
+    | Error msg, Ok oracle ->
+      Alcotest.failf "%s: infeasible (%s) but oracle found %.6f"
+        (ctx "dp vs oracle") msg (Plan.comm_cost oracle)
+    | Ok p, Ok oracle ->
+      if Float.abs (Plan.comm_cost p -. Plan.comm_cost oracle) > 1e-9 then
+        Alcotest.failf "%s: cost %.6f vs oracle %.6f" (ctx "dp vs oracle")
+          (Plan.comm_cost p) (Plan.comm_cost oracle);
+      Alcotest.(check (pair int int))
+        (ctx "oracle shape agrees")
+        (Grid.rows oracle.Plan.grid, Grid.cols oracle.Plan.grid)
+        (Grid.rows p.Plan.grid, Grid.cols p.Plan.grid);
+      certify ~ctx:(ctx "validate")
+        ~cfg:(config_of p.Plan.grid) p;
+      let bytes = plan_str p in
+      List.iter
+        (fun jobs ->
+          match run ~jobs () with
+          | Error msg -> Alcotest.failf "%s: jobs=%d failed: %s" (ctx "jobs") jobs msg
+          | Ok pj ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s: jobs=%d byte-identical" (ctx "jobs") jobs)
+              bytes (plan_str pj))
+        [ 2; 4 ])
+  done
+
 (* ---------- Plan.validate as an independent checker ---------- *)
 
 let test_validate_rejects_corrupt_plans () =
@@ -503,6 +568,11 @@ let suite =
         case "memo cache invisible in the plan" test_memo_identical_plans;
         case "memo hit/miss counters" test_memo_counters;
         case "beam cost monotone in width" test_beam_monotone;
+      ] );
+    ( "searchprop.topology",
+      [
+        case "shape search matches factorization brute force, jobs-invariant"
+          test_topology_matches_brute_force;
       ] );
     ( "searchprop.validate",
       [ case "validator rejects corrupted plans" test_validate_rejects_corrupt_plans ] );

@@ -17,7 +17,7 @@ let chain_expr ~t ~s =
     t s t
 
 let work ?(expr = matmul_expr) ?(procs = 4) ?mem_gb ?mflops ?(fusion = `All)
-    () =
+    ?(topology = `Uniform) ?nodes () =
   {
     Proto.expr;
     procs;
@@ -26,6 +26,10 @@ let work ?(expr = matmul_expr) ?(procs = 4) ?mem_gb ?mflops ?(fusion = `All)
     latency_us = None;
     bandwidth_mbs = None;
     fusion;
+    topology;
+    nodes;
+    intra_latency_us = None;
+    intra_bandwidth_mbs = None;
   }
 
 let with_server cfg f =
@@ -129,6 +133,29 @@ let test_cache_key_alpha_renaming () =
   if key (work ()) = key (work ~expr:renamed_leaf ()) then
     Alcotest.fail "leaf rename should change the key"
 
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_node_topology_cache_key () =
+  (* The uniform key is byte-identical to the pre-topology daemon: no
+     topology component ever enters it. *)
+  let base = key (work ()) in
+  Alcotest.(check bool) "uniform key has no topology component" false
+    (contains base "topo=");
+  let node = key (work ~topology:`Node ()) in
+  Alcotest.(check string) "node key deterministic" node
+    (key (work ~topology:`Node ()));
+  Alcotest.(check bool) "node key carries the topology fingerprint" true
+    (contains node "topo=");
+  if node = base then
+    Alcotest.fail "topology \"node\" does not separate cache keys";
+  if key (work ~topology:`Node ~nodes:4 ()) = key (work ~topology:`Node ~nodes:2 ())
+  then Alcotest.fail "node count does not separate cache keys"
+
 (* ---------------- LRU cache ---------------- *)
 
 let test_cache_lru_eviction_deterministic () =
@@ -231,6 +258,50 @@ let test_simulate_and_validate_views () =
       in
       Alcotest.(check string) "validate ok" "ok" (status v);
       Alcotest.(check bool) "plan valid" true (get_bool "valid" v))
+
+let test_node_topology_requests () =
+  with_server (default_cfg ()) (fun server ->
+      (* procs 8 is not a perfect square: only the node-aware shape
+         search can plan it. *)
+      let node_req ~id ~op =
+        req
+          [
+            ("id", Json.Num id); ("op", Json.Str op);
+            ("expr", Json.Str matmul_expr); ("procs", Json.Num 8.0);
+            ("topology", Json.Str "node"); ("nodes", Json.Num 4.0);
+            ("intra_bandwidth_mbs", Json.Num 100000.0);
+          ]
+      in
+      let r1 = call server (node_req ~id:1.0 ~op:"optimize") in
+      Alcotest.(check string) "cold ok" "ok" (status r1);
+      Alcotest.(check bool) "cold" false (get_bool "cached" r1);
+      let grid = get_str "grid" r1 in
+      Alcotest.(check bool) "a shape was chosen" true
+        (contains grid "grid (8 procs)");
+      let r2 = call server (node_req ~id:2.0 ~op:"optimize") in
+      Alcotest.(check bool) "hit" true (get_bool "cached" r2);
+      Alcotest.(check string) "byte-identical hit" (get_str "plan" r1)
+        (get_str "plan" r2);
+      let v = call server (node_req ~id:3.0 ~op:"validate") in
+      Alcotest.(check string) "validate ok" "ok" (status v);
+      Alcotest.(check bool) "plan valid" true (get_bool "valid" v);
+      let sim = call server (node_req ~id:4.0 ~op:"simulate") in
+      Alcotest.(check string) "simulate ok" "ok" (status sim);
+      (match Json.member "simulated" sim with
+      | Some (Json.Obj _) -> ()
+      | _ -> Alcotest.fail "no simulated timing");
+      (* Bad node counts are typed invalid_request rejections. *)
+      let bad =
+        call server
+          (req
+             [
+               ("id", Json.Num 5.0); ("op", Json.Str "optimize");
+               ("expr", Json.Str matmul_expr); ("procs", Json.Num 8.0);
+               ("topology", Json.Str "node"); ("nodes", Json.Num 3.0);
+             ])
+      in
+      Alcotest.(check string) "indivisible nodes rejected" "error"
+        (status bad))
 
 (* ---------------- typed rejections ---------------- *)
 
@@ -542,6 +613,7 @@ let suite =
       [
         case "keys separate machines and limits" test_cache_key_separation;
         case "keys erase intermediate names" test_cache_key_alpha_renaming;
+        case "node topology keyed separately" test_node_topology_cache_key;
         case "LRU eviction deterministic" test_cache_lru_eviction_deterministic;
         case "hit/miss counters" test_cache_counters;
       ] );
@@ -551,6 +623,7 @@ let suite =
         case "alpha-renamed hit equals fresh search"
           test_cache_hit_alpha_renamed_byte_identical;
         case "simulate and validate views" test_simulate_and_validate_views;
+        case "node topology end to end" test_node_topology_requests;
         case "malformed requests typed" test_malformed_lines;
         case "infeasible memory typed" test_infeasible_memory_is_typed;
         case "overload rejected with hint" test_overload_rejection;

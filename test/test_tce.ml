@@ -19,6 +19,7 @@ let () =
          T_strategy.suite;
          T_machine.suite;
          T_fault.suite;
+         T_topology.suite;
          T_fusedexec.suite;
          T_codegen.suite;
          T_runtime.suite;
